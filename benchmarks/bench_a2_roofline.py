@@ -1,0 +1,92 @@
+"""A2 (ablation, §3.1): does the closed-form roofline agree with the
+discrete-event simulator?
+
+The end-to-end methodology stacks an analytical platform model under a
+queued DES.  This ablation validates the stack against itself at both
+ends: (1) the closed-form roofline latency matches the platform model
+within its known extras (launch overhead, Amdahl serial term) across
+four decades of arithmetic intensity; (2) the DES pipeline's measured
+idle-pipeline latency matches the analytical critical path to within a
+few percent.
+"""
+
+import numpy as np
+
+from repro.core.profile import DivergenceClass, WorkloadProfile
+from repro.core.report import format_table
+from repro.core.workload import linear_pipeline
+from repro.hw import RooflineModel, embedded_cpu
+from repro.system.io_model import IoModel
+from repro.system.pipeline import PipelineSimulation
+
+INTENSITIES = (0.1, 1.0, 10.0, 100.0, 1000.0)
+TRAFFIC_BYTES = 8e6
+
+
+def _profile_at_intensity(intensity):
+    return WorkloadProfile(
+        name=f"ai-{intensity:g}",
+        flops=intensity * TRAFFIC_BYTES,
+        bytes_read=TRAFFIC_BYTES * 0.75,
+        bytes_written=TRAFFIC_BYTES * 0.25,
+        working_set_bytes=TRAFFIC_BYTES,  # spills L2: off-chip regime
+        parallel_fraction=1.0,
+        divergence=DivergenceClass.NONE,
+        op_class="stencil",
+    )
+
+
+def _run_validation():
+    cpu = embedded_cpu()
+    roofline = RooflineModel.from_platform(cpu)
+    sweep = []
+    for intensity in INTENSITIES:
+        profile = _profile_at_intensity(intensity)
+        analytical = roofline.latency_s(profile)
+        modeled = cpu.estimate(profile).latency_s
+        sweep.append((intensity, analytical, modeled))
+
+    profiles = [_profile_at_intensity(ai) for ai in (1.0, 10.0, 50.0)]
+    graph = linear_pipeline("chain", profiles, rate_hz=2.0)
+    services = {s.name: cpu.estimate(s.profile).latency_s
+                for s in graph.stages}
+    io = IoModel()  # free transport: isolates the queueing model
+    predicted, _ = graph.critical_path(services)
+    measured = PipelineSimulation(graph, services,
+                                  io=io).run(10.0).mean_latency_s()
+    return roofline, sweep, predicted, measured
+
+
+def test_a2_roofline_vs_simulation(benchmark, report):
+    roofline, sweep, predicted, measured = benchmark(_run_validation)
+
+    rows = [[ai, analytical * 1e3, modeled * 1e3,
+             modeled / analytical]
+            for ai, analytical, modeled in sweep]
+    report(format_table(
+        ["arithmetic intensity (op/B)", "roofline (ms)",
+         "platform model (ms)", "ratio"],
+        rows,
+        title=f"A2: closed-form roofline vs. platform model"
+              f" (ridge at {roofline.ridge_intensity:.1f} op/B)",
+    ))
+    report(f"A2: DES idle-pipeline latency {measured * 1e3:.3f} ms vs."
+           f" analytical critical path {predicted * 1e3:.3f} ms")
+
+    # Shape 1: agreement within 2x everywhere, tight in the
+    # memory-bound regime (where the roofline has no missing terms).
+    for ai, analytical, modeled in sweep:
+        assert modeled <= 2.0 * analytical
+        assert modeled >= 0.95 * analytical  # model adds, never removes
+        if roofline.is_memory_bound(ai):
+            assert abs(modeled - analytical) / analytical < 0.2
+    # Shape 2: both models agree on where the ridge is.  Traffic is
+    # held constant, so latency is flat while memory-bound (ai 0.1 and
+    # 1.0) and rises linearly with intensity once compute-bound.
+    latencies = [modeled for _, __, modeled in sweep]
+    assert abs(latencies[0] - latencies[1]) < 0.05 * latencies[0]
+    assert latencies[3] > 5.0 * latencies[2]
+    assert latencies[4] > 5.0 * latencies[3]
+
+    # Shape 3: the DES agrees with the closed form when queues are idle.
+    assert abs(measured - predicted) / predicted < 0.05

@@ -1,0 +1,89 @@
+"""A3 (ablation, §2.3): how narrow is too narrow?
+
+The widget/cross-cutting dichotomy of E3, swept continuously: an ASIC's
+supported-class set grows from 1 (pure widget) to 6, paying a
+generality penalty in peak throughput and area at every step.  Suite
+performance (geomean over the 7-workload suite) climbs steeply for the
+first added classes and flattens as the penalty eats the gains — the
+sweet spot is a *few* cross-cutting classes, not one and not all.
+"""
+
+from repro.benchmarksuite import SuiteRunner
+from repro.core.report import format_table
+from repro.hw import HeterogeneousSoC, embedded_cpu
+from repro.hw.asic import AsicAccelerator, AsicConfig
+
+# Classes ordered by suite-wide op share (see E3's greedy selection).
+CLASS_ORDER = ("gemm", "stencil", "collision", "linalg",
+               "dynamics", "sampling")
+
+
+def _soc_with_classes(n_classes: int) -> HeterogeneousSoC:
+    classes = frozenset(CLASS_ORDER[:n_classes])
+    asic = AsicAccelerator(AsicConfig(
+        name=f"asic-{n_classes}c",
+        supported_op_classes=classes,
+        generality_penalty=0.2,
+    ))
+    return HeterogeneousSoC(f"soc-{n_classes}c",
+                            embedded_cpu(f"host-{n_classes}c"),
+                            [asic])
+
+
+def _run_sweep():
+    runner = SuiteRunner()
+    reference = embedded_cpu("host-cpu")
+    targets = [reference] + [_soc_with_classes(k)
+                             for k in range(1, len(CLASS_ORDER) + 1)]
+    rows = runner.run(targets)
+    scores = dict(runner.ranked_scores(rows, "host-cpu"))
+    areas = {
+        f"soc-{k}c": _soc_with_classes(k).accelerators[0]
+        .asic.effective_area_mm2
+        for k in range(1, len(CLASS_ORDER) + 1)
+    }
+    peaks = {
+        f"soc-{k}c": _soc_with_classes(k).accelerators[0]
+        .asic.effective_peak_flops
+        for k in range(1, len(CLASS_ORDER) + 1)
+    }
+    return scores, areas, peaks
+
+
+def test_a3_specialization_degree(benchmark, report):
+    scores, areas, peaks = benchmark(_run_sweep)
+
+    ks = range(1, len(CLASS_ORDER) + 1)
+    table = [[k, CLASS_ORDER[k - 1], peaks[f"soc-{k}c"] / 1e12,
+              areas[f"soc-{k}c"], scores[f"soc-{k}c"],
+              scores[f"soc-{k}c"] / areas[f"soc-{k}c"]]
+             for k in ks]
+    report(format_table(
+        ["classes", "added class", "peak (TFLOP/s)", "area (mm^2)",
+         "suite geomean speedup", "speedup per mm^2"],
+        table,
+        title="A3: accelerator specialization-degree sweep"
+              " (20% generality penalty per added class)",
+    ))
+
+    series = [scores[f"soc-{k}c"] for k in ks]
+
+    # Shape 1: broadening past the pure widget helps a lot at first.
+    assert series[1] > series[0]
+    assert series[2] > series[0]
+
+    # Shape 2: diminishing returns — the last class adds less than the
+    # second class did.
+    gain_second = series[1] - series[0]
+    gain_last = series[-1] - series[-2]
+    assert gain_last < 0.5 * gain_second
+
+    # Shape 3: efficiency (speedup per area) peaks at a *small* class
+    # count, not at maximum generality — the quantitative version of
+    # "avoid over-specialization, but don't rebuild a GPU either."
+    efficiency = [scores[f"soc-{k}c"] / areas[f"soc-{k}c"] for k in ks]
+    best_k = ks[efficiency.index(max(efficiency))]
+    assert best_k <= 3
+
+    # Shape 4: everything beats the host baseline.
+    assert all(s > 1.0 for s in series)

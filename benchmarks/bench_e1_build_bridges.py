@@ -1,0 +1,121 @@
+"""E1 (§2.1, Build Bridges): accelerating an obsolete SLAM algorithm.
+
+Paper claim: without domain-expert input, an obsolete algorithm may be
+accelerated — a technically impressive artifact that does not help the
+task.  SLAM alone had 24 representative "active" approaches in 2023.
+
+Experiment: run three generations of SLAM on the same scenario.  A
+widget ASIC for the classic EKF-SLAM dense-update kernel achieves a
+large *kernel* speedup — but the modern pose-graph method on a plain
+CPU is more accurate, so the accelerated legacy stack loses on the
+metric domain experts care about (ATE).  The Seven Challenges advisor
+flags the project.
+"""
+
+import pytest
+
+from repro.core import DesignReview, EvaluationPlan, SevenChallengesAdvisor
+from repro.core.report import format_table
+from repro.hw import embedded_cpu
+from repro.hw.asic import widget_asic
+from repro.kernels.slam import (
+    EkfSlam,
+    FastSlam,
+    GraphSlam,
+    ate_rmse,
+    build_pose_graph,
+    make_scenario,
+)
+
+
+def _run_slam_generations():
+    scenario = make_scenario(n_steps=80, n_landmarks=15, seed=1)
+    results = {}
+
+    ekf = EkfSlam(scenario.true_poses[0],
+                  motion_noise=scenario.motion_noise,
+                  measurement_noise=scenario.measurement_noise)
+    traj = ekf.run(scenario)
+    results["ekf-slam (2002)"] = (
+        ate_rmse(traj, scenario.true_poses), ekf.profile()
+    )
+
+    fast = FastSlam(scenario.true_poses[0], n_particles=40,
+                    motion_noise=scenario.motion_noise,
+                    measurement_noise=scenario.measurement_noise,
+                    seed=2)
+    traj = fast.run(scenario)
+    results["fastslam (2005)"] = (
+        ate_rmse(traj, scenario.true_poses), fast.profile()
+    )
+
+    graph = build_pose_graph(scenario)
+    solver = GraphSlam(graph)
+    solver.optimize(iterations=15)
+    results["pose-graph (2020s)"] = (
+        ate_rmse(graph.poses, scenario.true_poses), solver.profile()
+    )
+    return results
+
+
+def test_e1_wrong_algorithm_accelerated(benchmark, report):
+    results = benchmark(_run_slam_generations)
+
+    cpu = embedded_cpu()
+    rows = []
+    speedups = {}
+    for name, (ate, profile) in results.items():
+        cpu_latency = cpu.estimate(profile).latency_s
+        asic = widget_asic(profile.op_class,
+                           name=f"widget-{profile.op_class}-{name}")
+        if asic.supports(profile):
+            asic_latency = asic.estimate(profile).latency_s
+            speedup = cpu_latency / asic_latency
+        else:
+            speedup = float("nan")
+        speedups[name] = speedup
+        rows.append([name, profile.op_class, ate,
+                     cpu_latency * 1e3, speedup])
+
+    report(format_table(
+        ["algorithm", "kernel class", "ATE RMSE (m)",
+         "CPU latency (ms)", "widget-ASIC kernel speedup"],
+        rows,
+        title="E1: three SLAM generations — kernel speedup vs. task"
+              " quality",
+    ))
+
+    ate_ekf = results["ekf-slam (2002)"][0]
+    ate_fast = results["fastslam (2005)"][0]
+    ate_graph = results["pose-graph (2020s)"][0]
+
+    # Shape 1: the legacy dense-EKF kernel accelerates well — the
+    # "technically impressive" widget.
+    assert speedups["ekf-slam (2002)"] > 5.0
+    # Shape 2: the branchy particle filter accelerates far worse on the
+    # same ASIC template (divergence + serial resampling).
+    assert speedups["fastslam (2005)"] < speedups["ekf-slam (2002)"]
+    # Shape 3: the expert-preferred modern method wins on the metric
+    # the domain cares about — with no accelerator at all.
+    assert ate_graph < ate_ekf
+    assert ate_graph < ate_fast
+
+    # The advisor catches this project from its plan alone.
+    advisor = SevenChallengesAdvisor()
+    review = DesignReview(
+        name="ekf-widget-2024",
+        accelerated_categories=("gemm",),
+        expert_consultations=0,
+        algorithm_vintage_years=(20.0,),
+        evaluation=EvaluationPlan(
+            metrics=("throughput",),
+            evaluated_workloads=("ekf-slam",),
+            baseline_platforms=("cpu",),
+        ),
+    )
+    findings = advisor.audit(review)
+    messages = " ".join(f.message for f in findings)
+    assert "state of the art" in messages
+    assert "domain-expert" in messages
+    report(f"E1 advisor: {len(findings)} findings,"
+           f" score {advisor.score(review):.0f}/100")

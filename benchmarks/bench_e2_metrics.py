@@ -1,0 +1,158 @@
+"""E2 (§2.2, Metrics Matter): throughput vs. time-to-accuracy, and
+TOPS/W vs. system-level metrics.
+
+Paper claims reproduced:
+
+(a) MLPerf lesson — "systems people increased throughput but at the
+    expense of accuracy ... it's time-to-accuracy, not time overall": a
+    low-precision accelerator multiplies training throughput, yet the
+    quantization noise it introduces slows (or prevents) reaching the
+    accuracy target, so time-to-accuracy moves the *other way*.
+
+(b) Sze et al. — TOPS/W in isolation from system-level metrics (off-
+    chip bandwidth) is misleading: the accelerator with the better
+    *peak* TOPS/W loses on achieved latency, energy, and achieved
+    TOPS/W once its starved memory system meets a real working set.
+"""
+
+import math
+
+from repro.core.profile import DivergenceClass, WorkloadProfile
+from repro.core.report import format_table
+from repro.hw.asic import AsicAccelerator, AsicConfig
+from repro.kernels.ml import Mlp, MlpConfig, SgdTrainer, make_blobs
+from repro.kernels.ml.data import train_test_split
+from repro.kernels.ml.quantize import throughput_multiplier
+from repro.metrics import tops_per_watt
+
+TARGET_ACCURACY = 0.90
+BASE_STEP_LATENCY_S = 1e-3
+
+
+def _train(gradient_bits, activation_bits, step_latency_s):
+    x, y = make_blobs(n_samples=400, n_classes=3, spread=0.5, seed=5)
+    xtr, ytr, xte, yte = train_test_split(x, y, seed=5)
+    model = Mlp(MlpConfig(layer_sizes=[2, 32, 3], seed=5,
+                          gradient_bits=gradient_bits,
+                          activation_bits=activation_bits))
+    trainer = SgdTrainer(model, learning_rate=0.05,
+                         step_latency_s=step_latency_s, seed=5)
+    return trainer.fit(xtr, ytr, xte, yte, epochs=20)
+
+
+def _run_training_comparison():
+    fp32 = _train(None, None, BASE_STEP_LATENCY_S)
+    bits = 2
+    speedup = throughput_multiplier(bits)
+    quant = _train(bits, bits, BASE_STEP_LATENCY_S / speedup)
+    return fp32, quant, speedup
+
+
+def test_e2a_throughput_vs_time_to_accuracy(benchmark, report):
+    fp32, quant, hw_speedup = benchmark(_run_training_comparison)
+
+    rows = [
+        ["fp32 baseline", fp32.throughput_steps_per_s(),
+         fp32.final_accuracy(),
+         fp32.time_to_accuracy(TARGET_ACCURACY)],
+        ["2-bit 'fast' accelerator", quant.throughput_steps_per_s(),
+         quant.final_accuracy(),
+         quant.time_to_accuracy(TARGET_ACCURACY)],
+    ]
+    report(format_table(
+        ["system", "throughput (steps/s)", "final accuracy",
+         f"time-to-{TARGET_ACCURACY:.0%} (s)"],
+        rows,
+        title="E2a: the throughput metric and the task metric disagree",
+    ))
+
+    # Shape: the quantized accelerator wins big on throughput...
+    assert (quant.throughput_steps_per_s()
+            > 5.0 * fp32.throughput_steps_per_s())
+    # ...but loses on time-to-accuracy (never reaching the target, or
+    # reaching it later despite faster steps).
+    tta_fp32 = fp32.time_to_accuracy(TARGET_ACCURACY)
+    tta_quant = quant.time_to_accuracy(TARGET_ACCURACY)
+    assert math.isfinite(tta_fp32)
+    assert tta_quant > tta_fp32
+
+
+def _specsheet_accelerators():
+    """Two GEMM engines: a peak-TOPS/W hero with a starved memory
+    system, and a balanced design."""
+    hero = AsicAccelerator(AsicConfig(
+        name="peak-hero",
+        supported_op_classes=frozenset({"gemm"}),
+        peak_flops=8e12,
+        energy_per_flop=0.5e-12,  # spec-sheet star
+        onchip_bytes=256e3,       # tiny SRAM...
+        offchip_bw=5e9,           # ...and a straw for DRAM
+        static_power_w=0.3,
+    ))
+    balanced = AsicAccelerator(AsicConfig(
+        name="balanced",
+        supported_op_classes=frozenset({"gemm"}),
+        peak_flops=2e12,
+        energy_per_flop=1.0e-12,
+        onchip_bytes=16e6,
+        offchip_bw=60e9,
+        static_power_w=0.5,
+    ))
+    return hero, balanced
+
+
+def _real_workload():
+    """A perception-inference GEMM whose working set spills small SRAMs
+    (the realistic case §2.2 says spec sheets hide)."""
+    return WorkloadProfile(
+        name="detector-layer",
+        flops=4e9,
+        bytes_read=60e6,
+        bytes_written=20e6,
+        working_set_bytes=40e6,
+        parallel_fraction=1.0,
+        divergence=DivergenceClass.NONE,
+        op_class="gemm",
+    )
+
+
+def test_e2b_tops_per_watt_ranking_inverts(benchmark, report):
+    hero, balanced = _specsheet_accelerators()
+    profile = _real_workload()
+
+    def run():
+        return hero.estimate(profile), balanced.estimate(profile)
+
+    hero_est, balanced_est = benchmark(run)
+
+    peak_tpw_hero = (hero.asic.peak_flops
+                     / (hero.asic.peak_flops
+                        * hero.asic.energy_per_flop)) / 1e12
+    peak_tpw_bal = (balanced.asic.peak_flops
+                    / (balanced.asic.peak_flops
+                       * balanced.asic.energy_per_flop)) / 1e12
+    rows = [
+        ["peak-hero", peak_tpw_hero,
+         tops_per_watt(profile, hero_est),
+         hero_est.latency_s * 1e3, hero_est.energy_j * 1e3,
+         hero_est.bound],
+        ["balanced", peak_tpw_bal,
+         tops_per_watt(profile, balanced_est),
+         balanced_est.latency_s * 1e3, balanced_est.energy_j * 1e3,
+         balanced_est.bound],
+    ]
+    report(format_table(
+        ["accelerator", "peak TOPS/W", "achieved TOPS/W",
+         "latency (ms)", "energy (mJ)", "bound"],
+        rows,
+        title="E2b: spec-sheet TOPS/W vs. delivered performance"
+              " (Sze et al.)",
+    ))
+
+    # Shape: spec-sheet ranking says hero wins...
+    assert peak_tpw_hero > peak_tpw_bal
+    # ...but the memory system inverts every delivered metric.
+    assert balanced_est.latency_s < hero_est.latency_s
+    assert (tops_per_watt(profile, balanced_est)
+            > tops_per_watt(profile, hero_est))
+    assert hero_est.bound == "memory"

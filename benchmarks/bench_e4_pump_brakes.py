@@ -1,0 +1,96 @@
+"""E4 (§2.4, Pump the Brakes): over-provisioning compute can be
+disastrous for the whole system.
+
+Paper claim (Krishnan et al.): for overall UAV mission performance,
+compute must be balanced against sensor rates — "over-provisioning
+compute could have disastrous effects on the weight and battery life of
+the total system."
+
+Experiment: a closed-loop patrol mission flown with five onboard-compute
+tiers.  The weakest tier crawls (latency-limited safe speed) and drains
+the battery before finishing; the strongest tiers fly fast but their
+mass and power kill endurance; an interior tier wins.  The result is a
+U-shape in mission merit, not the monotone improvement a kernel
+benchmark would predict.
+"""
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.hw import uav_compute_tiers
+from repro.kernels.planning import CircleWorld
+from repro.metrics.mission import rank_tiers, summarize_missions
+from repro.system import MissionConfig, sweep_compute_tiers
+
+
+def _mission_config():
+    world = CircleWorld.random(dim=2, n_obstacles=40, extent=120.0,
+                               radius_range=(1.0, 3.0), seed=11,
+                               keep_corners_free=3.0)
+    return MissionConfig(
+        world=world,
+        start=np.array([1.0, 1.0]),
+        goal=np.array([118.0, 118.0]),
+        laps=20,
+    )
+
+
+def _run_sweep():
+    return sweep_compute_tiers(_mission_config(), uav_compute_tiers())
+
+
+def test_e4_overprovisioning_is_disastrous(benchmark, report):
+    rows = benchmark(_run_sweep)
+
+    table = []
+    for name, result in rows:
+        table.append([
+            name,
+            "yes" if result.success else f"NO ({result.failure_reason})",
+            result.pipeline_latency_s * 1e3,
+            result.safe_speed_m_s,
+            result.total_mass_kg,
+            result.hover_power_w + result.compute_power_w,
+            result.endurance_s,
+            result.energy_j / 1e3,
+        ])
+    report(format_table(
+        ["tier", "mission", "latency (ms)", "safe speed (m/s)",
+         "mass (kg)", "power (W)", "endurance (s)", "energy (kJ)"],
+        table,
+        title="E4: UAV patrol mission across the onboard-compute ladder",
+    ))
+
+    results = dict(rows)
+    names = [name for name, _ in rows]
+
+    # Shape 1: under-provisioned compute fails — too slow to finish on
+    # one charge (the compute/sensor balance point).
+    weakest = results[names[0]]
+    assert not weakest.success
+    assert weakest.safe_speed_m_s < 3.0
+
+    # Shape 2: over-provisioned compute fails — mass and power destroy
+    # endurance despite top speed (the disastrous effect).
+    strongest = results[names[-1]]
+    assert not strongest.success
+    assert strongest.failure_reason == "battery"
+    assert strongest.safe_speed_m_s > 9.0
+    assert strongest.endurance_s < 0.3 * weakest.endurance_s
+
+    # Shape 3: an interior tier wins, and mission merit is a U-shape.
+    ranking = rank_tiers(rows)
+    best_tier = ranking[0][0]
+    assert best_tier not in (names[0], names[-1])
+    assert ranking[0][1] > 0.0
+
+    # Shape 4: speed saturates long before the ladder tops out —
+    # kernel-level "more compute" stops buying mission-level anything.
+    speeds = [results[n].safe_speed_m_s for n in names]
+    assert speeds[2] > 0.95 * speeds[-1]
+
+    summary = summarize_missions([r for _, r in rows])
+    report(f"E4 summary: success rate {summary.success_rate:.0%},"
+           f" best tier {best_tier},"
+           f" energy/m of successes"
+           f" {summary.energy_per_meter_j:.1f} J/m")

@@ -1,0 +1,106 @@
+"""E5 (§2.5, Chips and Salsa): software vectorization delivers
+orders-of-magnitude motion-planning speedups — no ASIC required.
+
+Paper claim (Thomason et al. 2023): "software-only optimizations that
+leveraged vectorization on the CPU achieved up to 500x speedups over
+state-of-the-art for certain motion planning problems."
+
+Experiment: batch collision checking for a 7-DoF arm (the kernel that
+dominates sampling-based planning) is priced four ways:
+
+- *library baseline*: one configuration at a time, early exit, single
+  scalar core, plus OMPL-class per-check validation overhead (virtual
+  dispatch, interpolation allocation — ~0.5 us/check, the published
+  per-motion-validation order);
+- *vectorized software*: the same chip, all cores + SIMD, dense batch
+  evaluation with no per-check overhead;
+- *embedded GPU* and a *collision ASIC* for the heterogeneity context.
+
+The speedup of vectorized software over the library baseline is largest
+on obstacle-sparse problems (overhead-dominated) and decays as arithmetic
+grows — "up to" hundreds-fold, exactly the claim's shape.
+"""
+
+from repro.core.report import format_table
+from repro.hw import desktop_cpu, embedded_gpu
+from repro.hw.asic import widget_asic
+from repro.hw.cpu import CpuModel
+from repro.kernels.planning.collision import collision_profile
+
+N_CHECKS = 100_000
+DIM = 7
+LIBRARY_OVERHEAD_PER_CHECK_S = 0.5e-6
+OBSTACLE_SWEEP = (50, 100, 200, 400)
+
+
+def _platforms():
+    vector_cpu = desktop_cpu("desktop-cpu")
+    scalar_core = CpuModel(
+        vector_cpu.cpu.scalar_variant().single_core_variant()
+    )
+    gpu = embedded_gpu()
+    asic = widget_asic("collision", name="collision-asic")
+    return scalar_core, vector_cpu, gpu, asic
+
+
+def _sweep():
+    scalar_core, vector_cpu, gpu, asic = _platforms()
+    rows = []
+    for n_obstacles in OBSTACLE_SWEEP:
+        scalar_profile = collision_profile(
+            N_CHECKS, n_obstacles, dim=DIM, vectorized=False,
+            name=f"scalar-{n_obstacles}",
+        )
+        batch_profile = collision_profile(
+            N_CHECKS, n_obstacles, dim=DIM, vectorized=True,
+            name=f"batch-{n_obstacles}",
+        )
+        baseline = (scalar_core.estimate(scalar_profile).latency_s
+                    + N_CHECKS * LIBRARY_OVERHEAD_PER_CHECK_S)
+        vectorized = vector_cpu.estimate(batch_profile).latency_s
+        gpu_latency = gpu.estimate(batch_profile).latency_s
+        asic_latency = asic.estimate(batch_profile).latency_s
+        rows.append((n_obstacles, baseline, vectorized, gpu_latency,
+                     asic_latency))
+    return rows
+
+
+def test_e5_vectorized_software_speedup(benchmark, report):
+    rows = benchmark(_sweep)
+
+    table = []
+    ratios = []
+    for n_obstacles, base, vec, gpu_lat, asic_lat in rows:
+        ratio = base / vec
+        ratios.append(ratio)
+        table.append([n_obstacles, base * 1e3, vec * 1e3,
+                      ratio, gpu_lat * 1e3, asic_lat * 1e3])
+    report(format_table(
+        ["obstacles", "library baseline (ms)",
+         "vectorized CPU (ms)", "CPU speedup",
+         "embedded GPU (ms)", "collision ASIC (ms)"],
+        table,
+        title=f"E5: {N_CHECKS} collision checks, {DIM}-DoF arm",
+    ))
+    report(f"E5: software vectorization speedup up to"
+           f" {max(ratios):.0f}x (paper: up to ~500x)")
+
+    # Shape 1: orders of magnitude, peaking in the hundreds.
+    assert 200.0 < max(ratios) < 800.0
+    assert min(ratios) > 30.0
+
+    # Shape 2: the "up to" structure — the advantage shrinks as
+    # arithmetic (obstacle count) grows and overhead amortizes.
+    assert ratios == sorted(ratios, reverse=True)
+
+    # Shape 3: tuned software is competitive with "real" accelerators —
+    # the vectorized CPU beats the embedded GPU on at least one
+    # problem, and the ASIC's edge over software is small next to the
+    # software-vs-software gap.
+    vec_beats_gpu = any(vec < gpu_lat
+                        for _, __, vec, gpu_lat, ___ in rows)
+    assert vec_beats_gpu
+    for _, base, vec, __, asic_lat in rows:
+        asic_gain = vec / asic_lat
+        software_gain = base / vec
+        assert software_gain > asic_gain

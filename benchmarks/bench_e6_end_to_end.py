@@ -1,0 +1,112 @@
+"""E6 (§2.6, Forest vs. Trees): kernel speedups evaporate end to end.
+
+Paper claim: optimizing kernels without the end-to-end system (sensors,
+I/O, data marshalling — the "AI tax") yields DSAs that improve
+theoretical performance but fail to deliver real-world benefits.
+
+Experiment: a VIO pipeline (camera capture → detect → track → estimate
+→ fuse → control) runs on the queued pipeline simulator with ROS-class
+inter-stage transport.  The detect kernel is accelerated 2x...1000x.
+Kernel speedup grows unboundedly; the *measured sensor-to-actuator
+latency* saturates at the Amdahl ceiling set by the unaccelerated
+stages and the I/O tax — and the ceiling computed by
+``repro.core.characterize`` predicts the measured saturation.
+"""
+
+from repro.core.characterize import max_amdahl_speedup
+from repro.core.report import format_table
+from repro.core.workload import Stage, TaskGraph
+from repro.hw import embedded_cpu
+from repro.kernels.control.lqr import lqr_profile
+from repro.kernels.linalg import cholesky_profile
+from repro.kernels.vision.features import harris_profile
+from repro.kernels.vision.optical_flow import lk_profile
+from repro.system.io_model import ros_like_middleware
+from repro.system.pipeline import PipelineSimulation
+
+FRAME_BYTES = 640 * 480 * 2.0
+SPEEDUPS = (1.0, 2.0, 5.0, 10.0, 100.0, 1000.0)
+
+
+def _vio_graph():
+    detect = harris_profile(480, name="detect")
+    track = lk_profile(150, name="track")
+    estimate = cholesky_profile(90, name="estimate")
+    fuse = cholesky_profile(40, name="fuse")
+    control = lqr_profile(12, 4, riccati_iterations=20, name="control")
+    return TaskGraph("vio-e2e", [
+        Stage("detect", detect, rate_hz=30.0,
+              output_bytes=FRAME_BYTES / 4),
+        Stage("track", track, deps=("detect",), output_bytes=4800.0),
+        Stage("estimate", estimate, deps=("track",),
+              output_bytes=1024.0),
+        Stage("fuse", fuse, deps=("estimate",), output_bytes=256.0),
+        Stage("control", control, deps=("fuse",), output_bytes=64.0),
+    ])
+
+
+def _run_sweep():
+    graph = _vio_graph()
+    cpu = embedded_cpu()
+    io = ros_like_middleware()
+    base_services = {
+        stage.name: cpu.estimate(stage.profile).latency_s
+        for stage in graph.stages
+    }
+    # The camera payload hop into the pipeline is part of every
+    # sample's latency: model it as extra service on the source stage
+    # (capture DMA + deserialization).
+    capture_tax = io.transfer_time_s(FRAME_BYTES)
+
+    results = []
+    for speedup in SPEEDUPS:
+        services = dict(base_services)
+        services["detect"] = (base_services["detect"] / speedup
+                              + capture_tax)
+        sim = PipelineSimulation(graph, services, io=io)
+        outcome = sim.run(5.0)
+        results.append((speedup, outcome.mean_latency_s()))
+    return base_services, capture_tax, results
+
+
+def test_e6_kernel_speedup_evaporates(benchmark, report):
+    base_services, capture_tax, results = benchmark(_run_sweep)
+
+    base_latency = results[0][1]
+    table = []
+    for speedup, latency in results:
+        table.append([f"{speedup:g}x", latency * 1e3,
+                      base_latency / latency])
+    report(format_table(
+        ["detect kernel speedup", "end-to-end latency (ms)",
+         "end-to-end speedup"],
+        table,
+        title="E6: accelerating one kernel in a sensor-to-actuator"
+              " pipeline",
+    ))
+
+    # Analytical ceiling: the detect *compute* share of one
+    # activation's total latency (everything else, I/O tax included,
+    # does not accelerate).
+    io_total = base_latency - sum(base_services.values()) - capture_tax
+    accelerable = base_services["detect"]
+    fraction = accelerable / base_latency
+    ceiling = max_amdahl_speedup(fraction)
+    report(f"E6: detect is {fraction:.0%} of end-to-end time ->"
+           f" Amdahl ceiling {ceiling:.2f}x"
+           f" (I/O tax alone: {(capture_tax + io_total) * 1e3:.2f} ms"
+           f" per frame)")
+
+    e2e = {speedup: base_latency / latency
+           for speedup, latency in results}
+
+    # Shape 1: end-to-end speedup saturates far below kernel speedup.
+    assert e2e[1000.0] < 5.0
+    assert e2e[1000.0] < ceiling * 1.05
+    # Shape 2: most of the achievable gain is in by 10x; 100x and
+    # 1000x are nearly indistinguishable (the flat tail).
+    assert e2e[10.0] > 0.7 * e2e[1000.0]
+    assert e2e[1000.0] - e2e[100.0] < 0.05 * e2e[1000.0]
+    # Shape 3: gains are monotone (sanity).
+    ordered = [e2e[s] for s in SPEEDUPS]
+    assert all(b >= a - 1e-9 for a, b in zip(ordered, ordered[1:]))

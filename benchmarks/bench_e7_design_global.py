@@ -1,0 +1,136 @@
+"""E7 (§2.7, Design Global): datacenters on wheels, and edge-vs-cloud
+training carbon.
+
+Paper claims reproduced:
+
+(a) Sudhakar et al. — autonomous vehicles are "datacenters on wheels":
+    a global-scale AV fleet's onboard compute rivals global datacenter
+    power, and under fleet growth it crosses it within decades.
+
+(b) Patterson et al. — "choosing to train ML models on edge devices can
+    lead to a greater increase in carbon emissions" than cloud
+    training, because cloud accelerators are ~10x more energy-
+    efficient and hyperscale regions run cleaner grids.
+
+Plus the §3.3 corollary: lifecycle analysis punishes short-lifespan
+over-specialized hardware.
+"""
+
+from repro.core.report import format_table
+from repro.sustainability import (
+    FleetScenario,
+    LifecycleInputs,
+    ProcessNode,
+    fleet_vs_datacenters,
+)
+from repro.sustainability.fleet import (
+    crossover_year,
+    datacenter_equivalents,
+    fleet_energy_twh_per_year,
+    fleet_power_w,
+)
+from repro.sustainability.lca import amortized_kg_per_year, assess
+from repro.sustainability.operational import edge_vs_cloud_training
+
+TRAINING_FLOPS = 1e18  # a modest on-robot adaptation job
+
+
+def _run_all():
+    fleet_today = FleetScenario("us-fleet-scale", n_vehicles=1e8)
+    fleet_growing = FleetScenario("early-deployment", n_vehicles=1e7,
+                                  annual_growth=0.3)
+    projection = fleet_vs_datacenters(fleet_growing, years=15)
+    training = {
+        "defaults": edge_vs_cloud_training(TRAINING_FLOPS),
+        "dirty-edge-grid": edge_vs_cloud_training(
+            TRAINING_FLOPS, edge_grid="coal-heavy"),
+        "clean-edge-grid": edge_vs_cloud_training(
+            TRAINING_FLOPS, edge_grid="hydro-nordic"),
+    }
+    return fleet_today, fleet_growing, projection, training
+
+
+def test_e7a_datacenters_on_wheels(benchmark, report):
+    fleet_today, fleet_growing, projection, _ = benchmark(_run_all)
+
+    report(format_table(
+        ["year", "fleet power (GW)", "fraction of global DC power"],
+        [[year, power / 1e9, fraction]
+         for year, power, fraction in projection],
+        title="E7a: AV fleet compute vs. global datacenter power"
+              " (10M vehicles, 30%/yr growth)",
+    ))
+    equivalents = datacenter_equivalents(fleet_today)
+    energy = fleet_energy_twh_per_year(fleet_today)
+    report(f"E7a: a 100M-vehicle fleet draws"
+           f" {fleet_power_w(fleet_today) / 1e9:.1f} GW ="
+           f" {equivalents:.0f} hyperscale datacenters"
+           f" = {energy:.0f} TWh/yr")
+
+    # Shape 1: car-fleet scale compute is datacenter scale.
+    assert equivalents > 100.0
+    assert energy > 10.0
+    # Shape 2: with sustained growth, fleet compute crosses *global*
+    # datacenter power within a couple of decades.
+    year = crossover_year(fleet_growing)
+    report(f"E7a: projected crossover in year {year}")
+    assert 5 < year <= 25
+    # Shape 3: the projection is monotone under positive growth.
+    fractions = [fraction for _, __, fraction in projection]
+    assert fractions == sorted(fractions)
+
+
+def test_e7b_edge_training_emits_more(benchmark, report):
+    _, __, ___, training = benchmark(_run_all)
+
+    report(format_table(
+        ["scenario", "edge kgCO2e", "cloud kgCO2e", "edge/cloud"],
+        [[name, r["edge_kg"], r["cloud_kg"], r["ratio"]]
+         for name, r in training.items()],
+        title=f"E7b: one {TRAINING_FLOPS:.0e}-FLOP training job,"
+              " edge vs. cloud",
+    ))
+
+    # Shape: on-device training emits more CO2 than cloud training
+    # under representative assumptions; the gap widens on dirty grids
+    # and persists (through the efficiency gap) even on clean ones.
+    assert training["defaults"]["ratio"] > 3.0
+    assert (training["dirty-edge-grid"]["ratio"]
+            > training["defaults"]["ratio"])
+    assert training["clean-edge-grid"]["edge_kg"] > 0.0
+
+
+def test_e7c_short_lifespans_waste_embodied_carbon(benchmark, report):
+    def run():
+        # An over-specialized widget is also *under-used*: it burns its
+        # embodied carbon up front and then mostly sits idle (low duty
+        # cycle, low average power) — so lifetime dominates its
+        # amortized footprint.
+        def widget(years):
+            return LifecycleInputs(
+                name=f"widget-{years}y", die_area_mm2=100.0,
+                node=ProcessNode.N5, average_power_w=2.0,
+                duty_cycle=0.1, lifetime_years=years,
+                units=100_000,
+            )
+        return {years: (assess(widget(years)),
+                        amortized_kg_per_year(widget(years)))
+                for years in (1.0, 2.0, 5.0, 10.0)}
+
+    results = benchmark(run)
+    report(format_table(
+        ["lifetime (yr)", "embodied kg", "operational kg",
+         "net kg/unit", "kg per unit-year"],
+        [[years, a.embodied_kg, a.operational_kg, a.total_kg, rate]
+         for years, (a, rate) in sorted(results.items())],
+        title="E7c: lifecycle cost of short-lifespan accelerators",
+    ))
+
+    rates = [rate for _, rate in
+             (results[y] for y in sorted(results))]
+    # Shape: amortized footprint falls monotonically with lifetime —
+    # the §3.3 argument against disposable widgets.
+    assert rates == sorted(rates, reverse=True)
+    one_year = results[1.0][1]
+    ten_year = results[10.0][1]
+    assert one_year > 3.0 * ten_year

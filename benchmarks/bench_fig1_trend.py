@@ -1,0 +1,43 @@
+"""FIG1: publication-trend reproduction (paper Fig. 1).
+
+Paper: "Mention of accelerators for autonomous systems in top-tier
+computing and robotics venues, from Google Scholar" — a rapidly growing
+per-year count through the 2010s into the 2020s.
+
+Here: the same query/aggregation pipeline over the synthetic corpus
+(offline substitution; see DESIGN.md), asserting the growth shape.
+"""
+
+from repro.biblio import TOP_VENUES, fig1_series, generate_corpus
+from repro.core.report import ascii_bar_chart, format_series
+
+
+def _run():
+    corpus = generate_corpus(start_year=2010, end_year=2024, seed=0)
+    return fig1_series(corpus, venues=TOP_VENUES)
+
+
+def test_fig1_mentions_grow_rapidly(benchmark, report):
+    trend = benchmark(_run)
+
+    report(format_series(
+        "year", "mentions", trend.series,
+        title="FIG1: autonomy-accelerator mentions per year"
+        " (synthetic corpus)",
+    ))
+    report(ascii_bar_chart(
+        [str(year) for year, _ in trend.series],
+        [float(count) for _, count in trend.series],
+        title="FIG1 (bar view)",
+    ))
+    report(f"total={trend.total}  CAGR={trend.growth_rate:.2%}"
+           f"  peak year={trend.peak_year}")
+
+    counts = dict(trend.series)
+    early = sum(counts.get(y, 0) for y in range(2010, 2014))
+    late = sum(counts.get(y, 0) for y in range(2020, 2024))
+    # Shape: order-of-magnitude growth from early 2010s to early 2020s,
+    # sustained positive CAGR, recent peak.
+    assert late > 10 * max(early, 1)
+    assert trend.growth_rate > 0.2
+    assert trend.peak_year >= 2020

@@ -1,0 +1,83 @@
+"""S1 (§3.2, Standardized Benchmarks): the suite table itself.
+
+The paper calls for "widely-accepted, standardized benchmarks and
+metrics" that evaluate "not only domain performance, but also energy
+efficiency, cost, and other key characteristics."  This bench *is* that
+artifact: the 9-workload autonomy suite across the platform catalog,
+reported as latency, energy, deadline coverage, and geomean score —
+plus the regression pin that keeps the numbers honest over time
+(§2.3's evaluation-drift guard).
+"""
+
+import math
+
+from repro.benchmarksuite import SuiteRunner
+from repro.benchmarksuite.reference import (
+    check_against_reference,
+    compute_reference,
+)
+from repro.benchmarksuite.scoring import coverage_score
+from repro.core.report import format_table
+from repro.hw import (
+    HeterogeneousSoC,
+    asic_gemm_engine,
+    desktop_cpu,
+    embedded_cpu,
+    embedded_gpu,
+    midrange_fpga,
+)
+
+
+def _targets():
+    return [
+        embedded_cpu(),
+        desktop_cpu(),
+        embedded_gpu(),
+        midrange_fpga(),
+        HeterogeneousSoC("gemm-soc", embedded_cpu("soc-host"),
+                         [asic_gemm_engine()]),
+    ]
+
+
+def _run():
+    runner = SuiteRunner()
+    rows = runner.run(_targets())
+    scores = dict(runner.ranked_scores(rows, "embedded-cpu"))
+    table = runner.latency_map(rows)
+    deadlines = {w.name: w.deadline_s() for w in runner.workloads}
+    coverage = {
+        target: coverage_score(latencies, deadlines)
+        for target, latencies in table.items()
+    }
+    reference = compute_reference()
+    drift = check_against_reference(table["embedded-cpu"], reference)
+    return runner, rows, scores, coverage, drift
+
+
+def test_s1_standardized_suite_table(benchmark, report):
+    runner, rows, scores, coverage, drift = benchmark(_run)
+
+    report(runner.report(rows))
+    report(format_table(
+        ["target", "geomean speedup", "deadline coverage"],
+        [[name, scores[name], coverage[name]]
+         for name in sorted(scores, key=lambda n: -scores[n])],
+        title="S1: suite scores across the platform catalog",
+    ))
+
+    # Shape 1: every workload runs on every programmable target.
+    assert all(math.isfinite(r.latency_s) for r in rows)
+
+    # Shape 2: the desktop CPU outruns the embedded parts on geomean;
+    # the heterogeneous SoC beats its own host.
+    assert scores["desktop-cpu"] > scores["embedded-cpu"]
+    assert scores["gemm-soc"] > 1.0
+
+    # Shape 3: deadline coverage is the §2.3 counterweight — every
+    # catalog platform must hold most of the suite's rates.
+    assert all(value >= 0.5 for value in coverage.values())
+    assert coverage["desktop-cpu"] == 1.0
+
+    # Shape 4: the regression pin holds (the suite's reference device
+    # reproduces its pinned numbers exactly — analytical determinism).
+    assert drift == []

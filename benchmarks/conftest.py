@@ -1,0 +1,26 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every module under ``benchmarks/`` regenerates one table/figure/claim
+from the paper (see the experiment index in DESIGN.md).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the regenerated paper-style tables; each test also asserts
+the *shape* of its result (who wins, direction of effects, crossovers),
+so a silent pass already certifies the reproduction.
+"""
+
+import sys
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a regenerated table so it survives pytest capture."""
+    sys.stdout.write("\n" + text + "\n")
+
+
+@pytest.fixture
+def report():
+    """Fixture returning the table printer."""
+    return emit

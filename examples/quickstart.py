@@ -1,0 +1,87 @@
+"""Quickstart: profile a workload, price it on hardware, check the plan.
+
+Walks the framework's spine in ~60 lines:
+
+1. run a real instrumented kernel (EKF-SLAM) and get its *measured*
+   workload profile;
+2. price that profile on four platform models (CPU / GPU / FPGA / ASIC);
+3. characterize a whole pipeline and read its Amdahl ceilings;
+4. audit a design plan against the paper's Seven Challenges.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    DesignReview,
+    EvaluationPlan,
+    SevenChallengesAdvisor,
+    characterize,
+    format_table,
+)
+from repro.hw import (
+    asic_gemm_engine,
+    embedded_cpu,
+    embedded_gpu,
+    midrange_fpga,
+)
+from repro.benchmarksuite import build_workload
+from repro.kernels.slam import EkfSlam, ate_rmse, make_scenario
+
+
+def main() -> None:
+    # 1. Run a real kernel; its profile is measured, not asserted.
+    scenario = make_scenario(n_steps=60, n_landmarks=12, seed=0)
+    ekf = EkfSlam(scenario.true_poses[0],
+                  motion_noise=scenario.motion_noise,
+                  measurement_noise=scenario.measurement_noise)
+    trajectory = ekf.run(scenario)
+    profile = ekf.profile()
+    print(f"EKF-SLAM: ATE {ate_rmse(trajectory, scenario.true_poses):.3f} m,"
+          f" measured {profile.flops / 1e6:.1f} MFLOP,"
+          f" intensity {profile.arithmetic_intensity:.1f} op/B")
+
+    # 2. Price it on four kinds of hardware.
+    platforms = [embedded_cpu(), embedded_gpu(), midrange_fpga(),
+                 asic_gemm_engine()]
+    rows = []
+    for platform in platforms:
+        if not platform.supports(profile):
+            rows.append([platform.name, "unsupported", "-", "-"])
+            continue
+        estimate = platform.estimate(profile)
+        rows.append([platform.name, estimate.latency_s * 1e3,
+                     estimate.energy_j * 1e3, estimate.bound])
+    print()
+    print(format_table(
+        ["platform", "latency (ms)", "energy (mJ)", "bound"],
+        rows, title="The same measured kernel on four platforms",
+    ))
+
+    # 3. Characterize a whole pipeline: where would acceleration help?
+    workload = build_workload("vio-navigation")
+    report = characterize(workload)
+    print()
+    print(format_table(
+        ["stage", "op share", "Amdahl ceiling"],
+        [[name, share, report.amdahl_ceilings[name]]
+         for name, share in report.hotspots],
+        title=f"{workload.name}: hotspots and end-to-end ceilings",
+    ))
+
+    # 4. Audit a (deliberately naive) accelerator plan.
+    advisor = SevenChallengesAdvisor()
+    review = DesignReview(
+        name="my-first-accelerator",
+        accelerated_categories=("gemm",),
+        evaluation=EvaluationPlan(metrics=("throughput",),
+                                  evaluated_workloads=("one-kernel",)),
+    )
+    print(f"\nSeven-Challenges audit of a naive plan:"
+          f" score {advisor.score(review):.0f}/100")
+    for finding in advisor.audit(review)[:3]:
+        print(f"  [{finding.severity.value}] {finding.challenge.value}:"
+              f" {finding.message}")
+
+
+if __name__ == "__main__":
+    main()

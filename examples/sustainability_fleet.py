@@ -1,0 +1,86 @@
+"""Design Global (§2.7): datacenters on wheels, and lifecycle choices.
+
+Projects autonomous-fleet compute against global datacenter power,
+compares edge-vs-cloud training carbon, and runs a lifecycle assessment
+contrasting a short-lived widget against a long-lived cross-cutting
+accelerator (including the chiplet-vs-monolith manufacturing choice).
+
+Run:  python examples/sustainability_fleet.py
+"""
+
+from repro.core import format_table
+from repro.sustainability import (
+    FleetScenario,
+    LifecycleInputs,
+    ProcessNode,
+    fleet_vs_datacenters,
+)
+from repro.sustainability.embodied import chiplet_vs_monolithic_kg
+from repro.sustainability.fleet import (
+    crossover_year,
+    datacenter_equivalents,
+    fleet_power_w,
+)
+from repro.sustainability.lca import amortized_kg_per_year, compare_designs
+from repro.sustainability.operational import edge_vs_cloud_training
+
+
+def main() -> None:
+    # Datacenters on wheels.
+    fleet = FleetScenario("early-av-fleet", n_vehicles=10e6,
+                          annual_growth=0.3)
+    rows = [[year, power / 1e9, fraction]
+            for year, power, fraction
+            in fleet_vs_datacenters(fleet, years=15)]
+    print(format_table(
+        ["year", "fleet compute (GW)", "x global datacenters"],
+        rows,
+        title="10M AVs at 840 W, growing 30%/yr",
+    ))
+    mature = FleetScenario("mature", n_vehicles=1e8)
+    print(f"A mature 100M-vehicle fleet ="
+          f" {fleet_power_w(mature) / 1e9:.1f} GW ="
+          f" {datacenter_equivalents(mature):.0f} hyperscale"
+          f" datacenters; projected crossover of global DC power in"
+          f" year {crossover_year(fleet)}\n")
+
+    # Edge vs cloud training carbon.
+    job = edge_vs_cloud_training(1e18)
+    print(f"Training 1e18 FLOPs: edge {job['edge_kg']:.1f} kgCO2e vs"
+          f" cloud {job['cloud_kg']:.1f} kgCO2e"
+          f" ({job['ratio']:.0f}x worse on-device)\n")
+
+    # Lifecycle: disposable widget vs durable cross-cutting design.
+    designs = compare_designs({
+        "disposable widget (2 yr)": LifecycleInputs(
+            name="widget", die_area_mm2=60.0, node=ProcessNode.N5,
+            average_power_w=2.0, duty_cycle=0.1,
+            lifetime_years=2.0, units=1_000_000,
+        ),
+        "durable cross-cutting (8 yr)": LifecycleInputs(
+            name="crosscut", die_area_mm2=90.0, node=ProcessNode.N5,
+            average_power_w=4.0, duty_cycle=0.4,
+            lifetime_years=8.0, units=1_000_000,
+        ),
+    })
+    table = []
+    for name, assessment in designs.items():
+        table.append([name, assessment.embodied_kg,
+                      assessment.operational_kg, assessment.total_kg,
+                      assessment.fleet_total_kg / 1e6])
+    print(format_table(
+        ["design", "embodied kg", "operational kg", "net kg/unit",
+         "fleet ktCO2e"],
+        table, title="Lifecycle assessment at 1M units",
+    ))
+
+    # Chiplets help the embodied side at advanced nodes.
+    split = chiplet_vs_monolithic_kg(800.0, ProcessNode.N5,
+                                     n_chiplets=4)
+    print(f"\n800 mm^2 of 5nm logic: monolithic"
+          f" {split['monolithic_kg']:.1f} kg vs 4-chiplet"
+          f" {split['chiplet_kg']:.1f} kg embodied CO2e per package")
+
+
+if __name__ == "__main__":
+    main()

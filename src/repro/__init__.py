@@ -1,0 +1,47 @@
+"""repro: an end-to-end co-design framework for autonomous-system accelerators.
+
+This package is a runnable realization of the methodology called for in the
+DAC 2024 invited paper *"The Magnificent Seven Challenges and Opportunities in
+Domain-Specific Accelerator Design for Autonomous Systems"* (Neuman, Plancher,
+Janapa Reddi).  The paper is a position paper: it ships no system of its own,
+but it prescribes one — end-to-end modeling and simulation, ML-driven design
+space exploration, holistic metrics, standardized benchmarks, and lifecycle
+analysis.  Those prescriptions are implemented here as importable subpackages:
+
+- :mod:`repro.core`            -- workload IR, characterization, the Seven
+                                  Challenges design advisor
+- :mod:`repro.kernels`         -- autonomy workloads implemented from scratch
+                                  (SLAM, planning, dynamics, vision/VIO,
+                                  control, ML) with operation-level
+                                  instrumentation
+- :mod:`repro.hw`              -- analytical platform models (CPU, GPU, FPGA,
+                                  ASIC, roofline, systolic arrays, memory)
+- :mod:`repro.system`          -- discrete-event full-system simulation
+                                  (sensors, pipelines, schedulers, vehicles,
+                                  closed-loop missions)
+- :mod:`repro.dse`             -- design-space exploration, including
+                                  ML-surrogate-guided search
+- :mod:`repro.metrics`         -- holistic metrics (time-to-accuracy,
+                                  mission-level, composite)
+- :mod:`repro.sustainability`  -- embodied/operational carbon and LCA
+- :mod:`repro.benchmarksuite`  -- MLPerf-style benchmark registry and runner
+- :mod:`repro.biblio`          -- publication-trend analysis (paper Fig. 1)
+
+Quickstart::
+
+    from repro.core import WorkloadProfile
+    from repro.hw import CpuModel, CpuConfig
+
+    profile = WorkloadProfile(name="gemm", flops=2e9, bytes_read=12e6,
+                              bytes_written=4e6, parallel_fraction=0.99)
+    cpu = CpuModel(CpuConfig(name="embedded-cpu"))
+    estimate = cpu.estimate(profile)
+    print(estimate.latency_s, estimate.energy_j)
+"""
+
+from repro.core.profile import CostEstimate, WorkloadProfile
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["CostEstimate", "ReproError", "WorkloadProfile", "__version__"]

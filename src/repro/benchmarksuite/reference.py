@@ -1,0 +1,124 @@
+"""Reference results and regression tracking for the suite (§3.2).
+
+"Standardized benchmarks and metrics can ... track progress over time."
+This module pins the suite's reference numbers to a named baseline
+platform and checks later runs against them — both directions matter: a
+*slowdown* is a regression in the design, and an unexplained *speedup*
+is a regression in the benchmark (the workload silently got easier,
+§2.3's evaluation-drift failure mode).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.benchmarksuite.runner import SuiteRunner
+from repro.errors import BenchmarkError
+from repro.hw import embedded_cpu
+from repro.hw.platform import Platform
+
+#: The canonical reference device for suite normalization.
+REFERENCE_PLATFORM_NAME = "embedded-cpu"
+
+
+def compute_reference(platform: Optional[Platform] = None
+                      ) -> Dict[str, float]:
+    """Suite latencies on the reference platform (seconds by workload).
+
+    Deterministic: analytical models, fixed workloads.
+    """
+    target = platform if platform is not None else embedded_cpu()
+    runner = SuiteRunner()
+    rows = runner.run([target])
+    return {row.workload: row.latency_s for row in rows}
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One workload whose result moved beyond tolerance.
+
+    Attributes:
+        workload: Workload name.
+        reference_s: Pinned latency.
+        measured_s: Observed latency.
+        ratio: measured / reference.
+        kind: ``"regression"`` (slower) or ``"suspicious-speedup"``.
+    """
+
+    workload: str
+    reference_s: float
+    measured_s: float
+    ratio: float
+    kind: str
+
+
+def check_against_reference(
+    measured: Mapping[str, float],
+    reference: Mapping[str, float],
+    tolerance: float = 0.05,
+) -> List[Drift]:
+    """Compare measured suite latencies to pinned reference values.
+
+    Args:
+        measured: workload -> latency (s).
+        reference: workload -> pinned latency (s).
+        tolerance: Allowed relative deviation in either direction.
+
+    Returns:
+        Drift records, worst ratio first (empty = all within
+        tolerance).
+
+    Raises:
+        BenchmarkError: If the workload sets disagree (a renamed or
+            dropped workload is itself a benchmark-governance event,
+            not a tolerable drift).
+    """
+    if set(measured) != set(reference):
+        raise BenchmarkError(
+            f"workload sets differ: measured {sorted(measured)} vs"
+            f" reference {sorted(reference)}"
+        )
+    if tolerance <= 0:
+        raise BenchmarkError("tolerance must be > 0")
+    drifts: List[Drift] = []
+    for workload, pinned in reference.items():
+        observed = measured[workload]
+        if pinned <= 0:
+            raise BenchmarkError(
+                f"reference for {workload!r} must be > 0"
+            )
+        ratio = observed / pinned
+        if ratio > 1.0 + tolerance:
+            drifts.append(Drift(workload, pinned, observed, ratio,
+                                "regression"))
+        elif ratio < 1.0 - tolerance:
+            drifts.append(Drift(workload, pinned, observed, ratio,
+                                "suspicious-speedup"))
+    drifts.sort(key=lambda d: abs(d.ratio - 1.0), reverse=True)
+    return drifts
+
+
+def save_reference(reference: Mapping[str, float], path: str) -> None:
+    """Persist pinned reference latencies as JSON."""
+    with open(path, "w") as handle:
+        json.dump({"platform": REFERENCE_PLATFORM_NAME,
+                   "latencies_s": dict(reference)}, handle, indent=2,
+                  sort_keys=True)
+
+
+def load_reference(path: str) -> Dict[str, float]:
+    """Load pinned reference latencies saved by :func:`save_reference`.
+
+    Raises:
+        BenchmarkError: On a malformed file.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "latencies_s" not in payload:
+        raise BenchmarkError(f"malformed reference file {path!r}")
+    latencies = payload["latencies_s"]
+    if not isinstance(latencies, dict) or not latencies:
+        raise BenchmarkError(f"empty reference in {path!r}")
+    return {str(k): float(v) for k, v in latencies.items()}

@@ -1,0 +1,166 @@
+"""The suite runner: evaluate platforms and SoCs against all workloads.
+
+For a bare :class:`~repro.hw.platform.Platform`, each stage is priced
+directly (kernels the platform cannot run make the workload infeasible —
+latency ``inf`` — rather than silently skipped).  For a
+:class:`~repro.hw.mapping.HeterogeneousSoC`, stages are mapped per the
+SoC's policy with offload charged.  Deadlines come from each workload's
+target rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.benchmarksuite.scoring import score_report
+from repro.benchmarksuite.workloads import standard_suite
+from repro.core.report import format_table
+from repro.core.workload import Workload
+from repro.errors import BenchmarkError, MappingError
+from repro.hw.mapping import HeterogeneousSoC, MappingPolicy
+from repro.hw.platform import Platform
+
+Target = Union[Platform, HeterogeneousSoC]
+
+
+@dataclass(frozen=True)
+class BenchmarkRow:
+    """One (workload, target) measurement.
+
+    Attributes:
+        workload: Workload name.
+        target: Platform/SoC name.
+        latency_s: Critical-path latency of one activation (``inf`` when
+            any stage is unrunnable).
+        energy_j: Energy per activation (``inf`` when unrunnable).
+        deadline_s: The workload's per-activation deadline.
+        meets_deadline: Whether latency fits the deadline.
+    """
+
+    workload: str
+    target: str
+    latency_s: float
+    energy_j: float
+    deadline_s: float
+
+    @property
+    def meets_deadline(self) -> bool:
+        return self.latency_s <= self.deadline_s
+
+
+def _target_name(target: Target) -> str:
+    return target.name
+
+
+def _evaluate(workload: Workload, target: Target) -> BenchmarkRow:
+    deadline = workload.deadline_s()
+    try:
+        if isinstance(target, HeterogeneousSoC):
+            latency = target.graph_latency_s(
+                workload.graph, policy=MappingPolicy.FASTEST
+            )
+            energy = target.graph_energy_j(
+                workload.graph, policy=MappingPolicy.FASTEST
+            )
+        else:
+            latencies: Dict[str, float] = {}
+            energy = 0.0
+            for stage in workload.graph.stages:
+                if not target.supports(stage.profile):
+                    raise MappingError(
+                        f"{target.name} cannot run {stage.name}"
+                    )
+                estimate = target.estimate(stage.profile)
+                latencies[stage.name] = estimate.latency_s
+                energy += estimate.energy_j
+            latency, _ = workload.graph.critical_path(latencies)
+    except MappingError:
+        latency, energy = float("inf"), float("inf")
+    return BenchmarkRow(
+        workload=workload.name,
+        target=_target_name(target),
+        latency_s=latency,
+        energy_j=energy,
+        deadline_s=deadline,
+    )
+
+
+class SuiteRunner:
+    """Run a workload suite across a set of targets.
+
+    Args:
+        workloads: Suite to run (defaults to the standard suite).
+    """
+
+    def __init__(self, workloads: Optional[Sequence[Workload]] = None):
+        self.workloads = list(workloads) if workloads is not None \
+            else standard_suite()
+        if not self.workloads:
+            raise BenchmarkError("suite must contain >= 1 workload")
+
+    def run(self, targets: Sequence[Target]) -> List[BenchmarkRow]:
+        """All (workload x target) rows in deterministic order."""
+        if not targets:
+            raise BenchmarkError("need >= 1 target")
+        names = [_target_name(t) for t in targets]
+        if len(set(names)) != len(names):
+            raise BenchmarkError(f"duplicate target names: {names}")
+        return [
+            _evaluate(workload, target)
+            for workload in self.workloads
+            for target in targets
+        ]
+
+    def latency_map(self, rows: Sequence[BenchmarkRow]
+                    ) -> Dict[str, Dict[str, float]]:
+        """``target -> workload -> latency`` from a result list."""
+        table: Dict[str, Dict[str, float]] = {}
+        for row in rows:
+            table.setdefault(row.target, {})[row.workload] = \
+                row.latency_s
+        return table
+
+    def ranked_scores(self, rows: Sequence[BenchmarkRow],
+                      reference: str) -> List:
+        """Geomean-speedup ranking vs. a reference target.
+
+        Workloads any target cannot run are excluded suite-wide (their
+        speedups are undefined); the honest companion number is
+        :func:`repro.benchmarksuite.scoring.coverage_score`.
+        """
+        table = self.latency_map(rows)
+        runnable = {
+            w.name for w in self.workloads
+            if all(math.isfinite(table[t].get(w.name, float("inf")))
+                   for t in table)
+        }
+        if not runnable:
+            raise BenchmarkError(
+                "no workload is runnable on every target"
+            )
+        filtered = {
+            target: {w: lat for w, lat in rows_.items()
+                     if w in runnable}
+            for target, rows_ in table.items()
+        }
+        return score_report(filtered, reference)
+
+    def report(self, rows: Sequence[BenchmarkRow]) -> str:
+        """Human-readable results table."""
+        return format_table(
+            ["workload", "target", "latency_ms", "energy_mJ",
+             "deadline_ms", "ok"],
+            [
+                [r.workload, r.target,
+                 r.latency_s * 1e3 if math.isfinite(r.latency_s)
+                 else float("inf"),
+                 r.energy_j * 1e3 if math.isfinite(r.energy_j)
+                 else float("inf"),
+                 r.deadline_s * 1e3,
+                 "yes" if r.meets_deadline else "NO"]
+                for r in rows
+            ],
+            title="Benchmark suite results",
+        )

@@ -1,0 +1,81 @@
+"""Suite scoring: geometric means and normalized speedups.
+
+Arithmetic means over speedups reward blowouts on one benchmark (the
+widget trap); geometric means are the suite-fair default, as in SPEC and
+MLPerf.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import BenchmarkError
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (``inf`` values poison to inf)."""
+    if not values:
+        raise BenchmarkError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise BenchmarkError(
+            f"geometric_mean needs positive values, got {list(values)}"
+        )
+    if any(math.isinf(v) for v in values):
+        return float("inf")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalized_scores(latencies: Mapping[str, Mapping[str, float]],
+                      reference: str) -> Dict[str, float]:
+    """Geometric-mean speedup of each platform over a reference platform.
+
+    Args:
+        latencies: ``platform -> workload -> latency_s``.
+        reference: Platform whose latencies normalize the others.
+
+    Returns:
+        ``platform -> geomean speedup`` (reference scores 1.0).
+    """
+    if reference not in latencies:
+        raise BenchmarkError(
+            f"reference platform {reference!r} not in results"
+        )
+    ref = latencies[reference]
+    scores: Dict[str, float] = {}
+    for platform, rows in latencies.items():
+        if set(rows) != set(ref):
+            raise BenchmarkError(
+                f"platform {platform!r} ran a different workload set"
+                f" than {reference!r}"
+            )
+        speedups = [ref[w] / rows[w] for w in rows]
+        scores[platform] = geometric_mean(speedups)
+    return scores
+
+
+def score_report(latencies: Mapping[str, Mapping[str, float]],
+                 reference: str) -> List[Tuple[str, float]]:
+    """Ranked ``(platform, score)`` pairs, best first."""
+    scores = normalized_scores(latencies, reference)
+    return sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def coverage_score(latencies: Mapping[str, float],
+                   deadlines: Mapping[str, float]) -> float:
+    """Fraction of suite workloads meeting their deadline on a platform.
+
+    The §2.3 counterweight to peak speedups: a widget that aces one
+    workload and cannot run the rest scores 1/n here.
+    """
+    if not latencies:
+        raise BenchmarkError("empty latency map")
+    met = 0
+    for workload, latency in latencies.items():
+        if workload not in deadlines:
+            raise BenchmarkError(
+                f"no deadline declared for workload {workload!r}"
+            )
+        if latency <= deadlines[workload]:
+            met += 1
+    return met / len(latencies)

@@ -1,0 +1,34 @@
+"""Publication-trend analysis (paper Fig. 1).
+
+The paper's only figure counts mentions of accelerators for autonomous
+systems in top computing/robotics venues (from Google Scholar).  Offline,
+we cannot scrape Scholar, so :mod:`~repro.biblio.corpus` generates a
+synthetic venue corpus whose autonomy-accelerator share follows a
+logistic adoption curve, and :mod:`~repro.biblio.trends` implements the
+real analysis (keyword query, venue filter, per-year aggregation, growth
+statistics) that would run unchanged on scraped data.
+"""
+
+from repro.biblio.corpus import (
+    Publication,
+    TOP_VENUES,
+    generate_corpus,
+)
+from repro.biblio.trends import (
+    TrendReport,
+    cagr,
+    counts_per_year,
+    fig1_series,
+    query,
+)
+
+__all__ = [
+    "Publication",
+    "TOP_VENUES",
+    "TrendReport",
+    "cagr",
+    "counts_per_year",
+    "fig1_series",
+    "generate_corpus",
+    "query",
+]

@@ -1,0 +1,126 @@
+"""Synthetic publication corpus with a logistic adoption model.
+
+Each venue publishes a roughly constant volume per year; the *fraction*
+of papers mentioning autonomy-accelerator topics follows a logistic curve
+centered in the late 2010s — the standard shape of research-topic
+adoption, and the one visible in the paper's Fig. 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: The venue set Fig. 1 draws from (top architecture/robotics venues).
+TOP_VENUES: Tuple[str, ...] = (
+    "ISCA", "MICRO", "HPCA", "ASPLOS", "DAC",
+    "ICRA", "IROS", "RSS", "CoRL",
+)
+
+#: Keyword pool for autonomy-accelerator papers.
+ACCEL_KEYWORDS: Tuple[str, ...] = (
+    "accelerator", "domain-specific architecture", "robotics",
+    "autonomous systems", "motion planning hardware", "SLAM accelerator",
+    "FPGA robotics", "real-time perception",
+)
+
+#: Keyword pool for unrelated papers.
+OTHER_KEYWORDS: Tuple[str, ...] = (
+    "branch prediction", "cache coherence", "grasping", "locomotion",
+    "quantum compilation", "reinforcement learning", "NoC routing",
+    "semantic segmentation", "program synthesis", "memory consistency",
+)
+
+
+@dataclass(frozen=True)
+class Publication:
+    """One bibliographic record.
+
+    Attributes:
+        title: Paper title (synthetic).
+        venue: Venue name.
+        year: Publication year.
+        keywords: Indexed keywords.
+    """
+
+    title: str
+    venue: str
+    year: int
+    keywords: Tuple[str, ...]
+
+    def mentions(self, terms: Sequence[str]) -> bool:
+        """Whether any search term appears in keywords or title
+        (case-insensitive substring match, Scholar-style)."""
+        haystacks = [k.lower() for k in self.keywords]
+        haystacks.append(self.title.lower())
+        return any(
+            term.lower() in haystack
+            for term in terms for haystack in haystacks
+        )
+
+
+def logistic_fraction(year: int, midpoint: float = 2020.0,
+                      steepness: float = 0.55,
+                      ceiling: float = 0.18) -> float:
+    """Fraction of a venue's papers on autonomy acceleration in ``year``.
+
+    A logistic adoption curve: near zero in the early 2010s, inflecting
+    around ``midpoint``, saturating at ``ceiling`` (no field becomes
+    100% one topic).
+    """
+    if not 0.0 < ceiling <= 1.0:
+        raise ConfigurationError("ceiling must be in (0, 1]")
+    return ceiling / (1.0 + math.exp(-steepness * (year - midpoint)))
+
+
+def generate_corpus(start_year: int = 2010, end_year: int = 2024,
+                    papers_per_venue_per_year: int = 80,
+                    venues: Sequence[str] = TOP_VENUES,
+                    seed: int = 0) -> List[Publication]:
+    """Generate the synthetic corpus.
+
+    Args:
+        start_year, end_year: Inclusive year range.
+        papers_per_venue_per_year: Mean venue volume (Poisson).
+        venues: Venue names.
+        seed: RNG seed.
+    """
+    if end_year < start_year:
+        raise ConfigurationError("end_year must be >= start_year")
+    if papers_per_venue_per_year < 1:
+        raise ConfigurationError(
+            "papers_per_venue_per_year must be >= 1"
+        )
+    rng = np.random.default_rng(seed)
+    corpus: List[Publication] = []
+    serial = 0
+    for year in range(start_year, end_year + 1):
+        fraction = logistic_fraction(year)
+        for venue in venues:
+            volume = max(1, int(rng.poisson(papers_per_venue_per_year)))
+            n_accel = int(rng.binomial(volume, fraction))
+            for i in range(volume):
+                serial += 1
+                if i < n_accel:
+                    picks = rng.choice(len(ACCEL_KEYWORDS), size=3,
+                                       replace=False)
+                    keywords = tuple(ACCEL_KEYWORDS[int(p)]
+                                     for p in picks)
+                    title = (f"Towards {keywords[0]} for"
+                             f" {keywords[1]} ({serial})")
+                else:
+                    picks = rng.choice(len(OTHER_KEYWORDS), size=3,
+                                       replace=False)
+                    keywords = tuple(OTHER_KEYWORDS[int(p)]
+                                     for p in picks)
+                    title = f"A study of {keywords[0]} ({serial})"
+                corpus.append(Publication(
+                    title=title, venue=venue, year=year,
+                    keywords=keywords,
+                ))
+    return corpus

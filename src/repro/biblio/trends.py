@@ -1,0 +1,158 @@
+"""Trend analysis over a publication corpus (the Fig. 1 pipeline).
+
+The queries and aggregations here are corpus-agnostic: point them at a
+scraped Scholar export and they produce the real figure; pointed at the
+synthetic corpus they reproduce its *shape* (rapid growth through the
+late 2010s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.biblio.corpus import Publication
+from repro.errors import ConfigurationError
+
+#: The Fig. 1 query: accelerators for autonomous systems.
+FIG1_TERMS: Tuple[str, ...] = (
+    "accelerator", "domain-specific architecture",
+    "motion planning hardware", "SLAM accelerator", "FPGA robotics",
+)
+FIG1_DOMAIN_TERMS: Tuple[str, ...] = (
+    "robotics", "autonomous systems", "motion planning hardware",
+    "SLAM accelerator", "FPGA robotics", "real-time perception",
+)
+
+
+def query(corpus: Sequence[Publication], terms: Sequence[str],
+          venues: Sequence[str] = (),
+          require_all_groups: Sequence[Sequence[str]] = ()
+          ) -> List[Publication]:
+    """Select publications mentioning any of ``terms``.
+
+    Args:
+        corpus: The corpus.
+        terms: OR-matched terms.
+        venues: Optional venue whitelist.
+        require_all_groups: Additional term groups that must *each*
+            match (AND across groups, OR within) — Scholar's quoted
+            multi-term queries.
+    """
+    if not terms:
+        raise ConfigurationError("query needs >= 1 term")
+    venue_set = set(venues)
+    result = []
+    for pub in corpus:
+        if venue_set and pub.venue not in venue_set:
+            continue
+        if not pub.mentions(terms):
+            continue
+        if any(not pub.mentions(group) for group in require_all_groups):
+            continue
+        result.append(pub)
+    return result
+
+
+def counts_per_year(publications: Sequence[Publication]
+                    ) -> Dict[int, int]:
+    """Publication counts keyed by year (all years in range included)."""
+    if not publications:
+        return {}
+    years = [p.year for p in publications]
+    counts = {year: 0 for year in range(min(years), max(years) + 1)}
+    for pub in publications:
+        counts[pub.year] += 1
+    return counts
+
+
+def cagr(first: float, last: float, years: int) -> float:
+    """Compound annual growth rate between two counts."""
+    if years < 1:
+        raise ConfigurationError("years must be >= 1")
+    if first <= 0 or last <= 0:
+        raise ConfigurationError("counts must be > 0 for CAGR")
+    return (last / first) ** (1.0 / years) - 1.0
+
+
+@dataclass
+class TrendReport:
+    """Output of :func:`fig1_series`.
+
+    Attributes:
+        series: ``(year, count)`` points — the Fig. 1 data.
+        total: Total matched publications.
+        growth_rate: CAGR between the first and last non-zero years.
+        peak_year: Year with the highest count.
+    """
+
+    series: List[Tuple[int, int]] = field(default_factory=list)
+    total: int = 0
+    growth_rate: float = 0.0
+    peak_year: int = 0
+
+
+def venue_breakdown(corpus: Sequence[Publication],
+                    terms: Sequence[str] = FIG1_TERMS,
+                    domain_terms: Sequence[str] = FIG1_DOMAIN_TERMS,
+                    ) -> Dict[str, Dict[int, int]]:
+    """Per-venue yearly counts for the Fig. 1 query.
+
+    Returns:
+        venue -> {year: count}.  Lets the analysis split architecture
+        venues from robotics venues — the interdisciplinarity §3.2
+        wants benchmarks to capture.
+    """
+    matched = query(corpus, terms,
+                    require_all_groups=[list(domain_terms)])
+    by_venue: Dict[str, List[Publication]] = {}
+    for pub in matched:
+        by_venue.setdefault(pub.venue, []).append(pub)
+    return {venue: counts_per_year(pubs)
+            for venue, pubs in sorted(by_venue.items())}
+
+
+def community_split(corpus: Sequence[Publication],
+                    architecture_venues: Sequence[str],
+                    robotics_venues: Sequence[str]
+                    ) -> Dict[str, int]:
+    """Total autonomy-accelerator mentions per community.
+
+    Both communities publishing on the topic is the cross-domain-
+    collaboration signal of §3.2.
+    """
+    breakdown = venue_breakdown(corpus)
+    totals = {"architecture": 0, "robotics": 0}
+    for venue, counts in breakdown.items():
+        total = sum(counts.values())
+        if venue in architecture_venues:
+            totals["architecture"] += total
+        elif venue in robotics_venues:
+            totals["robotics"] += total
+    return totals
+
+
+def fig1_series(corpus: Sequence[Publication],
+                venues: Sequence[str] = ()) -> TrendReport:
+    """Reproduce Fig. 1: autonomy-accelerator mentions per year.
+
+    Matches papers mentioning acceleration terms AND autonomy-domain
+    terms, restricted to the given venues (all venues when empty).
+    """
+    matched = query(corpus, FIG1_TERMS, venues=venues,
+                    require_all_groups=[FIG1_DOMAIN_TERMS])
+    counts = counts_per_year(matched)
+    series = sorted(counts.items())
+    nonzero = [(year, count) for year, count in series if count > 0]
+    growth = 0.0
+    if len(nonzero) >= 2:
+        (y0, c0), (y1, c1) = nonzero[0], nonzero[-1]
+        if y1 > y0:
+            growth = cagr(c0, c1, y1 - y0)
+    peak_year = max(series, key=lambda pair: pair[1])[0] if series else 0
+    return TrendReport(
+        series=series,
+        total=len(matched),
+        growth_rate=growth,
+        peak_year=peak_year,
+    )

@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands give downstream users the paper's workflow without writing
+code:
+
+- ``suite``    — run the standard benchmark suite across the platform
+  catalog and print ranked scores;
+- ``audit``    — audit a design plan (JSON file) against the Seven
+  Challenges;
+- ``mission``  — sweep the UAV compute ladder through the closed-loop
+  patrol mission (§2.4);
+- ``fig1``     — regenerate the publication-trend figure;
+- ``verify``   — parse a pipeline DSL file and statically verify it
+  against a catalog platform.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.report import ascii_bar_chart, format_table
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.benchmarksuite import SuiteRunner
+    from repro.hw import (
+        HeterogeneousSoC,
+        asic_gemm_engine,
+        desktop_cpu,
+        embedded_cpu,
+        embedded_gpu,
+        midrange_fpga,
+    )
+
+    runner = SuiteRunner()
+    targets = [embedded_cpu(), desktop_cpu(), embedded_gpu(),
+               midrange_fpga(),
+               HeterogeneousSoC("gemm-soc", embedded_cpu("soc-host"),
+                                [asic_gemm_engine()])]
+    rows = runner.run(targets)
+    print(runner.report(rows))
+    print()
+    scores = runner.ranked_scores(rows, "embedded-cpu")
+    print(format_table(["target", "geomean speedup vs embedded-cpu"],
+                       scores, title="Suite scores"))
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.core.advisor import (
+        DesignReview,
+        EvaluationPlan,
+        SevenChallengesAdvisor,
+    )
+
+    with open(args.plan) as handle:
+        plan = json.load(handle)
+    evaluation = EvaluationPlan(
+        metrics=tuple(plan.get("metrics", ())),
+        evaluated_workloads=tuple(plan.get("evaluated_workloads", ())),
+        baseline_platforms=tuple(plan.get("baseline_platforms", ())),
+        end_to_end=bool(plan.get("end_to_end", False)),
+        closed_loop=bool(plan.get("closed_loop", False)),
+    )
+    review = DesignReview(
+        name=plan.get("name", "unnamed"),
+        accelerated_categories=tuple(
+            plan.get("accelerated_categories", ())
+        ),
+        target_platform=plan.get("target_platform", "asic"),
+        evaluation=evaluation,
+        expert_consultations=int(plan.get("expert_consultations", 0)),
+        algorithm_vintage_years=tuple(
+            plan.get("algorithm_vintage_years", ())
+        ),
+        integrates_with_middleware=bool(
+            plan.get("integrates_with_middleware", False)
+        ),
+        system_budget_accounted=bool(
+            plan.get("system_budget_accounted", False)
+        ),
+        shared_resource_analysis=bool(
+            plan.get("shared_resource_analysis", False)
+        ),
+        lifecycle_analysis=bool(plan.get("lifecycle_analysis", False)),
+        deployment_scale_units=int(
+            plan.get("deployment_scale_units", 1)
+        ),
+    )
+    advisor = SevenChallengesAdvisor()
+    findings = advisor.audit(review)
+    print(f"{review.name}: score {advisor.score(review):.0f}/100,"
+          f" {len(findings)} finding(s)")
+    for finding in findings:
+        print(f"  [{finding.severity.value}]"
+              f" {finding.challenge.value}: {finding.message}")
+        print(f"      remedy: {finding.recommendation}")
+    return 0 if not findings else 1
+
+
+def _cmd_mission(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.hw import uav_compute_tiers
+    from repro.kernels.planning import CircleWorld
+    from repro.system import MissionConfig, sweep_compute_tiers
+
+    world = CircleWorld.random(dim=2, n_obstacles=40, extent=120.0,
+                               radius_range=(1.0, 3.0),
+                               seed=args.seed, keep_corners_free=3.0)
+    config = MissionConfig(world=world, start=np.array([1.0, 1.0]),
+                           goal=np.array([118.0, 118.0]),
+                           laps=args.laps)
+    rows = sweep_compute_tiers(config, uav_compute_tiers())
+    print(format_table(
+        ["tier", "outcome", "safe speed (m/s)", "endurance (s)",
+         "energy (kJ)"],
+        [[name,
+          "success" if r.success else f"FAIL ({r.failure_reason})",
+          r.safe_speed_m_s, r.endurance_s, r.energy_j / 1e3]
+         for name, r in rows],
+        title=f"Closed-loop patrol mission, {args.laps} laps",
+    ))
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.biblio import TOP_VENUES, fig1_series, generate_corpus
+
+    corpus = generate_corpus(seed=args.seed)
+    trend = fig1_series(corpus, venues=TOP_VENUES)
+    print(ascii_bar_chart(
+        [str(year) for year, _ in trend.series],
+        [float(count) for _, count in trend.series],
+        title="Fig. 1: autonomy-accelerator mentions per year"
+              " (synthetic corpus)",
+    ))
+    print(f"total={trend.total}  CAGR={trend.growth_rate:.1%}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.dsl import parse_pipeline, verify_pipeline
+    from repro.hw import catalog
+
+    builders = {
+        "embedded-cpu": catalog.embedded_cpu,
+        "desktop-cpu": catalog.desktop_cpu,
+        "embedded-gpu": catalog.embedded_gpu,
+        "datacenter-gpu": catalog.datacenter_gpu,
+        "midrange-fpga": catalog.midrange_fpga,
+    }
+    if args.platform not in builders:
+        print(f"unknown platform {args.platform!r}; choose from"
+              f" {sorted(builders)}", file=sys.stderr)
+        return 2
+    with open(args.pipeline) as handle:
+        workload = parse_pipeline(handle.read())
+    report = verify_pipeline(workload, builders[args.platform]())
+    status = "VERIFIED" if report.verified else "REJECTED"
+    print(f"[{status}] {report.workload} on {report.platform}")
+    for name, utilization in report.stage_utilization.items():
+        print(f"  {name}: utilization {utilization:.3f}")
+    for violation in report.violations:
+        print(f"  VIOLATION {violation.check}"
+              f"{' @ ' + violation.stage if violation.stage else ''}:"
+              f" {violation.detail}")
+    return 0 if report.verified else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="End-to-end co-design framework for"
+                    " autonomous-system accelerators.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("suite", help="run the benchmark suite across the"
+                                 " platform catalog")
+
+    audit = sub.add_parser("audit", help="Seven Challenges audit of a"
+                                         " JSON design plan")
+    audit.add_argument("plan", help="path to the design-plan JSON")
+
+    mission = sub.add_parser("mission", help="UAV compute-ladder"
+                                             " mission sweep")
+    mission.add_argument("--laps", type=int, default=20)
+    mission.add_argument("--seed", type=int, default=11)
+
+    fig1 = sub.add_parser("fig1", help="regenerate the Fig. 1 trend")
+    fig1.add_argument("--seed", type=int, default=0)
+
+    verify = sub.add_parser("verify", help="statically verify a"
+                                           " pipeline DSL file")
+    verify.add_argument("pipeline", help="path to the DSL file")
+    verify.add_argument("--platform", default="embedded-cpu")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "suite": _cmd_suite,
+        "audit": _cmd_audit,
+        "mission": _cmd_mission,
+        "fig1": _cmd_fig1,
+        "verify": _cmd_verify,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

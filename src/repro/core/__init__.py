@@ -1,0 +1,78 @@
+"""Core workload representation, characterization, and design advisory.
+
+This subpackage holds the framework's spine:
+
+- :class:`~repro.core.profile.WorkloadProfile` — what a computation *is*
+  (operation and byte counts, parallelism, divergence);
+- :class:`~repro.core.profile.CostEstimate` — what a computation *costs* on
+  a concrete platform (latency, energy, area);
+- :mod:`~repro.core.workload` — kernels, task graphs, and workloads;
+- :mod:`~repro.core.characterize` — workload characterization and Amdahl
+  analysis;
+- :mod:`~repro.core.crosscut` — cross-cutting kernel identification
+  (paper §2.3, "Widgetism");
+- :mod:`~repro.core.advisor` — the Seven Challenges design audit
+  (the paper's primary contribution, made machine-checkable);
+- :mod:`~repro.core.report` — plain-text table/report rendering.
+"""
+
+from repro.core.advisor import (
+    Challenge,
+    DesignReview,
+    EvaluationPlan,
+    Finding,
+    Severity,
+    SevenChallengesAdvisor,
+)
+from repro.core.characterize import (
+    CharacterizationReport,
+    amdahl_speedup,
+    characterize,
+    max_amdahl_speedup,
+)
+from repro.core.crosscut import CrosscutReport, coverage, find_crosscutting_kernels
+from repro.core.moving_target import (
+    AcceleratorValueTrend,
+    WorkloadSnapshot,
+    WorkloadTimeline,
+    accelerator_value_over_time,
+    redesign_recommendation,
+)
+from repro.core.profile import (
+    CostEstimate,
+    DivergenceClass,
+    OpCounter,
+    WorkloadProfile,
+)
+from repro.core.report import format_table
+from repro.core.workload import Kernel, Stage, TaskGraph, Workload
+
+__all__ = [
+    "AcceleratorValueTrend",
+    "Challenge",
+    "CharacterizationReport",
+    "WorkloadSnapshot",
+    "WorkloadTimeline",
+    "accelerator_value_over_time",
+    "redesign_recommendation",
+    "CostEstimate",
+    "CrosscutReport",
+    "DesignReview",
+    "DivergenceClass",
+    "EvaluationPlan",
+    "Finding",
+    "Kernel",
+    "OpCounter",
+    "Severity",
+    "SevenChallengesAdvisor",
+    "Stage",
+    "TaskGraph",
+    "Workload",
+    "WorkloadProfile",
+    "amdahl_speedup",
+    "characterize",
+    "coverage",
+    "find_crosscutting_kernels",
+    "format_table",
+    "max_amdahl_speedup",
+]

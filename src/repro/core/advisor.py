@@ -1,0 +1,404 @@
+"""The Seven Challenges design advisor: the paper's thesis, operationalized.
+
+The paper's contribution is a checklist of seven pitfalls in domain-specific
+accelerator design.  This module turns each pitfall into a machine-checkable
+audit over a structured description of a proposed design and its evaluation
+plan.  The audit is deliberately conservative: it flags *evidence of the
+pitfall in the plan*, not the quality of the results.
+
+The seven checks, with their paper sections:
+
+1.  ``BUILD_BRIDGES``   (§2.1) — no domain-expert engagement; no integration
+    into domain workflows (e.g. ROS); accelerating stale algorithms.
+2.  ``METRICS_MATTER``  (§2.2) — evaluation uses only raw-throughput /
+    energy metrics with no task-quality or system-level metric.
+3.  ``WIDGETISM``       (§2.3) — the accelerated kernel matters on too few
+    workloads, or the evaluation covers too few tasks.
+4.  ``PUMP_THE_BRAKES`` (§2.4) — no whole-system cost accounting (mass,
+    power, shared-resource impact) for the added accelerator.
+5.  ``CHIPS_AND_SALSA`` (§2.5) — only ASIC considered; no software / GPU /
+    FPGA baselines.
+6.  ``FOREST_VS_TREES`` (§2.6) — evaluation stops at the kernel; no
+    end-to-end pipeline or closed-loop measurement.
+7.  ``DESIGN_GLOBAL``   (§2.7) — no lifecycle / deployment-scale analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.crosscut import widgetism_score
+from repro.core.workload import Workload
+
+#: Metric names the audit recognizes as task-quality metrics (§2.2).
+QUALITY_METRIC_NAMES = frozenset({
+    "accuracy", "time_to_accuracy", "ate_rmse_m", "success_rate",
+    "mission_success", "solution_quality", "tracking_error",
+    "map_quality", "path_length_ratio",
+})
+
+#: Metric names recognized as system-level metrics (§2.2, §2.4).
+SYSTEM_METRIC_NAMES = frozenset({
+    "off_chip_bandwidth", "mission_time_s", "mission_energy_j",
+    "flight_time_s", "deadline_miss_rate", "end_to_end_latency_s",
+    "total_mass_kg", "total_power_w", "battery_life_s",
+})
+
+#: Metric names that are throughput/efficiency-only (fine, but not alone).
+THROUGHPUT_METRIC_NAMES = frozenset({
+    "throughput", "tops", "tops_per_watt", "gflops", "fps",
+    "energy_delay_product", "latency_s", "energy_j",
+})
+
+
+class Challenge(enum.Enum):
+    """The Magnificent Seven, in paper order."""
+
+    BUILD_BRIDGES = "build-bridges"
+    METRICS_MATTER = "metrics-matter"
+    WIDGETISM = "widgetism"
+    PUMP_THE_BRAKES = "pump-the-brakes"
+    CHIPS_AND_SALSA = "chips-and-salsa"
+    FOREST_VS_TREES = "forest-vs-trees"
+    DESIGN_GLOBAL = "design-global"
+
+
+#: One-line description per challenge, from the paper's pitfall statements.
+CHALLENGE_PITFALLS: Dict[Challenge, str] = {
+    Challenge.BUILD_BRIDGES: (
+        "Interact with domains exclusively through benchmarks published in"
+        " computer systems, without input from domain experts."
+    ),
+    Challenge.METRICS_MATTER: (
+        "Only focus on improving throughput or energy-delay product."
+    ),
+    Challenge.WIDGETISM: (
+        "A cycle of pick one slow algorithm, lower it to an ASIC, repeat."
+    ),
+    Challenge.PUMP_THE_BRAKES: (
+        "Assume accelerators always improve total system performance."
+    ),
+    Challenge.CHIPS_AND_SALSA: (
+        "Focus on ASICs, leaving software, GPUs, and FPGAs behind."
+    ),
+    Challenge.FOREST_VS_TREES: (
+        "A narrow scope: acceleration begins and ends with compute."
+    ),
+    Challenge.DESIGN_GLOBAL: (
+        "Design compute in isolation from its global and societal impact."
+    ),
+}
+
+
+class Severity(enum.Enum):
+    INFO = "info"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One audit finding.
+
+    Attributes:
+        challenge: Which of the seven checks fired.
+        severity: How strongly the plan exhibits the pitfall.
+        message: What was observed.
+        recommendation: The paper's corresponding remedy.
+    """
+
+    challenge: Challenge
+    severity: Severity
+    message: str
+    recommendation: str
+
+
+@dataclass
+class EvaluationPlan:
+    """How a design will be evaluated.
+
+    Attributes:
+        metrics: Metric names to be reported (see module-level name sets).
+        evaluated_workloads: Workloads the evaluation will run.
+        baseline_platforms: Platform kinds compared against, e.g.
+            ``("cpu", "gpu")``.
+        end_to_end: Whether any measurement covers the full pipeline
+            (sensor to actuator), not just the kernel.
+        closed_loop: Whether any measurement runs closed-loop with a plant/
+            environment model.
+    """
+
+    metrics: Tuple[str, ...] = ()
+    evaluated_workloads: Tuple[str, ...] = ()
+    baseline_platforms: Tuple[str, ...] = ()
+    end_to_end: bool = False
+    closed_loop: bool = False
+
+
+@dataclass
+class DesignReview:
+    """A structured description of a proposed accelerator project.
+
+    Attributes:
+        name: Project name.
+        accelerated_categories: Kernel op classes the design accelerates.
+        target_platform: ``"asic"``, ``"fpga"``, ``"gpu"``, or ``"cpu"``.
+        workload_suite: The suite the categories are judged against for
+            widgetism (should be the *domain's* suite, not the design's).
+        evaluation: The evaluation plan.
+        expert_consultations: Count of distinct domain-expert engagements
+            (collaborators, industry partners, user studies).
+        algorithm_vintage_years: Age in years of each accelerated
+            algorithm relative to the domain state of the art (0 = current).
+        integrates_with_middleware: Ships wrappers for the domain's
+            workflow (e.g. ROS nodes, OMPL plugins).
+        system_budget_accounted: Whether added mass/power/area of the
+            accelerator is charged to the whole-system budget.
+        shared_resource_analysis: Whether contention with co-resident
+            workloads (memory BW, scheduler) is analyzed.
+        lifecycle_analysis: Whether embodied/operational footprint at
+            deployment scale is analyzed.
+        deployment_scale_units: Expected deployed-unit count (drives how
+            critical the lifecycle finding is).
+    """
+
+    name: str
+    accelerated_categories: Tuple[str, ...]
+    target_platform: str = "asic"
+    workload_suite: Sequence[Workload] = ()
+    evaluation: EvaluationPlan = field(default_factory=EvaluationPlan)
+    expert_consultations: int = 0
+    algorithm_vintage_years: Tuple[float, ...] = ()
+    integrates_with_middleware: bool = False
+    system_budget_accounted: bool = False
+    shared_resource_analysis: bool = False
+    lifecycle_analysis: bool = False
+    deployment_scale_units: int = 1
+
+
+class SevenChallengesAdvisor:
+    """Audits a :class:`DesignReview` against the seven pitfalls.
+
+    Usage::
+
+        advisor = SevenChallengesAdvisor()
+        findings = advisor.audit(review)
+        for finding in findings:
+            print(finding.challenge.value, finding.severity.value,
+                  finding.message)
+
+    Thresholds are keyword-configurable so projects can tighten or relax
+    the audit; defaults encode the paper's narrative examples.
+    """
+
+    def __init__(self,
+                 stale_algorithm_years: float = 5.0,
+                 min_expert_consultations: int = 1,
+                 min_evaluated_workloads: int = 3,
+                 widget_threshold: float = 0.6,
+                 min_baseline_platforms: int = 2,
+                 lifecycle_scale_trigger: int = 1000):
+        self.stale_algorithm_years = stale_algorithm_years
+        self.min_expert_consultations = min_expert_consultations
+        self.min_evaluated_workloads = min_evaluated_workloads
+        self.widget_threshold = widget_threshold
+        self.min_baseline_platforms = min_baseline_platforms
+        self.lifecycle_scale_trigger = lifecycle_scale_trigger
+
+    def audit(self, review: DesignReview) -> List[Finding]:
+        """Run all seven checks; returns findings sorted worst-first."""
+        findings: List[Finding] = []
+        findings.extend(self._check_build_bridges(review))
+        findings.extend(self._check_metrics(review))
+        findings.extend(self._check_widgetism(review))
+        findings.extend(self._check_pump_the_brakes(review))
+        findings.extend(self._check_chips_and_salsa(review))
+        findings.extend(self._check_forest_vs_trees(review))
+        findings.extend(self._check_design_global(review))
+        order = {Severity.CRITICAL: 0, Severity.WARNING: 1, Severity.INFO: 2}
+        findings.sort(key=lambda f: (order[f.severity], f.challenge.value))
+        return findings
+
+    def score(self, review: DesignReview) -> float:
+        """A 0-100 design-health score (100 = no findings).
+
+        Critical findings cost 20 points, warnings 10, info 3, floored at 0.
+        Intended for dashboards and DSE constraint terms, not as a
+        replacement for reading the findings.
+        """
+        cost = {Severity.CRITICAL: 20, Severity.WARNING: 10, Severity.INFO: 3}
+        total = sum(cost[f.severity] for f in self.audit(review))
+        return max(0.0, 100.0 - total)
+
+    # -- individual checks -------------------------------------------------
+
+    def _check_build_bridges(self, review: DesignReview) -> List[Finding]:
+        findings: List[Finding] = []
+        if review.expert_consultations < self.min_expert_consultations:
+            findings.append(Finding(
+                Challenge.BUILD_BRIDGES, Severity.CRITICAL,
+                f"{review.expert_consultations} domain-expert engagements"
+                f" recorded (need >= {self.min_expert_consultations}).",
+                "Engage domain experts across all design stages; follow the"
+                " Navion / motion-planning-accelerator collaboration model"
+                " (§2.1).",
+            ))
+        stale = [y for y in review.algorithm_vintage_years
+                 if y > self.stale_algorithm_years]
+        if stale:
+            findings.append(Finding(
+                Challenge.BUILD_BRIDGES, Severity.WARNING,
+                f"{len(stale)} accelerated algorithm(s) trail the domain"
+                f" state of the art by > {self.stale_algorithm_years:g}"
+                f" years (vintages: {sorted(stale)}).",
+                "Re-validate algorithm choice with domain experts; SLAM"
+                " alone had 24 representative active approaches in 2023"
+                " (§2.1).",
+            ))
+        if not review.integrates_with_middleware:
+            findings.append(Finding(
+                Challenge.BUILD_BRIDGES, Severity.WARNING,
+                "No integration with the domain's workflow (e.g. ROS/OMPL"
+                " wrappers) is planned.",
+                "Ship interfaces optimized for existing users and"
+                " workflows (§2.1).",
+            ))
+        return findings
+
+    def _check_metrics(self, review: DesignReview) -> List[Finding]:
+        metrics = {m.lower() for m in review.evaluation.metrics}
+        has_quality = bool(metrics & QUALITY_METRIC_NAMES)
+        has_system = bool(metrics & SYSTEM_METRIC_NAMES)
+        findings: List[Finding] = []
+        if not metrics:
+            findings.append(Finding(
+                Challenge.METRICS_MATTER, Severity.CRITICAL,
+                "No evaluation metrics declared.",
+                "Declare task-quality and system-level metrics up front"
+                " (§2.2).",
+            ))
+            return findings
+        if not has_quality:
+            findings.append(Finding(
+                Challenge.METRICS_MATTER, Severity.CRITICAL,
+                f"Metrics {sorted(metrics)} contain no task-quality metric"
+                " (e.g. time-to-accuracy, success rate).",
+                "Throughput gains that degrade accuracy lengthen"
+                " time-to-accuracy and help no one (§2.2).",
+            ))
+        if not has_system:
+            findings.append(Finding(
+                Challenge.METRICS_MATTER, Severity.WARNING,
+                f"Metrics {sorted(metrics)} contain no system-level metric"
+                " (e.g. off-chip bandwidth, mission time).",
+                "TOPS/W in isolation from system-level metrics is"
+                " misleading (§2.2, Sze et al.).",
+            ))
+        return findings
+
+    def _check_widgetism(self, review: DesignReview) -> List[Finding]:
+        findings: List[Finding] = []
+        n_eval = len(review.evaluation.evaluated_workloads)
+        if n_eval < self.min_evaluated_workloads:
+            findings.append(Finding(
+                Challenge.WIDGETISM, Severity.WARNING,
+                f"Evaluation covers {n_eval} workload(s)"
+                f" (need >= {self.min_evaluated_workloads}); narrow"
+                " evaluation incentivizes overfit widgets.",
+                "Evaluate on a representative multi-task suite (§2.3).",
+            ))
+        if review.workload_suite:
+            for category in review.accelerated_categories:
+                score = widgetism_score(category, list(review.workload_suite))
+                if score >= self.widget_threshold:
+                    findings.append(Finding(
+                        Challenge.WIDGETISM, Severity.CRITICAL,
+                        f"Accelerated category {category!r} carries"
+                        " significant work on too few suite workloads"
+                        f" (widgetism score {score:.2f}"
+                        f" >= {self.widget_threshold:g}).",
+                        "Target cross-cutting kernels that serve many tasks"
+                        " (§2.3).",
+                    ))
+        return findings
+
+    def _check_pump_the_brakes(self, review: DesignReview) -> List[Finding]:
+        findings: List[Finding] = []
+        if not review.system_budget_accounted:
+            findings.append(Finding(
+                Challenge.PUMP_THE_BRAKES, Severity.CRITICAL,
+                "Accelerator mass/power/area is not charged against the"
+                " whole-system budget.",
+                "Over-provisioning compute can have disastrous effects on"
+                " weight and battery life (§2.4, Krishnan et al.);"
+                " sometimes the right answer is not to accelerate.",
+            ))
+        if not review.shared_resource_analysis:
+            findings.append(Finding(
+                Challenge.PUMP_THE_BRAKES, Severity.WARNING,
+                "No analysis of contention with co-resident workloads"
+                " (memory bandwidth, scheduler interactions).",
+                "Accelerators are not free: they consume shared resources"
+                " and complicate scheduling (§2.4).",
+            ))
+        return findings
+
+    def _check_chips_and_salsa(self, review: DesignReview) -> List[Finding]:
+        findings: List[Finding] = []
+        baselines = {p.lower() for p in review.evaluation.baseline_platforms}
+        if (review.target_platform.lower() == "asic"
+                and len(baselines) < self.min_baseline_platforms):
+            findings.append(Finding(
+                Challenge.CHIPS_AND_SALSA, Severity.WARNING,
+                f"ASIC target with only {sorted(baselines)} as baselines;"
+                " optimized software/GPU/FPGA baselines are missing.",
+                "Vectorized CPU software alone has delivered up-to-500x"
+                " planning speedups (§2.5, Thomason et al.); compare"
+                " against strong programmable baselines.",
+            ))
+        if "cpu" not in baselines and baselines:
+            findings.append(Finding(
+                Challenge.CHIPS_AND_SALSA, Severity.INFO,
+                "No optimized-CPU baseline in the comparison set.",
+                "Include tuned software baselines before taping out (§2.5).",
+            ))
+        return findings
+
+    def _check_forest_vs_trees(self, review: DesignReview) -> List[Finding]:
+        findings: List[Finding] = []
+        if not review.evaluation.end_to_end:
+            findings.append(Finding(
+                Challenge.FOREST_VS_TREES, Severity.CRITICAL,
+                "No end-to-end (sensor-to-actuator) measurement planned;"
+                " kernel-only results ignore I/O, marshalling, and"
+                " downstream stages.",
+                "Model the full system and its environment (§2.6; MAVBench,"
+                " RoSE, ILLIXR).",
+            ))
+        elif not review.evaluation.closed_loop:
+            findings.append(Finding(
+                Challenge.FOREST_VS_TREES, Severity.WARNING,
+                "End-to-end measurement is open-loop; closed-loop effects"
+                " (latency → control quality) are not captured.",
+                "Run closed-loop with a plant/environment model (§2.6).",
+            ))
+        return findings
+
+    def _check_design_global(self, review: DesignReview) -> List[Finding]:
+        findings: List[Finding] = []
+        if not review.lifecycle_analysis:
+            severity = (Severity.CRITICAL
+                        if review.deployment_scale_units
+                        >= self.lifecycle_scale_trigger
+                        else Severity.WARNING)
+            findings.append(Finding(
+                Challenge.DESIGN_GLOBAL, severity,
+                f"No lifecycle analysis, with a planned deployment of"
+                f" {review.deployment_scale_units} unit(s).",
+                "Assess embodied+operational footprint at deployment scale"
+                " (§2.7; 'datacenters on wheels', edge-vs-cloud training"
+                " carbon).",
+            ))
+        return findings

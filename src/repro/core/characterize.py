@@ -1,0 +1,194 @@
+"""Workload characterization: op mixes, hotspots, and Amdahl analysis.
+
+This module answers the first question an accelerator designer should ask
+(and the one §2.6 says they often skip): *where does the time actually go,
+and what is the end-to-end ceiling if I accelerate only one piece?*
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.profile import WorkloadProfile
+from repro.core.workload import TaskGraph, Workload
+from repro.errors import ConfigurationError
+
+
+def amdahl_speedup(accelerated_fraction: float, kernel_speedup: float) -> float:
+    """End-to-end speedup when ``accelerated_fraction`` of the time is sped
+    up by ``kernel_speedup`` (Amdahl's law).
+
+    Args:
+        accelerated_fraction: Fraction of baseline execution time covered by
+            the accelerated kernel, in [0, 1].
+        kernel_speedup: Speedup of that kernel alone, > 0.
+    """
+    if not 0.0 <= accelerated_fraction <= 1.0:
+        raise ConfigurationError(
+            f"accelerated_fraction must be in [0, 1], got {accelerated_fraction}"
+        )
+    if kernel_speedup <= 0:
+        raise ConfigurationError(
+            f"kernel_speedup must be > 0, got {kernel_speedup}"
+        )
+    return 1.0 / ((1.0 - accelerated_fraction)
+                  + accelerated_fraction / kernel_speedup)
+
+
+def max_amdahl_speedup(accelerated_fraction: float) -> float:
+    """The ceiling of :func:`amdahl_speedup` as kernel speedup → infinity."""
+    if not 0.0 <= accelerated_fraction <= 1.0:
+        raise ConfigurationError(
+            f"accelerated_fraction must be in [0, 1], got {accelerated_fraction}"
+        )
+    if accelerated_fraction == 1.0:
+        return math.inf
+    return 1.0 / (1.0 - accelerated_fraction)
+
+
+@dataclass
+class CharacterizationReport:
+    """Summary statistics for one workload.
+
+    Attributes:
+        workload: Name of the characterized workload.
+        total_flops: Total floating-point ops per activation.
+        total_int_ops: Total integer ops per activation.
+        total_bytes: Total memory traffic per activation.
+        arithmetic_intensity: Ops/byte for the merged profile.
+        op_class_shares: Share of total ops per op class, descending.
+        hotspots: ``(stage name, share of total ops)`` descending.
+        amdahl_ceilings: For each stage, the end-to-end speedup ceiling if
+            only that stage were infinitely accelerated (op-weighted).
+    """
+
+    workload: str
+    total_flops: float
+    total_int_ops: float
+    total_bytes: float
+    arithmetic_intensity: float
+    op_class_shares: Dict[str, float] = field(default_factory=dict)
+    hotspots: List[Tuple[str, float]] = field(default_factory=list)
+    amdahl_ceilings: Dict[str, float] = field(default_factory=dict)
+
+    def top_hotspot(self) -> Tuple[str, float]:
+        if not self.hotspots:
+            raise ConfigurationError(
+                f"workload {self.workload!r} has no stages with work"
+            )
+        return self.hotspots[0]
+
+
+def characterize(workload: Workload) -> CharacterizationReport:
+    """Characterize a workload's op mix, hotspots, and Amdahl ceilings.
+
+    Shares are op-count weighted.  Time weighting requires a platform; op
+    weighting is the platform-neutral first cut and is what §2.3's
+    cross-cutting analysis consumes.
+    """
+    graph: TaskGraph = workload.graph
+    merged: WorkloadProfile = graph.total_profile()
+    total_ops = merged.total_ops
+
+    hotspots: List[Tuple[str, float]] = []
+    ceilings: Dict[str, float] = {}
+    shares: Dict[str, float] = {}
+    for stage in graph.stages:
+        ops = stage.profile.total_ops
+        share = ops / total_ops if total_ops > 0 else 0.0
+        hotspots.append((stage.name, share))
+        ceilings[stage.name] = max_amdahl_speedup(share)
+        key = stage.profile.op_class
+        shares[key] = shares.get(key, 0.0) + share
+    hotspots.sort(key=lambda pair: pair[1], reverse=True)
+    shares = dict(sorted(shares.items(), key=lambda kv: kv[1], reverse=True))
+
+    return CharacterizationReport(
+        workload=workload.name,
+        total_flops=merged.flops,
+        total_int_ops=merged.int_ops,
+        total_bytes=merged.total_bytes,
+        arithmetic_intensity=merged.arithmetic_intensity,
+        op_class_shares=shares,
+        hotspots=hotspots,
+        amdahl_ceilings=ceilings,
+    )
+
+
+def time_weighted_shares(
+    graph: TaskGraph, stage_latency: Mapping[str, float]
+) -> Dict[str, float]:
+    """Per-stage shares of total *time* under measured/modeled latencies.
+
+    This is the honest input to Amdahl reasoning once a platform is chosen
+    (op shares can mislead when stages have different intensities).
+    """
+    total = 0.0
+    for stage in graph.stages:
+        if stage.name not in stage_latency:
+            raise ConfigurationError(
+                f"time_weighted_shares: missing latency for {stage.name!r}"
+            )
+        total += stage_latency[stage.name]
+    if total <= 0:
+        return {stage.name: 0.0 for stage in graph.stages}
+    return {stage.name: stage_latency[stage.name] / total
+            for stage in graph.stages}
+
+
+def end_to_end_speedup(
+    graph: TaskGraph,
+    baseline_latency: Mapping[str, float],
+    accelerated_latency: Mapping[str, float],
+) -> float:
+    """Measured end-to-end speedup for a serial pass over the graph.
+
+    Both mappings must cover every stage; stages absent from
+    ``accelerated_latency`` fall back to their baseline latency (i.e. were
+    not accelerated).
+    """
+    base = 0.0
+    accel = 0.0
+    for stage in graph.stages:
+        if stage.name not in baseline_latency:
+            raise ConfigurationError(
+                f"end_to_end_speedup: missing baseline latency for"
+                f" {stage.name!r}"
+            )
+        b = baseline_latency[stage.name]
+        base += b
+        accel += accelerated_latency.get(stage.name, b)
+    if accel <= 0:
+        return math.inf if base > 0 else 1.0
+    return base / accel
+
+
+def intensity_histogram(
+    profiles: Sequence[WorkloadProfile],
+    edges: Sequence[float] = (0.1, 1.0, 10.0, 100.0),
+) -> Dict[str, int]:
+    """Bucket profiles by arithmetic intensity for roofline placement.
+
+    Returns a dict from human-readable bucket label to count; buckets are
+    ``(-inf, e0], (e0, e1], ..., (eN, inf)``.
+    """
+    labels: List[str] = []
+    previous = None
+    for edge in edges:
+        if previous is not None and edge <= previous:
+            raise ConfigurationError("intensity_histogram: edges must ascend")
+        labels.append(f"<= {edge:g}")
+        previous = edge
+    labels.append(f"> {edges[-1]:g}")
+    counts = {label: 0 for label in labels}
+    for profile in profiles:
+        intensity = profile.arithmetic_intensity
+        for edge, label in zip(edges, labels):
+            if intensity <= edge:
+                counts[label] += 1
+                break
+        else:
+            counts[labels[-1]] += 1
+    return counts

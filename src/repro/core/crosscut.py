@@ -1,0 +1,161 @@
+"""Cross-cutting kernel identification (paper §2.3, "Widgetism").
+
+The paper's prescription for avoiding over-specialized "widget" accelerators
+is to find *cross-cutting kernels*: operation classes that carry a large
+share of the work across *many* tasks, not just one.  This module computes
+that analysis over a set of characterized workloads:
+
+- :func:`coverage` — how much of a workload suite's total work a given set
+  of kernel categories covers;
+- :func:`find_crosscutting_kernels` — greedy selection of the categories
+  that maximize suite-wide coverage under a budget;
+- :func:`breadth` — on how many workloads a category matters at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.workload import Workload
+from repro.errors import ConfigurationError
+
+
+def _suite_shares(workloads: Sequence[Workload]) -> List[Dict[str, float]]:
+    if not workloads:
+        raise ConfigurationError("cross-cutting analysis needs >= 1 workload")
+    return [w.composition() for w in workloads]
+
+
+def coverage(categories: Iterable[str],
+             workloads: Sequence[Workload]) -> float:
+    """Mean (over workloads) share of ops covered by ``categories``.
+
+    A value of 1.0 means the categories account for all operations in every
+    workload; a widget accelerator covering one niche category on one task
+    scores near ``share_of_that_task / n_workloads``.
+    """
+    selected: Set[str] = set(categories)
+    shares = _suite_shares(workloads)
+    per_workload = [
+        sum(share for cat, share in comp.items() if cat in selected)
+        for comp in shares
+    ]
+    return sum(per_workload) / len(per_workload)
+
+
+def breadth(category: str, workloads: Sequence[Workload],
+            threshold: float = 0.05) -> int:
+    """Number of workloads where ``category`` carries at least ``threshold``
+    of the operations."""
+    return sum(
+        1 for comp in _suite_shares(workloads)
+        if comp.get(category, 0.0) >= threshold
+    )
+
+
+@dataclass
+class CrosscutReport:
+    """Result of cross-cutting kernel selection.
+
+    Attributes:
+        selected: Chosen categories in selection order.
+        coverage_curve: Suite coverage after each greedy pick.
+        per_category_breadth: Workload count where each known category
+            clears the breadth threshold.
+        per_category_mean_share: Mean op share of each category across the
+            suite (0 where absent).
+    """
+
+    selected: List[str] = field(default_factory=list)
+    coverage_curve: List[float] = field(default_factory=list)
+    per_category_breadth: Dict[str, int] = field(default_factory=dict)
+    per_category_mean_share: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def final_coverage(self) -> float:
+        return self.coverage_curve[-1] if self.coverage_curve else 0.0
+
+
+def find_crosscutting_kernels(
+    workloads: Sequence[Workload],
+    budget: int = 3,
+    breadth_threshold: float = 0.05,
+) -> CrosscutReport:
+    """Greedy max-coverage selection of kernel categories across a suite.
+
+    At each step, pick the category that most increases mean suite
+    coverage.  Greedy is within ``1 - 1/e`` of optimal for this submodular
+    objective, and — more importantly for the §2.3 argument — its *order*
+    surfaces the cross-cutting kernels first and the widgets last.
+
+    Args:
+        workloads: Characterized workloads (``composition()`` must be
+            non-empty for at least one of them).
+        budget: How many categories to select.
+        breadth_threshold: Minimum per-workload op share for a category to
+            count toward breadth.
+    """
+    if budget < 1:
+        raise ConfigurationError(f"budget must be >= 1, got {budget}")
+    shares = _suite_shares(workloads)
+    categories: Set[str] = set()
+    for comp in shares:
+        categories.update(comp)
+    if not categories:
+        raise ConfigurationError(
+            "no kernel categories found; do the workloads have stages with"
+            " non-zero work?"
+        )
+
+    mean_share = {
+        cat: sum(comp.get(cat, 0.0) for comp in shares) / len(shares)
+        for cat in categories
+    }
+    cat_breadth = {
+        cat: breadth(cat, workloads, threshold=breadth_threshold)
+        for cat in categories
+    }
+
+    selected: List[str] = []
+    curve: List[float] = []
+    remaining = set(categories)
+    while remaining and len(selected) < budget:
+        best = max(
+            sorted(remaining),
+            key=lambda cat: coverage(selected + [cat], workloads),
+        )
+        gained = coverage(selected + [best], workloads)
+        if curve and gained <= curve[-1] + 1e-12:
+            break  # no category adds coverage; stop early
+        selected.append(best)
+        curve.append(gained)
+        remaining.discard(best)
+
+    return CrosscutReport(
+        selected=selected,
+        coverage_curve=curve,
+        per_category_breadth=dict(
+            sorted(cat_breadth.items(), key=lambda kv: kv[1], reverse=True)
+        ),
+        per_category_mean_share=dict(
+            sorted(mean_share.items(), key=lambda kv: kv[1], reverse=True)
+        ),
+    )
+
+
+def widgetism_score(category: str, workloads: Sequence[Workload],
+                    breadth_threshold: float = 0.05) -> float:
+    """How "widgety" accelerating only ``category`` would be, in [0, 1].
+
+    1.0 means the category matters on at most one workload (a pure widget);
+    0.0 means it clears the breadth threshold on every workload.  Used by
+    the Seven Challenges advisor.
+    """
+    n = len(workloads)
+    if n == 0:
+        raise ConfigurationError("widgetism_score needs >= 1 workload")
+    b = breadth(category, workloads, threshold=breadth_threshold)
+    if n == 1:
+        return 0.0 if b == 1 else 1.0
+    return 1.0 - max(0, b - 1) / (n - 1)

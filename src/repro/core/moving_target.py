@@ -1,0 +1,145 @@
+"""Amdahl's law is a moving target: workload-drift feedback (§4).
+
+The paper closes on Henry Ford's faster horses: "anticipating the
+future needs of a domain requires a constant re-examination of the
+fundamental benchmarks ... and dynamic analysis to continually identify
+new opportunities over time.  Incorporating feedback mechanisms into
+the design process ensures that useful contributions continue to be
+made."
+
+This module is that feedback mechanism, operationalized: given a
+*timeline* of workload versions (the domain's algorithm mix drifting
+year over year), it tracks which kernel class is the bottleneck, scores
+how much value a fixed accelerator retains, and raises a re-design
+signal the year the accelerated classes stop covering the work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.characterize import amdahl_speedup
+from repro.core.workload import Workload
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkloadSnapshot:
+    """The domain's representative workload at one point in time.
+
+    Attributes:
+        year: Timestamp (any monotone index works).
+        workload: The representative workload.
+    """
+
+    year: int
+    workload: Workload
+
+
+class WorkloadTimeline:
+    """An ordered sequence of workload snapshots."""
+
+    def __init__(self, snapshots: Sequence[WorkloadSnapshot]):
+        if not snapshots:
+            raise ConfigurationError("timeline needs >= 1 snapshot")
+        years = [s.year for s in snapshots]
+        if years != sorted(years) or len(set(years)) != len(years):
+            raise ConfigurationError(
+                f"snapshot years must be strictly increasing: {years}"
+            )
+        self.snapshots = list(snapshots)
+
+    def years(self) -> List[int]:
+        return [s.year for s in self.snapshots]
+
+    def bottleneck_class(self, year: int) -> str:
+        """The op class carrying the largest share of work in ``year``."""
+        snapshot = self._at(year)
+        composition = snapshot.workload.composition()
+        if not composition:
+            raise ConfigurationError(
+                f"workload at year {year} has no measurable work"
+            )
+        return max(composition.items(), key=lambda kv: kv[1])[0]
+
+    def _at(self, year: int) -> WorkloadSnapshot:
+        for snapshot in self.snapshots:
+            if snapshot.year == year:
+                return snapshot
+        raise ConfigurationError(
+            f"no snapshot for year {year}; have {self.years()}"
+        )
+
+
+@dataclass
+class AcceleratorValueTrend:
+    """How a fixed accelerator's usefulness evolves over a timeline.
+
+    Attributes:
+        accelerated_classes: The classes the accelerator covers.
+        coverage_by_year: Share of each year's ops the accelerator can
+            touch.
+        end_to_end_speedup_by_year: Amdahl speedup of each year's
+            workload assuming ``kernel_speedup`` on covered classes.
+        stale_year: First year coverage falls below the staleness
+            threshold (None = never within the timeline).
+    """
+
+    accelerated_classes: Set[str]
+    coverage_by_year: Dict[int, float] = field(default_factory=dict)
+    end_to_end_speedup_by_year: Dict[int, float] = \
+        field(default_factory=dict)
+    stale_year: Optional[int] = None
+
+
+def accelerator_value_over_time(
+    timeline: WorkloadTimeline,
+    accelerated_classes: Sequence[str],
+    kernel_speedup: float = 10.0,
+    stale_threshold: float = 0.3,
+) -> AcceleratorValueTrend:
+    """Track a fixed accelerator's value as the workload drifts.
+
+    Args:
+        timeline: The workload timeline.
+        accelerated_classes: Op classes the accelerator covers.
+        kernel_speedup: Speedup on covered classes.
+        stale_threshold: Coverage below which the design is stale.
+
+    Returns:
+        The value trend, including the first stale year (the feedback
+        signal the paper's conclusion calls for).
+    """
+    if kernel_speedup <= 1.0:
+        raise ConfigurationError("kernel_speedup must be > 1")
+    if not 0.0 < stale_threshold < 1.0:
+        raise ConfigurationError("stale_threshold must be in (0, 1)")
+    classes = set(accelerated_classes)
+    trend = AcceleratorValueTrend(accelerated_classes=classes)
+    for snapshot in timeline.snapshots:
+        composition = snapshot.workload.composition()
+        coverage = sum(share for cls, share in composition.items()
+                       if cls in classes)
+        trend.coverage_by_year[snapshot.year] = coverage
+        trend.end_to_end_speedup_by_year[snapshot.year] = \
+            amdahl_speedup(coverage, kernel_speedup)
+        if trend.stale_year is None and coverage < stale_threshold:
+            trend.stale_year = snapshot.year
+    return trend
+
+
+def redesign_recommendation(
+    timeline: WorkloadTimeline,
+    trend: AcceleratorValueTrend,
+) -> Optional[str]:
+    """What the feedback loop recommends accelerating *now*.
+
+    Returns the current (latest-year) bottleneck class if it is not
+    already covered, else ``None`` (the design is still on target).
+    """
+    latest = timeline.years()[-1]
+    bottleneck = timeline.bottleneck_class(latest)
+    if bottleneck in trend.accelerated_classes:
+        return None
+    return bottleneck

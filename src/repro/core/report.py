@@ -1,0 +1,106 @@
+"""Plain-text report rendering shared by examples and benchmark harnesses.
+
+The benchmark harnesses print paper-style tables/series; this module keeps
+that formatting in one place so every experiment reports uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _render_cell(value: Cell, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 10 ** (-precision):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render an aligned, pipe-delimited text table.
+
+    Args:
+        headers: Column names.
+        rows: Row cells; each row must have ``len(headers)`` entries.
+        title: Optional title line printed above the table.
+        precision: Significant digits for float cells.
+
+    Returns:
+        The table as a single string (no trailing newline).
+    """
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = [_render_cell(c, precision) for c in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(headers)}:"
+                f" {cells!r}"
+            )
+        rendered.append(cells)
+
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(rendered[0], widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for cells in rendered[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    points: Sequence[Sequence[Cell]],
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render an (x, y) series as a two-column table — the shape in which
+    the paper's Fig. 1 data would be reported."""
+    return format_table([x_label, y_label], points, title=title,
+                        precision=precision)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: Optional[str] = None,
+) -> str:
+    """Render a horizontal ASCII bar chart (for trend figures in terminals).
+
+    Bars are scaled so the maximum value spans ``width`` characters; zero
+    and negative values render as empty bars.
+    """
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    peak = max((v for v in values if v > 0), default=0.0)
+    label_width = max((len(l) for l in labels), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = ""
+        if peak > 0 and value > 0:
+            bar = "#" * max(1, round(width * value / peak))
+        lines.append(f"{label.rjust(label_width)} | {bar} {value:g}")
+    return "\n".join(lines)

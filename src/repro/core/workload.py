@@ -1,0 +1,266 @@
+"""Kernels, task graphs, and workloads: the framework's workload IR.
+
+A :class:`Kernel` names a unit of computation and knows how to produce a
+:class:`~repro.core.profile.WorkloadProfile` for a given problem size.  A
+:class:`TaskGraph` composes kernels into a DAG of :class:`Stage` nodes with
+data-sized edges — the shape the end-to-end simulator consumes.  A
+:class:`Workload` bundles a task graph with the rate it must run at and the
+task-level quality metric that matters to domain experts (paper §2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.profile import WorkloadProfile
+from repro.errors import ConfigurationError
+
+ProfileFn = Callable[..., WorkloadProfile]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A named unit of computation with a profile generator.
+
+    Attributes:
+        name: Unique kernel name (e.g. ``"gemm"``, ``"nn-collision"``).
+        category: Cross-cutting category used by §2.3 analysis
+            (e.g. ``"linalg"``, ``"search"``, ``"stencil"``).
+        profile_fn: Callable returning a :class:`WorkloadProfile` for given
+            size parameters.  When ``None``, ``static_profile`` must be set.
+        static_profile: A fixed profile for kernels with one canonical size.
+        tags: Free-form labels ("safety-critical", "frontend", ...).
+    """
+
+    name: str
+    category: str = "generic"
+    profile_fn: Optional[ProfileFn] = None
+    static_profile: Optional[WorkloadProfile] = None
+    tags: Tuple[str, ...] = ()
+
+    def profile(self, **size_params: object) -> WorkloadProfile:
+        """Produce the profile for one invocation at the given size."""
+        if self.profile_fn is not None:
+            return self.profile_fn(**size_params)
+        if self.static_profile is not None:
+            return self.static_profile
+        raise ConfigurationError(
+            f"kernel {self.name!r} has neither profile_fn nor static_profile"
+        )
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One node of a task graph: a kernel invocation inside a pipeline.
+
+    Attributes:
+        name: Stage name, unique within its task graph.
+        profile: The work one activation of this stage performs.
+        deps: Names of stages whose outputs this stage consumes.
+        output_bytes: Size of the data this stage emits downstream (drives
+            the I/O/marshalling model of §2.6).
+        rate_hz: Activation rate when the stage is a source (sensor-driven);
+            non-source stages activate when inputs arrive.
+        deadline_s: Optional per-activation deadline (for the scheduler
+            experiments); ``None`` means best-effort.
+    """
+
+    name: str
+    profile: WorkloadProfile
+    deps: Tuple[str, ...] = ()
+    output_bytes: float = 0.0
+    rate_hz: Optional[float] = None
+    deadline_s: Optional[float] = None
+
+
+class TaskGraph:
+    """A DAG of stages with topological ordering and critical-path queries.
+
+    The graph is immutable after construction; construction validates that
+    dependency names resolve and the graph is acyclic.
+    """
+
+    def __init__(self, name: str, stages: Sequence[Stage]):
+        self.name = name
+        self._stages: Dict[str, Stage] = {}
+        for stage in stages:
+            if stage.name in self._stages:
+                raise ConfigurationError(
+                    f"task graph {name!r}: duplicate stage {stage.name!r}"
+                )
+            self._stages[stage.name] = stage
+        for stage in stages:
+            for dep in stage.deps:
+                if dep not in self._stages:
+                    raise ConfigurationError(
+                        f"task graph {name!r}: stage {stage.name!r} depends"
+                        f" on unknown stage {dep!r}"
+                    )
+        self._order = self._topological_order()
+
+    @property
+    def stages(self) -> List[Stage]:
+        """Stages in topological order."""
+        return [self._stages[n] for n in self._order]
+
+    def stage(self, name: str) -> Stage:
+        try:
+            return self._stages[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"task graph {self.name!r} has no stage {name!r}"
+            ) from None
+
+    def sources(self) -> List[Stage]:
+        """Stages with no dependencies (sensor-driven entry points)."""
+        return [s for s in self.stages if not s.deps]
+
+    def sinks(self) -> List[Stage]:
+        """Stages no other stage depends on (actuator-facing outputs)."""
+        consumed = {d for s in self._stages.values() for d in s.deps}
+        return [s for s in self.stages if s.name not in consumed]
+
+    def _topological_order(self) -> List[str]:
+        in_degree = {name: len(stage.deps)
+                     for name, stage in self._stages.items()}
+        dependents: Dict[str, List[str]] = {n: [] for n in self._stages}
+        for name, stage in self._stages.items():
+            for dep in stage.deps:
+                dependents[dep].append(name)
+        ready = sorted(n for n, d in in_degree.items() if d == 0)
+        order: List[str] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for nxt in sorted(dependents[node]):
+                in_degree[nxt] -= 1
+                if in_degree[nxt] == 0:
+                    ready.append(nxt)
+        if len(order) != len(self._stages):
+            raise ConfigurationError(
+                f"task graph {self.name!r} contains a dependency cycle"
+            )
+        return order
+
+    def total_profile(self) -> WorkloadProfile:
+        """Merged profile of one activation of every stage."""
+        return WorkloadProfile.merge(
+            (s.profile for s in self.stages), name=self.name
+        )
+
+    def critical_path(
+        self, stage_latency: Mapping[str, float]
+    ) -> Tuple[float, List[str]]:
+        """Longest path through the DAG under the given per-stage latencies.
+
+        Args:
+            stage_latency: Latency of one activation of each stage, keyed by
+                stage name.  Every stage must be present.
+
+        Returns:
+            ``(length_seconds, [stage names on the path])``.
+        """
+        best: Dict[str, float] = {}
+        parent: Dict[str, Optional[str]] = {}
+        for name in self._order:
+            stage = self._stages[name]
+            try:
+                own = stage_latency[name]
+            except KeyError:
+                raise ConfigurationError(
+                    f"critical_path: missing latency for stage {name!r}"
+                ) from None
+            if stage.deps:
+                pred = max(stage.deps, key=lambda d: best[d])
+                best[name] = best[pred] + own
+                parent[name] = pred
+            else:
+                best[name] = own
+                parent[name] = None
+        end = max(best, key=lambda n: best[n])
+        path = [end]
+        while parent[path[-1]] is not None:
+            path.append(parent[path[-1]])  # type: ignore[arg-type]
+        path.reverse()
+        return best[end], path
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._stages
+
+    def __repr__(self) -> str:
+        return f"TaskGraph({self.name!r}, {len(self)} stages)"
+
+
+@dataclass
+class Workload:
+    """A benchmark-able job: a task graph plus rate and quality context.
+
+    Attributes:
+        name: Workload name (e.g. ``"uav-vio-navigation"``).
+        graph: The computation as a task graph.
+        target_rate_hz: Rate at which the domain needs the pipeline to run
+            (e.g. camera frame rate).  Used for deadline checks.
+        quality_metric: Name of the task-level quality metric domain experts
+            care about (§2.2) — e.g. ``"ate_rmse_m"`` for SLAM.
+        kernel_composition: Share of total operations per kernel category,
+            for cross-cutting analysis (§2.3).  Filled by
+            :func:`repro.core.characterize.characterize` when empty.
+        tags: Labels ("uav", "manipulation", "perception", ...).
+    """
+
+    name: str
+    graph: TaskGraph
+    target_rate_hz: float = 10.0
+    quality_metric: str = "task_quality"
+    kernel_composition: Dict[str, float] = field(default_factory=dict)
+    tags: Tuple[str, ...] = ()
+
+    def deadline_s(self) -> float:
+        """Per-activation deadline implied by the target rate."""
+        if self.target_rate_hz <= 0:
+            raise ConfigurationError(
+                f"workload {self.name!r}: target_rate_hz must be > 0"
+            )
+        return 1.0 / self.target_rate_hz
+
+    def composition(self) -> Dict[str, float]:
+        """Kernel-category op shares, computed from the graph if not set."""
+        if self.kernel_composition:
+            return dict(self.kernel_composition)
+        total = sum(s.profile.total_ops for s in self.graph.stages)
+        if total == 0:
+            return {}
+        shares: Dict[str, float] = {}
+        for stage in self.graph.stages:
+            key = stage.profile.op_class
+            shares[key] = shares.get(key, 0.0) + stage.profile.total_ops / total
+        return shares
+
+
+def linear_pipeline(name: str, profiles: Iterable[WorkloadProfile],
+                    rate_hz: float = 10.0,
+                    output_bytes: float = 0.0) -> TaskGraph:
+    """Build a straight-line task graph from an ordered list of profiles.
+
+    The first stage becomes the (sensor-driven) source at ``rate_hz``; each
+    subsequent stage depends on its predecessor.  A convenience for the
+    common perception→planning→control chain.
+    """
+    stages: List[Stage] = []
+    prev: Optional[str] = None
+    for index, profile in enumerate(profiles):
+        stage = Stage(
+            name=profile.name if profile.name not in {s.name for s in stages}
+            else f"{profile.name}#{index}",
+            profile=profile,
+            deps=(prev,) if prev is not None else (),
+            output_bytes=output_bytes,
+            rate_hz=rate_hz if prev is None else None,
+        )
+        stages.append(stage)
+        prev = stage.name
+    return TaskGraph(name, stages)

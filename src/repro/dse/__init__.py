@@ -1,0 +1,46 @@
+"""Design-space exploration, including ML-surrogate-guided search.
+
+§3.1's "Machine Learning for System Design": given a parameterized design
+space and an expensive oracle (here, the closed-loop mission simulator or
+a benchmark-suite run), find good designs with few oracle calls.
+
+- :mod:`~repro.dse.space`        — discrete parameter spaces;
+- :mod:`~repro.dse.search`       — grid and random baselines;
+- :mod:`~repro.dse.evolutionary` — a genetic algorithm;
+- :mod:`~repro.dse.surrogate`    — Gaussian-process regression (RBF);
+- :mod:`~repro.dse.bayesian`     — surrogate-guided (expected-
+  improvement) optimization, the paper's headline DSE method;
+- :mod:`~repro.dse.pareto`       — Pareto fronts and hypervolume;
+- :mod:`~repro.dse.constraints`  — feasibility and penalty handling.
+"""
+
+from repro.dse.bayesian import SurrogateSearch
+from repro.dse.constraints import Constraint, ConstraintSet
+from repro.dse.evolutionary import EvolutionarySearch
+from repro.dse.multiobjective import (
+    FrontPoint,
+    MultiObjectiveResult,
+    multi_objective_search,
+)
+from repro.dse.pareto import hypervolume_2d, pareto_front
+from repro.dse.search import SearchResult, grid_search, random_search
+from repro.dse.space import DesignSpace, Parameter
+from repro.dse.surrogate import GaussianProcess
+
+__all__ = [
+    "Constraint",
+    "ConstraintSet",
+    "DesignSpace",
+    "EvolutionarySearch",
+    "FrontPoint",
+    "GaussianProcess",
+    "MultiObjectiveResult",
+    "Parameter",
+    "multi_objective_search",
+    "SearchResult",
+    "SurrogateSearch",
+    "grid_search",
+    "hypervolume_2d",
+    "pareto_front",
+    "random_search",
+]

@@ -1,0 +1,75 @@
+"""Constraint handling for DSE: feasibility checks and penalty wrapping.
+
+Full-system design spaces are mostly *infeasible* (mass budgets, deadline
+requirements, §2.4's battery limits); searches need constraints to be
+first-class rather than baked into ad-hoc objective hacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.dse.search import Objective
+from repro.dse.space import Config
+from repro.errors import SearchError
+
+Metric = Callable[[Config], float]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """An upper-bound constraint ``metric(config) <= bound``.
+
+    Attributes:
+        name: Constraint name (e.g. ``"mass_kg"``).
+        metric: Function computing the constrained quantity.
+        bound: Upper bound.
+    """
+
+    name: str
+    metric: Metric
+    bound: float
+
+    def violation(self, config: Config) -> float:
+        """Amount by which the bound is exceeded (0 when satisfied)."""
+        return max(0.0, self.metric(config) - self.bound)
+
+    def satisfied(self, config: Config) -> bool:
+        return self.violation(config) == 0.0
+
+
+class ConstraintSet:
+    """A collection of constraints with penalty-objective wrapping."""
+
+    def __init__(self, constraints: Sequence[Constraint]):
+        names = [c.name for c in constraints]
+        if len(set(names)) != len(names):
+            raise SearchError(f"duplicate constraint names: {names}")
+        self.constraints = list(constraints)
+
+    def feasible(self, config: Config) -> bool:
+        return all(c.satisfied(config) for c in self.constraints)
+
+    def violations(self, config: Config) -> Dict[str, float]:
+        return {c.name: c.violation(config) for c in self.constraints}
+
+    def total_violation(self, config: Config) -> float:
+        return sum(c.violation(config) for c in self.constraints)
+
+    def penalized(self, objective: Objective,
+                  penalty_weight: float = 1e6) -> Objective:
+        """Wrap an objective with a linear penalty on violations.
+
+        A large default weight makes any infeasible point worse than any
+        feasible one — adequate for discrete spaces where we only need
+        ranking, not gradients.
+        """
+        if penalty_weight <= 0:
+            raise SearchError("penalty_weight must be > 0")
+
+        def wrapped(config: Config) -> float:
+            penalty = self.total_violation(config)
+            return objective(config) + penalty_weight * penalty
+
+        return wrapped

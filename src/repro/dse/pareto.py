@@ -1,0 +1,83 @@
+"""Pareto-front utilities for multi-objective design evaluation.
+
+All objectives are *minimized* by convention; negate quantities you want
+maximized before calling in.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SearchError
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Whether ``a`` Pareto-dominates ``b`` (<= everywhere, < somewhere)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise SearchError(f"objective shapes differ: {a.shape}, {b.shape}")
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def pareto_front(points: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the non-dominated points, in input order.
+
+    O(n^2) pairwise filtering — fine for DSE result sets.
+    """
+    array = np.asarray(points, dtype=float)
+    if array.ndim != 2:
+        raise SearchError(f"points must be 2-D, got shape {array.shape}")
+    n = array.shape[0]
+    keep: List[int] = []
+    for i in range(n):
+        dominated = False
+        for j in range(n):
+            if i != j and dominates(array[j], array[i]):
+                dominated = True
+                break
+        if not dominated:
+            keep.append(i)
+    return keep
+
+
+def hypervolume_2d(points: Sequence[Sequence[float]],
+                   reference: Sequence[float]) -> float:
+    """Dominated hypervolume for two minimized objectives.
+
+    Args:
+        points: Objective vectors (2-D).
+        reference: Reference (worst) point; points beyond it contribute 0.
+
+    Returns:
+        The area dominated between the front and the reference point —
+        the standard scalar progress metric for multi-objective DSE.
+    """
+    array = np.asarray(points, dtype=float)
+    ref = np.asarray(reference, dtype=float)
+    if array.ndim != 2 or array.shape[1] != 2 or ref.shape != (2,):
+        raise SearchError("hypervolume_2d needs (n, 2) points and a"
+                          " 2-vector reference")
+    front = array[pareto_front(array)]
+    front = front[np.all(front < ref, axis=1)]
+    if front.shape[0] == 0:
+        return 0.0
+    order = np.argsort(front[:, 0])
+    front = front[order]
+    volume = 0.0
+    previous_y = ref[1]
+    for x, y in front:
+        if y < previous_y:
+            volume += (ref[0] - x) * (previous_y - y)
+            previous_y = y
+    return float(volume)
+
+
+def normalized_regret(best_found: float, optimum: float,
+                      worst: float) -> float:
+    """Where a search result landed between optimum (0) and worst (1)."""
+    if worst == optimum:
+        return 0.0
+    return (best_found - optimum) / (worst - optimum)

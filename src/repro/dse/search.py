@@ -1,0 +1,97 @@
+"""Baseline search strategies: exhaustive grid and uniform random.
+
+These are the honest baselines the surrogate-guided search is judged
+against in experiment E8 — §2.2 applies to DSE methods too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dse.space import Config, DesignSpace
+from repro.errors import SearchError
+
+Objective = Callable[[Config], float]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a search run (minimization).
+
+    Attributes:
+        best_config: Best configuration found.
+        best_value: Its objective value.
+        evaluations: Oracle calls consumed.
+        history: ``(config, value)`` in evaluation order.
+        trace: Best-so-far value after each evaluation (for sample-
+            efficiency curves).
+    """
+
+    best_config: Config
+    best_value: float
+    evaluations: int
+    history: List[Tuple[Config, float]] = field(default_factory=list)
+    trace: List[float] = field(default_factory=list)
+
+    def best_after(self, n_evaluations: int) -> float:
+        """Best value found within the first ``n_evaluations`` calls."""
+        if n_evaluations < 1:
+            raise SearchError("n_evaluations must be >= 1")
+        index = min(n_evaluations, len(self.trace)) - 1
+        return self.trace[index]
+
+
+def _record(history: List[Tuple[Config, float]], trace: List[float],
+            config: Config, value: float) -> None:
+    history.append((config, value))
+    best = value if not trace else min(trace[-1], value)
+    trace.append(best)
+
+
+def grid_search(space: DesignSpace, objective: Objective,
+                budget: Optional[int] = None) -> SearchResult:
+    """Enumerate the space in index order (optionally budget-capped)."""
+    limit = space.size if budget is None else min(budget, space.size)
+    if limit < 1:
+        raise SearchError("budget must allow >= 1 evaluation")
+    history: List[Tuple[Config, float]] = []
+    trace: List[float] = []
+    best_config: Optional[Config] = None
+    best_value = float("inf")
+    for index in range(limit):
+        config = space.config_at(index)
+        value = objective(config)
+        _record(history, trace, config, value)
+        if value < best_value:
+            best_value = value
+            best_config = config
+    assert best_config is not None
+    return SearchResult(best_config=best_config, best_value=best_value,
+                        evaluations=limit, history=history, trace=trace)
+
+
+def random_search(space: DesignSpace, objective: Objective,
+                  budget: int, seed: int = 0) -> SearchResult:
+    """Uniform random sampling without replacement (when feasible)."""
+    if budget < 1:
+        raise SearchError("budget must be >= 1")
+    rng = np.random.default_rng(seed)
+    replace = budget > space.size
+    configs = space.sample(rng, n=budget, replace=replace)
+    history: List[Tuple[Config, float]] = []
+    trace: List[float] = []
+    best_config: Optional[Config] = None
+    best_value = float("inf")
+    for config in configs:
+        value = objective(config)
+        _record(history, trace, config, value)
+        if value < best_value:
+            best_value = value
+            best_config = config
+    assert best_config is not None
+    return SearchResult(best_config=best_config, best_value=best_value,
+                        evaluations=len(configs), history=history,
+                        trace=trace)

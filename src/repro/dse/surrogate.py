@@ -1,0 +1,120 @@
+"""Gaussian-process regression: the ML surrogate for guided DSE.
+
+A standard zero-mean GP with an RBF kernel and observation noise,
+implemented directly on numpy (Cholesky factorization from
+:mod:`repro.kernels.linalg` conventions).  Small design spaces keep the
+O(n^3) fit cheap; that is the regime accelerator DSE lives in, where each
+*oracle call* (a full-system simulation) dwarfs the surrogate math — the
+precise asymmetry that makes ML-guided search pay off (§3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SearchError
+
+
+class GaussianProcess:
+    """GP regression with an RBF kernel.
+
+    Args:
+        length_scale: Kernel length scale in (encoded) feature space.
+        signal_variance: Kernel amplitude.
+        noise_variance: Observation noise added to the diagonal.
+    """
+
+    def __init__(self, length_scale: float = 0.5,
+                 signal_variance: float = 1.0,
+                 noise_variance: float = 1e-4):
+        if length_scale <= 0 or signal_variance <= 0 \
+                or noise_variance < 0:
+            raise SearchError(
+                "length_scale, signal_variance > 0 and"
+                " noise_variance >= 0 required"
+            )
+        self.length_scale = length_scale
+        self.signal_variance = signal_variance
+        self.noise_variance = noise_variance
+        self._x: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+        self._chol: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._y_scale = 1.0
+
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        sq = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        return self.signal_variance * np.exp(
+            -0.5 * sq / self.length_scale ** 2
+        )
+
+    @property
+    def is_fit(self) -> bool:
+        return self._alpha is not None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        """Fit to ``(n, d)`` inputs and ``(n,)`` targets.
+
+        Targets are standardized internally so kernel hyperparameters
+        stay scale-free.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise SearchError(
+                f"{x.shape[0]} inputs but {y.shape[0]} targets"
+            )
+        if x.shape[0] < 1:
+            raise SearchError("need >= 1 training point")
+        self._y_mean = float(y.mean())
+        self._y_scale = float(y.std()) or 1.0
+        standardized = (y - self._y_mean) / self._y_scale
+
+        k = self._kernel(x, x)
+        k[np.diag_indices_from(k)] += max(self.noise_variance, 1e-10)
+        self._chol = np.linalg.cholesky(k)
+        self._alpha = np.linalg.solve(
+            self._chol.T, np.linalg.solve(self._chol, standardized)
+        )
+        self._x = x
+        return self
+
+    def predict(self, x: np.ndarray
+                ) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and standard deviation at ``(m, d)`` inputs."""
+        if not self.is_fit:
+            raise SearchError("predict() before fit()")
+        assert self._x is not None and self._chol is not None
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        k_star = self._kernel(x, self._x)
+        mean = k_star @ self._alpha * self._y_scale + self._y_mean
+        v = np.linalg.solve(self._chol, k_star.T)
+        var = self.signal_variance - (v * v).sum(axis=0)
+        var = np.maximum(var, 1e-12)
+        std = np.sqrt(var) * self._y_scale
+        return mean, std
+
+
+def expected_improvement(mean: np.ndarray, std: np.ndarray,
+                         best: float, xi: float = 0.01) -> np.ndarray:
+    """EI acquisition for minimization (closed form, no scipy).
+
+    ``EI = (best - mu - xi) Phi(z) + sigma phi(z)`` with
+    ``z = (best - mu - xi) / sigma``.
+    """
+    mean = np.asarray(mean, dtype=float)
+    std = np.maximum(np.asarray(std, dtype=float), 1e-12)
+    improvement = best - mean - xi
+    z = improvement / std
+    phi = np.exp(-0.5 * z * z) / np.sqrt(2.0 * np.pi)
+    # Standard normal CDF via erf-free approximation (Abramowitz-Stegun
+    # 7.1.26 on |z|, reflected), accurate to ~1.5e-7.
+    t = 1.0 / (1.0 + 0.3275911 * np.abs(z))
+    poly = t * (0.254829592 + t * (-0.284496736 + t * (
+        1.421413741 + t * (-1.453152027 + t * 1.061405429))))
+    erf_abs = 1.0 - poly * np.exp(-z * z)
+    cdf = 0.5 * (1.0 + np.sign(z) * erf_abs)
+    ei = improvement * cdf + std * phi
+    return np.maximum(ei, 0.0)

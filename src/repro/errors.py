@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this package derive from
+:class:`ReproError`, so callers can catch framework errors without
+accidentally swallowing programming errors (``TypeError`` etc.).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro framework."""
+
+
+class ConfigurationError(ReproError):
+    """A model or simulation was configured with invalid parameters."""
+
+
+class ProfileError(ReproError):
+    """A workload profile is malformed (negative counts, bad fractions)."""
+
+
+class MappingError(ReproError):
+    """A kernel could not be mapped onto a platform (unsupported op class,
+    insufficient resources, or no mapping entry)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class SearchError(ReproError):
+    """Design-space exploration failed (empty space, exhausted budget
+    without a feasible point, or inconsistent constraints)."""
+
+
+class PlanningError(ReproError):
+    """A motion planner failed in a way that is not a normal "no path
+    found" outcome (e.g. start state in collision)."""
+
+
+class BenchmarkError(ReproError):
+    """The benchmark suite was asked to run an unknown or misconfigured
+    workload."""

@@ -1,0 +1,78 @@
+"""Analytical hardware platform models.
+
+Every platform consumes a :class:`~repro.core.profile.WorkloadProfile` and
+prices it as a :class:`~repro.core.profile.CostEstimate` via a
+roofline-style analytical model (peak compute vs. memory bandwidth, Amdahl
+serial fraction, divergence derating on lockstep machines, per-invocation
+launch overhead).  §2.5 of the paper insists that software, GPUs, and FPGAs
+deserve first-class treatment next to ASICs — so all four are modeled with
+the same contract and first-order honesty.
+
+Absolute numbers are datasheet-order calibrations (see
+:mod:`repro.hw.catalog`); experiments built on these models compare shapes
+(orderings, ratios, crossovers), not silicon measurements.
+"""
+
+from repro.hw.asic import AsicAccelerator, AsicConfig
+from repro.hw.catalog import (
+    asic_gemm_engine,
+    datacenter_gpu,
+    desktop_cpu,
+    embedded_cpu,
+    embedded_gpu,
+    midrange_fpga,
+    uav_compute_tiers,
+)
+from repro.hw.contention import (
+    ContendedPlatform,
+    SharedMemorySystem,
+    co_run,
+)
+from repro.hw.cpu import CpuConfig, CpuModel
+from repro.hw.fpga import FpgaConfig, FpgaModel
+from repro.hw.gpu import GpuConfig, GpuModel
+from repro.hw.hls import (
+    InfeasibleDesign,
+    SynthesisReport,
+    SynthesisSpec,
+    synthesize_accelerator,
+)
+from repro.hw.mapping import HeterogeneousSoC, Interconnect, MappingPolicy
+from repro.hw.memory import MemoryHierarchy, MemoryLevel
+from repro.hw.platform import Platform, PlatformConfig
+from repro.hw.roofline import RooflineModel
+from repro.hw.systolic import SystolicArrayModel
+
+__all__ = [
+    "AsicAccelerator",
+    "AsicConfig",
+    "ContendedPlatform",
+    "CpuConfig",
+    "InfeasibleDesign",
+    "SharedMemorySystem",
+    "SynthesisReport",
+    "SynthesisSpec",
+    "co_run",
+    "synthesize_accelerator",
+    "CpuModel",
+    "FpgaConfig",
+    "FpgaModel",
+    "GpuConfig",
+    "GpuModel",
+    "HeterogeneousSoC",
+    "Interconnect",
+    "MappingPolicy",
+    "MemoryHierarchy",
+    "MemoryLevel",
+    "Platform",
+    "PlatformConfig",
+    "RooflineModel",
+    "SystolicArrayModel",
+    "asic_gemm_engine",
+    "datacenter_gpu",
+    "desktop_cpu",
+    "embedded_cpu",
+    "embedded_gpu",
+    "midrange_fpga",
+    "uav_compute_tiers",
+]

@@ -1,0 +1,153 @@
+"""Fixed-function ASIC accelerator model, with a specialization knob.
+
+An ASIC runs only the operation classes it was taped out for — that is the
+whole point, and the whole risk ("widgetism", §2.3).  The model makes the
+specialization trade explicit:
+
+- a *widget* supports one op class at maximum efficiency;
+- broadening the supported set costs efficiency and area
+  (``generality_penalty`` per extra class), reflecting muxing, wider
+  datapaths, and less-perfect dataflows;
+- unsupported classes do not run at all (:meth:`supports` is ``False``) —
+  falling back to a host is the job of
+  :class:`repro.hw.mapping.HeterogeneousSoC`.
+
+The specialization-degree ablation (bench A3) sweeps the supported set and
+watches suite-level performance trade against per-kernel peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+from repro.core.profile import CostEstimate, WorkloadProfile
+from repro.errors import ConfigurationError, MappingError
+from repro.hw.platform import AnalyticalPlatform, PlatformConfig
+
+
+@dataclass(frozen=True)
+class AsicConfig:
+    """Fixed-function accelerator description.
+
+    Attributes:
+        name: Instance name.
+        supported_op_classes: Op classes with dedicated datapaths.
+        peak_flops: Peak throughput on supported classes, for a
+            single-class (widget) design; broader designs are derated.
+        onchip_bytes: Dedicated SRAM capacity.
+        onchip_bw: SRAM bandwidth.
+        offchip_bw: Off-chip bandwidth available to the accelerator.
+        energy_per_flop: Dynamic energy per FLOP — ASICs sit at the bottom
+            of the energy ladder (~1 pJ/FLOP class).
+        static_power_w: Leakage.
+        area_mm2: Area of the single-class design; broader designs grow.
+        mass_kg: Added module mass.
+        generality_penalty: Multiplicative efficiency loss per op class
+            beyond the first (e.g. 0.15 → a 3-class design runs at
+            ``(1 - 0.15)^2 ≈ 0.72`` of widget peak and ``1.3x`` area).
+        launch_overhead_s: DMA/descriptor setup per invocation.
+    """
+
+    name: str
+    supported_op_classes: FrozenSet[str]
+    peak_flops: float = 2e12
+    onchip_bytes: float = 8e6
+    onchip_bw: float = 4e12
+    offchip_bw: float = 50e9
+    energy_per_flop: float = 1e-12
+    static_power_w: float = 0.5
+    area_mm2: float = 10.0
+    mass_kg: float = 0.02
+    generality_penalty: float = 0.15
+    launch_overhead_s: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if not self.supported_op_classes:
+            raise ConfigurationError(
+                f"asic {self.name!r}: must support at least one op class"
+            )
+        if not 0.0 <= self.generality_penalty < 1.0:
+            raise ConfigurationError(
+                f"asic {self.name!r}: generality_penalty must be in [0, 1)"
+            )
+
+    @property
+    def extra_classes(self) -> int:
+        return len(self.supported_op_classes) - 1
+
+    @property
+    def effective_peak_flops(self) -> float:
+        """Widget peak derated for generality."""
+        return self.peak_flops * (1.0 - self.generality_penalty) \
+            ** self.extra_classes
+
+    @property
+    def effective_area_mm2(self) -> float:
+        """Area grows ~linearly with supported-class count."""
+        return self.area_mm2 * (1.0 + 0.3 * self.extra_classes)
+
+
+class AsicAccelerator(AnalyticalPlatform):
+    """A fixed-function accelerator as an analytical platform."""
+
+    def __init__(self, config: AsicConfig):
+        self.asic = config
+        platform_config = PlatformConfig(
+            name=config.name,
+            peak_flops=config.effective_peak_flops,
+            peak_int_ops=config.effective_peak_flops,
+            # Serial (dependent-chain) work streams through the pipelined
+            # datapath at one op per cycle at the accelerator clock
+            # (~1 GHz) — slower than a superscalar CPU core, but not the
+            # soft-core crawl of an FPGA control processor.
+            scalar_flops=1e9,
+            onchip_bytes=config.onchip_bytes,
+            onchip_bw=config.onchip_bw,
+            offchip_bw=config.offchip_bw,
+            launch_overhead_s=config.launch_overhead_s,
+            energy_per_flop=config.energy_per_flop,
+            energy_per_byte_onchip=0.5e-12,
+            energy_per_byte_offchip=15e-12,
+            static_power_w=config.static_power_w,
+            lockstep=True,
+            area_mm2=config.effective_area_mm2,
+            mass_kg=config.mass_kg,
+            device_class="asic",
+        )
+        super().__init__(platform_config)
+
+    def supports(self, profile: WorkloadProfile) -> bool:
+        return profile.op_class in self.asic.supported_op_classes
+
+    def estimate(self, profile: WorkloadProfile) -> CostEstimate:
+        if not self.supports(profile):
+            raise MappingError(
+                f"asic {self.name!r} cannot run op class"
+                f" {profile.op_class!r} (supported:"
+                f" {sorted(self.asic.supported_op_classes)})"
+            )
+        return super().estimate(profile)
+
+
+def widget_asic(op_class: str, name: str = "", **overrides: object
+                ) -> AsicAccelerator:
+    """A maximally specialized single-kernel accelerator (§2.3's widget)."""
+    config = AsicConfig(
+        name=name or f"widget-{op_class}",
+        supported_op_classes=frozenset({op_class}),
+        **overrides,  # type: ignore[arg-type]
+    )
+    return AsicAccelerator(config)
+
+
+def crosscutting_asic(op_classes: Iterable[str], name: str = "",
+                      **overrides: object) -> AsicAccelerator:
+    """A broader accelerator covering several cross-cutting kernels."""
+    classes = frozenset(op_classes)
+    config = AsicConfig(
+        name=name or "crosscut-" + "+".join(sorted(classes)),
+        supported_op_classes=classes,
+        **overrides,  # type: ignore[arg-type]
+    )
+    return AsicAccelerator(config)

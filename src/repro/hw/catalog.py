@@ -1,0 +1,166 @@
+"""A catalog of calibrated platform instances.
+
+Numbers are datasheet-order calibrations of public device classes (an
+ARM-class embedded CPU, a desktop CPU, Jetson-class and datacenter-class
+GPUs, a midrange FPGA, a TPU-like GEMM engine).  They are intentionally
+round: the experiments built on them compare *shapes* — orderings, ratios,
+crossovers — never absolute silicon numbers (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.hw.asic import AsicAccelerator, AsicConfig
+from repro.hw.cpu import CpuConfig, CpuModel
+from repro.hw.fpga import FpgaConfig, FpgaModel
+from repro.hw.gpu import GpuConfig, GpuModel
+from repro.hw.platform import Platform
+
+
+def embedded_cpu(name: str = "embedded-cpu") -> CpuModel:
+    """Quad-core ARM-class embedded CPU with 128-bit SIMD (NEON-like)."""
+    return CpuModel(CpuConfig(
+        name=name,
+        cores=4,
+        frequency_hz=1.5e9,
+        flops_per_cycle_scalar=2.0,
+        simd_width=4,
+        simd_efficiency=0.7,
+        l2_bytes=2e6,
+        dram_bw=12e9,
+        onchip_bw=100e9,
+        tdp_w=5.0,
+        mass_kg=0.03,
+    ))
+
+
+def desktop_cpu(name: str = "desktop-cpu") -> CpuModel:
+    """8-core desktop CPU with AVX-512-class SIMD."""
+    return CpuModel(CpuConfig(
+        name=name,
+        cores=8,
+        frequency_hz=3.5e9,
+        flops_per_cycle_scalar=4.0,
+        simd_width=16,
+        simd_efficiency=0.65,
+        l2_bytes=16e6,
+        dram_bw=50e9,
+        onchip_bw=500e9,
+        tdp_w=95.0,
+        mass_kg=0.5,
+    ))
+
+
+def embedded_gpu(name: str = "embedded-gpu") -> GpuModel:
+    """Jetson-class embedded GPU."""
+    return GpuModel(GpuConfig(
+        name=name,
+        sms=8,
+        cores_per_sm=128,
+        frequency_hz=1.0e9,
+        l2_bytes=2e6,
+        dram_bw=60e9,
+        onchip_bw=800e9,
+        launch_overhead_s=15e-6,
+        tdp_w=25.0,
+        mass_kg=0.25,
+    ))
+
+
+def datacenter_gpu(name: str = "datacenter-gpu") -> GpuModel:
+    """A100-class datacenter GPU."""
+    return GpuModel(GpuConfig(
+        name=name,
+        sms=108,
+        cores_per_sm=64,
+        frequency_hz=1.4e9,
+        l2_bytes=40e6,
+        dram_bw=1.5e12,
+        onchip_bw=10e12,
+        launch_overhead_s=8e-6,
+        tdp_w=300.0,
+        mass_kg=1.5,
+        occupancy=0.7,
+    ))
+
+
+def midrange_fpga(name: str = "midrange-fpga") -> FpgaModel:
+    """Zynq-Ultrascale-class FPGA, fully programmable."""
+    return FpgaModel(FpgaConfig(
+        name=name,
+        dsp_slices=2500,
+        flops_per_dsp_per_cycle=0.5,
+        fabric_frequency_hz=300e6,
+        bram_bytes=4e6,
+        dram_bw=20e9,
+        onchip_bw=600e9,
+        tdp_w=20.0,
+        mass_kg=0.15,
+    ))
+
+
+def asic_gemm_engine(name: str = "gemm-engine") -> AsicAccelerator:
+    """TPU-like GEMM/convolution accelerator (edge-inference class)."""
+    return AsicAccelerator(AsicConfig(
+        name=name,
+        supported_op_classes=frozenset({"gemm"}),
+        peak_flops=4e12,
+        onchip_bytes=8e6,
+        onchip_bw=4e12,
+        offchip_bw=30e9,
+        energy_per_flop=1e-12,
+        static_power_w=0.5,
+        area_mm2=8.0,
+        mass_kg=0.02,
+    ))
+
+
+def uav_compute_tiers() -> List[Tuple[str, Platform, float, float]]:
+    """The onboard-compute ladder for the §2.4 mission experiment.
+
+    Returns rows of ``(tier name, platform, mass_kg, tdp_w)``, ordered from
+    weakest/lightest to strongest/heaviest — the sweep axis along which
+    Krishnan et al. found that over-provisioning compute hurts total
+    mission performance.  Mass/power include carrier board and cooling,
+    which is why they exceed the bare-module numbers above.
+    """
+    micro = CpuModel(CpuConfig(
+        name="tier0-microcontroller",
+        cores=1, frequency_hz=400e6, flops_per_cycle_scalar=1.0,
+        simd_width=1, simd_efficiency=1.0,
+        l2_bytes=512e3, dram_bw=2e9, onchip_bw=8e9,
+        tdp_w=0.5, mass_kg=0.01,
+    ))
+    embedded = CpuModel(CpuConfig(
+        name="tier1-embedded-cpu",
+        cores=4, frequency_hz=1.5e9, flops_per_cycle_scalar=2.0,
+        simd_width=4, simd_efficiency=0.7,
+        l2_bytes=2e6, dram_bw=12e9, onchip_bw=100e9,
+        tdp_w=5.0, mass_kg=0.04,
+    ))
+    jetson = GpuModel(GpuConfig(
+        name="tier2-embedded-gpu",
+        sms=8, cores_per_sm=128, frequency_hz=1.0e9,
+        l2_bytes=2e6, dram_bw=60e9, onchip_bw=800e9,
+        launch_overhead_s=15e-6, tdp_w=25.0, mass_kg=0.3,
+    ))
+    orin = GpuModel(GpuConfig(
+        name="tier3-highend-embedded-gpu",
+        sms=16, cores_per_sm=128, frequency_hz=1.3e9,
+        l2_bytes=4e6, dram_bw=200e9, onchip_bw=2e12,
+        launch_overhead_s=12e-6, tdp_w=60.0, mass_kg=0.7,
+    ))
+    workstation = GpuModel(GpuConfig(
+        name="tier4-workstation-gpu",
+        sms=60, cores_per_sm=128, frequency_hz=1.6e9,
+        l2_bytes=30e6, dram_bw=700e9, onchip_bw=6e12,
+        launch_overhead_s=10e-6, tdp_w=250.0, mass_kg=1.8,
+    ))
+    return [
+        ("tier0", micro, 0.02, 0.5),
+        ("tier1", embedded, 0.08, 5.0),
+        ("tier2", jetson, 0.45, 25.0),
+        ("tier3", orin, 1.0, 60.0),
+        ("tier4", workstation, 2.5, 250.0),
+    ]

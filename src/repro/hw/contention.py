@@ -1,0 +1,193 @@
+"""Shared-resource contention: accelerators are not free (§2.4).
+
+An accelerator dropped into an SoC shares the off-chip memory system
+with everything else.  This module models that sharing explicitly:
+
+- :class:`SharedMemorySystem` — a bandwidth pool with proportional
+  (weighted fair) allocation and an efficiency loss under contention
+  (row-buffer interference, scheduling overhead);
+- :class:`ContendedPlatform` — wraps any platform so its estimates are
+  priced at its *allocated* share of bandwidth instead of the full pipe.
+
+The A5 ablation uses these to show a paper-faithful effect: adding an
+accelerator speeds up its own kernel while pushing a co-resident CPU
+task over its deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.profile import CostEstimate, WorkloadProfile
+from repro.errors import ConfigurationError
+from repro.hw.platform import Platform, PlatformConfig, AnalyticalPlatform
+
+
+@dataclass(frozen=True)
+class SharedMemorySystem:
+    """A shared off-chip bandwidth pool.
+
+    Attributes:
+        total_bandwidth: Aggregate DRAM bandwidth (B/s).
+        contention_efficiency: Fraction of the pool actually deliverable
+            when more than one client is active (bank conflicts,
+            scheduler overhead); 1.0 = ideal.
+    """
+
+    total_bandwidth: float = 25e9
+    contention_efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.total_bandwidth <= 0:
+            raise ConfigurationError("total_bandwidth must be > 0")
+        if not 0.0 < self.contention_efficiency <= 1.0:
+            raise ConfigurationError(
+                "contention_efficiency must be in (0, 1]"
+            )
+
+    def allocate(self, demands: Dict[str, float]
+                 ) -> Dict[str, float]:
+        """Split the pool across clients by demanded bandwidth.
+
+        Clients demanding less than their fair share keep their demand;
+        the surplus is divided among the rest proportionally (max-min
+        fairness, one refinement pass per client — exact for the small
+        client counts SoCs have).
+
+        Args:
+            demands: client name -> demanded bandwidth (B/s).
+
+        Returns:
+            client name -> granted bandwidth.  Grants sum to at most
+            the (efficiency-derated, when contended) pool.
+        """
+        if not demands:
+            return {}
+        if any(d < 0 for d in demands.values()):
+            raise ConfigurationError("demands must be >= 0")
+        active = {k: v for k, v in demands.items() if v > 0}
+        idle = {k: 0.0 for k in demands if k not in active}
+        if not active:
+            return idle
+        pool = self.total_bandwidth
+        if len(active) > 1:
+            pool *= self.contention_efficiency
+
+        grants: Dict[str, float] = {}
+        remaining = pool
+        pending = dict(active)
+        # Max-min fairness: satisfy the smallest demands first.
+        while pending:
+            fair = remaining / len(pending)
+            satisfied = {k: v for k, v in pending.items() if v <= fair}
+            if not satisfied:
+                for name in pending:
+                    grants[name] = fair
+                remaining = 0.0
+                break
+            for name, demand in satisfied.items():
+                grants[name] = demand
+                remaining -= demand
+                del pending[name]
+        grants.update(idle)
+        return grants
+
+
+class ContendedPlatform(Platform):
+    """A platform whose off-chip bandwidth is externally constrained.
+
+    Wraps a base platform and re-prices profiles with the granted
+    bandwidth substituted for the config's ``offchip_bw``.
+    """
+
+    def __init__(self, base: Platform, granted_offchip_bw: float):
+        if granted_offchip_bw <= 0:
+            raise ConfigurationError(
+                "granted_offchip_bw must be > 0"
+            )
+        cfg = base.config
+        constrained = PlatformConfig(
+            name=f"{cfg.name}@{granted_offchip_bw / 1e9:.1f}GBps",
+            peak_flops=cfg.peak_flops,
+            peak_int_ops=cfg.peak_int_ops,
+            scalar_flops=cfg.scalar_flops,
+            onchip_bytes=cfg.onchip_bytes,
+            onchip_bw=cfg.onchip_bw,
+            offchip_bw=min(cfg.offchip_bw, granted_offchip_bw),
+            launch_overhead_s=cfg.launch_overhead_s,
+            energy_per_flop=cfg.energy_per_flop,
+            energy_per_int_op=cfg.energy_per_int_op,
+            energy_per_byte_onchip=cfg.energy_per_byte_onchip,
+            energy_per_byte_offchip=cfg.energy_per_byte_offchip,
+            static_power_w=cfg.static_power_w,
+            lockstep=cfg.lockstep,
+            area_mm2=cfg.area_mm2,
+            mass_kg=cfg.mass_kg,
+            device_class=cfg.device_class,
+        )
+        super().__init__(constrained)
+        self._base = base
+        self._shadow = AnalyticalPlatform(constrained)
+
+    def supports(self, profile: WorkloadProfile) -> bool:
+        return self._base.supports(profile)
+
+    def estimate(self, profile: WorkloadProfile) -> CostEstimate:
+        if not self._base.supports(profile):
+            return self._base.estimate(profile)  # raises MappingError
+        return self._shadow.estimate(profile)
+
+
+def bandwidth_demand(platform: Platform, profile: WorkloadProfile,
+                     rate_hz: float) -> float:
+    """Instantaneous off-chip bandwidth (B/s) a client consumes while
+    its kernel executes.
+
+    A streaming kernel saturates its platform's memory pipe for the
+    duration of each invocation, so the *contention-relevant* demand is
+    the platform's native off-chip bandwidth — not the rate-averaged
+    traffic (which understates interference whenever invocations
+    overlap).  Zero when the working set stays on-chip, or when the
+    client is idle (``rate_hz == 0``).
+    """
+    if rate_hz < 0:
+        raise ConfigurationError("rate_hz must be >= 0")
+    if rate_hz == 0:
+        return 0.0
+    if profile.working_set_bytes <= platform.config.onchip_bytes:
+        return 0.0
+    return platform.config.offchip_bw
+
+
+def co_run(memory: SharedMemorySystem,
+           clients: List[Tuple[str, Platform, WorkloadProfile, float]],
+           ) -> Dict[str, CostEstimate]:
+    """Price several periodic workloads sharing one memory system.
+
+    Args:
+        memory: The shared pool.
+        clients: ``(name, platform, profile, rate_hz)`` tuples.
+
+    Returns:
+        name -> cost estimate under the granted bandwidth.  Clients
+        whose traffic stays on-chip are unaffected by contention.
+    """
+    names = [name for name, *_ in clients]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate client names: {names}")
+    demands = {
+        name: bandwidth_demand(platform, profile, rate_hz)
+        for name, platform, profile, rate_hz in clients
+    }
+    grants = memory.allocate(demands)
+    estimates: Dict[str, CostEstimate] = {}
+    for name, platform, profile, rate_hz in clients:
+        granted = grants[name]
+        if granted <= 0:
+            estimates[name] = platform.estimate(profile)
+        else:
+            estimates[name] = ContendedPlatform(
+                platform, granted
+            ).estimate(profile)
+    return estimates

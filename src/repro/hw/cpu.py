@@ -1,0 +1,147 @@
+"""CPU model: cores x frequency x (optionally) SIMD lanes.
+
+The §2.5 experiment hinges on the gap between *scalar* software and
+*vectorized* software on the same silicon — up to ~500x for batched motion
+planning (Thomason et al.).  The model therefore exposes SIMD width and an
+auto-vectorization efficiency knob explicitly: the same chip instantiated
+with ``simd_width=1`` is the scalar baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hw.platform import AnalyticalPlatform, PlatformConfig
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """Microarchitecture-level CPU description, lowered to a roofline.
+
+    Attributes:
+        name: Instance name.
+        cores: Physical core count.
+        frequency_hz: Core clock.
+        flops_per_cycle_scalar: Scalar FP ops per cycle per core
+            (superscalar issue width for FP).
+        simd_width: SIMD lanes per FP unit (1 = scalar-only build).
+        simd_efficiency: Fraction of peak the vectorizer actually achieves
+            on vectorizable code (compilers rarely hit 1.0).
+        l2_bytes: Last-level on-chip capacity.
+        dram_bw: Off-chip bandwidth (B/s).
+        onchip_bw: Cache bandwidth (B/s).
+        tdp_w: Thermal design power, used for static power share.
+        mass_kg: Module mass for vehicle budgeting.
+        syscall_overhead_s: Per-invocation overhead (scheduling, cache
+            warmup) — small but nonzero on an OS-hosted CPU.
+    """
+
+    name: str
+    cores: int = 4
+    frequency_hz: float = 2.0e9
+    flops_per_cycle_scalar: float = 2.0
+    simd_width: int = 8
+    simd_efficiency: float = 0.7
+    l2_bytes: float = 4e6
+    dram_bw: float = 20e9
+    onchip_bw: float = 200e9
+    tdp_w: float = 15.0
+    mass_kg: float = 0.05
+    syscall_overhead_s: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigurationError(f"cpu {self.name!r}: cores must be >= 1")
+        if self.simd_width < 1:
+            raise ConfigurationError(
+                f"cpu {self.name!r}: simd_width must be >= 1"
+            )
+        if not 0.0 < self.simd_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"cpu {self.name!r}: simd_efficiency must be in (0, 1]"
+            )
+
+    @property
+    def scalar_flops(self) -> float:
+        """Single-core, no-SIMD throughput (the Amdahl serial path)."""
+        return self.frequency_hz * self.flops_per_cycle_scalar
+
+    @property
+    def peak_flops(self) -> float:
+        """All cores, all SIMD lanes, at vectorizer efficiency."""
+        simd_gain = 1.0 if self.simd_width == 1 \
+            else self.simd_width * self.simd_efficiency
+        return self.cores * self.scalar_flops * simd_gain
+
+    def scalar_variant(self, name_suffix: str = "-scalar") -> "CpuConfig":
+        """The same chip compiled without vectorization (simd_width=1)."""
+        return CpuConfig(
+            name=self.name + name_suffix,
+            cores=self.cores,
+            frequency_hz=self.frequency_hz,
+            flops_per_cycle_scalar=self.flops_per_cycle_scalar,
+            simd_width=1,
+            simd_efficiency=1.0,
+            l2_bytes=self.l2_bytes,
+            dram_bw=self.dram_bw,
+            onchip_bw=self.onchip_bw,
+            tdp_w=self.tdp_w,
+            mass_kg=self.mass_kg,
+            syscall_overhead_s=self.syscall_overhead_s,
+        )
+
+    def single_core_variant(self, name_suffix: str = "-1core") -> "CpuConfig":
+        """The same chip restricted to one core (for parallel baselines)."""
+        return CpuConfig(
+            name=self.name + name_suffix,
+            cores=1,
+            frequency_hz=self.frequency_hz,
+            flops_per_cycle_scalar=self.flops_per_cycle_scalar,
+            simd_width=self.simd_width,
+            simd_efficiency=self.simd_efficiency,
+            l2_bytes=self.l2_bytes,
+            dram_bw=self.dram_bw,
+            onchip_bw=self.onchip_bw,
+            tdp_w=self.tdp_w / 2,
+            mass_kg=self.mass_kg,
+            syscall_overhead_s=self.syscall_overhead_s,
+        )
+
+
+# Energy calibration: ~20 pJ/FLOP scalar-class CPU dynamic energy; DRAM
+# access ~20 pJ/B, cache ~1 pJ/B.  These are textbook-order (Horowitz,
+# ISSCC'14) figures shared across the catalog.
+_CPU_ENERGY_PER_FLOP = 20e-12
+_CPU_ONCHIP_PJ_PER_BYTE = 1e-12
+_CPU_OFFCHIP_PJ_PER_BYTE = 20e-12
+
+
+class CpuModel(AnalyticalPlatform):
+    """A CPU as an analytical roofline platform.
+
+    SIMD execution is modeled as lockstep (divergent code vectorizes
+    poorly), while a ``simd_width=1`` build is not (scalar cores follow
+    branches for free, to first order).
+    """
+
+    def __init__(self, config: CpuConfig):
+        self.cpu = config
+        platform_config = PlatformConfig(
+            name=config.name,
+            peak_flops=config.peak_flops,
+            peak_int_ops=config.peak_flops,
+            scalar_flops=config.scalar_flops,
+            onchip_bytes=config.l2_bytes,
+            onchip_bw=config.onchip_bw,
+            offchip_bw=config.dram_bw,
+            launch_overhead_s=config.syscall_overhead_s,
+            energy_per_flop=_CPU_ENERGY_PER_FLOP,
+            energy_per_byte_onchip=_CPU_ONCHIP_PJ_PER_BYTE,
+            energy_per_byte_offchip=_CPU_OFFCHIP_PJ_PER_BYTE,
+            static_power_w=0.3 * config.tdp_w,
+            lockstep=config.simd_width > 1,
+            mass_kg=config.mass_kg,
+            device_class="cpu",
+        )
+        super().__init__(platform_config)

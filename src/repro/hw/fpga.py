@@ -1,0 +1,169 @@
+"""FPGA model: resource-budgeted spatial datapaths at modest clocks.
+
+FPGAs trade clock frequency for spatial parallelism and get efficiency
+between GPUs and ASICs.  The model derives peak throughput from a DSP-slice
+budget: each mapped operation class consumes DSPs per parallel lane, and
+the synthesized design clocks at a fabric frequency well below ASIC speeds.
+Reconfiguration (bitstream load) is modeled so that designs which juggle
+many kernels pay for context switches — a real deployment effect §2.5's
+"flexible accelerators are still accelerators" framing cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+from repro.core.profile import CostEstimate, WorkloadProfile
+from repro.errors import ConfigurationError, MappingError
+from repro.hw.platform import AnalyticalPlatform, PlatformConfig
+
+
+@dataclass(frozen=True)
+class FpgaConfig:
+    """FPGA description, lowered to a roofline.
+
+    Attributes:
+        name: Instance name.
+        dsp_slices: DSP-slice budget.
+        flops_per_dsp_per_cycle: FP throughput per DSP (with LUT support
+            logic); < 1 for double-pumped FP32 implementations.
+        fabric_frequency_hz: Achievable fabric clock.
+        bram_bytes: On-chip block-RAM capacity.
+        dram_bw: Off-chip bandwidth.
+        onchip_bw: Aggregate BRAM bandwidth.
+        reconfiguration_s: Full-bitstream reconfiguration time, charged
+            when switching between mapped kernels (see
+            :meth:`FpgaModel.estimate_with_reconfig`).
+        supported_op_classes: Op classes with synthesized datapaths;
+            ``None`` means fully programmable (anything maps, at generic
+            efficiency).
+        tdp_w: Board power.
+        mass_kg: Module mass.
+    """
+
+    name: str
+    dsp_slices: int = 2000
+    flops_per_dsp_per_cycle: float = 0.5
+    fabric_frequency_hz: float = 250e6
+    bram_bytes: float = 4e6
+    dram_bw: float = 20e9
+    onchip_bw: float = 500e9
+    reconfiguration_s: float = 50e-3
+    supported_op_classes: Optional[FrozenSet[str]] = None
+    tdp_w: float = 20.0
+    mass_kg: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.dsp_slices < 1:
+            raise ConfigurationError(
+                f"fpga {self.name!r}: dsp_slices must be >= 1"
+            )
+        if self.fabric_frequency_hz <= 0:
+            raise ConfigurationError(
+                f"fpga {self.name!r}: fabric_frequency_hz must be > 0"
+            )
+
+    @property
+    def peak_flops(self) -> float:
+        return (self.dsp_slices * self.flops_per_dsp_per_cycle
+                * self.fabric_frequency_hz)
+
+
+_FPGA_ENERGY_PER_FLOP = 8e-12
+_FPGA_ONCHIP_PJ_PER_BYTE = 1.2e-12
+_FPGA_OFFCHIP_PJ_PER_BYTE = 18e-12
+
+
+class FpgaModel(AnalyticalPlatform):
+    """An FPGA as an analytical platform with optional kernel mapping.
+
+    When ``supported_op_classes`` is set, only those classes run at the
+    synthesized datapath's full rate; other classes either fail
+    :meth:`supports` (strict mode) or run on a soft-core fallback at 1/50
+    of peak — mirroring how real deployments fall back to a MicroBlaze or
+    the host.
+    """
+
+    SOFTCORE_DERATE = 0.02
+
+    def __init__(self, config: FpgaConfig, strict: bool = False):
+        self.fpga = config
+        self.strict = strict
+        platform_config = PlatformConfig(
+            name=config.name,
+            peak_flops=config.peak_flops,
+            peak_int_ops=config.peak_flops * 2.0,  # int datapaths are cheap
+            scalar_flops=config.fabric_frequency_hz,  # pipelined scalar path
+            onchip_bytes=config.bram_bytes,
+            onchip_bw=config.onchip_bw,
+            offchip_bw=config.dram_bw,
+            launch_overhead_s=5e-6,
+            energy_per_flop=_FPGA_ENERGY_PER_FLOP,
+            energy_per_byte_onchip=_FPGA_ONCHIP_PJ_PER_BYTE,
+            energy_per_byte_offchip=_FPGA_OFFCHIP_PJ_PER_BYTE,
+            static_power_w=0.4 * config.tdp_w,
+            lockstep=True,
+            mass_kg=config.mass_kg,
+            device_class="fpga",
+        )
+        super().__init__(platform_config)
+        self._configured_for: Optional[str] = None
+
+    def _mapped(self, profile: WorkloadProfile) -> bool:
+        classes = self.fpga.supported_op_classes
+        return classes is None or profile.op_class in classes
+
+    def supports(self, profile: WorkloadProfile) -> bool:
+        return self._mapped(profile) or not self.strict
+
+    def estimate(self, profile: WorkloadProfile) -> CostEstimate:
+        if self._mapped(profile):
+            return super().estimate(profile)
+        if self.strict:
+            raise MappingError(
+                f"fpga {self.name!r} has no datapath for op class"
+                f" {profile.op_class!r} (supported:"
+                f" {sorted(self.fpga.supported_op_classes or [])})"
+            )
+        # Soft-core fallback: run at a small fraction of peak.
+        slow = profile.scaled(1.0 / self.SOFTCORE_DERATE)
+        estimate = super().estimate(slow)
+        # Energy should reflect the *original* op count (the soft core is
+        # slow, not op-hungry) plus static power over the longer latency.
+        dynamic = (profile.flops * self.config.energy_per_flop
+                   + profile.int_ops * self.config.int_energy
+                   + profile.total_bytes
+                   * self._traffic_energy_per_byte(profile))
+        energy = dynamic + self.config.static_power_w * estimate.latency_s
+        return CostEstimate(
+            latency_s=estimate.latency_s,
+            energy_j=energy,
+            power_w=energy / estimate.latency_s if estimate.latency_s else 0.0,
+            area_mm2=estimate.area_mm2,
+            platform=self.name,
+            bound=estimate.bound,
+        )
+
+    def estimate_with_reconfig(
+        self, profile: WorkloadProfile
+    ) -> CostEstimate:
+        """Like :meth:`estimate`, charging reconfiguration on a kernel switch.
+
+        Tracks the last op class run; switching classes pays the bitstream
+        load.  Call sites that interleave kernels see the real cost of FPGA
+        "flexibility".
+        """
+        base = self.estimate(profile)
+        if self._configured_for not in (None, profile.op_class):
+            extra = self.fpga.reconfiguration_s
+            base = CostEstimate(
+                latency_s=base.latency_s + extra,
+                energy_j=base.energy_j + self.config.static_power_w * extra,
+                power_w=base.power_w,
+                area_mm2=base.area_mm2,
+                platform=base.platform,
+                bound=base.bound,
+            )
+        self._configured_for = profile.op_class
+        return base

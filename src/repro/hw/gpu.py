@@ -1,0 +1,102 @@
+"""GPU model: streaming multiprocessors, lockstep warps, launch overhead.
+
+GPUs sit between CPUs and ASICs in the §2.5 spectrum: enormous parallel
+throughput and bandwidth, but per-kernel launch overhead and heavy derating
+on divergent control flow (tree search, RRT expansion).  Both effects are
+first-class in the model because they decide which autonomy kernels a GPU
+actually helps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hw.platform import AnalyticalPlatform, PlatformConfig
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """GPU description, lowered to a roofline.
+
+    Attributes:
+        name: Instance name.
+        sms: Streaming-multiprocessor count.
+        cores_per_sm: FP32 lanes per SM.
+        frequency_hz: SM clock.
+        l2_bytes: On-chip (L2 + shared memory) capacity.
+        dram_bw: Device-memory bandwidth (B/s).
+        onchip_bw: Aggregate shared-memory/L2 bandwidth (B/s).
+        launch_overhead_s: Kernel-launch plus host-sync overhead.
+        tdp_w: Board power.
+        mass_kg: Module mass (board + heatsink) for vehicle budgeting.
+        occupancy: Achieved fraction of peak on well-tuned regular kernels.
+    """
+
+    name: str
+    sms: int = 16
+    cores_per_sm: int = 128
+    frequency_hz: float = 1.2e9
+    l2_bytes: float = 4e6
+    dram_bw: float = 200e9
+    onchip_bw: float = 2e12
+    launch_overhead_s: float = 10e-6
+    tdp_w: float = 60.0
+    mass_kg: float = 0.3
+    occupancy: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.sms < 1 or self.cores_per_sm < 1:
+            raise ConfigurationError(
+                f"gpu {self.name!r}: sms and cores_per_sm must be >= 1"
+            )
+        if not 0.0 < self.occupancy <= 1.0:
+            raise ConfigurationError(
+                f"gpu {self.name!r}: occupancy must be in (0, 1]"
+            )
+
+    @property
+    def peak_flops(self) -> float:
+        """FMA-counted peak at achieved occupancy."""
+        return (self.sms * self.cores_per_sm * self.frequency_hz * 2.0
+                * self.occupancy)
+
+    @property
+    def scalar_flops(self) -> float:
+        """Serial-path throughput: one lane, no latency hiding.
+
+        GPUs are terrible serial machines; a single dependent-op chain runs
+        at roughly clock / pipeline-depth.  We charge one lane at 1/4
+        issue efficiency.
+        """
+        return self.frequency_hz * 0.25
+
+
+_GPU_ENERGY_PER_FLOP = 5e-12
+_GPU_ONCHIP_PJ_PER_BYTE = 1.5e-12
+_GPU_OFFCHIP_PJ_PER_BYTE = 15e-12
+
+
+class GpuModel(AnalyticalPlatform):
+    """A GPU as an analytical roofline platform (lockstep, high overhead)."""
+
+    def __init__(self, config: GpuConfig):
+        self.gpu = config
+        platform_config = PlatformConfig(
+            name=config.name,
+            peak_flops=config.peak_flops,
+            peak_int_ops=config.peak_flops * 0.5,
+            scalar_flops=config.scalar_flops,
+            onchip_bytes=config.l2_bytes,
+            onchip_bw=config.onchip_bw,
+            offchip_bw=config.dram_bw,
+            launch_overhead_s=config.launch_overhead_s,
+            energy_per_flop=_GPU_ENERGY_PER_FLOP,
+            energy_per_byte_onchip=_GPU_ONCHIP_PJ_PER_BYTE,
+            energy_per_byte_offchip=_GPU_OFFCHIP_PJ_PER_BYTE,
+            static_power_w=0.35 * config.tdp_w,
+            lockstep=True,
+            mass_kg=config.mass_kg,
+            device_class="gpu",
+        )
+        super().__init__(platform_config)

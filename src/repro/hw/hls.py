@@ -1,0 +1,195 @@
+"""Accelerator synthesis from a workload specification (§3.1).
+
+A working miniature of the "agile design tools" opportunity: given a
+measured :class:`~repro.core.profile.WorkloadProfile` and a target
+rate, *derive* the fixed-function accelerator that meets the rate —
+sizing peak throughput from the compute requirement, SRAM from the
+working set, and charging area/power through first-order silicon
+models.  Infeasible specifications (rate unreachable inside the area
+budget, serial fraction too high) fail with the specific constraint
+that broke, which is the "formal verification" half of the story: the
+generated design provably meets the model's rate equation, or it is
+not generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional
+
+from repro.core.profile import DIVERGENCE_DERATING, WorkloadProfile
+from repro.errors import ConfigurationError
+from repro.hw.asic import AsicAccelerator, AsicConfig
+
+#: First-order silicon cost constants (7nm-class, datasheet order).
+MM2_PER_TFLOPS = 1.2
+MM2_PER_MB_SRAM = 0.8
+BASE_CONTROL_MM2 = 0.5
+WATTS_LEAKAGE_PER_MM2 = 0.02
+SRAM_BW_PER_TFLOPS = 1e12  # bytes/s of on-chip bandwidth per TFLOP/s
+ACCELERATOR_SCALAR_FLOPS = 1e9
+LAUNCH_OVERHEAD_S = 2e-6
+MAX_PEAK_FLOPS = 100e12  # sanity bound on a single engine
+
+
+@dataclass(frozen=True)
+class SynthesisSpec:
+    """What the generated accelerator must achieve.
+
+    Attributes:
+        profile: The workload (one invocation) to sustain.
+        target_rate_hz: Required invocation rate.
+        area_budget_mm2: Maximum silicon area.
+        offchip_bw: Off-chip bandwidth available to the engine.
+        extra_op_classes: Additional classes to support (each costs
+            generality, as in :class:`~repro.hw.asic.AsicConfig`).
+        margin: Throughput safety margin (1.2 = 20% headroom).
+    """
+
+    profile: WorkloadProfile
+    target_rate_hz: float
+    area_budget_mm2: float = 50.0
+    offchip_bw: float = 50e9
+    extra_op_classes: FrozenSet[str] = frozenset()
+    margin: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.target_rate_hz <= 0:
+            raise ConfigurationError("target_rate_hz must be > 0")
+        if self.area_budget_mm2 <= 0:
+            raise ConfigurationError("area_budget_mm2 must be > 0")
+        if self.margin < 1.0:
+            raise ConfigurationError("margin must be >= 1.0")
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """The generated design plus its sizing rationale.
+
+    Attributes:
+        accelerator: The generated platform model.
+        peak_flops: Chosen peak throughput.
+        sram_bytes: Chosen on-chip capacity.
+        area_mm2: Total area (compute + SRAM + control).
+        achieved_rate_hz: Verified sustained rate on the spec profile.
+        binding_constraint: What sizing was driven by
+            (``"compute" | "memory" | "working-set"``).
+    """
+
+    accelerator: AsicAccelerator
+    peak_flops: float
+    sram_bytes: float
+    area_mm2: float
+    achieved_rate_hz: float
+    binding_constraint: str
+
+
+class InfeasibleDesign(ConfigurationError):
+    """The specification cannot be met; the message names the broken
+    constraint."""
+
+
+def synthesize_accelerator(spec: SynthesisSpec) -> SynthesisReport:
+    """Generate a fixed-function accelerator meeting ``spec``.
+
+    The sizing inverts the analytical platform model: the per-invocation
+    budget ``T = 1 / (rate * margin)`` must cover launch overhead, the
+    serial op chain, the parallel ops at the (derated) peak, and the
+    memory time — so the required peak is::
+
+        peak >= parallel_ops / (derate * (T - overhead - serial - mem))
+
+    Raises:
+        InfeasibleDesign: When the serial chain or memory time alone
+            exceeds the budget, or the sized design busts the area
+            budget, or the required peak is beyond single-engine reach.
+    """
+    profile = spec.profile
+    budget_s = 1.0 / (spec.target_rate_hz * spec.margin)
+
+    serial_ops = profile.total_ops * (1.0 - profile.parallel_fraction)
+    serial_s = serial_ops / ACCELERATOR_SCALAR_FLOPS
+    if LAUNCH_OVERHEAD_S + serial_s >= budget_s:
+        raise InfeasibleDesign(
+            f"serial chain needs {serial_s * 1e6:.1f} us"
+            f" + {LAUNCH_OVERHEAD_S * 1e6:.1f} us overhead, but the"
+            f" per-invocation budget is {budget_s * 1e6:.1f} us;"
+            " no amount of parallel hardware helps (Amdahl)"
+        )
+
+    # Size SRAM to hold the working set when affordable; otherwise the
+    # traffic goes off-chip and memory time may dominate.
+    sram_bytes = min(profile.working_set_bytes, 64e6)
+    sram_area = sram_bytes / 1e6 * MM2_PER_MB_SRAM
+    fits_on_chip = sram_bytes >= profile.working_set_bytes
+    binding = "compute"
+    if fits_on_chip:
+        memory_s = 0.0  # priced after peak is chosen (on-chip bw scales)
+    else:
+        memory_s = profile.total_bytes / spec.offchip_bw
+        binding = "memory"
+        if LAUNCH_OVERHEAD_S + serial_s + memory_s >= budget_s:
+            raise InfeasibleDesign(
+                f"off-chip traffic needs {memory_s * 1e3:.2f} ms"
+                f" against a {budget_s * 1e3:.2f} ms budget at"
+                f" {spec.offchip_bw / 1e9:.0f} GB/s; the working set"
+                f" ({profile.working_set_bytes / 1e6:.1f} MB) does not"
+                " fit affordable SRAM"
+            )
+
+    derate = DIVERGENCE_DERATING[profile.divergence]
+    n_classes = 1 + len(spec.extra_op_classes
+                        - {profile.op_class})
+    generality = (1.0 - 0.15) ** (n_classes - 1)
+    parallel_ops = profile.total_ops * profile.parallel_fraction
+    compute_window = budget_s - LAUNCH_OVERHEAD_S - serial_s - memory_s
+    required_effective = parallel_ops / (derate * compute_window)
+    # effective peak = nameplate * generality; overlap of memory and
+    # compute is not assumed (conservative: they were budgeted apart).
+    nameplate_peak = required_effective / generality
+    if nameplate_peak > MAX_PEAK_FLOPS:
+        raise InfeasibleDesign(
+            f"required peak {nameplate_peak / 1e12:.1f} TFLOP/s exceeds"
+            f" the single-engine bound {MAX_PEAK_FLOPS / 1e12:.0f}"
+        )
+
+    compute_area = nameplate_peak / 1e12 * MM2_PER_TFLOPS
+    area = BASE_CONTROL_MM2 + compute_area + sram_area
+    if area > spec.area_budget_mm2:
+        raise InfeasibleDesign(
+            f"sized design needs {area:.1f} mm^2"
+            f" ({compute_area:.1f} compute + {sram_area:.1f} SRAM)"
+            f" > budget {spec.area_budget_mm2:.1f} mm^2"
+        )
+
+    config = AsicConfig(
+        name=f"hls-{profile.op_class}-{spec.target_rate_hz:g}hz",
+        supported_op_classes=frozenset({profile.op_class})
+        | spec.extra_op_classes,
+        peak_flops=nameplate_peak,
+        onchip_bytes=sram_bytes,
+        onchip_bw=max(SRAM_BW_PER_TFLOPS * nameplate_peak / 1e12,
+                      4.0 * spec.offchip_bw),
+        offchip_bw=spec.offchip_bw,
+        energy_per_flop=1e-12,
+        static_power_w=area * WATTS_LEAKAGE_PER_MM2,
+        area_mm2=area,
+        generality_penalty=0.15,
+        launch_overhead_s=LAUNCH_OVERHEAD_S,
+    )
+    accelerator = AsicAccelerator(config)
+    achieved = accelerator.sustained_rate_hz(profile)
+    if achieved < spec.target_rate_hz:
+        raise InfeasibleDesign(
+            f"generated design verifies at {achieved:.1f} Hz"
+            f" < target {spec.target_rate_hz:g} Hz: the memory system"
+            " binds tighter than the additive sizing assumed"
+        )
+    return SynthesisReport(
+        accelerator=accelerator,
+        peak_flops=nameplate_peak,
+        sram_bytes=sram_bytes,
+        area_mm2=area,
+        achieved_rate_hz=achieved,
+        binding_constraint=binding,
+    )

@@ -1,0 +1,196 @@
+"""Heterogeneous SoC composition: host + accelerators + interconnect.
+
+§2.5's conclusion is that deployed systems are heterogeneous: ASICs (when
+they exist) live next to CPUs, GPUs, and FPGAs, and *offload is not free*.
+This module composes platform models into an SoC where each kernel is
+mapped to the best supporting device, with input/output transfer charged
+over an explicit interconnect — which is exactly the accounting whose
+absence §2.4 calls out.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.profile import CostEstimate, WorkloadProfile
+from repro.core.workload import TaskGraph
+from repro.errors import ConfigurationError, MappingError
+from repro.hw.platform import Platform
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Host-accelerator link (PCIe/AXI-class).
+
+    Attributes:
+        bandwidth: Payload bandwidth (B/s).
+        latency_s: Per-transfer fixed latency (descriptor + DMA setup).
+        energy_per_byte: Transfer energy (J/B).
+    """
+
+    bandwidth: float = 16e9
+    latency_s: float = 5e-6
+    energy_per_byte: float = 10e-12
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError("interconnect bandwidth must be > 0")
+        if self.latency_s < 0 or self.energy_per_byte < 0:
+            raise ConfigurationError(
+                "interconnect latency and energy must be >= 0"
+            )
+
+    def transfer_cost(self, nbytes: float) -> Tuple[float, float]:
+        """(seconds, joules) to move ``nbytes`` across the link."""
+        if nbytes <= 0:
+            return 0.0, 0.0
+        return (self.latency_s + nbytes / self.bandwidth,
+                nbytes * self.energy_per_byte)
+
+
+class MappingPolicy(enum.Enum):
+    """How the SoC chooses among devices that support a kernel."""
+
+    FASTEST = "fastest"  # minimize latency including offload
+    LOWEST_ENERGY = "lowest-energy"  # minimize energy including offload
+    HOST_ONLY = "host-only"  # ignore accelerators (software baseline)
+    PREFER_ACCELERATOR = "prefer-accelerator"  # naive: always offload when
+    # an accelerator supports the kernel (the §2.4 anti-pattern)
+
+
+@dataclass(frozen=True)
+class MappedEstimate:
+    """A cost estimate annotated with the chosen device and offload cost."""
+
+    estimate: CostEstimate
+    device: str
+    offload_s: float
+    offload_j: float
+
+
+class HeterogeneousSoC:
+    """A host platform plus attached accelerators.
+
+    Offload accounting: when a kernel maps to a non-host device, the
+    kernel's input bytes travel host→device and output bytes device→host
+    (we approximate both with the profile's read/write traffic capped by
+    its working set, since internal traffic stays on-device).
+    """
+
+    def __init__(self, name: str, host: Platform,
+                 accelerators: Sequence[Platform] = (),
+                 interconnect: Optional[Interconnect] = None):
+        names = [host.name] + [a.name for a in accelerators]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"soc {name!r}: device names must be unique, got {names}"
+            )
+        self.name = name
+        self.host = host
+        self.accelerators = list(accelerators)
+        self.interconnect = interconnect or Interconnect()
+
+    @property
+    def devices(self) -> List[Platform]:
+        return [self.host] + self.accelerators
+
+    def device(self, name: str) -> Platform:
+        for dev in self.devices:
+            if dev.name == name:
+                return dev
+        raise MappingError(f"soc {self.name!r} has no device {name!r}")
+
+    def total_mass_kg(self) -> float:
+        return sum(d.config.mass_kg for d in self.devices)
+
+    def total_static_power_w(self) -> float:
+        return sum(d.config.static_power_w for d in self.devices)
+
+    def _offload_bytes(self, profile: WorkloadProfile) -> float:
+        io_bytes = profile.total_bytes
+        if profile.working_set_bytes > 0:
+            io_bytes = min(io_bytes, profile.working_set_bytes)
+        return io_bytes
+
+    def _priced_options(
+        self, profile: WorkloadProfile
+    ) -> List[MappedEstimate]:
+        options: List[MappedEstimate] = []
+        for dev in self.devices:
+            if not dev.supports(profile):
+                continue
+            estimate = dev.estimate(profile)
+            if dev is self.host:
+                offload_s, offload_j = 0.0, 0.0
+            else:
+                offload_s, offload_j = self.interconnect.transfer_cost(
+                    self._offload_bytes(profile)
+                )
+            total = CostEstimate(
+                latency_s=estimate.latency_s + offload_s,
+                energy_j=estimate.energy_j + offload_j,
+                power_w=estimate.power_w,
+                area_mm2=estimate.area_mm2,
+                platform=dev.name,
+                bound=estimate.bound,
+            )
+            options.append(MappedEstimate(total, dev.name,
+                                          offload_s, offload_j))
+        return options
+
+    def map_kernel(self, profile: WorkloadProfile,
+                   policy: MappingPolicy = MappingPolicy.FASTEST
+                   ) -> MappedEstimate:
+        """Choose a device for one kernel and price it, offload included."""
+        if policy is MappingPolicy.HOST_ONLY:
+            if not self.host.supports(profile):
+                raise MappingError(
+                    f"host {self.host.name!r} does not support"
+                    f" {profile.op_class!r}"
+                )
+            return MappedEstimate(self.host.estimate(profile),
+                                  self.host.name, 0.0, 0.0)
+
+        options = self._priced_options(profile)
+        if not options:
+            raise MappingError(
+                f"soc {self.name!r}: no device supports op class"
+                f" {profile.op_class!r} for kernel {profile.name!r}"
+            )
+        if policy is MappingPolicy.PREFER_ACCELERATOR:
+            accelerated = [o for o in options if o.device != self.host.name]
+            if accelerated:
+                # Naive policy: fastest *accelerator*, host ignored.
+                return min(accelerated, key=lambda o: o.estimate.latency_s)
+            return options[0]
+        if policy is MappingPolicy.LOWEST_ENERGY:
+            return min(options, key=lambda o: o.estimate.energy_j)
+        return min(options, key=lambda o: o.estimate.latency_s)
+
+    def map_graph(self, graph: TaskGraph,
+                  policy: MappingPolicy = MappingPolicy.FASTEST
+                  ) -> Dict[str, MappedEstimate]:
+        """Map every stage of a task graph; keyed by stage name."""
+        return {
+            stage.name: self.map_kernel(stage.profile, policy=policy)
+            for stage in graph.stages
+        }
+
+    def graph_latency_s(self, graph: TaskGraph,
+                        policy: MappingPolicy = MappingPolicy.FASTEST
+                        ) -> float:
+        """Critical-path latency of one activation of the graph."""
+        mapping = self.map_graph(graph, policy=policy)
+        latencies = {name: m.estimate.latency_s
+                     for name, m in mapping.items()}
+        length, _ = graph.critical_path(latencies)
+        return length
+
+    def graph_energy_j(self, graph: TaskGraph,
+                       policy: MappingPolicy = MappingPolicy.FASTEST
+                       ) -> float:
+        """Total energy of one activation of the graph."""
+        mapping = self.map_graph(graph, policy=policy)
+        return sum(m.estimate.energy_j for m in mapping.values())

@@ -1,0 +1,131 @@
+"""Multi-level memory hierarchy model.
+
+The platform roofline uses a two-level (on-chip / off-chip) shortcut; this
+module provides the full hierarchy for studies that need it — e.g. the
+§2.2 argument that TOPS/W without off-chip-bandwidth accounting misleads:
+:meth:`MemoryHierarchy.traffic_split` shows exactly how much of a kernel's
+traffic spills to DRAM as working sets grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.profile import WorkloadProfile
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One level of the hierarchy.
+
+    Attributes:
+        name: Level name (``"L1"``, ``"L2"``, ``"DRAM"``).
+        capacity_bytes: Capacity; the last level should be effectively
+            unbounded (use ``float("inf")``).
+        bandwidth: Sustainable bandwidth (B/s).
+        energy_per_byte: Access energy (J/B).
+        latency_s: Access latency for a cold reference.
+    """
+
+    name: str
+    capacity_bytes: float
+    bandwidth: float
+    energy_per_byte: float
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError(
+                f"memory level {self.name!r}: bandwidth must be > 0"
+            )
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"memory level {self.name!r}: capacity must be > 0"
+            )
+
+
+class MemoryHierarchy:
+    """An inclusive hierarchy with a working-set-based traffic model.
+
+    The traffic model is the standard first-order one: a working set that
+    fits in level *i* is served entirely by level *i*; a larger working set
+    overflows to the next level, and the overflowing fraction of traffic is
+    charged there.  This captures the capacity cliff that dominates real
+    accelerator behavior without simulating a cache.
+    """
+
+    def __init__(self, levels: Sequence[MemoryLevel]):
+        if not levels:
+            raise ConfigurationError("hierarchy needs at least one level")
+        for upper, lower in zip(levels, levels[1:]):
+            if lower.capacity_bytes < upper.capacity_bytes:
+                raise ConfigurationError(
+                    f"levels must have non-decreasing capacity:"
+                    f" {lower.name} < {upper.name}"
+                )
+        self.levels: Tuple[MemoryLevel, ...] = tuple(levels)
+
+    def serving_level(self, working_set_bytes: float) -> MemoryLevel:
+        """The innermost level whose capacity holds the working set."""
+        for level in self.levels:
+            if working_set_bytes <= level.capacity_bytes:
+                return level
+        return self.levels[-1]
+
+    def traffic_split(
+        self, profile: WorkloadProfile
+    ) -> Dict[str, float]:
+        """Bytes served per level for one invocation.
+
+        A working set that exceeds level *i* sends the overflow fraction
+        ``1 - capacity_i / working_set`` of the traffic past level *i*.
+        """
+        split: Dict[str, float] = {}
+        remaining = profile.total_bytes
+        ws = profile.working_set_bytes
+        for level in self.levels[:-1]:
+            if ws <= level.capacity_bytes:
+                split[level.name] = remaining
+                remaining = 0.0
+            else:
+                hit_fraction = level.capacity_bytes / ws
+                served = remaining * hit_fraction
+                split[level.name] = served
+                remaining -= served
+        split[self.levels[-1].name] = remaining
+        return split
+
+    def access_time_s(self, profile: WorkloadProfile) -> float:
+        """Total memory time under the traffic split (bandwidth-limited)."""
+        split = self.traffic_split(profile)
+        by_name = {level.name: level for level in self.levels}
+        return sum(nbytes / by_name[name].bandwidth
+                   for name, nbytes in split.items())
+
+    def access_energy_j(self, profile: WorkloadProfile) -> float:
+        """Total traffic energy under the traffic split."""
+        split = self.traffic_split(profile)
+        by_name = {level.name: level for level in self.levels}
+        return sum(nbytes * by_name[name].energy_per_byte
+                   for name, nbytes in split.items())
+
+    def offchip_fraction(self, profile: WorkloadProfile) -> float:
+        """Fraction of traffic that reaches the last (off-chip) level."""
+        if profile.total_bytes == 0:
+            return 0.0
+        split = self.traffic_split(profile)
+        return split[self.levels[-1].name] / profile.total_bytes
+
+
+def typical_soc_hierarchy() -> MemoryHierarchy:
+    """A representative embedded-SoC hierarchy (datasheet-order numbers)."""
+    return MemoryHierarchy([
+        MemoryLevel("L1", capacity_bytes=64e3, bandwidth=1e12,
+                    energy_per_byte=0.5e-12, latency_s=1e-9),
+        MemoryLevel("L2", capacity_bytes=4e6, bandwidth=300e9,
+                    energy_per_byte=1e-12, latency_s=5e-9),
+        MemoryLevel("DRAM", capacity_bytes=float("inf"), bandwidth=25e9,
+                    energy_per_byte=20e-12, latency_s=80e-9),
+    ])

@@ -1,0 +1,192 @@
+"""The platform base model: roofline pricing of workload profiles.
+
+The model is deliberately first-order and shared by every platform kind so
+cross-platform comparisons stay apples-to-apples:
+
+- compute time = serial part (Amdahl) + parallel part at peak throughput,
+  derated for control-flow divergence on lockstep machines;
+- memory time = traffic / bandwidth, where traffic is served on-chip when
+  the working set fits and off-chip otherwise;
+- latency = launch overhead + max(compute time, memory time)   (perfect
+  overlap of compute and memory, the optimistic roofline assumption);
+- energy = per-op dynamic energy + per-byte traffic energy + static power
+  over the latency.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.profile import (
+    DIVERGENCE_DERATING,
+    CostEstimate,
+    WorkloadProfile,
+)
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Parameters shared by all platform models.  SI units.
+
+    Attributes:
+        name: Instance name (e.g. ``"jetson-class-gpu"``).
+        peak_flops: Peak parallel floating-point throughput (FLOP/s).
+        peak_int_ops: Peak integer-op throughput; defaults to ``peak_flops``.
+        scalar_flops: Serial-path throughput used for the Amdahl serial
+            fraction (one core, no SIMD).
+        onchip_bytes: On-chip memory capacity (SRAM/caches).
+        onchip_bw: On-chip memory bandwidth (B/s).
+        offchip_bw: Off-chip (DRAM) bandwidth (B/s).
+        launch_overhead_s: Fixed per-invocation cost (kernel launch, DMA
+            setup, syscall).
+        energy_per_flop: Dynamic energy per FLOP (J).
+        energy_per_int_op: Dynamic energy per integer op (J); defaults to
+            half of ``energy_per_flop``.
+        energy_per_byte_onchip: Traffic energy when served on-chip (J/B).
+        energy_per_byte_offchip: Traffic energy when served off-chip (J/B).
+        static_power_w: Leakage + always-on power (W).
+        lockstep: Whether the parallel datapath executes in lockstep
+            (SIMT/systolic) and therefore suffers divergence derating.
+        area_mm2: Silicon area of the compute unit (0 = not modeled).
+        mass_kg: Mass the device adds to a vehicle (module + heatsink).
+        device_class: ``"cpu" | "gpu" | "fpga" | "asic"`` — used by the
+            advisor and the catalog.
+    """
+
+    name: str
+    peak_flops: float = 1e9
+    peak_int_ops: Optional[float] = None
+    scalar_flops: float = 1e9
+    onchip_bytes: float = 1e6
+    onchip_bw: float = 100e9
+    offchip_bw: float = 10e9
+    launch_overhead_s: float = 0.0
+    energy_per_flop: float = 10e-12
+    energy_per_int_op: Optional[float] = None
+    energy_per_byte_onchip: float = 1e-12
+    energy_per_byte_offchip: float = 20e-12
+    static_power_w: float = 1.0
+    lockstep: bool = False
+    area_mm2: float = 0.0
+    mass_kg: float = 0.0
+    device_class: str = "cpu"
+
+    def __post_init__(self) -> None:
+        for attr in ("peak_flops", "scalar_flops", "onchip_bw", "offchip_bw"):
+            if getattr(self, attr) <= 0:
+                raise ConfigurationError(
+                    f"platform {self.name!r}: {attr} must be > 0"
+                )
+        for attr in ("onchip_bytes", "launch_overhead_s", "energy_per_flop",
+                     "energy_per_byte_onchip", "energy_per_byte_offchip",
+                     "static_power_w", "area_mm2", "mass_kg"):
+            if getattr(self, attr) < 0:
+                raise ConfigurationError(
+                    f"platform {self.name!r}: {attr} must be >= 0"
+                )
+
+    @property
+    def int_throughput(self) -> float:
+        return self.peak_int_ops if self.peak_int_ops is not None \
+            else self.peak_flops
+
+    @property
+    def int_energy(self) -> float:
+        return self.energy_per_int_op if self.energy_per_int_op is not None \
+            else 0.5 * self.energy_per_flop
+
+
+class Platform(abc.ABC):
+    """Abstract platform: prices profiles into cost estimates."""
+
+    def __init__(self, config: PlatformConfig):
+        self.config = config
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    @property
+    def device_class(self) -> str:
+        return self.config.device_class
+
+    @abc.abstractmethod
+    def estimate(self, profile: WorkloadProfile) -> CostEstimate:
+        """Price one invocation of ``profile`` on this platform."""
+
+    def supports(self, profile: WorkloadProfile) -> bool:
+        """Whether this platform can run the profile at all.
+
+        Programmable platforms run anything; fixed-function accelerators
+        override this with their mapping table.
+        """
+        return True
+
+    def sustained_rate_hz(self, profile: WorkloadProfile) -> float:
+        """Back-to-back invocation rate (1 / latency)."""
+        return self.estimate(profile).throughput_hz()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.config.name!r})"
+
+
+class AnalyticalPlatform(Platform):
+    """Shared roofline implementation used by all concrete platforms."""
+
+    def _divergence_derating(self, profile: WorkloadProfile) -> float:
+        if not self.config.lockstep:
+            return 1.0
+        return DIVERGENCE_DERATING[profile.divergence]
+
+    def _effective_bandwidth(self, profile: WorkloadProfile) -> float:
+        if profile.working_set_bytes <= self.config.onchip_bytes:
+            return self.config.onchip_bw
+        return self.config.offchip_bw
+
+    def _traffic_energy_per_byte(self, profile: WorkloadProfile) -> float:
+        if profile.working_set_bytes <= self.config.onchip_bytes:
+            return self.config.energy_per_byte_onchip
+        return self.config.energy_per_byte_offchip
+
+    def estimate(self, profile: WorkloadProfile) -> CostEstimate:
+        cfg = self.config
+        derate = self._divergence_derating(profile)
+        serial_ops = profile.total_ops * (1.0 - profile.parallel_fraction)
+        parallel_flops = profile.flops * profile.parallel_fraction
+        parallel_int = profile.int_ops * profile.parallel_fraction
+
+        t_serial = serial_ops / cfg.scalar_flops
+        t_parallel = (parallel_flops / (cfg.peak_flops * derate)
+                      + parallel_int / (cfg.int_throughput * derate))
+        t_compute = t_serial + t_parallel
+
+        bandwidth = self._effective_bandwidth(profile)
+        t_memory = profile.total_bytes / bandwidth
+
+        busy = max(t_compute, t_memory)
+        latency = cfg.launch_overhead_s + busy
+
+        energy = (profile.flops * cfg.energy_per_flop
+                  + profile.int_ops * cfg.int_energy
+                  + profile.total_bytes * self._traffic_energy_per_byte(profile)
+                  + cfg.static_power_w * latency)
+
+        if t_memory >= t_compute:
+            bound = "memory"
+        elif t_serial > t_parallel:
+            bound = "serial"
+        else:
+            bound = "compute"
+
+        power = energy / latency if latency > 0 else cfg.static_power_w
+        return CostEstimate(
+            latency_s=latency,
+            energy_j=energy,
+            power_w=power,
+            area_mm2=cfg.area_mm2,
+            platform=cfg.name,
+            bound=bound,
+        )

@@ -1,0 +1,104 @@
+"""The roofline model: attainable performance vs. arithmetic intensity.
+
+Used both as an analysis tool (where do autonomy kernels sit relative to a
+platform's ridge?) and as the validation target for ablation A2 (does the
+closed-form roofline agree with the discrete-event simulator's measured
+latencies?).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.profile import WorkloadProfile
+from repro.errors import ConfigurationError
+from repro.hw.platform import Platform
+
+
+@dataclass(frozen=True)
+class RooflineModel:
+    """A two-parameter roofline: peak ops/s and memory bandwidth.
+
+    Attributes:
+        name: Label for plots/tables.
+        peak_ops: Peak compute throughput (op/s).
+        bandwidth: Memory bandwidth (B/s).
+    """
+
+    name: str
+    peak_ops: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.peak_ops <= 0 or self.bandwidth <= 0:
+            raise ConfigurationError(
+                f"roofline {self.name!r}: peak_ops and bandwidth must be > 0"
+            )
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Ops/byte where the memory roof meets the compute roof."""
+        return self.peak_ops / self.bandwidth
+
+    def attainable_ops(self, intensity: float) -> float:
+        """Attainable throughput (op/s) at the given arithmetic intensity."""
+        if intensity < 0:
+            raise ConfigurationError(
+                f"arithmetic intensity must be >= 0, got {intensity}"
+            )
+        return min(self.peak_ops, self.bandwidth * intensity)
+
+    def is_memory_bound(self, intensity: float) -> bool:
+        return intensity < self.ridge_intensity
+
+    def latency_s(self, profile: WorkloadProfile) -> float:
+        """Closed-form execution time of one profile invocation."""
+        if profile.total_ops == 0:
+            return profile.total_bytes / self.bandwidth
+        rate = self.attainable_ops(profile.arithmetic_intensity)
+        if math.isinf(profile.arithmetic_intensity):
+            rate = self.peak_ops
+        return profile.total_ops / rate
+
+    def curve(
+        self, intensities: Sequence[float]
+    ) -> List[Tuple[float, float]]:
+        """(intensity, attainable op/s) series for plotting."""
+        return [(x, self.attainable_ops(x)) for x in intensities]
+
+    @staticmethod
+    def from_platform(platform: Platform,
+                      offchip: bool = True) -> "RooflineModel":
+        """Derive the roofline implied by a platform model's config."""
+        cfg = platform.config
+        bandwidth = cfg.offchip_bw if offchip else cfg.onchip_bw
+        return RooflineModel(
+            name=f"{cfg.name}-roofline",
+            peak_ops=cfg.peak_flops,
+            bandwidth=bandwidth,
+        )
+
+
+def place_kernels(
+    roofline: RooflineModel, profiles: Sequence[WorkloadProfile]
+) -> List[Tuple[str, float, float, str]]:
+    """Place kernels on a roofline.
+
+    Returns:
+        One row per profile:
+        ``(name, intensity, attainable op/s, "memory"|"compute")``.
+    """
+    rows: List[Tuple[str, float, float, str]] = []
+    for profile in profiles:
+        intensity = profile.arithmetic_intensity
+        if math.isinf(intensity):
+            rows.append((profile.name, intensity, roofline.peak_ops,
+                         "compute"))
+            continue
+        bound = "memory" if roofline.is_memory_bound(intensity) \
+            else "compute"
+        rows.append((profile.name, intensity,
+                     roofline.attainable_ops(intensity), bound))
+    return rows

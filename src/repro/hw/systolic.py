@@ -1,0 +1,106 @@
+"""Cycle-accurate-in-shape systolic array timing for GEMM-class kernels.
+
+The roofline prices *work*; for GEMM engines (TPU-style) the dominant
+second-order effect is *utilization*: tiles that do not fill the array
+waste cycles.  This model computes exact tile counts and fill/drain
+overheads for an output-stationary ``rows x cols`` MAC array, so the E2/E3
+experiments can show an accelerator looking great at its native tile size
+and mediocre off it — the overfitting §2.3 warns about.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SystolicArrayModel:
+    """Output-stationary systolic array executing ``C[MxN] = A[MxK] B[KxN]``.
+
+    Attributes:
+        rows: PE rows (maps to M tiles).
+        cols: PE columns (maps to N tiles).
+        frequency_hz: Array clock.
+        macs_per_pe_per_cycle: Usually 1.
+    """
+
+    rows: int = 128
+    cols: int = 128
+    frequency_hz: float = 1e9
+    macs_per_pe_per_cycle: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigurationError("systolic array needs rows, cols >= 1")
+        if self.frequency_hz <= 0:
+            raise ConfigurationError("systolic frequency must be > 0")
+
+    @property
+    def peak_macs_per_s(self) -> float:
+        return (self.rows * self.cols * self.macs_per_pe_per_cycle
+                * self.frequency_hz)
+
+    @property
+    def peak_flops(self) -> float:
+        """MACs counted as 2 FLOPs."""
+        return 2.0 * self.peak_macs_per_s
+
+    def gemm_cycles(self, m: int, n: int, k: int) -> int:
+        """Cycles to compute an ``m x k @ k x n`` product.
+
+        Each ``rows x cols`` output tile takes ``k`` accumulation cycles
+        plus ``rows + cols - 2`` fill/drain cycles; tiles are processed
+        back-to-back (no inter-tile overlap — conservative).
+        """
+        if min(m, n, k) < 1:
+            raise ConfigurationError(
+                f"gemm dims must be >= 1, got ({m}, {n}, {k})"
+            )
+        m_tiles = math.ceil(m / self.rows)
+        n_tiles = math.ceil(n / self.cols)
+        per_tile = k + self.rows + self.cols - 2
+        return m_tiles * n_tiles * per_tile
+
+    def gemm_latency_s(self, m: int, n: int, k: int) -> float:
+        return self.gemm_cycles(m, n, k) / self.frequency_hz
+
+    def utilization(self, m: int, n: int, k: int) -> float:
+        """Useful MACs / issued PE-cycles, in (0, 1].
+
+        Full for multiples of the array shape with large ``k``; collapses
+        for skinny matrices — the shape-overfitting signal.
+        """
+        useful_macs = float(m) * n * k
+        issued = (self.gemm_cycles(m, n, k) * self.rows * self.cols
+                  * self.macs_per_pe_per_cycle)
+        return useful_macs / issued
+
+    def effective_flops(self, m: int, n: int, k: int) -> float:
+        """Achieved FLOP/s on this problem shape."""
+        return 2.0 * m * n * k / self.gemm_latency_s(m, n, k)
+
+
+def conv2d_as_gemm(batch: int, in_channels: int, out_channels: int,
+                   height: int, width: int, kernel: int,
+                   stride: int = 1) -> tuple:
+    """Lower a convolution to im2col GEMM dimensions ``(M, N, K)``.
+
+    ``M = out_channels``, ``N = batch * out_h * out_w``,
+    ``K = in_channels * kernel^2`` — the standard mapping used by GEMM
+    engines and by :mod:`repro.kernels.ml`.
+    """
+    if stride < 1 or kernel < 1:
+        raise ConfigurationError("conv2d: kernel and stride must be >= 1")
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ConfigurationError(
+            f"conv2d: kernel {kernel} does not fit input {height}x{width}"
+        )
+    m = out_channels
+    n = batch * out_h * out_w
+    k = in_channels * kernel * kernel
+    return m, n, k

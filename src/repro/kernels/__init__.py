@@ -1,0 +1,40 @@
+"""Autonomy workload kernels, implemented from scratch and instrumented.
+
+Every algorithm an autonomous system runs — state estimation, mapping,
+planning, control, perception, learning — is implemented here in plain
+numpy, with operation-level instrumentation (:class:`repro.core.OpCounter`)
+so each run reports the :class:`~repro.core.WorkloadProfile` the hardware
+models price.  Subpackages:
+
+- :mod:`repro.kernels.linalg`   — instrumented dense linear algebra
+- :mod:`repro.kernels.geometry` — SO(3)/SE(3), quaternions
+- :mod:`repro.kernels.dynamics` — rigid-body dynamics (RNEA/CRBA) on chains
+- :mod:`repro.kernels.slam`     — EKF-SLAM, FastSLAM, pose-graph SLAM
+- :mod:`repro.kernels.planning` — grids, collision, A*, RRT(-Connect), PRM,
+  and the vectorized batch planner of the §2.5 experiment
+- :mod:`repro.kernels.vision`   — corners, optical flow, stereo, VIO
+- :mod:`repro.kernels.control`  — PID, LQR, linear MPC
+- :mod:`repro.kernels.ml`       — conv/GEMM nets, SGD training, quantization
+"""
+
+from repro.kernels import (
+    control,
+    dynamics,
+    geometry,
+    linalg,
+    ml,
+    planning,
+    slam,
+    vision,
+)
+
+__all__ = [
+    "control",
+    "dynamics",
+    "geometry",
+    "linalg",
+    "ml",
+    "planning",
+    "slam",
+    "vision",
+]

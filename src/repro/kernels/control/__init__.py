@@ -1,0 +1,30 @@
+"""Control kernels: PID, LQR, and linear MPC.
+
+The actuator-facing end of the autonomy pipeline.  Control kernels are
+small but *latency-critical* — they sit on the deadline path of the
+closed-loop experiments (E4/E6), where a missed control deadline costs
+mission performance rather than just throughput.
+"""
+
+from repro.kernels.control.ilqr import (
+    IlqrProblem,
+    IlqrResult,
+    IlqrSolver,
+    unicycle_dynamics,
+)
+from repro.kernels.control.lqr import dlqr, double_integrator, lqr_profile
+from repro.kernels.control.mpc import LinearMpc, MpcConfig
+from repro.kernels.control.pid import PidController
+
+__all__ = [
+    "IlqrProblem",
+    "IlqrResult",
+    "IlqrSolver",
+    "LinearMpc",
+    "MpcConfig",
+    "PidController",
+    "dlqr",
+    "double_integrator",
+    "lqr_profile",
+    "unicycle_dynamics",
+]

@@ -1,0 +1,260 @@
+"""Iterative LQR: nonlinear trajectory optimization.
+
+The workhorse of modern whole-body/agile control (and the outer loop
+around the batched-dynamics kernels of the robomorphic line): linearize
+the dynamics along a nominal trajectory, solve the time-varying LQR
+backward pass, roll forward with a line search, repeat.  Jacobians come
+from finite differences by default so any black-box dynamics plugs in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.profile import DivergenceClass, OpCounter, WorkloadProfile
+from repro.errors import ConfigurationError
+
+Dynamics = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass
+class IlqrProblem:
+    """A finite-horizon optimal-control problem.
+
+    Attributes:
+        dynamics: ``x_next = f(x, u)``.
+        state_dim, control_dim: Dimensions.
+        q, r, q_terminal: Quadratic cost weights (state, control,
+            terminal state) about ``x_goal``.
+        x_goal: Target state.
+        horizon: Number of control steps.
+    """
+
+    dynamics: Dynamics
+    state_dim: int
+    control_dim: int
+    q: np.ndarray
+    r: np.ndarray
+    q_terminal: np.ndarray
+    x_goal: np.ndarray
+    horizon: int = 50
+
+    def __post_init__(self) -> None:
+        if self.horizon < 1:
+            raise ConfigurationError("horizon must be >= 1")
+        n, m = self.state_dim, self.control_dim
+        self.q = np.asarray(self.q, dtype=float)
+        self.r = np.asarray(self.r, dtype=float)
+        self.q_terminal = np.asarray(self.q_terminal, dtype=float)
+        self.x_goal = np.asarray(self.x_goal, dtype=float)
+        if self.q.shape != (n, n) or self.q_terminal.shape != (n, n):
+            raise ConfigurationError("Q/Qf must be (n, n)")
+        if self.r.shape != (m, m):
+            raise ConfigurationError("R must be (m, m)")
+        if self.x_goal.shape != (n,):
+            raise ConfigurationError("x_goal must be (n,)")
+
+    def stage_cost(self, x: np.ndarray, u: np.ndarray) -> float:
+        dx = x - self.x_goal
+        return float(dx @ self.q @ dx + u @ self.r @ u)
+
+    def terminal_cost(self, x: np.ndarray) -> float:
+        dx = x - self.x_goal
+        return float(dx @ self.q_terminal @ dx)
+
+    def trajectory_cost(self, states: np.ndarray,
+                        controls: np.ndarray) -> float:
+        cost = sum(self.stage_cost(x, u)
+                   for x, u in zip(states[:-1], controls))
+        return cost + self.terminal_cost(states[-1])
+
+
+@dataclass
+class IlqrResult:
+    """Solver output.
+
+    Attributes:
+        states: ``(horizon + 1, n)`` optimized trajectory.
+        controls: ``(horizon, m)`` optimized inputs.
+        cost_trace: Total cost per iteration (including the initial
+            rollout).
+        converged: Whether the relative cost improvement fell below
+            tolerance before the iteration cap.
+    """
+
+    states: np.ndarray
+    controls: np.ndarray
+    cost_trace: List[float]
+    converged: bool
+
+
+def finite_difference_jacobians(dynamics: Dynamics, x: np.ndarray,
+                                u: np.ndarray, epsilon: float = 1e-6
+                                ) -> Tuple[np.ndarray, np.ndarray]:
+    """Central-difference Jacobians ``(df/dx, df/du)``."""
+    n, m = x.shape[0], u.shape[0]
+    a = np.zeros((n, n))
+    b = np.zeros((n, m))
+    for i in range(n):
+        dx = np.zeros(n)
+        dx[i] = epsilon
+        a[:, i] = (dynamics(x + dx, u) - dynamics(x - dx, u)) \
+            / (2 * epsilon)
+    for j in range(m):
+        du = np.zeros(m)
+        du[j] = epsilon
+        b[:, j] = (dynamics(x, u + du) - dynamics(x, u - du)) \
+            / (2 * epsilon)
+    return a, b
+
+
+class IlqrSolver:
+    """iLQR with Levenberg-style regularization and line search."""
+
+    def __init__(self, problem: IlqrProblem,
+                 max_iterations: int = 50, tolerance: float = 1e-6,
+                 counter: Optional[OpCounter] = None):
+        if max_iterations < 1:
+            raise ConfigurationError("max_iterations must be >= 1")
+        self.problem = problem
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.counter = counter if counter is not None \
+            else OpCounter(name="ilqr")
+
+    def _rollout(self, x0: np.ndarray,
+                 controls: np.ndarray) -> np.ndarray:
+        states = [np.asarray(x0, dtype=float)]
+        for u in controls:
+            states.append(self.problem.dynamics(states[-1], u))
+        return np.stack(states)
+
+    def _backward_pass(self, states, controls, regularization):
+        problem = self.problem
+        n, m = problem.state_dim, problem.control_dim
+        big_n = problem.horizon
+        vx = 2.0 * problem.q_terminal @ (states[-1] - problem.x_goal)
+        vxx = 2.0 * problem.q_terminal
+        gains_k = np.zeros((big_n, m))
+        gains_kx = np.zeros((big_n, m, n))
+        for t in range(big_n - 1, -1, -1):
+            x, u = states[t], controls[t]
+            a, b = finite_difference_jacobians(problem.dynamics, x, u)
+            lx = 2.0 * problem.q @ (x - problem.x_goal)
+            lu = 2.0 * problem.r @ u
+            qx = lx + a.T @ vx
+            qu = lu + b.T @ vx
+            qxx = 2.0 * problem.q + a.T @ vxx @ a
+            quu = 2.0 * problem.r + b.T @ vxx @ b \
+                + regularization * np.eye(m)
+            qux = b.T @ vxx @ a
+            try:
+                quu_inv = np.linalg.inv(quu)
+            except np.linalg.LinAlgError:
+                return None
+            gains_k[t] = -quu_inv @ qu
+            gains_kx[t] = -quu_inv @ qux
+            vx = qx + gains_kx[t].T @ quu @ gains_k[t] \
+                + gains_kx[t].T @ qu + qux.T @ gains_k[t]
+            vxx = qxx + gains_kx[t].T @ quu @ gains_kx[t] \
+                + gains_kx[t].T @ qux + qux.T @ gains_kx[t]
+            vxx = 0.5 * (vxx + vxx.T)
+            self.counter.add_flops(
+                4.0 * n ** 3 + 6.0 * n * n * m + m ** 3
+            )
+        return gains_k, gains_kx
+
+    def solve(self, x0: np.ndarray,
+              initial_controls: Optional[np.ndarray] = None
+              ) -> IlqrResult:
+        """Optimize from initial state ``x0``."""
+        problem = self.problem
+        x0 = np.asarray(x0, dtype=float)
+        if x0.shape != (problem.state_dim,):
+            raise ConfigurationError(
+                f"x0 must be ({problem.state_dim},), got {x0.shape}"
+            )
+        if initial_controls is None:
+            controls = np.zeros((problem.horizon,
+                                 problem.control_dim))
+        else:
+            controls = np.array(initial_controls, dtype=float)
+            if controls.shape != (problem.horizon,
+                                  problem.control_dim):
+                raise ConfigurationError("initial_controls shape")
+
+        states = self._rollout(x0, controls)
+        cost = problem.trajectory_cost(states, controls)
+        trace = [cost]
+        regularization = 1e-6
+        converged = False
+
+        for _ in range(self.max_iterations):
+            backward = self._backward_pass(states, controls,
+                                           regularization)
+            if backward is None:
+                regularization = min(regularization * 10.0, 1e6)
+                continue
+            gains_k, gains_kx = backward
+
+            improved = False
+            for step in (1.0, 0.5, 0.25, 0.1, 0.03):
+                new_controls = np.zeros_like(controls)
+                new_states = [x0]
+                for t in range(problem.horizon):
+                    deviation = new_states[t] - states[t]
+                    new_controls[t] = (controls[t]
+                                       + step * gains_k[t]
+                                       + gains_kx[t] @ deviation)
+                    new_states.append(problem.dynamics(
+                        new_states[t], new_controls[t]
+                    ))
+                candidate_states = np.stack(new_states)
+                candidate_cost = problem.trajectory_cost(
+                    candidate_states, new_controls
+                )
+                if candidate_cost < cost:
+                    improvement = (cost - candidate_cost) \
+                        / max(cost, 1e-12)
+                    states, controls = candidate_states, new_controls
+                    cost = candidate_cost
+                    trace.append(cost)
+                    regularization = max(regularization / 10.0, 1e-9)
+                    improved = True
+                    if improvement < self.tolerance:
+                        converged = True
+                    break
+            if not improved:
+                regularization = min(regularization * 10.0, 1e6)
+                if regularization >= 1e6:
+                    break
+            if converged:
+                break
+
+        return IlqrResult(states=states, controls=controls,
+                          cost_trace=trace, converged=converged)
+
+    def profile(self) -> WorkloadProfile:
+        """Measured profile (small dense linear algebra, sequential
+        backward recursion)."""
+        return self.counter.profile(parallel_fraction=0.7,
+                                    divergence=DivergenceClass.LOW,
+                                    op_class="linalg")
+
+
+def unicycle_dynamics(dt: float = 0.1) -> Dynamics:
+    """Discrete unicycle: state ``[x, y, theta]``, control ``[v, w]``."""
+    if dt <= 0:
+        raise ConfigurationError("dt must be > 0")
+
+    def step(x: np.ndarray, u: np.ndarray) -> np.ndarray:
+        return np.array([
+            x[0] + dt * u[0] * np.cos(x[2]),
+            x[1] + dt * u[0] * np.sin(x[2]),
+            x[2] + dt * u[1],
+        ])
+
+    return step

@@ -1,0 +1,92 @@
+"""Discrete-time LQR via Riccati iteration."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.profile import DivergenceClass, OpCounter, WorkloadProfile
+from repro.errors import ConfigurationError
+
+
+def dlqr(a: np.ndarray, b: np.ndarray, q: np.ndarray, r: np.ndarray,
+         iterations: int = 10000, tolerance: float = 1e-10,
+         counter: Optional[OpCounter] = None
+         ) -> Tuple[np.ndarray, np.ndarray]:
+    """Infinite-horizon discrete LQR gain.
+
+    Iterates the discrete algebraic Riccati equation to convergence.
+
+    Returns:
+        ``(K, P)`` with the control law ``u = -K x`` and the value matrix
+        ``P``.
+
+    Raises:
+        ConfigurationError: On shape mismatch or non-convergence.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    q = np.asarray(q, dtype=float)
+    r = np.asarray(r, dtype=float)
+    n = a.shape[0]
+    if a.shape != (n, n):
+        raise ConfigurationError(f"A must be square, got {a.shape}")
+    if b.shape[0] != n:
+        raise ConfigurationError(
+            f"B rows ({b.shape[0]}) must match A ({n})"
+        )
+    m = b.shape[1]
+    if q.shape != (n, n) or r.shape != (m, m):
+        raise ConfigurationError("Q/R shapes inconsistent with A/B")
+
+    p = q.copy()
+    for _ in range(iterations):
+        bt_p = b.T @ p
+        gain_denominator = r + bt_p @ b
+        k = np.linalg.solve(gain_denominator, bt_p @ a)
+        p_next = q + a.T @ p @ (a - b @ k)
+        if counter is not None:
+            counter.add_gemm(m, n, n)
+            counter.add_gemm(m, m, n)
+            counter.add_gemm(n, n, n)
+            counter.add_gemm(n, n, n)
+            counter.add_flops(m ** 3 / 3.0)
+        delta = float(np.max(np.abs(p_next - p)))
+        p = 0.5 * (p_next + p_next.T)
+        if delta < tolerance:
+            k = np.linalg.solve(r + b.T @ p @ b, b.T @ p @ a)
+            return k, p
+    raise ConfigurationError(
+        f"Riccati iteration did not converge in {iterations} steps"
+        " (is (A, B) stabilizable?)"
+    )
+
+
+def double_integrator(dt: float = 0.05
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Discrete 1-D double integrator ``(A, B)`` — the UAV axis model."""
+    if dt <= 0:
+        raise ConfigurationError(f"dt must be > 0, got {dt}")
+    a = np.array([[1.0, dt], [0.0, 1.0]])
+    b = np.array([[0.5 * dt * dt], [dt]])
+    return a, b
+
+
+def lqr_profile(state_dim: int, control_dim: int,
+                riccati_iterations: int = 100,
+                name: Optional[str] = None) -> WorkloadProfile:
+    """Closed-form profile of one LQR synthesis (small dense GEMMs)."""
+    if state_dim < 1 or control_dim < 1:
+        raise ConfigurationError("dims must be >= 1")
+    n, m = state_dim, control_dim
+    counter = OpCounter(name=name or f"lqr-{n}x{m}")
+    per_iter = (2.0 * m * n * n + 2.0 * m * m * n
+                + 4.0 * n ** 3 + m ** 3 / 3.0)
+    counter.add_flops(per_iter * riccati_iterations)
+    counter.add_read(8.0 * (n * n * 3 + n * m) * riccati_iterations)
+    counter.add_write(8.0 * n * n * riccati_iterations)
+    counter.note_working_set(8.0 * (3 * n * n + 2 * n * m))
+    return counter.profile(parallel_fraction=0.85,
+                           divergence=DivergenceClass.LOW,
+                           op_class="gemm")

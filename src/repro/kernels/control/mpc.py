@@ -1,0 +1,157 @@
+"""Linear model-predictive control with box input constraints.
+
+Condensed formulation: the horizon's states are eliminated, leaving a QP
+in the input sequence, solved by projected gradient descent (exact for
+the unconstrained case in the limit; monotone and constraint-satisfying
+always).  MPC is the compute-hungry controller — its per-step cost scales
+with horizon^2 — making it the stage that *tempts* acceleration in the
+E4 sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.profile import DivergenceClass, OpCounter, WorkloadProfile
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class MpcConfig:
+    """MPC problem description.
+
+    Attributes:
+        a, b: Discrete dynamics ``x+ = A x + B u``.
+        q, r: Stage cost weights (state / input).
+        horizon: Prediction horizon length.
+        u_min, u_max: Box input constraints.
+        solver_iterations: Projected-gradient iterations per solve.
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    q: np.ndarray
+    r: np.ndarray
+    horizon: int = 10
+    u_min: float = -np.inf
+    u_max: float = np.inf
+    solver_iterations: int = 100
+
+    def __post_init__(self) -> None:
+        self.a = np.asarray(self.a, dtype=float)
+        self.b = np.asarray(self.b, dtype=float)
+        self.q = np.asarray(self.q, dtype=float)
+        self.r = np.asarray(self.r, dtype=float)
+        if self.horizon < 1:
+            raise ConfigurationError("horizon must be >= 1")
+        if self.u_min >= self.u_max:
+            raise ConfigurationError("u_min must be < u_max")
+        n = self.a.shape[0]
+        if self.a.shape != (n, n) or self.b.shape[0] != n:
+            raise ConfigurationError("A/B shapes inconsistent")
+
+
+class LinearMpc:
+    """Condensed linear MPC solved by projected gradient descent."""
+
+    def __init__(self, config: MpcConfig,
+                 counter: Optional[OpCounter] = None):
+        self.config = config
+        self.counter = counter if counter is not None \
+            else OpCounter(name="mpc")
+        self._build_condensed()
+
+    def _build_condensed(self) -> None:
+        """Precompute prediction matrices ``X = S x0 + T U``."""
+        cfg = self.config
+        n = cfg.a.shape[0]
+        m = cfg.b.shape[1]
+        big_n = cfg.horizon
+        s = np.zeros((n * big_n, n))
+        t = np.zeros((n * big_n, m * big_n))
+        a_power = np.eye(n)
+        for i in range(big_n):
+            a_power = a_power @ cfg.a
+            s[n * i:n * (i + 1), :] = a_power
+            block = cfg.b.copy()
+            for j in range(i, -1, -1):
+                t[n * i:n * (i + 1), m * j:m * (j + 1)] = block
+                block = cfg.a @ block
+        q_bar = np.kron(np.eye(big_n), cfg.q)
+        r_bar = np.kron(np.eye(big_n), cfg.r)
+        self._s = s
+        self._t = t
+        self._hessian = 2.0 * (t.T @ q_bar @ t + r_bar)
+        self._q_bar = q_bar
+        self._m = m
+        # Lipschitz constant of the gradient -> fixed step size.
+        eigenvalues = np.linalg.eigvalsh(self._hessian)
+        self._step = 1.0 / float(eigenvalues.max())
+
+    def solve(self, x0: np.ndarray,
+              x_ref: Optional[np.ndarray] = None) -> np.ndarray:
+        """Solve for the optimal input sequence from state ``x0``.
+
+        Args:
+            x0: Current state.
+            x_ref: Optional constant state reference (defaults to origin).
+
+        Returns:
+            ``(horizon, m)`` input sequence (apply row 0).
+        """
+        cfg = self.config
+        x0 = np.asarray(x0, dtype=float)
+        n = cfg.a.shape[0]
+        if x0.shape != (n,):
+            raise ConfigurationError(
+                f"x0 must have shape ({n},), got {x0.shape}"
+            )
+        big_n = cfg.horizon
+        if x_ref is None:
+            ref = np.zeros(n * big_n)
+        else:
+            x_ref = np.asarray(x_ref, dtype=float)
+            ref = np.tile(x_ref, big_n)
+
+        linear = 2.0 * self._t.T @ (self._q_bar @ (self._s @ x0 - ref))
+        u = np.zeros(self._m * big_n)
+        for _ in range(cfg.solver_iterations):
+            gradient = self._hessian @ u + linear
+            u = u - self._step * gradient
+            u = np.clip(u, cfg.u_min, cfg.u_max)
+        dims = self._hessian.shape[0]
+        self.counter.add_gemm(dims, 1, dims)
+        self.counter.add_flops(2.0 * dims * cfg.solver_iterations)
+        self.counter.note_working_set(8.0 * dims * dims)
+        return u.reshape(big_n, self._m)
+
+    def control(self, x0: np.ndarray,
+                x_ref: Optional[np.ndarray] = None) -> np.ndarray:
+        """First input of the optimal sequence (receding horizon)."""
+        return self.solve(x0, x_ref)[0]
+
+    def profile(self) -> WorkloadProfile:
+        """Measured profile (dense GEMV iterations)."""
+        return self.counter.profile(parallel_fraction=0.9,
+                                    divergence=DivergenceClass.LOW,
+                                    op_class="gemm")
+
+
+def mpc_profile(state_dim: int, control_dim: int, horizon: int,
+                solver_iterations: int = 100,
+                name: Optional[str] = None) -> WorkloadProfile:
+    """Closed-form per-solve MPC profile."""
+    if min(state_dim, control_dim, horizon) < 1:
+        raise ConfigurationError("dims and horizon must be >= 1")
+    dims = control_dim * horizon
+    counter = OpCounter(name=name or f"mpc-h{horizon}")
+    counter.add_flops(2.0 * dims * dims * solver_iterations)
+    counter.add_read(8.0 * dims * dims * solver_iterations)
+    counter.add_write(8.0 * dims * solver_iterations)
+    counter.note_working_set(8.0 * dims * dims)
+    return counter.profile(parallel_fraction=0.9,
+                           divergence=DivergenceClass.LOW,
+                           op_class="gemm")

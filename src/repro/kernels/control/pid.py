@@ -1,0 +1,63 @@
+"""PID control with anti-windup.
+
+The humble baseline controller: nearly free to compute, which is exactly
+why it anchors the "do not always accelerate" comparisons — a pipeline
+whose control stage is PID gains nothing from a control accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class PidController:
+    """A scalar PID controller with output clamping and anti-windup.
+
+    Attributes:
+        kp, ki, kd: Gains.
+        output_limit: Symmetric output saturation (``None`` = unbounded).
+        integral_limit: Symmetric clamp on the integral term.
+    """
+
+    kp: float = 1.0
+    ki: float = 0.0
+    kd: float = 0.0
+    output_limit: float = float("inf")
+    integral_limit: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.output_limit <= 0 or self.integral_limit <= 0:
+            raise ConfigurationError("limits must be > 0")
+        self._integral = 0.0
+        self._previous_error: float = 0.0
+        self._primed = False
+
+    def reset(self) -> None:
+        """Clear integral and derivative memory."""
+        self._integral = 0.0
+        self._previous_error = 0.0
+        self._primed = False
+
+    def update(self, error: float, dt: float) -> float:
+        """One control step; returns the (saturated) command."""
+        if dt <= 0:
+            raise ConfigurationError(f"dt must be > 0, got {dt}")
+        self._integral += error * dt
+        self._integral = max(-self.integral_limit,
+                             min(self.integral_limit, self._integral))
+        derivative = 0.0
+        if self._primed:
+            derivative = (error - self._previous_error) / dt
+        self._previous_error = error
+        self._primed = True
+
+        raw = (self.kp * error + self.ki * self._integral
+               + self.kd * derivative)
+        limited = max(-self.output_limit, min(self.output_limit, raw))
+        if limited != raw:
+            # Anti-windup: bleed the integral when saturated.
+            self._integral -= error * dt
+        return limited

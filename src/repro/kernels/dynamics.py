@@ -1,0 +1,396 @@
+"""Rigid-body dynamics on serial kinematic chains (spatial algebra).
+
+Implements the two workhorse robotics dynamics algorithms — the Recursive
+Newton-Euler Algorithm (RNEA, inverse dynamics) and the Composite Rigid
+Body Algorithm (CRBA, joint-space mass matrix) — in Featherstone's spatial
+6-vector formulation, plus forward dynamics via ``M(q) qdd = tau - bias``.
+These kernels are the target of the robomorphic-computing line of
+accelerators the paper cites (§1), and their per-link op counts are what
+the hardware models price.
+
+Conventions (Featherstone, *Rigid Body Dynamics Algorithms*):
+
+- spatial motion vectors are ``[angular; linear]``;
+- ``X`` matrices transform motion vectors from parent to link coordinates;
+- gravity defaults to ``-z`` in the base frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.profile import DivergenceClass, OpCounter, WorkloadProfile
+from repro.errors import ConfigurationError
+from repro.kernels.geometry import rotation_x, rotation_y, rotation_z, skew
+
+_AXES = {"x": 0, "y": 1, "z": 2}
+_ROTATIONS = {"x": rotation_x, "y": rotation_y, "z": rotation_z}
+
+#: Hand-tallied FLOPs per link for one RNEA pass (forward + backward),
+#: counting the 6x6 transforms, cross products, and inertia applications
+#: actually performed below.
+RNEA_FLOPS_PER_LINK = 320.0
+#: FLOPs per (i, j) pair touched by CRBA's backward accumulation.
+CRBA_FLOPS_PER_PAIR = 170.0
+#: Hand-tallied FLOPs per link for one ABA pass (three sweeps with 6x6
+#: transforms, the articulated-inertia rank-1 update, and congruences).
+ABA_FLOPS_PER_LINK = 850.0
+
+
+def spatial_rotation(e: np.ndarray) -> np.ndarray:
+    """Motion-vector coordinate transform for a pure rotation ``e``."""
+    x = np.zeros((6, 6))
+    x[:3, :3] = e
+    x[3:, 3:] = e
+    return x
+
+
+def spatial_translation(r: np.ndarray) -> np.ndarray:
+    """Motion-vector coordinate transform for a pure translation ``r``."""
+    x = np.eye(6)
+    x[3:, :3] = -skew(np.asarray(r, dtype=float))
+    return x
+
+
+def crm(v: np.ndarray) -> np.ndarray:
+    """Spatial cross-product operator for motion vectors (``v x``)."""
+    w, lin = v[:3], v[3:]
+    x = np.zeros((6, 6))
+    x[:3, :3] = skew(w)
+    x[3:, :3] = skew(lin)
+    x[3:, 3:] = skew(w)
+    return x
+
+
+def crf(v: np.ndarray) -> np.ndarray:
+    """Spatial cross-product operator for force vectors (``v x*``)."""
+    return -crm(v).T
+
+
+def spatial_inertia(mass: float, com: np.ndarray,
+                    inertia_about_com: np.ndarray) -> np.ndarray:
+    """6x6 spatial inertia of a body (link frame at the joint)."""
+    if mass < 0:
+        raise ConfigurationError(f"mass must be >= 0, got {mass}")
+    c = skew(np.asarray(com, dtype=float))
+    i = np.zeros((6, 6))
+    i[:3, :3] = (np.asarray(inertia_about_com, dtype=float)
+                 + mass * (c @ c.T))
+    i[:3, 3:] = mass * c
+    i[3:, :3] = mass * c.T
+    i[3:, 3:] = mass * np.eye(3)
+    return i
+
+
+@dataclass(frozen=True)
+class Link:
+    """One revolute link of a serial chain.
+
+    Attributes:
+        joint_axis: ``"x"``, ``"y"``, or ``"z"`` (axis in link coordinates).
+        parent_offset: Joint origin relative to the parent joint, in parent
+            coordinates (the fixed tree translation).
+        mass: Link mass (kg).
+        com: Center of mass in link coordinates.
+        inertia_diag: Principal rotational inertia about the COM.
+    """
+
+    joint_axis: str = "z"
+    parent_offset: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    mass: float = 1.0
+    com: Tuple[float, float, float] = (0.5, 0.0, 0.0)
+    inertia_diag: Tuple[float, float, float] = (0.01, 0.01, 0.01)
+
+    def __post_init__(self) -> None:
+        if self.joint_axis not in _AXES:
+            raise ConfigurationError(
+                f"joint_axis must be one of {sorted(_AXES)},"
+                f" got {self.joint_axis!r}"
+            )
+
+    def motion_subspace(self) -> np.ndarray:
+        s = np.zeros(6)
+        s[_AXES[self.joint_axis]] = 1.0
+        return s
+
+    def spatial_inertia(self) -> np.ndarray:
+        return spatial_inertia(self.mass, np.array(self.com),
+                               np.diag(self.inertia_diag))
+
+
+class KinematicChain:
+    """A serial chain of revolute links with dynamics algorithms."""
+
+    def __init__(self, links: Sequence[Link],
+                 gravity: float = 9.81):
+        if not links:
+            raise ConfigurationError("chain needs at least one link")
+        self.links = list(links)
+        self.gravity = gravity
+        self._inertias = [link.spatial_inertia() for link in self.links]
+        self._subspaces = [link.motion_subspace() for link in self.links]
+
+    @property
+    def dof(self) -> int:
+        return len(self.links)
+
+    def _check_state(self, *vectors: np.ndarray) -> List[np.ndarray]:
+        out = []
+        for vec in vectors:
+            arr = np.asarray(vec, dtype=float)
+            if arr.shape != (self.dof,):
+                raise ConfigurationError(
+                    f"state vector must have shape ({self.dof},),"
+                    f" got {arr.shape}"
+                )
+            out.append(arr)
+        return out
+
+    def _link_transforms(self, q: np.ndarray) -> List[np.ndarray]:
+        """Parent-to-link motion transforms ``Xup[i]`` at configuration q."""
+        xups = []
+        for i, link in enumerate(self.links):
+            # Rotation by -q maps parent coords into the rotated link frame.
+            e = _ROTATIONS[link.joint_axis](-q[i])
+            xj = spatial_rotation(e)
+            xtree = spatial_translation(np.array(link.parent_offset))
+            xups.append(xj @ xtree)
+        return xups
+
+    def rnea(self, q: np.ndarray, qd: np.ndarray, qdd: np.ndarray,
+             counter: Optional[OpCounter] = None,
+             external_force: Optional[np.ndarray] = None) -> np.ndarray:
+        """Inverse dynamics: joint torques realizing ``qdd`` at ``(q, qd)``.
+
+        Args:
+            q, qd, qdd: Joint positions, velocities, accelerations.
+            counter: Optional op counter (per-link instrumentation).
+            external_force: Optional spatial force on the end effector,
+                expressed in the last link's frame.
+        """
+        q, qd, qdd = self._check_state(q, qd, qdd)
+        n = self.dof
+        a_grav = np.array([0.0, 0.0, 0.0, 0.0, 0.0, -self.gravity])
+        xups = self._link_transforms(q)
+
+        v = [np.zeros(6) for _ in range(n)]
+        a = [np.zeros(6) for _ in range(n)]
+        f = [np.zeros(6) for _ in range(n)]
+        for i in range(n):
+            s = self._subspaces[i]
+            vj = s * qd[i]
+            if i == 0:
+                v[i] = vj
+                a[i] = xups[i] @ (-a_grav) + s * qdd[i]
+            else:
+                v[i] = xups[i] @ v[i - 1] + vj
+                a[i] = (xups[i] @ a[i - 1] + s * qdd[i]
+                        + crm(v[i]) @ vj)
+            inertia = self._inertias[i]
+            f[i] = inertia @ a[i] + crf(v[i]) @ (inertia @ v[i])
+
+        if external_force is not None:
+            ext = np.asarray(external_force, dtype=float)
+            if ext.shape != (6,):
+                raise ConfigurationError(
+                    f"external_force must be a spatial 6-vector,"
+                    f" got {ext.shape}"
+                )
+            f[n - 1] = f[n - 1] - ext
+
+        tau = np.zeros(n)
+        for i in range(n - 1, -1, -1):
+            tau[i] = self._subspaces[i] @ f[i]
+            if i > 0:
+                f[i - 1] = f[i - 1] + xups[i].T @ f[i]
+
+        if counter is not None:
+            counter.add_flops(RNEA_FLOPS_PER_LINK * n)
+            counter.add_read(8.0 * (3 * n + 36 * n))  # state + inertias
+            counter.add_write(8.0 * n)
+            counter.note_working_set(8.0 * (36 * n + 18 * n))
+        return tau
+
+    def mass_matrix(self, q: np.ndarray,
+                    counter: Optional[OpCounter] = None) -> np.ndarray:
+        """Joint-space mass matrix ``M(q)`` via CRBA."""
+        (q,) = self._check_state(q)
+        n = self.dof
+        xups = self._link_transforms(q)
+        composite = [inertia.copy() for inertia in self._inertias]
+        for i in range(n - 1, 0, -1):
+            composite[i - 1] += xups[i].T @ composite[i] @ xups[i]
+
+        m = np.zeros((n, n))
+        pairs = 0
+        for i in range(n):
+            fh = composite[i] @ self._subspaces[i]
+            m[i, i] = self._subspaces[i] @ fh
+            j = i
+            while j > 0:
+                fh = xups[j].T @ fh
+                j -= 1
+                m[i, j] = m[j, i] = self._subspaces[j] @ fh
+                pairs += 1
+        if counter is not None:
+            counter.add_flops(CRBA_FLOPS_PER_PAIR * (pairs + n)
+                              + 500.0 * (n - 1))  # 6x6 congruence per link
+            counter.add_read(8.0 * 36 * n)
+            counter.add_write(8.0 * n * n)
+            counter.note_working_set(8.0 * (36 * n + n * n))
+        return m
+
+    def bias_forces(self, q: np.ndarray, qd: np.ndarray,
+                    counter: Optional[OpCounter] = None) -> np.ndarray:
+        """Coriolis/centrifugal + gravity torques: ``RNEA(q, qd, 0)``."""
+        return self.rnea(q, qd, np.zeros(self.dof), counter=counter)
+
+    def forward_dynamics(self, q: np.ndarray, qd: np.ndarray,
+                         tau: np.ndarray,
+                         counter: Optional[OpCounter] = None) -> np.ndarray:
+        """Joint accelerations: solve ``M(q) qdd = tau - bias(q, qd)``."""
+        q, qd, tau = self._check_state(q, qd, tau)
+        m = self.mass_matrix(q, counter=counter)
+        bias = self.bias_forces(q, qd, counter=counter)
+        if counter is not None:
+            counter.add_flops(self.dof ** 3 / 3.0 + 2.0 * self.dof ** 2)
+        return np.linalg.solve(m, tau - bias)
+
+    def aba(self, q: np.ndarray, qd: np.ndarray, tau: np.ndarray,
+            counter: Optional[OpCounter] = None) -> np.ndarray:
+        """Forward dynamics in O(n): the Articulated-Body Algorithm.
+
+        Produces the same accelerations as :meth:`forward_dynamics`
+        (which is O(n^3) via the mass matrix) without ever forming
+        ``M(q)`` — the asymptotic win dedicated dynamics hardware
+        pipelines exploit.
+        """
+        q, qd, tau = self._check_state(q, qd, tau)
+        n = self.dof
+        a_grav = np.array([0.0, 0.0, 0.0, 0.0, 0.0, -self.gravity])
+        xups = self._link_transforms(q)
+        subspaces = self._subspaces
+
+        # Pass 1: velocities, bias accelerations, articulated inertias.
+        v = [np.zeros(6) for _ in range(n)]
+        c = [np.zeros(6) for _ in range(n)]
+        inertia_a = [self._inertias[i].copy() for i in range(n)]
+        bias_a = [np.zeros(6) for _ in range(n)]
+        for i in range(n):
+            vj = subspaces[i] * qd[i]
+            if i == 0:
+                v[i] = vj
+            else:
+                v[i] = xups[i] @ v[i - 1] + vj
+                c[i] = crm(v[i]) @ vj
+            bias_a[i] = crf(v[i]) @ (inertia_a[i] @ v[i])
+
+        # Pass 2: backward articulated-inertia recursion.
+        big_u = [np.zeros(6) for _ in range(n)]
+        d = np.zeros(n)
+        u = np.zeros(n)
+        for i in range(n - 1, -1, -1):
+            s = subspaces[i]
+            big_u[i] = inertia_a[i] @ s
+            d[i] = float(s @ big_u[i])
+            u[i] = tau[i] - float(s @ bias_a[i])
+            if d[i] <= 0:
+                raise ConfigurationError(
+                    f"aba: singular articulated inertia at link {i}"
+                )
+            if i > 0:
+                outer = np.outer(big_u[i], big_u[i]) / d[i]
+                ia = inertia_a[i] - outer
+                pa = (bias_a[i] + ia @ c[i]
+                      + big_u[i] * (u[i] / d[i]))
+                inertia_a[i - 1] += xups[i].T @ ia @ xups[i]
+                bias_a[i - 1] += xups[i].T @ pa
+
+        # Pass 3: forward acceleration recursion.
+        qdd = np.zeros(n)
+        a = [np.zeros(6) for _ in range(n)]
+        for i in range(n):
+            if i == 0:
+                a_prime = xups[i] @ (-a_grav) + c[i]
+            else:
+                a_prime = xups[i] @ a[i - 1] + c[i]
+            qdd[i] = (u[i] - float(big_u[i] @ a_prime)) / d[i]
+            a[i] = a_prime + subspaces[i] * qdd[i]
+
+        if counter is not None:
+            counter.add_flops(ABA_FLOPS_PER_LINK * n)
+            counter.add_read(8.0 * 40 * n)
+            counter.add_write(8.0 * n)
+            counter.note_working_set(8.0 * 90 * n)
+        return qdd
+
+    def total_energy(self, q: np.ndarray, qd: np.ndarray) -> float:
+        """Kinetic + potential energy (for conservation tests)."""
+        q, qd = self._check_state(q, qd)
+        kinetic = 0.5 * qd @ self.mass_matrix(q) @ qd
+        potential = 0.0
+        # Accumulate link frames in base coordinates for COM heights.
+        rotation = np.eye(3)
+        origin = np.zeros(3)
+        for i, link in enumerate(self.links):
+            origin = origin + rotation @ np.array(link.parent_offset)
+            rotation = rotation @ _ROTATIONS[link.joint_axis](q[i])
+            com_world = origin + rotation @ np.array(link.com)
+            potential += link.mass * self.gravity * com_world[2]
+        return float(kinetic + potential)
+
+
+def serial_arm(n_links: int, link_length: float = 0.3,
+               link_mass: float = 1.0) -> KinematicChain:
+    """A standard test arm: ``n`` links, alternating y/z joint axes."""
+    if n_links < 1:
+        raise ConfigurationError(f"n_links must be >= 1, got {n_links}")
+    links = []
+    for i in range(n_links):
+        axis = "y" if i % 2 == 0 else "z"
+        offset = (link_length, 0.0, 0.0) if i > 0 else (0.0, 0.0, 0.0)
+        links.append(Link(
+            joint_axis=axis,
+            parent_offset=offset,
+            mass=link_mass,
+            com=(link_length / 2.0, 0.0, 0.0),
+            inertia_diag=(0.001,
+                          link_mass * link_length ** 2 / 12.0,
+                          link_mass * link_length ** 2 / 12.0),
+        ))
+    return KinematicChain(links)
+
+
+def rnea_profile(n_links: int,
+                 name: Optional[str] = None) -> WorkloadProfile:
+    """Closed-form profile of one RNEA pass on an ``n``-link chain.
+
+    The recursion has a strictly sequential link-to-link dependency, so the
+    parallel fraction is the within-link matrix-op parallelism only
+    (robomorphic accelerators exploit exactly this structure).
+    """
+    counter = OpCounter(name=name or f"rnea-{n_links}")
+    counter.add_flops(RNEA_FLOPS_PER_LINK * n_links)
+    counter.add_read(8.0 * 39 * n_links)
+    counter.add_write(8.0 * n_links)
+    counter.note_working_set(8.0 * 54 * n_links)
+    return counter.profile(parallel_fraction=0.6,
+                           divergence=DivergenceClass.LOW,
+                           op_class="dynamics")
+
+
+def mass_matrix_profile(n_links: int,
+                        name: Optional[str] = None) -> WorkloadProfile:
+    """Closed-form profile of one CRBA pass on an ``n``-link chain."""
+    pairs = n_links * (n_links + 1) / 2.0
+    counter = OpCounter(name=name or f"crba-{n_links}")
+    counter.add_flops(CRBA_FLOPS_PER_PAIR * pairs + 500.0 * (n_links - 1))
+    counter.add_read(8.0 * 36 * n_links)
+    counter.add_write(8.0 * n_links * n_links)
+    counter.note_working_set(8.0 * (36 * n_links + n_links ** 2))
+    return counter.profile(parallel_fraction=0.75,
+                           divergence=DivergenceClass.LOW,
+                           op_class="dynamics")

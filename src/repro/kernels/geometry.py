@@ -1,0 +1,235 @@
+"""SO(3)/SE(3) geometry: rotations, quaternions, rigid transforms.
+
+The shared geometric substrate for dynamics, SLAM, and VIO.  Conventions:
+
+- quaternions are ``[w, x, y, z]``, unit-norm, Hamilton convention;
+- rotation matrices are world-from-body unless stated otherwise;
+- ``SE3`` stores a rotation matrix and a translation vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def skew(v: np.ndarray) -> np.ndarray:
+    """The 3x3 skew-symmetric matrix such that ``skew(v) @ u == v x u``."""
+    v = np.asarray(v, dtype=float)
+    if v.shape != (3,):
+        raise ConfigurationError(f"skew expects a 3-vector, got {v.shape}")
+    return np.array([
+        [0.0, -v[2], v[1]],
+        [v[2], 0.0, -v[0]],
+        [-v[1], v[0], 0.0],
+    ])
+
+
+def rotation_x(angle: float) -> np.ndarray:
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[1, 0, 0], [0, c, -s], [0, s, c]], dtype=float)
+
+
+def rotation_y(angle: float) -> np.ndarray:
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[c, 0, s], [0, 1, 0], [-s, 0, c]], dtype=float)
+
+
+def rotation_z(angle: float) -> np.ndarray:
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[c, -s, 0], [s, c, 0], [0, 0, 1]], dtype=float)
+
+
+def exp_so3(omega: np.ndarray) -> np.ndarray:
+    """Rodrigues' formula: the rotation for an axis-angle 3-vector."""
+    omega = np.asarray(omega, dtype=float)
+    theta = float(np.linalg.norm(omega))
+    if theta < 1e-12:
+        return np.eye(3) + skew(omega)
+    axis = omega / theta
+    k = skew(axis)
+    return (np.eye(3) + np.sin(theta) * k
+            + (1.0 - np.cos(theta)) * (k @ k))
+
+
+def log_so3(rotation: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`exp_so3` (principal branch)."""
+    trace = float(np.trace(rotation))
+    cos_theta = np.clip((trace - 1.0) / 2.0, -1.0, 1.0)
+    theta = float(np.arccos(cos_theta))
+    if theta < 1e-12:
+        return np.array([
+            rotation[2, 1] - rotation[1, 2],
+            rotation[0, 2] - rotation[2, 0],
+            rotation[1, 0] - rotation[0, 1],
+        ]) / 2.0
+    if abs(np.pi - theta) < 1e-6:
+        # Near pi: extract axis from R + I.
+        m = (rotation + np.eye(3)) / 2.0
+        axis = np.sqrt(np.maximum(np.diag(m), 0.0))
+        # Fix signs using off-diagonal terms.
+        if axis[0] > 0:
+            axis[1] = np.copysign(axis[1], m[0, 1])
+            axis[2] = np.copysign(axis[2], m[0, 2])
+        elif axis[1] > 0:
+            axis[2] = np.copysign(axis[2], m[1, 2])
+        norm = np.linalg.norm(axis)
+        if norm == 0:
+            raise ConfigurationError("log_so3: degenerate rotation")
+        return theta * axis / norm
+    factor = theta / (2.0 * np.sin(theta))
+    return factor * np.array([
+        rotation[2, 1] - rotation[1, 2],
+        rotation[0, 2] - rotation[2, 0],
+        rotation[1, 0] - rotation[0, 1],
+    ])
+
+
+def quat_normalize(q: np.ndarray) -> np.ndarray:
+    q = np.asarray(q, dtype=float)
+    norm = float(np.linalg.norm(q))
+    if norm == 0:
+        raise ConfigurationError("cannot normalize a zero quaternion")
+    q = q / norm
+    # Canonical sign: first nonzero component positive (q and -q are
+    # the same rotation; keying on w alone is ambiguous when w == 0).
+    for component in q:
+        if component > 0:
+            break
+        if component < 0:
+            q = -q
+            break
+    return q
+
+
+def quat_multiply(q1: np.ndarray, q2: np.ndarray) -> np.ndarray:
+    """Hamilton product ``q1 * q2`` ([w, x, y, z])."""
+    w1, x1, y1, z1 = q1
+    w2, x2, y2, z2 = q2
+    return np.array([
+        w1 * w2 - x1 * x2 - y1 * y2 - z1 * z2,
+        w1 * x2 + x1 * w2 + y1 * z2 - z1 * y2,
+        w1 * y2 - x1 * z2 + y1 * w2 + z1 * x2,
+        w1 * z2 + x1 * y2 - y1 * x2 + z1 * w2,
+    ])
+
+
+def quat_conjugate(q: np.ndarray) -> np.ndarray:
+    return np.array([q[0], -q[1], -q[2], -q[3]], dtype=float)
+
+
+def quat_to_rotation(q: np.ndarray) -> np.ndarray:
+    """Rotation matrix of a unit quaternion."""
+    w, x, y, z = quat_normalize(q)
+    return np.array([
+        [1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y)],
+        [2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x)],
+        [2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)],
+    ])
+
+
+def rotation_to_quat(rotation: np.ndarray) -> np.ndarray:
+    """Unit quaternion ([w, x, y, z]) of a rotation matrix (Shepperd)."""
+    r = rotation
+    trace = float(np.trace(r))
+    if trace > 0:
+        s = np.sqrt(trace + 1.0) * 2.0
+        q = np.array([0.25 * s,
+                      (r[2, 1] - r[1, 2]) / s,
+                      (r[0, 2] - r[2, 0]) / s,
+                      (r[1, 0] - r[0, 1]) / s])
+    elif r[0, 0] > r[1, 1] and r[0, 0] > r[2, 2]:
+        s = np.sqrt(1.0 + r[0, 0] - r[1, 1] - r[2, 2]) * 2.0
+        q = np.array([(r[2, 1] - r[1, 2]) / s,
+                      0.25 * s,
+                      (r[0, 1] + r[1, 0]) / s,
+                      (r[0, 2] + r[2, 0]) / s])
+    elif r[1, 1] > r[2, 2]:
+        s = np.sqrt(1.0 + r[1, 1] - r[0, 0] - r[2, 2]) * 2.0
+        q = np.array([(r[0, 2] - r[2, 0]) / s,
+                      (r[0, 1] + r[1, 0]) / s,
+                      0.25 * s,
+                      (r[1, 2] + r[2, 1]) / s])
+    else:
+        s = np.sqrt(1.0 + r[2, 2] - r[0, 0] - r[1, 1]) * 2.0
+        q = np.array([(r[1, 0] - r[0, 1]) / s,
+                      (r[0, 2] + r[2, 0]) / s,
+                      (r[1, 2] + r[2, 1]) / s,
+                      0.25 * s])
+    return quat_normalize(q)
+
+
+def quat_integrate(q: np.ndarray, omega: np.ndarray,
+                   dt: float) -> np.ndarray:
+    """Integrate body angular velocity over ``dt`` (exact exponential)."""
+    delta = exp_so3(np.asarray(omega, dtype=float) * dt)
+    return quat_normalize(
+        quat_multiply(q, rotation_to_quat(delta))
+    )
+
+
+@dataclass(frozen=True)
+class SE3:
+    """A rigid transform: ``x_world = rotation @ x_body + translation``."""
+
+    rotation: np.ndarray
+    translation: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.rotation.shape != (3, 3):
+            raise ConfigurationError(
+                f"SE3 rotation must be 3x3, got {self.rotation.shape}"
+            )
+        if self.translation.shape != (3,):
+            raise ConfigurationError(
+                f"SE3 translation must be a 3-vector,"
+                f" got {self.translation.shape}"
+            )
+
+    @staticmethod
+    def identity() -> "SE3":
+        return SE3(np.eye(3), np.zeros(3))
+
+    @staticmethod
+    def from_quat_trans(q: np.ndarray, t: np.ndarray) -> "SE3":
+        return SE3(quat_to_rotation(q), np.asarray(t, dtype=float))
+
+    def compose(self, other: "SE3") -> "SE3":
+        """``self * other`` (apply ``other`` first)."""
+        return SE3(self.rotation @ other.rotation,
+                   self.rotation @ other.translation + self.translation)
+
+    def inverse(self) -> "SE3":
+        rt = self.rotation.T
+        return SE3(rt, -(rt @ self.translation))
+
+    def apply(self, points: np.ndarray) -> np.ndarray:
+        """Transform one 3-vector or an ``(n, 3)`` array of points."""
+        points = np.asarray(points, dtype=float)
+        if points.ndim == 1:
+            return self.rotation @ points + self.translation
+        return points @ self.rotation.T + self.translation
+
+    def matrix(self) -> np.ndarray:
+        m = np.eye(4)
+        m[:3, :3] = self.rotation
+        m[:3, 3] = self.translation
+        return m
+
+    def distance(self, other: "SE3") -> float:
+        """Combined metric: translation distance + rotation angle (rad)."""
+        dt = float(np.linalg.norm(self.translation - other.translation))
+        dr = float(np.linalg.norm(
+            log_so3(self.rotation.T @ other.rotation)
+        ))
+        return dt + dr
+
+
+def wrap_angle(angle: float) -> float:
+    """Wrap an angle to (-pi, pi]."""
+    wrapped = (angle + np.pi) % (2.0 * np.pi) - np.pi
+    return np.pi if wrapped == -np.pi else float(wrapped)

@@ -1,0 +1,166 @@
+"""Instrumented dense linear algebra.
+
+These wrappers do the math with numpy and *count* it with an
+:class:`~repro.core.OpCounter`, so higher-level kernels (EKF updates,
+MPC solves, network layers) report exact operation totals that track their
+actual control flow.  Standard FLOP-count conventions are used (a fused
+multiply-add counts as 2).
+
+Profiles produced here use ``op_class="gemm"`` for matrix products (the
+cross-cutting kernel of §2.3) and ``op_class="linalg"`` for factorizations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.profile import DivergenceClass, OpCounter, WorkloadProfile
+from repro.errors import ConfigurationError
+
+_F64 = 8  # bytes per double
+
+
+def matmul(a: np.ndarray, b: np.ndarray,
+           counter: Optional[OpCounter] = None) -> np.ndarray:
+    """``a @ b`` with exact FLOP/byte accounting."""
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ConfigurationError(
+            f"matmul: incompatible shapes {a.shape} x {b.shape}"
+        )
+    if counter is not None:
+        m, k = a.shape
+        n = b.shape[1]
+        counter.add_gemm(m, n, k, dtype_bytes=_F64)
+    return a @ b
+
+def matvec(a: np.ndarray, x: np.ndarray,
+           counter: Optional[OpCounter] = None) -> np.ndarray:
+    """``a @ x`` for a vector ``x``."""
+    if a.ndim != 2 or x.ndim != 1 or a.shape[1] != x.shape[0]:
+        raise ConfigurationError(
+            f"matvec: incompatible shapes {a.shape} x {x.shape}"
+        )
+    if counter is not None:
+        m, n = a.shape
+        counter.add_flops(2.0 * m * n)
+        counter.add_read(_F64 * (m * n + n))
+        counter.add_write(_F64 * m)
+    return a @ x
+
+
+def cholesky(a: np.ndarray,
+             counter: Optional[OpCounter] = None) -> np.ndarray:
+    """Lower-triangular Cholesky factor of an SPD matrix.
+
+    Counts the classic ``n^3 / 3`` FLOPs.  Raises
+    :class:`numpy.linalg.LinAlgError` on non-SPD input (same contract as
+    numpy).
+    """
+    n = a.shape[0]
+    if a.shape != (n, n):
+        raise ConfigurationError(f"cholesky: matrix must be square, got {a.shape}")
+    if counter is not None:
+        counter.add_flops(n ** 3 / 3.0 + n ** 2)
+        counter.add_read(_F64 * n * n)
+        counter.add_write(_F64 * n * (n + 1) / 2)
+        counter.note_working_set(_F64 * n * n)
+    return np.linalg.cholesky(a)
+
+
+def solve_triangular(l: np.ndarray, b: np.ndarray, lower: bool = True,
+                     counter: Optional[OpCounter] = None) -> np.ndarray:
+    """Solve ``L x = b`` (or ``U x = b``) by substitution.
+
+    Implemented directly (scipy-free) so the op count matches the code.
+    """
+    n = l.shape[0]
+    if l.shape != (n, n):
+        raise ConfigurationError("solve_triangular: matrix must be square")
+    b = np.asarray(b, dtype=float)
+    x = np.zeros_like(b, dtype=float)
+    indices = range(n) if lower else range(n - 1, -1, -1)
+    for i in indices:
+        if lower:
+            acc = l[i, :i] @ x[:i] if i > 0 else 0.0
+        else:
+            acc = l[i, i + 1:] @ x[i + 1:] if i < n - 1 else 0.0
+        if l[i, i] == 0:
+            raise ConfigurationError("solve_triangular: singular matrix")
+        x[i] = (b[i] - acc) / l[i, i]
+    if counter is not None:
+        extra = b.shape[1] if b.ndim == 2 else 1
+        counter.add_flops(float(n) * n * extra)
+        counter.add_read(_F64 * (n * n / 2 + n * extra))
+        counter.add_write(_F64 * n * extra)
+    return x
+
+
+def solve_spd(a: np.ndarray, b: np.ndarray,
+              counter: Optional[OpCounter] = None) -> np.ndarray:
+    """Solve ``A x = b`` for SPD ``A`` via Cholesky + two substitutions."""
+    l = cholesky(a, counter=counter)
+    y = solve_triangular(l, b, lower=True, counter=counter)
+    return solve_triangular(l.T, y, lower=False, counter=counter)
+
+
+def qr_decomposition(a: np.ndarray,
+                     counter: Optional[OpCounter] = None
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """Householder QR with the ``2mn^2 - 2n^3/3`` FLOP count."""
+    m, n = a.shape
+    if counter is not None:
+        counter.add_flops(2.0 * m * n * n - 2.0 * n ** 3 / 3.0)
+        counter.add_read(_F64 * m * n)
+        counter.add_write(_F64 * (m * m + m * n))
+        counter.note_working_set(_F64 * (m * m + m * n))
+    q, r = np.linalg.qr(a)
+    return q, r
+
+
+def gemm_profile(m: int, n: int, k: int,
+                 dtype_bytes: int = 8,
+                 name: Optional[str] = None) -> WorkloadProfile:
+    """Closed-form profile of one ``m x k @ k x n`` GEMM.
+
+    GEMM is embarrassingly parallel and branch-free: the canonical
+    cross-cutting kernel (§2.3).
+    """
+    counter = OpCounter(name=name or f"gemm-{m}x{n}x{k}")
+    counter.add_gemm(m, n, k, dtype_bytes=dtype_bytes)
+    return counter.profile(parallel_fraction=1.0,
+                           divergence=DivergenceClass.NONE,
+                           op_class="gemm")
+
+
+def cholesky_profile(n: int, name: Optional[str] = None) -> WorkloadProfile:
+    """Closed-form profile of one ``n x n`` Cholesky factorization.
+
+    Factorizations have a dependent critical path: parallel fraction falls
+    with the ``O(n)`` sequential panel chain (modeled as ``1 - 2/n``).
+    """
+    if n < 1:
+        raise ConfigurationError(f"cholesky_profile: n must be >= 1, got {n}")
+    counter = OpCounter(name=name or f"cholesky-{n}")
+    counter.add_flops(n ** 3 / 3.0 + n ** 2)
+    counter.add_read(_F64 * n * n)
+    counter.add_write(_F64 * n * (n + 1) / 2)
+    counter.note_working_set(_F64 * n * n)
+    parallel = max(0.0, 1.0 - 2.0 / n)
+    return counter.profile(parallel_fraction=parallel,
+                           divergence=DivergenceClass.LOW,
+                           op_class="linalg")
+
+
+def gemv_profile(m: int, n: int, name: Optional[str] = None
+                 ) -> WorkloadProfile:
+    """Closed-form profile of one matrix-vector product (memory-bound)."""
+    counter = OpCounter(name=name or f"gemv-{m}x{n}")
+    counter.add_flops(2.0 * m * n)
+    counter.add_read(_F64 * (m * n + n))
+    counter.add_write(_F64 * m)
+    counter.note_working_set(_F64 * m * n)
+    return counter.profile(parallel_fraction=0.99,
+                           divergence=DivergenceClass.NONE,
+                           op_class="gemm")

@@ -1,0 +1,38 @@
+"""Machine-learning kernels: tensors, networks, training, quantization.
+
+The ML substrate for the §2.2 "Metrics Matter" experiment: an MLP trained
+with SGD whose *throughput* can be boosted by low-precision arithmetic —
+at the cost of per-step learning progress, so that time-to-accuracy (the
+metric practitioners care about) moves the other way.
+"""
+
+from repro.kernels.ml.cnn import Cnn, ConvLayer, DenseLayer, small_detector
+from repro.kernels.ml.data import make_blobs, make_moons
+from repro.kernels.ml.network import Mlp, MlpConfig
+from repro.kernels.ml.quantize import (
+    dequantize,
+    quantization_error,
+    quantize,
+)
+from repro.kernels.ml.tensor import conv2d, max_pool2d, relu, softmax
+from repro.kernels.ml.training import SgdTrainer, TrainingResult
+
+__all__ = [
+    "Cnn",
+    "ConvLayer",
+    "DenseLayer",
+    "Mlp",
+    "MlpConfig",
+    "small_detector",
+    "SgdTrainer",
+    "TrainingResult",
+    "conv2d",
+    "dequantize",
+    "make_blobs",
+    "make_moons",
+    "max_pool2d",
+    "quantization_error",
+    "quantize",
+    "relu",
+    "softmax",
+]

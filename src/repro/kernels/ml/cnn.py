@@ -1,0 +1,226 @@
+"""A small CNN for inference, with systolic-array lowering.
+
+Forward-only convolutional networks are the perception workload GEMM
+engines were built for.  This module composes the instrumented tensor
+ops into a layer pipeline and — the part the hardware models care
+about — lowers every conv/dense layer to its im2col GEMM shape so a
+:class:`~repro.hw.systolic.SystolicArrayModel` can price the network
+layer by layer, exposing per-layer utilization (the E2/E3
+shape-overfitting signal at network granularity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.profile import DivergenceClass, OpCounter, WorkloadProfile
+from repro.errors import ConfigurationError
+from repro.hw.systolic import SystolicArrayModel, conv2d_as_gemm
+from repro.kernels.ml.tensor import conv2d, max_pool2d, relu, softmax
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """Conv + ReLU (+ optional 2x2 max pool)."""
+
+    out_channels: int
+    kernel: int = 3
+    stride: int = 1
+    pool: bool = False
+
+
+@dataclass(frozen=True)
+class DenseLayer:
+    """Fully connected layer (ReLU except on the output layer)."""
+
+    units: int
+
+
+Layer = Union[ConvLayer, DenseLayer]
+
+
+class Cnn:
+    """A sequential CNN: conv blocks, then dense layers.
+
+    Args:
+        input_shape: ``(channels, height, width)``.
+        layers: Layer specs; dense layers must come after all convs.
+        n_classes: Output dimension.
+        seed: Weight-init seed.
+    """
+
+    def __init__(self, input_shape: Tuple[int, int, int],
+                 layers: Sequence[Layer], n_classes: int = 10,
+                 seed: int = 0):
+        if len(input_shape) != 3:
+            raise ConfigurationError(
+                "input_shape must be (channels, height, width)"
+            )
+        if n_classes < 2:
+            raise ConfigurationError("n_classes must be >= 2")
+        self.input_shape = tuple(input_shape)
+        self.layers: List[Layer] = list(layers)
+        self.n_classes = n_classes
+        seen_dense = False
+        for layer in self.layers:
+            if isinstance(layer, DenseLayer):
+                seen_dense = True
+            elif seen_dense:
+                raise ConfigurationError(
+                    "conv layers cannot follow dense layers"
+                )
+
+        rng = np.random.default_rng(seed)
+        self.conv_weights: List[np.ndarray] = []
+        self.conv_biases: List[np.ndarray] = []
+        self.dense_weights: List[np.ndarray] = []
+        self.dense_biases: List[np.ndarray] = []
+        self._gemm_shapes: List[Tuple[str, int, int, int]] = []
+
+        channels, height, width = self.input_shape
+        for layer in self.layers:
+            if isinstance(layer, ConvLayer):
+                out_h = (height - layer.kernel) // layer.stride + 1
+                out_w = (width - layer.kernel) // layer.stride + 1
+                if out_h < 1 or out_w < 1:
+                    raise ConfigurationError(
+                        f"conv kernel {layer.kernel} does not fit"
+                        f" {height}x{width}"
+                    )
+                scale = np.sqrt(
+                    2.0 / (channels * layer.kernel ** 2)
+                )
+                self.conv_weights.append(rng.normal(
+                    0.0, scale,
+                    size=(layer.out_channels, channels,
+                          layer.kernel, layer.kernel),
+                ))
+                self.conv_biases.append(
+                    np.zeros(layer.out_channels)
+                )
+                channels = layer.out_channels
+                height, width = out_h, out_w
+                if layer.pool:
+                    if height % 2 or width % 2:
+                        raise ConfigurationError(
+                            f"pool needs even dims, got"
+                            f" {height}x{width}"
+                        )
+                    height //= 2
+                    width //= 2
+            else:
+                fan_in = channels * height * width \
+                    if not self.dense_weights \
+                    else self.dense_weights[-1].shape[1]
+                scale = np.sqrt(2.0 / fan_in)
+                self.dense_weights.append(rng.normal(
+                    0.0, scale, size=(fan_in, layer.units)
+                ))
+                self.dense_biases.append(np.zeros(layer.units))
+        final_in = (channels * height * width
+                    if not self.dense_weights
+                    else self.dense_weights[-1].shape[1])
+        self.dense_weights.append(rng.normal(
+            0.0, np.sqrt(2.0 / final_in),
+            size=(final_in, n_classes),
+        ))
+        self.dense_biases.append(np.zeros(n_classes))
+        self._feature_shape = (channels, height, width)
+
+    @property
+    def n_parameters(self) -> int:
+        return (sum(w.size + b.size for w, b
+                    in zip(self.conv_weights, self.conv_biases))
+                + sum(w.size + b.size for w, b
+                      in zip(self.dense_weights, self.dense_biases)))
+
+    def forward(self, x: np.ndarray,
+                counter: Optional[OpCounter] = None) -> np.ndarray:
+        """Class probabilities for a ``(batch, c, h, w)`` input."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 4 or x.shape[1:] != self.input_shape:
+            raise ConfigurationError(
+                f"input must be (batch, {self.input_shape}),"
+                f" got {x.shape}"
+            )
+        conv_index = 0
+        for layer in self.layers:
+            if isinstance(layer, ConvLayer):
+                x = conv2d(x, self.conv_weights[conv_index],
+                           bias=self.conv_biases[conv_index],
+                           stride=layer.stride, counter=counter)
+                x = relu(x)
+                if layer.pool:
+                    x = max_pool2d(x, 2)
+                conv_index += 1
+        h = x.reshape(x.shape[0], -1)
+        n_dense = len(self.dense_weights)
+        for i, (w, b) in enumerate(zip(self.dense_weights,
+                                       self.dense_biases)):
+            if counter is not None:
+                counter.add_gemm(h.shape[0], w.shape[1], w.shape[0])
+            h = h @ w + b
+            if i < n_dense - 1:
+                h = relu(h)
+        return softmax(h)
+
+    def gemm_shapes(self, batch: int = 1
+                    ) -> List[Tuple[str, int, int, int]]:
+        """im2col GEMM ``(name, M, N, K)`` per weight layer."""
+        shapes: List[Tuple[str, int, int, int]] = []
+        channels, height, width = self.input_shape
+        conv_index = 0
+        for layer in self.layers:
+            if isinstance(layer, ConvLayer):
+                m, n, k = conv2d_as_gemm(
+                    batch, channels, layer.out_channels,
+                    height, width, layer.kernel, layer.stride,
+                )
+                shapes.append((f"conv{conv_index}", m, n, k))
+                out_h = (height - layer.kernel) // layer.stride + 1
+                out_w = (width - layer.kernel) // layer.stride + 1
+                channels = layer.out_channels
+                height, width = out_h, out_w
+                if layer.pool:
+                    height //= 2
+                    width //= 2
+                conv_index += 1
+        for i, w in enumerate(self.dense_weights):
+            shapes.append((f"dense{i}", w.shape[1], batch,
+                           w.shape[0]))
+        return shapes
+
+    def inference_profile(self, batch: int = 1) -> WorkloadProfile:
+        """Closed-form per-inference profile (GEMM-dominated)."""
+        counter = OpCounter(name="cnn-inference")
+        for _, m, n, k in self.gemm_shapes(batch):
+            counter.add_gemm(m, n, k)
+        return counter.profile(parallel_fraction=0.999,
+                               divergence=DivergenceClass.NONE,
+                               op_class="gemm")
+
+    def systolic_latency_s(self, array: SystolicArrayModel,
+                           batch: int = 1
+                           ) -> List[Tuple[str, float, float]]:
+        """Per-layer ``(name, latency_s, utilization)`` on a GEMM
+        engine — the layer-shape mismatch report."""
+        return [
+            (name, array.gemm_latency_s(m, n, k),
+             array.utilization(m, n, k))
+            for name, m, n, k in self.gemm_shapes(batch)
+        ]
+
+
+def small_detector(seed: int = 0) -> Cnn:
+    """A MNIST-scale reference network used by tests and examples."""
+    return Cnn(
+        input_shape=(1, 28, 28),
+        layers=[ConvLayer(8, kernel=5, pool=True),    # 28->24->12
+                ConvLayer(16, kernel=3, pool=True),   # 12->10->5
+                DenseLayer(64)],
+        n_classes=10,
+        seed=seed,
+    )

@@ -1,0 +1,64 @@
+"""Synthetic classification datasets (offline stand-ins for real data)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def make_blobs(n_samples: int = 300, n_classes: int = 3,
+               n_features: int = 2, spread: float = 0.8,
+               seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Gaussian clusters, one per class.
+
+    Returns:
+        ``(X, y)`` with ``X`` of shape ``(n_samples, n_features)`` and
+        integer labels ``y``.
+    """
+    if n_samples < n_classes:
+        raise ConfigurationError("need n_samples >= n_classes")
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-4.0, 4.0, size=(n_classes, n_features))
+    labels = rng.integers(0, n_classes, size=n_samples)
+    points = centers[labels] + rng.normal(
+        0.0, spread, size=(n_samples, n_features)
+    )
+    return points, labels
+
+
+def make_moons(n_samples: int = 300, noise: float = 0.1,
+               seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Two interleaving half-circles (binary, non-linearly separable)."""
+    if n_samples < 2:
+        raise ConfigurationError("need n_samples >= 2")
+    rng = np.random.default_rng(seed)
+    n_upper = n_samples // 2
+    n_lower = n_samples - n_upper
+    t_upper = rng.uniform(0.0, np.pi, n_upper)
+    t_lower = rng.uniform(0.0, np.pi, n_lower)
+    upper = np.stack([np.cos(t_upper), np.sin(t_upper)], axis=1)
+    lower = np.stack([1.0 - np.cos(t_lower),
+                      0.5 - np.sin(t_lower)], axis=1)
+    points = np.concatenate([upper, lower])
+    points += rng.normal(0.0, noise, size=points.shape)
+    labels = np.concatenate([np.zeros(n_upper, dtype=int),
+                             np.ones(n_lower, dtype=int)])
+    order = rng.permutation(n_samples)
+    return points[order], labels[order]
+
+
+def train_test_split(x: np.ndarray, y: np.ndarray,
+                     test_fraction: float = 0.25, seed: int = 0
+                     ) -> Tuple[np.ndarray, np.ndarray,
+                                np.ndarray, np.ndarray]:
+    """Shuffled split into train and test partitions."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ConfigurationError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(x.shape[0])
+    n_test = max(1, int(round(test_fraction * x.shape[0])))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return x[train_idx], y[train_idx], x[test_idx], y[test_idx]

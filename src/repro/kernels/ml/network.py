@@ -1,0 +1,158 @@
+"""A small MLP with manual backprop and optional low-precision emulation.
+
+The quantization hook is the crux of experiment E2: a hardware design that
+buys throughput with aggressive precision reduction quantizes weights,
+activations, and gradients through :func:`repro.kernels.ml.quantize.quantize`
+— the forward/backward math is otherwise identical, so the only difference
+between "accurate" and "fast" training is the rounding the accelerator
+would introduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.profile import DivergenceClass, OpCounter, WorkloadProfile
+from repro.errors import ConfigurationError
+from repro.kernels.ml.quantize import quantize
+from repro.kernels.ml.tensor import cross_entropy, relu, softmax
+
+
+@dataclass
+class MlpConfig:
+    """MLP hyperparameters.
+
+    Attributes:
+        layer_sizes: Sizes including input and output
+            (e.g. ``[2, 32, 32, 3]``).
+        weight_bits: Quantization of weights during compute
+            (``None`` = full precision).
+        activation_bits: Quantization of activations.
+        gradient_bits: Quantization of gradients (the training-accuracy
+            killer at low precision).
+        seed: Init seed.
+    """
+
+    layer_sizes: List[int] = field(default_factory=lambda: [2, 32, 3])
+    weight_bits: Optional[int] = None
+    activation_bits: Optional[int] = None
+    gradient_bits: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.layer_sizes) < 2:
+            raise ConfigurationError("need >= 2 layer sizes")
+        if any(s < 1 for s in self.layer_sizes):
+            raise ConfigurationError("layer sizes must be >= 1")
+
+
+def _maybe_quantize(x: np.ndarray, bits: Optional[int]) -> np.ndarray:
+    if bits is None:
+        return x
+    return quantize(x, bits)
+
+
+class Mlp:
+    """Fully connected ReLU network with softmax cross-entropy loss."""
+
+    def __init__(self, config: MlpConfig,
+                 counter: Optional[OpCounter] = None):
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        sizes = config.layer_sizes
+        for fan_in, fan_out in zip(sizes, sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(
+                rng.normal(0.0, scale, size=(fan_in, fan_out))
+            )
+            self.biases.append(np.zeros(fan_out))
+        self.counter = counter if counter is not None \
+            else OpCounter(name="mlp")
+
+    @property
+    def n_parameters(self) -> int:
+        return sum(w.size for w in self.weights) \
+            + sum(b.size for b in self.biases)
+
+    def forward(self, x: np.ndarray
+                ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Forward pass; returns class probabilities and activations."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        activations = [x]
+        h = x
+        n_layers = len(self.weights)
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            w_eff = _maybe_quantize(w, self.config.weight_bits)
+            z = h @ w_eff + b
+            self.counter.add_gemm(h.shape[0], w.shape[1], w.shape[0])
+            if i < n_layers - 1:
+                h = relu(z)
+                h = _maybe_quantize(h, self.config.activation_bits)
+            else:
+                h = z
+            activations.append(h)
+        return softmax(h), activations
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class labels."""
+        probabilities, _ = self.forward(x)
+        return np.argmax(probabilities, axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(x) == np.asarray(y)))
+
+    def loss(self, x: np.ndarray, y: np.ndarray) -> float:
+        probabilities, _ = self.forward(x)
+        return cross_entropy(probabilities, np.asarray(y))
+
+    def gradients(self, x: np.ndarray, y: np.ndarray
+                  ) -> Tuple[List[np.ndarray], List[np.ndarray], float]:
+        """Backprop; returns (weight grads, bias grads, batch loss)."""
+        y = np.asarray(y)
+        probabilities, activations = self.forward(x)
+        batch = probabilities.shape[0]
+        loss = cross_entropy(probabilities, y)
+
+        delta = probabilities.copy()
+        delta[np.arange(batch), y] -= 1.0
+        delta /= batch
+
+        weight_grads: List[np.ndarray] = [np.empty(0)] * len(self.weights)
+        bias_grads: List[np.ndarray] = [np.empty(0)] * len(self.biases)
+        for i in range(len(self.weights) - 1, -1, -1):
+            a_prev = activations[i]
+            grad_w = a_prev.T @ delta
+            grad_b = delta.sum(axis=0)
+            self.counter.add_gemm(a_prev.shape[1], delta.shape[1],
+                                  a_prev.shape[0])
+            grad_w = _maybe_quantize(grad_w, self.config.gradient_bits)
+            grad_b = _maybe_quantize(grad_b, self.config.gradient_bits)
+            weight_grads[i] = grad_w
+            bias_grads[i] = grad_b
+            if i > 0:
+                delta = delta @ self.weights[i].T
+                self.counter.add_gemm(delta.shape[0],
+                                      self.weights[i].shape[0],
+                                      self.weights[i].shape[1])
+                delta = delta * (activations[i] > 0)
+        return weight_grads, bias_grads, loss
+
+    def apply_gradients(self, weight_grads: List[np.ndarray],
+                        bias_grads: List[np.ndarray],
+                        learning_rate: float) -> None:
+        for w, gw in zip(self.weights, weight_grads):
+            w -= learning_rate * gw
+        for b, gb in zip(self.biases, bias_grads):
+            b -= learning_rate * gb
+        self.counter.add_flops(2.0 * self.n_parameters)
+
+    def profile(self) -> WorkloadProfile:
+        """Measured profile (GEMM-dominated)."""
+        return self.counter.profile(parallel_fraction=0.99,
+                                    divergence=DivergenceClass.NONE,
+                                    op_class="gemm")

@@ -1,0 +1,66 @@
+"""Uniform symmetric quantization (fake-quant emulation).
+
+Emulates the rounding a low-precision datapath introduces: values are
+scaled to the integer grid of the given bit width, rounded, and scaled
+back.  Used by :class:`repro.kernels.ml.network.Mlp` to make the E2
+throughput-vs-time-to-accuracy trade physically grounded rather than
+asserted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def quantize(x: np.ndarray, bits: int) -> np.ndarray:
+    """Fake-quantize to a symmetric ``bits``-bit grid (per-tensor scale).
+
+    Args:
+        x: Input array.
+        bits: Bit width, >= 2 (one bit is the sign).
+
+    Returns:
+        An array of the same shape/dtype, snapped to the grid.
+    """
+    if bits < 2:
+        raise ConfigurationError(f"bits must be >= 2, got {bits}")
+    x = np.asarray(x, dtype=float)
+    peak = float(np.max(np.abs(x))) if x.size else 0.0
+    if peak == 0.0:
+        return x.copy()
+    levels = 2 ** (bits - 1) - 1
+    scale = peak / levels
+    return np.round(x / scale) * scale
+
+
+def dequantize(q: np.ndarray, scale: float) -> np.ndarray:
+    """Map integer codes back to real values (for explicit pipelines)."""
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be > 0, got {scale}")
+    return np.asarray(q, dtype=float) * scale
+
+
+def quantization_error(x: np.ndarray, bits: int) -> float:
+    """RMS error introduced by :func:`quantize` at the given width."""
+    x = np.asarray(x, dtype=float)
+    if x.size == 0:
+        return 0.0
+    err = x - quantize(x, bits)
+    return float(np.sqrt(np.mean(err * err)))
+
+
+def throughput_multiplier(bits: int, baseline_bits: int = 32) -> float:
+    """First-order throughput gain from narrower arithmetic.
+
+    Datapath area/energy scale ~linearly with operand width for MACs at
+    fixed silicon, so a ``bits``-wide unit fits ``baseline_bits / bits``
+    times more lanes — the standard pitch for low-precision accelerators
+    (and the throughput side of the E2 trade).
+    """
+    if bits < 2 or baseline_bits < bits:
+        raise ConfigurationError(
+            f"need 2 <= bits <= baseline_bits, got {bits}, {baseline_bits}"
+        )
+    return baseline_bits / bits

@@ -1,0 +1,121 @@
+"""Tensor operations: im2col convolution, pooling, activations.
+
+Convolution is lowered to GEMM via im2col — the mapping GEMM engines
+(:mod:`repro.hw.systolic`) execute — so the measured op counts here line
+up exactly with what the accelerator models price.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.profile import OpCounter
+from repro.errors import ConfigurationError
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int = 1) -> np.ndarray:
+    """Unfold ``(batch, channels, h, w)`` into GEMM columns.
+
+    Returns:
+        ``(channels * kernel^2, batch * out_h * out_w)`` matrix.
+    """
+    if x.ndim != 4:
+        raise ConfigurationError(f"expected 4-D input, got {x.shape}")
+    batch, channels, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ConfigurationError(
+            f"kernel {kernel} does not fit input {h}x{w}"
+        )
+    cols = np.zeros((channels * kernel * kernel,
+                     batch * out_h * out_w))
+    col = 0
+    for b in range(batch):
+        for i in range(out_h):
+            for j in range(out_w):
+                patch = x[b, :, i * stride:i * stride + kernel,
+                          j * stride:j * stride + kernel]
+                cols[:, col] = patch.ravel()
+                col += 1
+    return cols
+
+
+def conv2d(x: np.ndarray, weights: np.ndarray,
+           bias: Optional[np.ndarray] = None, stride: int = 1,
+           counter: Optional[OpCounter] = None) -> np.ndarray:
+    """2-D convolution via im2col + GEMM.
+
+    Args:
+        x: ``(batch, in_channels, h, w)`` input.
+        weights: ``(out_channels, in_channels, k, k)`` filters.
+        bias: Optional ``(out_channels,)`` bias.
+        stride: Stride.
+        counter: Optional instrumentation (counts the GEMM).
+
+    Returns:
+        ``(batch, out_channels, out_h, out_w)`` output.
+    """
+    if weights.ndim != 4 or weights.shape[2] != weights.shape[3]:
+        raise ConfigurationError(
+            f"weights must be (oc, ic, k, k), got {weights.shape}"
+        )
+    batch, in_channels, h, w = x.shape
+    out_channels, w_in_channels, kernel, _ = weights.shape
+    if in_channels != w_in_channels:
+        raise ConfigurationError(
+            f"input has {in_channels} channels, weights expect"
+            f" {w_in_channels}"
+        )
+    cols = im2col(x, kernel, stride)
+    flat_weights = weights.reshape(out_channels, -1)
+    out = flat_weights @ cols
+    if bias is not None:
+        out += np.asarray(bias, dtype=float)[:, None]
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    if counter is not None:
+        m = out_channels
+        k_dim = in_channels * kernel * kernel
+        n = batch * out_h * out_w
+        counter.add_gemm(m, n, k_dim)
+    return out.reshape(out_channels, batch, out_h, out_w) \
+        .transpose(1, 0, 2, 3)
+
+
+def max_pool2d(x: np.ndarray, size: int = 2) -> np.ndarray:
+    """Non-overlapping max pooling over ``(batch, c, h, w)``."""
+    if x.ndim != 4:
+        raise ConfigurationError(f"expected 4-D input, got {x.shape}")
+    batch, channels, h, w = x.shape
+    if h % size or w % size:
+        raise ConfigurationError(
+            f"spatial dims ({h}, {w}) not divisible by pool size {size}"
+        )
+    reshaped = x.reshape(batch, channels, h // size, size,
+                         w // size, size)
+    return reshaped.max(axis=(3, 5))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-shift stabilization."""
+    logits = np.atleast_2d(np.asarray(logits, dtype=float))
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=1, keepdims=True)
+
+
+def cross_entropy(probabilities: np.ndarray,
+                  labels: np.ndarray) -> float:
+    """Mean negative log likelihood of integer labels."""
+    probabilities = np.atleast_2d(probabilities)
+    n = probabilities.shape[0]
+    picked = probabilities[np.arange(n), labels]
+    return float(-np.mean(np.log(np.maximum(picked, 1e-12))))

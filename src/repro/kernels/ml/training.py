@@ -1,0 +1,117 @@
+"""SGD training with time-to-accuracy accounting.
+
+The §2.2 lesson, runnable: :class:`SgdTrainer` records accuracy after
+every epoch *and* the modeled wall-clock time of every step on a target
+platform, so the same run yields both throughput (steps/s) and
+time-to-accuracy — the metric pair whose divergence the paper warns
+about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.kernels.ml.network import Mlp
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of one training run.
+
+    Attributes:
+        epoch_accuracies: Held-out accuracy after each epoch.
+        epoch_losses: Training loss after each epoch.
+        steps: Total SGD steps taken.
+        modeled_time_s: Modeled wall-clock time (steps x step latency).
+        step_latency_s: Modeled per-step latency used.
+    """
+
+    epoch_accuracies: List[float] = field(default_factory=list)
+    epoch_losses: List[float] = field(default_factory=list)
+    steps: int = 0
+    modeled_time_s: float = 0.0
+    step_latency_s: float = 0.0
+
+    def final_accuracy(self) -> float:
+        if not self.epoch_accuracies:
+            raise ConfigurationError("no epochs recorded")
+        return self.epoch_accuracies[-1]
+
+    def time_to_accuracy(self, target: float) -> float:
+        """Modeled seconds until held-out accuracy first reached
+        ``target``; ``inf`` if never reached."""
+        for epoch, accuracy in enumerate(self.epoch_accuracies, start=1):
+            if accuracy >= target:
+                steps_so_far = epoch * self.steps \
+                    / max(1, len(self.epoch_accuracies))
+                return steps_so_far * self.step_latency_s
+        return float("inf")
+
+    def throughput_steps_per_s(self) -> float:
+        if self.step_latency_s <= 0:
+            return float("inf")
+        return 1.0 / self.step_latency_s
+
+
+class SgdTrainer:
+    """Mini-batch SGD with per-epoch held-out evaluation.
+
+    Args:
+        model: The network to train (quantization configured on it).
+        learning_rate: SGD step size.
+        batch_size: Mini-batch size.
+        step_latency_s: Modeled latency of one training step on the
+            target platform (from :mod:`repro.hw`); drives
+            time-to-accuracy.
+        seed: Shuffling seed.
+    """
+
+    def __init__(self, model: Mlp, learning_rate: float = 0.1,
+                 batch_size: int = 32, step_latency_s: float = 1e-3,
+                 seed: int = 0):
+        if learning_rate <= 0 or batch_size < 1 or step_latency_s < 0:
+            raise ConfigurationError(
+                "learning_rate > 0, batch_size >= 1,"
+                " step_latency_s >= 0 required"
+            )
+        self.model = model
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.step_latency_s = step_latency_s
+        self.rng = np.random.default_rng(seed)
+
+    def fit(self, x_train: np.ndarray, y_train: np.ndarray,
+            x_test: np.ndarray, y_test: np.ndarray,
+            epochs: int = 20) -> TrainingResult:
+        """Train for ``epochs`` passes; returns the full learning trace."""
+        if epochs < 1:
+            raise ConfigurationError("epochs must be >= 1")
+        x_train = np.asarray(x_train, dtype=float)
+        y_train = np.asarray(y_train)
+        n = x_train.shape[0]
+        result = TrainingResult(step_latency_s=self.step_latency_s)
+
+        for _ in range(epochs):
+            order = self.rng.permutation(n)
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, n, self.batch_size):
+                idx = order[start:start + self.batch_size]
+                grads_w, grads_b, loss = self.model.gradients(
+                    x_train[idx], y_train[idx]
+                )
+                self.model.apply_gradients(grads_w, grads_b,
+                                           self.learning_rate)
+                epoch_loss += loss
+                n_batches += 1
+                result.steps += 1
+            result.epoch_losses.append(epoch_loss / max(1, n_batches))
+            result.epoch_accuracies.append(
+                self.model.accuracy(x_test, y_test)
+            )
+        result.modeled_time_s = result.steps * self.step_latency_s
+        return result

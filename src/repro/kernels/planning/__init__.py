@@ -1,0 +1,47 @@
+"""Motion planning kernels: worlds, collision checking, and planners.
+
+The §2.5 experiment ("Chips and Salsa") reproduces the observation of
+Thomason et al. (2023) that *software vectorization alone* delivers
+orders-of-magnitude motion-planning speedups: collision checking dominates
+sampling-based planners, and checking many configurations per instruction
+turns a branchy scalar kernel into a dense data-parallel one.  Both code
+paths are implemented here — :class:`ScalarCollisionChecker` walks
+obstacles one at a time with early exit; :class:`BatchCollisionChecker`
+evaluates whole batches with numpy — and both report measured profiles.
+
+Planners: grid A*, RRT, RRT-Connect, PRM, plus shortcut post-processing.
+"""
+
+from repro.kernels.planning.astar import GridPlanner, astar
+from repro.kernels.planning.collision import (
+    BatchCollisionChecker,
+    ScalarCollisionChecker,
+    collision_profile,
+)
+from repro.kernels.planning.occupancy import CircleWorld, OccupancyGrid
+from repro.kernels.planning.postprocess import path_length, shortcut_path
+from repro.kernels.planning.prm import PrmPlanner, PrmResult
+from repro.kernels.planning.rrt import (
+    RrtConnectPlanner,
+    RrtPlanner,
+    RrtResult,
+)
+from repro.kernels.planning.rrtstar import RrtStarPlanner
+
+__all__ = [
+    "BatchCollisionChecker",
+    "CircleWorld",
+    "GridPlanner",
+    "OccupancyGrid",
+    "PrmPlanner",
+    "PrmResult",
+    "RrtConnectPlanner",
+    "RrtPlanner",
+    "RrtResult",
+    "RrtStarPlanner",
+    "ScalarCollisionChecker",
+    "astar",
+    "collision_profile",
+    "path_length",
+    "shortcut_path",
+]

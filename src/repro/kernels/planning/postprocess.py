@@ -1,0 +1,71 @@
+"""Path post-processing: shortcutting and length metrics.
+
+Sampling-based paths are jagged; shortcutting is the standard cleanup pass
+(and another batch-checkable kernel).  Path-length ratio versus the
+straight-line distance is one of the task-quality metrics §2.2 asks for.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import PlanningError
+from repro.kernels.planning.collision import (
+    BatchCollisionChecker,
+    ScalarCollisionChecker,
+)
+
+Checker = Union[ScalarCollisionChecker, BatchCollisionChecker]
+
+
+def path_length(path: np.ndarray) -> float:
+    """Total polyline length of an ``(n, dim)`` waypoint array."""
+    path = np.asarray(path, dtype=float)
+    if path.ndim != 2 or path.shape[0] < 2:
+        return 0.0
+    return float(np.linalg.norm(np.diff(path, axis=0), axis=1).sum())
+
+
+def path_length_ratio(path: np.ndarray) -> float:
+    """Path length / straight-line distance (>= 1; 1 is optimal)."""
+    path = np.asarray(path, dtype=float)
+    if path.shape[0] < 2:
+        raise PlanningError("path needs >= 2 waypoints")
+    direct = float(np.linalg.norm(path[-1] - path[0]))
+    if direct == 0:
+        return 1.0
+    return path_length(path) / direct
+
+
+def shortcut_path(path: np.ndarray, checker: Checker,
+                  attempts: int = 100, edge_resolution: float = 0.05,
+                  seed: int = 0) -> np.ndarray:
+    """Random-pair shortcutting: repeatedly try to splice straight edges.
+
+    Args:
+        path: ``(n, dim)`` waypoint array.
+        checker: Collision checker for candidate shortcuts.
+        attempts: Random (i, j) pairs to try.
+        edge_resolution: Interpolation spacing.
+        seed: RNG seed.
+
+    Returns:
+        A path with the same endpoints, never longer than the input.
+    """
+    path = np.asarray(path, dtype=float)
+    if path.shape[0] < 3:
+        return path.copy()
+    rng = np.random.default_rng(seed)
+    points = [p for p in path]
+    for _ in range(attempts):
+        if len(points) < 3:
+            break
+        i, j = sorted(rng.choice(len(points), size=2, replace=False))
+        if j - i < 2:
+            continue
+        if checker.segment_free(points[i], points[j],
+                                resolution=edge_resolution):
+            points = points[:i + 1] + points[j:]
+    return np.stack(points)

@@ -1,0 +1,185 @@
+"""Probabilistic roadmap (PRM) planner.
+
+Multi-query planning: sample a roadmap once, answer many start/goal
+queries with graph search.  Roadmap *construction* is the batch-friendly
+phase (thousands of independent edge checks), which is why PRM-class
+pipelines are a natural fit for both vectorized software and the motion-
+planning accelerators (Murray et al.) the paper cites in §2.1.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import PlanningError
+from repro.kernels.planning.collision import (
+    BatchCollisionChecker,
+    ScalarCollisionChecker,
+)
+from repro.kernels.planning.occupancy import CircleWorld
+
+Checker = Union[ScalarCollisionChecker, BatchCollisionChecker]
+
+
+@dataclass
+class PrmResult:
+    """Outcome of one PRM query."""
+
+    path: np.ndarray
+    cost: float
+    expanded: int
+
+    @property
+    def found(self) -> bool:
+        return self.path.shape[0] > 0
+
+
+class PrmPlanner:
+    """k-nearest PRM with Dijkstra queries.
+
+    Args:
+        world: Workspace.
+        checker: Collision checker (scalar or batch); when a batch checker
+            is supplied, roadmap edges are validated in one vectorized
+            call per node.
+        n_samples: Roadmap size.
+        k_neighbors: Connection degree.
+        edge_resolution: Interpolation spacing for edge validation.
+        seed: RNG seed.
+    """
+
+    def __init__(self, world: CircleWorld, checker: Checker,
+                 n_samples: int = 300, k_neighbors: int = 10,
+                 edge_resolution: float = 0.05, seed: int = 0):
+        if n_samples < 2:
+            raise PlanningError("PRM needs n_samples >= 2")
+        self.world = world
+        self.checker = checker
+        self.n_samples = n_samples
+        self.k_neighbors = k_neighbors
+        self.edge_resolution = edge_resolution
+        self.rng = np.random.default_rng(seed)
+        self.nodes: Optional[np.ndarray] = None
+        self.adjacency: Dict[int, List[Tuple[int, float]]] = {}
+        self.edges_checked = 0
+
+    def build(self) -> None:
+        """Sample free configurations and connect k-nearest neighbors."""
+        samples = []
+        while len(samples) < self.n_samples:
+            batch = self.rng.uniform(
+                self.world.lower, self.world.upper,
+                size=(self.n_samples, self.world.dim),
+            )
+            if isinstance(self.checker, BatchCollisionChecker):
+                free = self.checker.points_free(batch)
+                samples.extend(batch[free])
+            else:
+                samples.extend(p for p in batch
+                               if self.checker.point_free(p))
+        self.nodes = np.stack(samples[:self.n_samples])
+        self.adjacency = {i: [] for i in range(self.n_samples)}
+
+        dists = np.linalg.norm(
+            self.nodes[:, None, :] - self.nodes[None, :, :], axis=2
+        )
+        np.fill_diagonal(dists, np.inf)
+        for i in range(self.n_samples):
+            neighbors = np.argsort(dists[i])[:self.k_neighbors]
+            starts = np.repeat(self.nodes[i][None, :], len(neighbors),
+                               axis=0)
+            ends = self.nodes[neighbors]
+            if isinstance(self.checker, BatchCollisionChecker):
+                valid = self.checker.segments_free(
+                    starts, ends, resolution=self.edge_resolution
+                )
+            else:
+                valid = np.array([
+                    self.checker.segment_free(s, e, self.edge_resolution)
+                    for s, e in zip(starts, ends)
+                ])
+            self.edges_checked += len(neighbors)
+            for j, ok in zip(neighbors, valid):
+                if ok:
+                    d = float(dists[i, j])
+                    self.adjacency[i].append((int(j), d))
+                    self.adjacency[int(j)].append((i, d))
+
+    def _connect_query_point(self, point: np.ndarray) -> List[Tuple[int, float]]:
+        assert self.nodes is not None
+        dists = np.linalg.norm(self.nodes - point, axis=1)
+        order = np.argsort(dists)[:max(self.k_neighbors, 5)]
+        links = []
+        for j in order:
+            if self.checker.segment_free(point, self.nodes[j],
+                                         self.edge_resolution):
+                links.append((int(j), float(dists[j])))
+        return links
+
+    def query(self, start, goal) -> PrmResult:
+        """Dijkstra over the roadmap between start and goal."""
+        if self.nodes is None:
+            self.build()
+        assert self.nodes is not None
+        start = np.asarray(start, dtype=float)
+        goal = np.asarray(goal, dtype=float)
+        if not self.checker.point_free(start):
+            raise PlanningError(f"start {start.tolist()} is in collision")
+        if not self.checker.point_free(goal):
+            raise PlanningError(f"goal {goal.tolist()} is in collision")
+
+        start_links = self._connect_query_point(start)
+        goal_links = self._connect_query_point(goal)
+        if not start_links or not goal_links:
+            return PrmResult(np.zeros((0, self.world.dim)),
+                             float("inf"), 0)
+
+        start_id, goal_id = -1, -2
+        graph: Dict[int, List[Tuple[int, float]]] = {
+            node: list(edges) for node, edges in self.adjacency.items()
+        }
+        graph[start_id] = start_links
+        graph[goal_id] = []
+        for j, d in goal_links:
+            graph[j] = graph.get(j, []) + [(goal_id, d)]
+
+        dist = {start_id: 0.0}
+        parent: Dict[int, int] = {}
+        heap: List[Tuple[float, int]] = [(0.0, start_id)]
+        visited = set()
+        expanded = 0
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            expanded += 1
+            if node == goal_id:
+                break
+            for nxt, w in graph.get(node, []):
+                nd = d + w
+                if nd < dist.get(nxt, float("inf")):
+                    dist[nxt] = nd
+                    parent[nxt] = node
+                    heapq.heappush(heap, (nd, nxt))
+
+        if goal_id not in visited:
+            return PrmResult(np.zeros((0, self.world.dim)),
+                             float("inf"), expanded)
+        ids = [goal_id]
+        while ids[-1] != start_id:
+            ids.append(parent[ids[-1]])
+        ids.reverse()
+        coords = []
+        for node in ids:
+            if node == start_id:
+                coords.append(start)
+            elif node == goal_id:
+                coords.append(goal)
+            else:
+                coords.append(self.nodes[node])
+        return PrmResult(np.stack(coords), dist[goal_id], expanded)

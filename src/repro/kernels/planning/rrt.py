@@ -1,0 +1,231 @@
+"""RRT and RRT-Connect sampling-based planners.
+
+Planner logic is deliberately independent of *how* collisions are checked:
+both planners accept either checker from
+:mod:`repro.kernels.planning.collision`, so the §2.5 experiment can hold
+the algorithm constant and swap only the kernel implementation — isolating
+the vectorization effect the paper highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.errors import PlanningError
+from repro.kernels.planning.collision import (
+    BatchCollisionChecker,
+    ScalarCollisionChecker,
+)
+from repro.kernels.planning.occupancy import CircleWorld
+
+Checker = Union[ScalarCollisionChecker, BatchCollisionChecker]
+
+
+@dataclass
+class RrtResult:
+    """Outcome of one sampling-based planning query.
+
+    Attributes:
+        path: ``(n, dim)`` waypoint array (empty if planning failed).
+        iterations: Sampler iterations consumed.
+        n_nodes: Tree size(s) at termination.
+        found: Whether the goal was connected.
+    """
+
+    path: np.ndarray
+    iterations: int
+    n_nodes: int
+
+    @property
+    def found(self) -> bool:
+        return self.path.shape[0] > 0
+
+    def length(self) -> float:
+        if not self.found:
+            return float("inf")
+        return float(np.linalg.norm(np.diff(self.path, axis=0),
+                                    axis=1).sum())
+
+
+class _Tree:
+    """A growable array-backed tree with parent links."""
+
+    def __init__(self, root: np.ndarray):
+        self.nodes: List[np.ndarray] = [np.asarray(root, dtype=float)]
+        self.parents: List[int] = [-1]
+
+    def nearest(self, point: np.ndarray) -> int:
+        stacked = np.stack(self.nodes)
+        return int(np.argmin(
+            np.linalg.norm(stacked - point, axis=1)
+        ))
+
+    def add(self, point: np.ndarray, parent: int) -> int:
+        self.nodes.append(np.asarray(point, dtype=float))
+        self.parents.append(parent)
+        return len(self.nodes) - 1
+
+    def path_from_root(self, index: int) -> List[np.ndarray]:
+        path = []
+        while index >= 0:
+            path.append(self.nodes[index])
+            index = self.parents[index]
+        path.reverse()
+        return path
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def _validate_query(world: CircleWorld, checker: Checker,
+                    start: np.ndarray, goal: np.ndarray) -> None:
+    if not checker.point_free(start):
+        raise PlanningError(f"start {start.tolist()} is in collision")
+    if not checker.point_free(goal):
+        raise PlanningError(f"goal {goal.tolist()} is in collision")
+    if not (world.contains(start)[0] and world.contains(goal)[0]):
+        raise PlanningError("start/goal outside workspace bounds")
+
+
+class RrtPlanner:
+    """Single-tree RRT with goal biasing.
+
+    Args:
+        world: Workspace (sampling bounds + obstacles).
+        checker: Collision checker (scalar or batch).
+        step_size: Maximum extension length.
+        goal_bias: Probability of sampling the goal.
+        edge_resolution: Interpolation spacing for edge validation.
+        max_iterations: Sampling budget.
+        seed: RNG seed (reproducible planning).
+    """
+
+    def __init__(self, world: CircleWorld, checker: Checker,
+                 step_size: float = 0.5, goal_bias: float = 0.05,
+                 edge_resolution: float = 0.05,
+                 max_iterations: int = 5000, seed: int = 0):
+        self.world = world
+        self.checker = checker
+        self.step_size = step_size
+        self.goal_bias = goal_bias
+        self.edge_resolution = edge_resolution
+        self.max_iterations = max_iterations
+        self.rng = np.random.default_rng(seed)
+
+    def plan(self, start, goal, goal_tolerance: float = 1e-6) -> RrtResult:
+        start = np.asarray(start, dtype=float)
+        goal = np.asarray(goal, dtype=float)
+        _validate_query(self.world, self.checker, start, goal)
+        tree = _Tree(start)
+
+        for iteration in range(1, self.max_iterations + 1):
+            if self.rng.random() < self.goal_bias:
+                target = goal
+            else:
+                target = self.rng.uniform(self.world.lower,
+                                          self.world.upper)
+            near_idx = tree.nearest(target)
+            near = tree.nodes[near_idx]
+            direction = target - near
+            dist = float(np.linalg.norm(direction))
+            if dist < 1e-12:
+                continue
+            reach = min(self.step_size, dist)
+            new = near + direction / dist * reach
+            if not self.checker.segment_free(near, new,
+                                             self.edge_resolution):
+                continue
+            new_idx = tree.add(new, near_idx)
+            # Try to connect directly to the goal from the new node.
+            if (np.linalg.norm(new - goal) <= self.step_size
+                    and self.checker.segment_free(new, goal,
+                                                  self.edge_resolution)):
+                goal_idx = tree.add(goal, new_idx)
+                path = np.stack(tree.path_from_root(goal_idx))
+                return RrtResult(path=path, iterations=iteration,
+                                 n_nodes=len(tree))
+            if np.linalg.norm(new - goal) <= goal_tolerance:
+                path = np.stack(tree.path_from_root(new_idx))
+                return RrtResult(path=path, iterations=iteration,
+                                 n_nodes=len(tree))
+        return RrtResult(path=np.zeros((0, start.shape[0])),
+                         iterations=self.max_iterations,
+                         n_nodes=len(tree))
+
+
+class RrtConnectPlanner:
+    """Bidirectional RRT-Connect (Kuffner & LaValle).
+
+    Grows trees from start and goal; each iteration extends one tree
+    toward a sample, then greedily "connects" the other tree toward the
+    new node.  Far fewer iterations than RRT on most queries.
+    """
+
+    def __init__(self, world: CircleWorld, checker: Checker,
+                 step_size: float = 0.5, edge_resolution: float = 0.05,
+                 max_iterations: int = 5000, seed: int = 0):
+        self.world = world
+        self.checker = checker
+        self.step_size = step_size
+        self.edge_resolution = edge_resolution
+        self.max_iterations = max_iterations
+        self.rng = np.random.default_rng(seed)
+
+    def _extend(self, tree: _Tree, target: np.ndarray) -> Optional[int]:
+        """One bounded step toward target; returns new index or None."""
+        near_idx = tree.nearest(target)
+        near = tree.nodes[near_idx]
+        direction = target - near
+        dist = float(np.linalg.norm(direction))
+        if dist < 1e-12:
+            return near_idx
+        reach = min(self.step_size, dist)
+        new = near + direction / dist * reach
+        if not self.checker.segment_free(near, new, self.edge_resolution):
+            return None
+        return tree.add(new, near_idx)
+
+    def _connect(self, tree: _Tree, target: np.ndarray) -> Optional[int]:
+        """Repeated extension until reaching target or blocked."""
+        last = None
+        while True:
+            idx = self._extend(tree, target)
+            if idx is None:
+                return last
+            last = idx
+            if np.linalg.norm(tree.nodes[idx] - target) < 1e-9:
+                return idx
+
+    def plan(self, start, goal) -> RrtResult:
+        start = np.asarray(start, dtype=float)
+        goal = np.asarray(goal, dtype=float)
+        _validate_query(self.world, self.checker, start, goal)
+        tree_a = _Tree(start)
+        tree_b = _Tree(goal)
+        a_is_start = True
+
+        for iteration in range(1, self.max_iterations + 1):
+            sample = self.rng.uniform(self.world.lower, self.world.upper)
+            new_idx = self._extend(tree_a, sample)
+            if new_idx is not None:
+                new_node = tree_a.nodes[new_idx]
+                reach_idx = self._connect(tree_b, new_node)
+                if (reach_idx is not None
+                        and np.linalg.norm(tree_b.nodes[reach_idx]
+                                           - new_node) < 1e-9):
+                    path_a = tree_a.path_from_root(new_idx)
+                    path_b = tree_b.path_from_root(reach_idx)
+                    path_b.reverse()
+                    if not a_is_start:
+                        path_a, path_b = path_b[::-1], path_a[::-1]
+                    full = np.stack(path_a + path_b[1:])
+                    return RrtResult(path=full, iterations=iteration,
+                                     n_nodes=len(tree_a) + len(tree_b))
+            tree_a, tree_b = tree_b, tree_a
+            a_is_start = not a_is_start
+        return RrtResult(path=np.zeros((0, start.shape[0])),
+                         iterations=self.max_iterations,
+                         n_nodes=len(tree_a) + len(tree_b))

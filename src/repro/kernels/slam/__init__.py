@@ -1,0 +1,40 @@
+"""Simultaneous localization and mapping (SLAM) kernels.
+
+Three generations of 2-D landmark/pose SLAM, all runnable on the same
+synthetic scenario generator so they are directly comparable:
+
+- :mod:`~repro.kernels.slam.fastslam`   — FastSLAM 1.0 (particle filter,
+  mid-2000s vintage): the "obsolete algorithm" of the §2.1 experiment;
+- :mod:`~repro.kernels.slam.ekf_slam`   — EKF-SLAM (classic baseline);
+- :mod:`~repro.kernels.slam.graph_slam` — pose-graph optimization
+  (Gauss-Newton on SE(2)), the structure modern "active SLAM" systems
+  build on and what domain experts would actually ask to accelerate.
+
+A 2023 survey found 24 representative active-SLAM approaches (§2.1) —
+the lesson encoded here is not "these three are the field" but that the
+*choice among generations* changes what deserves silicon.
+"""
+
+from repro.kernels.slam.common import (
+    Observation,
+    SlamScenario,
+    ate_rmse,
+    make_scenario,
+)
+from repro.kernels.slam.common import dead_reckoning
+from repro.kernels.slam.ekf_slam import EkfSlam
+from repro.kernels.slam.fastslam import FastSlam
+from repro.kernels.slam.graph_slam import GraphSlam, PoseGraph, build_pose_graph
+
+__all__ = [
+    "EkfSlam",
+    "FastSlam",
+    "GraphSlam",
+    "build_pose_graph",
+    "dead_reckoning",
+    "Observation",
+    "PoseGraph",
+    "SlamScenario",
+    "ate_rmse",
+    "make_scenario",
+]

@@ -1,0 +1,205 @@
+"""FastSLAM 1.0: Rao-Blackwellized particle-filter SLAM (mid-2000s).
+
+Each particle carries a pose hypothesis plus an independent 2x2 EKF per
+landmark.  This is the deliberately *dated* algorithm of the §2.1
+experiment: a perfectly respectable kernel to accelerate in 2008, and a
+mistake to accelerate today without asking a domain expert — resampling
+is branch-heavy and particle-serial, and the field moved to graph
+optimization.  The workload profile it reports is correspondingly
+divergent and low-parallel-fraction, which is what makes the E1 result
+come out the way practitioners observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.profile import DivergenceClass, OpCounter, WorkloadProfile
+from repro.errors import ConfigurationError
+from repro.kernels.geometry import wrap_angle
+from repro.kernels.slam.common import Observation, SlamScenario, motion_model
+
+
+@dataclass
+class _LandmarkFilter:
+    mean: np.ndarray  # (2,)
+    cov: np.ndarray   # (2, 2)
+
+
+@dataclass
+class _Particle:
+    pose: np.ndarray
+    weight: float
+    landmarks: Dict[int, _LandmarkFilter] = field(default_factory=dict)
+
+
+class FastSlam:
+    """FastSLAM 1.0 with known data association.
+
+    Args:
+        initial_pose: ``[x, y, theta]``.
+        n_particles: Particle count (accuracy/compute knob).
+        motion_noise: Std devs of ``[translation, rotation]`` per step.
+        measurement_noise: Std devs of ``[range, bearing]``.
+        seed: RNG seed.
+        counter: Optional instrumentation.
+    """
+
+    def __init__(self, initial_pose, n_particles: int = 50,
+                 motion_noise=(0.05, 0.01), measurement_noise=(0.1, 0.02),
+                 seed: int = 0, counter: Optional[OpCounter] = None):
+        if n_particles < 1:
+            raise ConfigurationError("n_particles must be >= 1")
+        initial = np.asarray(initial_pose, dtype=float)
+        self.particles = [
+            _Particle(pose=initial.copy(), weight=1.0 / n_particles)
+            for _ in range(n_particles)
+        ]
+        self.motion_noise = motion_noise
+        self.measurement_noise = measurement_noise
+        self.rng = np.random.default_rng(seed)
+        self.counter = counter if counter is not None \
+            else OpCounter(name="fastslam")
+
+    @property
+    def n_particles(self) -> int:
+        return len(self.particles)
+
+    def pose(self) -> np.ndarray:
+        """Weighted mean pose (circular mean for heading)."""
+        weights = np.array([p.weight for p in self.particles])
+        weights = weights / weights.sum()
+        poses = np.stack([p.pose for p in self.particles])
+        x = float(weights @ poses[:, 0])
+        y = float(weights @ poses[:, 1])
+        sin = float(weights @ np.sin(poses[:, 2]))
+        cos = float(weights @ np.cos(poses[:, 2]))
+        return np.array([x, y, np.arctan2(sin, cos)])
+
+    def predict(self, control) -> None:
+        """Sample each particle's motion with injected noise."""
+        sigma_t, sigma_r = self.motion_noise
+        for particle in self.particles:
+            noisy = np.asarray(control, dtype=float) + self.rng.normal(
+                0.0, [sigma_t, sigma_r]
+            )
+            particle.pose = motion_model(particle.pose, noisy)
+        self.counter.add_flops(20.0 * self.n_particles)
+
+    def _update_particle(self, particle: _Particle,
+                         obs: Observation) -> float:
+        sigma_r, sigma_b = self.measurement_noise
+        r_noise = np.diag([sigma_r ** 2, sigma_b ** 2])
+        x, y, theta = particle.pose
+
+        if obs.landmark_id not in particle.landmarks:
+            lx = x + obs.range_m * np.cos(theta + obs.bearing_rad)
+            ly = y + obs.range_m * np.sin(theta + obs.bearing_rad)
+            # Initialize covariance through the inverse measurement model.
+            dx, dy = lx - x, ly - y
+            q = dx * dx + dy * dy
+            sqrt_q = np.sqrt(q)
+            h = np.array([[dx / sqrt_q, dy / sqrt_q],
+                          [-dy / q, dx / q]])
+            h_inv = np.linalg.inv(h)
+            particle.landmarks[obs.landmark_id] = _LandmarkFilter(
+                mean=np.array([lx, ly]),
+                cov=h_inv @ r_noise @ h_inv.T,
+            )
+            self.counter.add_flops(60.0)
+            return 1.0  # uninformative weight on initialization
+
+        lm = particle.landmarks[obs.landmark_id]
+        dx = lm.mean[0] - x
+        dy = lm.mean[1] - y
+        q = dx * dx + dy * dy
+        sqrt_q = np.sqrt(q)
+        if sqrt_q < 1e-9:
+            return 1e-12
+        predicted = np.array([
+            sqrt_q, wrap_angle(np.arctan2(dy, dx) - theta),
+        ])
+        innovation = np.array([
+            obs.range_m - predicted[0],
+            wrap_angle(obs.bearing_rad - predicted[1]),
+        ])
+        h = np.array([[dx / sqrt_q, dy / sqrt_q],
+                      [-dy / q, dx / q]])
+        s = h @ lm.cov @ h.T + r_noise
+        s_inv = np.linalg.inv(s)
+        k = lm.cov @ h.T @ s_inv
+        lm.mean = lm.mean + k @ innovation
+        lm.cov = (np.eye(2) - k @ h) @ lm.cov
+        self.counter.add_flops(120.0)
+
+        det = float(np.linalg.det(2.0 * np.pi * s))
+        det = max(det, 1e-300)
+        exponent = -0.5 * float(innovation @ s_inv @ innovation)
+        return float(np.exp(np.clip(exponent, -500.0, 0.0))
+                     / np.sqrt(det))
+
+    def update(self, observations: List[Observation]) -> None:
+        """Weight particles by likelihood, then resample if degenerate."""
+        for particle in self.particles:
+            likelihood = 1.0
+            for obs in observations:
+                likelihood *= self._update_particle(particle, obs)
+            particle.weight *= max(likelihood, 1e-300)
+
+        total = sum(p.weight for p in self.particles)
+        if total <= 0:
+            for p in self.particles:
+                p.weight = 1.0 / self.n_particles
+        else:
+            for p in self.particles:
+                p.weight /= total
+
+        effective = 1.0 / sum(p.weight ** 2 for p in self.particles)
+        self.counter.add_flops(3.0 * self.n_particles)
+        if effective < self.n_particles / 2.0:
+            self._resample()
+
+    def _resample(self) -> None:
+        """Low-variance (systematic) resampling."""
+        n = self.n_particles
+        weights = np.array([p.weight for p in self.particles])
+        positions = (self.rng.random() + np.arange(n)) / n
+        cumulative = np.cumsum(weights)
+        cumulative[-1] = 1.0
+        indices = np.searchsorted(cumulative, positions)
+        new_particles = []
+        for idx in indices:
+            src = self.particles[int(idx)]
+            new_particles.append(_Particle(
+                pose=src.pose.copy(),
+                weight=1.0 / n,
+                landmarks={
+                    lid: _LandmarkFilter(lm.mean.copy(), lm.cov.copy())
+                    for lid, lm in src.landmarks.items()
+                },
+            ))
+        self.particles = new_particles
+        self.counter.add_int_ops(20.0 * n)
+        self.counter.add_read(8.0 * n * 8)
+        self.counter.add_write(8.0 * n * 8)
+
+    def run(self, scenario: SlamScenario) -> np.ndarray:
+        """Process a whole scenario; returns the estimated trajectory."""
+        trajectory = [self.pose()]
+        for step in range(scenario.n_steps):
+            self.predict(scenario.odometry[step])
+            self.update(scenario.observations[step])
+            trajectory.append(self.pose())
+        return np.stack(trajectory)
+
+    def profile(self) -> WorkloadProfile:
+        """Measured profile: particle-parallel but branchy (resampling,
+        per-particle map divergence)."""
+        return self.counter.profile(
+            parallel_fraction=0.8,
+            divergence=DivergenceClass.HIGH,
+            op_class="particle",
+        )

@@ -1,0 +1,40 @@
+"""Perception kernels: synthetic imaging, features, flow, stereo, VIO.
+
+A complete (planar) visual-inertial odometry pipeline built from scratch:
+synthetic camera images of a landmark field, Harris corner detection,
+Lucas-Kanade tracking, rigid-motion estimation (Umeyama + RANSAC), and an
+EKF fusing visual odometry with IMU increments.  This is the Navion-class
+workload of §2.1, and the pipeline whose end-to-end behavior (sensor I/O
+included) experiment E6 measures.
+"""
+
+from repro.kernels.vision.association import (
+    greedy_assignment,
+    optimal_assignment,
+)
+from repro.kernels.vision.features import harris_corners
+from repro.kernels.vision.optical_flow import lucas_kanade
+from repro.kernels.vision.stereo import block_matching_disparity
+from repro.kernels.vision.synthetic import (
+    CameraModel,
+    render_landmark_image,
+    visible_landmarks,
+)
+from repro.kernels.vision.vio import PlanarVio, VioConfig, run_vio
+from repro.kernels.vision.vo import estimate_rigid_2d, ransac_rigid_2d
+
+__all__ = [
+    "CameraModel",
+    "PlanarVio",
+    "VioConfig",
+    "block_matching_disparity",
+    "estimate_rigid_2d",
+    "greedy_assignment",
+    "harris_corners",
+    "optimal_assignment",
+    "lucas_kanade",
+    "ransac_rigid_2d",
+    "render_landmark_image",
+    "run_vio",
+    "visible_landmarks",
+]

@@ -1,0 +1,115 @@
+"""Harris corner detection (dense stencil workload).
+
+The per-pixel structure-tensor computation is a textbook stencil kernel:
+dense, regular, and embarrassingly parallel — the opposite end of the
+spectrum from tree search, and a natural FPGA/ASIC target.  Instrumented
+per pixel so the profile scales with image size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.profile import DivergenceClass, OpCounter, WorkloadProfile
+from repro.errors import ConfigurationError
+
+
+def _box_filter(image: np.ndarray, radius: int) -> np.ndarray:
+    """Separable box filter via cumulative sums (O(1) per pixel)."""
+    padded = np.pad(image, radius, mode="edge")
+    csum = np.cumsum(np.cumsum(padded, axis=0), axis=1)
+    csum = np.pad(csum, ((1, 0), (1, 0)))
+    size = 2 * radius + 1
+    h, w = image.shape
+    total = (csum[size:size + h, size:size + w]
+             - csum[:h, size:size + w]
+             - csum[size:size + h, :w]
+             + csum[:h, :w])
+    return total / (size * size)
+
+
+def harris_corners(image: np.ndarray, max_corners: int = 50,
+                   k: float = 0.04, quality: float = 0.01,
+                   window_radius: int = 2, nms_radius: int = 3,
+                   counter: Optional[OpCounter] = None) -> np.ndarray:
+    """Detect Harris corners.
+
+    Args:
+        image: 2-D float image.
+        max_corners: Keep at most this many strongest corners.
+        k: Harris sensitivity constant.
+        quality: Response threshold as a fraction of the peak response.
+        window_radius: Structure-tensor window radius.
+        nms_radius: Non-maximum-suppression radius.
+        counter: Optional instrumentation.
+
+    Returns:
+        ``(n, 2)`` array of ``(x, y)`` pixel coordinates (column, row),
+        sorted by decreasing response.
+    """
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise ConfigurationError(f"image must be 2-D, got {image.shape}")
+    h, w = image.shape
+
+    # Central-difference gradients.
+    gx = np.zeros_like(image)
+    gy = np.zeros_like(image)
+    gx[:, 1:-1] = (image[:, 2:] - image[:, :-2]) / 2.0
+    gy[1:-1, :] = (image[2:, :] - image[:-2, :]) / 2.0
+
+    ixx = _box_filter(gx * gx, window_radius)
+    iyy = _box_filter(gy * gy, window_radius)
+    ixy = _box_filter(gx * gy, window_radius)
+
+    det = ixx * iyy - ixy * ixy
+    trace = ixx + iyy
+    response = det - k * trace * trace
+
+    if counter is not None:
+        pixels = float(h * w)
+        counter.add_flops(pixels * 30.0)  # grads, tensor, response
+        counter.add_read(8.0 * pixels * 6.0)
+        counter.add_write(8.0 * pixels * 4.0)
+        counter.note_working_set(8.0 * pixels * 4.0)
+
+    peak = float(response.max())
+    if peak <= 0:
+        return np.zeros((0, 2))
+    threshold = quality * peak
+
+    # Greedy NMS over sorted candidates.
+    candidates = np.argwhere(response > threshold)
+    strengths = response[candidates[:, 0], candidates[:, 1]]
+    order = np.argsort(strengths)[::-1]
+    suppressed = np.zeros((h, w), dtype=bool)
+    corners = []
+    for idx in order:
+        r, c = candidates[idx]
+        if suppressed[r, c]:
+            continue
+        corners.append((c, r))
+        if len(corners) >= max_corners:
+            break
+        r0, r1 = max(0, r - nms_radius), min(h, r + nms_radius + 1)
+        c0, c1 = max(0, c - nms_radius), min(w, c + nms_radius + 1)
+        suppressed[r0:r1, c0:c1] = True
+    return np.array(corners, dtype=float).reshape(-1, 2)
+
+
+def harris_profile(image_size: int,
+                   name: Optional[str] = None) -> WorkloadProfile:
+    """Closed-form profile of Harris detection on a square image."""
+    if image_size < 1:
+        raise ConfigurationError("image_size must be >= 1")
+    pixels = float(image_size * image_size)
+    counter = OpCounter(name=name or f"harris-{image_size}")
+    counter.add_flops(pixels * 30.0)
+    counter.add_read(8.0 * pixels * 6.0)
+    counter.add_write(8.0 * pixels * 4.0)
+    counter.note_working_set(8.0 * pixels * 4.0)
+    return counter.profile(parallel_fraction=0.98,
+                           divergence=DivergenceClass.NONE,
+                           op_class="stencil")

@@ -1,0 +1,101 @@
+"""Synthetic imaging: a downward-looking camera over a landmark field.
+
+The offline stand-in for a real camera (see the substitution table in
+DESIGN.md): world landmarks project into the image plane of a robot-mounted
+camera; images are rendered as Gaussian blobs plus sensor noise, so the
+feature detector and tracker downstream run on *images*, not on oracle
+coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CameraModel:
+    """A downward-looking orthographic camera on a planar robot.
+
+    Attributes:
+        image_size: Square image side length in pixels.
+        pixels_per_meter: Orthographic scale.
+        noise_std: Additive Gaussian intensity noise (image in [0, 1]).
+    """
+
+    image_size: int = 96
+    pixels_per_meter: float = 8.0
+    noise_std: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.image_size < 8:
+            raise ConfigurationError("image_size must be >= 8")
+        if self.pixels_per_meter <= 0:
+            raise ConfigurationError("pixels_per_meter must be > 0")
+
+    @property
+    def view_radius_m(self) -> float:
+        """Half-extent of the footprint on the ground."""
+        return self.image_size / (2.0 * self.pixels_per_meter)
+
+    def world_to_pixel(self, pose: np.ndarray,
+                       point: np.ndarray) -> np.ndarray:
+        """Project a world (x, y) point into pixel coordinates.
+
+        The camera is centered on the robot and rotates with it.
+        """
+        c, s = np.cos(pose[2]), np.sin(pose[2])
+        rel = np.asarray(point, dtype=float) - pose[:2]
+        body = np.array([c * rel[0] + s * rel[1],
+                         -s * rel[0] + c * rel[1]])
+        center = self.image_size / 2.0
+        return center + body * self.pixels_per_meter
+
+    def pixel_to_body(self, pixel: np.ndarray) -> np.ndarray:
+        """Back-project a pixel to body-frame meters."""
+        center = self.image_size / 2.0
+        return (np.asarray(pixel, dtype=float) - center) \
+            / self.pixels_per_meter
+
+
+def visible_landmarks(camera: CameraModel, pose: np.ndarray,
+                      landmarks: np.ndarray
+                      ) -> List[Tuple[int, np.ndarray]]:
+    """Landmarks whose projection falls inside the image.
+
+    Returns ``(landmark_id, pixel_xy)`` pairs.
+    """
+    result: List[Tuple[int, np.ndarray]] = []
+    margin = 3.0
+    for lm_id, lm in enumerate(np.atleast_2d(landmarks)):
+        pixel = camera.world_to_pixel(pose, lm)
+        if (margin <= pixel[0] < camera.image_size - margin
+                and margin <= pixel[1] < camera.image_size - margin):
+            result.append((lm_id, pixel))
+    return result
+
+
+def render_landmark_image(camera: CameraModel, pose: np.ndarray,
+                          landmarks: np.ndarray,
+                          blob_sigma: float = 1.2,
+                          seed: int = 0) -> np.ndarray:
+    """Render the camera view as intensity blobs plus noise.
+
+    Returns an ``(image_size, image_size)`` float image in [0, 1]-ish
+    range (noise can push slightly outside).
+    """
+    size = camera.image_size
+    image = np.zeros((size, size))
+    ys, xs = np.mgrid[0:size, 0:size]
+    for _, pixel in visible_landmarks(camera, pose, landmarks):
+        dx = xs - pixel[0]
+        dy = ys - pixel[1]
+        image += np.exp(-(dx * dx + dy * dy)
+                        / (2.0 * blob_sigma ** 2))
+    rng = np.random.default_rng(seed)
+    image += rng.normal(0.0, camera.noise_std, size=image.shape)
+    return np.clip(image, 0.0, 1.5)

@@ -1,0 +1,101 @@
+"""Rigid 2-D motion estimation from matched point sets.
+
+The geometric core of visual odometry: given points observed in two
+frames, recover the rotation + translation between frames (Umeyama /
+Procrustes), optionally inside a RANSAC loop for outlier rejection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.profile import OpCounter
+from repro.errors import ConfigurationError
+
+
+def estimate_rigid_2d(src: np.ndarray, dst: np.ndarray,
+                      counter: Optional[OpCounter] = None
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Least-squares rigid transform mapping ``src`` onto ``dst``.
+
+    Solves ``dst ≈ R @ src + t`` for 2x2 rotation ``R`` and 2-vector ``t``
+    (Umeyama without scale, via SVD of the cross-covariance).
+
+    Raises:
+        ConfigurationError: Fewer than 2 points or shape mismatch.
+    """
+    src = np.atleast_2d(np.asarray(src, dtype=float))
+    dst = np.atleast_2d(np.asarray(dst, dtype=float))
+    if src.shape != dst.shape or src.shape[1] != 2:
+        raise ConfigurationError(
+            f"point sets must both be (n, 2); got {src.shape}, {dst.shape}"
+        )
+    n = src.shape[0]
+    if n < 2:
+        raise ConfigurationError("need >= 2 point pairs")
+
+    mu_src = src.mean(axis=0)
+    mu_dst = dst.mean(axis=0)
+    cov = (dst - mu_dst).T @ (src - mu_src) / n
+    u, _, vt = np.linalg.svd(cov)
+    d = np.sign(np.linalg.det(u @ vt))
+    rotation = u @ np.diag([1.0, d]) @ vt
+    translation = mu_dst - rotation @ mu_src
+    if counter is not None:
+        counter.add_flops(n * 16.0 + 100.0)
+        counter.add_read(8.0 * n * 4.0)
+        counter.add_write(8.0 * 6.0)
+    return rotation, translation
+
+
+def rigid_residuals(src: np.ndarray, dst: np.ndarray,
+                    rotation: np.ndarray,
+                    translation: np.ndarray) -> np.ndarray:
+    """Per-point distances ``|dst - (R src + t)|``."""
+    mapped = src @ rotation.T + translation
+    return np.linalg.norm(dst - mapped, axis=1)
+
+
+def ransac_rigid_2d(src: np.ndarray, dst: np.ndarray,
+                    inlier_threshold: float = 0.1,
+                    iterations: int = 50, seed: int = 0,
+                    counter: Optional[OpCounter] = None
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """RANSAC wrapper around :func:`estimate_rigid_2d`.
+
+    Returns:
+        ``(rotation, translation, inlier_mask)``.  Falls back to the
+        all-points fit when no hypothesis finds >= 2 inliers.
+    """
+    src = np.atleast_2d(np.asarray(src, dtype=float))
+    dst = np.atleast_2d(np.asarray(dst, dtype=float))
+    n = src.shape[0]
+    if n < 2:
+        raise ConfigurationError("need >= 2 point pairs")
+    rng = np.random.default_rng(seed)
+
+    best_mask = np.zeros(n, dtype=bool)
+    for _ in range(iterations):
+        pick = rng.choice(n, size=2, replace=False)
+        try:
+            rotation, translation = estimate_rigid_2d(
+                src[pick], dst[pick], counter=counter
+            )
+        except ConfigurationError:
+            continue
+        residuals = rigid_residuals(src, dst, rotation, translation)
+        mask = residuals < inlier_threshold
+        if counter is not None:
+            counter.add_flops(n * 10.0)
+        if mask.sum() > best_mask.sum():
+            best_mask = mask
+    if best_mask.sum() < 2:
+        rotation, translation = estimate_rigid_2d(src, dst,
+                                                  counter=counter)
+        return rotation, translation, np.ones(n, dtype=bool)
+    rotation, translation = estimate_rigid_2d(
+        src[best_mask], dst[best_mask], counter=counter
+    )
+    return rotation, translation, best_mask

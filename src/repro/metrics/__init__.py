@@ -1,0 +1,39 @@
+"""Holistic metrics (§2.2 "Measure Twice, Cut Once").
+
+The paper's claim is that *which metrics you report* changes which design
+wins.  This package computes three tiers on the same artifacts:
+
+- :mod:`~repro.metrics.compute`   — device metrics (TOPS, TOPS/W, EDP,
+  off-chip bandwidth demand) — necessary, never sufficient;
+- :mod:`~repro.metrics.accuracy`  — task-quality metrics
+  (time-to-accuracy and friends);
+- :mod:`~repro.metrics.mission`   — mission/system-level metrics;
+- :mod:`~repro.metrics.composite` — normalization and weighted scoring
+  for design ranking.
+"""
+
+from repro.metrics.accuracy import (
+    accuracy_throughput_frontier,
+    time_to_threshold,
+)
+from repro.metrics.composite import CompositeScore, normalize_metrics
+from repro.metrics.compute import (
+    edp,
+    offchip_bandwidth_demand,
+    tops,
+    tops_per_watt,
+)
+from repro.metrics.mission import MissionSummary, summarize_missions
+
+__all__ = [
+    "CompositeScore",
+    "MissionSummary",
+    "accuracy_throughput_frontier",
+    "edp",
+    "normalize_metrics",
+    "offchip_bandwidth_demand",
+    "summarize_missions",
+    "time_to_threshold",
+    "tops",
+    "tops_per_watt",
+]

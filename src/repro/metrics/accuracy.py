@@ -1,0 +1,85 @@
+"""Task-quality metrics: time-to-threshold and quality/throughput fronts.
+
+"Time-to-accuracy, not time overall" — the MLPerf lesson the paper
+retells in §2.2, generalized to any monotone quality trace.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def time_to_threshold(times_s: Sequence[float],
+                      qualities: Sequence[float],
+                      target: float) -> float:
+    """First time at which ``qualities`` reaches ``target``.
+
+    Args:
+        times_s: Monotonically increasing timestamps.
+        qualities: Quality value at each timestamp (higher = better).
+        target: Threshold to reach.
+
+    Returns:
+        The earliest timestamp with ``quality >= target``; ``inf`` if it
+        is never reached.
+    """
+    if len(times_s) != len(qualities):
+        raise ConfigurationError(
+            f"{len(times_s)} timestamps but {len(qualities)} qualities"
+        )
+    previous = float("-inf")
+    for t in times_s:
+        if t < previous:
+            raise ConfigurationError("timestamps must be non-decreasing")
+        previous = t
+    for t, q in zip(times_s, qualities):
+        if q >= target:
+            return float(t)
+    return float("inf")
+
+
+def accuracy_throughput_frontier(
+    runs: Sequence[Tuple[str, float, float]]
+) -> List[Tuple[str, float, float]]:
+    """Non-dominated (throughput up, quality up) subset of runs.
+
+    Args:
+        runs: ``(name, throughput, quality)`` triples.
+
+    Returns:
+        The runs not dominated in *both* throughput and quality,
+        sorted by throughput — the only fair way to show a
+        quality-degrading speedup next to a slower accurate one.
+    """
+    survivors: List[Tuple[str, float, float]] = []
+    for i, (name, thr, quality) in enumerate(runs):
+        dominated = False
+        for j, (_, thr2, quality2) in enumerate(runs):
+            if j != i and thr2 >= thr and quality2 >= quality \
+                    and (thr2 > thr or quality2 > quality):
+                dominated = True
+                break
+        if not dominated:
+            survivors.append((name, thr, quality))
+    survivors.sort(key=lambda row: row[1])
+    return survivors
+
+
+def quality_weighted_speedup(baseline_time_s: float,
+                             accelerated_time_s: float,
+                             baseline_quality: float,
+                             accelerated_quality: float) -> float:
+    """Speedup discounted by any quality loss.
+
+    ``(t_base / t_accel) * min(1, q_accel / q_base)`` — a deliberately
+    blunt instrument that zeroes out "wins" which trade away the task.
+    """
+    if baseline_time_s <= 0 or accelerated_time_s <= 0:
+        raise ConfigurationError("times must be > 0")
+    if baseline_quality <= 0:
+        raise ConfigurationError("baseline quality must be > 0")
+    raw = baseline_time_s / accelerated_time_s
+    quality_ratio = min(1.0, accelerated_quality / baseline_quality)
+    return raw * quality_ratio

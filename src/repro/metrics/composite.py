@@ -1,0 +1,99 @@
+"""Normalization and weighted composite scoring for design ranking.
+
+The last step of a §2.2-compliant evaluation: once device, task, and
+system metrics exist side by side, rank designs with *declared* weights
+instead of letting one convenient metric decide implicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def normalize_metrics(rows: Sequence[Mapping[str, float]],
+                      lower_is_better: Mapping[str, bool]
+                      ) -> List[Dict[str, float]]:
+    """Min-max normalize each metric across rows to [0, 1], 1 = best.
+
+    Args:
+        rows: One metrics dict per design; all must share keys.
+        lower_is_better: Direction per metric.
+
+    Returns:
+        Normalized rows (constant metrics normalize to 1.0 for all).
+    """
+    if not rows:
+        raise ConfigurationError("need >= 1 row")
+    keys = set(rows[0])
+    for row in rows:
+        if set(row) != keys:
+            raise ConfigurationError(
+                f"inconsistent metric keys: {sorted(keys)} vs"
+                f" {sorted(row)}"
+            )
+    missing = keys - set(lower_is_better)
+    if missing:
+        raise ConfigurationError(
+            f"no direction declared for metrics: {sorted(missing)}"
+        )
+    normalized: List[Dict[str, float]] = [{} for _ in rows]
+    for key in keys:
+        values = [row[key] for row in rows]
+        lo, hi = min(values), max(values)
+        for out, value in zip(normalized, values):
+            if hi == lo:
+                score = 1.0
+            else:
+                score = (value - lo) / (hi - lo)
+                if lower_is_better[key]:
+                    score = 1.0 - score
+            out[key] = score
+    return normalized
+
+
+@dataclass
+class CompositeScore:
+    """A weighted composite over normalized metrics.
+
+    Attributes:
+        weights: Metric → weight; weights are renormalized to sum to 1.
+        lower_is_better: Direction per metric (shared with
+            :func:`normalize_metrics`).
+    """
+
+    weights: Dict[str, float]
+    lower_is_better: Dict[str, bool] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ConfigurationError("weights must be non-empty")
+        if any(w < 0 for w in self.weights.values()):
+            raise ConfigurationError("weights must be >= 0")
+        total = sum(self.weights.values())
+        if total == 0:
+            raise ConfigurationError("weights must not all be zero")
+        self.weights = {k: w / total for k, w in self.weights.items()}
+
+    def rank(self, designs: Sequence[Tuple[str, Mapping[str, float]]]
+             ) -> List[Tuple[str, float]]:
+        """Score and sort designs, best first.
+
+        Only metrics present in ``weights`` participate; extra metrics
+        in the rows are ignored.
+        """
+        if not designs:
+            raise ConfigurationError("need >= 1 design")
+        rows = [{k: row[k] for k in self.weights}
+                for _, row in designs]
+        directions = {k: self.lower_is_better.get(k, True)
+                      for k in self.weights}
+        normalized = normalize_metrics(rows, directions)
+        scored = [
+            (name, sum(self.weights[k] * norm[k] for k in self.weights))
+            for (name, _), norm in zip(designs, normalized)
+        ]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored

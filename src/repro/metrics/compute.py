@@ -1,0 +1,80 @@
+"""Device-level compute metrics — and their system-level correctives.
+
+TOPS and TOPS/W are the headline numbers §2.2 warns about: easy to
+compute, easy to game, and misleading in isolation.  They are provided
+here *together with* the system-facing quantities (off-chip bandwidth
+demand, sustained-vs-peak ratio) that expose when the headline number is
+hollow (Sze et al.).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.profile import CostEstimate, WorkloadProfile
+from repro.errors import ConfigurationError
+from repro.hw.platform import Platform
+
+
+def tops(profile: WorkloadProfile, estimate: CostEstimate) -> float:
+    """Achieved tera-operations per second on one invocation."""
+    if estimate.latency_s <= 0:
+        raise ConfigurationError("latency must be > 0")
+    return profile.total_ops / estimate.latency_s / 1e12
+
+
+def tops_per_watt(profile: WorkloadProfile,
+                  estimate: CostEstimate) -> float:
+    """Achieved TOPS/W — the §2.2 headline metric."""
+    if estimate.energy_j <= 0:
+        raise ConfigurationError("energy must be > 0")
+    return profile.total_ops / estimate.energy_j / 1e12
+
+
+def edp(estimate: CostEstimate) -> float:
+    """Energy-delay product (J*s)."""
+    return estimate.edp
+
+
+def peak_utilization(profile: WorkloadProfile, estimate: CostEstimate,
+                     platform: Platform) -> float:
+    """Achieved / peak throughput — how hollow the peak number is."""
+    achieved = profile.total_ops / estimate.latency_s \
+        if estimate.latency_s > 0 else float("inf")
+    return min(1.0, achieved / platform.config.peak_flops)
+
+
+def offchip_bandwidth_demand(profile: WorkloadProfile,
+                             rate_hz: float,
+                             onchip_bytes: float) -> float:
+    """Off-chip bandwidth (B/s) the workload needs at a given rate.
+
+    Zero when the working set stays on-chip; otherwise the full traffic
+    spills.  Comparing this demand against a platform's ``offchip_bw`` is
+    the system-level check that re-ranks accelerators ranked by TOPS/W
+    alone (experiment E2b).
+    """
+    if rate_hz <= 0:
+        raise ConfigurationError("rate_hz must be > 0")
+    if profile.working_set_bytes <= onchip_bytes:
+        return 0.0
+    return profile.total_bytes * rate_hz
+
+
+def device_report(profile: WorkloadProfile, platform: Platform,
+                  rate_hz: float = 30.0) -> Dict[str, float]:
+    """All device metrics for one (kernel, platform) pair in one dict."""
+    estimate = platform.estimate(profile)
+    return {
+        "latency_s": estimate.latency_s,
+        "energy_j": estimate.energy_j,
+        "tops": tops(profile, estimate),
+        "tops_per_watt": tops_per_watt(profile, estimate),
+        "edp": edp(estimate),
+        "peak_utilization": peak_utilization(profile, estimate,
+                                             platform),
+        "offchip_bw_demand": offchip_bandwidth_demand(
+            profile, rate_hz, platform.config.onchip_bytes
+        ),
+        "offchip_bw_available": platform.config.offchip_bw,
+    }

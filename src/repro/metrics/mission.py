@@ -1,0 +1,75 @@
+"""Mission-level metric aggregation for closed-loop experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.system.mission import MissionResult
+
+
+@dataclass(frozen=True)
+class MissionSummary:
+    """Aggregate over a batch of missions (e.g. one tier, many worlds).
+
+    Attributes:
+        n_missions: Batch size.
+        success_rate: Fraction completed.
+        mean_time_s: Mean time over *successful* missions (``inf`` when
+            none succeed).
+        mean_energy_j: Mean energy over successful missions.
+        mean_speed_m_s: Mean speed over successful missions.
+        energy_per_meter_j: Transport cost of successful missions.
+    """
+
+    n_missions: int
+    success_rate: float
+    mean_time_s: float
+    mean_energy_j: float
+    mean_speed_m_s: float
+    energy_per_meter_j: float
+
+
+def summarize_missions(results: Sequence[MissionResult]
+                       ) -> MissionSummary:
+    """Aggregate a batch of :class:`MissionResult` into a summary."""
+    if not results:
+        raise ConfigurationError("need >= 1 mission result")
+    successes = [r for r in results if r.success]
+    if not successes:
+        return MissionSummary(
+            n_missions=len(results), success_rate=0.0,
+            mean_time_s=float("inf"), mean_energy_j=float("inf"),
+            mean_speed_m_s=0.0, energy_per_meter_j=float("inf"),
+        )
+    total_distance = sum(r.distance_m for r in successes)
+    total_energy = sum(r.energy_j for r in successes)
+    return MissionSummary(
+        n_missions=len(results),
+        success_rate=len(successes) / len(results),
+        mean_time_s=sum(r.mission_time_s for r in successes)
+        / len(successes),
+        mean_energy_j=total_energy / len(successes),
+        mean_speed_m_s=sum(r.mean_speed_m_s for r in successes)
+        / len(successes),
+        energy_per_meter_j=total_energy / total_distance
+        if total_distance > 0 else float("inf"),
+    )
+
+
+def rank_tiers(rows: Sequence[Tuple[str, MissionResult]]
+               ) -> List[Tuple[str, float]]:
+    """Rank compute tiers by mission merit.
+
+    Merit is ``success * (1 / energy_j)`` — finish the mission, cheaply.
+    Failed tiers rank last (merit 0), ties broken by name for
+    determinism.
+    """
+    scored = []
+    for name, result in rows:
+        merit = (1.0 / result.energy_j
+                 if result.success and result.energy_j > 0 else 0.0)
+        scored.append((name, merit))
+    scored.sort(key=lambda pair: (-pair[1], pair[0]))
+    return scored

@@ -1,0 +1,48 @@
+"""Sustainability modeling: carbon, lifecycle analysis, fleet projection.
+
+§2.7 "Design Global" turned into models:
+
+- :mod:`~repro.sustainability.embodied`    — manufacturing carbon
+  (ACT-style per-mm² factors by process node);
+- :mod:`~repro.sustainability.operational` — use-phase carbon by grid;
+- :mod:`~repro.sustainability.lca`         — full lifecycle assessment;
+- :mod:`~repro.sustainability.fleet`       — "datacenters on wheels"
+  fleet-scale projection (Sudhakar et al.);
+- :mod:`~repro.sustainability.eol`         — end-of-life recovery.
+
+Coefficients are public-order (ACT, Patterson et al., grid-intensity
+tables); experiments built on them reproduce directional claims, not
+audited footprints.
+"""
+
+from repro.sustainability.embodied import (
+    ProcessNode,
+    embodied_carbon_kg,
+    packaging_carbon_kg,
+)
+from repro.sustainability.eol import EolPlan, recovery_credit_kg
+from repro.sustainability.fleet import (
+    FleetScenario,
+    fleet_power_w,
+    fleet_vs_datacenters,
+)
+from repro.sustainability.lca import LifecycleAssessment, LifecycleInputs
+from repro.sustainability.operational import (
+    GRID_INTENSITY_G_PER_KWH,
+    operational_carbon_kg,
+)
+
+__all__ = [
+    "EolPlan",
+    "FleetScenario",
+    "GRID_INTENSITY_G_PER_KWH",
+    "LifecycleAssessment",
+    "LifecycleInputs",
+    "ProcessNode",
+    "embodied_carbon_kg",
+    "fleet_power_w",
+    "fleet_vs_datacenters",
+    "operational_carbon_kg",
+    "packaging_carbon_kg",
+    "recovery_credit_kg",
+]

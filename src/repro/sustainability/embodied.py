@@ -1,0 +1,114 @@
+"""Embodied (manufacturing) carbon for silicon, ACT-style.
+
+Per-area carbon intensity of wafer processing rises sharply at advanced
+nodes (more masks, more EUV, more energy per wafer).  Factors below are
+public-order values consistent with the ACT model (Gupta et al., ISCA'22)
+— suitable for the directional comparisons the paper calls for.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+
+class ProcessNode(enum.Enum):
+    """Supported logic nodes."""
+
+    N28 = "28nm"
+    N14 = "14nm"
+    N7 = "7nm"
+    N5 = "5nm"
+    N3 = "3nm"
+
+
+#: kgCO2e per mm^2 of finished die, by node (wafer processing, ACT-order).
+CARBON_PER_MM2_KG: Dict[ProcessNode, float] = {
+    ProcessNode.N28: 0.010,
+    ProcessNode.N14: 0.016,
+    ProcessNode.N7: 0.024,
+    ProcessNode.N5: 0.030,
+    ProcessNode.N3: 0.038,
+}
+
+#: Typical parametric+defect yield by node (drives effective area).
+TYPICAL_YIELD: Dict[ProcessNode, float] = {
+    ProcessNode.N28: 0.92,
+    ProcessNode.N14: 0.90,
+    ProcessNode.N7: 0.85,
+    ProcessNode.N5: 0.80,
+    ProcessNode.N3: 0.72,
+}
+
+
+def embodied_carbon_kg(die_area_mm2: float, node: ProcessNode,
+                       yield_fraction: float = 0.0) -> float:
+    """Manufacturing carbon of one good die.
+
+    Args:
+        die_area_mm2: Die area.
+        node: Process node.
+        yield_fraction: Die yield; 0 selects the node-typical value.
+
+    Returns:
+        kgCO2e charged to one *good* die (scrapped dies are amortized
+        into the survivors: ``area * intensity / yield``).
+    """
+    if die_area_mm2 <= 0:
+        raise ConfigurationError("die_area_mm2 must be > 0")
+    y = yield_fraction if yield_fraction > 0 else TYPICAL_YIELD[node]
+    if not 0.0 < y <= 1.0:
+        raise ConfigurationError(
+            f"yield_fraction must be in (0, 1], got {yield_fraction}"
+        )
+    return die_area_mm2 * CARBON_PER_MM2_KG[node] / y
+
+
+def packaging_carbon_kg(n_dies: int = 1,
+                        substrate_area_mm2: float = 400.0) -> float:
+    """Package + substrate + assembly carbon.
+
+    Chiplet note (§3.3): one big package with several small dies beats
+    one monolithic die at advanced nodes because per-die yield rises and
+    known-good-die assembly scraps less silicon — the modularity argument
+    for sustainable reuse.
+    """
+    if n_dies < 1:
+        raise ConfigurationError("n_dies must be >= 1")
+    if substrate_area_mm2 <= 0:
+        raise ConfigurationError("substrate_area_mm2 must be > 0")
+    base = 0.5  # kg: leadframe/laminate baseline
+    per_die_bonding = 0.15
+    substrate = 0.002 * substrate_area_mm2
+    return base + per_die_bonding * n_dies + substrate
+
+
+def chiplet_vs_monolithic_kg(total_area_mm2: float, node: ProcessNode,
+                             n_chiplets: int = 4) -> Dict[str, float]:
+    """Embodied carbon of one logical design built both ways.
+
+    Yield improves with smaller dies (first-order Poisson defect model:
+    yield ≈ exp(-D * A)); chiplets pay extra packaging but scrap less.
+    """
+    if total_area_mm2 <= 0 or n_chiplets < 1:
+        raise ConfigurationError(
+            "total_area_mm2 > 0 and n_chiplets >= 1 required"
+        )
+    import math
+    base_yield = TYPICAL_YIELD[node]
+    # Back out a defect density from the node-typical yield at 100 mm^2.
+    defect_density = -math.log(base_yield) / 100.0
+
+    def die_yield(area: float) -> float:
+        return math.exp(-defect_density * area)
+
+    mono = (total_area_mm2 * CARBON_PER_MM2_KG[node]
+            / die_yield(total_area_mm2)
+            + packaging_carbon_kg(1, total_area_mm2 * 1.5))
+    chiplet_area = total_area_mm2 / n_chiplets
+    chip = (n_chiplets * chiplet_area * CARBON_PER_MM2_KG[node]
+            / die_yield(chiplet_area)
+            + packaging_carbon_kg(n_chiplets, total_area_mm2 * 2.0))
+    return {"monolithic_kg": mono, "chiplet_kg": chip}

@@ -1,0 +1,59 @@
+"""End-of-life management: recycling recovery and e-waste accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EolPlan:
+    """What happens to a device at end of life.
+
+    Attributes:
+        collection_rate: Fraction of retired units that enter a recycling
+            stream at all (global e-waste collection is ~20%).
+        material_recovery: Fraction of recoverable material value
+            actually reclaimed from collected units.
+        hazardous_fraction: Mass fraction requiring special disposal.
+    """
+
+    collection_rate: float = 0.2
+    material_recovery: float = 0.5
+    hazardous_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        for attr in ("collection_rate", "material_recovery",
+                     "hazardous_fraction"):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{attr} must be in [0, 1], got {value}"
+                )
+
+
+def recovery_credit_kg(plan: EolPlan, embodied_kg: float,
+                       recoverable_fraction: float = 0.3) -> float:
+    """Carbon credit from recovered materials.
+
+    Only a fraction of embodied emissions is recoverable even in
+    principle (metals, substrate — not the wafer processing energy), and
+    only collected * recovered units realize it.
+    """
+    if embodied_kg < 0:
+        raise ConfigurationError("embodied_kg must be >= 0")
+    if not 0.0 <= recoverable_fraction <= 1.0:
+        raise ConfigurationError(
+            "recoverable_fraction must be in [0, 1]"
+        )
+    return (embodied_kg * recoverable_fraction
+            * plan.collection_rate * plan.material_recovery)
+
+
+def ewaste_mass_kg(units: int, unit_mass_kg: float,
+                   plan: EolPlan) -> float:
+    """Uncollected device mass entering the waste stream."""
+    if units < 0 or unit_mass_kg < 0:
+        raise ConfigurationError("units and mass must be >= 0")
+    return units * unit_mass_kg * (1.0 - plan.collection_rate)

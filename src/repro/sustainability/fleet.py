@@ -1,0 +1,106 @@
+"""Fleet-scale projection: "datacenters on wheels" (Sudhakar et al.).
+
+The §2.7 claim: if every vehicle in a global autonomous fleet carries a
+~kilowatt-class computer, the fleet's compute draw rivals today's
+datacenters.  This module does that arithmetic transparently, with a
+growth model so the crossover year is a computed output, not an
+assertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Rough global datacenter IT power, ~2023 (public-order): ~30 GW.
+GLOBAL_DATACENTER_POWER_W = 30e9
+#: A representative large hyperscale facility: ~30 MW IT load.
+LARGE_DATACENTER_POWER_W = 30e6
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """An autonomous-vehicle fleet compute scenario.
+
+    Attributes:
+        name: Scenario label.
+        n_vehicles: Fleet size.
+        compute_power_w: Average onboard compute power while driving.
+        hours_per_day: Operating hours per vehicle per day.
+        annual_growth: Fleet-size growth rate per year (e.g. 0.3 = 30%).
+    """
+
+    name: str
+    n_vehicles: float
+    compute_power_w: float = 840.0  # Sudhakar et al.'s nominal AV load
+    hours_per_day: float = 2.2  # average US vehicle-hours/day
+    annual_growth: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_vehicles < 0 or self.compute_power_w < 0:
+            raise ConfigurationError(
+                "n_vehicles and compute_power_w must be >= 0"
+            )
+        if not 0.0 <= self.hours_per_day <= 24.0:
+            raise ConfigurationError("hours_per_day must be in [0, 24]")
+        if self.annual_growth < -1.0:
+            raise ConfigurationError("annual_growth must be >= -1")
+
+
+def fleet_power_w(scenario: FleetScenario) -> float:
+    """Time-averaged fleet compute power (duty-cycled by driving hours)."""
+    duty = scenario.hours_per_day / 24.0
+    return scenario.n_vehicles * scenario.compute_power_w * duty
+
+
+def fleet_energy_twh_per_year(scenario: FleetScenario) -> float:
+    """Annual fleet compute energy in TWh."""
+    return fleet_power_w(scenario) * 8760.0 / 1e12
+
+
+def datacenter_equivalents(scenario: FleetScenario) -> float:
+    """How many large hyperscale datacenters the fleet equals."""
+    return fleet_power_w(scenario) / LARGE_DATACENTER_POWER_W
+
+
+def fleet_vs_datacenters(scenario: FleetScenario,
+                         years: int = 15
+                         ) -> List[Tuple[int, float, float]]:
+    """Project fleet compute power against global datacenter power.
+
+    Returns:
+        ``(year_offset, fleet_power_w, fraction_of_global_datacenters)``
+        rows; the year the fraction crosses 1.0 is the paper's headline
+        moment.
+    """
+    if years < 1:
+        raise ConfigurationError("years must be >= 1")
+    rows: List[Tuple[int, float, float]] = []
+    vehicles = scenario.n_vehicles
+    for year in range(years + 1):
+        grown = FleetScenario(
+            name=scenario.name,
+            n_vehicles=vehicles,
+            compute_power_w=scenario.compute_power_w,
+            hours_per_day=scenario.hours_per_day,
+        )
+        power = fleet_power_w(grown)
+        rows.append((year, power, power / GLOBAL_DATACENTER_POWER_W))
+        vehicles *= (1.0 + scenario.annual_growth)
+    return rows
+
+
+def crossover_year(scenario: FleetScenario,
+                   horizon_years: int = 50) -> int:
+    """First projected year the fleet exceeds global datacenter power.
+
+    Returns -1 if it never crosses within the horizon (e.g. zero
+    growth and a small fleet).
+    """
+    for year, _, fraction in fleet_vs_datacenters(scenario,
+                                                  years=horizon_years):
+        if fraction >= 1.0:
+            return year
+    return -1

@@ -1,0 +1,117 @@
+"""Lifecycle assessment: embodied + operational + end-of-life, per unit
+and at deployment scale.
+
+The §2.7/§3.3 synthesis: a design's footprint is decided jointly by how
+it is made (node, area), how it runs (power, grid, lifetime), how many
+are deployed, and what happens at end of life.  Short-lifespan
+over-specialized widgets lose here even when their operational power
+looks great — the e-waste argument, quantified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.sustainability.embodied import (
+    ProcessNode,
+    embodied_carbon_kg,
+    packaging_carbon_kg,
+)
+from repro.sustainability.eol import EolPlan, recovery_credit_kg
+from repro.sustainability.operational import operational_carbon_kg
+
+
+@dataclass(frozen=True)
+class LifecycleInputs:
+    """Everything needed to assess one deployed device.
+
+    Attributes:
+        name: Design name.
+        die_area_mm2: Accelerator die area.
+        node: Process node.
+        average_power_w: Mean device power in operation.
+        duty_cycle: Fraction of wall-clock time operating.
+        lifetime_years: Service life before replacement.
+        grid: Operating grid key.
+        units: Deployment scale (number of devices).
+        eol: End-of-life plan.
+    """
+
+    name: str
+    die_area_mm2: float
+    node: ProcessNode
+    average_power_w: float
+    duty_cycle: float = 0.3
+    lifetime_years: float = 5.0
+    grid: str = "world-average"
+    units: int = 1
+    eol: EolPlan = field(default_factory=lambda: EolPlan())
+
+    def __post_init__(self) -> None:
+        if self.average_power_w < 0:
+            raise ConfigurationError("average_power_w must be >= 0")
+        if not 0.0 <= self.duty_cycle <= 1.0:
+            raise ConfigurationError("duty_cycle must be in [0, 1]")
+        if self.lifetime_years <= 0:
+            raise ConfigurationError("lifetime_years must be > 0")
+        if self.units < 1:
+            raise ConfigurationError("units must be >= 1")
+
+
+@dataclass(frozen=True)
+class LifecycleAssessment:
+    """Per-unit and fleet-scale footprint breakdown (kgCO2e).
+
+    Attributes:
+        embodied_kg: Manufacturing (die + package), per unit.
+        operational_kg: Use phase over the lifetime, per unit.
+        eol_credit_kg: Recovery credit (negative contribution), per unit.
+        total_kg: Net per-unit footprint.
+        fleet_total_kg: Net footprint across all units.
+        operational_fraction: Operational share of gross per-unit
+            emissions — the knob §2.7 says dominates at scale.
+    """
+
+    embodied_kg: float
+    operational_kg: float
+    eol_credit_kg: float
+    total_kg: float
+    fleet_total_kg: float
+    operational_fraction: float
+
+
+def assess(inputs: LifecycleInputs) -> LifecycleAssessment:
+    """Run the LCA for one design."""
+    embodied = (embodied_carbon_kg(inputs.die_area_mm2, inputs.node)
+                + packaging_carbon_kg())
+    hours = inputs.lifetime_years * 365.0 * 24.0 * inputs.duty_cycle
+    energy_kwh = inputs.average_power_w * hours / 1000.0
+    operational = operational_carbon_kg(energy_kwh, inputs.grid)
+    credit = recovery_credit_kg(inputs.eol, embodied)
+    total = embodied + operational - credit
+    gross = embodied + operational
+    return LifecycleAssessment(
+        embodied_kg=embodied,
+        operational_kg=operational,
+        eol_credit_kg=credit,
+        total_kg=total,
+        fleet_total_kg=total * inputs.units,
+        operational_fraction=operational / gross if gross > 0 else 0.0,
+    )
+
+
+def amortized_kg_per_year(inputs: LifecycleInputs) -> float:
+    """Net footprint per unit-year — the metric that punishes short
+    lifespans: halving lifetime nearly doubles the embodied share."""
+    assessment = assess(inputs)
+    return assessment.total_kg / inputs.lifetime_years
+
+
+def compare_designs(designs: Dict[str, LifecycleInputs]
+                    ) -> Dict[str, LifecycleAssessment]:
+    """Assess several designs under identical assumptions."""
+    if not designs:
+        raise ConfigurationError("need >= 1 design")
+    return {name: assess(inputs) for name, inputs in designs.items()}

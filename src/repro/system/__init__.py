@@ -1,0 +1,68 @@
+"""End-to-end system modeling and simulation (MAVBench/RoSE-style).
+
+The paper's central "opportunity" (§3.1): model the *whole* system —
+sensors, compute, I/O, actuators, vehicle physics, battery — not just the
+kernel.  Components:
+
+- :mod:`~repro.system.des`       — a discrete-event simulation engine;
+- :mod:`~repro.system.sensors`   — rate-driven sensor sources with jitter;
+- :mod:`~repro.system.io_model`  — serialization/transport costs (the
+  "AI tax" of §2.6);
+- :mod:`~repro.system.pipeline`  — queued processing pipelines over task
+  graphs, with per-sample end-to-end latency accounting;
+- :mod:`~repro.system.scheduler` — shared-processor scheduling policies
+  (FIFO / priority / EDF / rate-monotonic analysis);
+- :mod:`~repro.system.robot`     — UAV mass/power/battery physics;
+- :mod:`~repro.system.mission`   — closed-loop missions where compute
+  latency limits safe speed and compute mass/power drains the battery
+  (the §2.4 experiment).
+"""
+
+from repro.system.des import Event, Simulator
+from repro.system.faults import (
+    FaultSchedule,
+    ThermalModel,
+    run_mission_with_faults,
+)
+from repro.system.io_model import IoModel, ros_like_middleware
+from repro.system.mission import (
+    MissionConfig,
+    MissionResult,
+    run_mission,
+    sweep_compute_tiers,
+)
+from repro.system.pipeline import PipelineSimulation, StageStats
+from repro.system.robot import BatteryModel, UavPhysics
+from repro.system.scheduler import (
+    PeriodicTask,
+    SchedulerPolicy,
+    SchedulerResult,
+    simulate_scheduler,
+)
+from repro.system.sensors import Sensor, camera, imu, lidar
+
+__all__ = [
+    "BatteryModel",
+    "Event",
+    "FaultSchedule",
+    "IoModel",
+    "ThermalModel",
+    "run_mission_with_faults",
+    "MissionConfig",
+    "MissionResult",
+    "PeriodicTask",
+    "PipelineSimulation",
+    "SchedulerPolicy",
+    "SchedulerResult",
+    "Sensor",
+    "Simulator",
+    "StageStats",
+    "UavPhysics",
+    "camera",
+    "imu",
+    "lidar",
+    "ros_like_middleware",
+    "run_mission",
+    "simulate_scheduler",
+    "sweep_compute_tiers",
+]

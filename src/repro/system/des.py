@@ -1,0 +1,111 @@
+"""A minimal discrete-event simulation engine.
+
+Deterministic: ties in time break by (priority, insertion order), so runs
+are exactly reproducible — a property the test suite leans on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+Callback = Callable[["Simulator"], None]
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled callback (ordered by time, then priority, then seq)."""
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callback = field(compare=False)
+
+
+class Simulator:
+    """An event-driven simulator with a monotonic clock.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(0.1, lambda s: print("at", s.now))
+        sim.run(until=1.0)
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callback,
+                 priority: int = 0) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule into the past (delay={delay})"
+            )
+        return self.schedule_at(self._now + delay, callback,
+                                priority=priority)
+
+    def schedule_at(self, time: float, callback: Callback,
+                    priority: int = 0) -> Event:
+        """Schedule ``callback`` at an absolute time >= now."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} < now ({self._now})"
+            )
+        event = Event(time=time, priority=priority,
+                      seq=next(self._counter), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        self._processed += 1
+        event.callback(self)
+        return True
+
+    def run(self, until: Optional[float] = None,
+            max_events: int = 10_000_000) -> None:
+        """Run until the queue empties or the clock passes ``until``.
+
+        Args:
+            until: Stop once the next event would be later than this.
+            max_events: Runaway guard.
+
+        Raises:
+            SimulationError: If ``max_events`` is exceeded.
+        """
+        processed = 0
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self._now = until
+                return
+            self.step()
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; livelock?"
+                )
+
+    def pending(self) -> int:
+        """Number of scheduled, unprocessed events."""
+        return len(self._queue)

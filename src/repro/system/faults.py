@@ -1,0 +1,139 @@
+"""Fault and degradation models: the real world pushes back (§2.6).
+
+End-to-end evaluation must include "real-world effects like reliability
+and robustness to noise".  Two first-order models:
+
+- :class:`FaultSchedule` — timed sensor blackouts during which a
+  vehicle must hold position (perception-denied hover), used by
+  :func:`run_mission_with_faults`;
+- :class:`ThermalModel` — sustained-power throttling: compute whose TDP
+  exceeds the airframe's heat-rejection capacity runs at a derated
+  clock, lengthening pipeline latency (the quiet failure mode of
+  strapping a desktop GPU to a drone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hw.platform import Platform
+from repro.system.mission import MissionConfig, MissionResult, run_mission
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Sensor blackout windows.
+
+    Attributes:
+        windows: ``(start_s, end_s)`` intervals of perception loss.
+    """
+
+    windows: Tuple[Tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for start, end in self.windows:
+            if end <= start or start < 0:
+                raise ConfigurationError(
+                    f"bad fault window ({start}, {end})"
+                )
+
+    def active(self, time_s: float) -> bool:
+        return any(start <= time_s < end
+                   for start, end in self.windows)
+
+    def total_outage_s(self) -> float:
+        return sum(end - start for start, end in self.windows)
+
+
+def run_mission_with_faults(config: MissionConfig, platform: Platform,
+                            compute_mass_kg: float,
+                            compute_power_w: float,
+                            faults: FaultSchedule) -> MissionResult:
+    """Fly the mission with perception blackouts.
+
+    During a blackout the vehicle hovers in place (no progress) but
+    hover + compute power keep draining — so outage time comes straight
+    out of the endurance margin.  Implemented by running the nominal
+    mission and re-integrating its timeline with the outage inserted;
+    the vehicle fails on battery if the margin was thinner than the
+    outage.
+    """
+    nominal = run_mission(config, platform, compute_mass_kg,
+                          compute_power_w)
+    outage = faults.total_outage_s()
+    if outage == 0.0:
+        return nominal
+
+    power = nominal.hover_power_w + nominal.compute_power_w
+    budget = config.battery.usable_energy_j
+
+    if not nominal.success:
+        # Already failing; outage only makes the timeline worse.
+        return replace(nominal,
+                       mission_time_s=min(nominal.mission_time_s,
+                                          budget / power))
+
+    needed_moving_s = nominal.mission_time_s
+    total_time = needed_moving_s + outage
+    energy = power * total_time
+    if energy <= budget and total_time <= config.max_duration_s:
+        return replace(nominal,
+                       mission_time_s=total_time,
+                       energy_j=energy,
+                       mean_speed_m_s=nominal.distance_m / total_time)
+    # Battery dies partway: time flown = budget / power; moving time is
+    # whatever remains after the (front-loaded, conservative) outage.
+    time_flown = min(budget / power, config.max_duration_s)
+    moving_s = max(0.0, time_flown - outage)
+    distance = nominal.mean_speed_m_s * moving_s
+    return replace(
+        nominal,
+        success=False,
+        failure_reason="battery",
+        mission_time_s=time_flown,
+        distance_m=distance,
+        energy_j=power * time_flown,
+        mean_speed_m_s=distance / time_flown if time_flown > 0 else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class ThermalModel:
+    """Steady-state thermal throttling for airframe-mounted compute.
+
+    Attributes:
+        heat_rejection_w: Power the mounting can dissipate at full
+            clock (airflow, heatsink mass).
+        min_throttle: Floor on the clock derating factor.
+    """
+
+    heat_rejection_w: float = 30.0
+    min_throttle: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.heat_rejection_w <= 0:
+            raise ConfigurationError("heat_rejection_w must be > 0")
+        if not 0.0 < self.min_throttle <= 1.0:
+            raise ConfigurationError("min_throttle must be in (0, 1]")
+
+    def throttle_factor(self, sustained_power_w: float) -> float:
+        """Clock derating needed to hold dissipation at capacity.
+
+        Dynamic power scales ~linearly with frequency at fixed voltage,
+        so the steady-state factor is ``capacity / demand`` (clamped).
+        """
+        if sustained_power_w < 0:
+            raise ConfigurationError("power must be >= 0")
+        if sustained_power_w <= self.heat_rejection_w:
+            return 1.0
+        return max(self.min_throttle,
+                   self.heat_rejection_w / sustained_power_w)
+
+    def throttled_latency_s(self, latency_s: float,
+                            sustained_power_w: float) -> float:
+        """Latency after throttling (compute slows by the factor)."""
+        if latency_s < 0:
+            raise ConfigurationError("latency must be >= 0")
+        return latency_s / self.throttle_factor(sustained_power_w)

@@ -1,0 +1,259 @@
+"""Queued pipeline simulation over task graphs.
+
+Takes a :class:`~repro.core.workload.TaskGraph`, a per-stage service time
+(usually priced by a :mod:`repro.hw` platform), and an
+:class:`~repro.system.io_model.IoModel` for inter-stage hops, and runs the
+pipeline on the discrete-event engine.  Unlike the closed-form critical
+path, this captures queueing: a stage slower than the input rate backs up,
+drops frames, and stretches end-to-end latency — the §2.6 effects kernel
+benchmarks cannot see.
+
+Semantics:
+
+- each stage is a single server with a bounded queue
+  (``queue_capacity``); overflow drops the *oldest* queued item (sensor
+  pipelines prefer fresh data);
+- stages with multiple dependencies join on sequence number: an
+  activation fires when every input with the same ``seq`` has arrived;
+- every item carries the timestamp of the source sample that spawned it;
+  end-to-end latency is measured at sink completion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.workload import TaskGraph
+from repro.errors import ConfigurationError
+from repro.system.des import Simulator
+from repro.system.io_model import IoModel
+
+
+@dataclass
+class _Item:
+    seq: int
+    source_time: float
+
+
+@dataclass
+class StageStats:
+    """Per-stage accounting.
+
+    Attributes:
+        activations: Times the stage started service.
+        completed: Times the stage finished service.
+        dropped: Items discarded due to queue overflow.
+        busy_s: Total service time accumulated.
+        max_queue: Peak queue depth observed.
+    """
+
+    activations: int = 0
+    completed: int = 0
+    dropped: int = 0
+    busy_s: float = 0.0
+    max_queue: int = 0
+
+    def utilization(self, duration_s: float) -> float:
+        if duration_s <= 0:
+            raise ConfigurationError("duration must be > 0")
+        return min(1.0, self.busy_s / duration_s)
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of a pipeline simulation.
+
+    Attributes:
+        duration_s: Simulated time span.
+        stage_stats: Per-stage statistics.
+        end_to_end_latencies: Source-to-sink latency per completed item.
+        samples_emitted: Source samples generated.
+        samples_completed: Items that reached the sink.
+    """
+
+    duration_s: float
+    stage_stats: Dict[str, StageStats]
+    end_to_end_latencies: List[float]
+    samples_emitted: int
+    samples_completed: int
+
+    def mean_latency_s(self) -> float:
+        if not self.end_to_end_latencies:
+            return float("inf")
+        return sum(self.end_to_end_latencies) \
+            / len(self.end_to_end_latencies)
+
+    def p99_latency_s(self) -> float:
+        if not self.end_to_end_latencies:
+            return float("inf")
+        ordered = sorted(self.end_to_end_latencies)
+        index = min(len(ordered) - 1,
+                    int(0.99 * (len(ordered) - 1) + 0.5))
+        return ordered[index]
+
+    def throughput_hz(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.samples_completed / self.duration_s
+
+    def drop_rate(self) -> float:
+        if self.samples_emitted == 0:
+            return 0.0
+        dropped = sum(s.dropped for s in self.stage_stats.values())
+        return min(1.0, dropped / self.samples_emitted)
+
+    def deadline_miss_rate(self, deadline_s: float) -> float:
+        """Fraction of *emitted* samples that did not complete within the
+        deadline (drops count as misses)."""
+        if self.samples_emitted == 0:
+            return 0.0
+        on_time = sum(1 for lat in self.end_to_end_latencies
+                      if lat <= deadline_s)
+        return 1.0 - on_time / self.samples_emitted
+
+
+class PipelineSimulation:
+    """Simulate a task graph as a queued pipeline.
+
+    Args:
+        graph: The task graph; sources must declare ``rate_hz``.
+        service_times: Per-activation service time for every stage.
+        io: Inter-stage transport cost model (applied per edge using the
+            upstream stage's ``output_bytes``).
+        queue_capacity: Per-stage input queue bound.
+    """
+
+    def __init__(self, graph: TaskGraph,
+                 service_times: Mapping[str, float],
+                 io: Optional[IoModel] = None,
+                 queue_capacity: int = 4):
+        for stage in graph.stages:
+            if stage.name not in service_times:
+                raise ConfigurationError(
+                    f"missing service time for stage {stage.name!r}"
+                )
+            if service_times[stage.name] < 0:
+                raise ConfigurationError(
+                    f"negative service time for stage {stage.name!r}"
+                )
+        sources = graph.sources()
+        if not sources:
+            raise ConfigurationError("graph has no source stages")
+        for source in sources:
+            if not source.rate_hz or source.rate_hz <= 0:
+                raise ConfigurationError(
+                    f"source stage {source.name!r} needs rate_hz > 0"
+                )
+        if queue_capacity < 1:
+            raise ConfigurationError("queue_capacity must be >= 1")
+        self.graph = graph
+        self.service_times = dict(service_times)
+        self.io = io or IoModel()
+        self.queue_capacity = queue_capacity
+
+        self._dependents: Dict[str, List[str]] = {
+            s.name: [] for s in graph.stages
+        }
+        for stage in graph.stages:
+            for dep in stage.deps:
+                self._dependents[dep].append(stage.name)
+
+    def run(self, duration_s: float) -> PipelineResult:
+        """Run for ``duration_s`` simulated seconds."""
+        if duration_s <= 0:
+            raise ConfigurationError("duration_s must be > 0")
+        sim = Simulator()
+        stats = {s.name: StageStats() for s in self.graph.stages}
+        queues: Dict[str, Deque[_Item]] = {
+            s.name: deque() for s in self.graph.stages
+        }
+        busy: Dict[str, bool] = {s.name: False for s in self.graph.stages}
+        # Join buffers: stage -> seq -> count of arrived inputs.
+        arrivals: Dict[str, Dict[int, Tuple[int, float]]] = {
+            s.name: {} for s in self.graph.stages
+        }
+        latencies: List[float] = []
+        emitted = [0]
+        completed = [0]
+        sinks = {s.name for s in self.graph.sinks()}
+
+        def try_start(stage_name: str, s: Simulator) -> None:
+            if busy[stage_name] or not queues[stage_name]:
+                return
+            item = queues[stage_name].popleft()
+            busy[stage_name] = True
+            stats[stage_name].activations += 1
+            service = self.service_times[stage_name]
+
+            def finish(s2: Simulator, item=item,
+                       stage_name=stage_name) -> None:
+                busy[stage_name] = False
+                stats[stage_name].completed += 1
+                stats[stage_name].busy_s += service
+                if stage_name in sinks:
+                    latencies.append(s2.now - item.source_time)
+                    completed[0] += 1
+                else:
+                    stage = self.graph.stage(stage_name)
+                    hop = self.io.transfer_time_s(stage.output_bytes)
+                    for dependent in self._dependents[stage_name]:
+                        s2.schedule(
+                            hop,
+                            lambda s3, d=dependent, it=item:
+                            deliver(s3, d, it),
+                        )
+                try_start(stage_name, s2)
+
+            s.schedule(service, finish)
+
+        def deliver(s: Simulator, stage_name: str, item: _Item) -> None:
+            stage = self.graph.stage(stage_name)
+            if len(stage.deps) > 1:
+                count, earliest = arrivals[stage_name].get(
+                    item.seq, (0, item.source_time)
+                )
+                count += 1
+                earliest = min(earliest, item.source_time)
+                if count < len(stage.deps):
+                    arrivals[stage_name][item.seq] = (count, earliest)
+                    return
+                del arrivals[stage_name][item.seq]
+                item = _Item(seq=item.seq, source_time=earliest)
+            queue = queues[stage_name]
+            if len(queue) >= self.queue_capacity:
+                queue.popleft()
+                stats[stage_name].dropped += 1
+            queue.append(item)
+            stats[stage_name].max_queue = max(
+                stats[stage_name].max_queue, len(queue)
+            )
+            try_start(stage_name, s)
+
+        # Each source keeps its own sequence counter, so stages that join
+        # chains descending from *different* sources pair items by index
+        # (message_filters-style sync; exact when rates match).
+        for source in self.graph.sources():
+            period = 1.0 / float(source.rate_hz)  # type: ignore[arg-type]
+            seq_counter = [0]
+
+            def emit(s: Simulator, source=source, period=period,
+                     seq_counter=seq_counter) -> None:
+                item = _Item(seq=seq_counter[0], source_time=s.now)
+                seq_counter[0] += 1
+                emitted[0] += 1
+                deliver(s, source.name, item)
+                if s.now + period <= duration_s:
+                    s.schedule(period, emit)
+
+            sim.schedule(0.0, emit)
+
+        sim.run(until=duration_s)
+        return PipelineResult(
+            duration_s=duration_s,
+            stage_stats=stats,
+            end_to_end_latencies=latencies,
+            samples_emitted=emitted[0],
+            samples_completed=completed[0],
+        )

@@ -1,0 +1,118 @@
+"""Sensor sources: rate-driven sample generators with jitter.
+
+Sensors are where end-to-end latency *starts* — a 30 Hz camera adds up to
+33 ms of sampling latency before any compute runs, which is why §2.4's
+balance between sensor rates and compute rates matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.system.des import Simulator
+
+SampleCallback = Callable[[Simulator, "Sample"], None]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One sensor sample.
+
+    Attributes:
+        sensor: Producing sensor's name.
+        seq: Monotonic sequence number.
+        timestamp: Capture time (simulation seconds).
+        nbytes: Payload size.
+    """
+
+    sensor: str
+    seq: int
+    timestamp: float
+    nbytes: float
+
+
+class Sensor:
+    """A periodic sensor that emits :class:`Sample` events.
+
+    Args:
+        name: Sensor name.
+        rate_hz: Nominal sample rate.
+        output_bytes: Payload per sample.
+        jitter_std_s: Gaussian timing jitter (clipped at half a period so
+            ordering never inverts).
+        seed: Jitter RNG seed.
+    """
+
+    def __init__(self, name: str, rate_hz: float, output_bytes: float,
+                 jitter_std_s: float = 0.0, seed: int = 0):
+        if rate_hz <= 0:
+            raise ConfigurationError(
+                f"sensor {name!r}: rate_hz must be > 0"
+            )
+        if output_bytes < 0 or jitter_std_s < 0:
+            raise ConfigurationError(
+                f"sensor {name!r}: bytes and jitter must be >= 0"
+            )
+        self.name = name
+        self.rate_hz = rate_hz
+        self.output_bytes = output_bytes
+        self.jitter_std_s = jitter_std_s
+        self._rng = np.random.default_rng(seed)
+        self._seq = 0
+
+    @property
+    def period_s(self) -> float:
+        return 1.0 / self.rate_hz
+
+    def attach(self, sim: Simulator, on_sample: SampleCallback,
+               until: Optional[float] = None) -> None:
+        """Start emitting samples into ``sim``.
+
+        Args:
+            sim: The simulator.
+            on_sample: Called for every sample.
+            until: Stop emitting after this time (None = forever while
+                the simulation runs).
+        """
+        def emit(s: Simulator) -> None:
+            sample = Sample(sensor=self.name, seq=self._seq,
+                            timestamp=s.now, nbytes=self.output_bytes)
+            self._seq += 1
+            on_sample(s, sample)
+            delay = self.period_s
+            if self.jitter_std_s > 0:
+                delay += float(np.clip(
+                    self._rng.normal(0.0, self.jitter_std_s),
+                    -0.5 * self.period_s, 0.5 * self.period_s,
+                ))
+            next_time = s.now + max(delay, 1e-9)
+            if until is None or next_time <= until:
+                s.schedule_at(next_time, emit)
+
+        sim.schedule(0.0, emit)
+
+
+def camera(rate_hz: float = 30.0, width: int = 640, height: int = 480,
+           bytes_per_pixel: int = 2, name: str = "camera") -> Sensor:
+    """A camera sensor with a realistic payload size."""
+    return Sensor(name=name, rate_hz=rate_hz,
+                  output_bytes=float(width * height * bytes_per_pixel),
+                  jitter_std_s=0.2e-3)
+
+
+def imu(rate_hz: float = 200.0, name: str = "imu") -> Sensor:
+    """An IMU: tiny payloads at high rate."""
+    return Sensor(name=name, rate_hz=rate_hz, output_bytes=64.0,
+                  jitter_std_s=0.02e-3)
+
+
+def lidar(rate_hz: float = 10.0, points: int = 30000,
+          name: str = "lidar") -> Sensor:
+    """A spinning lidar: large point clouds at low rate."""
+    return Sensor(name=name, rate_hz=rate_hz,
+                  output_bytes=float(points * 16),
+                  jitter_std_s=0.5e-3)

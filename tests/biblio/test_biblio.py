@@ -1,0 +1,97 @@
+"""Unit tests for the publication corpus and Fig. 1 trend analysis."""
+
+import pytest
+
+from repro.biblio import (
+    Publication,
+    TOP_VENUES,
+    cagr,
+    counts_per_year,
+    fig1_series,
+    generate_corpus,
+    query,
+)
+from repro.biblio.corpus import logistic_fraction
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(start_year=2010, end_year=2024, seed=1)
+
+
+class TestCorpus:
+    def test_reproducible(self):
+        a = generate_corpus(seed=2, end_year=2012)
+        b = generate_corpus(seed=2, end_year=2012)
+        assert [p.title for p in a] == [p.title for p in b]
+
+    def test_years_covered(self, corpus):
+        years = {p.year for p in corpus}
+        assert years == set(range(2010, 2025))
+
+    def test_venues_covered(self, corpus):
+        venues = {p.venue for p in corpus}
+        assert venues == set(TOP_VENUES)
+
+    def test_logistic_fraction_monotone(self):
+        values = [logistic_fraction(y) for y in range(2010, 2025)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+        assert values[-1] < 0.2  # below the ceiling
+
+    def test_invalid_range(self):
+        with pytest.raises(ConfigurationError):
+            generate_corpus(start_year=2020, end_year=2010)
+
+    def test_mentions_matching(self):
+        pub = Publication(title="A SLAM accelerator study",
+                          venue="DAC", year=2020,
+                          keywords=("robotics",))
+        assert pub.mentions(["slam accelerator"])
+        assert pub.mentions(["ROBOTICS"])
+        assert not pub.mentions(["quantum"])
+
+
+class TestQuery:
+    def test_venue_filter(self, corpus):
+        dac_only = query(corpus, ["accelerator"], venues=["DAC"])
+        assert all(p.venue == "DAC" for p in dac_only)
+
+    def test_and_groups(self, corpus):
+        both = query(corpus, ["accelerator"],
+                     require_all_groups=[["robotics",
+                                          "autonomous systems"]])
+        assert all(
+            p.mentions(["robotics", "autonomous systems"])
+            for p in both
+        )
+
+    def test_empty_terms_rejected(self, corpus):
+        with pytest.raises(ConfigurationError):
+            query(corpus, [])
+
+
+class TestTrends:
+    def test_counts_cover_range(self, corpus):
+        matched = query(corpus, ["accelerator"])
+        counts = counts_per_year(matched)
+        assert set(counts) == set(range(min(counts), max(counts) + 1))
+
+    def test_cagr(self):
+        assert cagr(1.0, 8.0, 3) == pytest.approx(1.0)  # doubling
+        with pytest.raises(ConfigurationError):
+            cagr(0.0, 5.0, 3)
+
+    def test_fig1_shape(self, corpus):
+        """The Fig. 1 reproduction: rapid growth through the 2010s."""
+        report = fig1_series(corpus, venues=TOP_VENUES)
+        counts = dict(report.series)
+        early = sum(counts.get(y, 0) for y in range(2010, 2014))
+        late = sum(counts.get(y, 0) for y in range(2020, 2024))
+        assert late > 10 * max(early, 1)
+        assert report.growth_rate > 0.2
+        assert report.peak_year >= 2020
+
+    def test_fig1_total_positive(self, corpus):
+        report = fig1_series(corpus)
+        assert report.total > 100

@@ -1,0 +1,47 @@
+"""Unit tests for venue-level trend breakdown."""
+
+import pytest
+
+from repro.biblio import TOP_VENUES, fig1_series, generate_corpus
+from repro.biblio.trends import community_split, venue_breakdown
+
+ARCH = ("ISCA", "MICRO", "HPCA", "ASPLOS", "DAC")
+ROBO = ("ICRA", "IROS", "RSS", "CoRL")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(seed=3)
+
+
+class TestVenueBreakdown:
+    def test_covers_all_matching_venues(self, corpus):
+        breakdown = venue_breakdown(corpus)
+        assert set(breakdown) <= set(TOP_VENUES)
+        assert len(breakdown) >= 5
+
+    def test_totals_match_fig1(self, corpus):
+        breakdown = venue_breakdown(corpus)
+        total = sum(sum(counts.values())
+                    for counts in breakdown.values())
+        assert total == fig1_series(corpus,
+                                    venues=TOP_VENUES).total
+
+    def test_each_venue_grows(self, corpus):
+        breakdown = venue_breakdown(corpus)
+        for venue, counts in breakdown.items():
+            early = sum(counts.get(y, 0) for y in range(2010, 2016))
+            late = sum(counts.get(y, 0) for y in range(2019, 2025))
+            assert late > early, venue
+
+
+class TestCommunitySplit:
+    def test_both_communities_publish(self, corpus):
+        split = community_split(corpus, ARCH, ROBO)
+        assert split["architecture"] > 0
+        assert split["robotics"] > 0
+
+    def test_split_partitions_total(self, corpus):
+        split = community_split(corpus, ARCH, ROBO)
+        total = fig1_series(corpus, venues=TOP_VENUES).total
+        assert split["architecture"] + split["robotics"] == total

@@ -1,0 +1,82 @@
+"""Shared fixtures for the repro test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.profile import DivergenceClass, WorkloadProfile
+from repro.hw import embedded_cpu, embedded_gpu, midrange_fpga
+from repro.kernels.planning.occupancy import CircleWorld
+
+
+@pytest.fixture
+def gemm_profile_512() -> WorkloadProfile:
+    """A 512^3 GEMM profile (compute-bound on most platforms)."""
+    n = 512
+    return WorkloadProfile(
+        name="gemm-512",
+        flops=2.0 * n ** 3,
+        bytes_read=2.0 * 8 * n * n,
+        bytes_written=8.0 * n * n,
+        working_set_bytes=3.0 * 8 * n * n,
+        parallel_fraction=1.0,
+        divergence=DivergenceClass.NONE,
+        op_class="gemm",
+    )
+
+
+@pytest.fixture
+def streaming_profile() -> WorkloadProfile:
+    """A memory-bound streaming profile (low arithmetic intensity)."""
+    return WorkloadProfile(
+        name="stream",
+        flops=1e6,
+        bytes_read=64e6,
+        bytes_written=64e6,
+        working_set_bytes=128e6,
+        parallel_fraction=0.99,
+        divergence=DivergenceClass.NONE,
+        op_class="stencil",
+    )
+
+
+@pytest.fixture
+def divergent_profile() -> WorkloadProfile:
+    """A branchy, serial profile (tree search class)."""
+    return WorkloadProfile(
+        name="search",
+        flops=1e7,
+        int_ops=5e7,
+        bytes_read=1e7,
+        bytes_written=1e6,
+        working_set_bytes=8e6,
+        parallel_fraction=0.3,
+        divergence=DivergenceClass.HIGH,
+        op_class="search",
+    )
+
+
+@pytest.fixture
+def cpu():
+    return embedded_cpu()
+
+
+@pytest.fixture
+def gpu():
+    return embedded_gpu()
+
+
+@pytest.fixture
+def fpga():
+    return midrange_fpga()
+
+
+@pytest.fixture
+def small_world() -> CircleWorld:
+    """A reproducible 2-D world with a guaranteed free corridor."""
+    return CircleWorld.random(dim=2, n_obstacles=20, extent=10.0,
+                              seed=7, keep_corners_free=1.5)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

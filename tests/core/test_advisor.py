@@ -1,0 +1,208 @@
+"""Unit tests for the Seven Challenges design advisor."""
+
+import pytest
+
+from repro.core.advisor import (
+    CHALLENGE_PITFALLS,
+    Challenge,
+    DesignReview,
+    EvaluationPlan,
+    Severity,
+    SevenChallengesAdvisor,
+)
+
+
+def _good_review(**overrides):
+    """A review that should pass all seven checks."""
+    defaults = dict(
+        name="good",
+        accelerated_categories=("gemm",),
+        target_platform="asic",
+        evaluation=EvaluationPlan(
+            metrics=("latency_s", "success_rate", "mission_energy_j"),
+            evaluated_workloads=("a", "b", "c"),
+            baseline_platforms=("cpu", "gpu"),
+            end_to_end=True,
+            closed_loop=True,
+        ),
+        expert_consultations=2,
+        algorithm_vintage_years=(1.0,),
+        integrates_with_middleware=True,
+        system_budget_accounted=True,
+        shared_resource_analysis=True,
+        lifecycle_analysis=True,
+        deployment_scale_units=10000,
+    )
+    defaults.update(overrides)
+    return DesignReview(**defaults)
+
+
+@pytest.fixture
+def advisor():
+    return SevenChallengesAdvisor()
+
+
+class TestCleanReview:
+    def test_no_findings(self, advisor):
+        assert advisor.audit(_good_review()) == []
+
+    def test_perfect_score(self, advisor):
+        assert advisor.score(_good_review()) == 100.0
+
+
+class TestBuildBridges:
+    def test_no_experts_is_critical(self, advisor):
+        review = _good_review(expert_consultations=0)
+        findings = advisor.audit(review)
+        hits = [f for f in findings
+                if f.challenge is Challenge.BUILD_BRIDGES]
+        assert any(f.severity is Severity.CRITICAL for f in hits)
+
+    def test_stale_algorithm_flagged(self, advisor):
+        review = _good_review(algorithm_vintage_years=(12.0,))
+        findings = advisor.audit(review)
+        assert any(f.challenge is Challenge.BUILD_BRIDGES
+                   and "state of the art" in f.message
+                   for f in findings)
+
+    def test_no_middleware_flagged(self, advisor):
+        review = _good_review(integrates_with_middleware=False)
+        assert any(f.challenge is Challenge.BUILD_BRIDGES
+                   for f in advisor.audit(review))
+
+
+class TestMetricsMatter:
+    def test_throughput_only_is_critical(self, advisor):
+        review = _good_review(evaluation=EvaluationPlan(
+            metrics=("throughput", "tops_per_watt"),
+            evaluated_workloads=("a", "b", "c"),
+            baseline_platforms=("cpu", "gpu"),
+            end_to_end=True, closed_loop=True,
+        ))
+        hits = [f for f in advisor.audit(review)
+                if f.challenge is Challenge.METRICS_MATTER]
+        assert any(f.severity is Severity.CRITICAL for f in hits)
+
+    def test_no_metrics_is_critical(self, advisor):
+        review = _good_review(evaluation=EvaluationPlan(
+            metrics=(), evaluated_workloads=("a", "b", "c"),
+            baseline_platforms=("cpu", "gpu"),
+            end_to_end=True, closed_loop=True,
+        ))
+        hits = [f for f in advisor.audit(review)
+                if f.challenge is Challenge.METRICS_MATTER]
+        assert hits and hits[0].severity is Severity.CRITICAL
+
+
+class TestWidgetism:
+    def test_narrow_evaluation_flagged(self, advisor):
+        review = _good_review(evaluation=EvaluationPlan(
+            metrics=("success_rate", "mission_energy_j"),
+            evaluated_workloads=("only-one",),
+            baseline_platforms=("cpu", "gpu"),
+            end_to_end=True, closed_loop=True,
+        ))
+        assert any(f.challenge is Challenge.WIDGETISM
+                   for f in advisor.audit(review))
+
+
+class TestPumpTheBrakes:
+    def test_missing_system_budget_is_critical(self, advisor):
+        review = _good_review(system_budget_accounted=False)
+        hits = [f for f in advisor.audit(review)
+                if f.challenge is Challenge.PUMP_THE_BRAKES]
+        assert any(f.severity is Severity.CRITICAL for f in hits)
+
+    def test_missing_contention_analysis_warns(self, advisor):
+        review = _good_review(shared_resource_analysis=False)
+        hits = [f for f in advisor.audit(review)
+                if f.challenge is Challenge.PUMP_THE_BRAKES]
+        assert hits and hits[0].severity is Severity.WARNING
+
+
+class TestChipsAndSalsa:
+    def test_asic_without_baselines_flagged(self, advisor):
+        review = _good_review(evaluation=EvaluationPlan(
+            metrics=("success_rate", "mission_energy_j"),
+            evaluated_workloads=("a", "b", "c"),
+            baseline_platforms=(),
+            end_to_end=True, closed_loop=True,
+        ))
+        assert any(f.challenge is Challenge.CHIPS_AND_SALSA
+                   for f in advisor.audit(review))
+
+    def test_gpu_target_not_flagged(self, advisor):
+        review = _good_review(
+            target_platform="gpu",
+            evaluation=EvaluationPlan(
+                metrics=("success_rate", "mission_energy_j"),
+                evaluated_workloads=("a", "b", "c"),
+                baseline_platforms=("cpu",),
+                end_to_end=True, closed_loop=True,
+            ),
+        )
+        assert not [f for f in advisor.audit(review)
+                    if f.challenge is Challenge.CHIPS_AND_SALSA
+                    and f.severity is not Severity.INFO]
+
+
+class TestForestVsTrees:
+    def test_kernel_only_eval_is_critical(self, advisor):
+        review = _good_review(evaluation=EvaluationPlan(
+            metrics=("success_rate", "mission_energy_j"),
+            evaluated_workloads=("a", "b", "c"),
+            baseline_platforms=("cpu", "gpu"),
+            end_to_end=False, closed_loop=False,
+        ))
+        hits = [f for f in advisor.audit(review)
+                if f.challenge is Challenge.FOREST_VS_TREES]
+        assert hits and hits[0].severity is Severity.CRITICAL
+
+    def test_open_loop_warns(self, advisor):
+        review = _good_review(evaluation=EvaluationPlan(
+            metrics=("success_rate", "mission_energy_j"),
+            evaluated_workloads=("a", "b", "c"),
+            baseline_platforms=("cpu", "gpu"),
+            end_to_end=True, closed_loop=False,
+        ))
+        hits = [f for f in advisor.audit(review)
+                if f.challenge is Challenge.FOREST_VS_TREES]
+        assert hits and hits[0].severity is Severity.WARNING
+
+
+class TestDesignGlobal:
+    def test_no_lca_at_scale_is_critical(self, advisor):
+        review = _good_review(lifecycle_analysis=False,
+                              deployment_scale_units=1_000_000)
+        hits = [f for f in advisor.audit(review)
+                if f.challenge is Challenge.DESIGN_GLOBAL]
+        assert hits and hits[0].severity is Severity.CRITICAL
+
+    def test_no_lca_small_scale_warns(self, advisor):
+        review = _good_review(lifecycle_analysis=False,
+                              deployment_scale_units=5)
+        hits = [f for f in advisor.audit(review)
+                if f.challenge is Challenge.DESIGN_GLOBAL]
+        assert hits and hits[0].severity is Severity.WARNING
+
+
+class TestScoringAndOrdering:
+    def test_findings_sorted_worst_first(self, advisor):
+        review = DesignReview(
+            name="naive", accelerated_categories=("niche",),
+        )
+        findings = advisor.audit(review)
+        severities = [f.severity for f in findings]
+        order = {Severity.CRITICAL: 0, Severity.WARNING: 1,
+                 Severity.INFO: 2}
+        ranks = [order[s] for s in severities]
+        assert ranks == sorted(ranks)
+
+    def test_naive_review_scores_badly(self, advisor):
+        review = DesignReview(
+            name="naive", accelerated_categories=("niche",),
+        )
+        assert advisor.score(review) < 40.0
+
+    def test_pitfall_table_complete(self):
+        assert set(CHALLENGE_PITFALLS) == set(Challenge)

@@ -1,0 +1,108 @@
+"""Unit tests for workload characterization and Amdahl analysis."""
+
+import math
+
+import pytest
+
+from repro.core.characterize import (
+    amdahl_speedup,
+    characterize,
+    end_to_end_speedup,
+    intensity_histogram,
+    max_amdahl_speedup,
+    time_weighted_shares,
+)
+from repro.core.profile import WorkloadProfile
+from repro.core.workload import Stage, TaskGraph, Workload
+from repro.errors import ConfigurationError
+
+
+def _graph():
+    return TaskGraph("g", [
+        Stage("hot", WorkloadProfile(name="hot", flops=90.0,
+                                     op_class="gemm"), rate_hz=1.0),
+        Stage("cold", WorkloadProfile(name="cold", flops=10.0,
+                                      op_class="search"),
+              deps=("hot",)),
+    ])
+
+
+class TestAmdahl:
+    def test_basic_value(self):
+        # 50% at 2x -> 1 / (0.5 + 0.25) = 1.333...
+        assert amdahl_speedup(0.5, 2.0) == pytest.approx(4.0 / 3.0)
+
+    def test_infinite_kernel_speedup_limit(self):
+        assert amdahl_speedup(0.9, 1e12) == pytest.approx(
+            max_amdahl_speedup(0.9), rel=1e-6
+        )
+
+    def test_ceiling(self):
+        assert max_amdahl_speedup(0.9) == pytest.approx(10.0)
+        assert math.isinf(max_amdahl_speedup(1.0))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            amdahl_speedup(1.5, 2.0)
+        with pytest.raises(ConfigurationError):
+            amdahl_speedup(0.5, 0.0)
+
+    def test_speedup_of_one_is_identity(self):
+        assert amdahl_speedup(0.7, 1.0) == pytest.approx(1.0)
+
+
+class TestCharacterize:
+    def test_hotspot_ordering(self):
+        report = characterize(Workload(name="w", graph=_graph()))
+        assert report.top_hotspot()[0] == "hot"
+        assert report.top_hotspot()[1] == pytest.approx(0.9)
+
+    def test_amdahl_ceilings(self):
+        report = characterize(Workload(name="w", graph=_graph()))
+        assert report.amdahl_ceilings["hot"] == pytest.approx(10.0)
+        assert report.amdahl_ceilings["cold"] == pytest.approx(1.0 / 0.9)
+
+    def test_op_class_shares(self):
+        report = characterize(Workload(name="w", graph=_graph()))
+        assert report.op_class_shares["gemm"] == pytest.approx(0.9)
+        # Shares are sorted descending.
+        assert list(report.op_class_shares) == ["gemm", "search"]
+
+
+class TestEndToEnd:
+    def test_speedup_matches_amdahl(self):
+        g = _graph()
+        base = {"hot": 0.9, "cold": 0.1}
+        accel = {"hot": 0.09, "cold": 0.1}  # 10x on the hot stage
+        measured = end_to_end_speedup(g, base, accel)
+        assert measured == pytest.approx(amdahl_speedup(0.9, 10.0))
+
+    def test_unaccelerated_stages_default_to_baseline(self):
+        g = _graph()
+        base = {"hot": 1.0, "cold": 1.0}
+        assert end_to_end_speedup(g, base, {}) == pytest.approx(1.0)
+
+    def test_missing_baseline_raises(self):
+        with pytest.raises(ConfigurationError):
+            end_to_end_speedup(_graph(), {"hot": 1.0}, {})
+
+    def test_time_weighted_shares(self):
+        g = _graph()
+        shares = time_weighted_shares(g, {"hot": 3.0, "cold": 1.0})
+        assert shares["hot"] == pytest.approx(0.75)
+
+
+class TestIntensityHistogram:
+    def test_bucketing(self):
+        profiles = [
+            WorkloadProfile(name="low", flops=1.0, bytes_read=100.0),
+            WorkloadProfile(name="high", flops=1e6, bytes_read=1.0),
+        ]
+        hist = intensity_histogram(profiles)
+        assert sum(hist.values()) == 2
+        assert hist["<= 0.1"] == 1
+        assert hist["> 100"] == 1
+
+    def test_bad_edges(self):
+        with pytest.raises(ConfigurationError):
+            intensity_histogram([], edges=(1.0, 0.5))

@@ -1,0 +1,99 @@
+"""Unit tests for cross-cutting kernel identification (§2.3)."""
+
+import pytest
+
+from repro.core.crosscut import (
+    breadth,
+    coverage,
+    find_crosscutting_kernels,
+    widgetism_score,
+)
+from repro.core.profile import WorkloadProfile
+from repro.core.workload import Stage, TaskGraph, Workload
+from repro.errors import ConfigurationError
+
+
+def _workload(name, shares):
+    """A workload whose op-class composition is exactly ``shares``."""
+    stages = []
+    prev = None
+    for i, (op_class, share) in enumerate(shares.items()):
+        stage = Stage(
+            name=f"s{i}",
+            profile=WorkloadProfile(name=f"s{i}", flops=share * 100,
+                                    op_class=op_class),
+            deps=(prev,) if prev else (),
+            rate_hz=1.0 if prev is None else None,
+        )
+        stages.append(stage)
+        prev = stage.name
+    return Workload(name=name, graph=TaskGraph(name, stages))
+
+
+@pytest.fixture
+def suite():
+    return [
+        _workload("w1", {"gemm": 0.6, "stencil": 0.3, "niche-a": 0.1}),
+        _workload("w2", {"gemm": 0.5, "search": 0.5}),
+        _workload("w3", {"gemm": 0.4, "stencil": 0.5, "niche-b": 0.1}),
+    ]
+
+
+class TestCoverage:
+    def test_full_coverage(self, suite):
+        cats = {"gemm", "stencil", "search", "niche-a", "niche-b"}
+        assert coverage(cats, suite) == pytest.approx(1.0)
+
+    def test_single_category(self, suite):
+        assert coverage(["gemm"], suite) == pytest.approx(0.5)
+
+    def test_empty_suite_raises(self):
+        with pytest.raises(ConfigurationError):
+            coverage(["gemm"], [])
+
+
+class TestBreadth:
+    def test_crosscutting_has_full_breadth(self, suite):
+        assert breadth("gemm", suite) == 3
+
+    def test_niche_has_breadth_one(self, suite):
+        assert breadth("niche-a", suite) == 1
+
+    def test_threshold_filters(self, suite):
+        assert breadth("niche-a", suite, threshold=0.2) == 0
+
+
+class TestGreedySelection:
+    def test_picks_gemm_first(self, suite):
+        report = find_crosscutting_kernels(suite, budget=3)
+        assert report.selected[0] == "gemm"
+
+    def test_coverage_curve_monotone(self, suite):
+        report = find_crosscutting_kernels(suite, budget=5)
+        curve = report.coverage_curve
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+
+    def test_budget_respected(self, suite):
+        report = find_crosscutting_kernels(suite, budget=2)
+        assert len(report.selected) <= 2
+
+    def test_bad_budget(self, suite):
+        with pytest.raises(ConfigurationError):
+            find_crosscutting_kernels(suite, budget=0)
+
+    def test_breadth_report_sorted(self, suite):
+        report = find_crosscutting_kernels(suite, budget=2)
+        values = list(report.per_category_breadth.values())
+        assert values == sorted(values, reverse=True)
+
+
+class TestWidgetismScore:
+    def test_pure_widget_scores_one(self, suite):
+        assert widgetism_score("niche-a", suite) == pytest.approx(1.0)
+
+    def test_crosscutting_scores_zero(self, suite):
+        assert widgetism_score("gemm", suite) == pytest.approx(0.0)
+
+    def test_empty_suite_raises(self):
+        with pytest.raises(ConfigurationError):
+            widgetism_score("gemm", [])

@@ -1,0 +1,208 @@
+"""Unit tests for the pipeline DSL and the workload-drift feedback."""
+
+import pytest
+
+from repro.core import (
+    WorkloadSnapshot,
+    WorkloadTimeline,
+    accelerator_value_over_time,
+    redesign_recommendation,
+)
+from repro.core.dsl import (
+    KERNEL_REGISTRY,
+    parse_pipeline,
+    verify_pipeline,
+)
+from repro.core.profile import WorkloadProfile
+from repro.core.workload import Stage, TaskGraph, Workload
+from repro.errors import ConfigurationError
+from repro.hw import embedded_cpu
+from repro.hw.asic import widget_asic
+
+GOOD_SOURCE = """
+# a perception pipeline a roboticist could write
+pipeline uav-perception @ 30Hz
+stage detect: harris(image_size=480) -> 200000B
+stage track: lk(n_points=120) after detect -> 4000B
+stage fuse: cholesky(n=60) after track
+"""
+
+
+class TestParser:
+    def test_parses_structure(self):
+        workload = parse_pipeline(GOOD_SOURCE)
+        assert workload.name == "uav-perception"
+        assert workload.target_rate_hz == 30.0
+        assert len(workload.graph) == 3
+        assert workload.graph.stage("track").deps == ("detect",)
+        assert workload.graph.stage("detect").rate_hz == 30.0
+        assert workload.graph.stage("detect").output_bytes == 200000.0
+
+    def test_kernel_args_reach_profiles(self):
+        workload = parse_pipeline(GOOD_SOURCE)
+        detect = workload.graph.stage("detect").profile
+        assert detect.flops == pytest.approx(480 * 480 * 30.0)
+
+    def test_comments_and_blank_lines_ignored(self):
+        assert parse_pipeline(GOOD_SOURCE).name == "uav-perception"
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel"):
+            parse_pipeline(
+                "pipeline p @ 10Hz\nstage a: warp_drive(x=1)"
+            )
+
+    def test_bad_kernel_args(self):
+        with pytest.raises(ConfigurationError, match="bad arguments"):
+            parse_pipeline(
+                "pipeline p @ 10Hz\nstage a: harris(bogus_arg=3)"
+            )
+
+    def test_missing_header(self):
+        with pytest.raises(ConfigurationError, match="header"):
+            parse_pipeline("stage a: harris(image_size=64)")
+
+    def test_unknown_dependency_propagates(self):
+        with pytest.raises(ConfigurationError, match="unknown stage"):
+            parse_pipeline(
+                "pipeline p @ 10Hz\n"
+                "stage a: harris(image_size=64) after ghost"
+            )
+
+    def test_syntax_error_reports_line(self):
+        with pytest.raises(ConfigurationError, match="line 3"):
+            parse_pipeline(
+                "pipeline p @ 10Hz\n"
+                "stage a: harris(image_size=64)\n"
+                "this is not a stage\n"
+            )
+
+    def test_registry_is_extensible(self):
+        KERNEL_REGISTRY["custom"] = \
+            lambda n: WorkloadProfile(name="custom", flops=float(n))
+        try:
+            workload = parse_pipeline(
+                "pipeline p @ 5Hz\nstage a: custom(n=42)"
+            )
+            assert workload.graph.stage("a").profile.flops == 42.0
+        finally:
+            del KERNEL_REGISTRY["custom"]
+
+
+class TestVerifier:
+    def test_feasible_pipeline_verifies(self, cpu):
+        workload = parse_pipeline(GOOD_SOURCE)
+        report = verify_pipeline(workload, cpu)
+        assert report.verified
+        assert all(u < 1.0
+                   for u in report.stage_utilization.values())
+        assert report.critical_path_s < report.period_s
+
+    def test_overloaded_stage_fails_stability(self, cpu):
+        source = (
+            "pipeline hungry @ 30Hz\n"
+            "stage big: gemm(m=2048, n=2048, k=2048)\n"
+        )
+        report = verify_pipeline(parse_pipeline(source), cpu)
+        assert not report.verified
+        assert any(v.check == "stability" for v in report.violations)
+        assert any("utilization" in v.detail
+                   for v in report.violations)
+
+    def test_unmapped_kernel_fails_mappability(self):
+        workload = parse_pipeline(GOOD_SOURCE)
+        asic = widget_asic("gemm")
+        report = verify_pipeline(workload, asic)
+        assert not report.verified
+        assert all(v.check == "mappability"
+                   for v in report.violations
+                   if v.check != "deadline")
+
+    def test_deadline_check_fires_when_chain_too_long(self, cpu):
+        # Three stages, each ~0.7 of a period: stable individually,
+        # but one activation cannot traverse the chain in a period.
+        source = (
+            "pipeline tight @ 30Hz\n"
+            "stage a: gemm(m=512, n=512, k=800)\n"
+            "stage b: gemm(m=512, n=512, k=800) after a\n"
+            "stage c: gemm(m=512, n=512, k=800) after b\n"
+        )
+        report = verify_pipeline(parse_pipeline(source), cpu)
+        assert any(v.check == "deadline" for v in report.violations)
+
+
+def _snapshot(year, shares):
+    stages, prev = [], None
+    for i, (op_class, share) in enumerate(shares.items()):
+        stage = Stage(
+            f"s{i}",
+            WorkloadProfile(name=f"s{i}", flops=share * 100.0,
+                            op_class=op_class),
+            deps=(prev,) if prev else (),
+            rate_hz=1.0 if prev is None else None,
+        )
+        stages.append(stage)
+        prev = stage.name
+    return WorkloadSnapshot(
+        year, Workload(name=f"w{year}",
+                       graph=TaskGraph(f"g{year}", stages))
+    )
+
+
+@pytest.fixture
+def drifting_timeline():
+    """Classical CV (stencil) giving way to deep learning (gemm)."""
+    return WorkloadTimeline([
+        _snapshot(2014, {"stencil": 0.7, "gemm": 0.2, "search": 0.1}),
+        _snapshot(2018, {"stencil": 0.45, "gemm": 0.45,
+                         "search": 0.1}),
+        _snapshot(2022, {"stencil": 0.2, "gemm": 0.7, "search": 0.1}),
+        _snapshot(2026, {"stencil": 0.1, "gemm": 0.8, "search": 0.1}),
+    ])
+
+
+class TestMovingTarget:
+    def test_bottleneck_shifts(self, drifting_timeline):
+        assert drifting_timeline.bottleneck_class(2014) == "stencil"
+        assert drifting_timeline.bottleneck_class(2026) == "gemm"
+
+    def test_coverage_decays_for_stale_design(self, drifting_timeline):
+        trend = accelerator_value_over_time(
+            drifting_timeline, ["stencil"], kernel_speedup=10.0
+        )
+        coverages = [trend.coverage_by_year[y]
+                     for y in drifting_timeline.years()]
+        assert coverages == sorted(coverages, reverse=True)
+        assert trend.stale_year == 2022
+
+    def test_speedup_decays_with_coverage(self, drifting_timeline):
+        trend = accelerator_value_over_time(
+            drifting_timeline, ["stencil"], kernel_speedup=10.0
+        )
+        speedups = [trend.end_to_end_speedup_by_year[y]
+                    for y in drifting_timeline.years()]
+        assert speedups[0] > 2.0
+        assert speedups[-1] < 1.2
+
+    def test_recommendation_names_new_bottleneck(self,
+                                                 drifting_timeline):
+        trend = accelerator_value_over_time(
+            drifting_timeline, ["stencil"]
+        )
+        assert redesign_recommendation(drifting_timeline,
+                                       trend) == "gemm"
+
+    def test_covered_design_gets_no_recommendation(self,
+                                                   drifting_timeline):
+        trend = accelerator_value_over_time(
+            drifting_timeline, ["gemm", "stencil"]
+        )
+        assert redesign_recommendation(drifting_timeline,
+                                       trend) is None
+
+    def test_timeline_validation(self):
+        snap = _snapshot(2020, {"gemm": 1.0})
+        with pytest.raises(ConfigurationError):
+            WorkloadTimeline([snap, snap])
+        with pytest.raises(ConfigurationError):
+            WorkloadTimeline([])

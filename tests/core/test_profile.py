@@ -1,0 +1,157 @@
+"""Unit tests for WorkloadProfile, CostEstimate, and OpCounter."""
+
+import math
+
+import pytest
+
+from repro.core.profile import (
+    DIVERGENCE_DERATING,
+    CostEstimate,
+    DivergenceClass,
+    OpCounter,
+    WorkloadProfile,
+)
+from repro.errors import ProfileError
+
+
+class TestWorkloadProfile:
+    def test_totals(self):
+        p = WorkloadProfile(name="k", flops=100.0, int_ops=50.0,
+                            bytes_read=10.0, bytes_written=5.0)
+        assert p.total_ops == 150.0
+        assert p.total_bytes == 15.0
+        assert p.arithmetic_intensity == pytest.approx(10.0)
+
+    def test_intensity_edge_cases(self):
+        compute_only = WorkloadProfile(name="c", flops=10.0)
+        assert math.isinf(compute_only.arithmetic_intensity)
+        empty = WorkloadProfile(name="e")
+        assert empty.arithmetic_intensity == 0.0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ProfileError):
+            WorkloadProfile(name="bad", flops=-1.0)
+        with pytest.raises(ProfileError):
+            WorkloadProfile(name="bad", bytes_read=-1.0)
+
+    def test_parallel_fraction_bounds(self):
+        with pytest.raises(ProfileError):
+            WorkloadProfile(name="bad", parallel_fraction=1.5)
+        with pytest.raises(ProfileError):
+            WorkloadProfile(name="bad", parallel_fraction=-0.1)
+
+    def test_scaled(self):
+        p = WorkloadProfile(name="k", flops=10.0, bytes_read=4.0)
+        doubled = p.scaled(2.0)
+        assert doubled.flops == 20.0
+        assert doubled.bytes_read == 8.0
+        # Size-independent fields are preserved.
+        assert doubled.parallel_fraction == p.parallel_fraction
+        assert doubled.divergence == p.divergence
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ProfileError):
+            WorkloadProfile(name="k", flops=1.0).scaled(-1.0)
+
+    def test_combined_adds_counts(self):
+        a = WorkloadProfile(name="a", flops=10.0, bytes_read=2.0,
+                            working_set_bytes=100.0)
+        b = WorkloadProfile(name="b", flops=30.0, bytes_written=4.0,
+                            working_set_bytes=50.0)
+        c = a.combined(b)
+        assert c.flops == 40.0
+        assert c.total_bytes == 6.0
+        # Sequential phases reuse memory: working set is the max.
+        assert c.working_set_bytes == 100.0
+
+    def test_combined_parallel_fraction_is_op_weighted(self):
+        a = WorkloadProfile(name="a", flops=90.0, parallel_fraction=1.0)
+        b = WorkloadProfile(name="b", flops=10.0, parallel_fraction=0.0)
+        assert a.combined(b).parallel_fraction == pytest.approx(0.9)
+
+    def test_combined_takes_worse_divergence(self):
+        a = WorkloadProfile(name="a", flops=1.0,
+                            divergence=DivergenceClass.NONE)
+        b = WorkloadProfile(name="b", flops=1.0,
+                            divergence=DivergenceClass.HIGH)
+        assert a.combined(b).divergence == DivergenceClass.HIGH
+
+    def test_combined_op_class(self):
+        a = WorkloadProfile(name="a", flops=1.0, op_class="gemm")
+        b = WorkloadProfile(name="b", flops=1.0, op_class="gemm")
+        c = WorkloadProfile(name="c", flops=1.0, op_class="stencil")
+        assert a.combined(b).op_class == "gemm"
+        assert a.combined(c).op_class == "mixed"
+
+    def test_merge_empty(self):
+        merged = WorkloadProfile.merge([], name="nothing")
+        assert merged.total_ops == 0.0
+        assert merged.name == "nothing"
+
+    def test_merge_keeps_name(self):
+        profiles = [WorkloadProfile(name=f"p{i}", flops=1.0)
+                    for i in range(3)]
+        merged = WorkloadProfile.merge(profiles, name="all")
+        assert merged.name == "all"
+        assert merged.flops == 3.0
+
+
+class TestCostEstimate:
+    def test_edp_and_throughput(self):
+        e = CostEstimate(latency_s=0.01, energy_j=0.5)
+        assert e.edp == pytest.approx(0.005)
+        assert e.throughput_hz() == pytest.approx(100.0)
+
+    def test_zero_latency_throughput(self):
+        e = CostEstimate(latency_s=0.0, energy_j=0.0)
+        assert math.isinf(e.throughput_hz())
+
+    def test_negative_rejected(self):
+        with pytest.raises(ProfileError):
+            CostEstimate(latency_s=-1.0, energy_j=0.0)
+
+
+class TestOpCounter:
+    def test_gemm_counting(self):
+        c = OpCounter(name="g")
+        c.add_gemm(4, 5, 6)
+        assert c.flops == 2 * 4 * 5 * 6
+        assert c.bytes_read == 8 * (4 * 6 + 6 * 5)
+        assert c.bytes_written == 8 * 4 * 5
+
+    def test_axpy_counting(self):
+        c = OpCounter(name="a")
+        c.add_axpy(100)
+        assert c.flops == 200.0
+        assert c.bytes_read == 1600.0
+
+    def test_working_set_tracks_peak(self):
+        c = OpCounter(name="w")
+        c.note_working_set(100.0)
+        c.note_working_set(50.0)
+        assert c.working_set_bytes == 100.0
+
+    def test_profile_freeze(self):
+        c = OpCounter(name="k")
+        c.add_flops(10.0)
+        c.add_int_ops(5.0)
+        p = c.profile(parallel_fraction=0.5,
+                      divergence=DivergenceClass.HIGH,
+                      op_class="search")
+        assert p.flops == 10.0
+        assert p.int_ops == 5.0
+        assert p.op_class == "search"
+        assert p.divergence == DivergenceClass.HIGH
+
+    def test_events_counted(self):
+        c = OpCounter(name="k")
+        c.add_flops(1.0)
+        c.add_read(1.0)
+        assert c.events == 2
+
+
+def test_derating_table_covers_all_classes():
+    assert set(DIVERGENCE_DERATING) == set(DivergenceClass)
+    assert DIVERGENCE_DERATING[DivergenceClass.NONE] == 1.0
+    assert (DIVERGENCE_DERATING[DivergenceClass.HIGH]
+            < DIVERGENCE_DERATING[DivergenceClass.LOW])

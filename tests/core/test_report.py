@@ -1,0 +1,58 @@
+"""Unit tests for text report rendering."""
+
+import pytest
+
+from repro.core.report import ascii_bar_chart, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["name", "value"],
+                            [["alpha", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "alpha" in lines[2]
+        # All lines equally wide.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.000012345]], precision=3)
+        assert "1.234e-05" in text
+
+    def test_large_float_scientific(self):
+        text = format_table(["x"], [[1.5e9]])
+        assert "e+09" in text
+
+    def test_zero_renders_plainly(self):
+        assert "0" in format_table(["x"], [[0.0]]).splitlines()[-1]
+
+
+class TestSeries:
+    def test_series_is_two_columns(self):
+        text = format_series("year", "count", [[2020, 5], [2021, 9]])
+        assert "year" in text and "count" in text
+        assert "2021" in text
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = ascii_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_zero_value_empty_bar(self):
+        text = ascii_bar_chart(["a", "b"], [0.0, 3.0])
+        assert "#" not in text.splitlines()[0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])

@@ -1,0 +1,135 @@
+"""Unit tests for Kernel, Stage, TaskGraph, and Workload."""
+
+import pytest
+
+from repro.core.profile import WorkloadProfile
+from repro.core.workload import (
+    Kernel,
+    Stage,
+    TaskGraph,
+    Workload,
+    linear_pipeline,
+)
+from repro.errors import ConfigurationError
+
+
+def _p(name, flops=1.0, op_class="generic"):
+    return WorkloadProfile(name=name, flops=flops, op_class=op_class)
+
+
+class TestKernel:
+    def test_static_profile(self):
+        k = Kernel(name="k", static_profile=_p("k", 5.0))
+        assert k.profile().flops == 5.0
+
+    def test_profile_fn(self):
+        k = Kernel(name="k",
+                   profile_fn=lambda n: _p("k", float(n)))
+        assert k.profile(n=7).flops == 7.0
+
+    def test_neither_raises(self):
+        with pytest.raises(ConfigurationError):
+            Kernel(name="k").profile()
+
+
+class TestTaskGraph:
+    def _diamond(self):
+        return TaskGraph("d", [
+            Stage("src", _p("src"), rate_hz=10.0),
+            Stage("left", _p("left", 2.0), deps=("src",)),
+            Stage("right", _p("right", 3.0), deps=("src",)),
+            Stage("sink", _p("sink"), deps=("left", "right")),
+        ])
+
+    def test_topological_order(self):
+        g = self._diamond()
+        names = [s.name for s in g.stages]
+        assert names.index("src") < names.index("left")
+        assert names.index("left") < names.index("sink")
+        assert names.index("right") < names.index("sink")
+
+    def test_sources_and_sinks(self):
+        g = self._diamond()
+        assert [s.name for s in g.sources()] == ["src"]
+        assert [s.name for s in g.sinks()] == ["sink"]
+
+    def test_cycle_detection(self):
+        with pytest.raises(ConfigurationError, match="cycle"):
+            TaskGraph("c", [
+                Stage("a", _p("a"), deps=("b",)),
+                Stage("b", _p("b"), deps=("a",)),
+            ])
+
+    def test_unknown_dep(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            TaskGraph("u", [Stage("a", _p("a"), deps=("ghost",))])
+
+    def test_duplicate_stage(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            TaskGraph("dup", [Stage("a", _p("a")),
+                              Stage("a", _p("a"))])
+
+    def test_critical_path_picks_longer_branch(self):
+        g = self._diamond()
+        latency = {"src": 1.0, "left": 5.0, "right": 1.0, "sink": 1.0}
+        length, path = g.critical_path(latency)
+        assert length == pytest.approx(7.0)
+        assert path == ["src", "left", "sink"]
+
+    def test_critical_path_missing_latency(self):
+        g = self._diamond()
+        with pytest.raises(ConfigurationError, match="missing latency"):
+            g.critical_path({"src": 1.0})
+
+    def test_total_profile_sums(self):
+        g = self._diamond()
+        assert g.total_profile().flops == pytest.approx(1 + 2 + 3 + 1)
+
+    def test_contains_and_len(self):
+        g = self._diamond()
+        assert len(g) == 4
+        assert "src" in g
+        assert "ghost" not in g
+
+    def test_stage_lookup_error(self):
+        with pytest.raises(ConfigurationError):
+            self._diamond().stage("ghost")
+
+
+class TestWorkload:
+    def test_deadline(self):
+        g = linear_pipeline("p", [_p("a")], rate_hz=20.0)
+        w = Workload(name="w", graph=g, target_rate_hz=20.0)
+        assert w.deadline_s() == pytest.approx(0.05)
+
+    def test_deadline_requires_positive_rate(self):
+        g = linear_pipeline("p", [_p("a")])
+        w = Workload(name="w", graph=g, target_rate_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            w.deadline_s()
+
+    def test_composition_from_graph(self):
+        g = TaskGraph("g", [
+            Stage("a", _p("a", 75.0, op_class="gemm"), rate_hz=1.0),
+            Stage("b", _p("b", 25.0, op_class="search"), deps=("a",)),
+        ])
+        w = Workload(name="w", graph=g)
+        comp = w.composition()
+        assert comp["gemm"] == pytest.approx(0.75)
+        assert comp["search"] == pytest.approx(0.25)
+
+    def test_explicit_composition_wins(self):
+        g = linear_pipeline("p", [_p("a")])
+        w = Workload(name="w", graph=g,
+                     kernel_composition={"custom": 1.0})
+        assert w.composition() == {"custom": 1.0}
+
+
+class TestLinearPipeline:
+    def test_chain_structure(self):
+        g = linear_pipeline("p", [_p("a"), _p("b"), _p("c")],
+                            rate_hz=5.0)
+        assert [s.name for s in g.stages] == ["a", "b", "c"]
+        assert g.stage("b").deps == ("a",)
+        assert g.stage("a").rate_hz == 5.0
+        assert g.stage("b").rate_hz is None

@@ -1,0 +1,105 @@
+"""Unit tests for multi-objective DSE."""
+
+import pytest
+
+from repro.dse import DesignSpace, Parameter
+from repro.dse.multiobjective import (
+    MultiObjectiveResult,
+    multi_objective_search,
+)
+from repro.dse.pareto import dominates
+from repro.errors import SearchError
+
+
+@pytest.fixture
+def space():
+    return DesignSpace([
+        Parameter("a", tuple(range(10))),
+        Parameter("b", tuple(range(10))),
+    ])
+
+
+@pytest.fixture
+def objectives():
+    # Conflicting: latency falls with a, energy rises with a.
+    return {
+        "latency": lambda c: 10.0 - c["a"] + 0.1 * c["b"],
+        "energy": lambda c: 1.0 + c["a"] + 0.2 * (c["b"] - 5) ** 2,
+    }
+
+
+class TestMultiObjective:
+    def test_front_is_nondominated(self, space, objectives):
+        result = multi_objective_search(space, objectives,
+                                        budget_per_weight=10,
+                                        n_weights=4, seed=1)
+        assert result.front
+        for p in result.front:
+            for q in result.front:
+                if p is not q:
+                    assert not dominates(
+                        [q.objectives["latency"],
+                         q.objectives["energy"]],
+                        [p.objectives["latency"],
+                         p.objectives["energy"]],
+                    )
+
+    def test_front_spans_the_tradeoff(self, space, objectives):
+        result = multi_objective_search(space, objectives,
+                                        budget_per_weight=12,
+                                        n_weights=5, seed=2)
+        latencies = [p.objectives["latency"] for p in result.front]
+        energies = [p.objectives["energy"] for p in result.front]
+        # Conflicting objectives -> more than one trade point, and the
+        # orderings oppose each other along the front.
+        assert len(result.front) >= 2
+        by_latency = sorted(result.front,
+                            key=lambda p: p.objectives["latency"])
+        front_energy = [p.objectives["energy"] for p in by_latency]
+        assert front_energy == sorted(front_energy, reverse=True)
+
+    def test_memoization_bounds_evaluations(self, space, objectives):
+        result = multi_objective_search(space, objectives,
+                                        budget_per_weight=10,
+                                        n_weights=5, seed=3)
+        assert result.evaluations <= space.size
+
+    def test_hypervolume_positive(self, space, objectives):
+        result = multi_objective_search(space, objectives,
+                                        budget_per_weight=10,
+                                        n_weights=4, seed=4)
+        assert result.hypervolume([20.0, 20.0]) > 0.0
+
+    def test_random_method_works(self, space, objectives):
+        result = multi_objective_search(space, objectives,
+                                        budget_per_weight=10,
+                                        n_weights=3,
+                                        method="random", seed=5)
+        assert result.front
+
+    def test_surrogate_front_at_least_as_good_as_random(
+            self, space, objectives):
+        reference = [20.0, 25.0]
+        surrogate = multi_objective_search(
+            space, objectives, budget_per_weight=10, n_weights=4,
+            method="surrogate", seed=6,
+        )
+        random_result = multi_objective_search(
+            space, objectives, budget_per_weight=10, n_weights=4,
+            method="random", seed=6,
+        )
+        assert surrogate.hypervolume(reference) \
+            >= 0.9 * random_result.hypervolume(reference)
+
+    def test_single_objective_rejected(self, space):
+        with pytest.raises(SearchError):
+            multi_objective_search(space, {"only": lambda c: 0.0})
+
+    def test_unknown_method_rejected(self, space, objectives):
+        with pytest.raises(SearchError):
+            multi_objective_search(space, objectives,
+                                   method="simulated-annealing")
+
+    def test_empty_front_hypervolume(self):
+        result = MultiObjectiveResult(objective_names=("a", "b"))
+        assert result.hypervolume([1.0, 1.0]) == 0.0

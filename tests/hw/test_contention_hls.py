@@ -1,0 +1,164 @@
+"""Unit tests for shared-resource contention and accelerator synthesis."""
+
+import pytest
+
+from repro.core.profile import DivergenceClass, WorkloadProfile
+from repro.errors import ConfigurationError
+from repro.hw import (
+    ContendedPlatform,
+    InfeasibleDesign,
+    SharedMemorySystem,
+    SynthesisSpec,
+    asic_gemm_engine,
+    co_run,
+    embedded_cpu,
+    synthesize_accelerator,
+)
+from repro.kernels.linalg import gemm_profile
+
+
+def _streaming(name="stream"):
+    return WorkloadProfile(
+        name=name, flops=1e8, bytes_read=80e6, bytes_written=20e6,
+        working_set_bytes=100e6, parallel_fraction=0.99,
+        divergence=DivergenceClass.NONE, op_class="stencil",
+    )
+
+
+class TestSharedMemorySystem:
+    def test_single_client_gets_full_pool(self):
+        mem = SharedMemorySystem(total_bandwidth=20e9)
+        grants = mem.allocate({"a": 50e9})
+        assert grants["a"] == pytest.approx(20e9)
+
+    def test_contention_efficiency_applied(self):
+        mem = SharedMemorySystem(total_bandwidth=20e9,
+                                 contention_efficiency=0.8)
+        grants = mem.allocate({"a": 50e9, "b": 50e9})
+        assert sum(grants.values()) == pytest.approx(16e9)
+        assert grants["a"] == pytest.approx(grants["b"])
+
+    def test_small_demand_fully_satisfied(self):
+        mem = SharedMemorySystem(total_bandwidth=20e9,
+                                 contention_efficiency=1.0)
+        grants = mem.allocate({"small": 2e9, "big": 100e9})
+        assert grants["small"] == pytest.approx(2e9)
+        assert grants["big"] == pytest.approx(18e9)
+
+    def test_idle_clients_get_zero(self):
+        mem = SharedMemorySystem()
+        grants = mem.allocate({"idle": 0.0, "busy": 5e9})
+        assert grants["idle"] == 0.0
+        assert grants["busy"] > 0.0
+
+    def test_grants_never_exceed_pool(self):
+        mem = SharedMemorySystem(total_bandwidth=10e9)
+        grants = mem.allocate({"a": 9e9, "b": 9e9, "c": 9e9})
+        assert sum(grants.values()) <= 10e9 + 1e-6
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SharedMemorySystem().allocate({"a": -1.0})
+
+
+class TestContendedPlatform:
+    def test_memory_bound_kernel_slows_under_contention(self):
+        cpu = embedded_cpu()
+        profile = _streaming()
+        full = cpu.estimate(profile).latency_s
+        squeezed = ContendedPlatform(cpu, cpu.config.offchip_bw
+                                     / 4.0).estimate(profile).latency_s
+        assert squeezed > 3.0 * full
+
+    def test_compute_bound_kernel_unaffected(self):
+        cpu = embedded_cpu()
+        small = gemm_profile(64, 64, 64)  # fits on chip
+        full = cpu.estimate(small).latency_s
+        squeezed = ContendedPlatform(cpu, 1e9).estimate(small).latency_s
+        assert squeezed == pytest.approx(full, rel=1e-6)
+
+    def test_grant_never_exceeds_native_bandwidth(self):
+        cpu = embedded_cpu()
+        boosted = ContendedPlatform(cpu, 1e15)
+        assert boosted.config.offchip_bw == cpu.config.offchip_bw
+
+
+class TestCoRun:
+    def test_accelerator_steals_bandwidth_from_cpu(self):
+        """The §2.4 effect: adding a bandwidth-hungry accelerator
+        slows a co-resident memory-bound CPU task."""
+        mem = SharedMemorySystem(total_bandwidth=15e9,
+                                 contention_efficiency=0.85)
+        cpu = embedded_cpu()
+        cpu_task = _streaming("cpu-task")
+        alone = co_run(mem, [("cpu", cpu, cpu_task, 10.0)])
+        big_gemm = gemm_profile(2048, 2048, 2048)
+        together = co_run(mem, [
+            ("cpu", cpu, cpu_task, 10.0),
+            ("asic", asic_gemm_engine(), big_gemm, 30.0),
+        ])
+        assert (together["cpu"].latency_s
+                > 1.2 * alone["cpu"].latency_s)
+
+    def test_duplicate_names_rejected(self):
+        mem = SharedMemorySystem()
+        cpu = embedded_cpu()
+        with pytest.raises(ConfigurationError):
+            co_run(mem, [("x", cpu, _streaming(), 1.0),
+                         ("x", cpu, _streaming(), 1.0)])
+
+
+class TestSynthesis:
+    def test_generated_design_meets_rate(self):
+        profile = gemm_profile(256, 4096, 512)
+        report = synthesize_accelerator(SynthesisSpec(
+            profile=profile, target_rate_hz=100.0,
+        ))
+        assert report.achieved_rate_hz >= 100.0
+        assert report.accelerator.supports(profile)
+        assert report.area_mm2 <= 50.0
+
+    def test_higher_rate_needs_more_silicon(self):
+        profile = gemm_profile(256, 4096, 512)
+        slow = synthesize_accelerator(SynthesisSpec(
+            profile=profile, target_rate_hz=30.0,
+        ))
+        fast = synthesize_accelerator(SynthesisSpec(
+            profile=profile, target_rate_hz=300.0,
+            area_budget_mm2=200.0,
+        ))
+        assert fast.peak_flops > slow.peak_flops
+
+    def test_area_budget_enforced(self):
+        profile = gemm_profile(256, 4096, 512)
+        with pytest.raises(InfeasibleDesign, match="mm\\^2"):
+            synthesize_accelerator(SynthesisSpec(
+                profile=profile, target_rate_hz=100.0,
+                area_budget_mm2=1.0,
+            ))
+
+    def test_serial_workload_is_infeasible(self):
+        serial = WorkloadProfile(
+            name="serial", flops=1e8, parallel_fraction=0.0,
+            op_class="search",
+        )
+        with pytest.raises(InfeasibleDesign, match="Amdahl"):
+            synthesize_accelerator(SynthesisSpec(
+                profile=serial, target_rate_hz=100.0,
+            ))
+
+    def test_extra_classes_cost_area(self):
+        profile = gemm_profile(256, 4096, 512)
+        narrow = synthesize_accelerator(SynthesisSpec(
+            profile=profile, target_rate_hz=100.0,
+        ))
+        broad = synthesize_accelerator(SynthesisSpec(
+            profile=profile, target_rate_hz=100.0,
+            extra_op_classes=frozenset({"stencil", "collision"}),
+        ))
+        assert broad.peak_flops > narrow.peak_flops  # generality tax
+
+    def test_invalid_spec(self):
+        with pytest.raises(ConfigurationError):
+            SynthesisSpec(profile=gemm_profile(8, 8, 8),
+                          target_rate_hz=0.0)

@@ -1,0 +1,179 @@
+"""Unit tests for CPU, GPU, FPGA, and ASIC device models."""
+
+import pytest
+
+from repro.core.profile import DivergenceClass, WorkloadProfile
+from repro.errors import ConfigurationError, MappingError
+from repro.hw.asic import (
+    AsicAccelerator,
+    AsicConfig,
+    crosscutting_asic,
+    widget_asic,
+)
+from repro.hw.cpu import CpuConfig, CpuModel
+from repro.hw.fpga import FpgaConfig, FpgaModel
+from repro.hw.gpu import GpuConfig, GpuModel
+
+
+def _gemm(flops=2e9):
+    return WorkloadProfile(name="gemm", flops=flops,
+                           bytes_read=12e6, bytes_written=4e6,
+                           working_set_bytes=16e6,
+                           parallel_fraction=1.0,
+                           divergence=DivergenceClass.NONE,
+                           op_class="gemm")
+
+
+class TestCpu:
+    def test_peak_scales_with_simd(self):
+        scalar = CpuConfig(name="s", simd_width=1, simd_efficiency=1.0)
+        vector = CpuConfig(name="v", simd_width=8, simd_efficiency=1.0)
+        assert vector.peak_flops == pytest.approx(
+            8.0 * scalar.peak_flops
+        )
+
+    def test_scalar_variant(self):
+        cfg = CpuConfig(name="c", simd_width=8)
+        scalar = cfg.scalar_variant()
+        assert scalar.simd_width == 1
+        assert scalar.peak_flops < cfg.peak_flops
+        assert scalar.cores == cfg.cores
+
+    def test_single_core_variant(self):
+        cfg = CpuConfig(name="c", cores=8)
+        assert cfg.single_core_variant().cores == 1
+
+    def test_vector_build_is_faster_on_dense_code(self):
+        cfg = CpuConfig(name="c", simd_width=8)
+        vector = CpuModel(cfg)
+        scalar = CpuModel(cfg.scalar_variant())
+        profile = _gemm()
+        assert (vector.estimate(profile).latency_s
+                < scalar.estimate(profile).latency_s)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            CpuConfig(name="bad", cores=0)
+        with pytest.raises(ConfigurationError):
+            CpuConfig(name="bad", simd_efficiency=0.0)
+
+
+class TestGpu:
+    def test_occupancy_bounds(self):
+        with pytest.raises(ConfigurationError):
+            GpuConfig(name="bad", occupancy=0.0)
+
+    def test_gpu_beats_cpu_on_large_dense_kernels(self):
+        gpu = GpuModel(GpuConfig(name="g"))
+        cpu = CpuModel(CpuConfig(name="c"))
+        big = _gemm(flops=200e9)
+        assert (gpu.estimate(big).latency_s
+                < cpu.estimate(big).latency_s)
+
+    def test_launch_overhead_dominates_tiny_kernels(self):
+        gpu = GpuModel(GpuConfig(name="g", launch_overhead_s=10e-6))
+        cpu = CpuModel(CpuConfig(name="c"))
+        tiny = WorkloadProfile(name="t", flops=1e4,
+                               parallel_fraction=1.0,
+                               divergence=DivergenceClass.NONE)
+        assert (cpu.estimate(tiny).latency_s
+                < gpu.estimate(tiny).latency_s)
+
+    def test_divergence_hurts_gpu(self):
+        gpu = GpuModel(GpuConfig(name="g"))
+        dense = _gemm()
+        branchy = WorkloadProfile(
+            name="b", flops=2e9, bytes_read=12e6, bytes_written=4e6,
+            working_set_bytes=16e6, parallel_fraction=1.0,
+            divergence=DivergenceClass.HIGH, op_class="search",
+        )
+        assert (gpu.estimate(branchy).latency_s
+                > gpu.estimate(dense).latency_s)
+
+
+class TestFpga:
+    def test_peak_from_dsp_budget(self):
+        cfg = FpgaConfig(name="f", dsp_slices=1000,
+                         flops_per_dsp_per_cycle=0.5,
+                         fabric_frequency_hz=200e6)
+        assert cfg.peak_flops == pytest.approx(1e11)
+
+    def test_strict_mode_rejects_unmapped(self):
+        fpga = FpgaModel(FpgaConfig(
+            name="f", supported_op_classes=frozenset({"gemm"})
+        ), strict=True)
+        search = WorkloadProfile(name="s", flops=1e6,
+                                 op_class="search")
+        assert not fpga.supports(search)
+        with pytest.raises(MappingError):
+            fpga.estimate(search)
+
+    def test_softcore_fallback_is_slow(self):
+        fpga = FpgaModel(FpgaConfig(
+            name="f", supported_op_classes=frozenset({"gemm"})
+        ))
+        mapped = _gemm()
+        unmapped = WorkloadProfile(
+            name="s", flops=2e9, bytes_read=12e6, bytes_written=4e6,
+            working_set_bytes=16e6, parallel_fraction=1.0,
+            divergence=DivergenceClass.NONE, op_class="search",
+        )
+        assert (fpga.estimate(unmapped).latency_s
+                > 10.0 * fpga.estimate(mapped).latency_s)
+
+    def test_reconfiguration_charged_on_switch(self):
+        fpga = FpgaModel(FpgaConfig(name="f"))
+        gemm = _gemm()
+        other = WorkloadProfile(name="o", flops=1e6,
+                                op_class="stencil",
+                                parallel_fraction=1.0)
+        first = fpga.estimate_with_reconfig(gemm)
+        switched = fpga.estimate_with_reconfig(other)
+        again = fpga.estimate_with_reconfig(other)
+        assert switched.latency_s > again.latency_s
+        assert first.latency_s < switched.latency_s
+
+
+class TestAsic:
+    def test_unsupported_class_raises(self):
+        asic = widget_asic("gemm")
+        search = WorkloadProfile(name="s", flops=1e6,
+                                 op_class="search")
+        assert not asic.supports(search)
+        with pytest.raises(MappingError):
+            asic.estimate(search)
+
+    def test_widget_runs_its_class(self):
+        asic = widget_asic("gemm")
+        estimate = asic.estimate(_gemm())
+        assert estimate.latency_s > 0
+        assert estimate.platform == "widget-gemm"
+
+    def test_generality_penalty(self):
+        widget = AsicConfig(name="w",
+                            supported_op_classes=frozenset({"gemm"}))
+        broad = AsicConfig(
+            name="b",
+            supported_op_classes=frozenset({"gemm", "stencil",
+                                            "collision"}),
+        )
+        assert broad.effective_peak_flops < widget.effective_peak_flops
+        assert broad.effective_area_mm2 > widget.effective_area_mm2
+
+    def test_crosscutting_supports_all_listed(self):
+        asic = crosscutting_asic(["gemm", "collision"])
+        assert asic.supports(_gemm())
+        coll = WorkloadProfile(name="c", flops=1e6,
+                               op_class="collision")
+        assert asic.supports(coll)
+
+    def test_empty_class_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AsicConfig(name="bad", supported_op_classes=frozenset())
+
+    def test_asic_wins_energy_on_its_kernel(self):
+        asic = widget_asic("gemm")
+        cpu = CpuModel(CpuConfig(name="c"))
+        profile = _gemm()
+        assert (asic.estimate(profile).energy_j
+                < cpu.estimate(profile).energy_j)

@@ -1,0 +1,149 @@
+"""Unit tests for the heterogeneous SoC mapper and the catalog."""
+
+import pytest
+
+from repro.core.profile import DivergenceClass, WorkloadProfile
+from repro.core.workload import Stage, TaskGraph
+from repro.errors import ConfigurationError, MappingError
+from repro.hw import (
+    HeterogeneousSoC,
+    Interconnect,
+    MappingPolicy,
+    asic_gemm_engine,
+    embedded_cpu,
+    uav_compute_tiers,
+)
+from repro.hw.asic import widget_asic
+
+
+def _gemm():
+    return WorkloadProfile(name="g", flops=5e9, bytes_read=12e6,
+                           bytes_written=4e6, working_set_bytes=16e6,
+                           parallel_fraction=1.0,
+                           divergence=DivergenceClass.NONE,
+                           op_class="gemm")
+
+
+def _search():
+    return WorkloadProfile(name="s", flops=1e7, int_ops=5e7,
+                           bytes_read=1e7, working_set_bytes=8e6,
+                           parallel_fraction=0.3,
+                           divergence=DivergenceClass.HIGH,
+                           op_class="search")
+
+
+@pytest.fixture
+def soc():
+    return HeterogeneousSoC("soc", embedded_cpu("host"),
+                            [asic_gemm_engine()])
+
+
+class TestInterconnect:
+    def test_transfer_cost(self):
+        link = Interconnect(bandwidth=1e9, latency_s=1e-6,
+                            energy_per_byte=1e-12)
+        seconds, joules = link.transfer_cost(1e9)
+        assert seconds == pytest.approx(1.0 + 1e-6)
+        assert joules == pytest.approx(1e-3)
+
+    def test_zero_bytes_free(self):
+        assert Interconnect().transfer_cost(0.0) == (0.0, 0.0)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            Interconnect(bandwidth=0.0)
+
+
+class TestMapping:
+    def test_gemm_offloads_to_asic(self, soc):
+        mapped = soc.map_kernel(_gemm())
+        assert mapped.device == "gemm-engine"
+        assert mapped.offload_s > 0.0
+
+    def test_search_stays_on_host(self, soc):
+        mapped = soc.map_kernel(_search())
+        assert mapped.device == "host"
+        assert mapped.offload_s == 0.0
+
+    def test_host_only_policy(self, soc):
+        mapped = soc.map_kernel(_gemm(),
+                                policy=MappingPolicy.HOST_ONLY)
+        assert mapped.device == "host"
+
+    def test_prefer_accelerator_policy(self, soc):
+        mapped = soc.map_kernel(_gemm(),
+                                policy=MappingPolicy.PREFER_ACCELERATOR)
+        assert mapped.device == "gemm-engine"
+
+    def test_lowest_energy_policy(self, soc):
+        mapped = soc.map_kernel(_gemm(),
+                                policy=MappingPolicy.LOWEST_ENERGY)
+        options_energy = {
+            "host": soc.host.estimate(_gemm()).energy_j,
+        }
+        assert mapped.estimate.energy_j <= min(options_energy.values())
+
+    def test_unmappable_kernel_raises(self):
+        lonely = HeterogeneousSoC("lonely", widget_asic("gemm"))
+        with pytest.raises(MappingError):
+            lonely.map_kernel(_search())
+
+    def test_duplicate_device_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HeterogeneousSoC("dup", embedded_cpu("x"),
+                             [embedded_cpu("x")])
+
+    def test_offload_included_in_latency(self, soc):
+        mapped = soc.map_kernel(_gemm())
+        asic = soc.device("gemm-engine")
+        raw = asic.estimate(_gemm()).latency_s
+        assert mapped.estimate.latency_s == pytest.approx(
+            raw + mapped.offload_s
+        )
+
+
+class TestGraphMapping:
+    def _graph(self):
+        return TaskGraph("g", [
+            Stage("perc", _gemm(), rate_hz=10.0),
+            Stage("plan", _search(), deps=("perc",)),
+        ])
+
+    def test_map_graph_covers_all_stages(self, soc):
+        mapping = soc.map_graph(self._graph())
+        assert set(mapping) == {"perc", "plan"}
+        assert mapping["perc"].device == "gemm-engine"
+        assert mapping["plan"].device == "host"
+
+    def test_graph_latency_is_critical_path(self, soc):
+        graph = self._graph()
+        mapping = soc.map_graph(graph)
+        expected = (mapping["perc"].estimate.latency_s
+                    + mapping["plan"].estimate.latency_s)
+        assert soc.graph_latency_s(graph) == pytest.approx(expected)
+
+    def test_graph_energy_sums(self, soc):
+        graph = self._graph()
+        mapping = soc.map_graph(graph)
+        expected = sum(m.estimate.energy_j for m in mapping.values())
+        assert soc.graph_energy_j(graph) == pytest.approx(expected)
+
+
+class TestCatalog:
+    def test_tiers_are_ordered_by_capability(self):
+        tiers = uav_compute_tiers()
+        peaks = [platform.config.peak_flops
+                 for _, platform, __, ___ in tiers]
+        assert peaks == sorted(peaks)
+
+    def test_tiers_mass_and_power_grow(self):
+        tiers = uav_compute_tiers()
+        masses = [mass for _, __, mass, ___ in tiers]
+        powers = [power for _, __, ___, power in tiers]
+        assert masses == sorted(masses)
+        assert powers == sorted(powers)
+
+    def test_soc_totals(self, soc):
+        assert soc.total_mass_kg() > 0
+        assert soc.total_static_power_w() > 0
+        assert len(soc.devices) == 2

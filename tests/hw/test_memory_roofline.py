@@ -1,0 +1,139 @@
+"""Unit tests for the memory hierarchy, roofline, and systolic models."""
+
+import math
+
+import pytest
+
+from repro.core.profile import WorkloadProfile
+from repro.errors import ConfigurationError
+from repro.hw.memory import MemoryHierarchy, MemoryLevel, typical_soc_hierarchy
+from repro.hw.roofline import RooflineModel, place_kernels
+from repro.hw.systolic import SystolicArrayModel, conv2d_as_gemm
+
+
+class TestMemoryHierarchy:
+    def test_serving_level(self):
+        h = typical_soc_hierarchy()
+        assert h.serving_level(1e3).name == "L1"
+        assert h.serving_level(1e6).name == "L2"
+        assert h.serving_level(1e9).name == "DRAM"
+
+    def test_traffic_split_conserves_bytes(self):
+        h = typical_soc_hierarchy()
+        profile = WorkloadProfile(name="k", bytes_read=1e7,
+                                  bytes_written=1e6,
+                                  working_set_bytes=1e6)
+        split = h.traffic_split(profile)
+        assert sum(split.values()) == pytest.approx(1.1e7)
+
+    def test_small_working_set_stays_in_l1(self):
+        h = typical_soc_hierarchy()
+        profile = WorkloadProfile(name="k", bytes_read=1e6,
+                                  working_set_bytes=1e3)
+        split = h.traffic_split(profile)
+        assert split["L1"] == pytest.approx(1e6)
+        assert split["DRAM"] == 0.0
+
+    def test_offchip_fraction_grows_with_working_set(self):
+        h = typical_soc_hierarchy()
+        small = WorkloadProfile(name="s", bytes_read=1e6,
+                                working_set_bytes=1e5)
+        large = WorkloadProfile(name="l", bytes_read=1e6,
+                                working_set_bytes=1e9)
+        assert (h.offchip_fraction(large)
+                > h.offchip_fraction(small))
+
+    def test_access_time_monotone_in_working_set(self):
+        h = typical_soc_hierarchy()
+        small = WorkloadProfile(name="s", bytes_read=1e7,
+                                working_set_bytes=1e4)
+        large = WorkloadProfile(name="l", bytes_read=1e7,
+                                working_set_bytes=1e8)
+        assert h.access_time_s(large) > h.access_time_s(small)
+
+    def test_capacity_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            MemoryHierarchy([
+                MemoryLevel("big", 1e9, 1e9, 1e-12),
+                MemoryLevel("small", 1e3, 1e12, 1e-12),
+            ])
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryHierarchy([])
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        r = RooflineModel(name="r", peak_ops=100e9, bandwidth=10e9)
+        assert r.ridge_intensity == pytest.approx(10.0)
+        assert r.is_memory_bound(5.0)
+        assert not r.is_memory_bound(20.0)
+
+    def test_attainable_clamps_at_peak(self):
+        r = RooflineModel(name="r", peak_ops=100e9, bandwidth=10e9)
+        assert r.attainable_ops(1.0) == pytest.approx(10e9)
+        assert r.attainable_ops(1000.0) == pytest.approx(100e9)
+
+    def test_latency_consistency(self):
+        r = RooflineModel(name="r", peak_ops=100e9, bandwidth=10e9)
+        profile = WorkloadProfile(name="k", flops=1e9, bytes_read=1e9)
+        # intensity 1 -> 10 GFLOP/s -> 0.1 s
+        assert r.latency_s(profile) == pytest.approx(0.1)
+
+    def test_compute_only_profile(self):
+        r = RooflineModel(name="r", peak_ops=100e9, bandwidth=10e9)
+        profile = WorkloadProfile(name="k", flops=100e9)
+        assert r.latency_s(profile) == pytest.approx(1.0)
+
+    def test_from_platform(self, cpu):
+        r = RooflineModel.from_platform(cpu)
+        assert r.peak_ops == cpu.config.peak_flops
+        assert r.bandwidth == cpu.config.offchip_bw
+
+    def test_place_kernels_labels_bounds(self):
+        r = RooflineModel(name="r", peak_ops=100e9, bandwidth=10e9)
+        rows = place_kernels(r, [
+            WorkloadProfile(name="mem", flops=1e6, bytes_read=1e7),
+            WorkloadProfile(name="comp", flops=1e9, bytes_read=1e3),
+        ])
+        bounds = {name: bound for name, _, __, bound in rows}
+        assert bounds["mem"] == "memory"
+        assert bounds["comp"] == "compute"
+
+
+class TestSystolic:
+    def test_full_tile_high_utilization_with_large_k(self):
+        arr = SystolicArrayModel(rows=16, cols=16)
+        assert arr.utilization(16, 16, 4096) > 0.95
+
+    def test_skinny_matrix_wastes_array(self):
+        arr = SystolicArrayModel(rows=128, cols=128)
+        assert arr.utilization(1, 1, 128) < 0.001
+
+    def test_cycles_scale_with_tiles(self):
+        arr = SystolicArrayModel(rows=16, cols=16)
+        one_tile = arr.gemm_cycles(16, 16, 64)
+        four_tiles = arr.gemm_cycles(32, 32, 64)
+        assert four_tiles == 4 * one_tile
+
+    def test_effective_flops_below_peak(self):
+        arr = SystolicArrayModel(rows=32, cols=32)
+        assert arr.effective_flops(32, 32, 1024) <= arr.peak_flops
+
+    def test_invalid_dims(self):
+        arr = SystolicArrayModel()
+        with pytest.raises(ConfigurationError):
+            arr.gemm_cycles(0, 1, 1)
+
+    def test_conv_lowering(self):
+        m, n, k = conv2d_as_gemm(batch=2, in_channels=3,
+                                 out_channels=8, height=10, width=10,
+                                 kernel=3)
+        assert m == 8
+        assert n == 2 * 8 * 8
+        assert k == 27
+
+    def test_conv_kernel_too_big(self):
+        with pytest.raises(ConfigurationError):
+            conv2d_as_gemm(1, 1, 1, height=2, width=2, kernel=5)

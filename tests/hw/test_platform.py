@@ -1,0 +1,141 @@
+"""Unit tests for the analytical platform base model."""
+
+import pytest
+
+from repro.core.profile import DivergenceClass, WorkloadProfile
+from repro.errors import ConfigurationError
+from repro.hw.platform import AnalyticalPlatform, PlatformConfig
+
+
+def _platform(**overrides):
+    defaults = dict(
+        name="test",
+        peak_flops=100e9,
+        scalar_flops=2e9,
+        onchip_bytes=1e6,
+        onchip_bw=500e9,
+        offchip_bw=20e9,
+        launch_overhead_s=0.0,
+        energy_per_flop=10e-12,
+        static_power_w=1.0,
+        lockstep=False,
+    )
+    defaults.update(overrides)
+    return AnalyticalPlatform(PlatformConfig(**defaults))
+
+
+class TestConfigValidation:
+    def test_zero_peak_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(name="bad", peak_flops=0.0)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(name="bad", launch_overhead_s=-1.0)
+
+    def test_int_defaults(self):
+        cfg = PlatformConfig(name="p", peak_flops=1e9,
+                             energy_per_flop=10e-12)
+        assert cfg.int_throughput == 1e9
+        assert cfg.int_energy == pytest.approx(5e-12)
+
+
+class TestComputeBound:
+    def test_fully_parallel_hits_peak(self):
+        p = _platform()
+        profile = WorkloadProfile(name="k", flops=100e9,
+                                  parallel_fraction=1.0,
+                                  divergence=DivergenceClass.NONE)
+        estimate = p.estimate(profile)
+        assert estimate.latency_s == pytest.approx(1.0)
+        assert estimate.bound == "compute"
+
+    def test_serial_fraction_obeys_amdahl(self):
+        p = _platform()
+        profile = WorkloadProfile(name="k", flops=100e9,
+                                  parallel_fraction=0.5,
+                                  divergence=DivergenceClass.NONE)
+        estimate = p.estimate(profile)
+        expected = 50e9 / 2e9 + 50e9 / 100e9
+        assert estimate.latency_s == pytest.approx(expected)
+        assert estimate.bound == "serial"
+
+
+class TestMemoryBound:
+    def test_streaming_is_bandwidth_limited(self):
+        p = _platform()
+        profile = WorkloadProfile(name="k", flops=1e6,
+                                  bytes_read=20e9,
+                                  working_set_bytes=1e9,
+                                  parallel_fraction=1.0)
+        estimate = p.estimate(profile)
+        assert estimate.bound == "memory"
+        assert estimate.latency_s == pytest.approx(1.0, rel=1e-3)
+
+    def test_onchip_fit_uses_fast_path(self):
+        p = _platform()
+        small = WorkloadProfile(name="s", bytes_read=1e6,
+                                working_set_bytes=0.5e6)
+        large = WorkloadProfile(name="l", bytes_read=1e6,
+                                working_set_bytes=100e6)
+        assert (p.estimate(small).latency_s
+                < p.estimate(large).latency_s)
+
+
+class TestDivergence:
+    def test_lockstep_derates_divergent_code(self):
+        lockstep = _platform(lockstep=True)
+        profile = WorkloadProfile(name="k", flops=1e9,
+                                  parallel_fraction=1.0,
+                                  divergence=DivergenceClass.HIGH)
+        regular = WorkloadProfile(name="k2", flops=1e9,
+                                  parallel_fraction=1.0,
+                                  divergence=DivergenceClass.NONE)
+        assert (lockstep.estimate(profile).latency_s
+                > lockstep.estimate(regular).latency_s)
+
+    def test_non_lockstep_ignores_divergence(self):
+        p = _platform(lockstep=False)
+        a = WorkloadProfile(name="a", flops=1e9, parallel_fraction=1.0,
+                            divergence=DivergenceClass.HIGH)
+        b = WorkloadProfile(name="b", flops=1e9, parallel_fraction=1.0,
+                            divergence=DivergenceClass.NONE)
+        assert p.estimate(a).latency_s == p.estimate(b).latency_s
+
+
+class TestEnergy:
+    def test_energy_components_add(self):
+        p = _platform(static_power_w=0.0)
+        profile = WorkloadProfile(name="k", flops=1e9,
+                                  parallel_fraction=1.0,
+                                  divergence=DivergenceClass.NONE)
+        estimate = p.estimate(profile)
+        assert estimate.energy_j == pytest.approx(1e9 * 10e-12)
+
+    def test_static_power_charged_over_latency(self):
+        slow = _platform(peak_flops=1e9, static_power_w=10.0)
+        fast = _platform(peak_flops=100e9, static_power_w=10.0)
+        profile = WorkloadProfile(name="k", flops=1e9,
+                                  parallel_fraction=1.0,
+                                  divergence=DivergenceClass.NONE)
+        assert (slow.estimate(profile).energy_j
+                > fast.estimate(profile).energy_j)
+
+    def test_launch_overhead_added(self):
+        with_overhead = _platform(launch_overhead_s=1e-3)
+        without = _platform()
+        profile = WorkloadProfile(name="k", flops=1e6,
+                                  parallel_fraction=1.0)
+        delta = (with_overhead.estimate(profile).latency_s
+                 - without.estimate(profile).latency_s)
+        assert delta == pytest.approx(1e-3)
+
+
+def test_sustained_rate_is_latency_inverse():
+    p = _platform()
+    profile = WorkloadProfile(name="k", flops=100e9,
+                              parallel_fraction=1.0,
+                              divergence=DivergenceClass.NONE)
+    assert p.sustained_rate_hz(profile) == pytest.approx(
+        1.0 / p.estimate(profile).latency_s
+    )

@@ -1,0 +1,188 @@
+"""Integration tests: full workflows across packages."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.benchmarksuite import SuiteRunner
+from repro.core import (
+    DesignReview,
+    EvaluationPlan,
+    SevenChallengesAdvisor,
+    WorkloadProfile,
+    characterize,
+)
+from repro.core.workload import Workload, linear_pipeline
+from repro.dse import DesignSpace, Parameter, SurrogateSearch, random_search
+from repro.hw import (
+    HeterogeneousSoC,
+    asic_gemm_engine,
+    embedded_cpu,
+    embedded_gpu,
+    uav_compute_tiers,
+)
+from repro.kernels.planning import CircleWorld
+from repro.kernels.slam import make_scenario
+from repro.kernels.vision import VioConfig, run_vio
+from repro.metrics.mission import rank_tiers, summarize_missions
+from repro.system import MissionConfig, PipelineSimulation, run_mission
+from repro.system.io_model import ros_like_middleware
+from repro.system.mission import sweep_compute_tiers
+
+
+class TestVioToPipeline:
+    """Measured kernel profiles drive the system simulator."""
+
+    def test_measured_profiles_price_onto_hardware(self):
+        scenario = make_scenario(n_steps=15, n_landmarks=80,
+                                 arena=20.0, speed=0.3, seed=21)
+        result = run_vio(scenario, VioConfig(seed=21))
+        cpu = embedded_cpu()
+        for name, profile in result.stage_profiles.items():
+            per_frame = profile.scaled(1.0 / scenario.n_steps)
+            estimate = cpu.estimate(per_frame)
+            assert 0 < estimate.latency_s < 1.0, name
+
+    def test_vio_pipeline_simulation(self):
+        scenario = make_scenario(n_steps=15, n_landmarks=80,
+                                 arena=20.0, speed=0.3, seed=22)
+        vio = run_vio(scenario, VioConfig(seed=22))
+        cpu = embedded_cpu()
+        stage_order = ["detect", "track", "estimate", "fuse"]
+        profiles = []
+        services = {}
+        for name in stage_order:
+            per_frame = vio.stage_profiles[name].scaled(
+                1.0 / scenario.n_steps
+            )
+            profiles.append(per_frame)
+            services[per_frame.name] = cpu.estimate(per_frame).latency_s
+        graph = linear_pipeline("vio", profiles, rate_hz=30.0,
+                                output_bytes=1e4)
+        services = {s.name: services[s.profile.name]
+                    for s in graph.stages}
+        sim = PipelineSimulation(graph, services,
+                                 io=ros_like_middleware())
+        result = sim.run(3.0)
+        assert result.samples_completed > 0
+        assert result.mean_latency_s() < 1.0
+
+
+class TestSuiteToAdvisor:
+    def test_characterization_feeds_advisor(self):
+        runner = SuiteRunner()
+        suite = runner.workloads
+        reports = [characterize(w) for w in suite]
+        assert all(r.total_flops > 0 or r.total_int_ops > 0
+                   for r in reports)
+
+        review = DesignReview(
+            name="widget-project",
+            accelerated_categories=("sampling",),  # niche class
+            workload_suite=suite,
+            evaluation=EvaluationPlan(
+                metrics=("tops_per_watt",),
+                evaluated_workloads=("batch-planning",),
+                baseline_platforms=(),
+            ),
+        )
+        advisor = SevenChallengesAdvisor()
+        findings = advisor.audit(review)
+        # The naive widget project trips most of the seven checks.
+        challenges = {f.challenge for f in findings}
+        assert len(challenges) >= 5
+        assert advisor.score(review) < 30.0
+
+
+class TestMissionToDse:
+    """The closed-loop simulator as a DSE oracle (E8 in miniature)."""
+
+    @pytest.fixture(scope="class")
+    def oracle(self):
+        world = CircleWorld.random(dim=2, n_obstacles=25,
+                                   extent=120.0,
+                                   radius_range=(1.0, 3.0), seed=31,
+                                   keep_corners_free=3.0)
+        tiers = uav_compute_tiers()
+        batteries = [30.0, 50.0, 80.0, 120.0]
+        config_base = dict(
+            world=world, start=np.array([1.0, 1.0]),
+            goal=np.array([118.0, 118.0]), laps=12,
+        )
+        cache = {}
+
+        def objective(config):
+            key = (config["tier"], config["battery_wh"])
+            if key in cache:
+                return cache[key]
+            from repro.system.robot import BatteryModel
+            mission_config = MissionConfig(
+                battery=BatteryModel.from_capacity(
+                    config["battery_wh"]
+                ),
+                **config_base,
+            )
+            name, platform, mass, power = tiers[config["tier"]]
+            result = run_mission(mission_config, platform, mass,
+                                 power)
+            value = result.energy_j if result.success else 1e9
+            cache[key] = value
+            return value
+
+        space = DesignSpace([
+            Parameter("tier", tuple(range(len(tiers)))),
+            Parameter("battery_wh", tuple(batteries)),
+        ])
+        return space, objective
+
+    def test_surrogate_search_finds_feasible_design(self, oracle):
+        space, objective = oracle
+        result = SurrogateSearch(space, n_initial=5,
+                                 seed=1).run(objective, budget=12)
+        assert result.best_value < 1e9  # found a successful design
+        assert result.best_config["tier"] not in (0, 4)
+
+    def test_matches_exhaustive_on_small_space(self, oracle):
+        space, objective = oracle
+        from repro.dse import grid_search
+        exhaustive = grid_search(space, objective)
+        guided = SurrogateSearch(space, n_initial=5,
+                                 seed=2).run(objective, budget=14)
+        assert guided.best_value <= 1.5 * exhaustive.best_value
+
+
+class TestMissionMetrics:
+    def test_summary_and_ranking(self):
+        world = CircleWorld.random(dim=2, n_obstacles=25,
+                                   extent=120.0,
+                                   radius_range=(1.0, 3.0), seed=41,
+                                   keep_corners_free=3.0)
+        config = MissionConfig(world=world,
+                               start=np.array([1.0, 1.0]),
+                               goal=np.array([118.0, 118.0]),
+                               laps=20)
+        rows = sweep_compute_tiers(config, uav_compute_tiers())
+        summary = summarize_missions([r for _, r in rows])
+        assert 0.0 < summary.success_rate < 1.0
+        ranking = rank_tiers(rows)
+        # Failed tiers rank behind every successful tier.
+        merits = dict(ranking)
+        for name, result in rows:
+            if not result.success:
+                assert merits[name] == 0.0
+        assert ranking[0][1] > 0.0
+
+
+class TestSocOnSuite:
+    def test_heterogeneous_soc_end_to_end(self):
+        runner = SuiteRunner()
+        host = embedded_cpu()
+        soc = HeterogeneousSoC("asic-soc", embedded_cpu("soc-host"),
+                               [asic_gemm_engine()])
+        gpu = embedded_gpu()
+        rows = runner.run([host, gpu, soc])
+        assert all(math.isfinite(r.latency_s)
+                   for r in rows if r.target != gpu.name or True)
+        scores = dict(runner.ranked_scores(rows, host.name))
+        assert scores["asic-soc"] >= scores[host.name]

@@ -1,0 +1,42 @@
+"""The README's code blocks must actually run (docs are a contract)."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+def _python_blocks():
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_readme_exists_and_has_snippets():
+    assert README.exists()
+    assert len(_python_blocks()) >= 1
+
+
+@pytest.mark.parametrize("index,block",
+                         list(enumerate(_python_blocks())))
+def test_readme_snippet_executes(index, block, capsys):
+    exec(compile(block, f"README-snippet-{index}", "exec"), {})
+    # The quickstart snippet prints platform estimates.
+    out = capsys.readouterr().out
+    assert out  # every snippet should show something
+
+
+def test_readme_mentions_every_benchmark():
+    text = README.read_text()
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    named = {p.name for p in bench_dir.glob("bench_e*.py")}
+    for name in named:
+        assert name in text, f"README does not mention {name}"
+
+
+def test_readme_mentions_every_example():
+    text = README.read_text()
+    examples_dir = Path(__file__).resolve().parents[2] / "examples"
+    for path in examples_dir.glob("*.py"):
+        assert f"examples/{path.name}" in text, path.name

@@ -1,0 +1,174 @@
+"""Unit tests for PID, LQR, and MPC controllers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.control import (
+    LinearMpc,
+    MpcConfig,
+    PidController,
+    dlqr,
+    double_integrator,
+    lqr_profile,
+)
+from repro.kernels.control.mpc import mpc_profile
+
+
+class TestPid:
+    def test_proportional_only(self):
+        pid = PidController(kp=2.0)
+        assert pid.update(3.0, dt=0.1) == pytest.approx(6.0)
+
+    def test_integral_accumulates(self):
+        pid = PidController(kp=0.0, ki=1.0)
+        pid.update(1.0, dt=0.5)
+        assert pid.update(1.0, dt=0.5) == pytest.approx(1.0)
+
+    def test_derivative_needs_two_samples(self):
+        pid = PidController(kp=0.0, kd=1.0)
+        assert pid.update(1.0, dt=0.1) == 0.0
+        assert pid.update(2.0, dt=0.1) == pytest.approx(10.0)
+
+    def test_output_saturation(self):
+        pid = PidController(kp=100.0, output_limit=5.0)
+        assert pid.update(10.0, dt=0.1) == 5.0
+        assert pid.update(-10.0, dt=0.1) == -5.0
+
+    def test_anti_windup(self):
+        pid = PidController(kp=0.0, ki=1.0, output_limit=0.1)
+        for _ in range(100):
+            pid.update(10.0, dt=0.1)
+        pid_free = PidController(kp=0.0, ki=1.0)
+        for _ in range(100):
+            pid_free.update(10.0, dt=0.1)
+        # Saturated controller's integral must not have run away.
+        assert abs(pid._integral) < abs(pid_free._integral)
+
+    def test_reset(self):
+        pid = PidController(kp=0.0, ki=1.0)
+        pid.update(5.0, dt=1.0)
+        pid.reset()
+        assert pid.update(0.0, dt=1.0) == 0.0
+
+    def test_invalid_dt(self):
+        with pytest.raises(ConfigurationError):
+            PidController().update(1.0, dt=0.0)
+
+    def test_closed_loop_regulates_double_integrator(self):
+        a, b = double_integrator(dt=0.05)
+        pid = PidController(kp=4.0, kd=4.0, output_limit=10.0)
+        x = np.array([1.0, 0.0])
+        for _ in range(400):
+            u = pid.update(-x[0], dt=0.05)
+            x = a @ x + b.ravel() * u
+        assert abs(x[0]) < 0.05
+
+
+class TestLqr:
+    def test_stabilizes_double_integrator(self):
+        a, b = double_integrator()
+        k, p = dlqr(a, b, np.eye(2), np.array([[1.0]]))
+        x = np.array([1.0, 0.0])
+        for _ in range(300):
+            x = a @ x + b @ (-k @ x)
+        assert np.linalg.norm(x) < 1e-3
+
+    def test_value_matrix_positive_definite(self):
+        a, b = double_integrator()
+        _, p = dlqr(a, b, np.eye(2), np.array([[1.0]]))
+        assert np.linalg.eigvalsh(p).min() > 0
+
+    def test_riccati_fixed_point(self):
+        a, b = double_integrator()
+        k, p = dlqr(a, b, np.eye(2), np.array([[1.0]]))
+        closed = a - b @ k
+        # P must satisfy the DARE at the fixed point.
+        residual = (a.T @ p @ closed + np.eye(2) - p)
+        assert np.allclose(residual, 0.0, atol=1e-6)
+
+    def test_higher_control_cost_gives_smaller_gain(self):
+        a, b = double_integrator()
+        k_cheap, _ = dlqr(a, b, np.eye(2), np.array([[0.1]]))
+        k_dear, _ = dlqr(a, b, np.eye(2), np.array([[10.0]]))
+        assert np.linalg.norm(k_dear) < np.linalg.norm(k_cheap)
+
+    def test_shape_validation(self):
+        a, b = double_integrator()
+        with pytest.raises(ConfigurationError):
+            dlqr(a, b, np.eye(3), np.array([[1.0]]))
+
+    def test_unstabilizable_raises(self):
+        # B = 0: no control authority on an unstable plant.
+        a = np.array([[2.0]])
+        b = np.array([[0.0]])
+        with pytest.raises(ConfigurationError):
+            dlqr(a, b, np.eye(1), np.eye(1), iterations=50)
+
+    def test_profile(self):
+        p = lqr_profile(12, 4)
+        assert p.op_class == "gemm"
+        assert p.flops > 0
+
+
+class TestMpc:
+    def _mpc(self, **overrides):
+        a, b = double_integrator()
+        defaults = dict(a=a, b=b, q=np.eye(2), r=np.array([[0.1]]),
+                        horizon=15, u_min=-1.0, u_max=1.0,
+                        solver_iterations=200)
+        defaults.update(overrides)
+        return LinearMpc(MpcConfig(**defaults))
+
+    def test_regulates_to_origin(self):
+        a, b = double_integrator()
+        mpc = self._mpc()
+        x = np.array([1.0, 0.0])
+        for _ in range(300):
+            x = a @ x + b @ mpc.control(x)
+        assert np.linalg.norm(x) < 0.02
+
+    def test_respects_input_constraints(self):
+        mpc = self._mpc()
+        sequence = mpc.solve(np.array([10.0, 0.0]))
+        assert np.all(sequence >= -1.0 - 1e-9)
+        assert np.all(sequence <= 1.0 + 1e-9)
+
+    def test_tracks_reference(self):
+        a, b = double_integrator()
+        mpc = self._mpc(q=np.diag([10.0, 1.0]))
+        x = np.array([0.0, 0.0])
+        reference = np.array([2.0, 0.0])
+        for _ in range(400):
+            x = a @ x + b @ mpc.control(x, x_ref=reference)
+        assert abs(x[0] - 2.0) < 0.1
+
+    def test_unconstrained_matches_lqr_direction(self):
+        a, b = double_integrator()
+        # A finite horizon with no terminal cost converges to the
+        # infinite-horizon LQR law as the horizon grows.
+        mpc = self._mpc(u_min=-np.inf, u_max=np.inf, horizon=100,
+                        solver_iterations=2000, r=np.array([[1.0]]))
+        k, _ = dlqr(a, b, np.eye(2), np.array([[1.0]]))
+        x = np.array([1.0, 0.5])
+        u_mpc = float(mpc.control(x)[0])
+        u_lqr = float((-k @ x)[0])
+        assert u_mpc == pytest.approx(u_lqr, rel=0.05)
+
+    def test_bad_config(self):
+        a, b = double_integrator()
+        with pytest.raises(ConfigurationError):
+            MpcConfig(a=a, b=b, q=np.eye(2), r=np.eye(1), horizon=0)
+        with pytest.raises(ConfigurationError):
+            MpcConfig(a=a, b=b, q=np.eye(2), r=np.eye(1),
+                      u_min=1.0, u_max=-1.0)
+
+    def test_wrong_state_shape(self):
+        mpc = self._mpc()
+        with pytest.raises(ConfigurationError):
+            mpc.solve(np.zeros(3))
+
+    def test_profile_scales_with_horizon(self):
+        short = mpc_profile(2, 1, horizon=5)
+        long = mpc_profile(2, 1, horizon=20)
+        assert long.flops > short.flops

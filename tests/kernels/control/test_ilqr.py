@@ -1,0 +1,110 @@
+"""Unit tests for the iLQR trajectory optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.control import dlqr, double_integrator
+from repro.kernels.control.ilqr import (
+    IlqrProblem,
+    IlqrSolver,
+    finite_difference_jacobians,
+    unicycle_dynamics,
+)
+
+
+def _unicycle_problem(goal=(2.0, 1.0, 0.0), horizon=40):
+    return IlqrProblem(
+        dynamics=unicycle_dynamics(0.1),
+        state_dim=3, control_dim=2,
+        q=np.diag([1.0, 1.0, 0.1]),
+        r=np.diag([0.1, 0.05]),
+        q_terminal=np.diag([100.0, 100.0, 10.0]),
+        x_goal=np.array(goal),
+        horizon=horizon,
+    )
+
+
+class TestJacobians:
+    def test_linear_system_exact(self):
+        a, b = double_integrator(0.05)
+
+        def dyn(x, u):
+            return a @ x + b @ u
+
+        ja, jb = finite_difference_jacobians(dyn, np.array([1.0, 2.0]),
+                                             np.array([0.5]))
+        assert np.allclose(ja, a, atol=1e-6)
+        assert np.allclose(jb, b, atol=1e-6)
+
+    def test_unicycle_heading_coupling(self):
+        dyn = unicycle_dynamics(0.1)
+        x = np.array([0.0, 0.0, np.pi / 2])
+        u = np.array([1.0, 0.0])
+        ja, jb = finite_difference_jacobians(dyn, x, u)
+        # At theta = pi/2, dx/dtheta = -dt * v * sin(theta) = -0.1.
+        assert ja[0, 2] == pytest.approx(-0.1, abs=1e-5)
+        assert jb[1, 0] == pytest.approx(0.1, abs=1e-5)  # dy/dv
+
+
+class TestIlqr:
+    def test_unicycle_parks_at_goal(self):
+        problem = _unicycle_problem()
+        result = IlqrSolver(problem, max_iterations=60).solve(
+            np.zeros(3)
+        )
+        assert np.linalg.norm(result.states[-1][:2]
+                              - problem.x_goal[:2]) < 0.05
+        assert result.converged
+
+    def test_cost_monotone_decreasing(self):
+        result = IlqrSolver(_unicycle_problem(),
+                            max_iterations=60).solve(np.zeros(3))
+        trace = result.cost_trace
+        assert all(b <= a + 1e-9 for a, b in zip(trace, trace[1:]))
+        assert trace[-1] < 0.1 * trace[0]
+
+    def test_linear_problem_matches_lqr_behavior(self):
+        a, b = double_integrator(0.05)
+
+        def dyn(x, u):
+            return a @ x + b @ u
+
+        problem = IlqrProblem(
+            dynamics=dyn, state_dim=2, control_dim=1,
+            q=np.eye(2), r=np.array([[1.0]]),
+            q_terminal=10.0 * np.eye(2),
+            x_goal=np.zeros(2), horizon=80,
+        )
+        result = IlqrSolver(problem).solve(np.array([1.0, 0.0]))
+        # Regulates to near the origin, like the LQR it reduces to.
+        assert np.linalg.norm(result.states[-1]) < 0.1
+        # On a linear-quadratic problem iLQR is Newton: few iterations.
+        assert len(result.cost_trace) <= 6
+
+    def test_reverse_parking_uses_negative_velocity(self):
+        problem = _unicycle_problem(goal=(-1.0, 0.0, 0.0))
+        result = IlqrSolver(problem, max_iterations=60).solve(
+            np.zeros(3)
+        )
+        assert result.states[-1][0] == pytest.approx(-1.0, abs=0.1)
+
+    def test_bad_x0_shape(self):
+        solver = IlqrSolver(_unicycle_problem())
+        with pytest.raises(ConfigurationError):
+            solver.solve(np.zeros(2))
+
+    def test_profile_is_linalg(self):
+        solver = IlqrSolver(_unicycle_problem(horizon=10),
+                            max_iterations=5)
+        solver.solve(np.zeros(3))
+        profile = solver.profile()
+        assert profile.op_class == "linalg"
+        assert profile.flops > 0
+
+    def test_problem_validation(self):
+        with pytest.raises(ConfigurationError):
+            IlqrProblem(dynamics=unicycle_dynamics(), state_dim=3,
+                        control_dim=2, q=np.eye(2), r=np.eye(2),
+                        q_terminal=np.eye(3),
+                        x_goal=np.zeros(3), horizon=10)

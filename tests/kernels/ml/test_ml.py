@@ -1,0 +1,212 @@
+"""Unit tests for ML kernels: tensors, network, training, quantization."""
+
+import numpy as np
+import pytest
+
+from repro.core.profile import OpCounter
+from repro.errors import ConfigurationError
+from repro.kernels.ml import (
+    Mlp,
+    MlpConfig,
+    SgdTrainer,
+    conv2d,
+    make_blobs,
+    make_moons,
+    max_pool2d,
+    quantization_error,
+    quantize,
+    relu,
+    softmax,
+)
+from repro.kernels.ml.data import train_test_split
+from repro.kernels.ml.quantize import throughput_multiplier
+from repro.kernels.ml.tensor import cross_entropy, im2col
+
+
+class TestTensorOps:
+    def test_conv2d_matches_direct(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        w = rng.normal(size=(4, 3, 3, 3))
+        out = conv2d(x, w)
+        # Direct convolution at one output location.
+        patch = x[1, :, 2:5, 3:6]
+        expected = float((patch * w[2]).sum())
+        assert out[1, 2, 2, 3] == pytest.approx(expected)
+
+    def test_conv2d_bias(self, rng):
+        x = rng.normal(size=(1, 1, 5, 5))
+        w = np.zeros((2, 1, 3, 3))
+        out = conv2d(x, w, bias=np.array([1.5, -0.5]))
+        assert np.allclose(out[0, 0], 1.5)
+        assert np.allclose(out[0, 1], -0.5)
+
+    def test_conv2d_counts_gemm(self, rng):
+        x = rng.normal(size=(1, 3, 8, 8))
+        w = rng.normal(size=(4, 3, 3, 3))
+        counter = OpCounter(name="c")
+        conv2d(x, w, counter=counter)
+        assert counter.flops == 2 * 4 * (1 * 6 * 6) * 27
+
+    def test_conv2d_channel_mismatch(self, rng):
+        with pytest.raises(ConfigurationError):
+            conv2d(rng.normal(size=(1, 2, 5, 5)),
+                   rng.normal(size=(4, 3, 3, 3)))
+
+    def test_im2col_shape(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols = im2col(x, kernel=3)
+        assert cols.shape == (27, 2 * 4 * 4)
+
+    def test_max_pool(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pooled = max_pool2d(x, size=2)
+        assert pooled.shape == (1, 1, 2, 2)
+        assert pooled[0, 0, 0, 0] == 5.0
+        assert pooled[0, 0, 1, 1] == 15.0
+
+    def test_max_pool_indivisible(self):
+        with pytest.raises(ConfigurationError):
+            max_pool2d(np.zeros((1, 1, 5, 5)), size=2)
+
+    def test_relu(self):
+        assert np.allclose(relu(np.array([-1.0, 0.0, 2.0])),
+                           [0.0, 0.0, 2.0])
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(5, 4)) * 100)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_cross_entropy_perfect_prediction(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert cross_entropy(probs, np.array([0, 1])) \
+            == pytest.approx(0.0, abs=1e-9)
+
+
+class TestQuantize:
+    def test_round_trip_at_high_bits_is_tight(self, rng):
+        x = rng.normal(size=100)
+        assert quantization_error(x, 16) < 1e-3
+
+    def test_error_grows_as_bits_shrink(self, rng):
+        x = rng.normal(size=1000)
+        errors = [quantization_error(x, b) for b in (8, 4, 2)]
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_zero_array(self):
+        assert quantization_error(np.zeros(10), 4) == 0.0
+
+    def test_idempotent(self, rng):
+        x = rng.normal(size=50)
+        q = quantize(x, 5)
+        assert np.allclose(quantize(q, 5), q)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ConfigurationError):
+            quantize(np.ones(3), 1)
+
+    def test_throughput_multiplier(self):
+        assert throughput_multiplier(8) == pytest.approx(4.0)
+        with pytest.raises(ConfigurationError):
+            throughput_multiplier(64)
+
+
+class TestData:
+    def test_blobs_shapes(self):
+        x, y = make_blobs(n_samples=120, n_classes=4)
+        assert x.shape == (120, 2)
+        assert set(np.unique(y)) <= set(range(4))
+
+    def test_moons_binary(self):
+        x, y = make_moons(n_samples=100)
+        assert sorted(np.unique(y)) == [0, 1]
+
+    def test_split_partitions(self):
+        x, y = make_blobs(n_samples=100)
+        xtr, ytr, xte, yte = train_test_split(x, y,
+                                              test_fraction=0.25)
+        assert xtr.shape[0] + xte.shape[0] == 100
+        assert xte.shape[0] == 25
+
+
+class TestMlp:
+    def test_gradient_check(self, rng):
+        """Backprop matches finite differences."""
+        model = Mlp(MlpConfig(layer_sizes=[3, 5, 2], seed=0))
+        x = rng.normal(size=(4, 3))
+        y = np.array([0, 1, 0, 1])
+        grads_w, _, _ = model.gradients(x, y)
+        eps = 1e-6
+        w = model.weights[0]
+        for index in [(0, 0), (1, 2), (2, 4)]:
+            original = w[index]
+            w[index] = original + eps
+            loss_plus = model.loss(x, y)
+            w[index] = original - eps
+            loss_minus = model.loss(x, y)
+            w[index] = original
+            numeric = (loss_plus - loss_minus) / (2 * eps)
+            assert grads_w[0][index] == pytest.approx(numeric,
+                                                      abs=1e-4)
+
+    def test_training_improves_accuracy(self):
+        x, y = make_blobs(n_samples=300, n_classes=3, seed=1)
+        xtr, ytr, xte, yte = train_test_split(x, y, seed=1)
+        model = Mlp(MlpConfig(layer_sizes=[2, 32, 3], seed=1))
+        before = model.accuracy(xte, yte)
+        result = SgdTrainer(model, seed=1).fit(xtr, ytr, xte, yte,
+                                               epochs=15)
+        assert result.final_accuracy() > max(before, 0.8)
+
+    def test_loss_decreases(self):
+        x, y = make_moons(n_samples=200, seed=2)
+        xtr, ytr, xte, yte = train_test_split(x, y, seed=2)
+        model = Mlp(MlpConfig(layer_sizes=[2, 16, 2], seed=2))
+        result = SgdTrainer(model, seed=2).fit(xtr, ytr, xte, yte,
+                                               epochs=10)
+        assert result.epoch_losses[-1] < result.epoch_losses[0]
+
+    def test_quantized_training_learns_slower(self):
+        """The E2 mechanism: aggressive gradient quantization hurts
+        per-step progress."""
+        x, y = make_blobs(n_samples=300, n_classes=3, seed=3)
+        xtr, ytr, xte, yte = train_test_split(x, y, seed=3)
+        full = Mlp(MlpConfig(layer_sizes=[2, 32, 3], seed=3))
+        quant = Mlp(MlpConfig(layer_sizes=[2, 32, 3], seed=3,
+                              gradient_bits=2, activation_bits=2))
+        r_full = SgdTrainer(full, seed=3).fit(xtr, ytr, xte, yte,
+                                              epochs=12)
+        r_quant = SgdTrainer(quant, seed=3).fit(xtr, ytr, xte, yte,
+                                                epochs=12)
+        assert r_full.final_accuracy() > r_quant.final_accuracy()
+
+    def test_parameter_count(self):
+        model = Mlp(MlpConfig(layer_sizes=[2, 10, 3]))
+        assert model.n_parameters == 2 * 10 + 10 + 10 * 3 + 3
+
+    def test_profile_is_gemm(self):
+        model = Mlp(MlpConfig(layer_sizes=[2, 8, 2]))
+        model.forward(np.zeros((4, 2)))
+        assert model.profile().op_class == "gemm"
+
+
+class TestTrainingResult:
+    def test_time_to_accuracy(self):
+        x, y = make_blobs(n_samples=200, n_classes=2, seed=4)
+        xtr, ytr, xte, yte = train_test_split(x, y, seed=4)
+        model = Mlp(MlpConfig(layer_sizes=[2, 16, 2], seed=4))
+        result = SgdTrainer(model, step_latency_s=1e-3,
+                            seed=4).fit(xtr, ytr, xte, yte, epochs=10)
+        tta = result.time_to_accuracy(0.5)
+        assert tta < result.modeled_time_s
+        assert result.time_to_accuracy(1.01) == float("inf")
+
+    def test_throughput(self):
+        from repro.kernels.ml.training import TrainingResult
+        r = TrainingResult(step_latency_s=0.01)
+        assert r.throughput_steps_per_s() == pytest.approx(100.0)
+
+    def test_invalid_trainer_args(self):
+        model = Mlp(MlpConfig())
+        with pytest.raises(ConfigurationError):
+            SgdTrainer(model, learning_rate=0.0)

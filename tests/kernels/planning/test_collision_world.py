@@ -1,0 +1,165 @@
+"""Unit tests for worlds, grids, and the two collision checkers."""
+
+import numpy as np
+import pytest
+
+from repro.core.profile import DivergenceClass
+from repro.errors import ConfigurationError
+from repro.kernels.planning import (
+    BatchCollisionChecker,
+    CircleWorld,
+    OccupancyGrid,
+    ScalarCollisionChecker,
+    collision_profile,
+)
+
+
+class TestCircleWorld:
+    def test_clearance(self):
+        world = CircleWorld([0, 0], [10, 10],
+                            centers=[[5.0, 5.0]], radii=[1.0])
+        assert world.clearance(np.array([5.0, 7.0])) \
+            == pytest.approx(1.0)
+        assert world.clearance(np.array([5.0, 5.0])) \
+            == pytest.approx(-1.0)
+
+    def test_no_obstacles_infinite_clearance(self):
+        world = CircleWorld([0, 0], [1, 1])
+        assert world.clearance(np.array([0.5, 0.5])) == float("inf")
+
+    def test_contains(self):
+        world = CircleWorld([0, 0], [10, 10])
+        assert world.contains(np.array([5.0, 5.0]))[0]
+        assert not world.contains(np.array([-1.0, 5.0]))[0]
+
+    def test_random_reproducible(self):
+        a = CircleWorld.random(seed=5)
+        b = CircleWorld.random(seed=5)
+        assert np.allclose(a.centers, b.centers)
+
+    def test_corners_kept_free(self):
+        world = CircleWorld.random(n_obstacles=100, seed=6,
+                                   keep_corners_free=1.0)
+        assert world.clearance(world.lower) > 1.0
+        assert world.clearance(world.upper) > 1.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            CircleWorld([0, 0], [0, 0])
+
+    def test_sample_free(self, small_world, rng):
+        point = small_world.sample_free(rng)
+        assert small_world.clearance(point) > 0
+
+
+class TestCheckersAgree:
+    """The central E5 precondition: the two implementations are
+    functionally identical."""
+
+    def test_point_agreement(self, small_world, rng):
+        scalar = ScalarCollisionChecker(small_world)
+        batch = BatchCollisionChecker(small_world)
+        points = rng.uniform(0, 10, size=(200, 2))
+        scalar_results = [scalar.point_free(p) for p in points]
+        batch_results = batch.points_free(points)
+        assert list(batch_results) == scalar_results
+
+    def test_segment_agreement(self, small_world, rng):
+        scalar = ScalarCollisionChecker(small_world)
+        batch = BatchCollisionChecker(small_world)
+        for _ in range(30):
+            a = rng.uniform(0, 10, size=2)
+            b = rng.uniform(0, 10, size=2)
+            assert (scalar.segment_free(a, b)
+                    == batch.segment_free(a, b))
+
+    def test_batch_segments_match_loop(self, small_world, rng):
+        batch = BatchCollisionChecker(small_world)
+        starts = rng.uniform(0, 10, size=(20, 2))
+        ends = rng.uniform(0, 10, size=(20, 2))
+        vectorized = batch.segments_free(starts, ends)
+        looped = [batch.segment_free(s, e)
+                  for s, e in zip(starts, ends)]
+        assert list(vectorized) == looped
+
+
+class TestCheckerProfiles:
+    def test_scalar_profile_divergent(self, small_world):
+        checker = ScalarCollisionChecker(small_world)
+        checker.point_free(np.array([5.0, 5.0]))
+        profile = checker.profile()
+        assert profile.divergence == DivergenceClass.HIGH
+        assert profile.parallel_fraction < 0.5
+
+    def test_batch_profile_dense(self, small_world):
+        checker = BatchCollisionChecker(small_world)
+        checker.points_free(np.random.default_rng(0)
+                            .uniform(0, 10, size=(50, 2)))
+        profile = checker.profile()
+        assert profile.divergence == DivergenceClass.NONE
+        assert profile.parallel_fraction > 0.99
+
+    def test_batch_does_more_raw_work(self, small_world, rng):
+        """No early exit: the vectorized kernel counts more flops —
+        and still wins on hardware.  That asymmetry is the experiment."""
+        points = rng.uniform(0, 10, size=(100, 2))
+        scalar = ScalarCollisionChecker(small_world)
+        batch = BatchCollisionChecker(small_world)
+        for p in points:
+            scalar.point_free(p)
+        batch.points_free(points)
+        assert batch.counter.flops >= scalar.counter.flops
+
+    def test_closed_form_profile(self):
+        vec = collision_profile(1000, 50, vectorized=True)
+        ser = collision_profile(1000, 50, vectorized=False)
+        assert vec.flops > ser.flops
+        assert vec.divergence == DivergenceClass.NONE
+        assert ser.divergence == DivergenceClass.HIGH
+
+    def test_closed_form_invalid(self):
+        with pytest.raises(ConfigurationError):
+            collision_profile(-1, 10)
+
+
+class TestOccupancyGrid:
+    def test_world_cell_round_trip(self):
+        grid = OccupancyGrid(100, 50, resolution=0.1)
+        row, col = grid.world_to_cell([5.05, 2.55])
+        assert (row, col) == (25, 50)
+        world = grid.cell_to_world(25, 50)
+        assert np.allclose(world, [5.05, 2.55])
+
+    def test_out_of_bounds(self):
+        grid = OccupancyGrid(10, 10, resolution=1.0)
+        with pytest.raises(ConfigurationError):
+            grid.world_to_cell([100.0, 0.0])
+
+    def test_add_circle_occupies(self):
+        grid = OccupancyGrid(100, 100, resolution=0.1)
+        grid.add_circle([5.0, 5.0], 1.0)
+        assert not grid.is_free(*grid.world_to_cell([5.0, 5.0]))
+        assert grid.is_free(*grid.world_to_cell([9.0, 9.0]))
+        assert 0.0 < grid.occupancy_fraction() < 0.1
+
+    def test_inflate_grows_obstacles(self):
+        grid = OccupancyGrid(100, 100, resolution=0.1)
+        grid.add_circle([5.0, 5.0], 0.5)
+        inflated = grid.inflate(0.5)
+        assert (inflated.occupancy_fraction()
+                > grid.occupancy_fraction())
+        # Original grid untouched: a point 0.9 m out is free before
+        # inflation and occupied after (0.5 m radius + 0.5 m inflation).
+        assert grid.is_free(*grid.world_to_cell([5.0, 5.9]))
+        assert not inflated.is_free(*grid.world_to_cell([5.0, 5.9]))
+
+    def test_from_world_matches_clearance(self, small_world):
+        grid = OccupancyGrid.from_world(small_world, resolution=0.1)
+        free_point = small_world.lower + 0.1
+        row, col = grid.world_to_cell(free_point)
+        assert grid.is_free(row, col)
+
+    def test_is_free_out_of_bounds_false(self):
+        grid = OccupancyGrid(10, 10)
+        assert not grid.is_free(-1, 0)
+        assert not grid.is_free(0, 100)

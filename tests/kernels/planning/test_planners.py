@@ -1,0 +1,201 @@
+"""Unit tests for A*, RRT, RRT-Connect, PRM, and shortcutting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanningError
+from repro.kernels.planning import (
+    BatchCollisionChecker,
+    CircleWorld,
+    GridPlanner,
+    OccupancyGrid,
+    PrmPlanner,
+    RrtConnectPlanner,
+    RrtPlanner,
+    ScalarCollisionChecker,
+    astar,
+    path_length,
+    shortcut_path,
+)
+from repro.kernels.planning.postprocess import path_length_ratio
+
+
+@pytest.fixture
+def start():
+    return np.array([0.3, 0.3])
+
+
+@pytest.fixture
+def goal():
+    return np.array([9.7, 9.7])
+
+
+class TestAstar:
+    def test_empty_grid_is_near_straight(self):
+        grid = OccupancyGrid(50, 50, resolution=0.2)
+        result = astar(grid, (0, 0), (49, 49))
+        assert result.found
+        # Octile-optimal diagonal path.
+        assert result.cost == pytest.approx(49 * np.sqrt(2.0))
+
+    def test_wall_forces_detour(self):
+        grid = OccupancyGrid(20, 20, resolution=1.0)
+        grid.cells[5, :15] = 1  # wall with a gap on the right
+        blocked = astar(grid, (0, 0), (19, 0))
+        empty_grid = OccupancyGrid(20, 20, resolution=1.0)
+        free = astar(empty_grid, (0, 0), (19, 0))
+        assert blocked.found
+        assert blocked.cost > free.cost
+
+    def test_unreachable(self):
+        grid = OccupancyGrid(10, 10, resolution=1.0)
+        grid.cells[5, :] = 1  # full wall
+        result = astar(grid, (0, 0), (9, 0))
+        assert not result.found
+        assert result.cost == float("inf")
+
+    def test_occupied_start_raises(self):
+        grid = OccupancyGrid(10, 10, resolution=1.0)
+        grid.cells[0, 0] = 1
+        with pytest.raises(PlanningError):
+            astar(grid, (0, 0), (5, 5))
+
+    def test_no_corner_cutting(self):
+        grid = OccupancyGrid(3, 3, resolution=1.0)
+        grid.cells[0, 1] = 1
+        grid.cells[1, 0] = 1
+        result = astar(grid, (0, 0), (2, 2))
+        # The diagonal through (1,1) requires cutting a blocked corner;
+        # with both orthogonal neighbors blocked, no path exists.
+        assert not result.found
+
+    def test_grid_planner_world_coordinates(self, small_world,
+                                            start, goal):
+        grid = OccupancyGrid.from_world(small_world, resolution=0.1)
+        planner = GridPlanner(grid, robot_radius=0.05)
+        result = planner.plan(start, goal)
+        assert result.found
+        world_path = planner.path_to_world(result)
+        assert np.linalg.norm(world_path[0] - start) < 0.2
+        assert np.linalg.norm(world_path[-1] - goal) < 0.2
+
+
+class TestRrt:
+    def test_finds_path(self, small_world, start, goal):
+        checker = BatchCollisionChecker(small_world)
+        result = RrtPlanner(small_world, checker, seed=1,
+                            max_iterations=8000).plan(start, goal)
+        assert result.found
+        assert np.allclose(result.path[0], start)
+        assert np.allclose(result.path[-1], goal)
+
+    def test_path_edges_collision_free(self, small_world, start, goal):
+        checker = BatchCollisionChecker(small_world)
+        result = RrtPlanner(small_world, checker, seed=2,
+                            max_iterations=8000).plan(start, goal)
+        verify = BatchCollisionChecker(small_world)
+        for a, b in zip(result.path, result.path[1:]):
+            assert verify.segment_free(a, b, resolution=0.02)
+
+    def test_colliding_start_raises(self, small_world):
+        checker = BatchCollisionChecker(small_world)
+        inside = small_world.centers[0]
+        with pytest.raises(PlanningError):
+            RrtPlanner(small_world, checker).plan(
+                inside, np.array([9.7, 9.7])
+            )
+
+    def test_budget_exhaustion_returns_not_found(self, small_world,
+                                                 start, goal):
+        checker = BatchCollisionChecker(small_world)
+        result = RrtPlanner(small_world, checker, seed=3,
+                            max_iterations=2).plan(start, goal)
+        assert not result.found
+        assert result.length() == float("inf")
+
+    def test_deterministic_given_seed(self, small_world, start, goal):
+        def run():
+            checker = BatchCollisionChecker(small_world)
+            return RrtPlanner(small_world, checker, seed=9,
+                              max_iterations=5000).plan(start, goal)
+        a, b = run(), run()
+        assert a.iterations == b.iterations
+        assert np.allclose(a.path, b.path)
+
+
+class TestRrtConnect:
+    def test_finds_path_faster_than_rrt(self, small_world, start,
+                                        goal):
+        checker1 = BatchCollisionChecker(small_world)
+        connect = RrtConnectPlanner(small_world, checker1,
+                                    seed=4).plan(start, goal)
+        checker2 = BatchCollisionChecker(small_world)
+        rrt = RrtPlanner(small_world, checker2, seed=4,
+                         max_iterations=8000).plan(start, goal)
+        assert connect.found
+        assert connect.iterations <= rrt.iterations
+
+    def test_works_with_scalar_checker(self, small_world, start,
+                                       goal):
+        checker = ScalarCollisionChecker(small_world)
+        result = RrtConnectPlanner(small_world, checker,
+                                   seed=5).plan(start, goal)
+        assert result.found
+
+    def test_path_endpoints(self, small_world, start, goal):
+        checker = BatchCollisionChecker(small_world)
+        result = RrtConnectPlanner(small_world, checker,
+                                   seed=6).plan(start, goal)
+        assert np.allclose(result.path[0], start, atol=1e-9)
+        assert np.allclose(result.path[-1], goal, atol=1e-9)
+
+
+class TestPrm:
+    def test_multi_query(self, small_world, start, goal):
+        checker = BatchCollisionChecker(small_world)
+        prm = PrmPlanner(small_world, checker, n_samples=250, seed=7)
+        prm.build()
+        first = prm.query(start, goal)
+        second = prm.query(goal, start)
+        assert first.found and second.found
+        assert first.cost == pytest.approx(second.cost, rel=0.3)
+
+    def test_roadmap_nodes_free(self, small_world):
+        checker = BatchCollisionChecker(small_world)
+        prm = PrmPlanner(small_world, checker, n_samples=100, seed=8)
+        prm.build()
+        assert prm.nodes is not None
+        assert all(checker.points_free(prm.nodes))
+
+
+class TestShortcut:
+    def test_never_longer(self, small_world, start, goal):
+        checker = BatchCollisionChecker(small_world)
+        result = RrtPlanner(small_world, checker, seed=10,
+                            max_iterations=8000).plan(start, goal)
+        smoothed = shortcut_path(result.path, checker, attempts=200,
+                                 seed=0)
+        assert path_length(smoothed) <= path_length(result.path) + 1e-9
+
+    def test_endpoints_preserved(self, small_world, start, goal):
+        checker = BatchCollisionChecker(small_world)
+        result = RrtConnectPlanner(small_world, checker,
+                                   seed=11).plan(start, goal)
+        smoothed = shortcut_path(result.path, checker, seed=0)
+        assert np.allclose(smoothed[0], result.path[0])
+        assert np.allclose(smoothed[-1], result.path[-1])
+
+    def test_straight_line_in_empty_world(self):
+        world = CircleWorld([0, 0], [10, 10])
+        checker = BatchCollisionChecker(world)
+        zigzag = np.array([[0.0, 0.0], [5.0, 9.0], [9.0, 1.0],
+                           [10.0, 10.0]])
+        smoothed = shortcut_path(zigzag, checker, attempts=100,
+                                 seed=1)
+        assert path_length_ratio(smoothed) == pytest.approx(1.0,
+                                                            abs=0.01)
+
+    def test_path_length_helpers(self):
+        path = np.array([[0.0, 0.0], [3.0, 4.0]])
+        assert path_length(path) == pytest.approx(5.0)
+        assert path_length(np.zeros((1, 2))) == 0.0

@@ -1,0 +1,106 @@
+"""Unit tests for RRT* (asymptotic optimality, tree invariants)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanningError
+from repro.kernels.planning import (
+    BatchCollisionChecker,
+    CircleWorld,
+    RrtPlanner,
+    RrtStarPlanner,
+    ScalarCollisionChecker,
+)
+
+
+@pytest.fixture
+def endpoints():
+    return np.array([0.3, 0.3]), np.array([9.7, 9.7])
+
+
+class TestRrtStar:
+    def test_finds_path(self, small_world, endpoints):
+        start, goal = endpoints
+        checker = BatchCollisionChecker(small_world)
+        result = RrtStarPlanner(small_world, checker, seed=1,
+                                max_iterations=800).plan(start, goal)
+        assert result.found
+        assert np.allclose(result.path[0], start)
+        assert np.allclose(result.path[-1], goal)
+
+    def test_path_collision_free(self, small_world, endpoints):
+        start, goal = endpoints
+        checker = BatchCollisionChecker(small_world)
+        result = RrtStarPlanner(small_world, checker, seed=2,
+                                max_iterations=800).plan(start, goal)
+        verify = BatchCollisionChecker(small_world)
+        for a, b in zip(result.path, result.path[1:]):
+            assert verify.segment_free(a, b, resolution=0.02)
+
+    def test_shorter_than_rrt(self, small_world, endpoints):
+        """The algorithm's contract: rewiring buys path quality."""
+        start, goal = endpoints
+        star = RrtStarPlanner(
+            small_world, BatchCollisionChecker(small_world),
+            seed=4, max_iterations=1500,
+        ).plan(start, goal)
+        plain = RrtPlanner(
+            small_world, BatchCollisionChecker(small_world),
+            seed=4, max_iterations=3000,
+        ).plan(start, goal)
+        assert star.found and plain.found
+        assert star.length() < plain.length()
+
+    def test_near_straight_line_in_easy_world(self, small_world,
+                                              endpoints):
+        start, goal = endpoints
+        result = RrtStarPlanner(
+            small_world, BatchCollisionChecker(small_world),
+            seed=4, max_iterations=2500,
+        ).plan(start, goal)
+        straight = float(np.linalg.norm(goal - start))
+        assert result.length() < 1.1 * straight
+
+    def test_more_iterations_never_longer(self, small_world,
+                                          endpoints):
+        start, goal = endpoints
+        lengths = []
+        for iterations in (400, 2000):
+            result = RrtStarPlanner(
+                small_world, BatchCollisionChecker(small_world),
+                seed=7, max_iterations=iterations,
+            ).plan(start, goal)
+            assert result.found
+            lengths.append(result.length())
+        assert lengths[1] <= lengths[0] + 1e-9
+
+    def test_works_with_scalar_checker(self, small_world, endpoints):
+        start, goal = endpoints
+        checker = ScalarCollisionChecker(small_world)
+        result = RrtStarPlanner(small_world, checker, seed=5,
+                                max_iterations=400).plan(start, goal)
+        assert result.found
+
+    def test_colliding_start_raises(self, small_world):
+        checker = BatchCollisionChecker(small_world)
+        planner = RrtStarPlanner(small_world, checker)
+        with pytest.raises(PlanningError):
+            planner.plan(small_world.centers[0],
+                         np.array([9.7, 9.7]))
+
+    def test_invalid_rewire_factor(self, small_world):
+        checker = BatchCollisionChecker(small_world)
+        with pytest.raises(PlanningError):
+            RrtStarPlanner(small_world, checker, rewire_factor=0.0)
+
+    def test_budget_exhaustion_not_found(self, endpoints):
+        # A wall world with a tiny budget.
+        world = CircleWorld(
+            [0, 0], [10, 10],
+            centers=[[5.0, y] for y in np.linspace(0.5, 9.5, 12)],
+            radii=[0.7] * 12,
+        )
+        checker = BatchCollisionChecker(world)
+        result = RrtStarPlanner(world, checker, seed=6,
+                                max_iterations=5).plan(*endpoints)
+        assert not result.found

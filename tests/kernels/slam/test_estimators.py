@@ -1,0 +1,138 @@
+"""Unit tests for the three SLAM estimators (EKF, FastSLAM, graph)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.slam import (
+    EkfSlam,
+    FastSlam,
+    GraphSlam,
+    ate_rmse,
+    build_pose_graph,
+    dead_reckoning,
+    make_scenario,
+)
+from repro.kernels.slam.graph_slam import PoseGraph
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_scenario(n_steps=80, n_landmarks=15, seed=1)
+
+
+class TestEkfSlam:
+    def test_beats_dead_reckoning(self, scenario):
+        ekf = EkfSlam(scenario.true_poses[0],
+                      motion_noise=scenario.motion_noise,
+                      measurement_noise=scenario.measurement_noise)
+        traj = ekf.run(scenario)
+        dr_err = ate_rmse(dead_reckoning(scenario),
+                          scenario.true_poses)
+        assert ate_rmse(traj, scenario.true_poses) < dr_err
+
+    def test_landmarks_converge(self, scenario):
+        ekf = EkfSlam(scenario.true_poses[0],
+                      motion_noise=scenario.motion_noise,
+                      measurement_noise=scenario.measurement_noise)
+        ekf.run(scenario)
+        # Every mapped landmark should be within 1 m of truth.
+        for lm_id in ekf.landmark_index:
+            err = np.linalg.norm(ekf.landmark(lm_id)
+                                 - scenario.landmarks[lm_id])
+            assert err < 1.0
+
+    def test_covariance_stays_symmetric(self, scenario):
+        ekf = EkfSlam(scenario.true_poses[0])
+        ekf.run(scenario)
+        assert np.allclose(ekf.cov, ekf.cov.T, atol=1e-9)
+
+    def test_profile_is_gemm_class(self, scenario):
+        ekf = EkfSlam(scenario.true_poses[0])
+        ekf.run(scenario)
+        profile = ekf.profile()
+        assert profile.op_class == "gemm"
+        assert profile.flops > 0
+
+
+class TestFastSlam:
+    def test_beats_dead_reckoning(self, scenario):
+        fs = FastSlam(scenario.true_poses[0], n_particles=40,
+                      motion_noise=scenario.motion_noise,
+                      measurement_noise=scenario.measurement_noise,
+                      seed=2)
+        traj = fs.run(scenario)
+        dr_err = ate_rmse(dead_reckoning(scenario),
+                          scenario.true_poses)
+        assert ate_rmse(traj, scenario.true_poses) < dr_err
+
+    def test_weights_normalized(self, scenario):
+        fs = FastSlam(scenario.true_poses[0], n_particles=20, seed=3)
+        fs.predict(scenario.odometry[0])
+        fs.update(scenario.observations[0])
+        total = sum(p.weight for p in fs.particles)
+        assert total == pytest.approx(1.0)
+
+    def test_more_particles_no_worse(self, scenario):
+        few = FastSlam(scenario.true_poses[0], n_particles=5,
+                       motion_noise=scenario.motion_noise,
+                       measurement_noise=scenario.measurement_noise,
+                       seed=4).run(scenario)
+        many = FastSlam(scenario.true_poses[0], n_particles=60,
+                        motion_noise=scenario.motion_noise,
+                        measurement_noise=scenario.measurement_noise,
+                        seed=4).run(scenario)
+        few_err = ate_rmse(few, scenario.true_poses)
+        many_err = ate_rmse(many, scenario.true_poses)
+        assert many_err < few_err * 1.5  # at least not much worse
+
+    def test_profile_divergent(self, scenario):
+        fs = FastSlam(scenario.true_poses[0], n_particles=10, seed=5)
+        fs.run(scenario)
+        from repro.core.profile import DivergenceClass
+        assert fs.profile().divergence == DivergenceClass.HIGH
+
+
+class TestGraphSlam:
+    def test_chi2_decreases(self, scenario):
+        graph = build_pose_graph(scenario)
+        trace = GraphSlam(graph).optimize(iterations=10)
+        assert trace[-1] < trace[0]
+
+    def test_improves_dead_reckoning(self, scenario):
+        graph = build_pose_graph(scenario)
+        before = ate_rmse(graph.poses, scenario.true_poses)
+        GraphSlam(graph).optimize(iterations=15)
+        after = ate_rmse(graph.poses, scenario.true_poses)
+        assert after < before
+
+    def test_relative_pose_round_trip(self, rng):
+        a = np.array([1.0, 2.0, 0.5])
+        b = np.array([2.0, 1.0, -0.7])
+        rel = PoseGraph.relative_pose(a, b)
+        # Composing a with rel must give b.
+        c, s = np.cos(a[2]), np.sin(a[2])
+        xy = a[:2] + np.array([c * rel[0] - s * rel[1],
+                               s * rel[0] + c * rel[1]])
+        assert np.allclose(xy, b[:2])
+        assert (a[2] + rel[2]) == pytest.approx(b[2])
+
+    def test_perfect_edges_zero_chi2(self):
+        poses = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0],
+                          [2.0, 0.0, 0.0]])
+        graph = PoseGraph(poses)
+        graph.add_edge(0, 1, PoseGraph.relative_pose(poses[0],
+                                                     poses[1]))
+        graph.add_edge(1, 2, PoseGraph.relative_pose(poses[1],
+                                                     poses[2]))
+        assert graph.chi2() == pytest.approx(0.0, abs=1e-12)
+
+    def test_graph_slam_is_most_accurate(self, scenario):
+        """The E1 backbone: the modern method wins on task quality."""
+        ekf = EkfSlam(scenario.true_poses[0],
+                      motion_noise=scenario.motion_noise,
+                      measurement_noise=scenario.measurement_noise)
+        ekf_err = ate_rmse(ekf.run(scenario), scenario.true_poses)
+        graph = build_pose_graph(scenario)
+        GraphSlam(graph).optimize(iterations=15)
+        graph_err = ate_rmse(graph.poses, scenario.true_poses)
+        assert graph_err < ekf_err

@@ -1,0 +1,97 @@
+"""Unit tests for SLAM scenario generation and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.slam.common import (
+    ate_rmse,
+    dead_reckoning,
+    make_scenario,
+    motion_model,
+    observe,
+)
+
+
+class TestMotionModel:
+    def test_straight_line(self):
+        pose = motion_model(np.array([0.0, 0.0, 0.0]),
+                            np.array([1.0, 0.0]))
+        assert np.allclose(pose, [1.0, 0.0, 0.0])
+
+    def test_turn_in_place(self):
+        pose = motion_model(np.array([0.0, 0.0, 0.0]),
+                            np.array([0.0, np.pi / 2]))
+        assert pose[2] == pytest.approx(np.pi / 2)
+
+    def test_heading_wraps(self):
+        pose = motion_model(np.array([0.0, 0.0, 3.0]),
+                            np.array([0.0, 1.0]))
+        assert -np.pi < pose[2] <= np.pi
+
+
+class TestObserve:
+    def test_range_and_bearing(self):
+        rng_m, bearing = observe(np.array([0.0, 0.0, 0.0]),
+                                 np.array([3.0, 4.0]))
+        assert rng_m == pytest.approx(5.0)
+        assert bearing == pytest.approx(np.arctan2(4.0, 3.0))
+
+    def test_bearing_relative_to_heading(self):
+        _, bearing = observe(np.array([0.0, 0.0, np.pi / 2]),
+                             np.array([0.0, 5.0]))
+        assert bearing == pytest.approx(0.0)
+
+
+class TestScenario:
+    def test_shapes(self):
+        sc = make_scenario(n_steps=30, n_landmarks=10, seed=1)
+        assert sc.true_poses.shape == (31, 3)
+        assert sc.odometry.shape == (30, 2)
+        assert len(sc.observations) == 30
+        assert sc.n_landmarks == 10
+
+    def test_observations_within_range(self):
+        sc = make_scenario(n_steps=30, n_landmarks=10, max_range=5.0,
+                           seed=2)
+        for step, obs_list in enumerate(sc.observations):
+            pose = sc.true_poses[step + 1]
+            for obs in obs_list:
+                true_range, _ = observe(pose,
+                                        sc.landmarks[obs.landmark_id])
+                assert true_range <= 5.0
+
+    def test_reproducible(self):
+        a = make_scenario(n_steps=10, seed=3)
+        b = make_scenario(n_steps=10, seed=3)
+        assert np.allclose(a.odometry, b.odometry)
+        assert np.allclose(a.true_poses, b.true_poses)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            make_scenario(n_steps=0)
+
+
+class TestAte:
+    def test_zero_for_identical(self):
+        traj = np.random.default_rng(0).normal(size=(10, 3))
+        assert ate_rmse(traj, traj) == 0.0
+
+    def test_known_offset(self):
+        truth = np.zeros((5, 3))
+        shifted = truth.copy()
+        shifted[:, 0] = 3.0
+        shifted[:, 1] = 4.0
+        assert ate_rmse(shifted, truth) == pytest.approx(5.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ate_rmse(np.zeros((5, 3)), np.zeros((6, 3)))
+
+
+class TestDeadReckoning:
+    def test_drifts_with_noise(self):
+        sc = make_scenario(n_steps=100, seed=4)
+        dr = dead_reckoning(sc)
+        assert dr.shape == sc.true_poses.shape
+        assert ate_rmse(dr, sc.true_poses) > 0.01

@@ -1,0 +1,128 @@
+"""Unit tests for rigid-body dynamics (RNEA/CRBA)."""
+
+import numpy as np
+import pytest
+
+from repro.core.profile import OpCounter
+from repro.errors import ConfigurationError
+from repro.kernels.dynamics import (
+    KinematicChain,
+    Link,
+    mass_matrix_profile,
+    rnea_profile,
+    serial_arm,
+    spatial_inertia,
+)
+
+
+@pytest.fixture
+def arm():
+    return serial_arm(5)
+
+
+class TestConstruction:
+    def test_bad_axis(self):
+        with pytest.raises(ConfigurationError):
+            Link(joint_axis="w")
+
+    def test_empty_chain(self):
+        with pytest.raises(ConfigurationError):
+            KinematicChain([])
+
+    def test_negative_mass(self):
+        with pytest.raises(ConfigurationError):
+            spatial_inertia(-1.0, np.zeros(3), np.eye(3))
+
+    def test_state_shape_checked(self, arm):
+        with pytest.raises(ConfigurationError):
+            arm.rnea(np.zeros(3), np.zeros(5), np.zeros(5))
+
+
+class TestRnea:
+    def test_pendulum_gravity_torque(self):
+        # A single revolute-y link, COM 0.5 m along +x, held at q=0:
+        # gravity torque is -m g c about +y.
+        pendulum = KinematicChain([Link(
+            joint_axis="y", mass=2.0, com=(0.5, 0.0, 0.0),
+            inertia_diag=(0.01, 0.01, 0.01),
+        )])
+        tau = pendulum.rnea(np.zeros(1), np.zeros(1), np.zeros(1))
+        assert tau[0] == pytest.approx(-2.0 * 9.81 * 0.5)
+
+    def test_zero_gravity_static_equilibrium(self, rng):
+        arm = serial_arm(4)
+        weightless = KinematicChain(arm.links, gravity=0.0)
+        q = rng.uniform(-1, 1, 4)
+        tau = weightless.rnea(q, np.zeros(4), np.zeros(4))
+        assert np.allclose(tau, 0.0, atol=1e-10)
+
+    def test_external_force_changes_torque(self, arm, rng):
+        q = rng.uniform(-1, 1, 5)
+        base = arm.rnea(q, np.zeros(5), np.zeros(5))
+        pushed = arm.rnea(q, np.zeros(5), np.zeros(5),
+                          external_force=np.array([0, 0, 0, 10.0, 0, 0]))
+        assert not np.allclose(base, pushed)
+
+    def test_counter_scales_with_links(self):
+        counter3 = OpCounter(name="a")
+        counter6 = OpCounter(name="b")
+        serial_arm(3).rnea(np.zeros(3), np.zeros(3), np.zeros(3),
+                           counter=counter3)
+        serial_arm(6).rnea(np.zeros(6), np.zeros(6), np.zeros(6),
+                           counter=counter6)
+        assert counter6.flops == pytest.approx(2.0 * counter3.flops)
+
+
+class TestMassMatrix:
+    def test_matches_rnea_columns(self, arm, rng):
+        q = rng.uniform(-1, 1, 5)
+        m = arm.mass_matrix(q)
+        bias = arm.bias_forces(q, np.zeros(5))
+        for i, unit in enumerate(np.eye(5)):
+            column = arm.rnea(q, np.zeros(5), unit) - bias
+            assert np.allclose(m[:, i], column, atol=1e-10)
+
+    def test_symmetric_positive_definite(self, arm, rng):
+        q = rng.uniform(-1, 1, 5)
+        m = arm.mass_matrix(q)
+        assert np.allclose(m, m.T, atol=1e-12)
+        assert np.linalg.eigvalsh(m).min() > 0
+
+
+class TestForwardDynamics:
+    def test_inverse_of_rnea(self, arm, rng):
+        q = rng.uniform(-1, 1, 5)
+        qd = rng.uniform(-1, 1, 5)
+        qdd = rng.uniform(-1, 1, 5)
+        tau = arm.rnea(q, qd, qdd)
+        recovered = arm.forward_dynamics(q, qd, tau)
+        assert np.allclose(recovered, qdd, atol=1e-9)
+
+    def test_energy_conservation(self):
+        arm = serial_arm(3)
+        q = np.array([0.3, -0.4, 0.2])
+        qd = np.array([0.1, 0.2, -0.1])
+        initial = arm.total_energy(q, qd)
+        dt = 5e-5
+        for _ in range(2000):
+            qdd = arm.forward_dynamics(q, qd, np.zeros(3))
+            qd = qd + dt * qdd
+            q = q + dt * qd
+        drift = abs(arm.total_energy(q, qd) - initial)
+        assert drift < 5e-3
+
+
+class TestProfiles:
+    def test_rnea_profile_linear_in_links(self):
+        assert rnea_profile(14).flops == pytest.approx(
+            2.0 * rnea_profile(7).flops
+        )
+
+    def test_crba_profile_quadratic_growth(self):
+        small = mass_matrix_profile(4).flops
+        large = mass_matrix_profile(8).flops
+        assert large > 2.0 * small  # superlinear
+
+    def test_profiles_are_dynamics_class(self):
+        assert rnea_profile(7).op_class == "dynamics"
+        assert mass_matrix_profile(7).op_class == "dynamics"

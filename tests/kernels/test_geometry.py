@@ -1,0 +1,145 @@
+"""Unit tests for SO(3)/SE(3) geometry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.geometry import (
+    SE3,
+    exp_so3,
+    log_so3,
+    quat_conjugate,
+    quat_integrate,
+    quat_multiply,
+    quat_normalize,
+    quat_to_rotation,
+    rotation_to_quat,
+    rotation_x,
+    rotation_y,
+    rotation_z,
+    skew,
+    wrap_angle,
+)
+
+
+class TestSkew:
+    def test_cross_product_equivalence(self, rng):
+        v = rng.normal(size=3)
+        u = rng.normal(size=3)
+        assert np.allclose(skew(v) @ u, np.cross(v, u))
+
+    def test_antisymmetry(self, rng):
+        v = rng.normal(size=3)
+        s = skew(v)
+        assert np.allclose(s, -s.T)
+
+    def test_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            skew(np.zeros(4))
+
+
+class TestExpLog:
+    def test_round_trip(self, rng):
+        for _ in range(10):
+            omega = rng.normal(size=3)
+            omega = omega / np.linalg.norm(omega) \
+                * rng.uniform(0.01, 3.0)
+            assert np.allclose(log_so3(exp_so3(omega)), omega,
+                               atol=1e-8)
+
+    def test_small_angle(self):
+        omega = np.array([1e-9, 0, 0])
+        r = exp_so3(omega)
+        assert np.allclose(r, np.eye(3) + skew(omega), atol=1e-12)
+
+    def test_rotation_is_orthonormal(self, rng):
+        r = exp_so3(rng.normal(size=3))
+        assert np.allclose(r @ r.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(r) == pytest.approx(1.0)
+
+    def test_axis_rotations_match_exp(self):
+        angle = 0.7
+        assert np.allclose(rotation_x(angle),
+                           exp_so3(np.array([angle, 0, 0])))
+        assert np.allclose(rotation_y(angle),
+                           exp_so3(np.array([0, angle, 0])))
+        assert np.allclose(rotation_z(angle),
+                           exp_so3(np.array([0, 0, angle])))
+
+
+class TestQuaternions:
+    def test_normalize_canonical_sign(self):
+        q = quat_normalize(np.array([-1.0, 0.0, 0.0, 0.0]))
+        assert q[0] >= 0
+
+    def test_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            quat_normalize(np.zeros(4))
+
+    def test_multiply_identity(self, rng):
+        q = quat_normalize(rng.normal(size=4))
+        identity = np.array([1.0, 0, 0, 0])
+        assert np.allclose(quat_multiply(identity, q), q)
+
+    def test_conjugate_inverts(self, rng):
+        q = quat_normalize(rng.normal(size=4))
+        product = quat_multiply(q, quat_conjugate(q))
+        assert np.allclose(product, [1, 0, 0, 0], atol=1e-12)
+
+    def test_rotation_round_trip(self, rng):
+        for _ in range(10):
+            q = quat_normalize(rng.normal(size=4))
+            assert np.allclose(rotation_to_quat(quat_to_rotation(q)),
+                               q, atol=1e-8)
+
+    def test_multiply_matches_matrix_product(self, rng):
+        q1 = quat_normalize(rng.normal(size=4))
+        q2 = quat_normalize(rng.normal(size=4))
+        lhs = quat_to_rotation(quat_multiply(q1, q2))
+        rhs = quat_to_rotation(q1) @ quat_to_rotation(q2)
+        assert np.allclose(lhs, rhs, atol=1e-10)
+
+    def test_integration_matches_exp(self):
+        q = np.array([1.0, 0, 0, 0])
+        omega = np.array([0.0, 0.0, 1.0])
+        q_new = quat_integrate(q, omega, dt=0.5)
+        assert np.allclose(quat_to_rotation(q_new), rotation_z(0.5),
+                           atol=1e-10)
+
+
+class TestSE3:
+    def test_compose_inverse_is_identity(self, rng):
+        t = SE3(exp_so3(rng.normal(size=3)), rng.normal(size=3))
+        identity = t.compose(t.inverse())
+        assert np.allclose(identity.rotation, np.eye(3), atol=1e-12)
+        assert np.allclose(identity.translation, 0.0, atol=1e-12)
+
+    def test_apply_matches_matrix(self, rng):
+        t = SE3(exp_so3(rng.normal(size=3)), rng.normal(size=3))
+        points = rng.normal(size=(5, 3))
+        homogeneous = np.c_[points, np.ones(5)]
+        expected = (t.matrix() @ homogeneous.T).T[:, :3]
+        assert np.allclose(t.apply(points), expected)
+
+    def test_apply_single_point(self, rng):
+        t = SE3.identity()
+        p = rng.normal(size=3)
+        assert np.allclose(t.apply(p), p)
+
+    def test_distance_zero_to_self(self, rng):
+        t = SE3(exp_so3(rng.normal(size=3)), rng.normal(size=3))
+        assert t.distance(t) == pytest.approx(0.0, abs=1e-9)
+
+    def test_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            SE3(np.eye(4), np.zeros(3))
+
+
+class TestWrapAngle:
+    def test_wraps_into_range(self):
+        assert wrap_angle(3 * np.pi) == pytest.approx(np.pi)
+        assert wrap_angle(-3 * np.pi) == pytest.approx(np.pi)
+        assert wrap_angle(0.5) == pytest.approx(0.5)
+
+    def test_pi_maps_to_pi(self):
+        assert wrap_angle(np.pi) == pytest.approx(np.pi)

@@ -1,0 +1,119 @@
+"""Unit tests for instrumented linear algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core.profile import OpCounter
+from repro.errors import ConfigurationError
+from repro.kernels.linalg import (
+    cholesky,
+    cholesky_profile,
+    gemm_profile,
+    gemv_profile,
+    matmul,
+    matvec,
+    qr_decomposition,
+    solve_spd,
+    solve_triangular,
+)
+
+
+@pytest.fixture
+def spd():
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(8, 8))
+    return a @ a.T + 8 * np.eye(8)
+
+
+class TestMatmul:
+    def test_correctness(self, rng):
+        a = rng.normal(size=(4, 6))
+        b = rng.normal(size=(6, 3))
+        assert np.allclose(matmul(a, b), a @ b)
+
+    def test_counts_flops(self, rng):
+        a = rng.normal(size=(4, 6))
+        b = rng.normal(size=(6, 3))
+        counter = OpCounter(name="m")
+        matmul(a, b, counter=counter)
+        assert counter.flops == 2 * 4 * 3 * 6
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ConfigurationError):
+            matmul(rng.normal(size=(3, 3)), rng.normal(size=(4, 4)))
+
+    def test_matvec(self, rng):
+        a = rng.normal(size=(5, 4))
+        x = rng.normal(size=4)
+        counter = OpCounter(name="mv")
+        assert np.allclose(matvec(a, x, counter=counter), a @ x)
+        assert counter.flops == 2 * 5 * 4
+
+
+class TestCholesky:
+    def test_factor_reconstructs(self, spd):
+        l = cholesky(spd)
+        assert np.allclose(l @ l.T, spd)
+
+    def test_counts(self, spd):
+        counter = OpCounter(name="c")
+        cholesky(spd, counter=counter)
+        n = spd.shape[0]
+        assert counter.flops == pytest.approx(n ** 3 / 3 + n ** 2)
+
+    def test_non_square_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            cholesky(rng.normal(size=(3, 4)))
+
+
+class TestTriangularSolve:
+    def test_lower(self, spd):
+        l = cholesky(spd)
+        b = np.arange(8, dtype=float)
+        x = solve_triangular(l, b, lower=True)
+        assert np.allclose(l @ x, b)
+
+    def test_upper(self, spd):
+        l = cholesky(spd)
+        b = np.arange(8, dtype=float)
+        x = solve_triangular(l.T, b, lower=False)
+        assert np.allclose(l.T @ x, b)
+
+    def test_singular_rejected(self):
+        singular = np.zeros((3, 3))
+        with pytest.raises(ConfigurationError):
+            solve_triangular(singular, np.ones(3))
+
+    def test_solve_spd_full(self, spd):
+        b = np.arange(8, dtype=float)
+        x = solve_spd(spd, b)
+        assert np.allclose(spd @ x, b)
+
+
+class TestQr:
+    def test_orthogonality(self, rng):
+        a = rng.normal(size=(10, 6))
+        q, r = qr_decomposition(a)
+        assert np.allclose(q.T @ q, np.eye(6), atol=1e-10)
+        assert np.allclose(q @ r, a)
+
+
+class TestClosedFormProfiles:
+    def test_gemm_profile_matches_counter(self):
+        p = gemm_profile(64, 32, 16)
+        assert p.flops == 2 * 64 * 32 * 16
+        assert p.op_class == "gemm"
+        assert p.parallel_fraction == 1.0
+
+    def test_cholesky_profile_parallelism_grows(self):
+        small = cholesky_profile(4)
+        large = cholesky_profile(400)
+        assert large.parallel_fraction > small.parallel_fraction
+
+    def test_cholesky_profile_invalid(self):
+        with pytest.raises(ConfigurationError):
+            cholesky_profile(0)
+
+    def test_gemv_is_memory_bound_shape(self):
+        p = gemv_profile(1000, 1000)
+        assert p.arithmetic_intensity < 1.0

@@ -1,0 +1,161 @@
+"""Unit tests for synthetic imaging, features, flow, and stereo."""
+
+import numpy as np
+import pytest
+
+from repro.core.profile import OpCounter
+from repro.errors import ConfigurationError
+from repro.kernels.vision import (
+    CameraModel,
+    block_matching_disparity,
+    harris_corners,
+    lucas_kanade,
+    render_landmark_image,
+    visible_landmarks,
+)
+from repro.kernels.vision.features import harris_profile
+from repro.kernels.vision.optical_flow import lk_profile
+from repro.kernels.vision.stereo import stereo_profile
+
+
+@pytest.fixture
+def camera():
+    return CameraModel(image_size=64, pixels_per_meter=8.0,
+                       noise_std=0.005)
+
+
+class TestCameraModel:
+    def test_projection_round_trip(self, camera):
+        pose = np.array([3.0, 4.0, 0.7])
+        point = np.array([3.5, 4.5])
+        pixel = camera.world_to_pixel(pose, point)
+        body = camera.pixel_to_body(pixel)
+        # Body coordinates should rotate/translate back to the point.
+        c, s = np.cos(pose[2]), np.sin(pose[2])
+        world = pose[:2] + np.array([c * body[0] - s * body[1],
+                                     s * body[0] + c * body[1]])
+        assert np.allclose(world, point, atol=1e-9)
+
+    def test_robot_at_center(self, camera):
+        pose = np.array([1.0, 2.0, 0.3])
+        pixel = camera.world_to_pixel(pose, pose[:2])
+        assert np.allclose(pixel, [32.0, 32.0])
+
+    def test_visible_landmarks_filtering(self, camera):
+        pose = np.array([0.0, 0.0, 0.0])
+        landmarks = np.array([[0.5, 0.5], [100.0, 100.0]])
+        visible = visible_landmarks(camera, pose, landmarks)
+        assert [lm_id for lm_id, _ in visible] == [0]
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            CameraModel(image_size=4)
+
+
+class TestRendering:
+    def test_blob_at_landmark(self, camera):
+        pose = np.array([0.0, 0.0, 0.0])
+        landmarks = np.array([[1.0, 0.0]])
+        image = render_landmark_image(camera, pose, landmarks, seed=0)
+        pixel = camera.world_to_pixel(pose, landmarks[0])
+        px, py = int(round(pixel[0])), int(round(pixel[1]))
+        assert image[py, px] > 0.5
+        assert image[5, 5] < 0.2  # background
+
+
+class TestHarris:
+    def test_detects_rendered_landmarks(self, camera):
+        pose = np.array([0.0, 0.0, 0.0])
+        landmarks = np.array([[1.0, 1.0], [-2.0, 0.5], [0.5, -2.0]])
+        image = render_landmark_image(camera, pose, landmarks, seed=1)
+        corners = harris_corners(image, max_corners=10)
+        assert corners.shape[0] >= 3
+        # Each landmark projection should be near a detected corner.
+        for lm in landmarks:
+            pixel = camera.world_to_pixel(pose, lm)
+            dists = np.linalg.norm(corners - pixel, axis=1)
+            assert dists.min() < 3.0
+
+    def test_blank_image_no_corners(self):
+        corners = harris_corners(np.zeros((32, 32)))
+        assert corners.shape == (0, 2)
+
+    def test_max_corners_respected(self, camera, rng):
+        image = rng.random((64, 64))
+        corners = harris_corners(image, max_corners=5)
+        assert corners.shape[0] <= 5
+
+    def test_counter_scales_with_pixels(self):
+        c1, c2 = OpCounter(name="a"), OpCounter(name="b")
+        harris_corners(np.zeros((32, 32)) + 0.0, counter=c1)
+        harris_corners(np.zeros((64, 64)) + 0.0, counter=c2)
+        assert c2.flops == pytest.approx(4.0 * c1.flops)
+
+    def test_profile_is_stencil(self):
+        assert harris_profile(64).op_class == "stencil"
+
+
+class TestLucasKanade:
+    def test_recovers_known_shift(self, camera):
+        pose1 = np.array([0.0, 0.0, 0.0])
+        pose2 = np.array([0.25, 0.0, 0.0])  # 2 px shift at 8 px/m
+        landmarks = np.array([[1.0, 1.0], [-1.5, 0.5], [0.5, -1.5]])
+        img1 = render_landmark_image(camera, pose1, landmarks, seed=2)
+        img2 = render_landmark_image(camera, pose2, landmarks, seed=3)
+        corners = harris_corners(img1, max_corners=5)
+        tracked, status = lucas_kanade(img1, img2, corners)
+        moved = tracked[status] - corners[status]
+        # Forward robot motion (+x body) shifts blobs by -2 px in x.
+        assert np.allclose(moved[:, 0].mean(), -2.0, atol=0.5)
+        assert np.allclose(moved[:, 1].mean(), 0.0, atol=0.5)
+
+    def test_border_points_fail_status(self):
+        img = np.random.default_rng(0).random((32, 32))
+        tracked, status = lucas_kanade(img, img,
+                                       np.array([[1.0, 1.0]]))
+        assert not status[0]
+
+    def test_zero_motion(self, camera):
+        pose = np.array([0.0, 0.0, 0.0])
+        landmarks = np.array([[1.0, 1.0]])
+        img = render_landmark_image(camera, pose, landmarks, seed=4)
+        corners = harris_corners(img, max_corners=3)
+        tracked, status = lucas_kanade(img, img, corners)
+        assert np.allclose(tracked[status], corners[status],
+                           atol=0.1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            lucas_kanade(np.zeros((10, 10)), np.zeros((12, 12)),
+                         np.array([[5.0, 5.0]]))
+
+    def test_profile(self):
+        assert lk_profile(100).op_class == "stencil"
+
+
+class TestStereo:
+    def test_recovers_uniform_disparity(self, rng):
+        left = rng.random((40, 80))
+        shift = 5
+        right = np.roll(left, -shift, axis=1)
+        disparity = block_matching_disparity(left, right,
+                                             max_disparity=10)
+        interior = disparity[10:-10, 15:-15]
+        # Majority of interior pixels recover the true shift.
+        assert np.median(interior) == shift
+
+    def test_zero_disparity_for_identical(self, rng):
+        img = rng.random((30, 60))
+        disparity = block_matching_disparity(img, img,
+                                             max_disparity=8)
+        assert np.median(disparity[5:-5, 10:-10]) == 0
+
+    def test_too_small_image_rejected(self):
+        with pytest.raises(ConfigurationError):
+            block_matching_disparity(np.zeros((10, 10)),
+                                     np.zeros((10, 10)),
+                                     max_disparity=16)
+
+    def test_profile_integer_heavy(self):
+        p = stereo_profile(128)
+        assert p.int_ops > p.flops

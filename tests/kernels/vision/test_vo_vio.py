@@ -1,0 +1,115 @@
+"""Unit tests for rigid motion estimation and the VIO pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.slam import ate_rmse, make_scenario
+from repro.kernels.vision import (
+    PlanarVio,
+    VioConfig,
+    CameraModel,
+    estimate_rigid_2d,
+    ransac_rigid_2d,
+    run_vio,
+)
+from repro.kernels.vision.vo import rigid_residuals
+
+
+def _random_rigid(rng):
+    angle = rng.uniform(-np.pi, np.pi)
+    c, s = np.cos(angle), np.sin(angle)
+    rotation = np.array([[c, -s], [s, c]])
+    translation = rng.uniform(-2, 2, size=2)
+    return rotation, translation
+
+
+class TestEstimateRigid:
+    def test_exact_recovery(self, rng):
+        rotation, translation = _random_rigid(rng)
+        src = rng.normal(size=(20, 2))
+        dst = src @ rotation.T + translation
+        r_est, t_est = estimate_rigid_2d(src, dst)
+        assert np.allclose(r_est, rotation, atol=1e-9)
+        assert np.allclose(t_est, translation, atol=1e-9)
+
+    def test_noisy_recovery(self, rng):
+        rotation, translation = _random_rigid(rng)
+        src = rng.normal(size=(50, 2))
+        dst = src @ rotation.T + translation \
+            + rng.normal(0, 0.01, size=(50, 2))
+        r_est, t_est = estimate_rigid_2d(src, dst)
+        assert np.allclose(r_est, rotation, atol=0.02)
+        assert np.allclose(t_est, translation, atol=0.02)
+
+    def test_rotation_is_proper(self, rng):
+        src = rng.normal(size=(10, 2))
+        dst = rng.normal(size=(10, 2))  # arbitrary correspondence
+        r_est, _ = estimate_rigid_2d(src, dst)
+        assert np.linalg.det(r_est) == pytest.approx(1.0)
+
+    def test_too_few_points(self):
+        with pytest.raises(ConfigurationError):
+            estimate_rigid_2d(np.zeros((1, 2)), np.zeros((1, 2)))
+
+
+class TestRansac:
+    def test_rejects_outliers(self, rng):
+        rotation, translation = _random_rigid(rng)
+        src = rng.normal(size=(40, 2))
+        dst = src @ rotation.T + translation
+        # Corrupt 25% of the matches.
+        dst[:10] += rng.uniform(3, 5, size=(10, 2))
+        r_est, t_est, inliers = ransac_rigid_2d(
+            src, dst, inlier_threshold=0.05, iterations=100, seed=0
+        )
+        assert inliers.sum() >= 28
+        assert not inliers[:10].any()
+        assert np.allclose(r_est, rotation, atol=1e-6)
+
+    def test_residuals(self, rng):
+        rotation, translation = _random_rigid(rng)
+        src = rng.normal(size=(5, 2))
+        dst = src @ rotation.T + translation
+        res = rigid_residuals(src, dst, rotation, translation)
+        assert np.allclose(res, 0.0, atol=1e-12)
+
+
+class TestVioPipeline:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return make_scenario(n_steps=30, n_landmarks=120, arena=20.0,
+                             speed=0.3, turn_rate=0.08,
+                             motion_noise=(0.15, 0.05), seed=9)
+
+    def test_tracks_trajectory(self, scenario):
+        config = VioConfig(
+            camera=CameraModel(image_size=96, pixels_per_meter=8.0),
+            seed=1,
+        )
+        result = run_vio(scenario, config)
+        err = ate_rmse(result.trajectory, scenario.true_poses)
+        assert err < 1.0
+        assert result.trajectory.shape == scenario.true_poses.shape
+
+    def test_beats_noisy_dead_reckoning(self, scenario):
+        """With poor odometry, vision should dominate (the VIO value
+        proposition)."""
+        from repro.kernels.slam import dead_reckoning
+        result = run_vio(scenario, VioConfig(seed=2))
+        vio_err = ate_rmse(result.trajectory, scenario.true_poses)
+        dr_err = ate_rmse(dead_reckoning(scenario),
+                          scenario.true_poses)
+        assert vio_err < dr_err
+
+    def test_stage_profiles_present(self, scenario):
+        result = run_vio(scenario, VioConfig(seed=3))
+        assert set(result.stage_profiles) == {
+            "detect", "track", "estimate", "fuse"
+        }
+        assert result.stage_profiles["detect"].flops > 0
+        assert result.stage_profiles["track"].flops > 0
+
+    def test_tracked_counts_recorded(self, scenario):
+        result = run_vio(scenario, VioConfig(seed=4))
+        assert len(result.tracked_counts) == scenario.n_steps

@@ -1,0 +1,134 @@
+"""Unit tests for the metrics package (§2.2)."""
+
+import pytest
+
+from repro.core.profile import CostEstimate, WorkloadProfile
+from repro.errors import ConfigurationError
+from repro.metrics import (
+    CompositeScore,
+    accuracy_throughput_frontier,
+    edp,
+    normalize_metrics,
+    offchip_bandwidth_demand,
+    time_to_threshold,
+    tops,
+    tops_per_watt,
+)
+from repro.metrics.accuracy import quality_weighted_speedup
+from repro.metrics.compute import device_report, peak_utilization
+
+
+def _profile():
+    return WorkloadProfile(name="k", flops=1e12, bytes_read=1e9,
+                           working_set_bytes=1e8,
+                           parallel_fraction=1.0)
+
+
+def _estimate():
+    return CostEstimate(latency_s=1.0, energy_j=10.0)
+
+
+class TestComputeMetrics:
+    def test_tops(self):
+        assert tops(_profile(), _estimate()) == pytest.approx(1.0)
+
+    def test_tops_per_watt(self):
+        assert tops_per_watt(_profile(), _estimate()) \
+            == pytest.approx(0.1)
+
+    def test_edp(self):
+        assert edp(_estimate()) == pytest.approx(10.0)
+
+    def test_offchip_demand_zero_when_fits(self):
+        assert offchip_bandwidth_demand(_profile(), 30.0,
+                                        onchip_bytes=1e9) == 0.0
+
+    def test_offchip_demand_when_spilling(self):
+        demand = offchip_bandwidth_demand(_profile(), 30.0,
+                                          onchip_bytes=1e6)
+        assert demand == pytest.approx(1e9 * 30.0)
+
+    def test_device_report_keys(self, cpu):
+        report = device_report(_profile(), cpu)
+        assert {"latency_s", "tops", "tops_per_watt",
+                "offchip_bw_demand"} <= set(report)
+
+    def test_peak_utilization_bounded(self, cpu):
+        profile = _profile()
+        estimate = cpu.estimate(profile)
+        util = peak_utilization(profile, estimate, cpu)
+        assert 0.0 < util <= 1.0
+
+    def test_invalid_latency(self):
+        with pytest.raises(ConfigurationError):
+            tops(_profile(), CostEstimate(latency_s=0.0, energy_j=1.0))
+
+
+class TestAccuracyMetrics:
+    def test_time_to_threshold(self):
+        times = [1.0, 2.0, 3.0, 4.0]
+        quality = [0.2, 0.5, 0.9, 0.95]
+        assert time_to_threshold(times, quality, 0.9) == 3.0
+        assert time_to_threshold(times, quality, 0.99) == float("inf")
+
+    def test_non_monotone_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            time_to_threshold([2.0, 1.0], [0.1, 0.2], 0.5)
+
+    def test_frontier_drops_dominated(self):
+        runs = [
+            ("slow-accurate", 10.0, 0.95),
+            ("fast-sloppy", 100.0, 0.80),
+            ("dominated", 5.0, 0.70),
+        ]
+        frontier = accuracy_throughput_frontier(runs)
+        names = [name for name, _, __ in frontier]
+        assert "dominated" not in names
+        assert len(names) == 2
+
+    def test_quality_weighted_speedup_discounts(self):
+        # 4x faster but 10% worse quality -> 3.6x effective.
+        value = quality_weighted_speedup(4.0, 1.0, 1.0, 0.9)
+        assert value == pytest.approx(3.6)
+        # Quality gains never inflate beyond the raw speedup.
+        value = quality_weighted_speedup(4.0, 1.0, 0.8, 0.9)
+        assert value == pytest.approx(4.0)
+
+
+class TestComposite:
+    def test_normalize_directions(self):
+        rows = [{"lat": 1.0, "acc": 0.9}, {"lat": 2.0, "acc": 0.5}]
+        norm = normalize_metrics(rows, {"lat": True, "acc": False})
+        assert norm[0]["lat"] == 1.0  # lower latency = best
+        assert norm[0]["acc"] == 1.0  # higher accuracy = best
+        assert norm[1]["lat"] == 0.0
+
+    def test_constant_metric_normalizes_to_one(self):
+        rows = [{"x": 5.0}, {"x": 5.0}]
+        norm = normalize_metrics(rows, {"x": True})
+        assert norm[0]["x"] == 1.0 and norm[1]["x"] == 1.0
+
+    def test_missing_direction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normalize_metrics([{"x": 1.0}], {})
+
+    def test_composite_ranking_changes_with_weights(self):
+        designs = [
+            ("throughput-monster", {"fps": 100.0, "accuracy": 0.6}),
+            ("balanced", {"fps": 40.0, "accuracy": 0.92}),
+        ]
+        directions = {"fps": False, "accuracy": False}
+        fps_lover = CompositeScore({"fps": 1.0, "accuracy": 0.0},
+                                   directions)
+        task_lover = CompositeScore({"fps": 0.1, "accuracy": 0.9},
+                                    directions)
+        assert fps_lover.rank(designs)[0][0] == "throughput-monster"
+        assert task_lover.rank(designs)[0][0] == "balanced"
+
+    def test_weights_renormalized(self):
+        score = CompositeScore({"a": 2.0, "b": 2.0})
+        assert score.weights == {"a": 0.5, "b": 0.5}
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompositeScore({})

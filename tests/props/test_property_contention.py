@@ -1,0 +1,60 @@
+"""Property-based tests for the shared-memory allocator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.contention import SharedMemorySystem
+
+_demand = st.floats(min_value=0.0, max_value=1e11)
+_demands = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d", "e"]), _demand,
+    min_size=1, max_size=5,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_demands,
+       st.floats(min_value=1e9, max_value=1e11),
+       st.floats(min_value=0.5, max_value=1.0))
+def test_grants_bounded_by_pool(demands, bandwidth, efficiency):
+    memory = SharedMemorySystem(total_bandwidth=bandwidth,
+                                contention_efficiency=efficiency)
+    grants = memory.allocate(demands)
+    active = sum(1 for v in demands.values() if v > 0)
+    pool = bandwidth * (efficiency if active > 1 else 1.0)
+    assert sum(grants.values()) <= pool * (1 + 1e-9)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_demands,
+       st.floats(min_value=1e9, max_value=1e11))
+def test_no_grant_exceeds_demand(demands, bandwidth):
+    memory = SharedMemorySystem(total_bandwidth=bandwidth)
+    grants = memory.allocate(demands)
+    for name, demand in demands.items():
+        assert grants[name] <= demand + 1e-6
+
+
+@settings(max_examples=80, deadline=None)
+@given(_demands,
+       st.floats(min_value=1e9, max_value=1e11))
+def test_idle_clients_get_nothing_active_get_something(demands,
+                                                       bandwidth):
+    memory = SharedMemorySystem(total_bandwidth=bandwidth)
+    grants = memory.allocate(demands)
+    for name, demand in demands.items():
+        if demand == 0.0:
+            assert grants[name] == 0.0
+        else:
+            assert grants[name] > 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(min_value=1e6, max_value=1e10),
+       st.floats(min_value=1e6, max_value=1e10),
+       st.floats(min_value=1e9, max_value=1e11))
+def test_equal_demands_get_equal_grants(demand_value, _, bandwidth):
+    memory = SharedMemorySystem(total_bandwidth=bandwidth,
+                                contention_efficiency=1.0)
+    grants = memory.allocate({"x": demand_value, "y": demand_value})
+    assert abs(grants["x"] - grants["y"]) < 1e-6

@@ -1,0 +1,86 @@
+"""Property-based tests for geometry invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.kernels.geometry import (
+    SE3,
+    exp_so3,
+    log_so3,
+    quat_multiply,
+    quat_normalize,
+    quat_to_rotation,
+    rotation_to_quat,
+    wrap_angle,
+)
+
+_small = st.floats(min_value=-3.0, max_value=3.0,
+                   allow_nan=False, allow_infinity=False)
+_vec3 = arrays(np.float64, 3, elements=_small)
+_nonzero_vec4 = arrays(
+    np.float64, 4,
+    elements=st.floats(min_value=-2.0, max_value=2.0),
+).filter(lambda q: np.linalg.norm(q) > 1e-3)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_vec3)
+def test_exp_gives_valid_rotation(omega):
+    r = exp_so3(omega)
+    assert np.allclose(r @ r.T, np.eye(3), atol=1e-9)
+    assert np.isclose(np.linalg.det(r), 1.0, atol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_vec3.filter(lambda v: 1e-4 < np.linalg.norm(v) < np.pi - 0.05))
+def test_exp_log_round_trip(omega):
+    assert np.allclose(log_so3(exp_so3(omega)), omega, atol=1e-7)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_nonzero_vec4)
+def test_quat_rotation_round_trip(q):
+    # Compare as rotations: q and -q are the same rotation, and sign
+    # canonicalization is numerically ambiguous near w == 0.
+    qn = quat_normalize(q)
+    recovered = rotation_to_quat(quat_to_rotation(qn))
+    assert np.allclose(quat_to_rotation(recovered),
+                       quat_to_rotation(qn), atol=1e-7)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_nonzero_vec4, _nonzero_vec4)
+def test_quat_product_norm_preserved(q1, q2):
+    product = quat_multiply(quat_normalize(q1), quat_normalize(q2))
+    assert np.isclose(np.linalg.norm(product), 1.0, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_vec3, _vec3, _vec3, _vec3)
+def test_se3_composition_associative(w1, t1, w2, t2):
+    a = SE3(exp_so3(w1), t1)
+    b = SE3(exp_so3(w2), t2)
+    c = SE3(exp_so3(w1 * 0.5), t2 * 0.5)
+    left = a.compose(b).compose(c)
+    right = a.compose(b.compose(c))
+    assert np.allclose(left.rotation, right.rotation, atol=1e-9)
+    assert np.allclose(left.translation, right.translation, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_vec3, _vec3, arrays(np.float64, (4, 3), elements=_small))
+def test_se3_inverse_undoes_apply(w, t, points):
+    transform = SE3(exp_so3(w), t)
+    restored = transform.inverse().apply(transform.apply(points))
+    assert np.allclose(restored, points, atol=1e-8)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.floats(min_value=-100.0, max_value=100.0))
+def test_wrap_angle_range_and_equivalence(angle):
+    wrapped = wrap_angle(angle)
+    assert -np.pi < wrapped <= np.pi
+    assert np.isclose(np.sin(wrapped), np.sin(angle), atol=1e-9)
+    assert np.isclose(np.cos(wrapped), np.cos(angle), atol=1e-9)

@@ -1,0 +1,93 @@
+"""Property-based tests for planning and DSE invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import DesignSpace, Parameter, pareto_front
+from repro.dse.pareto import dominates
+from repro.kernels.planning import (
+    BatchCollisionChecker,
+    CircleWorld,
+    ScalarCollisionChecker,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_checkers_agree_on_random_worlds(seed):
+    rng = np.random.default_rng(seed)
+    world = CircleWorld.random(
+        dim=2, n_obstacles=int(rng.integers(1, 30)), extent=10.0,
+        seed=seed,
+    )
+    points = rng.uniform(0, 10, size=(40, 2))
+    scalar = ScalarCollisionChecker(world)
+    batch = BatchCollisionChecker(world)
+    expected = [scalar.point_free(p) for p in points]
+    assert list(batch.points_free(points)) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_clearance_consistent_with_checks(seed):
+    rng = np.random.default_rng(seed)
+    world = CircleWorld.random(dim=2, n_obstacles=10, seed=seed)
+    point = rng.uniform(0, 10, size=2)
+    checker = BatchCollisionChecker(world)
+    free = checker.point_free(point)
+    clearance = world.clearance(point)
+    if clearance > 1e-9:
+        assert free
+    if clearance < -1e-9:
+        assert not free
+
+
+_sizes = st.lists(st.integers(min_value=1, max_value=6),
+                  min_size=1, max_size=4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_sizes, st.integers(min_value=0, max_value=10_000))
+def test_space_index_bijection(sizes, seed):
+    space = DesignSpace([
+        Parameter(f"p{i}", tuple(range(size)))
+        for i, size in enumerate(sizes)
+    ])
+    rng = np.random.default_rng(seed)
+    index = int(rng.integers(space.size))
+    assert space.index_of(space.config_at(index)) == index
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.floats(min_value=0, max_value=10),
+              st.floats(min_value=0, max_value=10)),
+    min_size=1, max_size=30,
+))
+def test_pareto_front_is_mutually_nondominated(points):
+    front = pareto_front(points)
+    assert front  # never empty for non-empty input
+    for i in front:
+        for j in front:
+            if i != j:
+                assert not dominates(points[j], points[i])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.floats(min_value=0, max_value=10),
+              st.floats(min_value=0, max_value=10)),
+    min_size=2, max_size=30,
+))
+def test_pareto_front_members_dominate_or_tie_everyone(points):
+    front = set(pareto_front(points))
+    for i, point in enumerate(points):
+        if i in front:
+            continue
+        # Every non-front point is dominated by some front point OR is
+        # a duplicate of one.
+        assert any(
+            dominates(points[j], point) or tuple(points[j]) == tuple(point)
+            for j in front
+        )

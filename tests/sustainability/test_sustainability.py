@@ -1,0 +1,195 @@
+"""Unit tests for carbon, LCA, and fleet models (§2.7)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sustainability import (
+    EolPlan,
+    FleetScenario,
+    LifecycleInputs,
+    ProcessNode,
+    embodied_carbon_kg,
+    fleet_power_w,
+    fleet_vs_datacenters,
+    operational_carbon_kg,
+    packaging_carbon_kg,
+    recovery_credit_kg,
+)
+from repro.sustainability.embodied import chiplet_vs_monolithic_kg
+from repro.sustainability.eol import ewaste_mass_kg
+from repro.sustainability.fleet import (
+    crossover_year,
+    datacenter_equivalents,
+    fleet_energy_twh_per_year,
+)
+from repro.sustainability.lca import (
+    amortized_kg_per_year,
+    assess,
+    compare_designs,
+)
+from repro.sustainability.operational import (
+    edge_vs_cloud_training,
+    training_carbon_kg,
+)
+
+
+class TestEmbodied:
+    def test_advanced_nodes_cost_more_per_mm2(self):
+        a28 = embodied_carbon_kg(100.0, ProcessNode.N28)
+        a5 = embodied_carbon_kg(100.0, ProcessNode.N5)
+        assert a5 > a28
+
+    def test_yield_amortization(self):
+        perfect = embodied_carbon_kg(100.0, ProcessNode.N7,
+                                     yield_fraction=1.0)
+        poor = embodied_carbon_kg(100.0, ProcessNode.N7,
+                                  yield_fraction=0.5)
+        assert poor == pytest.approx(2.0 * perfect)
+
+    def test_invalid_area(self):
+        with pytest.raises(ConfigurationError):
+            embodied_carbon_kg(0.0, ProcessNode.N7)
+
+    def test_packaging_grows_with_dies(self):
+        assert packaging_carbon_kg(4) > packaging_carbon_kg(1)
+
+    def test_chiplets_beat_monolith_on_big_dies(self):
+        result = chiplet_vs_monolithic_kg(800.0, ProcessNode.N5,
+                                          n_chiplets=4)
+        assert result["chiplet_kg"] < result["monolithic_kg"]
+
+
+class TestOperational:
+    def test_grid_scaling(self):
+        coal = operational_carbon_kg(100.0, "coal-heavy")
+        hydro = operational_carbon_kg(100.0, "hydro-nordic")
+        assert coal > 20.0 * hydro
+
+    def test_pue_multiplies(self):
+        base = operational_carbon_kg(100.0, "us-average", pue=1.0)
+        dc = operational_carbon_kg(100.0, "us-average", pue=1.5)
+        assert dc == pytest.approx(1.5 * base)
+
+    def test_unknown_grid(self):
+        with pytest.raises(ConfigurationError):
+            operational_carbon_kg(1.0, "mars")
+
+    def test_training_carbon_scales_with_flops(self):
+        small = training_carbon_kg(1e15, 1e10, "world-average")
+        big = training_carbon_kg(1e18, 1e10, "world-average")
+        assert big == pytest.approx(1000.0 * small)
+
+    def test_edge_vs_cloud_directional_claim(self):
+        """The Patterson et al. §2.7 claim: on-device training emits
+        more CO2 than cloud training."""
+        result = edge_vs_cloud_training(1e18)
+        assert result["edge_kg"] > result["cloud_kg"]
+        assert result["ratio"] > 1.0
+
+    def test_edge_can_win_on_clean_microgrid(self):
+        result = edge_vs_cloud_training(
+            1e18, edge_efficiency=5e10, edge_grid="solar-microgrid",
+            cloud_grid="coal-heavy",
+        )
+        assert result["ratio"] < 1.0
+
+
+class TestEol:
+    def test_recovery_credit_bounded(self):
+        plan = EolPlan(collection_rate=1.0, material_recovery=1.0)
+        credit = recovery_credit_kg(plan, 100.0,
+                                    recoverable_fraction=0.3)
+        assert credit == pytest.approx(30.0)
+
+    def test_default_plan_recovers_little(self):
+        credit = recovery_credit_kg(EolPlan(), 100.0)
+        assert credit < 5.0
+
+    def test_ewaste_mass(self):
+        plan = EolPlan(collection_rate=0.25)
+        assert ewaste_mass_kg(1000, 0.1, plan) == pytest.approx(75.0)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ConfigurationError):
+            EolPlan(collection_rate=1.5)
+
+
+class TestLca:
+    def _inputs(self, **overrides):
+        defaults = dict(
+            name="dev", die_area_mm2=100.0, node=ProcessNode.N7,
+            average_power_w=10.0, duty_cycle=0.5,
+            lifetime_years=5.0, grid="world-average", units=1000,
+        )
+        defaults.update(overrides)
+        return LifecycleInputs(**defaults)
+
+    def test_components_sum(self):
+        a = assess(self._inputs())
+        assert a.total_kg == pytest.approx(
+            a.embodied_kg + a.operational_kg - a.eol_credit_kg
+        )
+        assert a.fleet_total_kg == pytest.approx(1000 * a.total_kg)
+
+    def test_short_life_raises_amortized_footprint(self):
+        long_lived = amortized_kg_per_year(
+            self._inputs(lifetime_years=10.0)
+        )
+        short_lived = amortized_kg_per_year(
+            self._inputs(lifetime_years=1.0)
+        )
+        assert short_lived > long_lived
+
+    def test_operational_fraction_grows_with_power(self):
+        idle = assess(self._inputs(average_power_w=1.0))
+        hungry = assess(self._inputs(average_power_w=100.0))
+        assert (hungry.operational_fraction
+                > idle.operational_fraction)
+
+    def test_compare_designs(self):
+        results = compare_designs({
+            "a": self._inputs(),
+            "b": self._inputs(average_power_w=50.0),
+        })
+        assert results["b"].total_kg > results["a"].total_kg
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            self._inputs(duty_cycle=2.0)
+
+
+class TestFleet:
+    def test_global_fleet_is_datacenter_scale(self):
+        """The Sudhakar et al. headline: ~100M AVs at ~840 W for ~2
+        h/day rival global datacenter power."""
+        scenario = FleetScenario("global", n_vehicles=1e8)
+        power = fleet_power_w(scenario)
+        assert datacenter_equivalents(scenario) > 100.0
+        assert power > 1e9  # gigawatt class
+
+    def test_growth_reaches_crossover(self):
+        scenario = FleetScenario("growing", n_vehicles=1e7,
+                                 annual_growth=0.3)
+        year = crossover_year(scenario)
+        assert 0 < year < 30
+
+    def test_no_growth_no_crossover(self):
+        scenario = FleetScenario("flat", n_vehicles=1e6,
+                                 annual_growth=0.0)
+        assert crossover_year(scenario, horizon_years=20) == -1
+
+    def test_projection_rows(self):
+        scenario = FleetScenario("s", n_vehicles=1e6,
+                                 annual_growth=0.1)
+        rows = fleet_vs_datacenters(scenario, years=5)
+        assert len(rows) == 6
+        powers = [p for _, p, __ in rows]
+        assert powers == sorted(powers)
+
+    def test_energy_projection(self):
+        scenario = FleetScenario("s", n_vehicles=1e8)
+        assert fleet_energy_twh_per_year(scenario) > 10.0
+
+    def test_invalid_hours(self):
+        with pytest.raises(ConfigurationError):
+            FleetScenario("bad", n_vehicles=1.0, hours_per_day=30.0)

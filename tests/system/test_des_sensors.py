@@ -1,0 +1,144 @@
+"""Unit tests for the DES engine, sensors, and I/O model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.system.des import Simulator
+from repro.system.io_model import (
+    IoModel,
+    datacenter_ingest,
+    ros_like_middleware,
+    shared_memory_transport,
+)
+from repro.system.sensors import Sensor, camera, imu, lidar
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(0.3, lambda s: log.append("c"))
+        sim.schedule(0.1, lambda s: log.append("a"))
+        sim.schedule(0.2, lambda s: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_by_priority_then_insertion(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(0.1, lambda s: log.append("late"), priority=5)
+        sim.schedule(0.1, lambda s: log.append("early"), priority=0)
+        sim.schedule(0.1, lambda s: log.append("late2"), priority=5)
+        sim.run()
+        assert log == ["early", "late", "late2"]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(0.5, lambda s: times.append(s.now))
+        sim.run()
+        assert times == [0.5]
+        assert sim.now == 0.5
+
+    def test_until_stops_early(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda s: log.append("x"))
+        sim.run(until=0.5)
+        assert log == []
+        assert sim.now == 0.5
+        assert sim.pending() == 1
+
+    def test_cannot_schedule_into_past(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda s: None)
+
+    def test_chained_scheduling(self):
+        sim = Simulator()
+        count = [0]
+
+        def tick(s):
+            count[0] += 1
+            if count[0] < 5:
+                s.schedule(0.1, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        assert count[0] == 5
+        assert sim.now == pytest.approx(0.4)
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def forever(s):
+            s.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+
+class TestSensor:
+    def test_emits_at_rate(self):
+        sim = Simulator()
+        samples = []
+        sensor = Sensor("s", rate_hz=10.0, output_bytes=100.0)
+        sensor.attach(sim, lambda s, sample: samples.append(sample))
+        sim.run(until=1.0)
+        assert 10 <= len(samples) <= 11
+        assert samples[0].seq == 0
+        assert samples[1].seq == 1
+
+    def test_jitter_bounded(self):
+        sim = Simulator()
+        stamps = []
+        sensor = Sensor("s", rate_hz=100.0, output_bytes=1.0,
+                        jitter_std_s=1e-3, seed=1)
+        sensor.attach(sim, lambda s, sample: stamps.append(s.now))
+        sim.run(until=0.5)
+        gaps = [b - a for a, b in zip(stamps, stamps[1:])]
+        # Jitter is clipped to half a period: gaps stay positive.
+        assert all(g > 0 for g in gaps)
+
+    def test_until_stops_emission(self):
+        sim = Simulator()
+        samples = []
+        sensor = Sensor("s", rate_hz=10.0, output_bytes=1.0)
+        sensor.attach(sim, lambda s, sample: samples.append(sample),
+                      until=0.25)
+        sim.run(until=2.0)
+        assert len(samples) <= 4
+
+    def test_presets(self):
+        assert camera().output_bytes == 640 * 480 * 2
+        assert imu().rate_hz == 200.0
+        assert lidar().output_bytes == 30000 * 16
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            Sensor("bad", rate_hz=0.0, output_bytes=1.0)
+
+
+class TestIoModel:
+    def test_transfer_time(self):
+        io = IoModel(fixed_overhead_s=1e-3, bandwidth=1e6)
+        assert io.transfer_time_s(1e6) == pytest.approx(1.001)
+
+    def test_energy(self):
+        io = IoModel(energy_per_byte=1e-9)
+        assert io.transfer_energy_j(1e6) == pytest.approx(1e-3)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IoModel().transfer_time_s(-1.0)
+
+    def test_middleware_slower_than_shared_memory(self):
+        frame = 640 * 480 * 2
+        assert (ros_like_middleware().transfer_time_s(frame)
+                > shared_memory_transport().transfer_time_s(frame))
+
+    def test_wan_is_the_ai_tax(self):
+        frame = 640 * 480 * 2
+        assert (datacenter_ingest().transfer_time_s(frame)
+                > 10 * ros_like_middleware().transfer_time_s(frame))

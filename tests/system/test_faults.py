@@ -1,0 +1,124 @@
+"""Unit tests for fault injection and thermal throttling (§2.6)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw import uav_compute_tiers
+from repro.kernels.planning import CircleWorld
+from repro.system import (
+    FaultSchedule,
+    MissionConfig,
+    ThermalModel,
+    run_mission,
+    run_mission_with_faults,
+)
+
+
+@pytest.fixture(scope="module")
+def mission_setup():
+    world = CircleWorld.random(dim=2, n_obstacles=30, extent=120.0,
+                               radius_range=(1.0, 3.0), seed=11,
+                               keep_corners_free=3.0)
+    config = MissionConfig(world=world, start=np.array([1.0, 1.0]),
+                           goal=np.array([118.0, 118.0]), laps=20)
+    tiers = uav_compute_tiers()
+    # tier1: comfortably successful nominal mission.
+    _, platform, mass, power = tiers[1]
+    return config, platform, mass, power
+
+
+class TestFaultSchedule:
+    def test_active_windows(self):
+        schedule = FaultSchedule(windows=((10.0, 20.0), (50.0, 55.0)))
+        assert schedule.active(15.0)
+        assert not schedule.active(30.0)
+        assert schedule.total_outage_s() == pytest.approx(15.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule(windows=((5.0, 5.0),))
+        with pytest.raises(ConfigurationError):
+            FaultSchedule(windows=((-1.0, 5.0),))
+
+
+class TestMissionWithFaults:
+    def test_no_faults_matches_nominal(self, mission_setup):
+        config, platform, mass, power = mission_setup
+        nominal = run_mission(config, platform, mass, power)
+        faulted = run_mission_with_faults(config, platform, mass,
+                                          power, FaultSchedule())
+        assert faulted.mission_time_s == nominal.mission_time_s
+        assert faulted.energy_j == nominal.energy_j
+
+    def test_short_blackout_costs_time_and_energy(self, mission_setup):
+        config, platform, mass, power = mission_setup
+        nominal = run_mission(config, platform, mass, power)
+        faulted = run_mission_with_faults(
+            config, platform, mass, power,
+            FaultSchedule(windows=((30.0, 90.0),)),
+        )
+        assert faulted.success
+        assert faulted.mission_time_s == pytest.approx(
+            nominal.mission_time_s + 60.0
+        )
+        assert faulted.energy_j > nominal.energy_j
+        assert faulted.mean_speed_m_s < nominal.mean_speed_m_s
+
+    def test_long_blackout_kills_the_battery(self, mission_setup):
+        config, platform, mass, power = mission_setup
+        nominal = run_mission(config, platform, mass, power)
+        margin_s = nominal.endurance_s - nominal.mission_time_s
+        assert margin_s > 0
+        faulted = run_mission_with_faults(
+            config, platform, mass, power,
+            FaultSchedule(windows=((10.0, 10.0 + margin_s + 120.0),)),
+        )
+        assert not faulted.success
+        assert faulted.failure_reason == "battery"
+        assert faulted.distance_m < nominal.distance_m
+
+    def test_faults_shrink_design_margin_not_speed(self, mission_setup):
+        config, platform, mass, power = mission_setup
+        faulted = run_mission_with_faults(
+            config, platform, mass, power,
+            FaultSchedule(windows=((0.0, 30.0),)),
+        )
+        nominal = run_mission(config, platform, mass, power)
+        assert faulted.safe_speed_m_s == nominal.safe_speed_m_s
+
+
+class TestThermalModel:
+    def test_no_throttle_within_capacity(self):
+        thermal = ThermalModel(heat_rejection_w=30.0)
+        assert thermal.throttle_factor(20.0) == 1.0
+        assert thermal.throttled_latency_s(0.01, 20.0) == 0.01
+
+    def test_throttle_scales_inverse_to_power(self):
+        thermal = ThermalModel(heat_rejection_w=30.0)
+        assert thermal.throttle_factor(60.0) == pytest.approx(0.5)
+        assert thermal.throttled_latency_s(0.01, 60.0) \
+            == pytest.approx(0.02)
+
+    def test_floor_respected(self):
+        thermal = ThermalModel(heat_rejection_w=30.0,
+                               min_throttle=0.4)
+        assert thermal.throttle_factor(1000.0) == 0.4
+
+    def test_desktop_gpu_on_a_drone_is_throttled(self):
+        """The quiet E4 failure mode: a 250 W board behind a 40 W
+        heatsink loses most of its paper advantage."""
+        thermal = ThermalModel(heat_rejection_w=40.0,
+                               min_throttle=0.1)
+        tiers = uav_compute_tiers()
+        _, workstation, __, power = tiers[-1]
+        from repro.system.mission import default_frame_profile
+        latency = workstation.estimate(default_frame_profile()).latency_s
+        throttled = thermal.throttled_latency_s(latency, power)
+        assert throttled > 5.0 * latency
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ThermalModel(heat_rejection_w=0.0)
+        with pytest.raises(ConfigurationError):
+            ThermalModel().throttle_factor(-1.0)

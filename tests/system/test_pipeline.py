@@ -1,0 +1,123 @@
+"""Unit tests for the queued pipeline simulation."""
+
+import pytest
+
+from repro.core.profile import WorkloadProfile
+from repro.core.workload import Stage, TaskGraph, linear_pipeline
+from repro.errors import ConfigurationError
+from repro.system.io_model import IoModel
+from repro.system.pipeline import PipelineSimulation
+
+
+def _profiles(names):
+    return [WorkloadProfile(name=n, flops=1e6) for n in names]
+
+
+def _linear(service_times, rate_hz=10.0, io=None, capacity=4):
+    graph = linear_pipeline("p", _profiles(list(service_times)),
+                            rate_hz=rate_hz, output_bytes=1e4)
+    return PipelineSimulation(graph, service_times,
+                              io=io or IoModel(),
+                              queue_capacity=capacity)
+
+
+class TestBasics:
+    def test_underloaded_pipeline_completes_everything(self):
+        sim = _linear({"a": 0.01, "b": 0.02}, rate_hz=10.0)
+        result = sim.run(5.0)
+        assert result.samples_completed >= result.samples_emitted - 2
+        assert result.drop_rate() == 0.0
+
+    def test_latency_is_sum_of_services_when_idle(self):
+        sim = _linear({"a": 0.01, "b": 0.02}, rate_hz=1.0)
+        result = sim.run(10.0)
+        expected = 0.01 + 0.02 + IoModel().transfer_time_s(1e4)
+        assert result.mean_latency_s() == pytest.approx(expected,
+                                                        rel=0.01)
+
+    def test_missing_service_time_rejected(self):
+        graph = linear_pipeline("p", _profiles(["a", "b"]),
+                                rate_hz=1.0)
+        with pytest.raises(ConfigurationError):
+            PipelineSimulation(graph, {"a": 0.01})
+
+    def test_source_needs_rate(self):
+        graph = TaskGraph("g", [
+            Stage("a", WorkloadProfile(name="a", flops=1.0)),
+        ])
+        with pytest.raises(ConfigurationError):
+            PipelineSimulation(graph, {"a": 0.01})
+
+
+class TestOverload:
+    def test_bottleneck_drops_frames(self):
+        # Stage b needs 0.2 s but frames arrive every 0.1 s.
+        sim = _linear({"a": 0.01, "b": 0.2}, rate_hz=10.0,
+                      capacity=2)
+        result = sim.run(10.0)
+        assert result.drop_rate() > 0.2
+        assert result.stage_stats["b"].dropped > 0
+
+    def test_throughput_capped_by_bottleneck(self):
+        sim = _linear({"a": 0.01, "b": 0.2}, rate_hz=10.0)
+        result = sim.run(20.0)
+        assert result.throughput_hz() == pytest.approx(5.0, rel=0.1)
+
+    def test_utilization_saturates(self):
+        sim = _linear({"a": 0.01, "b": 0.2}, rate_hz=10.0)
+        result = sim.run(10.0)
+        assert result.stage_stats["b"].utilization(10.0) > 0.9
+        assert result.stage_stats["a"].utilization(10.0) < 0.2
+
+    def test_queueing_inflates_latency(self):
+        fast = _linear({"a": 0.01, "b": 0.05}, rate_hz=10.0)
+        slow = _linear({"a": 0.01, "b": 0.099}, rate_hz=10.0)
+        lat_fast = fast.run(10.0).mean_latency_s()
+        lat_slow = slow.run(10.0).mean_latency_s()
+        assert lat_slow > lat_fast
+
+
+class TestDeadlines:
+    def test_deadline_miss_rate(self):
+        sim = _linear({"a": 0.01, "b": 0.02}, rate_hz=10.0)
+        result = sim.run(5.0)
+        # Generous deadline: everything on time.
+        assert result.deadline_miss_rate(1.0) < 0.1
+        # Impossible deadline: everything misses.
+        assert result.deadline_miss_rate(1e-6) == pytest.approx(
+            1.0, abs=0.05
+        )
+
+    def test_p99_at_least_mean(self):
+        sim = _linear({"a": 0.01, "b": 0.02}, rate_hz=10.0)
+        result = sim.run(5.0)
+        assert result.p99_latency_s() >= result.mean_latency_s()
+
+
+class TestJoin:
+    def test_fork_join_completes(self):
+        profile = WorkloadProfile(name="x", flops=1e6)
+        graph = TaskGraph("diamond", [
+            Stage("src", profile, rate_hz=10.0, output_bytes=1e3),
+            Stage("left", profile, deps=("src",), output_bytes=1e3),
+            Stage("right", profile, deps=("src",), output_bytes=1e3),
+            Stage("sink", profile, deps=("left", "right")),
+        ])
+        sim = PipelineSimulation(graph, {
+            "src": 0.001, "left": 0.002, "right": 0.005,
+            "sink": 0.001,
+        })
+        result = sim.run(3.0)
+        assert result.samples_completed > 20
+        # The join fires once per seq, not once per input.
+        assert result.stage_stats["sink"].completed <= \
+            result.stage_stats["left"].completed + 1
+
+    def test_io_cost_adds_latency(self):
+        slow_io = IoModel(fixed_overhead_s=0.05, bandwidth=1e9)
+        sim_fast = _linear({"a": 0.001, "b": 0.001}, rate_hz=5.0)
+        sim_slow = _linear({"a": 0.001, "b": 0.001}, rate_hz=5.0,
+                           io=slow_io)
+        fast = sim_fast.run(4.0).mean_latency_s()
+        slow = sim_slow.run(4.0).mean_latency_s()
+        assert slow > fast + 0.04

@@ -1,0 +1,146 @@
+"""Unit tests for the scheduler and UAV physics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.system.robot import BatteryModel, UavPhysics
+from repro.system.scheduler import (
+    PeriodicTask,
+    SchedulerPolicy,
+    rm_utilization_bound,
+    simulate_scheduler,
+)
+
+
+def _feasible_tasks():
+    # Utilization 0.2 + 0.3 + 0.2 = 0.7 < RM bound for 3 tasks (0.78).
+    return [
+        PeriodicTask("fast", period_s=0.01, wcet_s=0.002, priority=0),
+        PeriodicTask("mid", period_s=0.05, wcet_s=0.015, priority=1),
+        PeriodicTask("slow", period_s=0.1, wcet_s=0.02, priority=2),
+    ]
+
+
+def _overloaded_tasks():
+    return [
+        PeriodicTask("fast", period_s=0.01, wcet_s=0.005, priority=0),
+        PeriodicTask("mid", period_s=0.05, wcet_s=0.03, priority=1),
+        PeriodicTask("slow", period_s=0.1, wcet_s=0.05, priority=2),
+    ]
+
+
+class TestScheduler:
+    def test_feasible_set_meets_deadlines_under_edf(self):
+        result = simulate_scheduler(_feasible_tasks(),
+                                    SchedulerPolicy.EDF,
+                                    duration_s=1.0, time_step_s=1e-4)
+        assert result.miss_rate == 0.0
+
+    def test_feasible_set_meets_deadlines_under_rm(self):
+        result = simulate_scheduler(_feasible_tasks(),
+                                    SchedulerPolicy.RATE_MONOTONIC,
+                                    duration_s=1.0, time_step_s=1e-4)
+        assert result.miss_rate == 0.0
+
+    def test_fifo_misses_on_feasible_set(self):
+        """Non-preemptive FIFO lets long jobs block short periods —
+        the §2.4 scheduling-complexity point."""
+        result = simulate_scheduler(_feasible_tasks(),
+                                    SchedulerPolicy.FIFO,
+                                    duration_s=1.0, time_step_s=1e-4)
+        assert result.miss_rate > 0.0
+
+    def test_overload_degrades_everyone(self):
+        result = simulate_scheduler(_overloaded_tasks(),
+                                    SchedulerPolicy.EDF,
+                                    duration_s=1.0, time_step_s=1e-4)
+        assert result.utilization > 1.0
+        assert result.miss_rate > 0.1
+
+    def test_priority_protects_high_priority_task(self):
+        result = simulate_scheduler(_overloaded_tasks(),
+                                    SchedulerPolicy.FIXED_PRIORITY,
+                                    duration_s=1.0, time_step_s=1e-4)
+        assert result.per_task_misses["fast"] == 0
+
+    def test_rm_bound_values(self):
+        assert rm_utilization_bound(1) == pytest.approx(1.0)
+        assert rm_utilization_bound(2) == pytest.approx(0.828, abs=1e-3)
+        assert rm_utilization_bound(3) == pytest.approx(0.780, abs=1e-3)
+
+    def test_jobs_accounted(self):
+        result = simulate_scheduler(_feasible_tasks(),
+                                    SchedulerPolicy.EDF,
+                                    duration_s=0.5, time_step_s=1e-4)
+        assert result.jobs_released >= 50 + 10 + 5
+        assert result.jobs_completed <= result.jobs_released
+
+    def test_coarse_time_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_scheduler(_feasible_tasks(),
+                               SchedulerPolicy.EDF,
+                               duration_s=1.0, time_step_s=0.005)
+
+    def test_invalid_task(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicTask("bad", period_s=0.0, wcet_s=0.1)
+
+
+class TestBattery:
+    def test_usable_energy(self):
+        battery = BatteryModel(capacity_wh=50.0, usable_fraction=0.8)
+        assert battery.usable_energy_j == pytest.approx(
+            50.0 * 3600.0 * 0.8
+        )
+
+    def test_from_capacity_sizes_mass(self):
+        battery = BatteryModel.from_capacity(
+            150.0, specific_energy_wh_per_kg=150.0
+        )
+        assert battery.mass_kg == pytest.approx(1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            BatteryModel(capacity_wh=0.0)
+
+
+class TestUavPhysics:
+    def test_hover_power_superlinear_in_mass(self):
+        uav = UavPhysics()
+        p1 = uav.hover_power_w(1.0)
+        p2 = uav.hover_power_w(2.0)
+        assert p2 > 2.0 * p1  # m^1.5 scaling
+
+    def test_hover_power_plausible_for_small_quad(self):
+        uav = UavPhysics()
+        power = uav.hover_power_w(1.2)
+        assert 50.0 < power < 300.0
+
+    def test_safe_speed_decreases_with_latency(self):
+        uav = UavPhysics()
+        fast = uav.safe_speed_m_s(10.0, 0.01)
+        slow = uav.safe_speed_m_s(10.0, 1.0)
+        assert fast > slow
+
+    def test_safe_speed_zero_latency_is_braking_limited(self):
+        uav = UavPhysics(max_speed_m_s=100.0, max_accel_m_s2=5.0)
+        v = uav.safe_speed_m_s(10.0, 0.0)
+        assert v == pytest.approx((2 * 5.0 * 10.0) ** 0.5)
+
+    def test_safe_speed_capped(self):
+        uav = UavPhysics(max_speed_m_s=3.0)
+        assert uav.safe_speed_m_s(1000.0, 0.0) == 3.0
+
+    def test_flight_time_shrinks_with_payload(self):
+        uav = UavPhysics()
+        battery = BatteryModel()
+        light = uav.flight_time_s(battery, 0.05, 5.0)
+        heavy = uav.flight_time_s(battery, 2.0, 250.0)
+        assert light > 2.0 * heavy
+
+    def test_invalid_args(self):
+        uav = UavPhysics()
+        with pytest.raises(ConfigurationError):
+            uav.hover_power_w(0.0)
+        with pytest.raises(ConfigurationError):
+            uav.safe_speed_m_s(-1.0, 0.1)

@@ -1,0 +1,101 @@
+"""Unit tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("suite", "mission", "fig1"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+
+class TestFig1Command:
+    def test_prints_trend(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "2024" in out
+        assert "CAGR" in out
+
+
+class TestAuditCommand:
+    def test_bad_plan_exits_nonzero(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "name": "naive",
+            "accelerated_categories": ["gemm"],
+            "metrics": ["throughput"],
+        }))
+        assert main(["audit", str(plan)]) == 1
+        out = capsys.readouterr().out
+        assert "score" in out
+        assert "build-bridges" in out
+
+    def test_clean_plan_exits_zero(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "name": "playbook",
+            "accelerated_categories": ["gemm"],
+            "metrics": ["success_rate", "mission_energy_j"],
+            "evaluated_workloads": ["a", "b", "c"],
+            "baseline_platforms": ["cpu", "gpu"],
+            "end_to_end": True,
+            "closed_loop": True,
+            "expert_consultations": 2,
+            "integrates_with_middleware": True,
+            "system_budget_accounted": True,
+            "shared_resource_analysis": True,
+            "lifecycle_analysis": True,
+        }))
+        assert main(["audit", str(plan)]) == 0
+
+
+class TestVerifyCommand:
+    def test_feasible_pipeline(self, tmp_path, capsys):
+        dsl = tmp_path / "p.dsl"
+        dsl.write_text(
+            "pipeline p @ 30Hz\nstage a: harris(image_size=480)\n"
+        )
+        assert main(["verify", str(dsl)]) == 0
+        assert "VERIFIED" in capsys.readouterr().out
+
+    def test_infeasible_pipeline(self, tmp_path, capsys):
+        dsl = tmp_path / "p.dsl"
+        dsl.write_text(
+            "pipeline p @ 30Hz\n"
+            "stage big: gemm(m=2048, n=2048, k=2048)\n"
+        )
+        assert main(["verify", str(dsl)]) == 1
+        assert "REJECTED" in capsys.readouterr().out
+
+    def test_unknown_platform(self, tmp_path, capsys):
+        dsl = tmp_path / "p.dsl"
+        dsl.write_text(
+            "pipeline p @ 30Hz\nstage a: harris(image_size=64)\n"
+        )
+        assert main(["verify", str(dsl),
+                     "--platform", "quantum"]) == 2
+
+
+class TestSuiteCommand:
+    def test_runs_and_ranks(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "Suite scores" in out
+        assert "embedded-cpu" in out
+
+
+class TestMissionCommand:
+    def test_sweep_runs(self, capsys):
+        assert main(["mission", "--laps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "tier0" in out and "tier4" in out

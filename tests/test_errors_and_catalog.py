@@ -1,0 +1,114 @@
+"""Cross-cutting sanity: error hierarchy, catalog calibration, package
+surface."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import errors
+from repro.core.profile import DivergenceClass, WorkloadProfile
+from repro.hw import (
+    asic_gemm_engine,
+    datacenter_gpu,
+    desktop_cpu,
+    embedded_cpu,
+    embedded_gpu,
+    midrange_fpga,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_base(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.MappingError("x")
+
+    def test_package_version(self):
+        assert repro.__version__
+
+
+def _big_gemm():
+    n = 1024
+    return WorkloadProfile(
+        name="gemm-1k", flops=2.0 * n ** 3,
+        bytes_read=2.0 * 8 * n * n, bytes_written=8.0 * n * n,
+        working_set_bytes=3.0 * 8 * n * n,
+        parallel_fraction=1.0, divergence=DivergenceClass.NONE,
+        op_class="gemm",
+    )
+
+
+class TestCatalogCalibration:
+    """Datasheet-order sanity: the catalog's relative orderings are the
+    ones the real device classes exhibit."""
+
+    def test_desktop_beats_embedded_cpu(self):
+        profile = _big_gemm()
+        assert (desktop_cpu().estimate(profile).latency_s
+                < embedded_cpu().estimate(profile).latency_s)
+
+    def test_datacenter_gpu_is_fastest_on_big_gemm(self):
+        profile = _big_gemm()
+        platforms = [embedded_cpu(), desktop_cpu(), embedded_gpu(),
+                     midrange_fpga(), datacenter_gpu()]
+        latencies = {p.name: p.estimate(profile).latency_s
+                     for p in platforms}
+        assert min(latencies, key=latencies.get) == "datacenter-gpu"
+
+    def test_asic_is_most_energy_efficient_on_its_kernel(self):
+        profile = _big_gemm()
+        platforms = [embedded_cpu(), desktop_cpu(), embedded_gpu(),
+                     midrange_fpga(), asic_gemm_engine()]
+        energies = {p.name: p.estimate(profile).energy_j
+                    for p in platforms}
+        assert min(energies, key=energies.get) == "gemm-engine"
+
+    def test_peak_flops_ladder(self):
+        # embedded CPU < FPGA < embedded GPU < datacenter GPU.
+        assert (embedded_cpu().config.peak_flops
+                < midrange_fpga().config.peak_flops
+                < embedded_gpu().config.peak_flops
+                < datacenter_gpu().config.peak_flops)
+
+    def test_tdp_order_matches_device_class(self):
+        assert (embedded_cpu().config.static_power_w
+                < datacenter_gpu().config.static_power_w)
+
+    def test_energy_per_flop_ladder(self):
+        """The Horowitz ladder: CPU > FPGA > GPU-class > ASIC dynamic
+        energy per op (as configured)."""
+        cpu_e = embedded_cpu().config.energy_per_flop
+        fpga_e = midrange_fpga().config.energy_per_flop
+        gpu_e = embedded_gpu().config.energy_per_flop
+        asic_e = asic_gemm_engine().config.energy_per_flop
+        assert cpu_e > fpga_e > gpu_e > asic_e
+
+
+class TestPublicSurface:
+    def test_top_level_reexports(self):
+        assert repro.WorkloadProfile is not None
+        assert repro.CostEstimate is not None
+        assert repro.ReproError is errors.ReproError
+
+    def test_all_subpackages_importable(self):
+        import importlib
+        for name in ("core", "kernels", "hw", "system", "dse",
+                     "metrics", "sustainability", "benchmarksuite",
+                     "biblio", "cli"):
+            module = importlib.import_module(f"repro.{name}")
+            assert module.__doc__, f"repro.{name} lacks a docstring"
+
+    def test_dunder_all_resolves(self):
+        import importlib
+        for name in ("core", "hw", "system", "dse", "metrics",
+                     "sustainability", "benchmarksuite", "biblio"):
+            module = importlib.import_module(f"repro.{name}")
+            for symbol in getattr(module, "__all__", ()):
+                assert hasattr(module, symbol), \
+                    f"repro.{name}.{symbol} in __all__ but missing"
