@@ -11,8 +11,9 @@ target rate.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.benchmarksuite.scoring import score_report
 from repro.benchmarksuite.workloads import standard_suite
@@ -21,6 +22,8 @@ from repro.core.workload import Workload
 from repro.errors import BenchmarkError, MappingError
 from repro.hw.mapping import HeterogeneousSoC, MappingPolicy
 from repro.hw.platform import Platform
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import Tracer, get_tracer
 
 Target = Union[Platform, HeterogeneousSoC]
 
@@ -36,6 +39,8 @@ class BenchmarkRow:
             any stage is unrunnable).
         energy_j: Energy per activation (``inf`` when unrunnable).
         deadline_s: The workload's per-activation deadline.
+        wall_time_s: Wall-clock time the evaluation itself took (the
+            suite runner self-profiling; 0.0 for hand-built rows).
         meets_deadline: Whether latency fits the deadline.
     """
 
@@ -44,6 +49,7 @@ class BenchmarkRow:
     latency_s: float
     energy_j: float
     deadline_s: float
+    wall_time_s: float = 0.0
 
     @property
     def meets_deadline(self) -> bool:
@@ -56,6 +62,7 @@ def _target_name(target: Target) -> str:
 
 def _evaluate(workload: Workload, target: Target) -> BenchmarkRow:
     deadline = workload.deadline_s()
+    started = time.perf_counter()
     try:
         if isinstance(target, HeterogeneousSoC):
             latency = target.graph_latency_s(
@@ -84,6 +91,7 @@ def _evaluate(workload: Workload, target: Target) -> BenchmarkRow:
         latency_s=latency,
         energy_j=energy,
         deadline_s=deadline,
+        wall_time_s=time.perf_counter() - started,
     )
 
 
@@ -100,18 +108,57 @@ class SuiteRunner:
         if not self.workloads:
             raise BenchmarkError("suite must contain >= 1 workload")
 
-    def run(self, targets: Sequence[Target]) -> List[BenchmarkRow]:
-        """All (workload x target) rows in deterministic order."""
+    def run(self, targets: Sequence[Target],
+            tracer: Optional[Tracer] = None,
+            metrics: Optional[MetricsRegistry] = None
+            ) -> List[BenchmarkRow]:
+        """All (workload x target) rows in deterministic order.
+
+        Args:
+            targets: Platforms/SoCs to evaluate.
+            tracer: Telemetry tracer (defaults to the process-global
+                no-op); each row gets a wall-clock span on a
+                ``suite:<target>`` track.
+            metrics: Optional registry receiving row counters and
+                latency / wall-time histograms.
+        """
         if not targets:
             raise BenchmarkError("need >= 1 target")
         names = [_target_name(t) for t in targets]
         if len(set(names)) != len(names):
             raise BenchmarkError(f"duplicate target names: {names}")
-        return [
-            _evaluate(workload, target)
-            for workload in self.workloads
-            for target in targets
-        ]
+        tracer = tracer if tracer is not None else get_tracer()
+        rows: List[BenchmarkRow] = []
+        for workload in self.workloads:
+            for target in targets:
+                with tracer.wall_span(
+                    workload.name,
+                    track=f"suite:{_target_name(target)}",
+                ) as span:
+                    row = _evaluate(workload, target)
+                if tracer.enabled and span.args is None:
+                    span.args = {"latency_s": row.latency_s,
+                                 "energy_j": row.energy_j,
+                                 "meets_deadline": row.meets_deadline}
+                rows.append(row)
+        if metrics is not None:
+            self._publish_metrics(rows, metrics)
+        return rows
+
+    @staticmethod
+    def _publish_metrics(rows: Sequence[BenchmarkRow],
+                         metrics: MetricsRegistry) -> None:
+        latency = metrics.histogram("suite.latency_s")
+        wall = metrics.histogram("suite.row_wall_s")
+        for row in rows:
+            metrics.counter("suite.rows").inc()
+            if math.isfinite(row.latency_s):
+                latency.record(row.latency_s)
+            else:
+                metrics.counter("suite.rows_infeasible").inc()
+            if not row.meets_deadline:
+                metrics.counter("suite.rows_missing_deadline").inc()
+            wall.record(row.wall_time_s)
 
     def latency_map(self, rows: Sequence[BenchmarkRow]
                     ) -> Dict[str, Dict[str, float]]:
@@ -123,7 +170,7 @@ class SuiteRunner:
         return table
 
     def ranked_scores(self, rows: Sequence[BenchmarkRow],
-                      reference: str) -> List:
+                      reference: str) -> List[Tuple[str, float]]:
         """Geomean-speedup ranking vs. a reference target.
 
         Workloads any target cannot run are excluded suite-wide (their

@@ -11,12 +11,20 @@ code:
   patrol mission (§2.4);
 - ``fig1``     — regenerate the publication-trend figure;
 - ``verify``   — parse a pipeline DSL file and statically verify it
-  against a catalog platform.
+  against a catalog platform;
+- ``trace``    — run an instrumented simulation and export a Chrome
+  trace (open in Perfetto / ``chrome://tracing``), or summarize one.
+
+``suite`` and ``mission`` accept ``--json <path>`` (machine-readable
+results with run provenance) and ``--trace-out <path>`` (Chrome trace of
+the run) so every workflow can feed automated optimization loops instead
+of only printing tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import List, Optional, Sequence
@@ -34,18 +42,46 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         embedded_gpu,
         midrange_fpga,
     )
+    from repro.telemetry import (
+        MetricsRegistry,
+        Tracer,
+        run_provenance,
+        write_chrome_trace,
+        write_metrics_json,
+    )
 
+    tracer = Tracer() if args.trace_out else None
+    metrics = MetricsRegistry()
     runner = SuiteRunner()
     targets = [embedded_cpu(), desktop_cpu(), embedded_gpu(),
                midrange_fpga(),
                HeterogeneousSoC("gemm-soc", embedded_cpu("soc-host"),
                                 [asic_gemm_engine()])]
-    rows = runner.run(targets)
+    rows = runner.run(targets, tracer=tracer, metrics=metrics)
     print(runner.report(rows))
     print()
     scores = runner.ranked_scores(rows, "embedded-cpu")
     print(format_table(["target", "geomean speedup vs embedded-cpu"],
                        scores, title="Suite scores"))
+
+    provenance = run_provenance(config={"command": "suite",
+                                        "reference": "embedded-cpu"})
+    if args.json:
+        write_metrics_json(
+            args.json, registry=metrics, provenance=provenance,
+            extra={
+                "rows": [{**dataclasses.asdict(r),
+                          "meets_deadline": r.meets_deadline}
+                         for r in rows],
+                "scores": [{"target": t, "geomean_speedup": s}
+                           for t, s in scores],
+            },
+        )
+        print(f"wrote metrics JSON to {args.json}")
+    if args.trace_out and tracer is not None:
+        count = write_chrome_trace(tracer, args.trace_out,
+                                   provenance=provenance)
+        print(f"wrote {count} trace events to {args.trace_out}")
     return 0
 
 
@@ -107,6 +143,12 @@ def _cmd_mission(args: argparse.Namespace) -> int:
     from repro.hw import uav_compute_tiers
     from repro.kernels.planning import CircleWorld
     from repro.system import MissionConfig, sweep_compute_tiers
+    from repro.telemetry import (
+        Tracer,
+        run_provenance,
+        write_chrome_trace,
+        write_metrics_json,
+    )
 
     world = CircleWorld.random(dim=2, n_obstacles=40, extent=120.0,
                                radius_range=(1.0, 3.0),
@@ -114,7 +156,18 @@ def _cmd_mission(args: argparse.Namespace) -> int:
     config = MissionConfig(world=world, start=np.array([1.0, 1.0]),
                            goal=np.array([118.0, 118.0]),
                            laps=args.laps)
-    rows = sweep_compute_tiers(config, uav_compute_tiers())
+    tracer = Tracer() if args.trace_out else None
+    tiers = uav_compute_tiers()
+    if tracer is not None:
+        rows = []
+        for name, platform, mass, power in tiers:
+            with tracer.wall_span(name, track="mission"):
+                pairs = sweep_compute_tiers(
+                    config, [(name, platform, mass, power)]
+                )
+            rows.append(pairs[0])
+    else:
+        rows = sweep_compute_tiers(config, tiers)
     print(format_table(
         ["tier", "outcome", "safe speed (m/s)", "endurance (s)",
          "energy (kJ)"],
@@ -124,6 +177,22 @@ def _cmd_mission(args: argparse.Namespace) -> int:
          for name, r in rows],
         title=f"Closed-loop patrol mission, {args.laps} laps",
     ))
+    provenance = run_provenance(
+        seed=args.seed,
+        config={"command": "mission", "laps": args.laps},
+    )
+    if args.json:
+        write_metrics_json(
+            args.json, provenance=provenance,
+            extra={"rows": [{"tier": name,
+                             **dataclasses.asdict(result)}
+                            for name, result in rows]},
+        )
+        print(f"wrote metrics JSON to {args.json}")
+    if args.trace_out and tracer is not None:
+        count = write_chrome_trace(tracer, args.trace_out,
+                                   provenance=provenance)
+        print(f"wrote {count} trace events to {args.trace_out}")
     return 0
 
 
@@ -142,17 +211,22 @@ def _cmd_fig1(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_verify(args: argparse.Namespace) -> int:
-    from repro.core.dsl import parse_pipeline, verify_pipeline
+def _catalog_builders():
     from repro.hw import catalog
 
-    builders = {
+    return {
         "embedded-cpu": catalog.embedded_cpu,
         "desktop-cpu": catalog.desktop_cpu,
         "embedded-gpu": catalog.embedded_gpu,
         "datacenter-gpu": catalog.datacenter_gpu,
         "midrange-fpga": catalog.midrange_fpga,
     }
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.dsl import parse_pipeline, verify_pipeline
+
+    builders = _catalog_builders()
     if args.platform not in builders:
         print(f"unknown platform {args.platform!r}; choose from"
               f" {sorted(builders)}", file=sys.stderr)
@@ -171,6 +245,133 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.verified else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import (
+        MetricsRegistry,
+        Tracer,
+        run_provenance,
+        trace_summary,
+        write_chrome_trace,
+        write_metrics_json,
+    )
+
+    from repro.errors import TelemetryError
+
+    if args.trace_command == "summary":
+        with open(args.trace) as handle:
+            document = json.load(handle)
+        try:
+            summary = trace_summary(document)
+        except TelemetryError as error:
+            print(f"{args.trace}: {error}", file=sys.stderr)
+            return 2
+        print(f"{summary['events']} events;"
+              f" phases {summary['phases']}")
+        print(format_table(
+            ["track", "spans", "busy (ms)"],
+            [[track, int(stats["spans"]), stats["busy_us"] / 1e3]
+             for track, stats in summary["tracks"].items()],
+            title="Span tracks",
+        ))
+        return 0
+
+    if args.duration <= 0:
+        print(f"--duration must be > 0 (got {args.duration})",
+              file=sys.stderr)
+        return 2
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+
+    if args.trace_command == "pipeline":
+        from repro.benchmarksuite.workloads import standard_suite
+        from repro.system.pipeline import PipelineSimulation
+
+        workloads = {w.name: w for w in standard_suite()}
+        if args.workload not in workloads:
+            print(f"unknown workload {args.workload!r}; choose from"
+                  f" {sorted(workloads)}", file=sys.stderr)
+            return 2
+        builders = _catalog_builders()
+        if args.platform not in builders:
+            print(f"unknown platform {args.platform!r}; choose from"
+                  f" {sorted(builders)}", file=sys.stderr)
+            return 2
+        workload = workloads[args.workload]
+        platform = builders[args.platform]()
+        service_times = {}
+        for stage in workload.graph.stages:
+            if not platform.supports(stage.profile):
+                print(f"{platform.name} cannot run stage"
+                      f" {stage.name!r}", file=sys.stderr)
+                return 2
+            service_times[stage.name] = \
+                platform.estimate(stage.profile).latency_s
+        simulation = PipelineSimulation(
+            workload.graph, service_times,
+            queue_capacity=args.queue_capacity,
+            tracer=tracer, metrics=metrics,
+        )
+        result = simulation.run(args.duration)
+        print(f"{workload.name} on {platform.name}:"
+              f" {result.samples_completed}/{result.samples_emitted}"
+              f" samples, mean latency"
+              f" {result.mean_latency_s() * 1e3:.3f} ms, p99"
+              f" {result.p99_latency_s() * 1e3:.3f} ms, drop rate"
+              f" {result.drop_rate():.1%}")
+        provenance = run_provenance(config={
+            "command": "trace pipeline", "workload": args.workload,
+            "platform": args.platform, "duration_s": args.duration,
+            "queue_capacity": args.queue_capacity,
+        })
+    else:  # scheduler
+        from repro.system.scheduler import (
+            PeriodicTask,
+            SchedulerPolicy,
+            simulate_scheduler,
+        )
+
+        policies = {p.value: p for p in SchedulerPolicy}
+        if args.policy not in policies:
+            print(f"unknown policy {args.policy!r}; choose from"
+                  f" {sorted(policies)}", file=sys.stderr)
+            return 2
+        scale = 2.0 if args.overload else 1.0
+        tasks = [
+            PeriodicTask("control", period_s=0.01,
+                         wcet_s=0.002 * scale, priority=0),
+            PeriodicTask("perception", period_s=0.033,
+                         wcet_s=0.010 * scale, priority=1),
+            PeriodicTask("planning", period_s=0.1,
+                         wcet_s=0.025 * scale, priority=2),
+        ]
+        result = simulate_scheduler(tasks, policies[args.policy],
+                                    duration_s=args.duration,
+                                    tracer=tracer)
+        print(f"{args.policy}: {result.jobs_completed}/"
+              f"{result.jobs_released} jobs completed,"
+              f" {result.deadline_misses} deadline miss(es),"
+              f" utilization {result.utilization:.2f}")
+        metrics.counter("scheduler.jobs_released").inc(
+            result.jobs_released)
+        metrics.counter("scheduler.deadline_misses").inc(
+            result.deadline_misses)
+        provenance = run_provenance(config={
+            "command": "trace scheduler", "policy": args.policy,
+            "duration_s": args.duration, "overload": args.overload,
+        })
+
+    count = write_chrome_trace(tracer, args.out,
+                               provenance=provenance)
+    print(f"wrote {count} trace events to {args.out}"
+          f" (open in chrome://tracing or ui.perfetto.dev)")
+    if args.metrics_out:
+        write_metrics_json(args.metrics_out, registry=metrics,
+                           provenance=provenance)
+        print(f"wrote metrics JSON to {args.metrics_out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -179,8 +380,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("suite", help="run the benchmark suite across the"
-                                 " platform catalog")
+    suite = sub.add_parser("suite", help="run the benchmark suite"
+                                         " across the platform catalog")
+    suite.add_argument("--json", help="also write rows + scores +"
+                                      " metrics as JSON")
+    suite.add_argument("--trace-out", help="write a Chrome trace of"
+                                           " the run")
 
     audit = sub.add_parser("audit", help="Seven Challenges audit of a"
                                          " JSON design plan")
@@ -190,6 +395,10 @@ def build_parser() -> argparse.ArgumentParser:
                                              " mission sweep")
     mission.add_argument("--laps", type=int, default=20)
     mission.add_argument("--seed", type=int, default=11)
+    mission.add_argument("--json", help="also write per-tier results"
+                                        " as JSON")
+    mission.add_argument("--trace-out", help="write a Chrome trace of"
+                                             " the sweep")
 
     fig1 = sub.add_parser("fig1", help="regenerate the Fig. 1 trend")
     fig1.add_argument("--seed", type=int, default=0)
@@ -198,6 +407,37 @@ def build_parser() -> argparse.ArgumentParser:
                                            " pipeline DSL file")
     verify.add_argument("pipeline", help="path to the DSL file")
     verify.add_argument("--platform", default="embedded-cpu")
+
+    trace = sub.add_parser("trace", help="run an instrumented"
+                                         " simulation and export a"
+                                         " Chrome trace")
+    trace_sub = trace.add_subparsers(dest="trace_command",
+                                     required=True)
+
+    trace_pipeline = trace_sub.add_parser(
+        "pipeline", help="queued pipeline simulation of a suite"
+                         " workload on a catalog platform")
+    trace_pipeline.add_argument("--workload", default="vio-navigation")
+    trace_pipeline.add_argument("--platform", default="embedded-cpu")
+    trace_pipeline.add_argument("--duration", type=float, default=1.0)
+    trace_pipeline.add_argument("--queue-capacity", type=int, default=4)
+    trace_pipeline.add_argument("--out", default="trace.json")
+    trace_pipeline.add_argument("--metrics-out",
+                                help="also write a metrics JSON")
+
+    trace_scheduler = trace_sub.add_parser(
+        "scheduler", help="Gantt trace of the autonomy task set under"
+                          " a scheduling policy")
+    trace_scheduler.add_argument("--policy", default="edf")
+    trace_scheduler.add_argument("--duration", type=float, default=1.0)
+    trace_scheduler.add_argument("--overload", action="store_true")
+    trace_scheduler.add_argument("--out", default="trace.json")
+    trace_scheduler.add_argument("--metrics-out",
+                                 help="also write a metrics JSON")
+
+    trace_summary = trace_sub.add_parser(
+        "summary", help="summarize an exported Chrome trace")
+    trace_summary.add_argument("trace", help="path to the trace JSON")
     return parser
 
 
@@ -209,6 +449,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "mission": _cmd_mission,
         "fig1": _cmd_fig1,
         "verify": _cmd_verify,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -15,6 +15,7 @@ import numpy as np
 from repro.dse.search import Objective, SearchResult, _record
 from repro.dse.space import Config, DesignSpace
 from repro.errors import SearchError
+from repro.telemetry.tracer import get_tracer
 
 
 class EvolutionarySearch:
@@ -83,6 +84,7 @@ class EvolutionarySearch:
         """
         if budget < 2:
             raise SearchError("budget must be >= 2")
+        tracer = get_tracer()
         history: List[Tuple[Config, float]] = []
         trace: List[float] = []
         cache: Dict[int, float] = {}
@@ -93,6 +95,10 @@ class EvolutionarySearch:
             nonlocal best_config, best_value
             key = self.space.index_of(config)
             if key in cache:
+                if tracer.enabled:
+                    tracer.instant("dse.cache_hit",
+                                   ts=float(len(trace)), track="dse",
+                                   args={"config": dict(config)})
                 return cache[key]
             value = objective(config)
             cache[key] = value
@@ -122,6 +128,14 @@ class EvolutionarySearch:
             population.append((child, value))
             population.sort(key=lambda pair: pair[1])
             population = population[:self.population_size]
+            if tracer.enabled:
+                tracer.instant(
+                    "dse.generation", ts=float(len(trace)),
+                    track="dse",
+                    args={"population_best": population[0][1],
+                          "population_worst": population[-1][1],
+                          "unique_evals": len(cache)},
+                )
             if len(cache) >= self.space.size:
                 break
 

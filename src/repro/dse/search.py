@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.dse.space import Config, DesignSpace
 from repro.errors import SearchError
+from repro.telemetry.tracer import get_tracer
 
 Objective = Callable[[Config], float]
 
@@ -49,6 +50,18 @@ def _record(history: List[Tuple[Config, float]], trace: List[float],
     history.append((config, value))
     best = value if not trace else min(trace[-1], value)
     trace.append(best)
+    # Every search strategy funnels oracle calls through here, so this
+    # one emit site gives all of them per-iteration telemetry.  The
+    # timeline is the evaluation index (DSE has no simulated clock).
+    tracer = get_tracer()
+    if tracer.enabled:
+        iteration = len(trace)
+        tracer.instant("dse.eval", ts=float(iteration), track="dse",
+                       args={"iteration": iteration,
+                             "config": dict(config),
+                             "value": value, "best": best})
+        tracer.counter("dse.best", ts=float(iteration), value=best,
+                       track="dse")
 
 
 def grid_search(space: DesignSpace, objective: Objective,

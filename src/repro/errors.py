@@ -40,3 +40,8 @@ class PlanningError(ReproError):
 class BenchmarkError(ReproError):
     """The benchmark suite was asked to run an unknown or misconfigured
     workload."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry primitive was misused (bad quantile, duplicate metric
+    registered under a different type, malformed trace)."""

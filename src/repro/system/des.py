@@ -14,6 +14,7 @@ from typing import Callable, List, Optional
 from repro.errors import SimulationError
 
 Callback = Callable[["Simulator"], None]
+Listener = Callable[["Simulator", "Event"], None]
 
 
 @dataclass(frozen=True, order=True)
@@ -41,6 +42,7 @@ class Simulator:
         self._counter = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._listeners: List[Listener] = []
 
     @property
     def now(self) -> float:
@@ -73,6 +75,19 @@ class Simulator:
         heapq.heappush(self._queue, event)
         return event
 
+    def add_listener(self, listener: Listener) -> None:
+        """Register a dispatch callback invoked once per processed event
+        (after the clock advances, before the event's own callback).
+
+        The telemetry layer uses this to observe every dispatch without
+        the engine importing it; with no listeners registered the hot
+        path pays a single truthiness test per event.
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Listener) -> None:
+        self._listeners.remove(listener)
+
     def step(self) -> bool:
         """Process one event; returns False when the queue is empty."""
         if not self._queue:
@@ -80,6 +95,9 @@ class Simulator:
         event = heapq.heappop(self._queue)
         self._now = event.time
         self._processed += 1
+        if self._listeners:
+            for listener in self._listeners:
+                listener(self, event)
         event.callback(self)
         return True
 

@@ -29,6 +29,8 @@ from repro.core.workload import TaskGraph
 from repro.errors import ConfigurationError
 from repro.system.des import Simulator
 from repro.system.io_model import IoModel
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import Tracer, get_tracer
 
 
 @dataclass
@@ -123,12 +125,22 @@ class PipelineSimulation:
         io: Inter-stage transport cost model (applied per edge using the
             upstream stage's ``output_bytes``).
         queue_capacity: Per-stage input queue bound.
+        tracer: Telemetry tracer; defaults to the process-global one
+            (a no-op unless :func:`repro.telemetry.set_tracer` installed
+            a real tracer).  When enabled, emits one service span per
+            activation on a ``stage:<name>`` track, queue-depth counter
+            samples, and drop instants.
+        metrics: Optional registry receiving emitted/completed/dropped
+            counters, a per-stage peak-queue gauge, and an end-to-end
+            latency histogram.
     """
 
     def __init__(self, graph: TaskGraph,
                  service_times: Mapping[str, float],
                  io: Optional[IoModel] = None,
-                 queue_capacity: int = 4):
+                 queue_capacity: int = 4,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         for stage in graph.stages:
             if stage.name not in service_times:
                 raise ConfigurationError(
@@ -152,6 +164,8 @@ class PipelineSimulation:
         self.service_times = dict(service_times)
         self.io = io or IoModel()
         self.queue_capacity = queue_capacity
+        self.tracer = tracer
+        self.metrics = metrics
 
         self._dependents: Dict[str, List[str]] = {
             s.name: [] for s in graph.stages
@@ -165,6 +179,10 @@ class PipelineSimulation:
         if duration_s <= 0:
             raise ConfigurationError("duration_s must be > 0")
         sim = Simulator()
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        # Hoisted so the disabled path costs one bool test per site.
+        traced = tracer.enabled
+        metrics = self.metrics
         stats = {s.name: StageStats() for s in self.graph.stages}
         queues: Dict[str, Deque[_Item]] = {
             s.name: deque() for s in self.graph.stages
@@ -186,12 +204,20 @@ class PipelineSimulation:
             busy[stage_name] = True
             stats[stage_name].activations += 1
             service = self.service_times[stage_name]
+            span = None
+            if traced:
+                span = tracer.begin(
+                    stage_name, ts=s.now, track=f"stage:{stage_name}",
+                    args={"seq": item.seq},
+                )
 
             def finish(s2: Simulator, item=item,
-                       stage_name=stage_name) -> None:
+                       stage_name=stage_name, span=span) -> None:
                 busy[stage_name] = False
                 stats[stage_name].completed += 1
                 stats[stage_name].busy_s += service
+                if span is not None:
+                    tracer.end(span, ts=s2.now)
                 if stage_name in sinks:
                     latencies.append(s2.now - item.source_time)
                     completed[0] += 1
@@ -225,10 +251,19 @@ class PipelineSimulation:
             if len(queue) >= self.queue_capacity:
                 queue.popleft()
                 stats[stage_name].dropped += 1
+                if traced:
+                    tracer.instant("drop", ts=s.now,
+                                   track=f"stage:{stage_name}",
+                                   args={"seq": item.seq})
+                if metrics is not None:
+                    metrics.counter("pipeline.dropped").inc()
             queue.append(item)
             stats[stage_name].max_queue = max(
                 stats[stage_name].max_queue, len(queue)
             )
+            if traced:
+                tracer.counter(f"queue:{stage_name}", ts=s.now,
+                               value=len(queue))
             try_start(stage_name, s)
 
         # Each source keeps its own sequence counter, so stages that join
@@ -250,6 +285,16 @@ class PipelineSimulation:
             sim.schedule(0.0, emit)
 
         sim.run(until=duration_s)
+        if metrics is not None:
+            metrics.counter("pipeline.emitted").inc(emitted[0])
+            metrics.counter("pipeline.completed").inc(completed[0])
+            histogram = metrics.histogram("pipeline.latency_s")
+            for latency in latencies:
+                histogram.record(latency)
+            for name, stage_stats in stats.items():
+                metrics.gauge(f"pipeline.max_queue.{name}").set(
+                    stage_stats.max_queue
+                )
         return PipelineResult(
             duration_s=duration_s,
             stage_stats=stats,

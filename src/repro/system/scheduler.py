@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.telemetry.tracer import Tracer, get_tracer
 
 
 @dataclass(frozen=True)
@@ -150,12 +151,19 @@ def _job_key(policy: SchedulerPolicy, job: _Job) -> Tuple[float, float]:
 def simulate_scheduler(tasks: List[PeriodicTask],
                        policy: SchedulerPolicy,
                        duration_s: float,
-                       time_step_s: float = 1e-4) -> SchedulerResult:
+                       time_step_s: float = 1e-4,
+                       tracer: Optional[Tracer] = None
+                       ) -> SchedulerResult:
     """Time-stepped simulation of one processor running ``tasks``.
 
     Preemptive for EDF/priority/RM; non-preemptive for FIFO.  The time
     step bounds simulation error at ``time_step_s`` per job — keep it at
     least ~100x smaller than the shortest period.
+
+    With an enabled ``tracer`` (default: the process-global no-op), the
+    run emits a Gantt-reconstructable trace on one ``job:<task>`` track
+    per task: an execution span per scheduling interval plus ``release``
+    / ``preempt`` / ``complete`` / ``miss`` instants.
 
     Returns:
         A :class:`SchedulerResult` with deadline-miss accounting.
@@ -171,6 +179,9 @@ def simulate_scheduler(tasks: List[PeriodicTask],
             f" {shortest}"
         )
 
+    tracer = tracer if tracer is not None else get_tracer()
+    traced = tracer.enabled
+
     ready: List[_Job] = []
     next_release = {t.name: 0.0 for t in tasks}
     by_name = {t.name: t for t in tasks}
@@ -180,6 +191,25 @@ def simulate_scheduler(tasks: List[PeriodicTask],
     per_task_misses = {t.name: 0 for t in tasks}
     max_lateness = 0.0
     running: Optional[_Job] = None
+    run_span = None  # open execution span of the running job
+
+    def _switch_to(job: Optional[_Job], now: float,
+                   preempted: bool) -> None:
+        """Close the running job's span and open the next one."""
+        nonlocal run_span
+        if run_span is not None:
+            tracer.end(run_span, ts=now)
+            run_span = None
+        if preempted and running is not None:
+            tracer.instant("preempt", ts=now,
+                           track=f"job:{running.task.name}")
+        if job is not None:
+            run_span = tracer.begin(
+                job.task.name, ts=now,
+                track=f"job:{job.task.name}",
+                args={"release": job.release,
+                      "deadline": job.deadline},
+            )
 
     steps = int(round(duration_s / time_step_s))
     for step in range(steps):
@@ -194,17 +224,30 @@ def simulate_scheduler(tasks: List[PeriodicTask],
                 ))
                 released += 1
                 next_release[name] = release_time + task.period_s
+                if traced:
+                    tracer.instant(
+                        "release", ts=release_time,
+                        track=f"job:{name}",
+                        args={"deadline":
+                              release_time + task.period_s},
+                    )
 
         if policy is SchedulerPolicy.FIFO:
             if running is None and ready:
                 ready.sort(key=lambda j: _job_key(policy, j))
-                running = ready.pop(0)
+                job = ready.pop(0)
+                if traced:
+                    _switch_to(job, now, preempted=False)
+                running = job
         else:
             if ready:
                 candidates = ready + ([running] if running else [])
                 candidates.sort(key=lambda j: _job_key(policy, j))
                 best = candidates[0]
                 if best is not running:
+                    if traced:
+                        _switch_to(best, now,
+                                   preempted=running is not None)
                     if running is not None:
                         ready.append(running)
                     ready.remove(best)
@@ -220,7 +263,19 @@ def simulate_scheduler(tasks: List[PeriodicTask],
                     misses += 1
                     per_task_misses[running.task.name] += 1
                     max_lateness = max(max_lateness, lateness)
+                if traced:
+                    tracer.instant(
+                        "miss" if lateness > 1e-9 else "complete",
+                        ts=finish,
+                        track=f"job:{running.task.name}",
+                        args={"lateness_s": max(0.0, lateness)},
+                    )
+                    _switch_to(None, finish, preempted=False)
                 running = None
+
+    if traced and run_span is not None:
+        tracer.end(run_span, ts=duration_s)
+        run_span = None
 
     # Jobs still unfinished at the end whose deadline has passed are
     # misses too — without this, a starved task "never misses" by
@@ -231,6 +286,11 @@ def simulate_scheduler(tasks: List[PeriodicTask],
             misses += 1
             per_task_misses[job.task.name] += 1
             max_lateness = max(max_lateness, lateness)
+            if traced:
+                tracer.instant("miss", ts=duration_s,
+                               track=f"job:{job.task.name}",
+                               args={"lateness_s": lateness,
+                                     "unfinished": True})
 
     return SchedulerResult(
         policy=policy,

@@ -1,0 +1,63 @@
+"""Tracing, metrics, and run-provenance for the end-to-end stack.
+
+The paper's headline future direction is *end-to-end modeling tools that
+capture the complex interactions between the accelerator, the rest of the
+computing system, and the physical environment* — which requires those
+interactions to be **observable**.  This package is the substrate:
+
+- :mod:`~repro.telemetry.tracer`  — explicit span/instant/counter events
+  on *simulated* time, plus wall-clock self-profiling spans, with a
+  global no-op default so instrumentation costs ~nothing when disabled;
+- :mod:`~repro.telemetry.metrics` — counters, gauges, and streaming
+  histograms (p50/p90/p99/p999 without retaining samples);
+- :mod:`~repro.telemetry.export`  — Chrome trace-event JSON (open in
+  Perfetto / ``chrome://tracing``) and flat metrics JSON with run
+  provenance (seed, git SHA, config echo).
+
+Producers: :mod:`repro.system.pipeline` (per-stage service spans, queue
+depths, drops), :mod:`repro.system.scheduler` (Gantt-reconstructable job
+traces), :mod:`repro.benchmarksuite.runner` (per-row wall spans), and the
+:mod:`repro.dse` search loops (per-iteration candidate/score events).
+"""
+
+from repro.telemetry.export import (
+    chrome_trace_events,
+    run_provenance,
+    trace_summary,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    StreamingHistogram,
+)
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "StreamingHistogram",
+    "Tracer",
+    "chrome_trace_events",
+    "get_tracer",
+    "run_provenance",
+    "set_tracer",
+    "trace_summary",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_metrics_json",
+]

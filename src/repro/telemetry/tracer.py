@@ -1,0 +1,215 @@
+"""Span tracing on simulated and wall-clock time.
+
+Two design constraints drive the shape of this module:
+
+1. **Disabled must be ~free.**  The DES hot path dispatches millions of
+   events; the pipeline/scheduler instrumentation therefore guards every
+   emit site with ``tracer.enabled`` (a plain attribute, not a property)
+   and the process-global default is a :class:`NullTracer`.  The cost of
+   instrumentation-when-off is one attribute load + branch per site.
+2. **Two clocks.**  System simulations advance a *simulated* clock; the
+   suite runner and DSE loops run on *wall* time.  Spans carry a
+   ``wall`` flag so the exporter can place them on separate process
+   tracks instead of interleaving incommensurable timestamps.
+
+Timestamps are seconds (floats); the Chrome exporter converts to the
+microseconds the trace-event format expects.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+Args = Dict[str, object]
+
+
+class Span:
+    """One named interval on a track.
+
+    Attributes:
+        name: Event name (shown on the trace slice).
+        track: Logical lane (exported as a Chrome thread) — e.g.
+            ``"stage:detect"`` or ``"job:perception"``.
+        start_s: Start timestamp, seconds.
+        end_s: End timestamp, seconds (``None`` while open).
+        args: Free-form payload shown in the trace viewer.
+        wall: True for wall-clock self-profiling spans.
+    """
+
+    __slots__ = ("name", "track", "start_s", "end_s", "args", "wall")
+
+    def __init__(self, name: str, track: str, start_s: float,
+                 args: Optional[Args] = None, wall: bool = False):
+        self.name = name
+        self.track = track
+        self.start_s = start_s
+        self.end_s: Optional[float] = None
+        self.args = args
+        self.wall = wall
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, track={self.track!r},"
+                f" start={self.start_s}, end={self.end_s})")
+
+
+class Tracer:
+    """Collects spans, instant events, and counter samples.
+
+    Usage (simulated time)::
+
+        tracer = Tracer()
+        span = tracer.begin("service", ts=sim.now, track="stage:detect")
+        ...
+        tracer.end(span, ts=sim.now)
+        tracer.instant("drop", ts=sim.now, track="stage:detect")
+        tracer.counter("queue_depth", ts=sim.now, value=3,
+                       track="stage:detect")
+
+    Usage (wall clock)::
+
+        with tracer.wall_span("suite.row", track="suite"):
+            evaluate(...)
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self.instants: List[Span] = []
+        # (name, track, ts_s, value) samples for Chrome "C" events.
+        self.counters: List[tuple] = []
+        self._wall_origin = time.perf_counter()
+
+    # -- simulated-time API -------------------------------------------
+
+    def begin(self, name: str, ts: float, track: str = "main",
+              args: Optional[Args] = None) -> Span:
+        """Open a span at simulated time ``ts`` (seconds)."""
+        span = Span(name, track, ts, args)
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Span, ts: float) -> None:
+        """Close ``span`` at simulated time ``ts`` (seconds)."""
+        span.end_s = ts
+
+    def instant(self, name: str, ts: float, track: str = "main",
+                args: Optional[Args] = None) -> None:
+        """Record a zero-duration marker (Chrome ``i`` event)."""
+        marker = Span(name, track, ts, args)
+        marker.end_s = ts
+        self.instants.append(marker)
+
+    def counter(self, name: str, ts: float, value: float,
+                track: str = "counters") -> None:
+        """Record one sample of a time-varying quantity."""
+        self.counters.append((name, track, ts, float(value)))
+
+    # -- wall-clock self-profiling API --------------------------------
+
+    def wall_now(self) -> float:
+        """Seconds since this tracer was created (wall clock)."""
+        return time.perf_counter() - self._wall_origin
+
+    @contextlib.contextmanager
+    def wall_span(self, name: str, track: str = "wall",
+                  args: Optional[Args] = None) -> Iterator[Span]:
+        """Context manager measuring a wall-clock interval."""
+        span = Span(name, track, self.wall_now(), args, wall=True)
+        self.spans.append(span)
+        try:
+            yield span
+        finally:
+            span.end_s = self.wall_now()
+
+    # -- introspection ------------------------------------------------
+
+    def event_count(self) -> int:
+        return len(self.spans) + len(self.instants) + len(self.counters)
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.instants.clear()
+        self.counters.clear()
+
+
+class NullTracer(Tracer):
+    """The do-nothing default: every emit returns without recording.
+
+    Instrumented code checks ``tracer.enabled`` before formatting args,
+    so with this tracer installed the per-event cost is a branch.
+    """
+
+    enabled = False
+
+    _NULL_SPAN = Span("null", "null", 0.0)
+
+    def begin(self, name: str, ts: float, track: str = "main",
+              args: Optional[Args] = None) -> Span:
+        return self._NULL_SPAN
+
+    def end(self, span: Span, ts: float) -> None:
+        pass
+
+    def instant(self, name: str, ts: float, track: str = "main",
+                args: Optional[Args] = None) -> None:
+        pass
+
+    def counter(self, name: str, ts: float, value: float,
+                track: str = "counters") -> None:
+        pass
+
+    @contextlib.contextmanager
+    def wall_span(self, name: str, track: str = "wall",
+                  args: Optional[Args] = None) -> Iterator[Span]:
+        yield self._NULL_SPAN
+
+
+NULL_TRACER = NullTracer()
+_global_tracer: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (a no-op :data:`NULL_TRACER` unless
+    :func:`set_tracer` installed a real one)."""
+    return _global_tracer
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install ``tracer`` globally (``None`` restores the no-op default).
+
+    Returns:
+        The previously installed tracer (so callers can restore it).
+    """
+    global _global_tracer
+    previous = _global_tracer
+    _global_tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextlib.contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Scope-install a tracer; restores the previous one on exit."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -1,0 +1,122 @@
+"""Edge-case coverage for the DES engine: past scheduling, livelock
+guard, deterministic tie-breaking, horizon semantics, and listeners."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.system.des import Simulator
+
+
+class TestScheduleAtValidation:
+    def test_schedule_at_in_the_past_raises(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None)
+        sim.run()
+        assert sim.now == 1.0
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda s: None)
+
+    def test_schedule_at_now_is_allowed(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda s: s.schedule_at(s.now,
+                                                  lambda s2:
+                                                  log.append(s2.now)))
+        sim.run()
+        assert log == [1.0]
+
+
+class TestLivelockGuard:
+    def test_max_events_exceeded_raises(self):
+        sim = Simulator()
+
+        def respawn(s):
+            s.schedule(0.0, respawn)  # zero-delay self-perpetuation
+
+        sim.schedule(0.0, respawn)
+        with pytest.raises(SimulationError, match="livelock"):
+            sim.run(max_events=100)
+
+    def test_guard_not_triggered_at_exact_budget(self):
+        sim = Simulator()
+        for index in range(10):
+            sim.schedule(index * 0.1, lambda s: None)
+        sim.run(max_events=10)
+        assert sim.events_processed == 10
+
+
+class TestDeterministicTieBreaking:
+    def test_time_priority_seq_ordering(self):
+        """Same-time events order by priority, then insertion seq —
+        regardless of scheduling order."""
+        sim = Simulator()
+        log = []
+        sim.schedule(0.5, lambda s: log.append("p2-first"), priority=2)
+        sim.schedule(0.5, lambda s: log.append("p0"), priority=0)
+        sim.schedule(0.5, lambda s: log.append("p2-second"), priority=2)
+        sim.schedule(0.5, lambda s: log.append("p1"), priority=1)
+        sim.run()
+        assert log == ["p0", "p1", "p2-first", "p2-second"]
+
+    def test_two_identical_runs_are_bit_identical(self):
+        def build():
+            sim = Simulator()
+            log = []
+            for index in range(50):
+                sim.schedule(
+                    (index % 7) * 0.01,
+                    lambda s, i=index: log.append((s.now, i)),
+                    priority=index % 3,
+                )
+            sim.run()
+            return log
+
+        assert build() == build()
+
+
+class TestRunUntil:
+    def test_until_advances_clock_with_pending_events(self):
+        """run(until=...) must leave now == until even when later
+        events remain queued, so consecutive windows tile exactly."""
+        sim = Simulator()
+        log = []
+        sim.schedule(0.25, lambda s: log.append(s.now))
+        sim.schedule(2.0, lambda s: log.append(s.now))
+        sim.run(until=1.0)
+        assert log == [0.25]
+        assert sim.now == 1.0
+        assert sim.pending() == 1
+        sim.run(until=3.0)
+        assert log == [0.25, 2.0]
+        assert sim.now == 2.0  # queue drained before the horizon
+
+
+class TestDispatchListeners:
+    def test_listener_sees_every_event_in_order(self):
+        sim = Simulator()
+        seen = []
+        sim.add_listener(lambda s, e: seen.append((e.time, e.seq)))
+        sim.schedule(0.2, lambda s: None)
+        sim.schedule(0.1, lambda s: None)
+        sim.run()
+        assert seen == [(0.1, 1), (0.2, 0)]
+
+    def test_listener_fires_after_clock_advance(self):
+        sim = Simulator()
+        clocks = []
+        sim.add_listener(lambda s, e: clocks.append(s.now == e.time))
+        sim.schedule(0.3, lambda s: None)
+        sim.run()
+        assert clocks == [True]
+
+    def test_remove_listener(self):
+        sim = Simulator()
+        seen = []
+        listener = lambda s, e: seen.append(e.seq)  # noqa: E731
+        sim.add_listener(listener)
+        sim.schedule(0.1, lambda s: None)
+        sim.run()
+        sim.remove_listener(listener)
+        sim.schedule(0.1, lambda s: None)
+        sim.run()
+        assert seen == [0]

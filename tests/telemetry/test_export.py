@@ -1,0 +1,225 @@
+"""Exporter and instrumentation tests: Chrome-trace round trips and the
+telemetry the pipeline / scheduler / suite / DSE loops publish."""
+
+import json
+
+from repro.core.profile import WorkloadProfile
+from repro.core.workload import Stage, TaskGraph
+from repro.dse.space import DesignSpace, Parameter
+from repro.dse.search import random_search
+from repro.system.pipeline import PipelineSimulation
+from repro.system.scheduler import (
+    PeriodicTask,
+    SchedulerPolicy,
+    simulate_scheduler,
+)
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace_events,
+    run_provenance,
+    trace_summary,
+    use_tracer,
+    write_chrome_trace,
+    write_metrics_json,
+)
+
+
+def _profile(name):
+    return WorkloadProfile(name=name, flops=1e6, bytes_read=1e4,
+                           bytes_written=1e4, working_set_bytes=1e4)
+
+
+def _two_stage_graph():
+    return TaskGraph("toy", [
+        Stage("sense", _profile("sense"), rate_hz=100.0,
+              output_bytes=1e3),
+        Stage("plan", _profile("plan"), deps=("sense",)),
+    ])
+
+
+def _run_traced_pipeline(tracer, metrics=None, slow=False):
+    # A "plan" stage slower than the input period backs up and drops.
+    service = {"sense": 1e-3, "plan": 0.05 if slow else 2e-3}
+    simulation = PipelineSimulation(_two_stage_graph(), service,
+                                    tracer=tracer, metrics=metrics)
+    return simulation.run(1.0)
+
+
+class TestChromeTraceRoundTrip:
+    def test_pipeline_trace_is_valid_chrome_json(self, tmp_path):
+        tracer = Tracer()
+        _run_traced_pipeline(tracer, slow=True)
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(tracer, str(path),
+                                   provenance=run_provenance(seed=0))
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        assert count == len(events) > 0
+        for event in events:
+            assert "ph" in event
+            assert "ts" in event
+            assert "name" in event
+        phases = {e["ph"] for e in events}
+        assert {"M", "X", "C"} <= phases  # tracks, spans, counters
+        assert "i" in phases  # drops from the slow stage
+        assert document["otherData"]["seed"] == 0
+
+    def test_span_timestamps_are_microseconds(self):
+        tracer = Tracer()
+        span = tracer.begin("s", ts=0.5, track="stage:a")
+        tracer.end(span, ts=0.75)
+        events = [e for e in chrome_trace_events(tracer)
+                  if e["ph"] == "X"]
+        assert events[0]["ts"] == 0.5e6
+        assert events[0]["dur"] == 0.25e6
+
+    def test_wall_and_sim_spans_get_separate_pids(self):
+        tracer = Tracer()
+        sim_span = tracer.begin("sim", ts=0.0, track="a")
+        tracer.end(sim_span, ts=1.0)
+        with tracer.wall_span("wall", track="a"):
+            pass
+        spans = [e for e in chrome_trace_events(tracer)
+                 if e["ph"] == "X"]
+        assert {e["pid"] for e in spans} == {1, 2}
+
+    def test_trace_summary(self):
+        tracer = Tracer()
+        span = tracer.begin("s", ts=0.0, track="stage:a")
+        tracer.end(span, ts=2.0)
+        summary = trace_summary(
+            {"traceEvents": chrome_trace_events(tracer)})
+        assert summary["tracks"]["stage:a"]["spans"] == 1
+        assert summary["tracks"]["stage:a"]["busy_us"] == 2e6
+
+
+class TestPipelineInstrumentation:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer()
+        baseline = _run_traced_pipeline(None)  # global no-op default
+        traced = _run_traced_pipeline(tracer)
+        assert tracer.event_count() > 0
+        # Instrumentation must not perturb simulation results.
+        assert traced.samples_completed == baseline.samples_completed
+        assert traced.end_to_end_latencies == \
+            baseline.end_to_end_latencies
+
+    def test_service_spans_match_completions(self):
+        tracer = Tracer()
+        result = _run_traced_pipeline(tracer)
+        completions = sum(s.completed
+                          for s in result.stage_stats.values())
+        closed = [s for s in tracer.spans if s.end_s is not None]
+        assert len(closed) == completions
+        for span in closed:
+            assert span.track.startswith("stage:")
+
+    def test_drop_instants_match_drop_counts(self):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        result = _run_traced_pipeline(tracer, metrics=metrics,
+                                      slow=True)
+        dropped = sum(s.dropped for s in result.stage_stats.values())
+        assert dropped > 0
+        drops = [m for m in tracer.instants if m.name == "drop"]
+        assert len(drops) == dropped
+        assert metrics.counter("pipeline.dropped").value == dropped
+
+    def test_metrics_published(self):
+        metrics = MetricsRegistry()
+        result = _run_traced_pipeline(None, metrics=metrics)
+        snap = metrics.snapshot()
+        assert snap["pipeline.emitted"]["value"] == \
+            result.samples_emitted
+        assert snap["pipeline.latency_s"]["count"] == \
+            len(result.end_to_end_latencies)
+        assert "pipeline.max_queue.plan" in snap
+
+
+class TestSchedulerInstrumentation:
+    def test_gantt_trace_accounts_for_all_busy_time(self):
+        tasks = [
+            PeriodicTask("control", period_s=0.01, wcet_s=0.002,
+                         priority=0),
+            PeriodicTask("perception", period_s=0.033, wcet_s=0.010,
+                         priority=1),
+        ]
+        tracer = Tracer()
+        result = simulate_scheduler(tasks, SchedulerPolicy.EDF,
+                                    duration_s=1.0, tracer=tracer)
+        busy = sum(s.duration_s for s in tracer.spans)
+        # Execution spans must reconstruct the processor's busy time:
+        # every released job executes its wcet, except at most one
+        # tail job truncated at the horizon.
+        releases_per_task = {
+            t.name: sum(1 for m in tracer.instants
+                        if m.name == "release"
+                        and m.track == f"job:{t.name}")
+            for t in tasks
+        }
+        expected = sum(t.wcet_s * releases_per_task[t.name]
+                       for t in tasks)
+        max_wcet = max(t.wcet_s for t in tasks)
+        assert expected - max_wcet <= busy <= expected + 1e-9
+        releases = [m for m in tracer.instants if m.name == "release"]
+        assert len(releases) == result.jobs_released
+        completes = [m for m in tracer.instants
+                     if m.name == "complete"]
+        assert len(completes) == result.jobs_completed
+
+    def test_preempt_and_miss_instants_under_overload(self):
+        tasks = [
+            PeriodicTask("fast", period_s=0.01, wcet_s=0.006,
+                         priority=0),
+            PeriodicTask("slow", period_s=0.05, wcet_s=0.04,
+                         priority=1),
+        ]
+        tracer = Tracer()
+        result = simulate_scheduler(
+            tasks, SchedulerPolicy.FIXED_PRIORITY, duration_s=0.5,
+            tracer=tracer)
+        names = {m.name for m in tracer.instants}
+        assert "preempt" in names
+        assert result.deadline_misses > 0
+        misses = [m for m in tracer.instants if m.name == "miss"]
+        assert len(misses) == result.deadline_misses
+
+    def test_untraced_run_unaffected(self):
+        tasks = [PeriodicTask("t", period_s=0.01, wcet_s=0.002)]
+        plain = simulate_scheduler(tasks, SchedulerPolicy.EDF,
+                                   duration_s=0.2)
+        traced = simulate_scheduler(tasks, SchedulerPolicy.EDF,
+                                    duration_s=0.2, tracer=Tracer())
+        assert plain == traced
+
+
+class TestDseInstrumentation:
+    def test_per_iteration_events(self):
+        space = DesignSpace([
+            Parameter("x", (1, 2, 3, 4)),
+            Parameter("y", (1, 2)),
+        ])
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = random_search(space,
+                                   lambda c: float(c["x"] * c["y"]),
+                                   budget=6, seed=3)
+        evals = [m for m in tracer.instants if m.name == "dse.eval"]
+        assert len(evals) == result.evaluations
+        # best-so-far counter samples mirror the convergence trace.
+        assert [v for _, _, _, v in tracer.counters] == result.trace
+
+
+class TestMetricsJson:
+    def test_write_metrics_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(2)
+        path = tmp_path / "metrics.json"
+        write_metrics_json(str(path), registry=registry,
+                           provenance=run_provenance(seed=42),
+                           extra={"rows": [{"a": 1}]})
+        document = json.loads(path.read_text())
+        assert document["provenance"]["seed"] == 42
+        assert document["metrics"]["n"]["value"] == 2
+        assert document["rows"] == [{"a": 1}]

@@ -1,0 +1,119 @@
+"""Unit tests for counters, gauges, and the streaming histogram."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    StreamingHistogram,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(TelemetryError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_tracks_watermarks(self):
+        gauge = Gauge("g")
+        for value in (3.0, -1.0, 7.0):
+            gauge.set(value)
+        snap = gauge.snapshot()
+        assert snap["value"] == 7.0
+        assert snap["min"] == -1.0
+        assert snap["max"] == 7.0
+        assert snap["updates"] == 3
+
+    def test_empty_snapshot_is_zeroed(self):
+        snap = Gauge("g").snapshot()
+        assert snap["min"] == 0.0 and snap["max"] == 0.0
+
+
+class TestStreamingHistogram:
+    def test_quantiles_match_sorted_samples(self):
+        """Sketch quantiles vs. exact sorted-sample ground truth on a
+        fixed seed: relative error must stay within the bucket bound."""
+        rng = np.random.default_rng(1234)
+        samples = rng.lognormal(mean=-4.0, sigma=1.2, size=20_000)
+        histogram = StreamingHistogram("lat")
+        for value in samples:
+            histogram.record(float(value))
+        ordered = np.sort(samples)
+        for q in (0.50, 0.90, 0.99, 0.999):
+            exact = float(ordered[int(q * (len(ordered) - 1))])
+            sketch = histogram.quantile(q)
+            assert sketch == pytest.approx(exact, rel=0.02), q
+
+    def test_bounded_memory(self):
+        rng = np.random.default_rng(7)
+        histogram = StreamingHistogram("lat")
+        for value in rng.uniform(1e-6, 10.0, size=50_000):
+            histogram.record(float(value))
+        # ~16 decades at 1% growth is < 4000 buckets, samples >> that.
+        assert len(histogram._buckets) < 4000
+        assert histogram.count == 50_000
+
+    def test_min_max_mean_exact(self):
+        histogram = StreamingHistogram("h")
+        for value in (1.0, 2.0, 3.0):
+            histogram.record(value)
+        assert histogram.min == 1.0
+        assert histogram.max == 3.0
+        assert histogram.mean() == pytest.approx(2.0)
+
+    def test_underflow_and_empty(self):
+        histogram = StreamingHistogram("h", min_value=1e-3)
+        assert histogram.quantile(0.5) == 0.0
+        histogram.record(0.0)
+        histogram.record(-5.0)
+        assert histogram.quantile(0.5) == 1e-3
+
+    def test_summary_keys(self):
+        histogram = StreamingHistogram("h")
+        histogram.record(1.0)
+        summary = histogram.summary()
+        assert set(summary) == {"count", "mean", "min", "max",
+                                "p50", "p90", "p99", "p999"}
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(TelemetryError):
+            StreamingHistogram("h", growth=1.0)
+        with pytest.raises(TelemetryError):
+            StreamingHistogram("h", min_value=0.0)
+        with pytest.raises(TelemetryError):
+            StreamingHistogram("h").quantile(1.5)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("b") is registry.histogram("b")
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TelemetryError):
+            registry.gauge("a")
+
+    def test_snapshot_covers_all_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc(3)
+        registry.gauge("depth").set(2)
+        registry.histogram("lat").record(0.5)
+        snap = registry.snapshot()
+        assert snap["jobs"]["value"] == 3
+        assert snap["depth"]["value"] == 2
+        assert snap["lat"]["count"] == 1
+        assert registry.names() == ["depth", "jobs", "lat"]

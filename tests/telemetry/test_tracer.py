@@ -1,0 +1,97 @@
+"""Unit tests for the tracer: spans, the no-op path, and the global."""
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+class TestTracer:
+    def test_span_records_interval(self):
+        tracer = Tracer()
+        span = tracer.begin("service", ts=1.0, track="stage:a",
+                            args={"seq": 3})
+        tracer.end(span, ts=1.5)
+        assert tracer.spans == [span]
+        assert span.start_s == 1.0
+        assert span.end_s == 1.5
+        assert span.duration_s == pytest.approx(0.5)
+        assert span.args == {"seq": 3}
+
+    def test_instants_and_counters(self):
+        tracer = Tracer()
+        tracer.instant("drop", ts=0.2, track="stage:a")
+        tracer.counter("queue", ts=0.2, value=3, track="stage:a")
+        assert len(tracer.instants) == 1
+        assert tracer.counters == [("queue", "stage:a", 0.2, 3.0)]
+        assert tracer.event_count() == 2
+
+    def test_wall_span_measures_nonnegative_time(self):
+        tracer = Tracer()
+        with tracer.wall_span("row", track="suite") as span:
+            pass
+        assert span.wall
+        assert span.end_s is not None
+        assert span.end_s >= span.start_s >= 0.0
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.begin("a", ts=0.0)
+        tracer.instant("b", ts=0.0)
+        tracer.counter("c", ts=0.0, value=1)
+        tracer.clear()
+        assert tracer.event_count() == 0
+
+
+class TestNullTracer:
+    """The disabled path must record nothing and allocate nothing new."""
+
+    def test_disabled_flag(self):
+        assert not NULL_TRACER.enabled
+        assert Tracer().enabled
+
+    def test_all_emits_are_noops(self):
+        tracer = NullTracer()
+        span = tracer.begin("x", ts=0.0, track="t")
+        tracer.end(span, ts=1.0)
+        tracer.instant("y", ts=0.5)
+        tracer.counter("z", ts=0.5, value=2)
+        with tracer.wall_span("w") as wall:
+            pass
+        assert tracer.event_count() == 0
+        # The shared sentinel span is returned, never a fresh object.
+        assert span is wall
+        assert span is NullTracer._NULL_SPAN
+
+
+class TestGlobalTracer:
+    def test_default_is_noop(self):
+        assert get_tracer() is NULL_TRACER
+        assert not get_tracer().enabled
+
+    def test_set_and_restore(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+    def test_use_tracer_scopes_installation(self):
+        tracer = Tracer()
+        with use_tracer(tracer) as active:
+            assert active is tracer
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_none_restores_default(self):
+        set_tracer(Tracer())
+        set_tracer(None)
+        assert get_tracer() is NULL_TRACER

@@ -93,9 +93,92 @@ class TestSuiteCommand:
         assert "Suite scores" in out
         assert "embedded-cpu" in out
 
+    def test_json_output_matches_table(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        assert main(["suite", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        document = json.loads(path.read_text())
+        # The results table has one line per row between its header
+        # separator and the blank line before the scores table.
+        table = out.split("Benchmark suite results")[1] \
+            .split("Suite scores")[0]
+        table_rows = [line for line in table.splitlines()
+                      if " | " in line and "latency_ms" not in line]
+        rows = document["rows"]
+        assert len(rows) == len(table_rows)
+        for row in rows:
+            assert {"workload", "target", "latency_s", "energy_j",
+                    "deadline_s", "wall_time_s",
+                    "meets_deadline"} <= set(row)
+        assert document["scores"]
+        assert "provenance" in document
+        assert document["metrics"]["suite.rows"]["value"] == len(rows)
+
+    def test_trace_out_is_valid_chrome_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["suite", "--trace-out", str(path)]) == 0
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        assert events
+        assert all("ph" in e and "ts" in e and "name" in e
+                   for e in events)
+
 
 class TestMissionCommand:
     def test_sweep_runs(self, capsys):
         assert main(["mission", "--laps", "2"]) == 0
         out = capsys.readouterr().out
         assert "tier0" in out and "tier4" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "mission.json"
+        assert main(["mission", "--laps", "2",
+                     "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        document = json.loads(path.read_text())
+        tiers = [row["tier"] for row in document["rows"]]
+        assert tiers == sorted(tiers)  # ladder order preserved
+        assert all(name in out for name in tiers)
+        assert document["provenance"]["seed"] == 11
+        for row in document["rows"]:
+            assert "energy_j" in row and "safe_speed_m_s" in row
+
+
+class TestTraceCommand:
+    def test_pipeline_trace_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(["trace", "pipeline", "--duration", "0.5",
+                     "--out", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        document = json.loads(trace.read_text())
+        events = document["traceEvents"]
+        assert all("ph" in e and "ts" in e and "name" in e
+                   for e in events)
+        assert any(e["ph"] == "X" for e in events)
+        metrics_doc = json.loads(metrics.read_text())
+        assert metrics_doc["metrics"]["pipeline.emitted"]["value"] > 0
+
+    def test_scheduler_trace(self, tmp_path, capsys):
+        trace = tmp_path / "sched.json"
+        assert main(["trace", "scheduler", "--policy", "edf",
+                     "--duration", "0.5", "--overload",
+                     "--out", str(trace)]) == 0
+        document = json.loads(trace.read_text())
+        names = {e["name"] for e in document["traceEvents"]}
+        assert "release" in names
+        assert "miss" in names  # overload must miss deadlines
+
+    def test_summary_of_exported_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["trace", "pipeline", "--duration", "0.5",
+                     "--out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Span tracks" in out
+        assert "stage:" in out
+
+    def test_unknown_workload_exits_nonzero(self, tmp_path, capsys):
+        assert main(["trace", "pipeline", "--workload", "nope",
+                     "--out", str(tmp_path / "t.json")]) == 2
