@@ -10,7 +10,6 @@ idle-pipeline latency matches the analytical critical path to within a
 few percent.
 """
 
-import numpy as np
 
 from repro.core.profile import DivergenceClass, WorkloadProfile
 from repro.core.report import format_table

@@ -23,7 +23,6 @@ from repro.hw import (
     co_run,
     embedded_cpu,
 )
-from repro.hw.contention import bandwidth_demand
 from repro.kernels.linalg import gemm_profile
 
 CPU_TASK_RATE_HZ = 10.0

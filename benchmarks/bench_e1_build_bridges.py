@@ -12,7 +12,6 @@ metric domain experts care about (ATE).  The Seven Challenges advisor
 flags the project.
 """
 
-import pytest
 
 from repro.core import DesignReview, EvaluationPlan, SevenChallengesAdvisor
 from repro.core.report import format_table

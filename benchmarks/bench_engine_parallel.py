@@ -1,0 +1,111 @@
+"""Evaluation engine: parallel speedup and cache hit-rate.
+
+The engine's pitch is operational, so the certification is too:
+
+1. **Parallel speedup** — a batch of expensive candidates priced on a
+   4-worker process pool must beat the serial run by a clear margin
+   while producing identical values (the ask/tell refactor's whole
+   point is that this is safe).
+2. **Cache economics** — a warm :class:`~repro.engine.ResultCache`
+   must answer a repeat batch with a 100% hit rate, zero oracle calls,
+   and a large wall-clock win.
+
+The oracle is the suite-priced co-design objective scaled up by
+repetition to emulate the expensive simulators the engine exists for
+(a real candidate evaluation is a closed-loop mission or RTL run, not
+a 0.2 ms roofline pass).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.dse.objectives import codesign_space, suite_objective
+from repro.engine import Evaluator, ResultCache
+
+REPS = 120          # oracle weight: ~30 ms per candidate
+BATCH = 24          # candidates per run
+JOBS = 4
+ATTEMPTS = 3        # re-measure on a noisy machine before failing
+MIN_SPEEDUP = 1.5   # required parallel win (4 workers, conservative)
+
+
+def heavy_objective(candidate):
+    """An artificially expensive oracle (module-level: picklable)."""
+    value = 0.0
+    for _ in range(REPS):
+        value = suite_objective(candidate)
+    return value
+
+
+def _candidates():
+    space = codesign_space()
+    step = max(1, space.size // BATCH)
+    return [space.config_at(i * step) for i in range(BATCH)]
+
+
+def _timed(evaluator, candidates):
+    started = time.perf_counter()
+    results = evaluator.map_batch(candidates)
+    return time.perf_counter() - started, [r.value for r in results]
+
+
+def _available_cpus():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def test_parallel_speedup_and_identity(report):
+    candidates = _candidates()
+    best = None
+    for _ in range(ATTEMPTS):
+        serial_s, serial_values = _timed(Evaluator(heavy_objective),
+                                         candidates)
+        parallel_s, parallel_values = _timed(
+            Evaluator(heavy_objective, jobs=JOBS), candidates)
+        assert serial_values == parallel_values
+        speedup = serial_s / parallel_s
+        best = max(best, speedup) if best is not None else speedup
+        if best >= MIN_SPEEDUP:
+            break
+    report(f"engine parallel bench: {BATCH} candidates,"
+           f" serial {serial_s * 1e3:.0f} ms,"
+           f" jobs={JOBS} {parallel_s * 1e3:.0f} ms,"
+           f" speedup {speedup:.2f}x (best {best:.2f}x)")
+    # Identity (above) holds on any machine; the wall-clock win needs
+    # actual parallel hardware.
+    if _available_cpus() < 2:
+        pytest.skip(f"single-CPU allotment: speedup was {best:.2f}x,"
+                    " identity verified")
+    assert best >= MIN_SPEEDUP, (
+        f"parallel evaluation only {best:.2f}x faster"
+    )
+
+
+def test_cache_hit_rate_and_replay_cost(report):
+    candidates = _candidates()
+    cache = ResultCache()
+    cold = Evaluator(heavy_objective, cache=cache)
+    cold_s, cold_values = _timed(cold, candidates)
+    before = cache.stats()
+    warm = Evaluator(heavy_objective, cache=cache)
+    warm_s, warm_values = _timed(warm, candidates)
+
+    # The cache's counters span both runs; the warm-run hit rate is
+    # the delta.
+    after = cache.stats()
+    lookups = (after["hits"] - before["hits"]
+               + after["misses"] - before["misses"])
+    hit_rate = (after["hits"] - before["hits"]) / lookups
+    report(f"engine cache bench: cold {cold_s * 1e3:.0f} ms"
+           f" ({cold.oracle_calls} oracle calls), warm"
+           f" {warm_s * 1e3:.1f} ms ({warm.oracle_calls} oracle"
+           f" calls), hit rate {hit_rate:.0%},"
+           f" replay win {cold_s / max(warm_s, 1e-9):.0f}x")
+    assert warm_values == cold_values
+    assert warm.oracle_calls == 0
+    assert hit_rate == 1.0
+    assert warm_s < cold_s / 10

@@ -21,7 +21,7 @@ from repro.sustainability.fleet import (
     datacenter_equivalents,
     fleet_power_w,
 )
-from repro.sustainability.lca import amortized_kg_per_year, compare_designs
+from repro.sustainability.lca import compare_designs
 from repro.sustainability.operational import edge_vs_cloud_training
 
 

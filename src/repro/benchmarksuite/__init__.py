@@ -8,7 +8,12 @@ are geometric-mean-fair rather than cherry-picked — the §2.3 evaluation
 remedy.
 """
 
-from repro.benchmarksuite.runner import BenchmarkRow, SuiteRunner
+from repro.benchmarksuite.runner import (
+    BenchmarkRow,
+    SuiteRunner,
+    evaluate_pair,
+    row_cache,
+)
 from repro.benchmarksuite.scoring import (
     geometric_mean,
     normalized_scores,
@@ -25,8 +30,10 @@ __all__ = [
     "SuiteRunner",
     "WORKLOAD_BUILDERS",
     "build_workload",
+    "evaluate_pair",
     "geometric_mean",
     "normalized_scores",
+    "row_cache",
     "score_report",
     "standard_suite",
 ]

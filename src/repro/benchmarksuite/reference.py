@@ -11,8 +11,8 @@ is a regression in the benchmark (the workload silently got easier,
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
 
 from repro.benchmarksuite.runner import SuiteRunner
 from repro.errors import BenchmarkError

@@ -6,19 +6,30 @@ latency ``inf`` — rather than silently skipped).  For a
 :class:`~repro.hw.mapping.HeterogeneousSoC`, stages are mapped per the
 SoC's policy with offload charged.  Deadlines come from each workload's
 target rate.
+
+Evaluation goes through :class:`~repro.engine.evaluator.Evaluator`:
+each (workload, target) pair is a candidate, fingerprinted from the
+workload's task graph and the target's spec, so rows can be priced in
+parallel (``jobs=N``) and cached across runs (``cache=...``).  Rows
+carry ``wall_time_s = 0.0`` when produced this way — wall clock is
+*measurement*, not *result*, and lives in the tracer spans and the
+``suite.row_wall_s`` histogram instead, which keeps the row table
+byte-identical across serial, parallel, and cache-warm runs.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
-import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.benchmarksuite.scoring import score_report
 from repro.benchmarksuite.workloads import standard_suite
 from repro.core.report import format_table
 from repro.core.workload import Workload
+from repro.engine.cache import ResultCache
+from repro.engine.evaluator import Evaluator
 from repro.errors import BenchmarkError, MappingError
 from repro.hw.mapping import HeterogeneousSoC, MappingPolicy
 from repro.hw.platform import Platform
@@ -39,8 +50,10 @@ class BenchmarkRow:
             any stage is unrunnable).
         energy_j: Energy per activation (``inf`` when unrunnable).
         deadline_s: The workload's per-activation deadline.
-        wall_time_s: Wall-clock time the evaluation itself took (the
-            suite runner self-profiling; 0.0 for hand-built rows).
+        wall_time_s: Wall-clock time the evaluation itself took (0.0 for
+            hand-built rows and for engine-evaluated rows, where wall
+            clock is reported via telemetry so results stay
+            deterministic).
         meets_deadline: Whether latency fits the deadline.
     """
 
@@ -62,7 +75,6 @@ def _target_name(target: Target) -> str:
 
 def _evaluate(workload: Workload, target: Target) -> BenchmarkRow:
     deadline = workload.deadline_s()
-    started = time.perf_counter()
     try:
         if isinstance(target, HeterogeneousSoC):
             latency = target.graph_latency_s(
@@ -91,8 +103,28 @@ def _evaluate(workload: Workload, target: Target) -> BenchmarkRow:
         latency_s=latency,
         energy_j=energy,
         deadline_s=deadline,
-        wall_time_s=time.perf_counter() - started,
     )
+
+
+def evaluate_pair(pair: Dict[str, Any]) -> BenchmarkRow:
+    """Engine objective: price one ``{"workload": ..., "target": ...}``
+    candidate (module-level, hence picklable for process pools)."""
+    return _evaluate(pair["workload"], pair["target"])
+
+
+def _encode_row(row: BenchmarkRow) -> Dict[str, Any]:
+    return dataclasses.asdict(row)
+
+
+def _decode_row(payload: Dict[str, Any]) -> BenchmarkRow:
+    return BenchmarkRow(**payload)
+
+
+def row_cache(directory: Optional[str] = None) -> ResultCache:
+    """A :class:`~repro.engine.cache.ResultCache` that knows how to
+    round-trip :class:`BenchmarkRow` values through disk."""
+    return ResultCache(directory, encode=_encode_row,
+                       decode=_decode_row)
 
 
 class SuiteRunner:
@@ -110,9 +142,15 @@ class SuiteRunner:
 
     def run(self, targets: Sequence[Target],
             tracer: Optional[Tracer] = None,
-            metrics: Optional[MetricsRegistry] = None
+            metrics: Optional[MetricsRegistry] = None, *,
+            jobs: int = 1, cache: Optional[ResultCache] = None,
+            evaluator: Optional[Evaluator] = None
             ) -> List[BenchmarkRow]:
         """All (workload x target) rows in deterministic order.
+
+        The row table is identical whatever the evaluation mode:
+        serial, ``jobs=N`` process-pool parallel, or replayed from a
+        warm cache (0 oracle calls).
 
         Args:
             targets: Platforms/SoCs to evaluate.
@@ -121,6 +159,11 @@ class SuiteRunner:
                 ``suite:<target>`` track.
             metrics: Optional registry receiving row counters and
                 latency / wall-time histograms.
+            jobs: Process-pool width for row evaluation.
+            cache: Result cache (see :func:`row_cache`) shared across
+                runs; hits skip the oracle entirely.
+            evaluator: A pre-built row evaluator; overrides ``jobs``
+                and ``cache``.
         """
         if not targets:
             raise BenchmarkError("need >= 1 target")
@@ -128,29 +171,53 @@ class SuiteRunner:
         if len(set(names)) != len(names):
             raise BenchmarkError(f"duplicate target names: {names}")
         tracer = tracer if tracer is not None else get_tracer()
-        rows: List[BenchmarkRow] = []
-        for workload in self.workloads:
-            for target in targets:
-                with tracer.wall_span(
-                    workload.name,
-                    track=f"suite:{_target_name(target)}",
-                ) as span:
-                    row = _evaluate(workload, target)
-                if tracer.enabled and span.args is None:
-                    span.args = {"latency_s": row.latency_s,
-                                 "energy_j": row.energy_j,
-                                 "meets_deadline": row.meets_deadline}
-                rows.append(row)
+        if evaluator is None:
+            evaluator = Evaluator(
+                evaluate_pair, jobs=jobs, cache=cache,
+                context={"task": "benchmarksuite",
+                         "policy": MappingPolicy.FASTEST},
+                tracer=tracer, metrics=metrics,
+            )
+        candidates = [{"workload": workload, "target": target}
+                      for workload in self.workloads
+                      for target in targets]
+        with tracer.wall_span("suite.run", track="suite") as run_span:
+            results = evaluator.map_batch(candidates)
+        rows = [result.value for result in results]
+        if tracer.enabled:
+            # Reconstruct per-row spans from the measured durations so
+            # the trace keeps its per-target lanes even though the rows
+            # themselves were priced in a batch (possibly out of
+            # process, possibly from cache — cached rows show as
+            # zero-width slices).
+            cursor = run_span.start_s
+            for result, row in zip(results, rows):
+                span = tracer.begin(
+                    row.workload, ts=cursor,
+                    track=f"suite:{row.target}",
+                    args={"latency_s": row.latency_s,
+                          "energy_j": row.energy_j,
+                          "meets_deadline": row.meets_deadline,
+                          "cached": result.cached},
+                )
+                span.wall = True
+                cursor += result.wall_time_s
+                tracer.end(span, ts=cursor)
         if metrics is not None:
-            self._publish_metrics(rows, metrics)
+            self._publish_metrics(
+                rows, metrics,
+                wall_times=[r.wall_time_s for r in results],
+            )
         return rows
 
     @staticmethod
     def _publish_metrics(rows: Sequence[BenchmarkRow],
-                         metrics: MetricsRegistry) -> None:
+                         metrics: MetricsRegistry,
+                         wall_times: Optional[Sequence[float]] = None
+                         ) -> None:
         latency = metrics.histogram("suite.latency_s")
         wall = metrics.histogram("suite.row_wall_s")
-        for row in rows:
+        for index, row in enumerate(rows):
             metrics.counter("suite.rows").inc()
             if math.isfinite(row.latency_s):
                 latency.record(row.latency_s)
@@ -158,7 +225,8 @@ class SuiteRunner:
                 metrics.counter("suite.rows_infeasible").inc()
             if not row.meets_deadline:
                 metrics.counter("suite.rows_missing_deadline").inc()
-            wall.record(row.wall_time_s)
+            wall.record(wall_times[index] if wall_times is not None
+                        else row.wall_time_s)
 
     def latency_map(self, rows: Sequence[BenchmarkRow]
                     ) -> Dict[str, Dict[str, float]]:

@@ -7,6 +7,8 @@ code:
   catalog and print ranked scores;
 - ``audit``    — audit a design plan (JSON file) against the Seven
   Challenges;
+- ``dse``      — explore the demo co-design space (platform knobs
+  priced against the suite) with any search strategy;
 - ``mission``  — sweep the UAV compute ladder through the closed-loop
   patrol mission (§2.4);
 - ``fig1``     — regenerate the publication-trend figure;
@@ -18,7 +20,10 @@ code:
 ``suite`` and ``mission`` accept ``--json <path>`` (machine-readable
 results with run provenance) and ``--trace-out <path>`` (Chrome trace of
 the run) so every workflow can feed automated optimization loops instead
-of only printing tables.
+of only printing tables.  ``suite`` and ``dse`` additionally accept
+``--jobs N`` (process-pool evaluation; results are identical to serial)
+and ``--cache DIR`` (on-disk result cache; warm re-runs cost zero
+oracle calls).
 """
 
 from __future__ import annotations
@@ -27,13 +32,13 @@ import argparse
 import dataclasses
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.report import ascii_bar_chart, format_table
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
-    from repro.benchmarksuite import SuiteRunner
+    from repro.benchmarksuite import SuiteRunner, row_cache
     from repro.hw import (
         HeterogeneousSoC,
         asic_gemm_engine,
@@ -57,15 +62,24 @@ def _cmd_suite(args: argparse.Namespace) -> int:
                midrange_fpga(),
                HeterogeneousSoC("gemm-soc", embedded_cpu("soc-host"),
                                 [asic_gemm_engine()])]
-    rows = runner.run(targets, tracer=tracer, metrics=metrics)
+    cache = row_cache(args.cache) if args.cache else None
+    rows = runner.run(targets, tracer=tracer, metrics=metrics,
+                      jobs=args.jobs, cache=cache)
     print(runner.report(rows))
     print()
     scores = runner.ranked_scores(rows, "embedded-cpu")
     print(format_table(["target", "geomean speedup vs embedded-cpu"],
                        scores, title="Suite scores"))
+    if cache is not None:
+        stats = cache.stats()
+        print(f"result cache: {stats['hits']} hit(s)"
+              f" ({stats['disk_hits']} from disk),"
+              f" {stats['misses']} miss(es)")
 
     provenance = run_provenance(config={"command": "suite",
-                                        "reference": "embedded-cpu"})
+                                        "reference": "embedded-cpu",
+                                        "jobs": args.jobs,
+                                        "cache": args.cache})
     if args.json:
         write_metrics_json(
             args.json, registry=metrics, provenance=provenance,
@@ -193,6 +207,75 @@ def _cmd_mission(args: argparse.Namespace) -> int:
         count = write_chrome_trace(tracer, args.trace_out,
                                    provenance=provenance)
         print(f"wrote {count} trace events to {args.trace_out}")
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from repro.dse import (
+        EvolutionarySearch,
+        SurrogateSearch,
+        codesign_space,
+        grid_search,
+        random_search,
+        suite_objective,
+    )
+    from repro.engine import Evaluator, ResultCache
+    from repro.telemetry import run_provenance, write_metrics_json
+
+    space = codesign_space()
+    if args.budget < 1:
+        print(f"--budget must be >= 1 (got {args.budget})",
+              file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache) if args.cache else None
+    evaluator = Evaluator(
+        suite_objective, jobs=args.jobs, cache=cache, seed=args.seed,
+        context={"task": "dse-codesign",
+                 "objective": "suite_objective"},
+    )
+    if args.strategy == "grid":
+        result = grid_search(space, budget=args.budget,
+                             evaluator=evaluator)
+    elif args.strategy == "random":
+        result = random_search(space, budget=args.budget,
+                               seed=args.seed, evaluator=evaluator)
+    elif args.strategy == "evolutionary":
+        search = EvolutionarySearch(space, seed=args.seed)
+        result = search.run(budget=args.budget, evaluator=evaluator)
+    else:  # surrogate
+        search = SurrogateSearch(
+            space, n_initial=max(2, min(8, args.budget)),
+            seed=args.seed)
+        result = search.run(budget=args.budget, evaluator=evaluator)
+
+    print(format_table(
+        ["knob", "value"],
+        sorted(result.best_config.items()),
+        title=f"Best of {result.evaluations} evaluation(s)"
+              f" ({args.strategy}, {space.size}-point space)",
+    ))
+    print(f"objective: {result.best_value:.6g}")
+    stats = evaluator.stats()
+    print(f"oracle calls: {stats['oracle_calls']}"
+          f" (cache hits: {stats['hits']}, jobs: {args.jobs})")
+    if args.json:
+        provenance = run_provenance(
+            seed=args.seed,
+            config={"command": "dse", "strategy": args.strategy,
+                    "budget": args.budget, "jobs": args.jobs,
+                    "cache": args.cache},
+        )
+        write_metrics_json(
+            args.json, provenance=provenance,
+            extra={
+                "best_config": result.best_config,
+                "best_value": result.best_value,
+                "evaluations": result.evaluations,
+                "trace": result.trace,
+                "engine": stats,
+            },
+        )
+        print(f"wrote metrics JSON to {args.json}")
     return 0
 
 
@@ -386,6 +469,29 @@ def build_parser() -> argparse.ArgumentParser:
                                       " metrics as JSON")
     suite.add_argument("--trace-out", help="write a Chrome trace of"
                                            " the run")
+    suite.add_argument("--jobs", type=int, default=1,
+                       help="evaluate rows on a process pool of this"
+                            " width (results are identical to serial)")
+    suite.add_argument("--cache",
+                       help="directory for the on-disk result cache;"
+                            " re-runs answer from it without"
+                            " re-evaluating")
+
+    dse = sub.add_parser("dse", help="design-space exploration over"
+                                     " the demo co-design space"
+                                     " (suite-priced platform knobs)")
+    dse.add_argument("--strategy", default="surrogate",
+                     choices=["grid", "random", "evolutionary",
+                              "surrogate"])
+    dse.add_argument("--budget", type=int, default=24,
+                     help="unique-candidate evaluation budget")
+    dse.add_argument("--seed", type=int, default=0)
+    dse.add_argument("--jobs", type=int, default=1,
+                     help="process-pool width for candidate pricing")
+    dse.add_argument("--cache",
+                     help="directory for the on-disk result cache")
+    dse.add_argument("--json", help="also write the best design +"
+                                    " engine stats as JSON")
 
     audit = sub.add_parser("audit", help="Seven Challenges audit of a"
                                          " JSON design plan")
@@ -446,6 +552,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "suite": _cmd_suite,
         "audit": _cmd_audit,
+        "dse": _cmd_dse,
         "mission": _cmd_mission,
         "fig1": _cmd_fig1,
         "verify": _cmd_verify,

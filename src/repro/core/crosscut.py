@@ -15,7 +15,7 @@ that analysis over a set of characterized workloads:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set
 
 from repro.core.workload import Workload
 from repro.errors import ConfigurationError

@@ -17,7 +17,7 @@ signal the year the accelerated classes stop covering the work.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.characterize import amdahl_speedup
 from repro.core.workload import Workload

@@ -94,7 +94,7 @@ def ascii_bar_chart(
             f"{len(labels)} labels but {len(values)} values"
         )
     peak = max((v for v in values if v > 0), default=0.0)
-    label_width = max((len(l) for l in labels), default=0)
+    label_width = max((len(lab) for lab in labels), default=0)
     lines: List[str] = []
     if title:
         lines.append(title)

@@ -143,6 +143,13 @@ class TaskGraph:
             )
         return order
 
+    def fingerprint_spec(self) -> Dict[str, object]:
+        """Everything that determines this graph's evaluation semantics,
+        for :func:`repro.engine.fingerprint.fingerprint` (stages in
+        topological order, so construction order is irrelevant)."""
+        return {"kind": type(self).__name__, "name": self.name,
+                "stages": self.stages}
+
     def total_profile(self) -> WorkloadProfile:
         """Merged profile of one activation of every stage."""
         return WorkloadProfile.merge(

@@ -5,42 +5,79 @@ space and an expensive oracle (here, the closed-loop mission simulator or
 a benchmark-suite run), find good designs with few oracle calls.
 
 - :mod:`~repro.dse.space`        — discrete parameter spaces;
-- :mod:`~repro.dse.search`       — grid and random baselines;
+- :mod:`~repro.dse.search`       — grid and random baselines, the shared
+  ask/tell machinery (:class:`~repro.dse.search.ConfigStrategy`), and the
+  public :func:`~repro.dse.search.record` history funnel;
 - :mod:`~repro.dse.evolutionary` — a genetic algorithm;
 - :mod:`~repro.dse.surrogate`    — Gaussian-process regression (RBF);
 - :mod:`~repro.dse.bayesian`     — surrogate-guided (expected-
   improvement) optimization, the paper's headline DSE method;
 - :mod:`~repro.dse.pareto`       — Pareto fronts and hypervolume;
-- :mod:`~repro.dse.constraints`  — feasibility and penalty handling.
+- :mod:`~repro.dse.constraints`  — feasibility and penalty handling;
+- :mod:`~repro.dse.objectives`   — picklable benchmark-suite co-design
+  objectives for the CLI and process-pool evaluation.
+
+Every strategy speaks the ask/tell protocol of :mod:`repro.engine`, so
+caching (:class:`~repro.engine.cache.ResultCache`) and parallel
+evaluation (``jobs=N``) apply uniformly; the classic entry points
+(:func:`grid_search`, ``EvolutionarySearch.run`` …) are thin wrappers.
 """
 
-from repro.dse.bayesian import SurrogateSearch
+from repro.dse.bayesian import SurrogateSearch, SurrogateStrategy
 from repro.dse.constraints import Constraint, ConstraintSet
-from repro.dse.evolutionary import EvolutionarySearch
+from repro.dse.evolutionary import EvolutionarySearch, EvolutionaryStrategy
 from repro.dse.multiobjective import (
     FrontPoint,
     MultiObjectiveResult,
+    VectorObjective,
     multi_objective_search,
 )
+from repro.dse.objectives import (
+    build_platform,
+    codesign_space,
+    suite_energy,
+    suite_latency,
+    suite_objective,
+)
 from repro.dse.pareto import hypervolume_2d, pareto_front
-from repro.dse.search import SearchResult, grid_search, random_search
+from repro.dse.search import (
+    ConfigStrategy,
+    GridStrategy,
+    RandomStrategy,
+    SearchResult,
+    grid_search,
+    random_search,
+    record,
+)
 from repro.dse.space import DesignSpace, Parameter
 from repro.dse.surrogate import GaussianProcess
 
 __all__ = [
+    "ConfigStrategy",
     "Constraint",
     "ConstraintSet",
     "DesignSpace",
     "EvolutionarySearch",
+    "EvolutionaryStrategy",
     "FrontPoint",
     "GaussianProcess",
+    "GridStrategy",
     "MultiObjectiveResult",
     "Parameter",
-    "multi_objective_search",
+    "RandomStrategy",
     "SearchResult",
     "SurrogateSearch",
+    "SurrogateStrategy",
+    "VectorObjective",
+    "build_platform",
+    "codesign_space",
     "grid_search",
     "hypervolume_2d",
+    "multi_objective_search",
     "pareto_front",
     "random_search",
+    "record",
+    "suite_energy",
+    "suite_latency",
+    "suite_objective",
 ]

@@ -4,18 +4,111 @@ The paper's §3.1 proposal, implemented: random warm-up, then a loop of
 fit-GP → maximize expected improvement over a candidate pool → evaluate
 the oracle.  Experiment E8 compares its sample-efficiency trace against
 random/grid baselines on the UAV co-design space.
+
+Ask/tell shape: the warm-up sample is proposed as one batch (so a
+parallel evaluator prices it concurrently); after that the strategy is
+sequential by design — each GP refit needs the previous observation —
+so :meth:`ask` proposes exactly one config per iteration.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Set, Tuple
+from typing import List, Optional, Sequence, Set
 
 import numpy as np
 
-from repro.dse.search import Objective, SearchResult, _record
+from repro.dse.search import (
+    ConfigStrategy,
+    Objective,
+    SearchResult,
+    _make_evaluator,
+)
 from repro.dse.space import Config, DesignSpace
 from repro.dse.surrogate import GaussianProcess, expected_improvement
+from repro.engine.cache import ResultCache
+from repro.engine.evaluator import EvalResult, Evaluator
+from repro.engine.protocol import run_search
 from repro.errors import SearchError
+
+
+class SurrogateStrategy(ConfigStrategy):
+    """GP + expected-improvement proposer.
+
+    Args:
+        space: The design space.
+        budget: Oracle-call budget (includes the warm-up).
+        n_initial: Random warm-up evaluations before the GP takes over.
+        candidate_pool: Candidates scored by EI per iteration.
+        length_scale: GP kernel length scale in encoded space.
+        rng: The generator driving warm-up sampling and pool draws.
+    """
+
+    def __init__(self, space: DesignSpace, budget: int,
+                 n_initial: int = 8, candidate_pool: int = 256,
+                 length_scale: float = 0.4,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(space)
+        if budget < n_initial:
+            raise SearchError(
+                f"budget {budget} smaller than warm-up {n_initial}"
+            )
+        self.budget = budget
+        self.n_initial = n_initial
+        self.candidate_pool = candidate_pool
+        self.length_scale = length_scale
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._visited: Set[int] = set()
+        self._xs: List[np.ndarray] = []
+        self._ys: List[float] = []
+        self._warmed = False
+        self._exhausted = False
+
+    def _candidates(self) -> List[Config]:
+        if self.space.size <= self.candidate_pool:
+            return [self.space.config_at(i)
+                    for i in range(self.space.size)
+                    if i not in self._visited]
+        pool: List[Config] = []
+        tries = 0
+        while len(pool) < self.candidate_pool \
+                and tries < 20 * self.candidate_pool:
+            index = int(self.rng.integers(self.space.size))
+            tries += 1
+            if index not in self._visited:
+                pool.append(self.space.config_at(index))
+        return pool
+
+    def ask(self) -> List[Config]:
+        if not self._warmed:
+            n_warm = min(self.n_initial, self.budget, self.space.size)
+            return self.space.sample(
+                self.rng, n=n_warm,
+                replace=self.space.size < n_warm)
+        gp = GaussianProcess(length_scale=self.length_scale)
+        gp.fit(np.stack(self._xs), np.array(self._ys))
+        candidates = self._candidates()
+        if not candidates:
+            self._exhausted = True
+            return []
+        encoded = np.stack([self.space.encode(c) for c in candidates])
+        mean, std = gp.predict(encoded)
+        ei = expected_improvement(mean, std, self.best_value)
+        return [candidates[int(np.argmax(ei))]]
+
+    def tell(self, results: Sequence[EvalResult]) -> None:
+        self._warmed = True
+        for result in results:
+            self.ingest(result.candidate, result.value)
+            self._visited.add(self.space.index_of(result.candidate))
+            self._xs.append(self.space.encode(result.candidate))
+            self._ys.append(result.value)
+
+    def finished(self) -> bool:
+        if not self._warmed:
+            return False
+        return (self._exhausted
+                or len(self.history) >= self.budget
+                or len(self._visited) >= self.space.size)
 
 
 class SurrogateSearch:
@@ -43,66 +136,21 @@ class SurrogateSearch:
         self.length_scale = length_scale
         self.rng = np.random.default_rng(seed)
 
-    def _candidates(self, visited: Set[int]) -> List[Config]:
-        if self.space.size <= self.candidate_pool:
-            return [self.space.config_at(i)
-                    for i in range(self.space.size)
-                    if i not in visited]
-        pool: List[Config] = []
-        tries = 0
-        while len(pool) < self.candidate_pool \
-                and tries < 20 * self.candidate_pool:
-            index = int(self.rng.integers(self.space.size))
-            tries += 1
-            if index not in visited:
-                pool.append(self.space.config_at(index))
-        return pool
+    def strategy(self, budget: int) -> SurrogateStrategy:
+        """An ask/tell strategy bound to this search's parameters and
+        (stateful) RNG."""
+        return SurrogateStrategy(
+            self.space, budget=budget, n_initial=self.n_initial,
+            candidate_pool=self.candidate_pool,
+            length_scale=self.length_scale, rng=self.rng,
+        )
 
-    def run(self, objective: Objective, budget: int) -> SearchResult:
+    def run(self, objective: Optional[Objective] = None,
+            budget: int = 8, *, evaluator: Optional[Evaluator] = None,
+            jobs: int = 1, cache: Optional[ResultCache] = None
+            ) -> SearchResult:
         """Minimize ``objective`` within ``budget`` oracle calls."""
-        if budget < self.n_initial:
-            raise SearchError(
-                f"budget {budget} smaller than warm-up {self.n_initial}"
-            )
-        history: List[Tuple[Config, float]] = []
-        trace: List[float] = []
-        visited: Set[int] = set()
-        xs: List[np.ndarray] = []
-        ys: List[float] = []
-        best_config: Optional[Config] = None
-        best_value = float("inf")
-
-        def evaluate(config: Config) -> None:
-            nonlocal best_config, best_value
-            value = objective(config)
-            _record(history, trace, config, value)
-            visited.add(self.space.index_of(config))
-            xs.append(self.space.encode(config))
-            ys.append(value)
-            if value < best_value:
-                best_value = value
-                best_config = config
-
-        n_warm = min(self.n_initial, budget, self.space.size)
-        for config in self.space.sample(
-                self.rng, n=n_warm, replace=self.space.size < n_warm):
-            evaluate(config)
-
-        while len(history) < budget and len(visited) < self.space.size:
-            gp = GaussianProcess(length_scale=self.length_scale)
-            gp.fit(np.stack(xs), np.array(ys))
-            candidates = self._candidates(visited)
-            if not candidates:
-                break
-            encoded = np.stack([self.space.encode(c)
-                                for c in candidates])
-            mean, std = gp.predict(encoded)
-            ei = expected_improvement(mean, std, best_value)
-            pick = candidates[int(np.argmax(ei))]
-            evaluate(pick)
-
-        assert best_config is not None
-        return SearchResult(best_config=best_config,
-                            best_value=best_value,
-                            evaluations=len(history),
-                            history=history, trace=trace)
+        return run_search(
+            self.strategy(budget),
+            _make_evaluator(objective, evaluator, jobs, cache),
+        )

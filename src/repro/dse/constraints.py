@@ -8,7 +8,7 @@ first-class rather than baked into ad-hoc objective hacks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, Sequence
 
 from repro.dse.search import Objective
 from repro.dse.space import Config

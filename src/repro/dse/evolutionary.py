@@ -4,18 +4,167 @@ The classic black-box alternative to surrogate search: tournament
 selection, uniform crossover, single-parameter mutation.  Included both
 as an E8 baseline and because GA-style search is what several published
 accelerator-DSE systems actually ship.
+
+Under the ask/tell protocol the GA proposes its warm-up population as
+one batch (parallelizable) and then one child per ask — steady-state
+reproduction is inherently sequential, since each child's parents come
+from the population the previous child just updated.  Within-run
+repeats are handled strategy-side (the budget counts *unique* designs,
+matching how expensive simulators are used); cross-run repeats are the
+Evaluator cache's job.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.dse.search import Objective, SearchResult, _record
+from repro.dse.search import (
+    ConfigStrategy,
+    Objective,
+    SearchResult,
+    _make_evaluator,
+)
 from repro.dse.space import Config, DesignSpace
+from repro.engine.cache import ResultCache
+from repro.engine.evaluator import EvalResult, Evaluator
+from repro.engine.protocol import run_search
 from repro.errors import SearchError
 from repro.telemetry.tracer import get_tracer
+
+
+class EvolutionaryStrategy(ConfigStrategy):
+    """Steady-state GA as an ask/tell strategy.
+
+    Args:
+        space: The design space.
+        budget: Unique-design evaluation budget.
+        population_size: Individuals per generation.
+        tournament_size: Selection pressure.
+        crossover_rate: Probability of uniform crossover (else clone).
+        mutation_rate: Per-parameter mutation probability.
+        rng: The generator driving sampling/selection/mutation (owning
+            it lets :class:`EvolutionarySearch` keep its historical
+            stateful-across-runs behavior).
+    """
+
+    def __init__(self, space: DesignSpace, budget: int,
+                 population_size: int = 16, tournament_size: int = 3,
+                 crossover_rate: float = 0.9, mutation_rate: float = 0.2,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(space)
+        if budget < 2:
+            raise SearchError("budget must be >= 2")
+        self.budget = budget
+        self.population_size = population_size
+        self.tournament_size = tournament_size
+        self.crossover_rate = crossover_rate
+        self.mutation_rate = mutation_rate
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._seen: Dict[int, float] = {}
+        self._population: List[Tuple[Config, float]] = []
+        self._initialized = False
+
+    # -- GA operators -------------------------------------------------
+
+    def _tournament(self) -> Config:
+        picks = self.rng.choice(len(self._population),
+                                size=min(self.tournament_size,
+                                         len(self._population)),
+                                replace=False)
+        best = min((self._population[int(i)] for i in picks),
+                   key=lambda pair: pair[1])
+        return dict(best[0])
+
+    def _crossover(self, a: Config, b: Config) -> Config:
+        child: Config = {}
+        for p in self.space.parameters:
+            source = a if self.rng.random() < 0.5 else b
+            child[p.name] = source[p.name]
+        return child
+
+    def _mutate(self, config: Config) -> Config:
+        mutated = dict(config)
+        for p in self.space.parameters:
+            if self.rng.random() < self.mutation_rate:
+                choices = [v for v in p.values if v != mutated[p.name]]
+                if choices:
+                    mutated[p.name] = choices[
+                        int(self.rng.integers(len(choices)))
+                    ]
+        return mutated
+
+    def _breed(self) -> Config:
+        parent_a = self._tournament()
+        parent_b = self._tournament()
+        if self.rng.random() < self.crossover_rate:
+            child = self._crossover(parent_a, parent_b)
+        else:
+            child = parent_a
+        return self._mutate(child)
+
+    def _step_population(self, child: Config, value: float) -> None:
+        """Steady-state replacement: drop the worst individual."""
+        self._population.append((child, value))
+        self._population.sort(key=lambda pair: pair[1])
+        self._population = self._population[:self.population_size]
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "dse.generation", ts=float(len(self.trace)),
+                track="dse",
+                args={"population_best": self._population[0][1],
+                      "population_worst": self._population[-1][1],
+                      "unique_evals": len(self._seen)},
+            )
+
+    # -- ask/tell -----------------------------------------------------
+
+    def ask(self) -> List[Config]:
+        if not self._initialized:
+            n_init = min(self.population_size, self.budget,
+                         self.space.size)
+            return self.space.sample(
+                self.rng, n=n_init,
+                replace=self.space.size < n_init)
+        tracer = get_tracer()
+        while not self.finished():
+            child = self._breed()
+            key = self.space.index_of(child)
+            if key not in self._seen:
+                return [child]
+            # Within-run repeat: free (memoized), but it still steps
+            # the population, exactly as the pre-ask/tell GA did.
+            if tracer.enabled:
+                tracer.instant("dse.cache_hit",
+                               ts=float(len(self.trace)), track="dse",
+                               args={"config": dict(child)})
+            self._step_population(child, self._seen[key])
+        return []
+
+    def tell(self, results: Sequence[EvalResult]) -> None:
+        if not self._initialized:
+            for result in results:
+                key = self.space.index_of(result.candidate)
+                if key not in self._seen:
+                    self._seen[key] = result.value
+                    self.ingest(result.candidate, result.value)
+                self._population.append((result.candidate,
+                                         self._seen[key]))
+            self._initialized = True
+            return
+        for result in results:
+            key = self.space.index_of(result.candidate)
+            self._seen[key] = result.value
+            self.ingest(result.candidate, result.value)
+            self._step_population(result.candidate, result.value)
+
+    def finished(self) -> bool:
+        if not self._initialized:
+            return False
+        return (len(self.history) >= self.budget
+                or len(self._seen) >= self.space.size)
 
 
 class EvolutionarySearch:
@@ -48,99 +197,28 @@ class EvolutionarySearch:
         self.mutation_rate = mutation_rate
         self.rng = np.random.default_rng(seed)
 
-    def _tournament(self, population: List[Tuple[Config, float]]
-                    ) -> Config:
-        picks = self.rng.choice(len(population),
-                                size=min(self.tournament_size,
-                                         len(population)),
-                                replace=False)
-        best = min((population[int(i)] for i in picks),
-                   key=lambda pair: pair[1])
-        return dict(best[0])
+    def strategy(self, budget: int) -> EvolutionaryStrategy:
+        """An ask/tell strategy bound to this search's parameters and
+        (stateful) RNG."""
+        return EvolutionaryStrategy(
+            self.space, budget=budget,
+            population_size=self.population_size,
+            tournament_size=self.tournament_size,
+            crossover_rate=self.crossover_rate,
+            mutation_rate=self.mutation_rate,
+            rng=self.rng,
+        )
 
-    def _crossover(self, a: Config, b: Config) -> Config:
-        child: Config = {}
-        for p in self.space.parameters:
-            source = a if self.rng.random() < 0.5 else b
-            child[p.name] = source[p.name]
-        return child
-
-    def _mutate(self, config: Config) -> Config:
-        mutated = dict(config)
-        for p in self.space.parameters:
-            if self.rng.random() < self.mutation_rate:
-                choices = [v for v in p.values if v != mutated[p.name]]
-                if choices:
-                    mutated[p.name] = choices[
-                        int(self.rng.integers(len(choices)))
-                    ]
-        return mutated
-
-    def run(self, objective: Objective, budget: int) -> SearchResult:
+    def run(self, objective: Optional[Objective] = None,
+            budget: int = 2, *, evaluator: Optional[Evaluator] = None,
+            jobs: int = 1, cache: Optional[ResultCache] = None
+            ) -> SearchResult:
         """Minimize ``objective`` within ``budget`` oracle calls.
 
         Memoizes repeated configurations so the budget counts *unique*
         oracle calls, matching how expensive simulators are used.
         """
-        if budget < 2:
-            raise SearchError("budget must be >= 2")
-        tracer = get_tracer()
-        history: List[Tuple[Config, float]] = []
-        trace: List[float] = []
-        cache: Dict[int, float] = {}
-        best_config: Optional[Config] = None
-        best_value = float("inf")
-
-        def evaluate(config: Config) -> float:
-            nonlocal best_config, best_value
-            key = self.space.index_of(config)
-            if key in cache:
-                if tracer.enabled:
-                    tracer.instant("dse.cache_hit",
-                                   ts=float(len(trace)), track="dse",
-                                   args={"config": dict(config)})
-                return cache[key]
-            value = objective(config)
-            cache[key] = value
-            _record(history, trace, config, value)
-            if value < best_value:
-                best_value = value
-                best_config = config
-            return value
-
-        n_init = min(self.population_size, budget, self.space.size)
-        population = [
-            (config, evaluate(config))
-            for config in self.space.sample(
-                self.rng, n=n_init, replace=self.space.size < n_init)
-        ]
-
-        while len(history) < budget:
-            parent_a = self._tournament(population)
-            parent_b = self._tournament(population)
-            if self.rng.random() < self.crossover_rate:
-                child = self._crossover(parent_a, parent_b)
-            else:
-                child = parent_a
-            child = self._mutate(child)
-            value = evaluate(child)
-            # Steady-state replacement: drop the worst individual.
-            population.append((child, value))
-            population.sort(key=lambda pair: pair[1])
-            population = population[:self.population_size]
-            if tracer.enabled:
-                tracer.instant(
-                    "dse.generation", ts=float(len(trace)),
-                    track="dse",
-                    args={"population_best": population[0][1],
-                          "population_worst": population[-1][1],
-                          "unique_evals": len(cache)},
-                )
-            if len(cache) >= self.space.size:
-                break
-
-        assert best_config is not None
-        return SearchResult(best_config=best_config,
-                            best_value=best_value,
-                            evaluations=len(history),
-                            history=history, trace=trace)
+        return run_search(
+            self.strategy(budget),
+            _make_evaluator(objective, evaluator, jobs, cache),
+        )

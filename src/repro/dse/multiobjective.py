@@ -5,19 +5,30 @@ vs. energy vs. area vs. mission merit — §2.2's point that no single
 metric decides).  This module runs scalarized searches across a weight
 sweep and assembles the non-dominated front from *every* evaluated
 point, so the output is the trade curve a design review actually needs.
+
+Engine integration: the *vector* of objective values per config is what
+gets priced through the :class:`~repro.engine.evaluator.Evaluator`
+(content-addressed, cacheable, batch-parallel — objective vectors are
+order-independent), while scalarization (weighting + running min-max
+normalization) happens strategy-side in proposal order, so results are
+identical regardless of parallelism or cache warmth.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.dse.pareto import hypervolume_2d, pareto_front
-from repro.dse.search import random_search
 from repro.dse.bayesian import SurrogateSearch
+from repro.dse.pareto import hypervolume_2d, pareto_front
+from repro.dse.search import RandomStrategy
 from repro.dse.space import Config, DesignSpace
+from repro.engine.cache import ResultCache
+from repro.engine.evaluator import EvalResult, Evaluator
+from repro.engine.protocol import run_search
 from repro.errors import SearchError
 
 ObjectiveFn = Callable[[Config], float]
@@ -42,8 +53,8 @@ class MultiObjectiveResult:
 
     Attributes:
         front: Non-dominated designs (arbitrary order).
-        evaluations: Oracle calls consumed across all scalarizations
-            (memoized: each unique config is evaluated once).
+        evaluations: Unique configs priced across all scalarizations
+            (repeats are memoized and free).
         objective_names: The minimized objectives, in declaration order.
     """
 
@@ -66,6 +77,63 @@ class MultiObjectiveResult:
         return hypervolume_2d(points, reference)
 
 
+class VectorObjective:
+    """Named objectives bundled into one ``config -> {name: value}``
+    callable (module-level, hence picklable for process pools when its
+    component functions are)."""
+
+    def __init__(self, objectives: Dict[str, ObjectiveFn]):
+        self.names = tuple(objectives)
+        self.fns = tuple(objectives.values())
+
+    def __call__(self, config: Config) -> Dict[str, float]:
+        return {name: fn(config)
+                for name, fn in zip(self.names, self.fns)}
+
+
+class _ScalarizingEvaluator:
+    """Adapter giving a single-objective strategy a scalar view of the
+    shared vector evaluator.
+
+    Vector values for a batch are priced at once (parallel, cached);
+    scalars are then derived sequentially in proposal order, each using
+    min-max bounds over every config seen *so far* — byte-for-byte the
+    semantics of the historical one-at-a-time loop.
+    """
+
+    def __init__(self, inner: Evaluator, space: DesignSpace,
+                 store: Dict[int, Dict[str, float]],
+                 names: Tuple[str, ...], weights: np.ndarray):
+        self.inner = inner
+        self.space = space
+        self.store = store
+        self.names = names
+        self.weights = weights
+
+    def _scalarize(self, values: Dict[str, float]) -> float:
+        lo = {name: min(v[name] for v in self.store.values())
+              for name in self.names}
+        hi = {name: max(v[name] for v in self.store.values())
+              for name in self.names}
+        total = 0.0
+        for weight, name in zip(self.weights, self.names):
+            span = hi[name] - lo[name]
+            normalized = 0.0 if span == 0 \
+                else (values[name] - lo[name]) / span
+            total += weight * normalized
+        return total
+
+    def map_batch(self, configs: Sequence[Config]) -> List[EvalResult]:
+        results = self.inner.map_batch(configs)
+        out: List[EvalResult] = []
+        for result in results:
+            key = self.space.index_of(result.candidate)
+            self.store.setdefault(key, result.value)
+            scalar = self._scalarize(self.store[key])
+            out.append(dataclasses.replace(result, value=scalar))
+        return out
+
+
 def _normalizing_weights(n_objectives: int,
                          n_sweeps: int) -> List[np.ndarray]:
     """Evenly spread simplex weights (2-D: a linspace; higher: random
@@ -85,6 +153,10 @@ def multi_objective_search(
     n_weights: int = 5,
     method: str = "surrogate",
     seed: int = 0,
+    *,
+    evaluator: "Evaluator | None" = None,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> MultiObjectiveResult:
     """Assemble a Pareto front via scalarized searches.
 
@@ -102,50 +174,38 @@ def multi_objective_search(
         n_weights: Number of scalarizations.
         method: ``"surrogate"`` or ``"random"``.
         seed: Base seed.
+        evaluator: A pre-built vector evaluator (must price configs to
+            ``{name: value}`` dicts); overrides ``jobs``/``cache``.
+        jobs: Process-pool width for objective-vector pricing.
+        cache: Result cache for the vector evaluator (pass one with a
+            directory — and a distinguishing evaluator ``context`` — to
+            share across runs).
     """
     if len(objectives) < 2:
         raise SearchError("need >= 2 objectives")
     if method not in ("surrogate", "random"):
         raise SearchError(f"unknown method {method!r}")
     names = tuple(objectives)
-    cache: Dict[int, Dict[str, float]] = {}
-
-    def evaluate(config: Config) -> Dict[str, float]:
-        key = space.index_of(config)
-        if key not in cache:
-            cache[key] = {name: fn(config)
-                          for name, fn in objectives.items()}
-        return cache[key]
-
-    def scalarize(weights: np.ndarray) -> ObjectiveFn:
-        def scalar(config: Config) -> float:
-            values = evaluate(config)
-            lo = {name: min(v[name] for v in cache.values())
-                  for name in names}
-            hi = {name: max(v[name] for v in cache.values())
-                  for name in names}
-            total = 0.0
-            for weight, name in zip(weights, names):
-                span = hi[name] - lo[name]
-                normalized = 0.0 if span == 0 \
-                    else (values[name] - lo[name]) / span
-                total += weight * normalized
-            return total
-        return scalar
+    if evaluator is None:
+        evaluator = Evaluator(VectorObjective(objectives), jobs=jobs,
+                              cache=cache, seed=seed)
+    store: Dict[int, Dict[str, float]] = {}
 
     for sweep, weights in enumerate(
             _normalizing_weights(len(names), n_weights)):
-        scalar = scalarize(weights)
+        scalarized = _ScalarizingEvaluator(evaluator, space, store,
+                                           names, weights)
         if method == "surrogate":
             n_initial = max(2, min(6, budget_per_weight - 1))
-            SurrogateSearch(space, n_initial=n_initial,
-                            seed=seed + sweep).run(
-                scalar, budget=budget_per_weight)
+            strategy = SurrogateSearch(
+                space, n_initial=n_initial, seed=seed + sweep,
+            ).strategy(budget_per_weight)
         else:
-            random_search(space, scalar, budget=budget_per_weight,
-                          seed=seed + sweep)
+            strategy = RandomStrategy(space, budget=budget_per_weight,
+                                      seed=seed + sweep)
+        run_search(strategy, scalarized)
 
-    points = list(cache.items())
+    points = list(store.items())
     vectors = [[values[name] for name in names]
                for _, values in points]
     keep = pareto_front(vectors)
@@ -154,5 +214,5 @@ def multi_objective_search(
                    objectives=dict(points[i][1]))
         for i in keep
     ]
-    return MultiObjectiveResult(front=front, evaluations=len(cache),
+    return MultiObjectiveResult(front=front, evaluations=len(store),
                                 objective_names=names)

@@ -1,0 +1,113 @@
+"""Ready-made, picklable DSE objectives over the benchmark suite.
+
+The CLI's ``repro dse`` verb (and the engine benchmarks) need a
+self-contained co-design problem: a discrete space of platform knobs
+and an oracle that prices a candidate platform against the standard
+autonomy suite.  Everything here is defined at module level so that
+:class:`~repro.engine.evaluator.Evaluator` can ship the objective to a
+process pool (closures and lambdas cannot cross the pickle boundary).
+
+The knobs mirror the §2.4 sizing question — how much compute, how much
+on-chip memory, how much off-chip bandwidth, at what standing power —
+and the oracle scores real-time slack and energy across the whole
+suite, so single-kernel widgets cannot win (§2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.workload import Workload
+from repro.dse.space import Config, DesignSpace, Parameter
+from repro.hw.platform import AnalyticalPlatform, PlatformConfig
+
+_SUITE: "List[Workload] | None" = None
+
+
+def _suite() -> List[Workload]:
+    """The standard suite, built once per process (pool workers
+    included)."""
+    global _SUITE
+    if _SUITE is None:
+        from repro.benchmarksuite.workloads import standard_suite
+        _SUITE = standard_suite()
+    return _SUITE
+
+
+def codesign_space() -> DesignSpace:
+    """The demo co-design space: 4 platform knobs, 256 designs."""
+    return DesignSpace([
+        Parameter("peak_gflops", (50.0, 200.0, 800.0, 3200.0)),
+        Parameter("onchip_kb", (128.0, 512.0, 2048.0, 8192.0)),
+        Parameter("offchip_gbs", (10.0, 25.0, 60.0, 150.0)),
+        Parameter("static_power_w", (1.0, 3.0, 8.0, 20.0)),
+    ])
+
+
+def build_platform(config: Config) -> AnalyticalPlatform:
+    """Lower a co-design point to a roofline platform.
+
+    The name encodes the knob values, so two platforms built from the
+    same config fingerprint identically across processes.
+    """
+    return AnalyticalPlatform(PlatformConfig(
+        name=("codesign-{peak_gflops:g}g-{onchip_kb:g}kb"
+              "-{offchip_gbs:g}gbs-{static_power_w:g}w"
+              ).format(**config),
+        peak_flops=config["peak_gflops"] * 1e9,
+        scalar_flops=2e9,
+        onchip_bytes=config["onchip_kb"] * 1024.0,
+        onchip_bw=10.0 * config["offchip_gbs"] * 1e9,
+        offchip_bw=config["offchip_gbs"] * 1e9,
+        static_power_w=config["static_power_w"],
+        device_class="asic",
+    ))
+
+
+def _price(config: Config) -> Dict[str, float]:
+    """Suite-wide latency-slack and energy totals for one design."""
+    platform = build_platform(config)
+    slack = 0.0
+    energy = 0.0
+    for workload in _suite():
+        stages = workload.graph.stages
+        estimates = {s.name: platform.estimate(s.profile)
+                     for s in stages}
+        latency, _ = workload.graph.critical_path(
+            {name: est.latency_s for name, est in estimates.items()})
+        slack += latency / workload.deadline_s()
+        energy += sum(est.energy_j for est in estimates.values())
+    return {"slack": slack, "energy_j": energy}
+
+
+def suite_latency(config: Config) -> float:
+    """Sum over the suite of critical-path latency / deadline (values
+    above ``len(suite)`` mean deadlines are being missed on average)."""
+    return _price(config)["slack"]
+
+
+def suite_energy(config: Config) -> float:
+    """Total dynamic + static energy (J) for one activation of every
+    suite workload."""
+    return _price(config)["energy_j"]
+
+
+def suite_objective(config: Config) -> float:
+    """Single-objective co-design score (lower is better).
+
+    Real-time shortfall plus energy normalized against a 10 W budget
+    over each workload's deadline — both terms dimensionless, so the
+    trade-off is explicit rather than unit-accidental.
+    """
+    platform = build_platform(config)
+    total = 0.0
+    for workload in _suite():
+        stages = workload.graph.stages
+        estimates = {s.name: platform.estimate(s.profile)
+                     for s in stages}
+        latency, _ = workload.graph.critical_path(
+            {name: est.latency_s for name, est in estimates.items()})
+        energy = sum(est.energy_j for est in estimates.values())
+        deadline = workload.deadline_s()
+        total += latency / deadline + energy / (10.0 * deadline)
+    return total

@@ -1,0 +1,123 @@
+"""Content-addressed result cache: in-memory always, on-disk optionally.
+
+Keys are :func:`repro.engine.fingerprint.fingerprint` digests, so a
+cache directory can be shared between runs, strategies, and processes:
+any evaluation of a structurally identical candidate under the same
+evaluator context resolves to the same file.
+
+Values must round-trip through JSON.  For richer values (e.g.
+:class:`~repro.benchmarksuite.runner.BenchmarkRow`) pass ``encode`` /
+``decode`` callables; floats survive exactly (Python's ``json`` emits
+shortest round-trip representations, and ``inf`` is legal).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import EngineError
+
+__all__ = ["ResultCache"]
+
+_MISS = object()
+
+
+class ResultCache:
+    """A two-level (memory, optional disk) store of evaluation results.
+
+    Args:
+        directory: When given, every entry is also persisted as
+            ``<directory>/<key>.json`` and lookups fall through to disk
+            on a memory miss (then promote).  The directory is created
+            on first write.
+        encode: Value -> JSON-able structure (default: identity).
+        decode: JSON-able structure -> value (default: identity).
+
+    Attributes:
+        hits: Lookups answered from memory or disk.
+        misses: Lookups answered by neither.
+        disk_hits: The subset of ``hits`` that had to touch disk.
+    """
+
+    def __init__(self, directory: Optional[str] = None, *,
+                 encode: Optional[Callable[[Any], Any]] = None,
+                 decode: Optional[Callable[[Any], Any]] = None):
+        self._memory: Dict[str, Any] = {}
+        self.directory = Path(directory) if directory else None
+        self._encode = encode if encode is not None else (lambda v: v)
+        self._decode = decode if decode is not None else (lambda v: v)
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)`` for ``key`` (``(False, None)`` on a miss)."""
+        value = self._memory.get(key, _MISS)
+        if value is not _MISS:
+            self.hits += 1
+            return True, value
+        if self.directory is not None:
+            path = self._path(key)
+            if path.exists():
+                try:
+                    with open(path) as handle:
+                        document = json.load(handle)
+                    value = self._decode(document["value"])
+                except (json.JSONDecodeError, KeyError, OSError) as error:
+                    raise EngineError(
+                        f"corrupt cache entry {path}: {error}"
+                    ) from error
+                self._memory[key] = value
+                self.hits += 1
+                self.disk_hits += 1
+                return True, value
+        self.misses += 1
+        return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (memory, and disk when enabled).
+
+        Disk writes are atomic (temp file + rename) so a cache directory
+        shared by parallel workers never exposes torn entries.
+        """
+        self._memory[key] = value
+        if self.directory is None:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        document = {"key": key, "value": self._encode(value)}
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(document, handle)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def clear(self, *, disk: bool = False) -> None:
+        """Drop the in-memory level (and the disk level when asked)."""
+        self._memory.clear()
+        if disk and self.directory is not None and self.directory.exists():
+            for path in self.directory.glob("*.json"):
+                path.unlink()
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters plus current entry count."""
+        return {
+            "entries": len(self._memory),
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+        }

@@ -1,0 +1,241 @@
+"""The Evaluator: candidate pricing as a cacheable, parallel service.
+
+Every search loop and suite run in the repo used to own a private
+``evaluate`` closure; this class centralizes that responsibility:
+
+- **Content addressing** — each candidate is fingerprinted together
+  with the evaluator's ``context`` (a description of *what question* is
+  being asked: objective identity, mapping policy, ...), so results are
+  shareable across runs and processes without identity games.
+- **Caching** — a :class:`~repro.engine.cache.ResultCache` absorbs
+  repeated candidates; a warm cache answers a whole re-run with zero
+  oracle calls.
+- **Batch parallelism** — :meth:`map_batch` prices a batch serially or
+  on a ``concurrent.futures`` process pool.  Results come back in input
+  order and each candidate gets a seed derived from its fingerprint,
+  never from batch position, so a parallel run is bit-identical to the
+  serial one.
+
+Telemetry: oracle calls, cache hits/misses, and per-candidate wall
+times are published through :mod:`repro.telemetry` when a registry or
+tracer is supplied.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.cache import ResultCache
+from repro.engine.fingerprint import fingerprint
+from repro.errors import EngineError
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import Tracer, get_tracer
+
+__all__ = ["EvalResult", "Evaluator"]
+
+Objective = Callable[..., Any]
+
+#: Mask keeping derived seeds inside numpy's legal seed range.
+_SEED_MASK = (1 << 63) - 1
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """One priced candidate.
+
+    Attributes:
+        candidate: The candidate exactly as submitted.
+        value: The objective's result for it.
+        key: The content address the result is cached under.
+        cached: Whether the value came from the cache (no oracle call).
+        wall_time_s: Wall-clock cost of the oracle call (0 for hits).
+        seed: The deterministic per-candidate seed used (or available)
+            for the evaluation.
+    """
+
+    candidate: Any
+    value: Any
+    key: str
+    cached: bool
+    wall_time_s: float
+    seed: int
+
+
+def _timed_call(objective: Objective, candidate: Any, seed: int,
+                seeded: bool) -> Tuple[Any, float]:
+    """Invoke the objective and self-time it (runs in pool workers too,
+    hence module-level for picklability)."""
+    started = time.perf_counter()
+    value = objective(candidate, seed) if seeded else objective(candidate)
+    return value, time.perf_counter() - started
+
+
+class Evaluator:
+    """Prices candidates through an objective, with caching and batching.
+
+    Args:
+        objective: ``candidate -> value``; with ``seeded=True``,
+            ``(candidate, seed) -> value``.  Must be picklable (a
+            module-level callable or an instance of a module-level
+            class) when ``jobs > 1``.
+        jobs: Process-pool width for :meth:`map_batch` (1 = in-process
+            serial evaluation).
+        cache: Result store (a private in-memory one by default).  Pass
+            a :class:`ResultCache` with a directory for cross-run reuse.
+        seed: Base seed mixed into every per-candidate seed.
+        context: Anything fingerprintable describing the evaluation
+            question (objective name/version, policy knobs).  Two
+            evaluators sharing a cache directory MUST use distinct
+            contexts unless their objectives agree.
+        seeded: Whether the objective takes a per-candidate seed.
+        metrics: Registry receiving ``engine.*`` counters/histograms.
+        tracer: Tracer receiving per-batch wall spans (defaults to the
+            process-global tracer).
+    """
+
+    def __init__(self, objective: Objective, *, jobs: int = 1,
+                 cache: Optional[ResultCache] = None, seed: int = 0,
+                 context: Any = None, seeded: bool = False,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
+        if jobs < 1:
+            raise EngineError(f"jobs must be >= 1 (got {jobs})")
+        self.objective = objective
+        self.jobs = int(jobs)
+        self.cache = cache if cache is not None else ResultCache()
+        self.seed = int(seed)
+        self.seeded = bool(seeded)
+        self.metrics = metrics
+        self._tracer = tracer
+        self._context_fp = fingerprint(context) if context is not None \
+            else ""
+        self.oracle_calls = 0
+        self.batches = 0
+
+    # -- content addressing -------------------------------------------
+
+    def key_for(self, candidate: Any) -> str:
+        """The content address of ``candidate`` under this context."""
+        return fingerprint({"context": self._context_fp,
+                            "candidate": candidate})
+
+    def seed_for(self, key: str) -> int:
+        """Per-candidate seed: a pure function of (base seed, key).
+
+        Independent of batch composition and evaluation order, which is
+        what makes parallel runs reproduce serial ones exactly.
+        """
+        return (self.seed ^ int(key[:16], 16)) & _SEED_MASK
+
+    # -- evaluation ---------------------------------------------------
+
+    def evaluate(self, candidate: Any) -> Any:
+        """Price a single candidate (cache-transparent)."""
+        return self.map_batch([candidate])[0].value
+
+    def map_batch(self, candidates: Sequence[Any]) -> List[EvalResult]:
+        """Price a batch; results are returned in input order.
+
+        Duplicate candidates within the batch are priced once; repeat
+        occurrences (and anything already cached) are marked
+        ``cached=True``.
+        """
+        tracer = self._tracer if self._tracer is not None else get_tracer()
+        with tracer.wall_span("engine.map_batch", track="engine") as span:
+            results = self._map_batch(list(candidates))
+        if tracer.enabled and span.args is None:
+            fresh = sum(1 for r in results if not r.cached)
+            span.args = {"batch": len(results), "oracle_calls": fresh,
+                         "jobs": self.jobs}
+        return results
+
+    def _map_batch(self, candidates: List[Any]) -> List[EvalResult]:
+        keys = [self.key_for(candidate) for candidate in candidates]
+        values: Dict[str, Any] = {}
+        fresh_keys: set = set()
+        pending: Dict[str, Any] = {}
+        for key, candidate in zip(keys, candidates):
+            if key in values or key in pending:
+                continue
+            hit, value = self.cache.get(key)
+            if hit:
+                values[key] = value
+            else:
+                pending[key] = candidate
+        wall: Dict[str, float] = {}
+        if pending:
+            order = list(pending)
+            outcomes = self._run_pending(
+                [pending[k] for k in order],
+                [self.seed_for(k) for k in order],
+            )
+            for key, (value, wall_s) in zip(order, outcomes):
+                self.cache.put(key, value)
+                values[key] = value
+                wall[key] = wall_s
+                fresh_keys.add(key)
+            self.oracle_calls += len(order)
+        self.batches += 1
+        self._publish(len(candidates), len(pending), wall)
+
+        results: List[EvalResult] = []
+        seen: set = set()
+        for key, candidate in zip(keys, candidates):
+            first_fresh = key in fresh_keys and key not in seen
+            seen.add(key)
+            results.append(EvalResult(
+                candidate=candidate,
+                value=values[key],
+                key=key,
+                cached=not first_fresh,
+                wall_time_s=wall.get(key, 0.0) if first_fresh else 0.0,
+                seed=self.seed_for(key),
+            ))
+        return results
+
+    def _run_pending(self, candidates: List[Any], seeds: List[int]
+                     ) -> List[Tuple[Any, float]]:
+        if self.jobs == 1 or len(candidates) == 1:
+            return [_timed_call(self.objective, candidate, seed,
+                                self.seeded)
+                    for candidate, seed in zip(candidates, seeds)]
+        try:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                return list(pool.map(
+                    _timed_call,
+                    [self.objective] * len(candidates),
+                    candidates,
+                    seeds,
+                    [self.seeded] * len(candidates),
+                ))
+        except (AttributeError, TypeError) as error:
+            # Most commonly: an unpicklable closure objective.
+            raise EngineError(
+                f"parallel evaluation (jobs={self.jobs}) requires a"
+                f" picklable objective and candidates: {error}"
+            ) from error
+
+    def _publish(self, batch: int, fresh: int,
+                 wall: Dict[str, float]) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter("engine.batches").inc()
+        self.metrics.counter("engine.candidates").inc(batch)
+        if fresh:
+            self.metrics.counter("engine.oracle_calls").inc(fresh)
+        if batch > fresh:
+            self.metrics.counter("engine.cache_hits").inc(batch - fresh)
+        histogram = self.metrics.histogram("engine.eval_wall_s")
+        for wall_s in wall.values():
+            histogram.record(wall_s)
+
+    # -- introspection ------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Oracle/batch counters merged with the cache's own stats."""
+        return {"oracle_calls": self.oracle_calls,
+                "batches": self.batches,
+                **self.cache.stats()}

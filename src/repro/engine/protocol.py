@@ -1,0 +1,60 @@
+"""The ask/tell search protocol.
+
+Search strategies used to own their evaluation loops; under ask/tell
+they only *propose* and *ingest*:
+
+- :meth:`SearchStrategy.ask` returns the next batch of candidates the
+  strategy wants priced (one config for intrinsically sequential
+  methods, a whole generation or warm-up set for batchable ones);
+- the :class:`~repro.engine.evaluator.Evaluator` prices the batch
+  (cache, parallelism, telemetry — none of which the strategy sees);
+- :meth:`SearchStrategy.tell` feeds the priced batch back, in the exact
+  order it was asked for.
+
+Because all scheduling lives in the Evaluator, adding parallelism or a
+cache to *every* strategy is one code path, and a strategy's trajectory
+is a pure function of its own RNG plus the values it is told — which is
+what makes serial, parallel, and cache-warm runs bit-identical.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, List, Sequence
+
+from repro.engine.evaluator import EvalResult, Evaluator
+
+__all__ = ["SearchStrategy", "run_search"]
+
+
+class SearchStrategy(abc.ABC):
+    """A candidate proposer/ingester driven by :func:`run_search`."""
+
+    @abc.abstractmethod
+    def ask(self) -> List[Any]:
+        """The next batch of candidates to price (may be empty when the
+        strategy has nothing further to propose)."""
+
+    @abc.abstractmethod
+    def tell(self, results: Sequence[EvalResult]) -> None:
+        """Ingest priced candidates, in the order :meth:`ask` proposed
+        them."""
+
+    @abc.abstractmethod
+    def finished(self) -> bool:
+        """Whether the search is complete (budget spent, space
+        exhausted, or converged)."""
+
+    @abc.abstractmethod
+    def result(self) -> Any:
+        """The strategy's final result object."""
+
+
+def run_search(strategy: SearchStrategy, evaluator: Evaluator) -> Any:
+    """Drive a strategy against an evaluator until it finishes."""
+    while not strategy.finished():
+        batch = strategy.ask()
+        if not batch:
+            break
+        strategy.tell(evaluator.map_batch(batch))
+    return strategy.result()

@@ -45,3 +45,8 @@ class BenchmarkError(ReproError):
 class TelemetryError(ReproError):
     """A telemetry primitive was misused (bad quantile, duplicate metric
     registered under a different type, malformed trace)."""
+
+
+class EngineError(ReproError):
+    """The evaluation engine was misused (unfingerprintable candidate,
+    corrupt cache entry, unpicklable objective for a parallel run)."""

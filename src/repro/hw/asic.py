@@ -120,6 +120,9 @@ class AsicAccelerator(AnalyticalPlatform):
     def supports(self, profile: WorkloadProfile) -> bool:
         return profile.op_class in self.asic.supported_op_classes
 
+    def _fingerprint_extra(self) -> dict:
+        return {"asic": self.asic}
+
     def estimate(self, profile: WorkloadProfile) -> CostEstimate:
         if not self.supports(profile):
             raise MappingError(

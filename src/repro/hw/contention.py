@@ -17,7 +17,7 @@ task over its deadline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.profile import CostEstimate, WorkloadProfile
 from repro.errors import ConfigurationError

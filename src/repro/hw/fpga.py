@@ -11,8 +11,8 @@ many kernels pay for context switches — a real deployment effect §2.5's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
 
 from repro.core.profile import CostEstimate, WorkloadProfile
 from repro.errors import ConfigurationError, MappingError
@@ -116,6 +116,10 @@ class FpgaModel(AnalyticalPlatform):
 
     def supports(self, profile: WorkloadProfile) -> bool:
         return self._mapped(profile) or not self.strict
+
+    def _fingerprint_extra(self) -> dict:
+        # _configured_for is transient run state, not part of the spec.
+        return {"fpga": self.fpga, "strict": self.strict}
 
     def estimate(self, profile: WorkloadProfile) -> CostEstimate:
         if self._mapped(profile):

@@ -15,7 +15,7 @@ not generated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Optional
+from typing import FrozenSet
 
 from repro.core.profile import DIVERGENCE_DERATING, WorkloadProfile
 from repro.errors import ConfigurationError

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.profile import CostEstimate, WorkloadProfile
 from repro.core.workload import TaskGraph
@@ -101,6 +101,18 @@ class HeterogeneousSoC:
             if dev.name == name:
                 return dev
         raise MappingError(f"soc {self.name!r} has no device {name!r}")
+
+    def fingerprint_spec(self) -> Dict[str, object]:
+        """Everything that determines this SoC's mapping and pricing, for
+        :func:`repro.engine.fingerprint.fingerprint` (device specs in
+        declaration order, since host-vs-accelerator roles matter)."""
+        return {
+            "kind": type(self).__name__,
+            "name": self.name,
+            "host": self.host,
+            "accelerators": list(self.accelerators),
+            "interconnect": self.interconnect,
+        }
 
     def total_mass_kg(self) -> float:
         return sum(d.config.mass_kg for d in self.devices)

@@ -10,7 +10,7 @@ traffic spills to DRAM as working sets grow.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.core.profile import WorkloadProfile
 from repro.errors import ConfigurationError

@@ -16,8 +16,8 @@ cross-platform comparisons stay apples-to-apples:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
 
 from repro.core.profile import (
     DIVERGENCE_DERATING,
@@ -128,6 +128,23 @@ class Platform(abc.ABC):
     def sustained_rate_hz(self, profile: WorkloadProfile) -> float:
         """Back-to-back invocation rate (1 / latency)."""
         return self.estimate(profile).throughput_hz()
+
+    def _fingerprint_extra(self) -> Dict[str, Any]:
+        """Model state beyond :class:`PlatformConfig` that changes
+        estimates or :meth:`supports` (overridden by accelerators with
+        mapping tables)."""
+        return {}
+
+    def fingerprint_spec(self) -> Dict[str, Any]:
+        """Everything that determines this platform's pricing behavior,
+        for :func:`repro.engine.fingerprint.fingerprint`.
+
+        Two platforms with equal specs are interchangeable to the
+        evaluation engine: cached results for one are valid for the
+        other, even across process boundaries.
+        """
+        return {"kind": type(self).__name__, "config": self.config,
+                **self._fingerprint_extra()}
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.config.name!r})"

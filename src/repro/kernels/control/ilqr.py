@@ -9,7 +9,7 @@ from finite differences by default so any black-box dynamics plugs in.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 import numpy as np

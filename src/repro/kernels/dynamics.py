@@ -17,7 +17,7 @@ Conventions (Featherstone, *Rigid Body Dynamics Algorithms*):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np

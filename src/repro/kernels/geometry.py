@@ -10,7 +10,6 @@ The shared geometric substrate for dynamics, SLAM, and VIO.  Conventions:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -69,26 +69,26 @@ def cholesky(a: np.ndarray,
     return np.linalg.cholesky(a)
 
 
-def solve_triangular(l: np.ndarray, b: np.ndarray, lower: bool = True,
+def solve_triangular(m: np.ndarray, b: np.ndarray, lower: bool = True,
                      counter: Optional[OpCounter] = None) -> np.ndarray:
     """Solve ``L x = b`` (or ``U x = b``) by substitution.
 
     Implemented directly (scipy-free) so the op count matches the code.
     """
-    n = l.shape[0]
-    if l.shape != (n, n):
+    n = m.shape[0]
+    if m.shape != (n, n):
         raise ConfigurationError("solve_triangular: matrix must be square")
     b = np.asarray(b, dtype=float)
     x = np.zeros_like(b, dtype=float)
     indices = range(n) if lower else range(n - 1, -1, -1)
     for i in indices:
         if lower:
-            acc = l[i, :i] @ x[:i] if i > 0 else 0.0
+            acc = m[i, :i] @ x[:i] if i > 0 else 0.0
         else:
-            acc = l[i, i + 1:] @ x[i + 1:] if i < n - 1 else 0.0
-        if l[i, i] == 0:
+            acc = m[i, i + 1:] @ x[i + 1:] if i < n - 1 else 0.0
+        if m[i, i] == 0:
             raise ConfigurationError("solve_triangular: singular matrix")
-        x[i] = (b[i] - acc) / l[i, i]
+        x[i] = (b[i] - acc) / m[i, i]
     if counter is not None:
         extra = b.shape[1] if b.ndim == 2 else 1
         counter.add_flops(float(n) * n * extra)
@@ -100,9 +100,9 @@ def solve_triangular(l: np.ndarray, b: np.ndarray, lower: bool = True,
 def solve_spd(a: np.ndarray, b: np.ndarray,
               counter: Optional[OpCounter] = None) -> np.ndarray:
     """Solve ``A x = b`` for SPD ``A`` via Cholesky + two substitutions."""
-    l = cholesky(a, counter=counter)
-    y = solve_triangular(l, b, lower=True, counter=counter)
-    return solve_triangular(l.T, y, lower=False, counter=counter)
+    low = cholesky(a, counter=counter)
+    y = solve_triangular(low, b, lower=True, counter=counter)
+    return solve_triangular(low.T, y, lower=False, counter=counter)
 
 
 def qr_decomposition(a: np.ndarray,

@@ -7,7 +7,7 @@ up exactly with what the accelerator models price.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -7,8 +7,7 @@ is its rasterized counterpart used by grid search and by mapping kernels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -10,7 +10,7 @@ planning accelerators (Murray et al.) the paper cites in §2.1.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np

@@ -9,7 +9,7 @@ the vectorization effect the paper highlights.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Union
 
 import numpy as np

@@ -11,7 +11,7 @@ constant.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 

@@ -10,7 +10,7 @@ assertion.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.errors import ConfigurationError
 

@@ -15,7 +15,7 @@ and robustness to noise".  Two first-order models:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Sequence, Tuple
+from typing import Tuple
 
 from repro.errors import ConfigurationError
 from repro.hw.platform import Platform

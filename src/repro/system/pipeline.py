@@ -22,7 +22,7 @@ Semantics:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.workload import TaskGraph

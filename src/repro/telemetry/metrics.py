@@ -10,7 +10,7 @@ far tighter than the run-to-run noise of any simulation it measures.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from repro.errors import TelemetryError
 

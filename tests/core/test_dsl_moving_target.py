@@ -16,7 +16,6 @@ from repro.core.dsl import (
 from repro.core.profile import WorkloadProfile
 from repro.core.workload import Stage, TaskGraph, Workload
 from repro.errors import ConfigurationError
-from repro.hw import embedded_cpu
 from repro.hw.asic import widget_asic
 
 GOOD_SOURCE = """

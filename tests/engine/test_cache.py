@@ -1,0 +1,76 @@
+"""ResultCache: memory/disk round-trips, codecs, stats, corruption."""
+
+import json
+
+import pytest
+
+from repro.engine import ResultCache
+from repro.errors import EngineError
+
+
+class TestMemoryLevel:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        hit, value = cache.get("k")
+        assert not hit and value is None
+        cache.put("k", 42.0)
+        hit, value = cache.get("k")
+        assert hit and value == 42.0
+        assert cache.stats() == {"entries": 1, "hits": 1,
+                                 "misses": 1, "disk_hits": 0}
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.put("k", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert not cache.get("k")[0]
+
+
+class TestDiskLevel:
+    def test_round_trip_across_instances(self, tmp_path):
+        first = ResultCache(str(tmp_path))
+        first.put("deadbeef", {"v": 1.25})
+        second = ResultCache(str(tmp_path))  # cold memory, warm disk
+        hit, value = second.get("deadbeef")
+        assert hit and value == {"v": 1.25}
+        assert second.disk_hits == 1
+        # Promoted: the next lookup stays in memory.
+        second.get("deadbeef")
+        assert second.disk_hits == 1 and second.hits == 2
+
+    def test_infinity_round_trips(self, tmp_path):
+        first = ResultCache(str(tmp_path))
+        first.put("inf", float("inf"))
+        hit, value = ResultCache(str(tmp_path)).get("inf")
+        assert hit and value == float("inf")
+
+    def test_codec(self, tmp_path):
+        encode = lambda v: {"real": v.real, "imag": v.imag}  # noqa: E731
+        decode = lambda d: complex(d["real"], d["imag"])  # noqa: E731
+        first = ResultCache(str(tmp_path), encode=encode, decode=decode)
+        first.put("z", complex(1, 2))
+        second = ResultCache(str(tmp_path), encode=encode, decode=decode)
+        hit, value = second.get("z")
+        assert hit and value == complex(1, 2)
+
+    def test_corrupt_entry_raises(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("bad", 1)
+        (tmp_path / "bad.json").write_text("{not json")
+        fresh = ResultCache(str(tmp_path))
+        with pytest.raises(EngineError):
+            fresh.get("bad")
+
+    def test_disk_files_are_self_describing(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("abc123", 7)
+        document = json.loads((tmp_path / "abc123.json").read_text())
+        assert document == {"key": "abc123", "value": 7}
+
+    def test_clear_disk(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("k", 1)
+        cache.clear(disk=True)
+        assert not list(tmp_path.glob("*.json"))
+        assert not ResultCache(str(tmp_path)).get("k")[0]

@@ -1,0 +1,129 @@
+"""Canonical fingerprinting: stability is the entire contract."""
+
+from concurrent.futures import ProcessPoolExecutor
+from enum import Enum
+
+import numpy as np
+import pytest
+
+from repro.core.profile import DivergenceClass, WorkloadProfile
+from repro.engine import canonical_json, fingerprint
+from repro.errors import EngineError
+
+
+class Color(Enum):
+    RED = 1
+    BLUE = 2
+
+
+def _fingerprint_in_subprocess(obj):
+    return fingerprint(obj)
+
+
+def _catalog_fingerprints():
+    from repro.benchmarksuite.workloads import standard_suite
+    from repro.hw.catalog import embedded_cpu, midrange_fpga
+    from repro.hw.mapping import HeterogeneousSoC
+    from repro.hw.catalog import asic_gemm_engine
+
+    soc = HeterogeneousSoC("gemm-soc", embedded_cpu("soc-host"),
+                           [asic_gemm_engine()])
+    return [fingerprint(embedded_cpu()), fingerprint(midrange_fpga()),
+            fingerprint(soc),
+            fingerprint(standard_suite()[0])]
+
+
+class TestCanonicalization:
+    def test_dict_ordering_is_irrelevant(self):
+        a = {"x": 1, "y": [2, 3], "z": {"p": 4, "q": 5}}
+        b = {"z": {"q": 5, "p": 4}, "y": [2, 3], "x": 1}
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_tuple_and_list_agree(self):
+        assert fingerprint((1, 2, 3)) == fingerprint([1, 2, 3])
+
+    def test_int_float_distinct(self):
+        assert fingerprint(1) != fingerprint(1.0)
+
+    def test_value_changes_change_the_key(self):
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+        assert fingerprint({"a": 1}) != fingerprint({"b": 1})
+
+    def test_sets_are_order_free(self):
+        assert fingerprint({3, 1, 2}) == fingerprint({1, 2, 3})
+        assert fingerprint(frozenset({1, 2})) == fingerprint({1, 2})
+
+    def test_enums(self):
+        assert fingerprint(Color.RED) == fingerprint(Color.RED)
+        assert fingerprint(Color.RED) != fingerprint(Color.BLUE)
+        assert fingerprint(DivergenceClass.HIGH) \
+            != fingerprint(DivergenceClass.LOW)
+
+    def test_numpy_arrays_and_scalars(self):
+        assert fingerprint(np.array([1.0, 2.0])) \
+            == fingerprint(np.array([1.0, 2.0]))
+        assert fingerprint(np.array([1.0, 2.0])) \
+            != fingerprint(np.array([2.0, 1.0]))
+        assert fingerprint(np.float64(1.5)) == fingerprint(1.5)
+
+    def test_nan_is_representable(self):
+        assert fingerprint(float("nan")) == fingerprint(float("nan"))
+        assert fingerprint(float("inf")) != fingerprint(float("nan"))
+
+    def test_dataclasses(self):
+        profile = WorkloadProfile(name="k", flops=1e6)
+        again = WorkloadProfile(name="k", flops=1e6)
+        other = WorkloadProfile(name="k", flops=2e6)
+        assert fingerprint(profile) == fingerprint(again)
+        assert fingerprint(profile) != fingerprint(other)
+
+    def test_unfingerprintable_raises(self):
+        with pytest.raises(EngineError):
+            fingerprint(lambda x: x)
+
+    def test_canonical_json_is_deterministic_text(self):
+        assert canonical_json({"b": 1, "a": 2}) \
+            == canonical_json({"a": 2, "b": 1})
+
+
+class TestDomainObjectHooks:
+    def test_platforms_fingerprint_by_spec(self):
+        from repro.hw.catalog import embedded_cpu, embedded_gpu
+
+        assert fingerprint(embedded_cpu()) == fingerprint(embedded_cpu())
+        assert fingerprint(embedded_cpu()) != fingerprint(embedded_gpu())
+        assert fingerprint(embedded_cpu()) \
+            != fingerprint(embedded_cpu("renamed"))
+
+    def test_soc_and_workload_hooks(self):
+        from repro.benchmarksuite.workloads import standard_suite
+        from repro.hw.catalog import asic_gemm_engine, embedded_cpu
+        from repro.hw.mapping import HeterogeneousSoC
+
+        soc = lambda: HeterogeneousSoC(  # noqa: E731
+            "gemm-soc", embedded_cpu("soc-host"), [asic_gemm_engine()])
+        assert fingerprint(soc()) == fingerprint(soc())
+        first, second = standard_suite(), standard_suite()
+        for a, b in zip(first, second):
+            assert fingerprint(a) == fingerprint(b)
+
+    def test_process_boundary_stability(self):
+        """Fingerprints computed in a worker process match the parent's
+        — the property that makes a shared cache directory sound."""
+        payloads = [
+            {"alpha": 1, "beta": [1.5, {"g": (2, 3)}]},
+            np.arange(6, dtype=float).reshape(2, 3),
+            DivergenceClass.HIGH,
+        ]
+        local = [fingerprint(p) for p in payloads]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            remote = list(pool.map(_fingerprint_in_subprocess, payloads))
+        assert local == remote
+
+    def test_catalog_process_boundary_stability(self):
+        """Platforms/SoCs/workloads rebuilt from scratch in another
+        process fingerprint identically to this one's."""
+        local = _catalog_fingerprints()
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            remote = pool.submit(_catalog_fingerprints).result()
+        assert local == remote

@@ -4,12 +4,7 @@ import pytest
 
 from repro.core.profile import DivergenceClass, WorkloadProfile
 from repro.errors import ConfigurationError, MappingError
-from repro.hw.asic import (
-    AsicAccelerator,
-    AsicConfig,
-    crosscutting_asic,
-    widget_asic,
-)
+from repro.hw.asic import AsicConfig, crosscutting_asic, widget_asic
 from repro.hw.cpu import CpuConfig, CpuModel
 from repro.hw.fpga import FpgaConfig, FpgaModel
 from repro.hw.gpu import GpuConfig, GpuModel

@@ -1,6 +1,5 @@
 """Unit tests for the memory hierarchy, roofline, and systolic models."""
 
-import math
 
 import pytest
 

@@ -10,11 +10,10 @@ from repro.core import (
     DesignReview,
     EvaluationPlan,
     SevenChallengesAdvisor,
-    WorkloadProfile,
     characterize,
 )
-from repro.core.workload import Workload, linear_pipeline
-from repro.dse import DesignSpace, Parameter, SurrogateSearch, random_search
+from repro.core.workload import linear_pipeline
+from repro.dse import DesignSpace, Parameter, SurrogateSearch
 from repro.hw import (
     HeterogeneousSoC,
     asic_gemm_engine,

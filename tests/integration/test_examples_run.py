@@ -1,7 +1,6 @@
 """Every shipped example must run clean (examples are documentation)."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

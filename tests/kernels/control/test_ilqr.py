@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.kernels.control import dlqr, double_integrator
+from repro.kernels.control import double_integrator
 from repro.kernels.control.ilqr import (
     IlqrProblem,
     IlqrSolver,

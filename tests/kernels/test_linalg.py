@@ -52,8 +52,8 @@ class TestMatmul:
 
 class TestCholesky:
     def test_factor_reconstructs(self, spd):
-        l = cholesky(spd)
-        assert np.allclose(l @ l.T, spd)
+        low = cholesky(spd)
+        assert np.allclose(low @ low.T, spd)
 
     def test_counts(self, spd):
         counter = OpCounter(name="c")
@@ -68,16 +68,16 @@ class TestCholesky:
 
 class TestTriangularSolve:
     def test_lower(self, spd):
-        l = cholesky(spd)
+        low = cholesky(spd)
         b = np.arange(8, dtype=float)
-        x = solve_triangular(l, b, lower=True)
-        assert np.allclose(l @ x, b)
+        x = solve_triangular(low, b, lower=True)
+        assert np.allclose(low @ x, b)
 
     def test_upper(self, spd):
-        l = cholesky(spd)
+        low = cholesky(spd)
         b = np.arange(8, dtype=float)
-        x = solve_triangular(l.T, b, lower=False)
-        assert np.allclose(l.T @ x, b)
+        x = solve_triangular(low.T, b, lower=False)
+        assert np.allclose(low.T @ x, b)
 
     def test_singular_rejected(self):
         singular = np.zeros((3, 3))

@@ -6,7 +6,6 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.kernels.slam import ate_rmse, make_scenario
 from repro.kernels.vision import (
-    PlanarVio,
     VioConfig,
     CameraModel,
     estimate_rigid_2d,

@@ -1,12 +1,11 @@
 """Property-based tests for hardware model invariants."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.profile import DivergenceClass, WorkloadProfile
 from repro.hw import RooflineModel, SystolicArrayModel, embedded_cpu
-from repro.hw.cpu import CpuConfig, CpuModel
+from repro.hw.cpu import CpuConfig
 
 _counts = st.floats(min_value=1.0, max_value=1e13, allow_nan=False)
 

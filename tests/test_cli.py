@@ -14,9 +14,19 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for command in ("suite", "mission", "fig1"):
+        for command in ("suite", "mission", "fig1", "dse"):
             args = parser.parse_args([command])
             assert args.command == command
+
+    def test_suite_accepts_jobs_and_cache(self):
+        args = build_parser().parse_args(
+            ["suite", "--jobs", "4", "--cache", "/tmp/c"])
+        assert args.jobs == 4 and args.cache == "/tmp/c"
+
+    def test_dse_defaults(self):
+        args = build_parser().parse_args(["dse"])
+        assert args.strategy == "surrogate"
+        assert args.jobs == 1 and args.cache is None
 
 
 class TestFig1Command:
@@ -122,6 +132,68 @@ class TestSuiteCommand:
         assert events
         assert all("ph" in e and "ts" in e and "name" in e
                    for e in events)
+
+
+class TestSuiteCacheAndJobs:
+    def test_parallel_json_matches_serial(self, tmp_path, capsys):
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        assert main(["suite", "--json", str(serial_path)]) == 0
+        assert main(["suite", "--json", str(parallel_path),
+                     "--jobs", "4"]) == 0
+        capsys.readouterr()
+        serial = json.loads(serial_path.read_text())
+        parallel = json.loads(parallel_path.read_text())
+        assert serial["rows"] == parallel["rows"]
+        assert serial["scores"] == parallel["scores"]
+
+    def test_warm_cache_answers_without_misses(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        cold_path = tmp_path / "cold.json"
+        warm_path = tmp_path / "warm.json"
+        assert main(["suite", "--cache", str(cache_dir),
+                     "--json", str(cold_path)]) == 0
+        assert main(["suite", "--cache", str(cache_dir),
+                     "--json", str(warm_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 miss(es)" in out
+        cold = json.loads(cold_path.read_text())
+        warm = json.loads(warm_path.read_text())
+        assert cold["rows"] == warm["rows"]
+
+
+class TestDseCommand:
+    def test_random_strategy_runs(self, capsys):
+        assert main(["dse", "--strategy", "random",
+                     "--budget", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "peak_gflops" in out
+        assert "oracle calls: 6" in out
+
+    def test_bad_budget_exits_nonzero(self, capsys):
+        assert main(["dse", "--budget", "0"]) == 2
+
+    def test_cache_warm_rerun_identical_with_zero_oracle_calls(
+            self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        first_path = tmp_path / "first.json"
+        second_path = tmp_path / "second.json"
+        assert main(["dse", "--strategy", "random", "--budget", "8",
+                     "--seed", "3", "--cache", str(cache_dir),
+                     "--json", str(first_path)]) == 0
+        assert main(["dse", "--strategy", "random", "--budget", "8",
+                     "--seed", "3", "--cache", str(cache_dir),
+                     "--jobs", "2",
+                     "--json", str(second_path)]) == 0
+        out = capsys.readouterr().out
+        assert "oracle calls: 0" in out
+        first = json.loads(first_path.read_text())
+        second = json.loads(second_path.read_text())
+        assert first["best_config"] == second["best_config"]
+        assert first["best_value"] == second["best_value"]
+        assert first["trace"] == second["trace"]
+        assert first["engine"]["oracle_calls"] == 8
+        assert second["engine"]["oracle_calls"] == 0
 
 
 class TestMissionCommand:

@@ -1,7 +1,6 @@
 """Cross-cutting sanity: error hierarchy, catalog calibration, package
 surface."""
 
-import numpy as np
 import pytest
 
 import repro
