@@ -19,7 +19,6 @@ byte-identical across serial, parallel, and cache-warm runs.
 
 from __future__ import annotations
 
-import dataclasses
 import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -113,16 +112,29 @@ def evaluate_pair(pair: Dict[str, Any]) -> BenchmarkRow:
 
 
 def _encode_row(row: BenchmarkRow) -> Dict[str, Any]:
-    return dataclasses.asdict(row)
+    # Imported lazily: the spec codec module imports this one for the
+    # BenchmarkRow class, so a module-level import would be a cycle.
+    from repro.spec.codec import to_spec
+
+    return to_spec(row)
 
 
 def _decode_row(payload: Dict[str, Any]) -> BenchmarkRow:
-    return BenchmarkRow(**payload)
+    from repro.spec.codec import from_spec
+
+    row = from_spec(payload)
+    if not isinstance(row, BenchmarkRow):
+        raise BenchmarkError(
+            f"cache entry decoded to {type(row).__name__},"
+            f" not BenchmarkRow"
+        )
+    return row
 
 
 def row_cache(directory: Optional[str] = None) -> ResultCache:
-    """A :class:`~repro.engine.cache.ResultCache` that knows how to
-    round-trip :class:`BenchmarkRow` values through disk."""
+    """A :class:`~repro.engine.cache.ResultCache` that round-trips
+    :class:`BenchmarkRow` values through disk as tagged
+    ``benchmark-row`` specs (see :mod:`repro.spec`)."""
     return ResultCache(directory, encode=_encode_row,
                        decode=_decode_row)
 

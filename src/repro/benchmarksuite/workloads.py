@@ -22,8 +22,10 @@ from repro.kernels.planning.collision import collision_profile
 from repro.kernels.vision.features import harris_profile
 from repro.kernels.vision.optical_flow import lk_profile
 from repro.kernels.vision.stereo import stereo_profile
+from repro.spec.registry import WORKLOADS
 
 
+@WORKLOADS.register("vio-navigation")
 def vio_navigation() -> Workload:
     """Visual-inertial navigation: the Navion-class pipeline (30 Hz)."""
     detect = harris_profile(480, name="detect")
@@ -45,6 +47,7 @@ def vio_navigation() -> Workload:
                     tags=("uav", "perception"))
 
 
+@WORKLOADS.register("slam-backend")
 def slam_backend() -> Workload:
     """Pose-graph SLAM backend: sparse linear algebra at 5 Hz."""
     linearize = WorkloadProfile(
@@ -65,6 +68,7 @@ def slam_backend() -> Workload:
                     tags=("mapping",))
 
 
+@WORKLOADS.register("batch-planning")
 def batch_planning() -> Workload:
     """Sampling-based planning with vectorized collision checks (10 Hz)."""
     sample = WorkloadProfile(
@@ -88,6 +92,7 @@ def batch_planning() -> Workload:
                     tags=("manipulation", "uav"))
 
 
+@WORKLOADS.register("manipulation-control")
 def manipulation_control() -> Workload:
     """Trajectory optimization for a 7-DoF arm at 10 Hz.
 
@@ -118,6 +123,7 @@ def manipulation_control() -> Workload:
                     tags=("manipulation", "control"))
 
 
+@WORKLOADS.register("ml-inference")
 def ml_inference() -> Workload:
     """DNN perception inference: im2col GEMM stack at 30 Hz."""
     conv1 = gemm_profile(64, 10000, 147, name="conv1")
@@ -133,6 +139,7 @@ def ml_inference() -> Workload:
                     tags=("perception", "ml"))
 
 
+@WORKLOADS.register("stereo-mapping")
 def stereo_mapping() -> Workload:
     """Dense stereo + occupancy fusion at 10 Hz."""
     stereo = stereo_profile(320, max_disparity=32, name="stereo")
@@ -151,6 +158,7 @@ def stereo_mapping() -> Workload:
                     tags=("mapping", "perception"))
 
 
+@WORKLOADS.register("safety-monitor")
 def safety_monitor() -> Workload:
     """Redundant safety checking: LQR envelope + fast collision (50 Hz)."""
     envelope = lqr_profile(12, 4, riccati_iterations=20, name="envelope")
@@ -166,6 +174,7 @@ def safety_monitor() -> Workload:
                     tags=("safety", "control"))
 
 
+@WORKLOADS.register("agile-trajopt")
 def agile_trajopt() -> Workload:
     """Agile-flight trajectory optimization: iLQR at 50 Hz.
 
@@ -205,6 +214,7 @@ def agile_trajopt() -> Workload:
                     tags=("uav", "control"))
 
 
+@WORKLOADS.register("multi-object-tracking")
 def multi_object_tracking() -> Workload:
     """Camera MOT: embedding GEMM + Hungarian association at 30 Hz."""
     from repro.kernels.vision.association import association_profile
@@ -230,17 +240,11 @@ def multi_object_tracking() -> Workload:
                     tags=("perception", "av"))
 
 
-WORKLOAD_BUILDERS: Dict[str, Callable[[], Workload]] = {
-    "vio-navigation": vio_navigation,
-    "slam-backend": slam_backend,
-    "batch-planning": batch_planning,
-    "manipulation-control": manipulation_control,
-    "ml-inference": ml_inference,
-    "stereo-mapping": stereo_mapping,
-    "safety-monitor": safety_monitor,
-    "agile-trajopt": agile_trajopt,
-    "multi-object-tracking": multi_object_tracking,
-}
+#: Legacy name -> builder view of the registry (kept for callers
+#: that index it directly); the registry itself is the source of
+#: truth and preserves this curated order.
+WORKLOAD_BUILDERS: Dict[str, Callable[[], Workload]] = \
+    WORKLOADS.as_dict()
 
 
 def build_workload(name: str) -> Workload:

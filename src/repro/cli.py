@@ -15,7 +15,12 @@ code:
 - ``verify``   — parse a pipeline DSL file and statically verify it
   against a catalog platform;
 - ``trace``    — run an instrumented simulation and export a Chrome
-  trace (open in Perfetto / ``chrome://tracing``), or summarize one.
+  trace (open in Perfetto / ``chrome://tracing``), or summarize one;
+- ``run``      — execute a declarative scenario file (suite, mission,
+  or dse) through the same code paths as the subcommands above, cache
+  keys included;
+- ``spec``     — validate (``spec validate``) or normalize and
+  pretty-print (``spec show``) spec files.
 
 ``suite`` and ``mission`` accept ``--json <path>`` (machine-readable
 results with run provenance) and ``--trace-out <path>`` (Chrome trace of
@@ -37,16 +42,13 @@ from typing import Optional, Sequence
 from repro.core.report import ascii_bar_chart, format_table
 
 
-def _cmd_suite(args: argparse.Namespace) -> int:
+def _run_suite(targets, reference="embedded-cpu", workloads=None,
+               jobs=1, cache_dir=None, json_path=None, trace_out=None,
+               command_config=None) -> int:
+    """Shared suite execution path: ``repro suite`` and suite scenarios
+    both land here, so a scenario file reproduces the programmatic run
+    exactly (same runner, same evaluator context, same cache keys)."""
     from repro.benchmarksuite import SuiteRunner, row_cache
-    from repro.hw import (
-        HeterogeneousSoC,
-        asic_gemm_engine,
-        desktop_cpu,
-        embedded_cpu,
-        embedded_gpu,
-        midrange_fpga,
-    )
     from repro.telemetry import (
         MetricsRegistry,
         Tracer,
@@ -55,20 +57,16 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         write_metrics_json,
     )
 
-    tracer = Tracer() if args.trace_out else None
+    tracer = Tracer() if trace_out else None
     metrics = MetricsRegistry()
-    runner = SuiteRunner()
-    targets = [embedded_cpu(), desktop_cpu(), embedded_gpu(),
-               midrange_fpga(),
-               HeterogeneousSoC("gemm-soc", embedded_cpu("soc-host"),
-                                [asic_gemm_engine()])]
-    cache = row_cache(args.cache) if args.cache else None
-    rows = runner.run(targets, tracer=tracer, metrics=metrics,
-                      jobs=args.jobs, cache=cache)
+    runner = SuiteRunner(workloads)
+    cache = row_cache(cache_dir) if cache_dir else None
+    rows = runner.run(list(targets), tracer=tracer, metrics=metrics,
+                      jobs=jobs, cache=cache)
     print(runner.report(rows))
     print()
-    scores = runner.ranked_scores(rows, "embedded-cpu")
-    print(format_table(["target", "geomean speedup vs embedded-cpu"],
+    scores = runner.ranked_scores(rows, reference)
+    print(format_table(["target", f"geomean speedup vs {reference}"],
                        scores, title="Suite scores"))
     if cache is not None:
         stats = cache.stats()
@@ -76,13 +74,13 @@ def _cmd_suite(args: argparse.Namespace) -> int:
               f" ({stats['disk_hits']} from disk),"
               f" {stats['misses']} miss(es)")
 
-    provenance = run_provenance(config={"command": "suite",
-                                        "reference": "embedded-cpu",
-                                        "jobs": args.jobs,
-                                        "cache": args.cache})
-    if args.json:
+    provenance = run_provenance(config={**(command_config or {}),
+                                        "reference": reference,
+                                        "jobs": jobs,
+                                        "cache": cache_dir})
+    if json_path:
         write_metrics_json(
-            args.json, registry=metrics, provenance=provenance,
+            json_path, registry=metrics, provenance=provenance,
             extra={
                 "rows": [{**dataclasses.asdict(r),
                           "meets_deadline": r.meets_deadline}
@@ -91,12 +89,31 @@ def _cmd_suite(args: argparse.Namespace) -> int:
                            for t, s in scores],
             },
         )
-        print(f"wrote metrics JSON to {args.json}")
-    if args.trace_out and tracer is not None:
-        count = write_chrome_trace(tracer, args.trace_out,
+        print(f"wrote metrics JSON to {json_path}")
+    if trace_out and tracer is not None:
+        count = write_chrome_trace(tracer, trace_out,
                                    provenance=provenance)
-        print(f"wrote {count} trace events to {args.trace_out}")
+        print(f"wrote {count} trace events to {trace_out}")
     return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.hw import (
+        HeterogeneousSoC,
+        asic_gemm_engine,
+        embedded_cpu,
+    )
+    from repro.spec.registry import PLATFORMS
+
+    targets = [PLATFORMS.build(name) for name in
+               ("embedded-cpu", "desktop-cpu", "embedded-gpu",
+                "midrange-fpga")]
+    targets.append(
+        HeterogeneousSoC("gemm-soc", embedded_cpu("soc-host"),
+                         [asic_gemm_engine()]))
+    return _run_suite(targets, jobs=args.jobs, cache_dir=args.cache,
+                      json_path=args.json, trace_out=args.trace_out,
+                      command_config={"command": "suite"})
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -151,12 +168,10 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if not findings else 1
 
 
-def _cmd_mission(args: argparse.Namespace) -> int:
-    import numpy as np
-
-    from repro.hw import uav_compute_tiers
-    from repro.kernels.planning import CircleWorld
-    from repro.system import MissionConfig, sweep_compute_tiers
+def _run_mission(config, tiers, seed=None, json_path=None,
+                 trace_out=None, command_config=None) -> int:
+    """Shared mission execution path (see :func:`_run_suite`)."""
+    from repro.system import sweep_compute_tiers
     from repro.telemetry import (
         Tracer,
         run_provenance,
@@ -164,14 +179,7 @@ def _cmd_mission(args: argparse.Namespace) -> int:
         write_metrics_json,
     )
 
-    world = CircleWorld.random(dim=2, n_obstacles=40, extent=120.0,
-                               radius_range=(1.0, 3.0),
-                               seed=args.seed, keep_corners_free=3.0)
-    config = MissionConfig(world=world, start=np.array([1.0, 1.0]),
-                           goal=np.array([118.0, 118.0]),
-                           laps=args.laps)
-    tracer = Tracer() if args.trace_out else None
-    tiers = uav_compute_tiers()
+    tracer = Tracer() if trace_out else None
     if tracer is not None:
         rows = []
         for name, platform, mass, power in tiers:
@@ -181,7 +189,7 @@ def _cmd_mission(args: argparse.Namespace) -> int:
                 )
             rows.append(pairs[0])
     else:
-        rows = sweep_compute_tiers(config, tiers)
+        rows = sweep_compute_tiers(config, list(tiers))
     print(format_table(
         ["tier", "outcome", "safe speed (m/s)", "endurance (s)",
          "energy (kJ)"],
@@ -189,84 +197,109 @@ def _cmd_mission(args: argparse.Namespace) -> int:
           "success" if r.success else f"FAIL ({r.failure_reason})",
           r.safe_speed_m_s, r.endurance_s, r.energy_j / 1e3]
          for name, r in rows],
-        title=f"Closed-loop patrol mission, {args.laps} laps",
+        title=f"Closed-loop patrol mission, {config.laps} laps",
     ))
     provenance = run_provenance(
-        seed=args.seed,
-        config={"command": "mission", "laps": args.laps},
+        seed=seed,
+        config={**(command_config or {}), "laps": config.laps},
     )
-    if args.json:
+    if json_path:
         write_metrics_json(
-            args.json, provenance=provenance,
+            json_path, provenance=provenance,
             extra={"rows": [{"tier": name,
                              **dataclasses.asdict(result)}
                             for name, result in rows]},
         )
-        print(f"wrote metrics JSON to {args.json}")
-    if args.trace_out and tracer is not None:
-        count = write_chrome_trace(tracer, args.trace_out,
+        print(f"wrote metrics JSON to {json_path}")
+    if trace_out and tracer is not None:
+        count = write_chrome_trace(tracer, trace_out,
                                    provenance=provenance)
-        print(f"wrote {count} trace events to {args.trace_out}")
+        print(f"wrote {count} trace events to {trace_out}")
     return 0
 
 
-def _cmd_dse(args: argparse.Namespace) -> int:
+def _cmd_mission(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.hw import uav_compute_tiers
+    from repro.kernels.planning import CircleWorld
+    from repro.system import MissionConfig
+
+    world = CircleWorld.random(dim=2, n_obstacles=40, extent=120.0,
+                               radius_range=(1.0, 3.0),
+                               seed=args.seed, keep_corners_free=3.0)
+    config = MissionConfig(world=world, start=np.array([1.0, 1.0]),
+                           goal=np.array([118.0, 118.0]),
+                           laps=args.laps)
+    return _run_mission(config, uav_compute_tiers(), seed=args.seed,
+                        json_path=args.json,
+                        trace_out=args.trace_out,
+                        command_config={"command": "mission"})
+
+
+def _run_dse(space, objective_name="suite_objective",
+             strategy="surrogate", budget=24, seed=0, jobs=1,
+             cache_dir=None, json_path=None,
+             command_config=None) -> int:
+    """Shared DSE execution path (see :func:`_run_suite`).  The
+    objective is resolved from the registry by name, and that name goes
+    into the evaluator context — so spec-driven and programmatic runs
+    share cache keys."""
     from repro.dse import (
         EvolutionarySearch,
         SurrogateSearch,
-        codesign_space,
         grid_search,
         random_search,
-        suite_objective,
     )
     from repro.engine import Evaluator, ResultCache
+    from repro.spec.registry import OBJECTIVES
     from repro.telemetry import run_provenance, write_metrics_json
 
-    space = codesign_space()
-    if args.budget < 1:
-        print(f"--budget must be >= 1 (got {args.budget})",
+    if budget < 1:
+        print(f"--budget must be >= 1 (got {budget})",
               file=sys.stderr)
         return 2
-    cache = ResultCache(args.cache) if args.cache else None
+    objective = OBJECTIVES.get(objective_name)
+    cache = ResultCache(cache_dir) if cache_dir else None
     evaluator = Evaluator(
-        suite_objective, jobs=args.jobs, cache=cache, seed=args.seed,
+        objective, jobs=jobs, cache=cache, seed=seed,
         context={"task": "dse-codesign",
-                 "objective": "suite_objective"},
+                 "objective": objective_name},
     )
-    if args.strategy == "grid":
-        result = grid_search(space, budget=args.budget,
+    if strategy == "grid":
+        result = grid_search(space, budget=budget,
                              evaluator=evaluator)
-    elif args.strategy == "random":
-        result = random_search(space, budget=args.budget,
-                               seed=args.seed, evaluator=evaluator)
-    elif args.strategy == "evolutionary":
-        search = EvolutionarySearch(space, seed=args.seed)
-        result = search.run(budget=args.budget, evaluator=evaluator)
+    elif strategy == "random":
+        result = random_search(space, budget=budget,
+                               seed=seed, evaluator=evaluator)
+    elif strategy == "evolutionary":
+        search = EvolutionarySearch(space, seed=seed)
+        result = search.run(budget=budget, evaluator=evaluator)
     else:  # surrogate
         search = SurrogateSearch(
-            space, n_initial=max(2, min(8, args.budget)),
-            seed=args.seed)
-        result = search.run(budget=args.budget, evaluator=evaluator)
+            space, n_initial=max(2, min(8, budget)),
+            seed=seed)
+        result = search.run(budget=budget, evaluator=evaluator)
 
     print(format_table(
         ["knob", "value"],
         sorted(result.best_config.items()),
         title=f"Best of {result.evaluations} evaluation(s)"
-              f" ({args.strategy}, {space.size}-point space)",
+              f" ({strategy}, {space.size}-point space)",
     ))
     print(f"objective: {result.best_value:.6g}")
     stats = evaluator.stats()
     print(f"oracle calls: {stats['oracle_calls']}"
-          f" (cache hits: {stats['hits']}, jobs: {args.jobs})")
-    if args.json:
+          f" (cache hits: {stats['hits']}, jobs: {jobs})")
+    if json_path:
         provenance = run_provenance(
-            seed=args.seed,
-            config={"command": "dse", "strategy": args.strategy,
-                    "budget": args.budget, "jobs": args.jobs,
-                    "cache": args.cache},
+            seed=seed,
+            config={**(command_config or {}), "strategy": strategy,
+                    "budget": budget, "jobs": jobs,
+                    "cache": cache_dir},
         )
         write_metrics_json(
-            args.json, provenance=provenance,
+            json_path, provenance=provenance,
             extra={
                 "best_config": result.best_config,
                 "best_value": result.best_value,
@@ -275,8 +308,18 @@ def _cmd_dse(args: argparse.Namespace) -> int:
                 "engine": stats,
             },
         )
-        print(f"wrote metrics JSON to {args.json}")
+        print(f"wrote metrics JSON to {json_path}")
     return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from repro.dse import codesign_space
+
+    return _run_dse(codesign_space(), strategy=args.strategy,
+                    budget=args.budget, seed=args.seed,
+                    jobs=args.jobs, cache_dir=args.cache,
+                    json_path=args.json,
+                    command_config={"command": "dse"})
 
 
 def _cmd_fig1(args: argparse.Namespace) -> int:
@@ -295,15 +338,84 @@ def _cmd_fig1(args: argparse.Namespace) -> int:
 
 
 def _catalog_builders():
-    from repro.hw import catalog
+    """Programmable catalog platforms, straight from the registry —
+    fixed-function accelerators (``programmable=False``) stay
+    spec-addressable but are not standalone CLI targets."""
+    from repro.spec.registry import PLATFORMS
 
-    return {
-        "embedded-cpu": catalog.embedded_cpu,
-        "desktop-cpu": catalog.desktop_cpu,
-        "embedded-gpu": catalog.embedded_gpu,
-        "datacenter-gpu": catalog.datacenter_gpu,
-        "midrange-fpga": catalog.midrange_fpga,
-    }
+    return {entry.name: entry.builder
+            for entry in PLATFORMS.entries()
+            if entry.meta.get("programmable", True)}
+
+
+def _platform_help() -> str:
+    """``--platform`` help text, derived from the same registry as the
+    runtime lookup so the two cannot drift."""
+    return "catalog platform: " + ", ".join(_catalog_builders())
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.errors import SpecError
+    from repro.spec import (
+        MissionScenario,
+        SuiteScenario,
+        load_scenario,
+    )
+
+    try:
+        scenario = load_scenario(args.scenario)
+    except SpecError as error:
+        print(error, file=sys.stderr)
+        return 2
+    run = scenario.run
+    print(f"scenario {scenario.name!r} ({args.scenario})")
+    command_config = {"command": "run", "scenario": args.scenario}
+    if isinstance(run, SuiteScenario):
+        return _run_suite(
+            run.targets, reference=run.reference,
+            workloads=run.workloads,
+            jobs=args.jobs if args.jobs is not None else run.jobs,
+            cache_dir=args.cache, json_path=args.json,
+            trace_out=args.trace_out, command_config=command_config)
+    if isinstance(run, MissionScenario):
+        return _run_mission(
+            run.config, run.tiers, seed=run.seed,
+            json_path=args.json, trace_out=args.trace_out,
+            command_config=command_config)
+    if args.trace_out:
+        print("note: --trace-out is ignored for dse scenarios",
+              file=sys.stderr)
+    return _run_dse(
+        run.space, objective_name=run.objective,
+        strategy=run.strategy, budget=run.budget, seed=run.seed,
+        jobs=args.jobs if args.jobs is not None else run.jobs,
+        cache_dir=args.cache, json_path=args.json,
+        command_config=command_config)
+
+
+def _cmd_spec(args: argparse.Namespace) -> int:
+    from repro.errors import SpecError
+    from repro.spec import dump_spec, load_spec
+
+    if args.spec_command == "validate":
+        failures = 0
+        for path in args.files:
+            try:
+                document = dump_spec(load_spec(path))
+            except SpecError as error:
+                print(f"INVALID {path}: {error}")
+                failures += 1
+            else:
+                print(f"OK      {path} ({document['kind']})")
+        return 1 if failures else 0
+    # show: load, normalize, and pretty-print the document
+    try:
+        document = dump_spec(load_spec(args.file))
+    except SpecError as error:
+        print(error, file=sys.stderr)
+        return 2
+    print(json.dumps(document, indent=2))
+    return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -497,6 +609,33 @@ def build_parser() -> argparse.ArgumentParser:
                                          " JSON design plan")
     audit.add_argument("plan", help="path to the design-plan JSON")
 
+    run = sub.add_parser("run", help="execute a scenario file (a"
+                                     " declarative suite, mission, or"
+                                     " dse run)")
+    run.add_argument("scenario", help="path to the scenario JSON"
+                                      " (see examples/scenarios/)")
+    run.add_argument("--json", help="also write results + metrics as"
+                                    " JSON")
+    run.add_argument("--trace-out", help="write a Chrome trace of the"
+                                         " run (suite/mission)")
+    run.add_argument("--jobs", type=int, default=None,
+                     help="override the scenario's process-pool width")
+    run.add_argument("--cache",
+                     help="directory for the on-disk result cache;"
+                          " shared with the suite/dse subcommands")
+
+    spec = sub.add_parser("spec", help="validate or normalize spec"
+                                       " files")
+    spec_sub = spec.add_subparsers(dest="spec_command", required=True)
+    spec_validate = spec_sub.add_parser(
+        "validate", help="check spec files; exit 1 if any is invalid")
+    spec_validate.add_argument("files", nargs="+",
+                               help="spec JSON files")
+    spec_show = spec_sub.add_parser(
+        "show", help="load a spec file and pretty-print its"
+                     " normalized document")
+    spec_show.add_argument("file", help="spec JSON file")
+
     mission = sub.add_parser("mission", help="UAV compute-ladder"
                                              " mission sweep")
     mission.add_argument("--laps", type=int, default=20)
@@ -512,7 +651,8 @@ def build_parser() -> argparse.ArgumentParser:
     verify = sub.add_parser("verify", help="statically verify a"
                                            " pipeline DSL file")
     verify.add_argument("pipeline", help="path to the DSL file")
-    verify.add_argument("--platform", default="embedded-cpu")
+    verify.add_argument("--platform", default="embedded-cpu",
+                        help=_platform_help())
 
     trace = sub.add_parser("trace", help="run an instrumented"
                                          " simulation and export a"
@@ -524,7 +664,8 @@ def build_parser() -> argparse.ArgumentParser:
         "pipeline", help="queued pipeline simulation of a suite"
                          " workload on a catalog platform")
     trace_pipeline.add_argument("--workload", default="vio-navigation")
-    trace_pipeline.add_argument("--platform", default="embedded-cpu")
+    trace_pipeline.add_argument("--platform", default="embedded-cpu",
+                                help=_platform_help())
     trace_pipeline.add_argument("--duration", type=float, default=1.0)
     trace_pipeline.add_argument("--queue-capacity", type=int, default=4)
     trace_pipeline.add_argument("--out", default="trace.json")
@@ -557,6 +698,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fig1": _cmd_fig1,
         "verify": _cmd_verify,
         "trace": _cmd_trace,
+        "run": _cmd_run,
+        "spec": _cmd_spec,
     }
     return handlers[args.command](args)
 

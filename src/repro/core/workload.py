@@ -198,6 +198,14 @@ class TaskGraph:
     def __contains__(self, name: object) -> bool:
         return name in self._stages
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaskGraph):
+            return NotImplemented
+        return self.name == other.name and self.stages == other.stages
+
+    def __hash__(self) -> int:
+        return hash((self.name, tuple(self._order)))
+
     def __repr__(self) -> str:
         return f"TaskGraph({self.name!r}, {len(self)} stages)"
 

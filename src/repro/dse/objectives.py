@@ -20,6 +20,7 @@ from typing import Dict, List
 from repro.core.workload import Workload
 from repro.dse.space import Config, DesignSpace, Parameter
 from repro.hw.platform import AnalyticalPlatform, PlatformConfig
+from repro.spec.registry import OBJECTIVES, SPACES
 
 _SUITE: "List[Workload] | None" = None
 
@@ -34,6 +35,7 @@ def _suite() -> List[Workload]:
     return _SUITE
 
 
+@SPACES.register("codesign")
 def codesign_space() -> DesignSpace:
     """The demo co-design space: 4 platform knobs, 256 designs."""
     return DesignSpace([
@@ -80,18 +82,21 @@ def _price(config: Config) -> Dict[str, float]:
     return {"slack": slack, "energy_j": energy}
 
 
+@OBJECTIVES.register("suite_latency")
 def suite_latency(config: Config) -> float:
     """Sum over the suite of critical-path latency / deadline (values
     above ``len(suite)`` mean deadlines are being missed on average)."""
     return _price(config)["slack"]
 
 
+@OBJECTIVES.register("suite_energy")
 def suite_energy(config: Config) -> float:
     """Total dynamic + static energy (J) for one activation of every
     suite workload."""
     return _price(config)["energy_j"]
 
 
+@OBJECTIVES.register("suite_objective")
 def suite_objective(config: Config) -> float:
     """Single-objective co-design score (lower is better).
 

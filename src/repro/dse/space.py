@@ -64,6 +64,20 @@ class DesignSpace:
             size *= p.cardinality
         return size
 
+    def fingerprint_spec(self) -> Dict[str, Any]:
+        """Identity for :func:`repro.engine.fingerprint.fingerprint`:
+        the ordered parameter list is the whole space."""
+        return {"kind": type(self).__name__,
+                "parameters": self.parameters}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DesignSpace):
+            return NotImplemented
+        return self.parameters == other.parameters
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.parameters))
+
     def config_at(self, index: int) -> Config:
         """The configuration at a flat index (mixed-radix decoding)."""
         if not 0 <= index < self.size:

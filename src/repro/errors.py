@@ -50,3 +50,10 @@ class TelemetryError(ReproError):
 class EngineError(ReproError):
     """The evaluation engine was misused (unfingerprintable candidate,
     corrupt cache entry, unpicklable objective for a parallel run)."""
+
+
+class SpecError(ReproError):
+    """A declarative spec is malformed (unknown kind or key, wrong type,
+    unresolvable ``ref``, unsupported ``spec_version``).  The message
+    always carries a dotted path to the offending field, e.g.
+    ``$.suite.targets[2].cores: expected an integer, got str``."""

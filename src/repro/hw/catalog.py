@@ -16,8 +16,10 @@ from repro.hw.cpu import CpuConfig, CpuModel
 from repro.hw.fpga import FpgaConfig, FpgaModel
 from repro.hw.gpu import GpuConfig, GpuModel
 from repro.hw.platform import Platform
+from repro.spec.registry import PLATFORMS, TIERS
 
 
+@PLATFORMS.register("embedded-cpu")
 def embedded_cpu(name: str = "embedded-cpu") -> CpuModel:
     """Quad-core ARM-class embedded CPU with 128-bit SIMD (NEON-like)."""
     return CpuModel(CpuConfig(
@@ -35,6 +37,7 @@ def embedded_cpu(name: str = "embedded-cpu") -> CpuModel:
     ))
 
 
+@PLATFORMS.register("desktop-cpu")
 def desktop_cpu(name: str = "desktop-cpu") -> CpuModel:
     """8-core desktop CPU with AVX-512-class SIMD."""
     return CpuModel(CpuConfig(
@@ -52,6 +55,7 @@ def desktop_cpu(name: str = "desktop-cpu") -> CpuModel:
     ))
 
 
+@PLATFORMS.register("embedded-gpu")
 def embedded_gpu(name: str = "embedded-gpu") -> GpuModel:
     """Jetson-class embedded GPU."""
     return GpuModel(GpuConfig(
@@ -68,6 +72,7 @@ def embedded_gpu(name: str = "embedded-gpu") -> GpuModel:
     ))
 
 
+@PLATFORMS.register("datacenter-gpu")
 def datacenter_gpu(name: str = "datacenter-gpu") -> GpuModel:
     """A100-class datacenter GPU."""
     return GpuModel(GpuConfig(
@@ -85,6 +90,7 @@ def datacenter_gpu(name: str = "datacenter-gpu") -> GpuModel:
     ))
 
 
+@PLATFORMS.register("midrange-fpga")
 def midrange_fpga(name: str = "midrange-fpga") -> FpgaModel:
     """Zynq-Ultrascale-class FPGA, fully programmable."""
     return FpgaModel(FpgaConfig(
@@ -100,6 +106,7 @@ def midrange_fpga(name: str = "midrange-fpga") -> FpgaModel:
     ))
 
 
+@PLATFORMS.register("gemm-engine", programmable=False)
 def asic_gemm_engine(name: str = "gemm-engine") -> AsicAccelerator:
     """TPU-like GEMM/convolution accelerator (edge-inference class)."""
     return AsicAccelerator(AsicConfig(
@@ -116,6 +123,7 @@ def asic_gemm_engine(name: str = "gemm-engine") -> AsicAccelerator:
     ))
 
 
+@TIERS.register("uav-ladder")
 def uav_compute_tiers() -> List[Tuple[str, Platform, float, float]]:
     """The onboard-compute ladder for the §2.4 mission experiment.
 

@@ -51,6 +51,13 @@ class CircleWorld:
     def n_obstacles(self) -> int:
         return self.centers.shape[0]
 
+    def fingerprint_spec(self) -> dict:
+        """Identity for :func:`repro.engine.fingerprint.fingerprint`:
+        bounds and obstacles fully determine the world."""
+        return {"kind": type(self).__name__, "lower": self.lower,
+                "upper": self.upper, "centers": self.centers,
+                "radii": self.radii}
+
     def contains(self, points: np.ndarray) -> np.ndarray:
         """Whether each point lies inside the workspace bounds."""
         points = np.atleast_2d(np.asarray(points, dtype=float))

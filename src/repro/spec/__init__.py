@@ -1,0 +1,69 @@
+"""Declarative spec layer: versioned codecs, registries, scenario files.
+
+Everything the framework can run — platforms, workloads, missions,
+design spaces, whole experiments — round-trips through plain-JSON specs
+(:func:`to_spec` / :func:`from_spec`), resolves named catalog entries
+via ``{"ref": ...}`` registries, and loads from versioned files
+(:func:`load_spec`, ``repro run``).  Decoded objects are the real
+domain classes, so they share evaluation-engine fingerprints (and thus
+cache keys) with programmatic construction.
+
+Submodule attributes are re-exported lazily (PEP 562): provider modules
+import :mod:`repro.spec.registry` at import time, which must not drag
+the full codec stack (and its domain imports) in with it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SpecError  # noqa: F401  (canonical re-export)
+
+_EXPORTS = {
+    "SPEC_VERSION": "repro.spec.codec",
+    "Codec": "repro.spec.codec",
+    "register_codec": "repro.spec.codec",
+    "dataclass_codec": "repro.spec.codec",
+    "to_spec": "repro.spec.codec",
+    "from_spec": "repro.spec.codec",
+    "known_kinds": "repro.spec.codec",
+    "Registry": "repro.spec.registry",
+    "RegistryEntry": "repro.spec.registry",
+    "PLATFORMS": "repro.spec.registry",
+    "WORKLOADS": "repro.spec.registry",
+    "OBJECTIVES": "repro.spec.registry",
+    "SPACES": "repro.spec.registry",
+    "TIERS": "repro.spec.registry",
+    "decode_platform": "repro.spec.codecs",
+    "decode_workload": "repro.spec.codecs",
+    "decode_design_space": "repro.spec.codecs",
+    "Scenario": "repro.spec.scenario",
+    "SuiteScenario": "repro.spec.scenario",
+    "MissionScenario": "repro.spec.scenario",
+    "DseScenario": "repro.spec.scenario",
+    "DSE_STRATEGIES": "repro.spec.scenario",
+    "load_document": "repro.spec.loader",
+    "migrate_document": "repro.spec.loader",
+    "load_spec": "repro.spec.loader",
+    "load_scenario": "repro.spec.loader",
+    "dump_spec": "repro.spec.loader",
+    "save_spec": "repro.spec.loader",
+}
+
+__all__ = ["SpecError", *_EXPORTS]
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,447 @@
+"""Codec core: tagged, versioned ``to_spec``/``from_spec`` dispatch.
+
+A *spec* is a plain-JSON mapping tagged with a ``kind`` discriminator::
+
+    {"kind": "cpu", "name": "embedded-cpu", "cores": 4, ...}
+
+Each domain type registers a :class:`Codec` (most are generated from
+the dataclass field types by :func:`dataclass_codec`).  ``to_spec``
+looks the codec up by the object's type, ``from_spec`` by the payload's
+``kind``.  Decoding validates shape *before* construction — unknown
+keys, wrong types, and missing fields raise
+:class:`~repro.errors.SpecError` with a dotted path — and then lets the
+domain constructors run their own invariants, translating any
+:class:`~repro.errors.ReproError` into a ``SpecError`` at the same
+path.
+
+Fingerprint compatibility is by construction: ``from_spec`` rebuilds
+real domain objects (same classes, same field values), so the engine's
+:func:`~repro.engine.fingerprint.fingerprint` sees exactly what a
+programmatic construction would produce and spec-driven runs share
+cache keys with code-driven runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Type
+
+from repro.errors import ReproError, SpecError
+from repro.spec import schema
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is always present in CI
+    _np = None
+
+__all__ = ["SPEC_VERSION", "Codec", "register_codec", "to_spec",
+           "from_spec", "dataclass_codec", "dataclass_field_codecs",
+           "value_codec", "known_kinds"]
+
+#: Version stamp written into (and required from) spec *files*.  Bump it
+#: when a codec's wire format changes incompatibly and add a migration
+#: in :mod:`repro.spec.loader`.
+SPEC_VERSION = 1
+
+
+class Codec:
+    """Encode/decode one Python type to/from a tagged JSON mapping.
+
+    Attributes:
+        kind: The ``kind`` discriminator value.
+        cls: The Python type this codec encodes (``None`` for
+            decode-only pseudo-kinds such as bare-``ref`` forms).
+    """
+
+    def __init__(self, kind: str, cls: Optional[type],
+                 encode: Callable[[Any], Dict[str, Any]],
+                 decode: Callable[[Mapping[str, Any], str], Any]):
+        self.kind = kind
+        self.cls = cls
+        self._encode = encode
+        self._decode = decode
+
+    def encode(self, obj: Any) -> Dict[str, Any]:
+        return {"kind": self.kind, **self._encode(obj)}
+
+    def decode(self, payload: Mapping[str, Any], path: str) -> Any:
+        return self._decode(payload, path)
+
+    def __repr__(self) -> str:
+        return f"Codec({self.kind!r}, {getattr(self.cls, '__name__', None)})"
+
+
+_BY_KIND: Dict[str, Codec] = {}
+_BY_TYPE: Dict[type, Codec] = {}
+_LOADED = False
+
+
+def _ensure_codecs() -> None:
+    """Import the concrete codec modules on first use (they register
+    themselves; importing them from here would be a cycle at module
+    import time, not at call time)."""
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    import repro.spec.codecs  # noqa: F401  (registers domain codecs)
+    import repro.spec.scenario  # noqa: F401  (registers scenario codecs)
+
+
+def register_codec(codec: Codec) -> Codec:
+    """Register a codec by kind (and by type, when it has one)."""
+    if codec.kind in _BY_KIND:
+        raise SpecError(f"duplicate codec kind: {codec.kind!r}")
+    _BY_KIND[codec.kind] = codec
+    if codec.cls is not None:
+        if codec.cls in _BY_TYPE:
+            raise SpecError(
+                f"duplicate codec for type {codec.cls.__name__}"
+            )
+        _BY_TYPE[codec.cls] = codec
+    return codec
+
+
+def known_kinds() -> List[str]:
+    """All registered ``kind`` discriminators, sorted."""
+    _ensure_codecs()
+    return sorted(_BY_KIND)
+
+
+def _codec_for_object(obj: Any) -> Codec:
+    _ensure_codecs()
+    for cls in type(obj).__mro__:
+        codec = _BY_TYPE.get(cls)
+        if codec is not None:
+            return codec
+    raise SpecError(
+        f"no codec for objects of type {type(obj).__name__};"
+        f" known kinds: {known_kinds()}"
+    )
+
+
+def to_spec(obj: Any) -> Dict[str, Any]:
+    """Encode a domain object as a tagged plain-JSON mapping."""
+    return _codec_for_object(obj).encode(obj)
+
+
+def from_spec(spec: Any, path: str = "$") -> Any:
+    """Decode a tagged mapping back into a domain object.
+
+    Raises:
+        SpecError: with a dotted path on any shape or value problem.
+    """
+    _ensure_codecs()
+    payload = schema.require_mapping(spec, path)
+    kind = schema.as_str(
+        schema.get_field(payload, "kind", path), schema.child(path, "kind")
+    )
+    codec = _BY_KIND.get(kind)
+    if codec is None:
+        raise SpecError(
+            f"{schema.child(path, 'kind')}: unknown kind {kind!r};"
+            f" known kinds: {known_kinds()}"
+        )
+    return codec.decode(payload, path)
+
+
+# --------------------------------------------------------------------------
+# Value codecs: encode/decode one field value, derived from type hints.
+# --------------------------------------------------------------------------
+
+class _Value:
+    """Base field-value codec (identity encode)."""
+
+    def encode(self, value: Any) -> Any:
+        return value
+
+    def decode(self, value: Any, path: str) -> Any:
+        raise NotImplementedError
+
+
+class _Float(_Value):
+    def decode(self, value: Any, path: str) -> Any:
+        schema.as_float(value, path)
+        # Keep the int/float distinction the document had: canonical
+        # fingerprints tell 1920 from 1920.0, and programmatic code
+        # passes ints into float fields all over (output_bytes=120*16).
+        return value
+
+
+class _Int(_Value):
+    def decode(self, value: Any, path: str) -> int:
+        return schema.as_int(value, path)
+
+
+class _Bool(_Value):
+    def decode(self, value: Any, path: str) -> bool:
+        return schema.as_bool(value, path)
+
+
+class _Str(_Value):
+    def decode(self, value: Any, path: str) -> str:
+        return schema.as_str(value, path)
+
+
+class _Scalar(_Value):
+    def decode(self, value: Any, path: str) -> Any:
+        return schema.as_scalar(value, path)
+
+
+class _OptionalV(_Value):
+    def __init__(self, inner: _Value):
+        self.inner = inner
+
+    def encode(self, value: Any) -> Any:
+        return None if value is None else self.inner.encode(value)
+
+    def decode(self, value: Any, path: str) -> Any:
+        return None if value is None else self.inner.decode(value, path)
+
+
+class _TupleV(_Value):
+    def __init__(self, inner: _Value):
+        self.inner = inner
+
+    def encode(self, value: Any) -> Any:
+        return [self.inner.encode(v) for v in value]
+
+    def decode(self, value: Any, path: str) -> Tuple[Any, ...]:
+        items = schema.as_sequence(value, path)
+        return tuple(self.inner.decode(v, schema.item(path, i))
+                     for i, v in enumerate(items))
+
+
+class _FixedTupleV(_Value):
+    def __init__(self, inners: Tuple[_Value, ...]):
+        self.inners = inners
+
+    def encode(self, value: Any) -> Any:
+        return [inner.encode(v) for inner, v in zip(self.inners, value)]
+
+    def decode(self, value: Any, path: str) -> Tuple[Any, ...]:
+        items = schema.as_sequence(value, path)
+        if len(items) != len(self.inners):
+            raise SpecError(
+                f"{path}: expected exactly {len(self.inners)} item(s),"
+                f" got {len(items)}"
+            )
+        return tuple(inner.decode(v, schema.item(path, i))
+                     for i, (inner, v) in
+                     enumerate(zip(self.inners, items)))
+
+
+class _FrozenSetV(_Value):
+    def __init__(self, inner: _Value):
+        self.inner = inner
+
+    def encode(self, value: Any) -> Any:
+        return sorted(self.inner.encode(v) for v in value)
+
+    def decode(self, value: Any, path: str) -> frozenset:
+        items = schema.as_sequence(value, path)
+        return frozenset(self.inner.decode(v, schema.item(path, i))
+                         for i, v in enumerate(items))
+
+
+class _DictV(_Value):
+    def __init__(self, inner: _Value):
+        self.inner = inner
+
+    def encode(self, value: Any) -> Any:
+        return {key: self.inner.encode(v) for key, v in value.items()}
+
+    def decode(self, value: Any, path: str) -> Dict[str, Any]:
+        mapping = schema.require_mapping(value, path)
+        return {key: self.inner.decode(v, schema.child(path, key))
+                for key, v in mapping.items()}
+
+
+class _EnumV(_Value):
+    def __init__(self, enum_cls: Type[enum.Enum]):
+        self.enum_cls = enum_cls
+
+    def encode(self, value: Any) -> Any:
+        return value.value
+
+    def decode(self, value: Any, path: str) -> enum.Enum:
+        try:
+            return self.enum_cls(value)
+        except ValueError:
+            options = sorted(m.value for m in self.enum_cls)
+            raise SpecError(
+                f"{path}: expected one of {options}, got {value!r}"
+            ) from None
+
+
+class _NdarrayV(_Value):
+    def encode(self, value: Any) -> Any:
+        return value.tolist()
+
+    def decode(self, value: Any, path: str) -> Any:
+        def _check(node: Any, at: str) -> Any:
+            if isinstance(node, (list, tuple)):
+                return [_check(v, schema.item(at, i))
+                        for i, v in enumerate(node)]
+            return schema.as_float(node, at)
+
+        try:
+            return _np.asarray(_check(value, path), dtype=float)
+        except ValueError as error:
+            raise SpecError(f"{path}: not a valid array: {error}") \
+                from None
+
+
+class _NestedV(_Value):
+    """A field holding another codec-managed object."""
+
+    def __init__(self, expected: type):
+        self.expected = expected
+
+    def encode(self, value: Any) -> Any:
+        return to_spec(value)
+
+    def decode(self, value: Any, path: str) -> Any:
+        obj = from_spec(value, path)
+        if not isinstance(obj, self.expected):
+            raise SpecError(
+                f"{path}: expected a {self.expected.__name__} spec,"
+                f" got kind producing {type(obj).__name__}"
+            )
+        return obj
+
+
+def value_codec(annotation: Any) -> _Value:
+    """Derive a field-value codec from a type annotation."""
+    if annotation is float:
+        return _Float()
+    if annotation is bool:
+        return _Bool()
+    if annotation is int:
+        return _Int()
+    if annotation is str:
+        return _Str()
+    if annotation is Any:
+        return _Scalar()
+    if _np is not None and annotation is _np.ndarray:
+        return _NdarrayV()
+    origin = typing.get_origin(annotation)
+    args = typing.get_args(annotation)
+    if origin is typing.Union:
+        inner = [a for a in args if a is not type(None)]
+        if len(inner) == 1 and len(args) == 2:
+            return _OptionalV(value_codec(inner[0]))
+    if origin is tuple:
+        if len(args) == 2 and args[1] is Ellipsis:
+            return _TupleV(value_codec(args[0]))
+        return _FixedTupleV(tuple(value_codec(a) for a in args))
+    if origin in (frozenset, set):
+        return _FrozenSetV(value_codec(args[0]))
+    if origin is dict:
+        if args and args[0] is not str:
+            raise SpecError(
+                f"spec codecs require string dict keys, got {annotation!r}"
+            )
+        return _DictV(value_codec(args[1]) if args else _Scalar())
+    if isinstance(annotation, type):
+        if issubclass(annotation, enum.Enum):
+            return _EnumV(annotation)
+        return _NestedV(annotation)
+    raise SpecError(f"no value codec for annotation {annotation!r}")
+
+
+# --------------------------------------------------------------------------
+# Whole-dataclass codecs.
+# --------------------------------------------------------------------------
+
+def dataclass_field_codecs(
+    cls: type, exclude: Tuple[str, ...] = (),
+    overrides: Optional[Mapping[str, _Value]] = None,
+) -> Tuple[Dict[str, _Value], List[str]]:
+    """Per-field value codecs (and required-field names) for a
+    dataclass, derived from its type hints."""
+    overrides = dict(overrides or {})
+    hints = typing.get_type_hints(cls)
+    codecs: Dict[str, _Value] = {}
+    required: List[str] = []
+    for f in dataclasses.fields(cls):
+        if f.name in exclude:
+            continue
+        codecs[f.name] = overrides.get(f.name) \
+            or value_codec(hints[f.name])
+        if f.default is dataclasses.MISSING \
+                and f.default_factory is dataclasses.MISSING:
+            required.append(f.name)
+    return codecs, required
+
+
+def dataclass_codec(
+    kind: str,
+    cls: type,
+    *,
+    register_type: Optional[type] = None,
+    build: Optional[Callable[[Any], Any]] = None,
+    extract: Optional[Callable[[Any], Any]] = None,
+    exclude: Tuple[str, ...] = (),
+    overrides: Optional[Mapping[str, _Value]] = None,
+    pre_encode: Optional[Callable[[Any], None]] = None,
+    wrap_decode: Optional[Callable[
+        [Mapping[str, Any], str, Callable[[], Any]], Any]] = None,
+) -> Codec:
+    """Generate a codec for dataclass ``cls`` from its field types.
+
+    Args:
+        kind: The ``kind`` discriminator.
+        cls: The dataclass whose fields define the wire format.
+        register_type: Type keyed in the by-type table (defaults to
+            ``cls``); pass the *model* class when the dataclass is its
+            config (e.g. ``CpuConfig`` fields, ``CpuModel`` instances).
+        build: Applied to the constructed config to produce the final
+            object (e.g. ``CpuModel``).
+        extract: Applied to the object before reading fields (e.g.
+            ``lambda m: m.cpu``).
+        exclude: Field names left off the wire (e.g. callables).
+        overrides: Field name -> explicit value codec.
+        pre_encode: Hook that may reject un-encodable instances.
+        wrap_decode: Hook around decoding (for ``ref`` short forms):
+            receives ``(payload, path, decode_plain)``.
+    """
+    codecs, required = dataclass_field_codecs(cls, exclude, overrides)
+
+    def encode(obj: Any) -> Dict[str, Any]:
+        if pre_encode is not None:
+            pre_encode(obj)
+        source = extract(obj) if extract is not None else obj
+        return {name: vc.encode(getattr(source, name))
+                for name, vc in codecs.items()}
+
+    def decode_fields(payload: Mapping[str, Any], path: str) -> Any:
+        schema.check_keys(payload, codecs, path)
+        kwargs: Dict[str, Any] = {}
+        for name, vc in codecs.items():
+            if name in payload:
+                kwargs[name] = vc.decode(payload[name],
+                                         schema.child(path, name))
+            elif name in required:
+                raise SpecError(
+                    f"{path}: missing required field {name!r}"
+                )
+        try:
+            config = cls(**kwargs)
+            return build(config) if build is not None else config
+        except SpecError:
+            raise
+        except ReproError as error:
+            raise SpecError(f"{path}: {error}") from error
+
+    def decode(payload: Mapping[str, Any], path: str) -> Any:
+        if wrap_decode is not None:
+            return wrap_decode(payload, path,
+                               lambda: decode_fields(payload, path))
+        return decode_fields(payload, path)
+
+    return register_codec(
+        Codec(kind, register_type or cls, encode, decode)
+    )

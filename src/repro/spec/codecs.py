@@ -1,0 +1,412 @@
+"""Concrete codecs for every spec-addressable domain type.
+
+Wire kinds (the ``kind`` discriminator each type serializes under):
+
+==================  ====================================================
+kind                Python type
+==================  ====================================================
+``profile``         :class:`repro.core.profile.WorkloadProfile`
+``kernel``          :class:`repro.core.workload.Kernel` (static only)
+``stage``           :class:`repro.core.workload.Stage`
+``task-graph``      :class:`repro.core.workload.TaskGraph`
+``workload``        :class:`repro.core.workload.Workload` (ref-able)
+``platform-config`` :class:`repro.hw.platform.PlatformConfig`
+``analytical-platform``  :class:`repro.hw.platform.AnalyticalPlatform`
+``cpu``             :class:`repro.hw.cpu.CpuModel` (CpuConfig fields)
+``gpu``             :class:`repro.hw.gpu.GpuModel`
+``fpga``            :class:`repro.hw.fpga.FpgaModel` (+ ``strict``)
+``asic``            :class:`repro.hw.asic.AsicAccelerator`
+``interconnect``    :class:`repro.hw.mapping.Interconnect`
+``soc``             :class:`repro.hw.mapping.HeterogeneousSoC`
+``platform``        ref-only short form resolved via the catalog
+``circle-world``    :class:`repro.kernels.planning.occupancy.CircleWorld`
+``uav``             :class:`repro.system.robot.UavPhysics`
+``battery``         :class:`repro.system.robot.BatteryModel`
+``mission``         :class:`repro.system.mission.MissionConfig`
+``parameter``       :class:`repro.dse.space.Parameter`
+``design-space``    :class:`repro.dse.space.DesignSpace` (ref-able)
+``benchmark-row``   :class:`repro.benchmarksuite.runner.BenchmarkRow`
+==================  ====================================================
+
+Model classes serialize through their *domain* config (a ``cpu`` spec
+carries ``CpuConfig`` fields, not the derived roofline numbers), so the
+wire format matches how a designer thinks and the derived
+:class:`~repro.hw.platform.PlatformConfig` is recomputed on decode —
+which is also what keeps decoded objects fingerprint-identical to
+programmatic ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Union
+
+from repro.benchmarksuite.runner import BenchmarkRow
+from repro.core.profile import WorkloadProfile
+from repro.core.workload import Kernel, Stage, TaskGraph, Workload
+from repro.dse.space import DesignSpace, Parameter
+from repro.errors import ReproError, SpecError
+from repro.hw.asic import AsicAccelerator, AsicConfig
+from repro.hw.cpu import CpuConfig, CpuModel
+from repro.hw.fpga import FpgaConfig, FpgaModel
+from repro.hw.gpu import GpuConfig, GpuModel
+from repro.hw.mapping import HeterogeneousSoC, Interconnect
+from repro.hw.platform import AnalyticalPlatform, Platform, PlatformConfig
+from repro.kernels.planning.occupancy import CircleWorld
+from repro.spec import schema
+from repro.spec.codec import (
+    Codec,
+    dataclass_codec,
+    dataclass_field_codecs,
+    from_spec,
+    register_codec,
+    to_spec,
+)
+from repro.spec.registry import PLATFORMS, SPACES, WORKLOADS
+from repro.system.mission import MissionConfig
+from repro.system.robot import BatteryModel, UavPhysics
+
+PlatformLike = Union[Platform, HeterogeneousSoC]
+
+__all__ = ["decode_platform", "decode_workload", "decode_design_space"]
+
+
+# --------------------------------------------------------------------------
+# Core workload IR.
+# --------------------------------------------------------------------------
+
+dataclass_codec("profile", WorkloadProfile)
+dataclass_codec("stage", Stage)
+dataclass_codec("benchmark-row", BenchmarkRow)
+
+
+def _kernel_pre_encode(kernel: Kernel) -> None:
+    if kernel.profile_fn is not None:
+        raise SpecError(
+            f"kernel {kernel.name!r} has a profile_fn callable, which"
+            " cannot be serialized; only static-profile kernels are"
+            " spec-addressable"
+        )
+
+
+dataclass_codec("kernel", Kernel, exclude=("profile_fn",),
+                pre_encode=_kernel_pre_encode)
+
+
+def _encode_graph(graph: TaskGraph) -> Dict[str, Any]:
+    return {"name": graph.name,
+            "stages": [to_spec(s) for s in graph.stages]}
+
+
+def _decode_graph(payload: Mapping[str, Any], path: str) -> TaskGraph:
+    schema.check_keys(payload, ("name", "stages"), path)
+    name = schema.as_str(schema.get_field(payload, "name", path),
+                         schema.child(path, "name"))
+    items = schema.as_sequence(
+        schema.get_field(payload, "stages", path),
+        schema.child(path, "stages"), min_items=1)
+    stages = []
+    for index, item in enumerate(items):
+        at = schema.item(schema.child(path, "stages"), index)
+        stage = from_spec(item, at)
+        if not isinstance(stage, Stage):
+            raise SpecError(f"{at}: expected a stage spec")
+        stages.append(stage)
+    try:
+        return TaskGraph(name, stages)
+    except ReproError as error:
+        raise SpecError(f"{path}: {error}") from error
+
+
+register_codec(Codec("task-graph", TaskGraph, _encode_graph,
+                     _decode_graph))
+
+
+def _workload_ref_or_plain(payload: Mapping[str, Any], path: str,
+                           decode_plain):
+    if "ref" in payload:
+        schema.check_keys(payload, ("ref",), path)
+        name = schema.as_str(payload["ref"], schema.child(path, "ref"))
+        return WORKLOADS.build(name, path)
+    return decode_plain()
+
+
+dataclass_codec("workload", Workload,
+                wrap_decode=_workload_ref_or_plain)
+
+
+def decode_workload(spec: Any, path: str = "$") -> Workload:
+    """Decode a workload spec or ``{"ref": name}`` short form."""
+    payload = schema.require_mapping(spec, path)
+    if "ref" in payload and "kind" not in payload:
+        return _workload_ref_or_plain(payload, path, None)
+    obj = from_spec(payload, path)
+    if not isinstance(obj, Workload):
+        raise SpecError(f"{path}: expected a workload spec")
+    return obj
+
+
+# --------------------------------------------------------------------------
+# Hardware platforms.
+# --------------------------------------------------------------------------
+
+dataclass_codec("platform-config", PlatformConfig)
+dataclass_codec("analytical-platform", PlatformConfig,
+                register_type=AnalyticalPlatform,
+                build=AnalyticalPlatform,
+                extract=lambda platform: platform.config)
+dataclass_codec("cpu", CpuConfig, register_type=CpuModel,
+                build=CpuModel, extract=lambda model: model.cpu)
+dataclass_codec("gpu", GpuConfig, register_type=GpuModel,
+                build=GpuModel, extract=lambda model: model.gpu)
+dataclass_codec("asic", AsicConfig, register_type=AsicAccelerator,
+                build=AsicAccelerator,
+                extract=lambda model: model.asic)
+dataclass_codec("interconnect", Interconnect)
+
+_FPGA_FIELDS, _FPGA_REQUIRED = dataclass_field_codecs(FpgaConfig)
+
+
+def _encode_fpga(model: FpgaModel) -> Dict[str, Any]:
+    payload = {name: vc.encode(getattr(model.fpga, name))
+               for name, vc in _FPGA_FIELDS.items()}
+    payload["strict"] = model.strict
+    return payload
+
+
+def _decode_fpga(payload: Mapping[str, Any], path: str) -> FpgaModel:
+    allowed = set(_FPGA_FIELDS) | {"strict"}
+    schema.check_keys(payload, allowed, path)
+    kwargs: Dict[str, Any] = {}
+    for name, vc in _FPGA_FIELDS.items():
+        if name in payload:
+            kwargs[name] = vc.decode(payload[name],
+                                     schema.child(path, name))
+        elif name in _FPGA_REQUIRED:
+            raise SpecError(f"{path}: missing required field {name!r}")
+    strict = schema.as_bool(payload.get("strict", False),
+                            schema.child(path, "strict"))
+    try:
+        return FpgaModel(FpgaConfig(**kwargs), strict=strict)
+    except ReproError as error:
+        raise SpecError(f"{path}: {error}") from error
+
+
+register_codec(Codec("fpga", FpgaModel, _encode_fpga, _decode_fpga))
+
+
+def decode_platform(spec: Any, path: str = "$",
+                    allow_soc: bool = True) -> PlatformLike:
+    """Decode a platform spec, a ``{"ref": name}`` catalog reference
+    (extra keys become builder arguments, e.g. a ``name`` override), or
+    an SoC composition."""
+    payload = schema.require_mapping(spec, path)
+    if "ref" in payload:
+        if payload.get("kind", "platform") != "platform":
+            raise SpecError(
+                f"{schema.child(path, 'kind')}: a ref-form platform"
+                f" must use kind 'platform' (or omit kind),"
+                f" got {payload['kind']!r}"
+            )
+        name = schema.as_str(payload["ref"], schema.child(path, "ref"))
+        kwargs = {key: value for key, value in payload.items()
+                  if key not in ("kind", "ref")}
+        obj = PLATFORMS.build(name, path, **kwargs)
+    else:
+        obj = from_spec(payload, path)
+    if isinstance(obj, HeterogeneousSoC):
+        if not allow_soc:
+            raise SpecError(
+                f"{path}: expected a device platform, got an SoC"
+            )
+        return obj
+    if not isinstance(obj, Platform):
+        raise SpecError(f"{path}: expected a platform spec")
+    return obj
+
+
+def _decode_platform_ref(payload: Mapping[str, Any],
+                         path: str) -> PlatformLike:
+    if "ref" not in payload:
+        raise SpecError(
+            f"{path}: kind 'platform' is the ref short form; use a"
+            " concrete kind (cpu, gpu, fpga, asic,"
+            " analytical-platform, soc) to spell a platform out"
+        )
+    return decode_platform(payload, path)
+
+
+register_codec(Codec("platform", None,
+                     lambda obj: {},  # never used for encoding
+                     _decode_platform_ref))
+
+
+def _encode_soc(soc: HeterogeneousSoC) -> Dict[str, Any]:
+    return {
+        "name": soc.name,
+        "host": to_spec(soc.host),
+        "accelerators": [to_spec(a) for a in soc.accelerators],
+        "interconnect": to_spec(soc.interconnect),
+    }
+
+
+def _decode_soc(payload: Mapping[str, Any],
+                path: str) -> HeterogeneousSoC:
+    schema.check_keys(
+        payload, ("name", "host", "accelerators", "interconnect"), path)
+    name = schema.as_str(schema.get_field(payload, "name", path),
+                         schema.child(path, "name"))
+    host = decode_platform(schema.get_field(payload, "host", path),
+                           schema.child(path, "host"), allow_soc=False)
+    accelerators = []
+    items = schema.as_sequence(payload.get("accelerators", ()),
+                               schema.child(path, "accelerators"))
+    for index, item in enumerate(items):
+        at = schema.item(schema.child(path, "accelerators"), index)
+        accelerators.append(decode_platform(item, at, allow_soc=False))
+    interconnect = None
+    if "interconnect" in payload:
+        at = schema.child(path, "interconnect")
+        interconnect = from_spec(payload["interconnect"], at)
+        if not isinstance(interconnect, Interconnect):
+            raise SpecError(f"{at}: expected an interconnect spec")
+    try:
+        return HeterogeneousSoC(name, host, accelerators,
+                                interconnect=interconnect)
+    except ReproError as error:
+        raise SpecError(f"{path}: {error}") from error
+
+
+register_codec(Codec("soc", HeterogeneousSoC, _encode_soc,
+                     _decode_soc))
+
+
+# --------------------------------------------------------------------------
+# Mission / system.
+# --------------------------------------------------------------------------
+
+dataclass_codec("uav", UavPhysics)
+dataclass_codec("battery", BatteryModel)
+
+_WORLD_RANDOM_DEFAULTS: Dict[str, Any] = {
+    "dim": 2, "n_obstacles": 30, "extent": 10.0,
+    "radius_range": (0.3, 0.8), "seed": 0, "keep_corners_free": 1.0,
+}
+
+
+def _encode_world(world: CircleWorld) -> Dict[str, Any]:
+    return {
+        "lower": world.lower.tolist(),
+        "upper": world.upper.tolist(),
+        "centers": world.centers.tolist(),
+        "radii": world.radii.tolist(),
+    }
+
+
+def _decode_world(payload: Mapping[str, Any], path: str) -> CircleWorld:
+    if "random" in payload:
+        schema.check_keys(payload, ("random",), path)
+        at = schema.child(path, "random")
+        options = schema.require_mapping(payload["random"], at)
+        schema.check_keys(options, _WORLD_RANDOM_DEFAULTS, at)
+        kwargs = dict(_WORLD_RANDOM_DEFAULTS)
+        for key in ("dim", "n_obstacles", "seed"):
+            if key in options:
+                kwargs[key] = schema.as_int(options[key],
+                                            schema.child(at, key))
+        for key in ("extent", "keep_corners_free"):
+            if key in options:
+                kwargs[key] = schema.as_float(options[key],
+                                              schema.child(at, key))
+        if "radius_range" in options:
+            pair_at = schema.child(at, "radius_range")
+            pair = schema.as_sequence(options["radius_range"], pair_at)
+            if len(pair) != 2:
+                raise SpecError(
+                    f"{pair_at}: expected exactly 2 item(s),"
+                    f" got {len(pair)}"
+                )
+            kwargs["radius_range"] = tuple(
+                schema.as_float(v, schema.item(pair_at, i))
+                for i, v in enumerate(pair))
+        try:
+            return CircleWorld.random(**kwargs)
+        except ReproError as error:
+            raise SpecError(f"{path}: {error}") from error
+    schema.check_keys(payload, ("lower", "upper", "centers", "radii"),
+                      path)
+    arrays: Dict[str, Any] = {}
+    for key in ("lower", "upper"):
+        at = schema.child(path, key)
+        arrays[key] = _as_float_list(
+            schema.get_field(payload, key, path), at)
+    for key in ("centers", "radii"):
+        if key in payload:
+            arrays[key] = payload[key]
+    try:
+        return CircleWorld(**arrays)
+    except ReproError as error:
+        raise SpecError(f"{path}: {error}") from error
+    except (TypeError, ValueError) as error:
+        raise SpecError(f"{path}: not a valid world: {error}") \
+            from None
+
+
+def _as_float_list(value: Any, path: str) -> list:
+    items = schema.as_sequence(value, path)
+    return [schema.as_float(v, schema.item(path, i))
+            for i, v in enumerate(items)]
+
+
+register_codec(Codec("circle-world", CircleWorld, _encode_world,
+                     _decode_world))
+
+dataclass_codec("mission", MissionConfig)
+
+
+# --------------------------------------------------------------------------
+# DSE.
+# --------------------------------------------------------------------------
+
+dataclass_codec("parameter", Parameter)
+
+
+def _encode_space(space: DesignSpace) -> Dict[str, Any]:
+    return {"parameters": [to_spec(p) for p in space.parameters]}
+
+
+def _decode_space(payload: Mapping[str, Any],
+                  path: str) -> DesignSpace:
+    if "ref" in payload:
+        schema.check_keys(payload, ("ref",), path)
+        name = schema.as_str(payload["ref"], schema.child(path, "ref"))
+        return SPACES.build(name, path)
+    schema.check_keys(payload, ("parameters",), path)
+    items = schema.as_sequence(
+        schema.get_field(payload, "parameters", path),
+        schema.child(path, "parameters"), min_items=1)
+    parameters = []
+    for index, item in enumerate(items):
+        at = schema.item(schema.child(path, "parameters"), index)
+        parameter = from_spec(item, at)
+        if not isinstance(parameter, Parameter):
+            raise SpecError(f"{at}: expected a parameter spec")
+        parameters.append(parameter)
+    try:
+        return DesignSpace(parameters)
+    except ReproError as error:
+        raise SpecError(f"{path}: {error}") from error
+
+
+register_codec(Codec("design-space", DesignSpace, _encode_space,
+                     _decode_space))
+
+
+def decode_design_space(spec: Any, path: str = "$") -> DesignSpace:
+    """Decode a design-space spec or ``{"ref": name}`` short form."""
+    payload = schema.require_mapping(spec, path)
+    if "ref" in payload and "kind" not in payload:
+        return _decode_space(payload, path)
+    obj = from_spec(payload, path)
+    if not isinstance(obj, DesignSpace):
+        raise SpecError(f"{path}: expected a design-space spec")
+    return obj

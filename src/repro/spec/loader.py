@@ -1,0 +1,93 @@
+"""Spec file I/O: versioned JSON documents on disk.
+
+A spec *file* is a spec mapping plus a required top-level
+``spec_version`` stamp.  Loading validates the stamp, applies any
+registered migrations (older versions are upgraded in place, newer
+versions are rejected with a clear message), strips it, and hands the
+document to :func:`repro.spec.codec.from_spec`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict
+
+from repro.errors import SpecError
+from repro.spec import schema
+from repro.spec.codec import SPEC_VERSION, from_spec, to_spec
+
+__all__ = ["load_document", "migrate_document", "load_spec",
+           "load_scenario", "dump_spec", "save_spec"]
+
+#: version -> in-place upgrade to version+1.  Empty while the wire
+#: format has never changed; grows alongside :data:`SPEC_VERSION`.
+_MIGRATIONS: Dict[int, Callable[[Dict[str, Any]], Dict[str, Any]]] = {}
+
+
+def load_document(path: str) -> Any:
+    """Parse a JSON spec file (I/O and syntax errors become
+    :class:`~repro.errors.SpecError` carrying the filename)."""
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except OSError as error:
+        raise SpecError(f"{path}: cannot read spec file: {error}") \
+            from None
+    except json.JSONDecodeError as error:
+        raise SpecError(f"{path}: not valid JSON: {error}") from None
+
+
+def migrate_document(document: Any, path: str = "$") -> Dict[str, Any]:
+    """Check ``spec_version``, upgrade old documents, strip the stamp.
+
+    Returns:
+        The document as a plain spec mapping ready for ``from_spec``.
+    """
+    payload = schema.require_mapping(document, path)
+    at = schema.child(path, "spec_version")
+    version = schema.as_int(
+        schema.get_field(payload, "spec_version", path), at)
+    if version < 1:
+        raise SpecError(f"{at}: must be >= 1, got {version}")
+    if version > SPEC_VERSION:
+        raise SpecError(
+            f"{at}: document has spec_version {version}, but this"
+            f" build reads up to {SPEC_VERSION}; it was written by a"
+            f" newer version of repro"
+        )
+    upgraded = {k: v for k, v in payload.items()
+                if k != "spec_version"}
+    while version < SPEC_VERSION:
+        upgraded = _MIGRATIONS[version](upgraded)
+        version += 1
+    return upgraded
+
+
+def load_spec(path: str) -> Any:
+    """Load and decode any spec file into its domain object."""
+    return from_spec(migrate_document(load_document(path)))
+
+
+def load_scenario(path: str):
+    """Load a scenario file (a spec of kind ``scenario``)."""
+    from repro.spec.scenario import Scenario
+
+    scenario = load_spec(path)
+    if not isinstance(scenario, Scenario):
+        raise SpecError(
+            f"{path}: expected a scenario spec,"
+            f" got kind {to_spec(scenario).get('kind')!r}"
+        )
+    return scenario
+
+
+def dump_spec(obj: Any) -> Dict[str, Any]:
+    """Encode an object as a versioned spec document."""
+    return {"spec_version": SPEC_VERSION, **to_spec(obj)}
+
+
+def save_spec(obj: Any, path: str) -> None:
+    """Write an object's versioned spec document as pretty JSON."""
+    with open(path, "w") as handle:
+        json.dump(dump_spec(obj), handle, indent=2)
+        handle.write("\n")

@@ -1,0 +1,320 @@
+"""Scenario specs: whole CLI runs as declarative documents.
+
+A scenario file is a spec of kind ``scenario`` holding exactly one run
+section — ``suite``, ``mission``, or ``dse`` — mirroring the matching
+CLI subcommand::
+
+    {"spec_version": 1, "kind": "scenario", "name": "uav-codesign",
+     "dse": {"space": {"ref": "codesign"},
+             "objective": {"ref": "suite_objective"},
+             "strategy": "random", "budget": 8, "seed": 3}}
+
+``repro run <file>`` executes one through the same code paths (and the
+same evaluation-engine contexts) as the programmatic subcommands, so a
+scenario reproduces a code-driven run exactly, cache keys included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.core.workload import Workload
+from repro.dse.space import DesignSpace
+from repro.errors import SpecError
+from repro.hw.platform import Platform
+from repro.spec import schema
+from repro.spec.codec import Codec, from_spec, register_codec, to_spec
+from repro.spec.codecs import (
+    PlatformLike,
+    decode_design_space,
+    decode_platform,
+    decode_workload,
+)
+from repro.spec.registry import OBJECTIVES, TIERS
+from repro.system.mission import MissionConfig
+
+__all__ = ["Scenario", "SuiteScenario", "MissionScenario",
+           "DseScenario", "DSE_STRATEGIES"]
+
+#: Search strategies ``dse`` scenarios (and the CLI) accept.
+DSE_STRATEGIES = ("grid", "random", "evolutionary", "surrogate")
+
+#: One mission compute tier: (name, platform, mass_kg, power_w).
+Tier = Tuple[str, Platform, float, float]
+
+
+@dataclass
+class SuiteScenario:
+    """A benchmark-suite run: workloads priced across target platforms.
+
+    Attributes:
+        targets: Platforms (or SoCs) to price the suite on.
+        reference: Target name speedups are normalized against.
+        workloads: Suite rows; ``None`` means the standard suite.
+        jobs: Process-pool width (1 = serial; results identical).
+    """
+
+    targets: Tuple[PlatformLike, ...]
+    reference: str = "embedded-cpu"
+    workloads: Optional[Tuple[Workload, ...]] = None
+    jobs: int = 1
+
+
+@dataclass
+class MissionScenario:
+    """A closed-loop mission sweep over a compute ladder.
+
+    Attributes:
+        config: The mission (world, endpoints, airframe, battery...).
+        tiers: ``(name, platform, mass_kg, power_w)`` ladder rows.
+        seed: Recorded in run provenance (the world already carries its
+            own generation seed); purely informational.
+    """
+
+    config: MissionConfig
+    tiers: Tuple[Tier, ...]
+    seed: Optional[int] = None
+
+
+@dataclass
+class DseScenario:
+    """A design-space exploration run.
+
+    Attributes:
+        space: The space to search.
+        objective: Registered objective name (see
+            :data:`repro.spec.registry.OBJECTIVES`).
+        strategy: One of :data:`DSE_STRATEGIES`.
+        budget: Unique-candidate evaluation budget.
+        seed: Search seed.
+        jobs: Process-pool width for candidate pricing.
+    """
+
+    space: DesignSpace
+    objective: str = "suite_objective"
+    strategy: str = "surrogate"
+    budget: int = 24
+    seed: int = 0
+    jobs: int = 1
+
+
+@dataclass
+class Scenario:
+    """A named, runnable experiment description.
+
+    Attributes:
+        name: Human-readable scenario name (printed by ``repro run``).
+        run: The run section; its type selects the execution path.
+    """
+
+    name: str
+    run: Union[SuiteScenario, MissionScenario, DseScenario]
+
+
+# --------------------------------------------------------------------------
+# Codec.
+# --------------------------------------------------------------------------
+
+def _positive_jobs(payload: Mapping[str, Any], path: str) -> int:
+    jobs = schema.optional_int(payload, "jobs", path, 1)
+    if jobs < 1:
+        raise SpecError(
+            f"{schema.child(path, 'jobs')}: must be >= 1, got {jobs}"
+        )
+    return jobs
+
+
+def _encode_suite(run: SuiteScenario) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "targets": [to_spec(t) for t in run.targets],
+        "reference": run.reference,
+        "jobs": run.jobs,
+    }
+    if run.workloads is not None:
+        payload["workloads"] = [to_spec(w) for w in run.workloads]
+    return payload
+
+
+def _decode_suite(payload: Mapping[str, Any],
+                  path: str) -> SuiteScenario:
+    schema.check_keys(
+        payload, ("targets", "reference", "workloads", "jobs"), path)
+    targets_at = schema.child(path, "targets")
+    items = schema.as_sequence(
+        schema.get_field(payload, "targets", path), targets_at,
+        min_items=1)
+    targets = tuple(
+        decode_platform(item, schema.item(targets_at, index))
+        for index, item in enumerate(items))
+    names = [t.name for t in targets]
+    duplicates = sorted({n for n in names if names.count(n) > 1})
+    if duplicates:
+        raise SpecError(
+            f"{targets_at}: duplicate target name(s) {duplicates}"
+        )
+    reference = "embedded-cpu"
+    if "reference" in payload:
+        reference = schema.as_str(payload["reference"],
+                                  schema.child(path, "reference"))
+    if reference not in names:
+        raise SpecError(
+            f"{schema.child(path, 'reference')}: {reference!r} is not"
+            f" a target name; targets: {names}"
+        )
+    workloads = None
+    if "workloads" in payload:
+        at = schema.child(path, "workloads")
+        rows = schema.as_sequence(payload["workloads"], at,
+                                  min_items=1)
+        workloads = tuple(
+            decode_workload(item, schema.item(at, index))
+            for index, item in enumerate(rows))
+    return SuiteScenario(targets=targets, reference=reference,
+                         workloads=workloads,
+                         jobs=_positive_jobs(payload, path))
+
+
+def _encode_mission(run: MissionScenario) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "config": to_spec(run.config),
+        "tiers": [
+            {"name": name, "platform": to_spec(platform),
+             "mass_kg": mass_kg, "power_w": power_w}
+            for name, platform, mass_kg, power_w in run.tiers
+        ],
+    }
+    if run.seed is not None:
+        payload["seed"] = run.seed
+    return payload
+
+
+def _decode_tier(item: Any, path: str) -> Tier:
+    payload = schema.require_mapping(item, path)
+    schema.check_keys(
+        payload, ("name", "platform", "mass_kg", "power_w"), path)
+    name = schema.as_str(schema.get_field(payload, "name", path),
+                         schema.child(path, "name"))
+    platform = decode_platform(
+        schema.get_field(payload, "platform", path),
+        schema.child(path, "platform"), allow_soc=False)
+    mass_kg = schema.as_float(
+        schema.get_field(payload, "mass_kg", path),
+        schema.child(path, "mass_kg"))
+    power_w = schema.as_float(
+        schema.get_field(payload, "power_w", path),
+        schema.child(path, "power_w"))
+    return (name, platform, mass_kg, power_w)
+
+
+def _decode_mission(payload: Mapping[str, Any],
+                    path: str) -> MissionScenario:
+    schema.check_keys(payload, ("config", "tiers", "seed"), path)
+    config = from_spec(schema.get_field(payload, "config", path),
+                       schema.child(path, "config"))
+    if not isinstance(config, MissionConfig):
+        raise SpecError(
+            f"{schema.child(path, 'config')}: expected a mission spec"
+        )
+    tiers_at = schema.child(path, "tiers")
+    tiers_spec = schema.get_field(payload, "tiers", path)
+    if isinstance(tiers_spec, Mapping) and "ref" in tiers_spec:
+        schema.check_keys(tiers_spec, ("ref",), tiers_at)
+        ladder = schema.as_str(tiers_spec["ref"],
+                               schema.child(tiers_at, "ref"))
+        tiers = tuple(TIERS.build(ladder, tiers_at))
+    else:
+        items = schema.as_sequence(tiers_spec, tiers_at, min_items=1)
+        tiers = tuple(
+            _decode_tier(item, schema.item(tiers_at, index))
+            for index, item in enumerate(items))
+    seed = schema.optional_int(payload, "seed", path, None)
+    return MissionScenario(config=config, tiers=tiers, seed=seed)
+
+
+def _encode_dse(run: DseScenario) -> Dict[str, Any]:
+    return {
+        "space": to_spec(run.space),
+        "objective": {"ref": run.objective},
+        "strategy": run.strategy,
+        "budget": run.budget,
+        "seed": run.seed,
+        "jobs": run.jobs,
+    }
+
+
+def _decode_dse(payload: Mapping[str, Any], path: str) -> DseScenario:
+    schema.check_keys(
+        payload,
+        ("space", "objective", "strategy", "budget", "seed", "jobs"),
+        path)
+    space = decode_design_space(
+        schema.get_field(payload, "space", path),
+        schema.child(path, "space"))
+    objective = "suite_objective"
+    if "objective" in payload:
+        at = schema.child(path, "objective")
+        value = payload["objective"]
+        if isinstance(value, str):
+            objective = value
+        else:
+            mapping = schema.require_mapping(value, at)
+            schema.check_keys(mapping, ("ref",), at)
+            objective = schema.as_str(
+                schema.get_field(mapping, "ref", at),
+                schema.child(at, "ref"))
+        OBJECTIVES.entry(objective, at)  # must resolve
+    strategy = "surrogate"
+    if "strategy" in payload:
+        at = schema.child(path, "strategy")
+        strategy = schema.as_str(payload["strategy"], at)
+        if strategy not in DSE_STRATEGIES:
+            raise SpecError(
+                f"{at}: expected one of {list(DSE_STRATEGIES)},"
+                f" got {strategy!r}"
+            )
+    budget = schema.optional_int(payload, "budget", path, 24)
+    if budget < 1:
+        raise SpecError(
+            f"{schema.child(path, 'budget')}: must be >= 1,"
+            f" got {budget}"
+        )
+    return DseScenario(
+        space=space, objective=objective, strategy=strategy,
+        budget=budget,
+        seed=schema.optional_int(payload, "seed", path, 0),
+        jobs=_positive_jobs(payload, path))
+
+
+_SECTIONS = {
+    "suite": (SuiteScenario, _encode_suite, _decode_suite),
+    "mission": (MissionScenario, _encode_mission, _decode_mission),
+    "dse": (DseScenario, _encode_dse, _decode_dse),
+}
+
+
+def _encode_scenario(scenario: Scenario) -> Dict[str, Any]:
+    for section, (cls, encode, _) in _SECTIONS.items():
+        if isinstance(scenario.run, cls):
+            return {"name": scenario.name,
+                    section: encode(scenario.run)}
+    raise SpecError(
+        f"scenario {scenario.name!r} has an unsupported run type"
+        f" {type(scenario.run).__name__}"
+    )
+
+
+def _decode_scenario(payload: Mapping[str, Any],
+                     path: str) -> Scenario:
+    schema.check_keys(payload, ("name",) + tuple(_SECTIONS), path)
+    name = schema.as_str(schema.get_field(payload, "name", path),
+                         schema.child(path, "name"))
+    section = schema.require_one_of(payload, _SECTIONS, path)
+    at = schema.child(path, section)
+    _, _, decode = _SECTIONS[section]
+    run = decode(schema.require_mapping(payload[section], at), at)
+    return Scenario(name=name, run=run)
+
+
+register_codec(Codec("scenario", Scenario, _encode_scenario,
+                     _decode_scenario))

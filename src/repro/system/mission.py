@@ -15,7 +15,7 @@ step, and the battery integrates hover + compute power.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -46,8 +46,6 @@ def default_frame_profile(scale: float = 1.0) -> WorkloadProfile:
     """
     if scale <= 0:
         raise ConfigurationError(f"scale must be > 0, got {scale}")
-    from dataclasses import replace
-
     from repro.kernels.linalg import gemm_profile
 
     backbone = gemm_profile(256, 4096, 512, name="frame-dnn")

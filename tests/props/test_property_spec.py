@@ -1,0 +1,183 @@
+"""Property-based round-trip tests for the spec codec layer.
+
+For every codec: ``from_spec(to_spec(x)) == x`` (where the domain type
+defines ``==``) and ``fingerprint`` equality, with the spec pushed
+through real JSON text so the tests cover exactly what a scenario file
+on disk goes through.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profile import DivergenceClass, WorkloadProfile
+from repro.core.workload import Kernel, Stage, TaskGraph
+from repro.dse.space import DesignSpace, Parameter
+from repro.engine.fingerprint import fingerprint
+from repro.hw.mapping import Interconnect
+from repro.spec import DSE_STRATEGIES, OBJECTIVES, from_spec, to_spec
+from repro.system.robot import BatteryModel, UavPhysics
+
+_counts = st.floats(min_value=0.0, max_value=1e15, allow_nan=False)
+_fractions = st.floats(min_value=0.0, max_value=1.0)
+_positive = st.floats(min_value=1e-6, max_value=1e6, allow_nan=False)
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz-_0123456789",
+    min_size=1, max_size=12)
+
+
+def _roundtrip(obj):
+    spec = json.loads(json.dumps(to_spec(obj)))
+    clone = from_spec(spec)
+    assert fingerprint(clone) == fingerprint(obj)
+    return clone
+
+
+def profiles():
+    return st.builds(
+        WorkloadProfile,
+        name=_names,
+        flops=_counts,
+        int_ops=_counts,
+        bytes_read=_counts,
+        bytes_written=_counts,
+        working_set_bytes=_counts,
+        parallel_fraction=_fractions,
+        divergence=st.sampled_from(list(DivergenceClass)),
+        op_class=st.sampled_from(["generic", "gemm", "collision",
+                                  "stencil"]),
+    )
+
+
+def stages(name=None):
+    return st.builds(
+        Stage,
+        name=st.just(name) if name else _names,
+        profile=profiles(),
+        output_bytes=_counts,
+        rate_hz=st.none() | _positive,
+        deadline_s=st.none() | _positive,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(profiles())
+def test_profile_round_trip(profile):
+    assert _roundtrip(profile) == profile
+
+
+@settings(max_examples=60, deadline=None)
+@given(stages())
+def test_stage_round_trip(stage):
+    assert _roundtrip(stage) == stage
+
+
+@settings(max_examples=40, deadline=None)
+@given(name=_names, category=_names, profile=profiles(),
+       tags=st.lists(_names, max_size=3).map(tuple))
+def test_static_kernel_round_trip(name, category, profile, tags):
+    kernel = Kernel(name, category=category, static_profile=profile,
+                    tags=tags)
+    assert _roundtrip(kernel) == kernel
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(profiles(), min_size=1, max_size=4))
+def test_task_graph_chain_round_trip(profiles_):
+    # A linear chain: stage i depends on stage i-1.
+    stages_ = [
+        Stage(f"s{i}", profile,
+              deps=(f"s{i - 1}",) if i else (),
+              rate_hz=30.0 if i == 0 else None)
+        for i, profile in enumerate(profiles_)
+    ]
+    graph = TaskGraph("chain", stages_)
+    assert _roundtrip(graph) == graph
+
+
+@settings(max_examples=60, deadline=None)
+@given(name=_names,
+       values=st.lists(st.integers(min_value=-10**6, max_value=10**6),
+                       unique=True, min_size=1, max_size=6)
+       | st.lists(_names, unique=True, min_size=1, max_size=6))
+def test_parameter_round_trip(name, values):
+    parameter = Parameter(name, tuple(values))
+    clone = _roundtrip(parameter)
+    assert clone == parameter
+    # JSON must not blur the int/str identity of values (ints feed
+    # numeric encodings; strings stay categorical).
+    assert [type(v) for v in clone.values] == \
+        [type(v) for v in parameter.values]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.dictionaries(
+    _names,
+    st.lists(st.integers(min_value=0, max_value=100), unique=True,
+             min_size=1, max_size=4),
+    min_size=1, max_size=4))
+def test_design_space_round_trip(table):
+    space = DesignSpace([Parameter(name, tuple(values))
+                         for name, values in table.items()])
+    assert _roundtrip(space) == space
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.builds(
+    Interconnect,
+    bandwidth=_positive,
+    latency_s=st.floats(min_value=0.0, max_value=1.0),
+    energy_per_byte=st.floats(min_value=0.0, max_value=1e-6),
+))
+def test_interconnect_round_trip(link):
+    assert _roundtrip(link) == link
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.builds(
+    BatteryModel,
+    capacity_wh=st.floats(min_value=1.0, max_value=1000.0),
+    mass_kg=st.floats(min_value=0.01, max_value=10.0),
+    usable_fraction=st.floats(min_value=0.1, max_value=1.0),
+))
+def test_battery_round_trip(battery):
+    assert _roundtrip(battery) == battery
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.builds(
+    UavPhysics,
+    frame_mass_kg=st.floats(min_value=0.1, max_value=10.0),
+    rotor_disk_area_m2=st.floats(min_value=0.01, max_value=2.0),
+    figure_of_merit=st.floats(min_value=0.1, max_value=1.0),
+    max_speed_m_s=st.floats(min_value=1.0, max_value=50.0),
+    max_accel_m_s2=st.floats(min_value=0.5, max_value=20.0),
+    avionics_power_w=st.floats(min_value=0.0, max_value=50.0),
+))
+def test_uav_round_trip(uav):
+    assert _roundtrip(uav) == uav
+
+
+@settings(max_examples=40, deadline=None)
+@given(name=_names,
+       strategy=st.sampled_from(DSE_STRATEGIES),
+       objective=st.sampled_from(OBJECTIVES.names()),
+       budget=st.integers(min_value=1, max_value=100),
+       seed=st.integers(min_value=0, max_value=2**31 - 1),
+       jobs=st.integers(min_value=1, max_value=8))
+def test_dse_scenario_round_trip(name, strategy, objective, budget,
+                                 seed, jobs):
+    scenario = from_spec({
+        "kind": "scenario", "name": name,
+        "dse": {"space": {"ref": "codesign"},
+                "objective": {"ref": objective},
+                "strategy": strategy, "budget": budget, "seed": seed,
+                "jobs": jobs},
+    })
+    clone = _roundtrip(scenario)
+    assert clone.name == name
+    assert (clone.run.objective, clone.run.strategy) == \
+        (objective, strategy)
+    assert (clone.run.budget, clone.run.seed, clone.run.jobs) == \
+        (budget, seed, jobs)

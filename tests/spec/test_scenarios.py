@@ -1,0 +1,239 @@
+"""Scenario codec, spec-file loader, and example-file validity tests."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.engine.fingerprint import fingerprint
+from repro.errors import SpecError
+from repro.spec import (
+    PLATFORMS,
+    SPEC_VERSION,
+    TIERS,
+    DseScenario,
+    MissionScenario,
+    Scenario,
+    SuiteScenario,
+    dump_spec,
+    from_spec,
+    load_scenario,
+    load_spec,
+    migrate_document,
+    save_spec,
+    to_spec,
+)
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "scenarios"
+
+
+def _dse_spec(**overrides):
+    payload = {"space": {"ref": "codesign"}, "strategy": "random",
+               "budget": 8, "seed": 3}
+    payload.update(overrides)
+    return {"kind": "scenario", "name": "s", "dse": payload}
+
+
+class TestScenarioCodec:
+    def test_dse_round_trip(self):
+        scenario = from_spec(_dse_spec())
+        assert isinstance(scenario, Scenario)
+        run = scenario.run
+        assert isinstance(run, DseScenario)
+        assert (run.strategy, run.budget, run.seed) == ("random", 8, 3)
+        assert run.objective == "suite_objective"
+        clone = from_spec(json.loads(json.dumps(to_spec(scenario))))
+        assert fingerprint(clone) == fingerprint(scenario)
+
+    def test_objective_accepts_plain_string(self):
+        run = from_spec(_dse_spec(objective="suite_latency")).run
+        assert run.objective == "suite_latency"
+
+    def test_suite_round_trip(self):
+        scenario = from_spec({
+            "kind": "scenario", "name": "s",
+            "suite": {"targets": [{"ref": "embedded-cpu"},
+                                  {"ref": "embedded-gpu"}]},
+        })
+        run = scenario.run
+        assert isinstance(run, SuiteScenario)
+        assert [t.name for t in run.targets] == ["embedded-cpu",
+                                                 "embedded-gpu"]
+        assert run.reference == "embedded-cpu"
+        assert run.workloads is None and run.jobs == 1
+        clone = from_spec(json.loads(json.dumps(to_spec(scenario))))
+        assert fingerprint(clone) == fingerprint(scenario)
+
+    def test_suite_explicit_workloads(self):
+        run = from_spec({
+            "kind": "scenario", "name": "s",
+            "suite": {"targets": [{"ref": "embedded-cpu"}],
+                      "workloads": [{"ref": "vio-navigation"}]},
+        }).run
+        assert [w.name for w in run.workloads] == ["vio-navigation"]
+
+    def test_mission_round_trip(self):
+        scenario = from_spec({
+            "kind": "scenario", "name": "m",
+            "mission": {
+                "config": {
+                    "kind": "mission",
+                    "world": {"kind": "circle-world",
+                              "random": {"n_obstacles": 4,
+                                         "extent": 30.0, "seed": 1}},
+                    "start": [1.0, 1.0], "goal": [28.0, 28.0],
+                },
+                "tiers": {"ref": "uav-ladder"},
+                "seed": 1,
+            },
+        })
+        run = scenario.run
+        assert isinstance(run, MissionScenario)
+        assert len(run.tiers) == len(TIERS.build("uav-ladder"))
+        clone = from_spec(json.loads(json.dumps(to_spec(scenario))))
+        assert fingerprint(clone) == fingerprint(scenario)
+
+    def test_explicit_tier_list(self):
+        run = from_spec({
+            "kind": "scenario", "name": "m",
+            "mission": {
+                "config": {
+                    "kind": "mission",
+                    "world": {"kind": "circle-world",
+                              "random": {"n_obstacles": 4,
+                                         "extent": 30.0, "seed": 1}},
+                    "start": [1.0, 1.0], "goal": [28.0, 28.0],
+                },
+                "tiers": [{"name": "t0",
+                           "platform": {"ref": "embedded-cpu"},
+                           "mass_kg": 0.1, "power_w": 5.0}],
+            },
+        }).run
+        assert run.tiers[0][0] == "t0"
+        assert run.tiers[0][1].name == "embedded-cpu"
+        assert run.seed is None
+
+
+class TestScenarioValidation:
+    def test_exactly_one_section(self):
+        with pytest.raises(SpecError, match="exactly one of 'suite',"
+                                            " 'mission', 'dse'"):
+            from_spec({"kind": "scenario", "name": "s"})
+
+    def test_bad_strategy(self):
+        with pytest.raises(SpecError,
+                           match=r"\$\.dse\.strategy: expected one of"):
+            from_spec(_dse_spec(strategy="annealing"))
+
+    def test_unknown_objective(self):
+        with pytest.raises(SpecError,
+                           match=r"\$\.dse\.objective: unknown"
+                                 r" objective ref"):
+            from_spec(_dse_spec(objective={"ref": "nope"}))
+
+    def test_budget_and_jobs_must_be_positive(self):
+        with pytest.raises(SpecError,
+                           match=r"\$\.dse\.budget: must be >= 1"):
+            from_spec(_dse_spec(budget=0))
+        with pytest.raises(SpecError,
+                           match=r"\$\.dse\.jobs: must be >= 1"):
+            from_spec(_dse_spec(jobs=0))
+
+    def test_reference_must_be_a_target(self):
+        with pytest.raises(SpecError,
+                           match=r"\$\.suite\.reference: 'gpu' is not"
+                                 r" a target name"):
+            from_spec({"kind": "scenario", "name": "s",
+                       "suite": {"targets": [{"ref": "embedded-cpu"}],
+                                 "reference": "gpu"}})
+
+    def test_duplicate_targets_rejected(self):
+        with pytest.raises(SpecError,
+                           match=r"\$\.suite\.targets: duplicate"):
+            from_spec({"kind": "scenario", "name": "s",
+                       "suite": {"targets": [{"ref": "embedded-cpu"},
+                                             {"ref": "embedded-cpu"}]}})
+
+
+class TestLoader:
+    def test_migrate_requires_version(self):
+        with pytest.raises(SpecError,
+                           match="missing required field"
+                                 " 'spec_version'"):
+            migrate_document({"kind": "battery"})
+
+    def test_migrate_rejects_newer_versions(self):
+        with pytest.raises(SpecError, match="newer version of repro"):
+            migrate_document({"spec_version": SPEC_VERSION + 1,
+                              "kind": "battery"})
+        with pytest.raises(SpecError,
+                           match=r"\$\.spec_version: must be >= 1"):
+            migrate_document({"spec_version": 0, "kind": "battery"})
+
+    def test_migrate_strips_stamp(self):
+        assert migrate_document({"spec_version": 1, "kind": "battery"}) \
+            == {"kind": "battery"}
+
+    def test_save_and_load_spec(self, tmp_path):
+        platform = PLATFORMS.build("midrange-fpga")
+        path = tmp_path / "fpga.json"
+        save_spec(platform, str(path))
+        document = json.loads(path.read_text())
+        assert document["spec_version"] == SPEC_VERSION
+        clone = load_spec(str(path))
+        assert fingerprint(clone) == fingerprint(platform)
+
+    def test_dump_spec_stamps_version(self):
+        document = dump_spec(PLATFORMS.build("embedded-cpu"))
+        assert document["spec_version"] == SPEC_VERSION
+        assert document["kind"] == "cpu"
+
+    def test_load_document_errors(self, tmp_path):
+        with pytest.raises(SpecError, match="cannot read spec file"):
+            load_spec(str(tmp_path / "missing.json"))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SpecError, match="not valid JSON"):
+            load_spec(str(bad))
+
+    def test_load_scenario_rejects_non_scenarios(self, tmp_path):
+        path = tmp_path / "battery.json"
+        save_spec(
+            from_spec({"kind": "battery"}), str(path))
+        with pytest.raises(SpecError,
+                           match="expected a scenario spec,"
+                                 " got kind 'battery'"):
+            load_scenario(str(path))
+
+
+class TestExampleScenarios:
+    @pytest.mark.parametrize("filename", [
+        "uav_codesign.json", "suite_catalog.json",
+        "patrol_mission.json",
+    ])
+    def test_example_loads(self, filename):
+        scenario = load_scenario(str(EXAMPLES / filename))
+        assert isinstance(scenario, Scenario)
+
+    def test_examples_dir_is_exhaustive(self):
+        assert sorted(p.name for p in EXAMPLES.glob("*.json")) == [
+            "patrol_mission.json", "suite_catalog.json",
+            "uav_codesign.json",
+        ]
+
+    def test_uav_codesign_mirrors_programmatic_dse(self):
+        from repro.dse.objectives import codesign_space
+
+        run = load_scenario(str(EXAMPLES / "uav_codesign.json")).run
+        assert isinstance(run, DseScenario)
+        assert run.space == codesign_space()
+        assert (run.objective, run.strategy, run.budget, run.seed) == \
+            ("suite_objective", "random", 8, 3)
+
+    def test_suite_catalog_mirrors_cli_targets(self):
+        run = load_scenario(str(EXAMPLES / "suite_catalog.json")).run
+        assert isinstance(run, SuiteScenario)
+        assert [t.name for t in run.targets] == [
+            "embedded-cpu", "desktop-cpu", "embedded-gpu",
+            "midrange-fpga", "gemm-soc",
+        ]

@@ -1,0 +1,97 @@
+"""Unit tests for the spec validation primitives (dotted-path errors)."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.spec import schema
+
+
+class TestPaths:
+    def test_child_and_item_compose(self):
+        path = schema.item(schema.child("$.suite", "targets"), 2)
+        assert path == "$.suite.targets[2]"
+
+    def test_type_name_null(self):
+        assert schema.type_name(None) == "null"
+        assert schema.type_name(1.5) == "float"
+
+
+class TestScalars:
+    def test_int_rejects_bool_and_float(self):
+        assert schema.as_int(7, "$.x") == 7
+        for bad in (True, 7.0, "7", None):
+            with pytest.raises(SpecError, match=r"\$\.x: expected an"
+                                                r" integer"):
+                schema.as_int(bad, "$.x")
+
+    def test_float_accepts_int_rejects_bool(self):
+        assert schema.as_float(3, "$.y") == 3.0
+        with pytest.raises(SpecError, match=r"\$\.y: expected a"
+                                            r" number, got bool"):
+            schema.as_float(True, "$.y")
+
+    def test_str_and_bool(self):
+        assert schema.as_str("s", "$") == "s"
+        assert schema.as_bool(False, "$") is False
+        with pytest.raises(SpecError, match="expected a string"):
+            schema.as_str(3, "$")
+        with pytest.raises(SpecError, match="expected a boolean"):
+            schema.as_bool("yes", "$")
+
+    def test_scalar_rejects_containers(self):
+        assert schema.as_scalar(4, "$") == 4
+        with pytest.raises(SpecError, match="expected a scalar"):
+            schema.as_scalar([1], "$")
+
+
+class TestContainers:
+    def test_require_mapping_rejects_lists(self):
+        with pytest.raises(SpecError, match=r"\$\.a: expected an"
+                                            r" object, got list"):
+            schema.require_mapping([1], "$.a")
+
+    def test_require_mapping_rejects_non_string_keys(self):
+        with pytest.raises(SpecError, match="keys must be strings"):
+            schema.require_mapping({1: "x"}, "$")
+
+    def test_sequence_rejects_strings_and_mappings(self):
+        assert schema.as_sequence([1, 2], "$") == (1, 2)
+        for bad in ("abc", {"a": 1}, 5):
+            with pytest.raises(SpecError, match="expected a list"):
+                schema.as_sequence(bad, "$")
+
+    def test_sequence_min_items(self):
+        with pytest.raises(SpecError, match="at least 1 item"):
+            schema.as_sequence([], "$", min_items=1)
+
+    def test_check_keys_reports_unknown_fields(self):
+        with pytest.raises(SpecError, match=r"\$\.p: unknown"
+                                            r" field\(s\) 'bogus'"):
+            schema.check_keys({"bogus": 1, "kind": "x"}, ("a",),
+                              "$.p")
+
+    def test_check_keys_always_allows_kind(self):
+        schema.check_keys({"kind": "cpu", "a": 1}, ("a",), "$")
+
+
+class TestFields:
+    def test_get_field_missing_is_error(self):
+        with pytest.raises(SpecError, match=r"\$\.q: missing required"
+                                            r" field 'name'"):
+            schema.get_field({}, "name", "$.q")
+
+    def test_get_field_default(self):
+        assert schema.get_field({}, "name", "$", default=3) == 3
+
+    def test_require_one_of(self):
+        assert schema.require_one_of({"b": 1}, ("a", "b"), "$") == "b"
+        with pytest.raises(SpecError, match="exactly one of"):
+            schema.require_one_of({"a": 1, "b": 2}, ("a", "b"), "$")
+        with pytest.raises(SpecError, match="got 0"):
+            schema.require_one_of({}, ("a", "b"), "$")
+
+    def test_optional_int(self):
+        assert schema.optional_int({}, "n", "$", 4) == 4
+        assert schema.optional_int({"n": 9}, "n", "$", 4) == 9
+        with pytest.raises(SpecError, match=r"\$\.n: expected an"):
+            schema.optional_int({"n": "x"}, "n", "$", 4)
