@@ -1,0 +1,120 @@
+"""Scalar-vs-SoA batch pricing throughput.
+
+The tentpole claim for :mod:`repro.hw.batch`: pricing a whole DSE
+population through one structure-of-arrays roofline pass beats the
+per-candidate scalar loop by an order of magnitude at population sizes
+a search actually uses (>= 10x at 1k candidates), while returning
+**bit-identical** values.
+
+Two entry points:
+
+- ``pytest benchmarks/bench_batch_pricing.py`` — small-scale smoke:
+  batch must not lose to scalar, and values must match exactly (run in
+  CI, where absolute throughput is noisy but the ordering is not);
+- ``python benchmarks/bench_batch_pricing.py`` — the full sweep at
+  10/100/1k/10k candidates, printed as a table and written to
+  ``BENCH_batch_pricing.json`` (the numbers quoted in EXPERIMENTS.md).
+"""
+
+import json
+import sys
+import time
+
+from repro.dse.objectives import codesign_space, suite_objective
+
+SIZES = (10, 100, 1_000, 10_000)
+SMOKE_SIZE = 64
+ATTEMPTS = 3        # re-measure on a noisy machine before failing
+TARGET_SPEEDUP = 10.0   # the EXPERIMENTS.md claim, at >= 1k candidates
+
+
+def _population(n):
+    """n co-design candidates cycling the 256-point space (repetition
+    is fine: throughput here is per-candidate work, not cache play)."""
+    space = codesign_space()
+    return [space.config_at(i % space.size) for i in range(n)]
+
+
+def _scalar_rate(configs):
+    started = time.perf_counter()
+    values = [suite_objective(config) for config in configs]
+    return len(configs) / (time.perf_counter() - started), values
+
+
+def _batch_rate(configs):
+    started = time.perf_counter()
+    values = suite_objective.evaluate_batch(configs)
+    return len(configs) / (time.perf_counter() - started), values
+
+
+def _warmup():
+    """Build the process-global suite/SoA state and trigger numpy's
+    lazy imports so the first measured row is not a cold start."""
+    configs = _population(4)
+    assert suite_objective.evaluate_batch(configs) \
+        == [suite_objective(config) for config in configs]
+
+
+def sweep(sizes=SIZES):
+    """Measure both paths at each population size."""
+    _warmup()
+    rows = []
+    for n in sizes:
+        configs = _population(n)
+        scalar_per_s, scalar_values = _scalar_rate(configs)
+        batch_per_s, batch_values = _batch_rate(configs)
+        assert batch_values == scalar_values, (
+            f"batch values diverged from scalar at n={n}")
+        rows.append({
+            "candidates": n,
+            "scalar_per_s": round(scalar_per_s, 1),
+            "batch_per_s": round(batch_per_s, 1),
+            "speedup": round(batch_per_s / scalar_per_s, 2),
+        })
+    return rows
+
+
+def test_batch_at_least_matches_scalar_throughput(report=None):
+    """CI smoke: at a small population the batch path must price at
+    least as fast as the scalar loop — and identically."""
+    _warmup()
+    configs = _population(SMOKE_SIZE)
+    best = 0.0
+    for _ in range(ATTEMPTS):
+        scalar_per_s, scalar_values = _scalar_rate(configs)
+        batch_per_s, batch_values = _batch_rate(configs)
+        assert batch_values == scalar_values
+        best = max(best, batch_per_s / scalar_per_s)
+        if best >= 1.0:
+            break
+    assert best >= 1.0, (
+        f"batch path slower than scalar at n={SMOKE_SIZE}:"
+        f" {best:.2f}x")
+
+
+def main(out_path="BENCH_batch_pricing.json"):
+    rows = sweep()
+    header = f"{'candidates':>10} {'scalar/s':>10} {'batch/s':>12} " \
+             f"{'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['candidates']:>10} {row['scalar_per_s']:>10.1f} "
+              f"{row['batch_per_s']:>12.1f} {row['speedup']:>7.2f}x")
+    with open(out_path, "w") as handle:
+        json.dump({"benchmark": "batch_pricing",
+                   "objective": "suite_objective",
+                   "suite_stages": 26, "rows": rows}, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+    at_1k = next(r for r in rows if r["candidates"] == 1_000)
+    if at_1k["speedup"] < TARGET_SPEEDUP:
+        print(f"WARNING: speedup at 1k candidates"
+              f" ({at_1k['speedup']:.1f}x) below the"
+              f" {TARGET_SPEEDUP:.0f}x target", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,8 +10,10 @@ remedy.
 
 from repro.benchmarksuite.runner import (
     BenchmarkRow,
+    PairPricer,
     SuiteRunner,
     evaluate_pair,
+    price_pairs,
     row_cache,
 )
 from repro.benchmarksuite.scoring import (
@@ -27,12 +29,14 @@ from repro.benchmarksuite.workloads import (
 
 __all__ = [
     "BenchmarkRow",
+    "PairPricer",
     "SuiteRunner",
     "WORKLOAD_BUILDERS",
     "build_workload",
     "evaluate_pair",
     "geometric_mean",
     "normalized_scores",
+    "price_pairs",
     "row_cache",
     "score_report",
     "standard_suite",

@@ -10,7 +10,11 @@ target rate.
 Evaluation goes through :class:`~repro.engine.evaluator.Evaluator`:
 each (workload, target) pair is a candidate, fingerprinted from the
 workload's task graph and the target's spec, so rows can be priced in
-parallel (``jobs=N``) and cached across runs (``cache=...``).  Rows
+parallel (``jobs=N``) and cached across runs (``cache=...``).  The
+default objective (:class:`PairPricer`) is batch-capable: roofline
+targets are priced through the SoA kernel (:mod:`repro.hw.batch`) in
+one vectorized pass per batch, with rows identical to the scalar
+per-pair path.  Rows
 carry ``wall_time_s = 0.0`` when produced this way — wall clock is
 *measurement*, not *result*, and lives in the tracer spans and the
 ``suite.row_wall_s`` histogram instead, which keeps the row table
@@ -29,7 +33,9 @@ from repro.core.report import format_table
 from repro.core.workload import Workload
 from repro.engine.cache import ResultCache
 from repro.engine.evaluator import Evaluator
-from repro.errors import BenchmarkError, MappingError
+from repro.errors import BatchFallback, BenchmarkError, MappingError
+from repro.hw.batch import PlatformSoA, ProfileSoA, batch_estimate, \
+    is_soa_priceable
 from repro.hw.mapping import HeterogeneousSoC, MappingPolicy
 from repro.hw.platform import Platform
 from repro.telemetry.metrics import MetricsRegistry
@@ -111,6 +117,92 @@ def evaluate_pair(pair: Dict[str, Any]) -> BenchmarkRow:
     return _evaluate(pair["workload"], pair["target"])
 
 
+class PairPricer:
+    """Batch-capable suite objective: :func:`evaluate_pair` semantics
+    plus a vectorized path over SoA-priceable targets.
+
+    ``evaluate_batch`` prices every roofline (target, stage) pair in the
+    batch through one :func:`~repro.hw.batch.batch_estimate` call and
+    assembles rows from the cost block — with the scalar accumulation
+    order (stage energies summed in topological order, latencies through
+    the same ``critical_path``), so rows are **identical** to
+    :func:`evaluate_pair`.  Targets the SoA kernel cannot reproduce
+    (SoCs, accelerators with mapping tables) are priced scalar within
+    the same batch; a batch with *no* SoA-priceable target is declined
+    via :class:`~repro.errors.BatchFallback` so the Evaluator's scalar
+    path (which can use the process pool) takes over.
+    """
+
+    def __call__(self, pair: Dict[str, Any]) -> BenchmarkRow:
+        return _evaluate(pair["workload"], pair["target"])
+
+    def evaluate_batch(self, pairs: Sequence[Dict[str, Any]]
+                       ) -> List[BenchmarkRow]:
+        pairs = list(pairs)
+        vectorizable = [is_soa_priceable(pair["target"])
+                        for pair in pairs]
+        if not any(vectorizable):
+            raise BatchFallback(
+                "no target in this batch prices like AnalyticalPlatform")
+
+        # Unique SoA-priceable targets / workloads, first-seen order.
+        targets: List[Target] = []
+        target_row: Dict[int, int] = {}
+        workloads: List[Workload] = []
+        workload_cols: Dict[int, slice] = {}
+        profiles: List[Any] = []
+        for pair, batchable in zip(pairs, vectorizable):
+            if not batchable:
+                continue
+            target, workload = pair["target"], pair["workload"]
+            if id(target) not in target_row:
+                target_row[id(target)] = len(targets)
+                targets.append(target)
+            if id(workload) not in workload_cols:
+                start = len(profiles)
+                profiles.extend(stage.profile
+                                for stage in workload.graph.stages)
+                workload_cols[id(workload)] = slice(start, len(profiles))
+                workloads.append(workload)
+        cost = batch_estimate(PlatformSoA.from_platforms(targets),
+                              ProfileSoA.from_profiles(profiles))
+
+        rows: List[BenchmarkRow] = []
+        for pair, batchable in zip(pairs, vectorizable):
+            if not batchable:
+                rows.append(_evaluate(pair["workload"], pair["target"]))
+                continue
+            target, workload = pair["target"], pair["workload"]
+            row = target_row[id(target)]
+            columns = workload_cols[id(workload)]
+            stages = workload.graph.stages
+            if all(target.supports(stage.profile) for stage in stages):
+                latencies = {
+                    stage.name: float(cost.latency_s[row, col])
+                    for stage, col in zip(
+                        stages, range(columns.start, columns.stop))
+                }
+                energy = 0.0
+                for col in range(columns.start, columns.stop):
+                    energy += float(cost.energy_j[row, col])
+                latency, _ = workload.graph.critical_path(latencies)
+            else:
+                latency, energy = float("inf"), float("inf")
+            rows.append(BenchmarkRow(
+                workload=workload.name,
+                target=_target_name(target),
+                latency_s=latency,
+                energy_j=energy,
+                deadline_s=workload.deadline_s(),
+            ))
+        return rows
+
+
+#: The default suite objective: batch-capable, falls back to scalar
+#: per-pair pricing transparently (see :class:`PairPricer`).
+price_pairs = PairPricer()
+
+
 def _encode_row(row: BenchmarkRow) -> Dict[str, Any]:
     # Imported lazily: the spec codec module imports this one for the
     # BenchmarkRow class, so a module-level import would be a cycle.
@@ -185,7 +277,7 @@ class SuiteRunner:
         tracer = tracer if tracer is not None else get_tracer()
         if evaluator is None:
             evaluator = Evaluator(
-                evaluate_pair, jobs=jobs, cache=cache,
+                price_pairs, jobs=jobs, cache=cache,
                 context={"task": "benchmarksuite",
                          "policy": MappingPolicy.FASTEST},
                 tracer=tracer, metrics=metrics,

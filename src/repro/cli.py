@@ -39,6 +39,8 @@ import json
 import sys
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.core.report import ascii_bar_chart, format_table
 
 
@@ -219,8 +221,6 @@ def _run_mission(config, tiers, seed=None, json_path=None,
 
 
 def _cmd_mission(args: argparse.Namespace) -> int:
-    import numpy as np
-
     from repro.hw import uav_compute_tiers
     from repro.kernels.planning import CircleWorld
     from repro.system import MissionConfig
@@ -291,6 +291,8 @@ def _run_dse(space, objective_name="suite_objective",
     stats = evaluator.stats()
     print(f"oracle calls: {stats['oracle_calls']}"
           f" (cache hits: {stats['hits']}, jobs: {jobs})")
+    print(f"batch-priced: {stats['batch_hits']}"
+          f" (scalar fallbacks: {stats['batch_fallbacks']})")
     if json_path:
         provenance = run_provenance(
             seed=seed,

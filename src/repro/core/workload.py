@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.profile import WorkloadProfile
 from repro.errors import ConfigurationError
 
@@ -191,6 +193,44 @@ class TaskGraph:
             path.append(parent[path[-1]])  # type: ignore[arg-type]
         path.reverse()
         return best[end], path
+
+    def critical_path_batch(
+        self, stage_latency: Mapping[str, np.ndarray]
+    ) -> np.ndarray:
+        """Critical-path *lengths* under per-stage latency arrays.
+
+        The batch form of :meth:`critical_path`: each stage maps to a
+        ``(k,)`` array of latencies (one entry per candidate in a
+        batch-pricing sweep) and the result is the ``(k,)`` array of
+        path lengths.  Entry ``i`` is bit-identical to
+        ``critical_path({name: lat[name][i]})[0]`` — the longest-path
+        DP runs in the same topological order with the same max/add
+        structure, just elementwise over the candidate axis.  (The path
+        itself is per-candidate and not returned; use the scalar method
+        when the witness path matters.)
+        """
+        best: Dict[str, np.ndarray] = {}
+        for name in self._order:
+            stage = self._stages[name]
+            try:
+                own = np.asarray(stage_latency[name], dtype=float)
+            except KeyError:
+                raise ConfigurationError(
+                    f"critical_path_batch: missing latency for stage"
+                    f" {name!r}"
+                ) from None
+            if stage.deps:
+                reach = best[stage.deps[0]]
+                for dep in stage.deps[1:]:
+                    reach = np.maximum(reach, best[dep])
+                best[name] = reach + own
+            else:
+                best[name] = own
+        length: Optional[np.ndarray] = None
+        for value in best.values():
+            length = value if length is None else np.maximum(length, value)
+        assert length is not None  # graphs have >= 1 stage
+        return length
 
     def __len__(self) -> int:
         return len(self._stages)

@@ -33,8 +33,10 @@ from repro.dse.multiobjective import (
     multi_objective_search,
 )
 from repro.dse.objectives import (
+    SuiteObjective,
     build_platform,
     codesign_space,
+    encode_codesign,
     suite_energy,
     suite_latency,
     suite_objective,
@@ -66,11 +68,13 @@ __all__ = [
     "Parameter",
     "RandomStrategy",
     "SearchResult",
+    "SuiteObjective",
     "SurrogateSearch",
     "SurrogateStrategy",
     "VectorObjective",
     "build_platform",
     "codesign_space",
+    "encode_codesign",
     "grid_search",
     "hypervolume_2d",
     "multi_objective_search",

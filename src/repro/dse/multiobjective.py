@@ -29,7 +29,7 @@ from repro.dse.space import Config, DesignSpace
 from repro.engine.cache import ResultCache
 from repro.engine.evaluator import EvalResult, Evaluator
 from repro.engine.protocol import run_search
-from repro.errors import SearchError
+from repro.errors import BatchFallback, SearchError
 
 ObjectiveFn = Callable[[Config], float]
 
@@ -80,7 +80,17 @@ class MultiObjectiveResult:
 class VectorObjective:
     """Named objectives bundled into one ``config -> {name: value}``
     callable (module-level, hence picklable for process pools when its
-    component functions are)."""
+    component functions are).
+
+    Batch-capable when its components are: ``evaluate_batch`` prices
+    each column through the component's own ``evaluate_batch`` where it
+    has one (falling back to a scalar loop per column otherwise), so a
+    population of vector candidates still hits the SoA roofline kernel
+    once per batch-capable objective.  If *no* component is
+    batch-capable the whole batch is declined via
+    :class:`~repro.errors.BatchFallback` — the Evaluator's scalar path
+    is strictly better then (it can use the process pool).
+    """
 
     def __init__(self, objectives: Dict[str, ObjectiveFn]):
         self.names = tuple(objectives)
@@ -89,6 +99,24 @@ class VectorObjective:
     def __call__(self, config: Config) -> Dict[str, float]:
         return {name: fn(config)
                 for name, fn in zip(self.names, self.fns)}
+
+    def evaluate_batch(self, configs: Sequence[Config]
+                       ) -> List[Dict[str, float]]:
+        if not any(callable(getattr(fn, "evaluate_batch", None))
+                   for fn in self.fns):
+            raise BatchFallback(
+                "no component objective is batch-capable")
+        configs = list(configs)
+        columns: List[Sequence[float]] = []
+        for fn in self.fns:
+            evaluate_batch = getattr(fn, "evaluate_batch", None)
+            if callable(evaluate_batch):
+                columns.append(list(evaluate_batch(configs)))
+            else:
+                columns.append([fn(config) for config in configs])
+        return [{name: column[i]
+                 for name, column in zip(self.names, columns)}
+                for i in range(len(configs))]
 
 
 class _ScalarizingEvaluator:

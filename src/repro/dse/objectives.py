@@ -11,14 +11,26 @@ The knobs mirror the §2.4 sizing question — how much compute, how much
 on-chip memory, how much off-chip bandwidth, at what standing power —
 and the oracle scores real-time slack and energy across the whole
 suite, so single-kernel widgets cannot win (§2.3).
+
+The objectives are **batch-capable** (:class:`SuiteObjective` exposes
+``evaluate_batch``): an Evaluator prices an entire ask() population in
+one structure-of-arrays roofline pass (:mod:`repro.hw.batch`) instead
+of candidate-by-candidate Python, with values bit-identical to the
+scalar ``__call__`` path.  :func:`encode_codesign` is the
+``DesignSpace``-population → :class:`~repro.hw.batch.PlatformSoA`
+encoder that makes this possible.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.workload import Workload
 from repro.dse.space import Config, DesignSpace, Parameter
+from repro.errors import SearchError
+from repro.hw.batch import PlatformSoA, ProfileSoA, batch_estimate
 from repro.hw.platform import AnalyticalPlatform, PlatformConfig
 from repro.spec.registry import OBJECTIVES, SPACES
 
@@ -33,6 +45,31 @@ def _suite() -> List[Workload]:
         from repro.benchmarksuite.workloads import standard_suite
         _SUITE = standard_suite()
     return _SUITE
+
+
+#: Per-workload batch-pricing structure: (workload, stage names in
+#: topological order, column slice into the suite-wide ProfileSoA).
+_SuitePlan = List[Tuple[Workload, Tuple[str, ...], slice]]
+_BATCH_SUITE: "Tuple[ProfileSoA, _SuitePlan] | None" = None
+
+
+def _batch_suite() -> Tuple[ProfileSoA, _SuitePlan]:
+    """The whole suite's stage profiles as one SoA block, plus the
+    per-workload plan to slice it back apart (built once per
+    process)."""
+    global _BATCH_SUITE
+    if _BATCH_SUITE is None:
+        profiles = []
+        plan: _SuitePlan = []
+        for workload in _suite():
+            stages = workload.graph.stages
+            start = len(profiles)
+            profiles.extend(stage.profile for stage in stages)
+            plan.append((workload,
+                         tuple(stage.name for stage in stages),
+                         slice(start, len(profiles))))
+        _BATCH_SUITE = (ProfileSoA.from_profiles(profiles), plan)
+    return _BATCH_SUITE
 
 
 @SPACES.register("codesign")
@@ -66,6 +103,18 @@ def build_platform(config: Config) -> AnalyticalPlatform:
     ))
 
 
+def encode_codesign(configs: Sequence[Config]) -> PlatformSoA:
+    """SoA-encode a co-design population: the :func:`build_platform`
+    lowering, transposed into columns for :func:`batch_estimate`.
+
+    Going through ``build_platform`` (rather than re-deriving the knob
+    formulas) keeps the encoder incapable of drifting from the scalar
+    lowering — same validation, same derived fields.
+    """
+    return PlatformSoA.from_configs(
+        [build_platform(config).config for config in configs])
+
+
 def _price(config: Config) -> Dict[str, float]:
     """Suite-wide latency-slack and energy totals for one design."""
     platform = build_platform(config)
@@ -82,37 +131,127 @@ def _price(config: Config) -> Dict[str, float]:
     return {"slack": slack, "energy_j": energy}
 
 
-@OBJECTIVES.register("suite_latency")
-def suite_latency(config: Config) -> float:
-    """Sum over the suite of critical-path latency / deadline (values
-    above ``len(suite)`` mean deadlines are being missed on average)."""
-    return _price(config)["slack"]
+class SuiteObjective:
+    """A suite-priced co-design objective with a vectorized batch path.
 
+    Instances are plain callables (``config -> float``, so every
+    existing entry point keeps working and process pools can pickle
+    them) that additionally implement the
+    :class:`~repro.engine.protocol.BatchObjective` protocol:
+    ``evaluate_batch(configs)`` SoA-encodes the whole population
+    (:func:`encode_codesign`), prices every (candidate, suite-stage)
+    pair in one fused roofline pass, and reduces per workload with the
+    same accumulation order as the scalar path — so batch values are
+    bit-identical to calling the objective per candidate.
 
-@OBJECTIVES.register("suite_energy")
-def suite_energy(config: Config) -> float:
-    """Total dynamic + static energy (J) for one activation of every
-    suite workload."""
-    return _price(config)["energy_j"]
-
-
-@OBJECTIVES.register("suite_objective")
-def suite_objective(config: Config) -> float:
-    """Single-objective co-design score (lower is better).
-
-    Real-time shortfall plus energy normalized against a 10 W budget
-    over each workload's deadline — both terms dimensionless, so the
-    trade-off is explicit rather than unit-accidental.
+    Args:
+        kind: ``"slack"`` (suite latency/deadline total), ``"energy"``
+            (suite energy total), or ``"objective"`` (the combined
+            co-design score).
     """
-    platform = build_platform(config)
-    total = 0.0
-    for workload in _suite():
-        stages = workload.graph.stages
-        estimates = {s.name: platform.estimate(s.profile)
-                     for s in stages}
-        latency, _ = workload.graph.critical_path(
-            {name: est.latency_s for name, est in estimates.items()})
-        energy = sum(est.energy_j for est in estimates.values())
-        deadline = workload.deadline_s()
-        total += latency / deadline + energy / (10.0 * deadline)
-    return total
+
+    KINDS = ("slack", "energy", "objective")
+
+    def __init__(self, kind: str):
+        if kind not in self.KINDS:
+            raise SearchError(
+                f"unknown suite objective kind {kind!r};"
+                f" expected one of {self.KINDS}")
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"SuiteObjective({self.kind!r})"
+
+    def __reduce__(self):
+        # Pickle by reference, like a module-level function would: pool
+        # workers (and registry round-trips) resolve to this module's
+        # singleton for the kind rather than rebuilding state.
+        return (_suite_objective_singleton, (self.kind,))
+
+    # -- scalar path --------------------------------------------------
+
+    def __call__(self, config: Config) -> float:
+        if self.kind == "slack":
+            return _price(config)["slack"]
+        if self.kind == "energy":
+            return _price(config)["energy_j"]
+        platform = build_platform(config)
+        total = 0.0
+        for workload in _suite():
+            stages = workload.graph.stages
+            estimates = {s.name: platform.estimate(s.profile)
+                         for s in stages}
+            latency, _ = workload.graph.critical_path(
+                {name: est.latency_s
+                 for name, est in estimates.items()})
+            energy = sum(est.energy_j for est in estimates.values())
+            deadline = workload.deadline_s()
+            total += latency / deadline + energy / (10.0 * deadline)
+        return total
+
+    # -- vectorized batch path ----------------------------------------
+
+    def evaluate_batch(self, configs: Sequence[Config]) -> List[float]:
+        """Price a whole population in one SoA roofline pass.
+
+        Reduction discipline for bit-identity with the scalar path:
+        per-workload stage energies are accumulated column-by-column in
+        topological order (numpy's pairwise ``sum`` would round
+        differently), and workload totals accumulate in suite order —
+        exactly the scalar loops, elementwise over the candidate axis.
+        """
+        configs = list(configs)
+        if not configs:
+            return []
+        soa = encode_codesign(configs)
+        profiles, plan = _batch_suite()
+        cost = batch_estimate(soa, profiles)
+        totals = np.zeros(len(configs))
+        for workload, stage_names, columns in plan:
+            block_latency = cost.latency_s[:, columns]
+            block_energy = cost.energy_j[:, columns]
+            latency = workload.graph.critical_path_batch(
+                {name: block_latency[:, j]
+                 for j, name in enumerate(stage_names)})
+            energy = np.zeros(len(configs))
+            for j in range(len(stage_names)):
+                energy = energy + block_energy[:, j]
+            deadline = workload.deadline_s()
+            if self.kind == "slack":
+                totals = totals + latency / deadline
+            elif self.kind == "energy":
+                totals = totals + energy
+            else:
+                totals = totals + (latency / deadline
+                                   + energy / (10.0 * deadline))
+        return [float(value) for value in totals]
+
+
+def _suite_objective_singleton(kind: str) -> "SuiteObjective":
+    """Pickle hook for :class:`SuiteObjective` (see ``__reduce__``)."""
+    return _SINGLETONS[kind]
+
+
+suite_latency = SuiteObjective("slack")
+suite_latency.__doc__ = (
+    "Sum over the suite of critical-path latency / deadline (values"
+    " above ``len(suite)`` mean deadlines are being missed on"
+    " average).")
+OBJECTIVES.register("suite_latency")(suite_latency)
+
+suite_energy = SuiteObjective("energy")
+suite_energy.__doc__ = (
+    "Total dynamic + static energy (J) for one activation of every"
+    " suite workload.")
+OBJECTIVES.register("suite_energy")(suite_energy)
+
+suite_objective = SuiteObjective("objective")
+suite_objective.__doc__ = (
+    "Single-objective co-design score (lower is better): real-time"
+    " shortfall plus energy normalized against a 10 W budget over each"
+    " workload's deadline — both terms dimensionless, so the trade-off"
+    " is explicit rather than unit-accidental.")
+OBJECTIVES.register("suite_objective")(suite_objective)
+
+_SINGLETONS = {"slack": suite_latency, "energy": suite_energy,
+               "objective": suite_objective}

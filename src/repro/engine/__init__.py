@@ -22,9 +22,15 @@ Consumers: every :mod:`repro.dse` strategy and
 from repro.engine.cache import ResultCache
 from repro.engine.evaluator import EvalResult, Evaluator
 from repro.engine.fingerprint import canonical_json, fingerprint
-from repro.engine.protocol import SearchStrategy, run_search
+from repro.engine.protocol import (
+    BatchObjective,
+    SearchStrategy,
+    run_search,
+    supports_batch,
+)
 
 __all__ = [
+    "BatchObjective",
     "EvalResult",
     "Evaluator",
     "ResultCache",
@@ -32,4 +38,5 @@ __all__ = [
     "canonical_json",
     "fingerprint",
     "run_search",
+    "supports_batch",
 ]

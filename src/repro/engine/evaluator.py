@@ -15,10 +15,21 @@ Every search loop and suite run in the repo used to own a private
   order and each candidate gets a seed derived from its fingerprint,
   never from batch position, so a parallel run is bit-identical to the
   serial one.
+- **Vectorized batch pricing** — objectives exposing ``evaluate_batch``
+  (the :class:`~repro.engine.protocol.BatchObjective` shape) get the
+  whole pending set in one call, so a structure-of-arrays kernel can
+  price a population at once instead of candidate-by-candidate.  The
+  fast path changes only *how* values are computed: fingerprints,
+  cache keys, per-candidate seeds, and result order are identical to
+  the scalar path, and values must be too (batch objectives in this
+  repo are bit-identical by construction — see :mod:`repro.hw.batch`).
+  An objective can decline a batch by raising
+  :class:`~repro.errors.BatchFallback`, which falls back to the scalar
+  path transparently.
 
-Telemetry: oracle calls, cache hits/misses, and per-candidate wall
-times are published through :mod:`repro.telemetry` when a registry or
-tracer is supplied.
+Telemetry: oracle calls, cache hits/misses, batch-path hits/fallbacks,
+and per-candidate wall times are published through
+:mod:`repro.telemetry` when a registry or tracer is supplied.
 """
 
 from __future__ import annotations
@@ -30,7 +41,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.cache import ResultCache
 from repro.engine.fingerprint import fingerprint
-from repro.errors import EngineError
+from repro.errors import BatchFallback, EngineError
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracer import Tracer, get_tracer
 
@@ -51,7 +62,9 @@ class EvalResult:
         value: The objective's result for it.
         key: The content address the result is cached under.
         cached: Whether the value came from the cache (no oracle call).
-        wall_time_s: Wall-clock cost of the oracle call (0 for hits).
+        wall_time_s: Wall-clock cost of the oracle call (0 for hits;
+            an even share of the batch call for candidates priced
+            through an ``evaluate_batch`` fast path).
         seed: The deterministic per-candidate seed used (or available)
             for the evaluation.
     """
@@ -114,6 +127,8 @@ class Evaluator:
             else ""
         self.oracle_calls = 0
         self.batches = 0
+        self.batch_hits = 0
+        self.batch_fallbacks = 0
 
     # -- content addressing -------------------------------------------
 
@@ -198,6 +213,30 @@ class Evaluator:
 
     def _run_pending(self, candidates: List[Any], seeds: List[int]
                      ) -> List[Tuple[Any, float]]:
+        evaluate_batch = getattr(self.objective, "evaluate_batch", None)
+        if evaluate_batch is not None:
+            started = time.perf_counter()
+            try:
+                values = list(
+                    evaluate_batch(candidates, seeds) if self.seeded
+                    else evaluate_batch(candidates))
+            except BatchFallback:
+                self.batch_fallbacks += len(candidates)
+                if self.metrics is not None:
+                    self.metrics.counter("engine.batch_fallbacks").inc(
+                        len(candidates))
+            else:
+                if len(values) != len(candidates):
+                    raise EngineError(
+                        f"evaluate_batch returned {len(values)} values"
+                        f" for {len(candidates)} candidates")
+                elapsed = time.perf_counter() - started
+                self.batch_hits += len(values)
+                if self.metrics is not None:
+                    self.metrics.counter("engine.batch_hits").inc(
+                        len(values))
+                share = elapsed / len(values) if values else 0.0
+                return [(value, share) for value in values]
         if self.jobs == 1 or len(candidates) == 1:
             return [_timed_call(self.objective, candidate, seed,
                                 self.seeded)
@@ -238,4 +277,6 @@ class Evaluator:
         """Oracle/batch counters merged with the cache's own stats."""
         return {"oracle_calls": self.oracle_calls,
                 "batches": self.batches,
+                "batch_hits": self.batch_hits,
+                "batch_fallbacks": self.batch_fallbacks,
                 **self.cache.stats()}

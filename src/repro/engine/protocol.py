@@ -20,11 +20,48 @@ what makes serial, parallel, and cache-warm runs bit-identical.
 from __future__ import annotations
 
 import abc
-from typing import Any, List, Sequence
+from typing import Any, List, Protocol, Sequence, runtime_checkable
 
 from repro.engine.evaluator import EvalResult, Evaluator
 
-__all__ = ["SearchStrategy", "run_search"]
+__all__ = ["BatchObjective", "SearchStrategy", "run_search",
+           "supports_batch"]
+
+
+@runtime_checkable
+class BatchObjective(Protocol):
+    """An objective the Evaluator can price a whole population through.
+
+    Beyond the plain ``candidate -> value`` call, a batch objective
+    exposes ``evaluate_batch(candidates) -> values`` (or
+    ``evaluate_batch(candidates, seeds)`` for seeded evaluators), which
+    the :class:`~repro.engine.evaluator.Evaluator` uses as a fast path
+    for every cache-miss set.  The contract:
+
+    - values are returned in candidate order, one per candidate;
+    - values are **identical** to what per-candidate ``__call__`` would
+      produce (bit-for-bit: the batch path must be a vectorization of
+      the scalar path, not an approximation of it — see
+      :mod:`repro.hw.batch` for the discipline);
+    - a batch the objective cannot vectorize is declined by raising
+      :class:`~repro.errors.BatchFallback`, never by silently pricing
+      it differently.
+
+    Caching, fingerprints, per-candidate seeds, and dedup all happen in
+    the Evaluator *before* this is called, so a batch objective only
+    ever sees distinct cache-miss candidates.
+    """
+
+    def __call__(self, candidate: Any) -> Any: ...
+
+    def evaluate_batch(self, candidates: Sequence[Any]) -> Sequence[Any]:
+        ...
+
+
+def supports_batch(objective: Any) -> bool:
+    """Whether the Evaluator will take the vectorized fast path for
+    this objective (i.e. it has a callable ``evaluate_batch``)."""
+    return callable(getattr(objective, "evaluate_batch", None))
 
 
 class SearchStrategy(abc.ABC):

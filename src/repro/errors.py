@@ -52,6 +52,14 @@ class EngineError(ReproError):
     corrupt cache entry, unpicklable objective for a parallel run)."""
 
 
+class BatchFallback(EngineError):
+    """Raised by a batch-capable objective's ``evaluate_batch`` to
+    decline a batch it cannot vectorize; the
+    :class:`~repro.engine.evaluator.Evaluator` catches it and reprices
+    the batch through the scalar path (counted in the
+    ``engine.batch_fallbacks`` telemetry)."""
+
+
 class SpecError(ReproError):
     """A declarative spec is malformed (unknown kind or key, wrong type,
     unresolvable ``ref``, unsupported ``spec_version``).  The message

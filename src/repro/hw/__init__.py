@@ -14,6 +14,13 @@ Absolute numbers are datasheet-order calibrations (see
 """
 
 from repro.hw.asic import AsicAccelerator, AsicConfig
+from repro.hw.batch import (
+    BatchCost,
+    PlatformSoA,
+    ProfileSoA,
+    batch_estimate,
+    is_soa_priceable,
+)
 from repro.hw.catalog import (
     asic_gemm_engine,
     datacenter_gpu,
@@ -46,6 +53,7 @@ from repro.hw.systolic import SystolicArrayModel
 __all__ = [
     "AsicAccelerator",
     "AsicConfig",
+    "BatchCost",
     "ContendedPlatform",
     "CpuConfig",
     "InfeasibleDesign",
@@ -66,13 +74,17 @@ __all__ = [
     "MemoryLevel",
     "Platform",
     "PlatformConfig",
+    "PlatformSoA",
+    "ProfileSoA",
     "RooflineModel",
     "SystolicArrayModel",
     "asic_gemm_engine",
+    "batch_estimate",
     "datacenter_gpu",
     "desktop_cpu",
     "embedded_cpu",
     "embedded_gpu",
+    "is_soa_priceable",
     "midrange_fpga",
     "uav_compute_tiers",
 ]

@@ -1,0 +1,301 @@
+"""Structure-of-arrays batch roofline pricing.
+
+:meth:`~repro.hw.platform.AnalyticalPlatform.estimate` prices one
+(platform, profile) pair per call; the cost of a 10k-candidate DSE sweep
+is therefore dominated by interpreter overhead, not arithmetic — the
+framework-level version of the scalar-vs-vectorized gap the paper's §2.5
+demonstrates for motion planning (and that
+:mod:`repro.kernels.planning.collision` demonstrates in-repo).
+
+This module applies the same scalar→batch transformation to the pricing
+model itself:
+
+- :class:`PlatformSoA` — ``n`` :class:`~repro.hw.platform.PlatformConfig`
+  instances transposed into columns (one contiguous array per field);
+- :class:`ProfileSoA` — ``m`` :class:`~repro.core.profile.WorkloadProfile`
+  instances, likewise;
+- :func:`batch_estimate` — the whole ``(n, m)`` cost block in fused numpy
+  expressions: Amdahl split, divergence derating, on/off-chip traffic
+  selection, compute/memory overlap, and energy, all as array ops.
+
+**Scalar-equivalence contract**: every expression mirrors the scalar
+path in :class:`~repro.hw.platform.AnalyticalPlatform` operation for
+operation (same operands, same association order), so results are
+**bit-identical** to per-pair ``estimate()`` calls — IEEE-754 double
+arithmetic is deterministic, and nothing here reorders it.  The contract
+is enforced by ``tests/props/test_property_batch_pricing.py``.
+
+The kernel is only valid for platforms that price *exactly* like
+``AnalyticalPlatform`` — subclasses that override ``estimate`` /
+``supports`` / the roofline hooks (ASIC mapping tables, FPGA
+reconfiguration, contention wrappers) must stay on the scalar path;
+:func:`is_soa_priceable` is the gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.profile import (
+    DIVERGENCE_DERATING,
+    CostEstimate,
+    WorkloadProfile,
+)
+from repro.errors import ConfigurationError
+from repro.hw.platform import AnalyticalPlatform, Platform, PlatformConfig
+
+__all__ = [
+    "BOUND_NAMES",
+    "BatchCost",
+    "PlatformSoA",
+    "ProfileSoA",
+    "batch_estimate",
+    "is_soa_priceable",
+]
+
+#: Bound-code → name mapping for :attr:`BatchCost.bound` (codes are
+#: array-friendly; names match ``CostEstimate.bound``).
+BOUND_NAMES: Tuple[str, ...] = ("compute", "memory", "serial")
+_BOUND_COMPUTE, _BOUND_MEMORY, _BOUND_SERIAL = 0, 1, 2
+
+#: The pricing hooks a platform must inherit unchanged for the SoA
+#: kernel to reproduce its estimates.
+_PRICING_HOOKS: Tuple[Tuple[type, str], ...] = (
+    (AnalyticalPlatform, "estimate"),
+    (Platform, "supports"),
+    (AnalyticalPlatform, "_divergence_derating"),
+    (AnalyticalPlatform, "_effective_bandwidth"),
+    (AnalyticalPlatform, "_traffic_energy_per_byte"),
+)
+
+
+def is_soa_priceable(platform: Platform) -> bool:
+    """Whether :func:`batch_estimate` reproduces ``platform.estimate``.
+
+    True exactly when the platform is an
+    :class:`~repro.hw.platform.AnalyticalPlatform` that inherits every
+    pricing hook unchanged (CPU/GPU catalog models, co-design roofline
+    platforms); False for accelerators with mapping tables or custom
+    roofline terms, which must be priced scalar.
+    """
+    if not isinstance(platform, AnalyticalPlatform):
+        return False
+    cls = type(platform)
+    return all(getattr(cls, name) is getattr(owner, name)
+               for owner, name in _PRICING_HOOKS)
+
+
+def _column(items: Sequence, get: Callable) -> np.ndarray:
+    return np.array([get(item) for item in items], dtype=float)
+
+
+@dataclass(frozen=True)
+class PlatformSoA:
+    """``n`` platform configs as columns (SI units, float64).
+
+    Field semantics match :class:`~repro.hw.platform.PlatformConfig`;
+    the optional-with-default fields (``peak_int_ops``,
+    ``energy_per_int_op``) are pre-resolved into ``int_throughput`` /
+    ``int_energy`` exactly as the scalar properties resolve them.
+    """
+
+    names: Tuple[str, ...]
+    scalar_flops: np.ndarray
+    peak_flops: np.ndarray
+    int_throughput: np.ndarray
+    onchip_bytes: np.ndarray
+    onchip_bw: np.ndarray
+    offchip_bw: np.ndarray
+    launch_overhead_s: np.ndarray
+    energy_per_flop: np.ndarray
+    int_energy: np.ndarray
+    energy_per_byte_onchip: np.ndarray
+    energy_per_byte_offchip: np.ndarray
+    static_power_w: np.ndarray
+    area_mm2: np.ndarray
+    lockstep: np.ndarray  # bool
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    @staticmethod
+    def from_configs(configs: Sequence[PlatformConfig]) -> "PlatformSoA":
+        """Transpose validated configs into columns."""
+        return PlatformSoA(
+            names=tuple(c.name for c in configs),
+            scalar_flops=_column(configs, lambda c: c.scalar_flops),
+            peak_flops=_column(configs, lambda c: c.peak_flops),
+            int_throughput=_column(configs, lambda c: c.int_throughput),
+            onchip_bytes=_column(configs, lambda c: c.onchip_bytes),
+            onchip_bw=_column(configs, lambda c: c.onchip_bw),
+            offchip_bw=_column(configs, lambda c: c.offchip_bw),
+            launch_overhead_s=_column(
+                configs, lambda c: c.launch_overhead_s),
+            energy_per_flop=_column(
+                configs, lambda c: c.energy_per_flop),
+            int_energy=_column(configs, lambda c: c.int_energy),
+            energy_per_byte_onchip=_column(
+                configs, lambda c: c.energy_per_byte_onchip),
+            energy_per_byte_offchip=_column(
+                configs, lambda c: c.energy_per_byte_offchip),
+            static_power_w=_column(configs, lambda c: c.static_power_w),
+            area_mm2=_column(configs, lambda c: c.area_mm2),
+            lockstep=np.array([c.lockstep for c in configs], dtype=bool),
+        )
+
+    @staticmethod
+    def from_platforms(platforms: Sequence[Platform]) -> "PlatformSoA":
+        """Encode platforms, refusing any the kernel cannot reproduce."""
+        for platform in platforms:
+            if not is_soa_priceable(platform):
+                raise ConfigurationError(
+                    f"platform {platform.name!r} ({type(platform).__name__})"
+                    f" overrides analytical pricing and cannot be"
+                    f" SoA-encoded; price it through the scalar path"
+                )
+        return PlatformSoA.from_configs([p.config for p in platforms])
+
+
+@dataclass(frozen=True)
+class ProfileSoA:
+    """``m`` workload profiles as columns (float64).
+
+    ``derating`` is the pre-resolved ``DIVERGENCE_DERATING`` value of
+    each profile's divergence class; it only applies on lockstep rows
+    (:func:`batch_estimate` masks it), mirroring the scalar hook.
+    """
+
+    names: Tuple[str, ...]
+    flops: np.ndarray
+    int_ops: np.ndarray
+    total_bytes: np.ndarray
+    working_set_bytes: np.ndarray
+    parallel_fraction: np.ndarray
+    derating: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    @property
+    def total_ops(self) -> np.ndarray:
+        return self.flops + self.int_ops
+
+    @staticmethod
+    def from_profiles(
+        profiles: Sequence[WorkloadProfile],
+    ) -> "ProfileSoA":
+        """Transpose validated profiles into columns."""
+        return ProfileSoA(
+            names=tuple(p.name for p in profiles),
+            flops=_column(profiles, lambda p: p.flops),
+            int_ops=_column(profiles, lambda p: p.int_ops),
+            total_bytes=_column(profiles, lambda p: p.total_bytes),
+            working_set_bytes=_column(
+                profiles, lambda p: p.working_set_bytes),
+            parallel_fraction=_column(
+                profiles, lambda p: p.parallel_fraction),
+            derating=_column(
+                profiles, lambda p: DIVERGENCE_DERATING[p.divergence]),
+        )
+
+
+@dataclass(frozen=True)
+class BatchCost:
+    """The priced ``(n_platforms, m_profiles)`` block.
+
+    Every array has shape ``(n, m)``; entry ``[i, j]`` is bit-identical
+    to ``platform_i.estimate(profile_j)``.  ``bound`` holds codes into
+    :data:`BOUND_NAMES`.
+    """
+
+    platform_names: Tuple[str, ...]
+    profile_names: Tuple[str, ...]
+    latency_s: np.ndarray
+    energy_j: np.ndarray
+    power_w: np.ndarray
+    bound: np.ndarray
+    area_mm2: np.ndarray  # (n,) — per platform, as in the scalar path
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.latency_s.shape  # type: ignore[return-value]
+
+    def estimate(self, i: int, j: int) -> CostEstimate:
+        """Materialize one entry as a scalar :class:`CostEstimate`
+        (plain Python floats, as the scalar path produces)."""
+        return CostEstimate(
+            latency_s=float(self.latency_s[i, j]),
+            energy_j=float(self.energy_j[i, j]),
+            power_w=float(self.power_w[i, j]),
+            area_mm2=float(self.area_mm2[i]),
+            platform=self.platform_names[i],
+            bound=BOUND_NAMES[int(self.bound[i, j])],
+        )
+
+
+def batch_estimate(platforms: PlatformSoA,
+                   profiles: ProfileSoA) -> BatchCost:
+    """Price every (platform, profile) pair in one fused pass.
+
+    Each expression below is the broadcast form of the matching line in
+    :meth:`AnalyticalPlatform.estimate`, in the same association order,
+    so every entry is bit-identical to the scalar result.  Platform
+    columns broadcast down rows (``[:, None]``), profile columns across
+    them (``[None, :]``).
+    """
+    lockstep = platforms.lockstep[:, None]
+    derate = np.where(lockstep, profiles.derating[None, :], 1.0)
+
+    serial_ops = profiles.total_ops * (1.0 - profiles.parallel_fraction)
+    parallel_flops = profiles.flops * profiles.parallel_fraction
+    parallel_int = profiles.int_ops * profiles.parallel_fraction
+
+    t_serial = serial_ops[None, :] / platforms.scalar_flops[:, None]
+    t_parallel = (parallel_flops[None, :]
+                  / (platforms.peak_flops[:, None] * derate)
+                  + parallel_int[None, :]
+                  / (platforms.int_throughput[:, None] * derate))
+    t_compute = t_serial + t_parallel
+
+    onchip = (profiles.working_set_bytes[None, :]
+              <= platforms.onchip_bytes[:, None])
+    bandwidth = np.where(onchip, platforms.onchip_bw[:, None],
+                         platforms.offchip_bw[:, None])
+    t_memory = profiles.total_bytes[None, :] / bandwidth
+
+    busy = np.maximum(t_compute, t_memory)
+    latency = platforms.launch_overhead_s[:, None] + busy
+
+    traffic_energy = np.where(
+        onchip, platforms.energy_per_byte_onchip[:, None],
+        platforms.energy_per_byte_offchip[:, None])
+    energy = (profiles.flops[None, :]
+              * platforms.energy_per_flop[:, None]
+              + profiles.int_ops[None, :] * platforms.int_energy[:, None]
+              + profiles.total_bytes[None, :] * traffic_energy
+              + platforms.static_power_w[:, None] * latency)
+
+    bound = np.where(
+        t_memory >= t_compute, _BOUND_MEMORY,
+        np.where(t_serial > t_parallel, _BOUND_SERIAL, _BOUND_COMPUTE),
+    ).astype(np.int8)
+
+    # power = energy / latency where latency > 0, else static power.
+    # (.copy(): broadcast_to yields a read-only view, and when it is
+    # already contiguous ascontiguousarray would NOT copy it.)
+    power = np.broadcast_to(platforms.static_power_w[:, None],
+                            latency.shape).copy()
+    np.divide(energy, latency, out=power, where=latency > 0)
+
+    return BatchCost(
+        platform_names=platforms.names,
+        profile_names=profiles.names,
+        latency_s=latency,
+        energy_j=energy,
+        power_w=power,
+        bound=bound,
+        area_mm2=platforms.area_mm2,
+    )

@@ -51,33 +51,49 @@ class RrtResult:
 
 
 class _Tree:
-    """A growable array-backed tree with parent links."""
+    """A growable array-backed tree with parent links.
 
-    def __init__(self, root: np.ndarray):
-        self.nodes: List[np.ndarray] = [np.asarray(root, dtype=float)]
+    Nodes live in one preallocated ``(capacity, dim)`` array that
+    doubles when full, so :meth:`nearest` is a vectorized distance over
+    a slice — stacking a list of rows per query would make every
+    nearest-neighbor lookup O(n) in *allocation*, not just arithmetic.
+    """
+
+    def __init__(self, root: np.ndarray, capacity: int = 64):
+        root = np.asarray(root, dtype=float)
+        self._data = np.empty((max(int(capacity), 1), root.shape[0]))
+        self._data[0] = root
+        self._size = 1
         self.parents: List[int] = [-1]
 
+    def node(self, index: int) -> np.ndarray:
+        return self._data[index]
+
     def nearest(self, point: np.ndarray) -> int:
-        stacked = np.stack(self.nodes)
-        return int(np.argmin(
-            np.linalg.norm(stacked - point, axis=1)
-        ))
+        nodes = self._data[:self._size]
+        return int(np.argmin(np.linalg.norm(nodes - point, axis=1)))
 
     def add(self, point: np.ndarray, parent: int) -> int:
-        self.nodes.append(np.asarray(point, dtype=float))
+        if self._size == self._data.shape[0]:
+            grown = np.empty((2 * self._data.shape[0],
+                              self._data.shape[1]))
+            grown[:self._size] = self._data
+            self._data = grown
+        self._data[self._size] = point
         self.parents.append(parent)
-        return len(self.nodes) - 1
+        self._size += 1
+        return self._size - 1
 
     def path_from_root(self, index: int) -> List[np.ndarray]:
         path = []
         while index >= 0:
-            path.append(self.nodes[index])
+            path.append(self._data[index].copy())
             index = self.parents[index]
         path.reverse()
         return path
 
     def __len__(self) -> int:
-        return len(self.nodes)
+        return self._size
 
 
 def _validate_query(world: CircleWorld, checker: Checker,
@@ -128,7 +144,7 @@ class RrtPlanner:
                 target = self.rng.uniform(self.world.lower,
                                           self.world.upper)
             near_idx = tree.nearest(target)
-            near = tree.nodes[near_idx]
+            near = tree.node(near_idx)
             direction = target - near
             dist = float(np.linalg.norm(direction))
             if dist < 1e-12:
@@ -177,7 +193,7 @@ class RrtConnectPlanner:
     def _extend(self, tree: _Tree, target: np.ndarray) -> Optional[int]:
         """One bounded step toward target; returns new index or None."""
         near_idx = tree.nearest(target)
-        near = tree.nodes[near_idx]
+        near = tree.node(near_idx)
         direction = target - near
         dist = float(np.linalg.norm(direction))
         if dist < 1e-12:
@@ -196,7 +212,7 @@ class RrtConnectPlanner:
             if idx is None:
                 return last
             last = idx
-            if np.linalg.norm(tree.nodes[idx] - target) < 1e-9:
+            if np.linalg.norm(tree.node(idx) - target) < 1e-9:
                 return idx
 
     def plan(self, start, goal) -> RrtResult:
@@ -211,10 +227,10 @@ class RrtConnectPlanner:
             sample = self.rng.uniform(self.world.lower, self.world.upper)
             new_idx = self._extend(tree_a, sample)
             if new_idx is not None:
-                new_node = tree_a.nodes[new_idx]
+                new_node = tree_a.node(new_idx)
                 reach_idx = self._connect(tree_b, new_node)
                 if (reach_idx is not None
-                        and np.linalg.norm(tree_b.nodes[reach_idx]
+                        and np.linalg.norm(tree_b.node(reach_idx)
                                            - new_node) < 1e-9):
                     path_a = tree_a.path_from_root(new_idx)
                     path_b = tree_b.path_from_root(reach_idx)

@@ -78,7 +78,12 @@ class RrtStarPlanner:
         goal = np.asarray(goal, dtype=float)
         _validate_query(self.world, self.checker, start, goal)
 
-        nodes: List[np.ndarray] = [start]
+        # Nodes in a preallocated (capacity, dim) array that doubles
+        # when full: neighborhood queries slice it instead of
+        # re-stacking a list of rows every iteration.
+        data = np.empty((64, start.shape[0]))
+        data[0] = start
+        size = 1
         parents: List[int] = [-1]
         costs: List[float] = [0.0]
         goal_candidates: List[int] = []
@@ -93,42 +98,47 @@ class RrtStarPlanner:
             else:
                 target = self.rng.uniform(self.world.lower,
                                           self.world.upper)
-            stacked = np.stack(nodes)
+            active = data[:size]
             nearest = int(np.argmin(
-                np.linalg.norm(stacked - target, axis=1)
+                np.linalg.norm(active - target, axis=1)
             ))
-            direction = target - nodes[nearest]
+            direction = target - data[nearest]
             distance = float(np.linalg.norm(direction))
             if distance < 1e-12:
                 continue
             reach = min(self.step_size, distance)
-            new = nodes[nearest] + direction / distance * reach
-            if not edge_free(nodes[nearest], new):
+            new = data[nearest] + direction / distance * reach
+            if not edge_free(data[nearest], new):
                 continue
 
             # Choose the cheapest valid parent in the neighborhood.
-            radius = self._radius(len(nodes))
-            dists = np.linalg.norm(stacked - new, axis=1)
+            radius = self._radius(size)
+            dists = np.linalg.norm(active - new, axis=1)
             neighborhood = np.flatnonzero(dists <= radius)
             best_parent = nearest
             best_cost = costs[nearest] + float(dists[nearest])
             for idx in neighborhood:
                 candidate = costs[int(idx)] + float(dists[int(idx)])
                 if candidate < best_cost \
-                        and edge_free(nodes[int(idx)], new):
+                        and edge_free(data[int(idx)], new):
                     best_parent = int(idx)
                     best_cost = candidate
-            nodes.append(new)
+            if size == data.shape[0]:
+                grown = np.empty((2 * data.shape[0], data.shape[1]))
+                grown[:size] = data
+                data = grown
+            data[size] = new
+            size += 1
             parents.append(best_parent)
             costs.append(best_cost)
-            new_index = len(nodes) - 1
+            new_index = size - 1
 
             # Rewire neighbors through the new node when cheaper.
             for idx in neighborhood:
                 idx = int(idx)
                 through_new = best_cost + float(dists[idx])
                 if through_new + 1e-12 < costs[idx] \
-                        and edge_free(new, nodes[idx]):
+                        and edge_free(new, data[idx]):
                     parents[idx] = new_index
                     delta = costs[idx] - through_new
                     costs[idx] = through_new
@@ -148,18 +158,18 @@ class RrtStarPlanner:
         if not goal_candidates:
             return RrtResult(path=np.zeros((0, start.shape[0])),
                              iterations=self.max_iterations,
-                             n_nodes=len(nodes))
+                             n_nodes=size)
         best_end = min(
             goal_candidates,
             key=lambda idx: costs[idx]
-            + float(np.linalg.norm(nodes[idx] - goal)),
+            + float(np.linalg.norm(data[idx] - goal)),
         )
         path = [goal]
         index = best_end
         while index >= 0:
-            path.append(nodes[index])
+            path.append(data[index].copy())
             index = parents[index]
         path.reverse()
         return RrtResult(path=np.stack(path),
                          iterations=self.max_iterations,
-                         n_nodes=len(nodes))
+                         n_nodes=size)

@@ -1,0 +1,126 @@
+"""Batch wiring tests: suite objectives, vector objectives, and the
+suite runner all price through the SoA kernel with values identical to
+their scalar paths."""
+
+import pytest
+
+from repro.benchmarksuite.runner import (
+    PairPricer,
+    SuiteRunner,
+    evaluate_pair,
+    price_pairs,
+)
+from repro.benchmarksuite.workloads import standard_suite
+from repro.dse.multiobjective import VectorObjective
+from repro.dse.objectives import (
+    SuiteObjective,
+    codesign_space,
+    encode_codesign,
+    suite_energy,
+    suite_latency,
+    suite_objective,
+)
+from repro.dse.search import random_search
+from repro.engine import Evaluator
+from repro.errors import BatchFallback, SearchError
+from repro.hw.catalog import (
+    asic_gemm_engine,
+    desktop_cpu,
+    embedded_gpu,
+    midrange_fpga,
+)
+
+
+def _sample_configs(step=23):
+    space = codesign_space()
+    return [space.config_at(i) for i in range(0, space.size, step)]
+
+
+def _scalar_objective(config):
+    """Plain-function twin of suite_objective: no evaluate_batch, so an
+    Evaluator built on it can only take the scalar path."""
+    return suite_objective(config)
+
+
+class TestSuiteObjectives:
+    def test_batch_equals_scalar_bitwise(self):
+        configs = _sample_configs()
+        for objective in (suite_objective, suite_latency,
+                          suite_energy):
+            scalar = [objective(config) for config in configs]
+            batch = objective.evaluate_batch(configs)
+            assert batch == scalar
+            assert all(type(value) is float for value in batch)
+
+    def test_empty_batch(self):
+        assert suite_objective.evaluate_batch([]) == []
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SearchError):
+            SuiteObjective("latency")
+
+    def test_encoder_matches_population(self):
+        configs = _sample_configs()
+        soa = encode_codesign(configs)
+        assert len(soa) == len(configs)
+        for i, config in enumerate(configs):
+            assert soa.peak_flops[i] == config["peak_gflops"] * 1e9
+            assert soa.onchip_bytes[i] == config["onchip_kb"] * 1024.0
+
+    def test_search_prices_through_batch_path(self):
+        space = codesign_space()
+        batch_eval = Evaluator(suite_objective, seed=3)
+        batch = random_search(space, budget=40, seed=3,
+                              evaluator=batch_eval)
+        scalar_eval = Evaluator(_scalar_objective, seed=3)
+        scalar = random_search(space, budget=40, seed=3,
+                               evaluator=scalar_eval)
+        assert batch_eval.stats()["batch_hits"] > 0
+        assert scalar_eval.stats()["batch_hits"] == 0
+        assert batch.best_config == scalar.best_config
+        assert batch.best_value == scalar.best_value
+
+
+class TestVectorObjective:
+    def test_batch_equals_scalar(self):
+        configs = _sample_configs(37)
+        vector = VectorObjective({"slack": suite_latency,
+                                  "energy": suite_energy,
+                                  "bias": _scalar_objective})
+        batch = vector.evaluate_batch(configs)
+        scalar = [vector(config) for config in configs]
+        assert batch == scalar
+
+    def test_declines_without_batchable_components(self):
+        vector = VectorObjective({"a": _scalar_objective,
+                                  "b": _scalar_objective})
+        with pytest.raises(BatchFallback):
+            vector.evaluate_batch(_sample_configs(61))
+
+
+class TestSuitePairs:
+    def test_rows_equal_scalar_for_mixed_targets(self):
+        targets = [desktop_cpu(), embedded_gpu(), asic_gemm_engine(),
+                   midrange_fpga()]
+        pairs = [{"workload": workload, "target": target}
+                 for workload in standard_suite() for target in targets]
+        assert (price_pairs.evaluate_batch(pairs)
+                == [evaluate_pair(pair) for pair in pairs])
+
+    def test_declines_all_scalar_batches(self):
+        pairs = [{"workload": workload, "target": asic_gemm_engine()}
+                 for workload in standard_suite()]
+        with pytest.raises(BatchFallback):
+            price_pairs.evaluate_batch(pairs)
+
+    def test_runner_rows_identical_and_batch_priced(self):
+        runner = SuiteRunner()
+        targets = [desktop_cpu(), embedded_gpu()]
+        batch_eval = Evaluator(
+            PairPricer(), context={"probe": "batch"})
+        scalar_eval = Evaluator(
+            evaluate_pair, context={"probe": "scalar"})
+        batch_rows = runner.run(targets, evaluator=batch_eval)
+        scalar_rows = runner.run(targets, evaluator=scalar_eval)
+        assert batch_rows == scalar_rows
+        assert batch_eval.stats()["batch_hits"] > 0

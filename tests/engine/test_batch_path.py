@@ -1,0 +1,113 @@
+"""Evaluator fast-path tests for batch-capable objectives."""
+
+import pytest
+
+from repro.engine import Evaluator, supports_batch
+from repro.errors import BatchFallback, EngineError
+
+
+class DoublingObjective:
+    """Batch-capable toy objective: value == 2 * candidate."""
+
+    def __init__(self):
+        self.scalar_calls = 0
+        self.batch_calls = 0
+
+    def __call__(self, candidate):
+        self.scalar_calls += 1
+        return candidate * 2
+
+    def evaluate_batch(self, candidates):
+        self.batch_calls += 1
+        return [candidate * 2 for candidate in candidates]
+
+
+class DecliningObjective(DoublingObjective):
+    """Declines every batch: the Evaluator must fall back to scalar."""
+
+    def evaluate_batch(self, candidates):
+        self.batch_calls += 1
+        raise BatchFallback("cannot vectorize this batch")
+
+
+class SeedEchoObjective:
+    """Seeded batch objective: returns the seed it was handed, so the
+    test can prove batch and scalar paths see identical seeds."""
+
+    def __call__(self, candidate, seed):
+        return seed
+
+    def evaluate_batch(self, candidates, seeds):
+        return list(seeds)
+
+
+class WrongLengthObjective:
+    def __call__(self, candidate):
+        return candidate
+
+    def evaluate_batch(self, candidates):
+        return [0]
+
+
+class TestSupportsBatch:
+    def test_detection(self):
+        assert supports_batch(DoublingObjective())
+        assert not supports_batch(lambda candidate: candidate)
+
+
+class TestBatchFastPath:
+    def test_values_and_counters(self):
+        objective = DoublingObjective()
+        evaluator = Evaluator(objective)
+        results = evaluator.map_batch([1, 2, 3])
+        assert [r.value for r in results] == [2, 4, 6]
+        assert objective.batch_calls == 1
+        assert objective.scalar_calls == 0
+        stats = evaluator.stats()
+        assert stats["batch_hits"] == 3
+        assert stats["batch_fallbacks"] == 0
+        assert stats["oracle_calls"] == 3
+
+    def test_matches_scalar_only_evaluator(self):
+        batch = Evaluator(DoublingObjective()).map_batch([5, 7, 9])
+        scalar = Evaluator(lambda c: c * 2).map_batch([5, 7, 9])
+        assert [r.value for r in batch] == [r.value for r in scalar]
+        assert [r.key for r in batch] == [r.key for r in scalar]
+
+    def test_duplicates_priced_once(self):
+        objective = DoublingObjective()
+        evaluator = Evaluator(objective)
+        results = evaluator.map_batch([4, 4, 4])
+        assert [r.value for r in results] == [8, 8, 8]
+        assert evaluator.stats()["batch_hits"] == 1
+        assert [r.cached for r in results] == [False, True, True]
+
+    def test_cache_absorbs_second_run(self):
+        objective = DoublingObjective()
+        evaluator = Evaluator(objective)
+        evaluator.map_batch([1, 2])
+        results = evaluator.map_batch([1, 2])
+        assert all(r.cached for r in results)
+        assert objective.batch_calls == 1
+        assert evaluator.stats()["batch_hits"] == 2
+
+    def test_fallback_reprices_through_scalar_path(self):
+        objective = DecliningObjective()
+        evaluator = Evaluator(objective)
+        results = evaluator.map_batch([1, 2, 3])
+        assert [r.value for r in results] == [2, 4, 6]
+        assert objective.batch_calls == 1
+        assert objective.scalar_calls == 3
+        stats = evaluator.stats()
+        assert stats["batch_hits"] == 0
+        assert stats["batch_fallbacks"] == 3
+
+    def test_seeds_flow_into_batch_path(self):
+        seeded = Evaluator(SeedEchoObjective(), seeded=True, seed=11)
+        results = seeded.map_batch(["a", "b"])
+        assert [r.value for r in results] == [r.seed for r in results]
+
+    def test_wrong_length_is_an_error(self):
+        evaluator = Evaluator(WrongLengthObjective())
+        with pytest.raises(EngineError):
+            evaluator.map_batch([1, 2, 3])

@@ -1,0 +1,154 @@
+"""Unit tests for the SoA batch roofline kernel (repro.hw.batch)."""
+
+import numpy as np
+import pytest
+
+from repro.core.profile import DivergenceClass, WorkloadProfile
+from repro.errors import ConfigurationError
+from repro.hw.batch import (
+    BOUND_NAMES,
+    PlatformSoA,
+    ProfileSoA,
+    batch_estimate,
+    is_soa_priceable,
+)
+from repro.hw.catalog import (
+    asic_gemm_engine,
+    datacenter_gpu,
+    desktop_cpu,
+    embedded_cpu,
+    embedded_gpu,
+    midrange_fpga,
+)
+from repro.hw.contention import ContendedPlatform
+from repro.hw.platform import AnalyticalPlatform, PlatformConfig
+from repro.hw.mapping import HeterogeneousSoC
+
+
+def _roofline_targets():
+    return [desktop_cpu(), embedded_cpu(), datacenter_gpu(),
+            embedded_gpu()]
+
+
+def _profiles():
+    return [
+        WorkloadProfile(name="gemm", flops=2e9, bytes_read=4e6,
+                        bytes_written=1e6, working_set_bytes=2e6,
+                        parallel_fraction=0.99,
+                        divergence=DivergenceClass.NONE),
+        WorkloadProfile(name="planner", flops=1e7, int_ops=5e8,
+                        bytes_read=3e8, bytes_written=1e8,
+                        working_set_bytes=5e8, parallel_fraction=0.6,
+                        divergence=DivergenceClass.HIGH),
+        WorkloadProfile(name="serial", flops=1e6,
+                        parallel_fraction=0.0),
+        WorkloadProfile(name="empty"),
+    ]
+
+
+class TestGate:
+    def test_catalog_rooflines_are_priceable(self):
+        for platform in _roofline_targets():
+            assert is_soa_priceable(platform), platform.name
+
+    def test_overriding_platforms_are_not(self):
+        assert not is_soa_priceable(asic_gemm_engine())
+        assert not is_soa_priceable(midrange_fpga())
+
+    def test_soc_is_not(self):
+        soc = HeterogeneousSoC("soc", host=desktop_cpu(),
+                               accelerators=[embedded_gpu()])
+        assert not is_soa_priceable(soc)
+
+    def test_contended_platform_is_not(self):
+        contended = ContendedPlatform(desktop_cpu(),
+                                      granted_offchip_bw=1e9)
+        assert not is_soa_priceable(contended)
+
+    def test_from_platforms_rejects_non_priceable(self):
+        with pytest.raises(ConfigurationError):
+            PlatformSoA.from_platforms([desktop_cpu(),
+                                        asic_gemm_engine()])
+
+
+class TestEncoding:
+    def test_platform_columns_match_config(self):
+        platforms = _roofline_targets()
+        soa = PlatformSoA.from_platforms(platforms)
+        assert len(soa) == len(platforms)
+        for i, platform in enumerate(platforms):
+            cfg = platform.config
+            assert soa.names[i] == cfg.name
+            assert soa.peak_flops[i] == cfg.peak_flops
+            assert soa.int_throughput[i] == cfg.int_throughput
+            assert soa.int_energy[i] == cfg.int_energy
+            assert soa.lockstep[i] == cfg.lockstep
+
+    def test_profile_columns_match_profiles(self):
+        profiles = _profiles()
+        soa = ProfileSoA.from_profiles(profiles)
+        assert len(soa) == len(profiles)
+        for j, profile in enumerate(profiles):
+            assert soa.names[j] == profile.name
+            assert soa.total_ops[j] == profile.total_ops
+            assert soa.total_bytes[j] == profile.total_bytes
+
+
+class TestBatchEstimate:
+    def test_block_is_bit_identical_to_scalar(self):
+        platforms = _roofline_targets()
+        profiles = _profiles()
+        cost = batch_estimate(PlatformSoA.from_platforms(platforms),
+                              ProfileSoA.from_profiles(profiles))
+        assert cost.shape == (len(platforms), len(profiles))
+        for i, platform in enumerate(platforms):
+            for j, profile in enumerate(profiles):
+                scalar = platform.estimate(profile)
+                batch = cost.estimate(i, j)
+                assert batch == scalar
+
+    def test_materialized_estimates_are_plain_floats(self):
+        cost = batch_estimate(
+            PlatformSoA.from_platforms([desktop_cpu()]),
+            ProfileSoA.from_profiles(_profiles()))
+        estimate = cost.estimate(0, 0)
+        assert type(estimate.latency_s) is float
+        assert type(estimate.energy_j) is float
+        assert type(estimate.power_w) is float
+        assert estimate.bound in BOUND_NAMES
+
+    def test_working_set_boundary_selects_onchip(self):
+        platform = desktop_cpu()
+        onchip = platform.config.onchip_bytes
+        at = WorkloadProfile(name="at", flops=1e6, bytes_read=1e9,
+                             working_set_bytes=onchip)
+        over = WorkloadProfile(name="over", flops=1e6, bytes_read=1e9,
+                               working_set_bytes=np.nextafter(
+                                   onchip, np.inf))
+        cost = batch_estimate(
+            PlatformSoA.from_platforms([platform]),
+            ProfileSoA.from_profiles([at, over]))
+        assert cost.estimate(0, 0) == platform.estimate(at)
+        assert cost.estimate(0, 1) == platform.estimate(over)
+        # <=: the boundary itself is served on-chip, so it is faster.
+        assert cost.latency_s[0, 0] < cost.latency_s[0, 1]
+
+    def test_divergence_derating_only_on_lockstep(self):
+        base = dict(peak_flops=1e12, scalar_flops=2e9,
+                    onchip_bytes=1e6, onchip_bw=1e12, offchip_bw=1e11)
+        cpu = AnalyticalPlatform(PlatformConfig(
+            name="scalar-machine", lockstep=False, **base))
+        gpu = AnalyticalPlatform(PlatformConfig(
+            name="lockstep-machine", lockstep=True, **base))
+        work = dict(flops=1e9, bytes_read=1e6, parallel_fraction=0.95)
+        uniform = WorkloadProfile(name="u",
+                                  divergence=DivergenceClass.NONE,
+                                  **work)
+        divergent = WorkloadProfile(name="d",
+                                    divergence=DivergenceClass.HIGH,
+                                    **work)
+        cost = batch_estimate(
+            PlatformSoA.from_platforms([cpu, gpu]),
+            ProfileSoA.from_profiles([uniform, divergent]))
+        assert cost.latency_s[0, 0] == cost.latency_s[0, 1]
+        assert cost.latency_s[1, 1] > cost.latency_s[1, 0]

@@ -1,0 +1,92 @@
+"""Property-based scalar-equivalence contract for SoA batch pricing.
+
+The whole point of :mod:`repro.hw.batch` is that it is a *vectorization*
+of :meth:`AnalyticalPlatform.estimate`, not an approximation — so the
+property here is strict equality of every CostEstimate field, bit for
+bit, across every SoA-priceable catalog platform and arbitrary workload
+profiles (divergent, serial, empty, and working sets straddling the
+on-chip boundary included).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profile import DivergenceClass, WorkloadProfile
+from repro.hw.batch import (
+    PlatformSoA,
+    ProfileSoA,
+    batch_estimate,
+    is_soa_priceable,
+)
+from repro.hw.catalog import (
+    datacenter_gpu,
+    desktop_cpu,
+    embedded_cpu,
+    embedded_gpu,
+)
+from repro.hw.platform import AnalyticalPlatform, PlatformConfig
+
+
+def _catalog():
+    platforms = [desktop_cpu(), embedded_cpu(), datacenter_gpu(),
+                 embedded_gpu(),
+                 AnalyticalPlatform(PlatformConfig(
+                     name="scalar-roofline", peak_flops=5e11,
+                     scalar_flops=3e9, onchip_bytes=2e6, onchip_bw=8e11,
+                     offchip_bw=4e10, lockstep=False))]
+    assert all(is_soa_priceable(p) for p in platforms)
+    return platforms
+
+
+_PLATFORMS = _catalog()
+#: On-chip capacities of the catalog — used to aim working sets at the
+#: exact on/off-chip decision boundary.
+_CAPACITIES = sorted({p.config.onchip_bytes for p in _PLATFORMS})
+
+_count = st.floats(min_value=0.0, max_value=1e15, allow_nan=False)
+_working_set = st.one_of(
+    st.floats(min_value=0.0, max_value=1e12, allow_nan=False),
+    st.sampled_from(_CAPACITIES),
+    st.sampled_from([float(np.nextafter(c, np.inf))
+                     for c in _CAPACITIES]),
+    st.sampled_from([float(np.nextafter(c, -np.inf))
+                     for c in _CAPACITIES]),
+)
+
+_profile = st.builds(
+    WorkloadProfile,
+    name=st.just("prop"),
+    flops=_count,
+    int_ops=_count,
+    bytes_read=_count,
+    bytes_written=_count,
+    working_set_bytes=_working_set,
+    parallel_fraction=st.floats(min_value=0.0, max_value=1.0),
+    divergence=st.sampled_from(list(DivergenceClass)),
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_profile, min_size=1, max_size=6))
+def test_batch_equals_scalar_bit_for_bit(profiles):
+    cost = batch_estimate(PlatformSoA.from_platforms(_PLATFORMS),
+                          ProfileSoA.from_profiles(profiles))
+    for i, platform in enumerate(_PLATFORMS):
+        for j, profile in enumerate(profiles):
+            scalar = platform.estimate(profile)
+            batch = cost.estimate(i, j)
+            # Strict dataclass equality: latency, energy, power, area,
+            # bound label, and platform name all identical.
+            assert batch == scalar, (platform.name, profile, scalar,
+                                     batch)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_profile)
+def test_single_pair_block_matches_direct_estimate(profile):
+    platform = _PLATFORMS[0]
+    cost = batch_estimate(PlatformSoA.from_platforms([platform]),
+                          ProfileSoA.from_profiles([profile]))
+    assert cost.shape == (1, 1)
+    assert cost.estimate(0, 0) == platform.estimate(profile)
