@@ -11,18 +11,22 @@ code:
   priced against the suite) with any search strategy;
 - ``mission``  — sweep the UAV compute ladder through the closed-loop
   patrol mission (§2.4);
+- ``fleet``    — Monte Carlo mission sweep: the compute ladder flown
+  through seeded perturbations of battery, payload, sensor rate, and
+  workload, evaluated by the vectorized fleet engine;
 - ``fig1``     — regenerate the publication-trend figure;
 - ``verify``   — parse a pipeline DSL file and statically verify it
   against a catalog platform;
 - ``trace``    — run an instrumented simulation and export a Chrome
   trace (open in Perfetto / ``chrome://tracing``), or summarize one;
 - ``run``      — execute a declarative scenario file (suite, mission,
-  or dse) through the same code paths as the subcommands above, cache
-  keys included;
+  fleet, or dse) through the same code paths as the subcommands above,
+  cache keys included;
 - ``spec``     — validate (``spec validate``) or normalize and
   pretty-print (``spec show``) spec files.
 
-``suite`` and ``mission`` accept ``--json <path>`` (machine-readable
+``suite``, ``mission``, and ``fleet`` accept ``--json <path>``
+(machine-readable
 results with run provenance) and ``--trace-out <path>`` (Chrome trace of
 the run) so every workflow can feed automated optimization loops instead
 of only printing tables.  ``suite`` and ``dse`` additionally accept
@@ -237,6 +241,98 @@ def _cmd_mission(args: argparse.Namespace) -> int:
                         command_config={"command": "mission"})
 
 
+def _run_fleet(config, tiers, trials=64, seed=0, jobs=1,
+               perturbation=None, json_path=None, trace_out=None,
+               command_config=None) -> int:
+    """Shared fleet execution path (see :func:`_run_suite`)."""
+    from repro.system.fleet import FleetStudy
+    from repro.telemetry import (
+        MetricsRegistry,
+        Tracer,
+        run_provenance,
+        use_tracer,
+        write_chrome_trace,
+        write_metrics_json,
+    )
+
+    if trials < 1:
+        print(f"--trials must be >= 1 (got {trials})", file=sys.stderr)
+        return 2
+    if jobs < 1:
+        print(f"--jobs must be >= 1 (got {jobs})", file=sys.stderr)
+        return 2
+    kwargs = {} if perturbation is None else {
+        "perturbation": perturbation}
+    study = FleetStudy(config=config, tiers=list(tiers), trials=trials,
+                       seed=seed, **kwargs)
+    metrics = MetricsRegistry()
+    tracer = Tracer() if trace_out else None
+    if tracer is not None:
+        with use_tracer(tracer):
+            result = study.run(jobs=jobs, metrics=metrics)
+    else:
+        result = study.run(jobs=jobs, metrics=metrics)
+    print(format_table(
+        ["tier", "success", "time p50 (s)", "time p99 (s)",
+         "energy p50 (kJ)", "failures"],
+        [[s.tier, f"{s.success_rate:.0%}", s.mission_time_p50_s,
+          s.mission_time_p99_s, s.energy_p50_j / 1e3,
+          ", ".join(f"{k}:{v}" for k, v in
+                    sorted(s.failure_counts.items())) or "-"]
+         for s in result.statistics],
+        title=f"Fleet Monte Carlo, {trials} trial(s) x"
+              f" {len(study.tiers)} tier(s), {config.laps} lap(s)",
+    ))
+    best = result.best_tier()
+    print(f"best tier: {best.tier}"
+          f" ({best.success_rate:.0%} success,"
+          f" p50 {best.mission_time_p50_s:.1f} s)")
+    print(f"rollouts: {len(result.fleet)}"
+          f" (batch-priced: {result.batch_priced},"
+          f" scalar fallbacks: {result.scalar_fallback})")
+    provenance = run_provenance(
+        seed=seed,
+        config={**(command_config or {}), "trials": trials,
+                "jobs": jobs, "laps": config.laps},
+    )
+    if json_path:
+        write_metrics_json(
+            json_path, registry=metrics, provenance=provenance,
+            extra={
+                "tiers": result.to_rows(),
+                "best_tier": best.tier,
+                "rollouts": len(result.fleet),
+                "batch_priced": result.batch_priced,
+                "scalar_fallback": result.scalar_fallback,
+            },
+        )
+        print(f"wrote metrics JSON to {json_path}")
+    if trace_out and tracer is not None:
+        count = write_chrome_trace(tracer, trace_out,
+                                   provenance=provenance)
+        print(f"wrote {count} trace events to {trace_out}")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.hw import uav_compute_tiers
+    from repro.kernels.planning import CircleWorld
+    from repro.system import MissionConfig
+
+    world = CircleWorld.random(dim=2, n_obstacles=40, extent=120.0,
+                               radius_range=(1.0, 3.0),
+                               seed=args.world_seed,
+                               keep_corners_free=3.0)
+    config = MissionConfig(world=world, start=np.array([1.0, 1.0]),
+                           goal=np.array([118.0, 118.0]),
+                           laps=args.laps)
+    return _run_fleet(config, uav_compute_tiers(), trials=args.trials,
+                      seed=args.seed, jobs=args.jobs,
+                      json_path=args.json, trace_out=args.trace_out,
+                      command_config={"command": "fleet",
+                                      "world_seed": args.world_seed})
+
+
 def _run_dse(space, objective_name="suite_objective",
              strategy="surrogate", budget=24, seed=0, jobs=1,
              cache_dir=None, json_path=None,
@@ -359,6 +455,7 @@ def _platform_help() -> str:
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.errors import SpecError
     from repro.spec import (
+        FleetScenario,
         MissionScenario,
         SuiteScenario,
         load_scenario,
@@ -384,6 +481,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             run.config, run.tiers, seed=run.seed,
             json_path=args.json, trace_out=args.trace_out,
             command_config=command_config)
+    if isinstance(run, FleetScenario):
+        return _run_fleet(
+            run.config, run.tiers, trials=run.trials, seed=run.seed,
+            jobs=args.jobs if args.jobs is not None else run.jobs,
+            perturbation=run.perturbation, json_path=args.json,
+            trace_out=args.trace_out, command_config=command_config)
     if args.trace_out:
         print("note: --trace-out is ignored for dse scenarios",
               file=sys.stderr)
@@ -647,6 +750,25 @@ def build_parser() -> argparse.ArgumentParser:
     mission.add_argument("--trace-out", help="write a Chrome trace of"
                                              " the sweep")
 
+    fleet = sub.add_parser("fleet", help="Monte Carlo mission sweep"
+                                         " over the UAV compute ladder"
+                                         " (vectorized fleet engine)")
+    fleet.add_argument("--trials", type=int, default=64,
+                       help="Monte Carlo trials per tier")
+    fleet.add_argument("--laps", type=int, default=20)
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="perturbation RNG seed")
+    fleet.add_argument("--world-seed", type=int, default=11,
+                       help="obstacle-world generation seed")
+    fleet.add_argument("--jobs", type=int, default=1,
+                       help="shard the rollout population over a"
+                            " process pool of this width (results are"
+                            " identical to serial)")
+    fleet.add_argument("--json", help="also write per-tier statistics"
+                                      " + metrics as JSON")
+    fleet.add_argument("--trace-out", help="write a Chrome trace of"
+                                           " the run")
+
     fig1 = sub.add_parser("fig1", help="regenerate the Fig. 1 trend")
     fig1.add_argument("--seed", type=int, default=0)
 
@@ -697,6 +819,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "audit": _cmd_audit,
         "dse": _cmd_dse,
         "mission": _cmd_mission,
+        "fleet": _cmd_fleet,
         "fig1": _cmd_fig1,
         "verify": _cmd_verify,
         "trace": _cmd_trace,

@@ -232,6 +232,142 @@ def _suite_objective_singleton(kind: str) -> "SuiteObjective":
     return _SINGLETONS[kind]
 
 
+# --------------------------------------------------------------------------
+# Mission-in-the-loop objective (§2.4: score the *mission*, not the chip).
+# --------------------------------------------------------------------------
+
+#: Lazily-built mission setting shared by every candidate: the config,
+#: its planned course, and an :func:`repro.system.fleet.ensure_course`
+#: cache pre-seeded with that course (one per process, pool workers
+#: included).
+_MISSION = None
+
+
+def _mission_setting():
+    """The fixed closed-loop scenario mission candidates fly.
+
+    A compact patrol world (60 m, two laps) keeps a single scalar
+    evaluation cheap enough for search budgets while still exercising
+    the latency-speed-battery couplings; the course is planned exactly
+    once per process.
+    """
+    global _MISSION
+    if _MISSION is None:
+        from repro.kernels.planning.occupancy import CircleWorld
+        from repro.system.fleet import course_key
+        from repro.system.mission import MissionConfig, plan_course
+
+        world = CircleWorld.random(
+            dim=2, n_obstacles=24, extent=60.0,
+            radius_range=(1.0, 2.5), seed=5, keep_corners_free=3.0)
+        config = MissionConfig(
+            world=world,
+            start=np.array([1.0, 1.0]),
+            goal=np.array([58.0, 58.0]),
+            laps=2,
+        )
+        course = plan_course(config)
+        cache = {course_key(config): (world, course)}
+        _MISSION = (config, course, cache)
+    return _MISSION
+
+
+def codesign_payload(config: Config) -> Tuple[float, float]:
+    """The physical module a co-design point implies, as
+    ``(mass_kg, power_w)``.
+
+    Compute does not fly for free: mass scales with the die/board/
+    cooling that peak throughput requires, and flight power adds a
+    dynamic term on top of the standing power knob.  The slopes land
+    the 4-knob space across the same ~0.1-0.7 kg / ~5-70 W span as the
+    catalog's embedded tiers.
+    """
+    mass_kg = 0.05 + 2.0e-4 * config["peak_gflops"]
+    power_w = config["static_power_w"] + 0.015 * config["peak_gflops"]
+    return mass_kg, power_w
+
+
+def _mission_score(result, budget_j: float) -> float:
+    """Lower-is-better mission score from one :class:`MissionResult`.
+
+    Failures are disqualifying (a flat +10 dominates every feasible
+    score); feasible designs trade mission time (normalized by the
+    design's own endurance) against battery draw (normalized by the
+    usable budget) — both dimensionless, both in (0, 1] for sane
+    designs, exactly the §2.4 "enough compute but not more" shape.
+    """
+    penalty = 0.0 if result.success else 10.0
+    return (penalty + result.mission_time_s / result.endurance_s
+            + result.energy_j / budget_j)
+
+
+class MissionObjective:
+    """Closed-loop mission objective with a vectorized batch path.
+
+    The scalar path lowers a candidate to a platform + payload
+    (:func:`build_platform`, :func:`codesign_payload`) and flies the
+    shared scenario through
+    :func:`~repro.system.mission.run_mission`; ``evaluate_batch``
+    flies the whole population through
+    :func:`~repro.system.fleet.run_fleet` instead.  The fleet engine's
+    results are exactly equal to the scalar simulator's, and the score
+    is a per-result Python reduction of those fields, so batch values
+    are bit-identical to calling the objective per candidate — the
+    same contract :class:`SuiteObjective` keeps.
+    """
+
+    def __repr__(self) -> str:
+        return "MissionObjective()"
+
+    def __reduce__(self):
+        return (_mission_objective_singleton, ())
+
+    def __call__(self, config: Config) -> float:
+        from repro.system.mission import run_mission
+
+        mission, course, _ = _mission_setting()
+        mass_kg, power_w = codesign_payload(config)
+        result = run_mission(mission, build_platform(config), mass_kg,
+                             power_w, course=course)
+        return _mission_score(result, mission.battery.usable_energy_j)
+
+    def evaluate_batch(self, configs: Sequence[Config]) -> List[float]:
+        from repro.system.fleet import FleetRollout, run_fleet
+
+        configs = list(configs)
+        if not configs:
+            return []
+        mission, _, cache = _mission_setting()
+        rollouts = []
+        for config in configs:
+            mass_kg, power_w = codesign_payload(config)
+            rollouts.append(FleetRollout(
+                name="candidate",
+                config=mission,
+                platform=build_platform(config),
+                compute_mass_kg=mass_kg,
+                compute_power_w=power_w,
+            ))
+        fleet = run_fleet(rollouts, course_cache=cache)
+        budget_j = mission.battery.usable_energy_j
+        return [_mission_score(result, budget_j)
+                for result in fleet.results]
+
+
+def _mission_objective_singleton() -> "MissionObjective":
+    """Pickle hook for :class:`MissionObjective` (see ``__reduce__``)."""
+    return mission_objective
+
+
+mission_objective = MissionObjective()
+mission_objective.__doc__ = (
+    "Closed-loop mission score (lower is better): +10 per failure,"
+    " plus mission time over the design's endurance, plus energy over"
+    " the usable battery budget — computed by flying the shared patrol"
+    " scenario with the candidate platform installed.")
+OBJECTIVES.register("mission_objective")(mission_objective)
+
+
 suite_latency = SuiteObjective("slack")
 suite_latency.__doc__ = (
     "Sum over the suite of critical-path latency / deadline (values"

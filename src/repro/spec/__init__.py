@@ -40,6 +40,7 @@ _EXPORTS = {
     "Scenario": "repro.spec.scenario",
     "SuiteScenario": "repro.spec.scenario",
     "MissionScenario": "repro.spec.scenario",
+    "FleetScenario": "repro.spec.scenario",
     "DseScenario": "repro.spec.scenario",
     "DSE_STRATEGIES": "repro.spec.scenario",
     "load_document": "repro.spec.loader",

@@ -1,8 +1,8 @@
 """Scenario specs: whole CLI runs as declarative documents.
 
 A scenario file is a spec of kind ``scenario`` holding exactly one run
-section — ``suite``, ``mission``, or ``dse`` — mirroring the matching
-CLI subcommand::
+section — ``suite``, ``mission``, ``fleet``, or ``dse`` — mirroring the
+matching CLI subcommand::
 
     {"spec_version": 1, "kind": "scenario", "name": "uav-codesign",
      "dse": {"space": {"ref": "codesign"},
@@ -16,12 +16,12 @@ scenario reproduces a code-driven run exactly, cache keys included.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.core.workload import Workload
 from repro.dse.space import DesignSpace
-from repro.errors import SpecError
+from repro.errors import ConfigurationError, SpecError
 from repro.hw.platform import Platform
 from repro.spec import schema
 from repro.spec.codec import Codec, from_spec, register_codec, to_spec
@@ -32,10 +32,11 @@ from repro.spec.codecs import (
     decode_workload,
 )
 from repro.spec.registry import OBJECTIVES, TIERS
+from repro.system.fleet import FleetPerturbation
 from repro.system.mission import MissionConfig
 
 __all__ = ["Scenario", "SuiteScenario", "MissionScenario",
-           "DseScenario", "DSE_STRATEGIES"]
+           "FleetScenario", "DseScenario", "DSE_STRATEGIES"]
 
 #: Search strategies ``dse`` scenarios (and the CLI) accept.
 DSE_STRATEGIES = ("grid", "random", "evolutionary", "surrogate")
@@ -78,6 +79,29 @@ class MissionScenario:
 
 
 @dataclass
+class FleetScenario:
+    """A Monte Carlo fleet study over a compute ladder
+    (:class:`repro.system.fleet.FleetStudy`, declaratively).
+
+    Attributes:
+        config: Baseline mission scenario.
+        tiers: ``(name, platform, mass_kg, power_w)`` ladder rows.
+        trials: Monte Carlo trials per tier.
+        seed: Perturbation RNG seed.
+        jobs: Process-pool width (1 = serial; results identical).
+        perturbation: Per-axis relative perturbation spreads.
+    """
+
+    config: MissionConfig
+    tiers: Tuple[Tier, ...]
+    trials: int = 64
+    seed: int = 0
+    jobs: int = 1
+    perturbation: FleetPerturbation = field(
+        default_factory=FleetPerturbation)
+
+
+@dataclass
 class DseScenario:
     """A design-space exploration run.
 
@@ -109,7 +133,8 @@ class Scenario:
     """
 
     name: str
-    run: Union[SuiteScenario, MissionScenario, DseScenario]
+    run: Union[SuiteScenario, MissionScenario, FleetScenario,
+               DseScenario]
 
 
 # --------------------------------------------------------------------------
@@ -210,26 +235,98 @@ def _decode_tier(item: Any, path: str) -> Tier:
 def _decode_mission(payload: Mapping[str, Any],
                     path: str) -> MissionScenario:
     schema.check_keys(payload, ("config", "tiers", "seed"), path)
-    config = from_spec(schema.get_field(payload, "config", path),
-                       schema.child(path, "config"))
-    if not isinstance(config, MissionConfig):
-        raise SpecError(
-            f"{schema.child(path, 'config')}: expected a mission spec"
-        )
+    return MissionScenario(
+        config=_decode_mission_config(payload, path),
+        tiers=_decode_tiers(payload, path),
+        seed=schema.optional_int(payload, "seed", path, None))
+
+
+_PERTURBATION_KEYS = ("battery_capacity", "payload_mass",
+                      "sensor_rate", "workload_scale")
+
+
+def _decode_tiers(payload: Mapping[str, Any], path: str
+                  ) -> Tuple[Tier, ...]:
+    """Tier rows, or a ``{"ref": ...}`` ladder from :data:`TIERS`
+    (shared by the ``mission`` and ``fleet`` sections)."""
     tiers_at = schema.child(path, "tiers")
     tiers_spec = schema.get_field(payload, "tiers", path)
     if isinstance(tiers_spec, Mapping) and "ref" in tiers_spec:
         schema.check_keys(tiers_spec, ("ref",), tiers_at)
         ladder = schema.as_str(tiers_spec["ref"],
                                schema.child(tiers_at, "ref"))
-        tiers = tuple(TIERS.build(ladder, tiers_at))
-    else:
-        items = schema.as_sequence(tiers_spec, tiers_at, min_items=1)
-        tiers = tuple(
-            _decode_tier(item, schema.item(tiers_at, index))
-            for index, item in enumerate(items))
-    seed = schema.optional_int(payload, "seed", path, None)
-    return MissionScenario(config=config, tiers=tiers, seed=seed)
+        return tuple(TIERS.build(ladder, tiers_at))
+    items = schema.as_sequence(tiers_spec, tiers_at, min_items=1)
+    return tuple(_decode_tier(item, schema.item(tiers_at, index))
+                 for index, item in enumerate(items))
+
+
+def _decode_mission_config(payload: Mapping[str, Any],
+                           path: str) -> MissionConfig:
+    config = from_spec(schema.get_field(payload, "config", path),
+                       schema.child(path, "config"))
+    if not isinstance(config, MissionConfig):
+        raise SpecError(
+            f"{schema.child(path, 'config')}: expected a mission spec"
+        )
+    return config
+
+
+def _encode_fleet(run: FleetScenario) -> Dict[str, Any]:
+    return {
+        "config": to_spec(run.config),
+        "tiers": [
+            {"name": name, "platform": to_spec(platform),
+             "mass_kg": mass_kg, "power_w": power_w}
+            for name, platform, mass_kg, power_w in run.tiers
+        ],
+        "trials": run.trials,
+        "seed": run.seed,
+        "jobs": run.jobs,
+        "perturbation": {
+            key: getattr(run.perturbation, key)
+            for key in _PERTURBATION_KEYS
+        },
+    }
+
+
+def _decode_perturbation(value: Any, path: str) -> FleetPerturbation:
+    payload = schema.require_mapping(value, path)
+    schema.check_keys(payload, _PERTURBATION_KEYS, path)
+    kwargs = {}
+    for key in _PERTURBATION_KEYS:
+        if key in payload:
+            kwargs[key] = schema.as_float(payload[key],
+                                          schema.child(path, key))
+    try:
+        return FleetPerturbation(**kwargs)
+    except ConfigurationError as error:
+        raise SpecError(f"{path}: {error}") from error
+
+
+def _decode_fleet(payload: Mapping[str, Any],
+                  path: str) -> FleetScenario:
+    schema.check_keys(
+        payload,
+        ("config", "tiers", "trials", "seed", "jobs", "perturbation"),
+        path)
+    config = _decode_mission_config(payload, path)
+    tiers = _decode_tiers(payload, path)
+    trials = schema.optional_int(payload, "trials", path, 64)
+    if trials < 1:
+        raise SpecError(
+            f"{schema.child(path, 'trials')}: must be >= 1,"
+            f" got {trials}"
+        )
+    perturbation = FleetPerturbation()
+    if "perturbation" in payload:
+        perturbation = _decode_perturbation(
+            payload["perturbation"], schema.child(path, "perturbation"))
+    return FleetScenario(
+        config=config, tiers=tiers, trials=trials,
+        seed=schema.optional_int(payload, "seed", path, 0),
+        jobs=_positive_jobs(payload, path),
+        perturbation=perturbation)
 
 
 def _encode_dse(run: DseScenario) -> Dict[str, Any]:
@@ -289,6 +386,7 @@ def _decode_dse(payload: Mapping[str, Any], path: str) -> DseScenario:
 _SECTIONS = {
     "suite": (SuiteScenario, _encode_suite, _decode_suite),
     "mission": (MissionScenario, _encode_mission, _decode_mission),
+    "fleet": (FleetScenario, _encode_fleet, _decode_fleet),
     "dse": (DseScenario, _encode_dse, _decode_dse),
 }
 

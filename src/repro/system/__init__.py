@@ -15,7 +15,11 @@ kernel.  Components:
 - :mod:`~repro.system.robot`     — UAV mass/power/battery physics;
 - :mod:`~repro.system.mission`   — closed-loop missions where compute
   latency limits safe speed and compute mass/power drains the battery
-  (the §2.4 experiment).
+  (the §2.4 experiment);
+- :mod:`~repro.system.fleet`     — the vectorized fleet engine: whole
+  rollout populations (tiers × scenarios × Monte Carlo perturbations)
+  evaluated in closed form, exactly equal to per-rollout
+  :func:`~repro.system.mission.run_mission`.
 """
 
 from repro.system.des import Event, Simulator
@@ -24,10 +28,22 @@ from repro.system.faults import (
     ThermalModel,
     run_mission_with_faults,
 )
+from repro.system.fleet import (
+    FleetPerturbation,
+    FleetResult,
+    FleetRollout,
+    FleetStudy,
+    FleetStudyResult,
+    TierStatistics,
+    run_fleet,
+    tier_rollouts,
+)
 from repro.system.io_model import IoModel, ros_like_middleware
 from repro.system.mission import (
+    Course,
     MissionConfig,
     MissionResult,
+    plan_course,
     run_mission,
     sweep_compute_tiers,
 )
@@ -43,10 +59,17 @@ from repro.system.sensors import Sensor, camera, imu, lidar
 
 __all__ = [
     "BatteryModel",
+    "Course",
     "Event",
     "FaultSchedule",
+    "FleetPerturbation",
+    "FleetResult",
+    "FleetRollout",
+    "FleetStudy",
+    "FleetStudyResult",
     "IoModel",
     "ThermalModel",
+    "TierStatistics",
     "run_mission_with_faults",
     "MissionConfig",
     "MissionResult",
@@ -61,8 +84,11 @@ __all__ = [
     "camera",
     "imu",
     "lidar",
+    "plan_course",
     "ros_like_middleware",
+    "run_fleet",
     "run_mission",
     "simulate_scheduler",
     "sweep_compute_tiers",
+    "tier_rollouts",
 ]

@@ -1,0 +1,678 @@
+"""Vectorized fleet mission engine: batched closed-form rollouts.
+
+:func:`~repro.system.mission.run_mission` simulates ONE (tier, scenario)
+pair per call through a time-stepped Python loop — fine for a single
+mission, hopeless for the mission-space sweeps the paper's §2.4/§2.6
+argument actually needs (tiers × scenarios × Monte Carlo perturbations).
+This module evaluates a whole ``(n_rollouts,)`` population at once:
+
+- **Pipeline latency** for every rollout is priced in ONE
+  :func:`repro.hw.batch.batch_estimate` call over the population's
+  deduplicated platform × frame-profile block (rollouts whose platform
+  is not SoA-priceable fall back to scalar ``estimate`` calls, mirroring
+  the engine's :class:`~repro.errors.BatchFallback` discipline).
+- **Mission outcomes** reduce to closed form: the waypoint chase is
+  deterministic given ``safe_speed``, so the dt-quantized traversal is a
+  pure function of the step index over the course's cumulative arc
+  length.  The first step whose travel budget covers the course is the
+  completion step; the first step whose energy draw exceeds the battery
+  budget is the cutoff; the timeout bound is the first step at or past
+  ``max_duration_s``.  No per-step loop at all — three integer step
+  counts per rollout, computed as fused numpy.
+
+**Equivalence contract**: every rollout's :class:`MissionResult` is
+**exactly equal**, field for field, to ``run_mission`` on the same
+(config, tier) — same dt-quantized time, energy, distance, and failure
+reason.  Two ingredients make this hold at the bits:
+
+1. the scalar loop's per-step quantities are multiplication forms
+   (``steps * dt``, ``(steps + 1) * step_energy``, ...), never running
+   sums, so the closed form evaluates the *same expressions* at the
+   final step index; and
+2. every vectorized expression mirrors the scalar association order
+   with operations that numpy computes identically to Python floats
+   (``+ - * /``, ``sqrt``, ``min``/``max``).  The one op where numpy's
+   SIMD path rounds differently from CPython — ``x ** 1.5`` inside
+   hover power — stays a per-rollout scalar call.
+
+The contract is enforced by ``tests/system/test_fleet.py`` and the
+hypothesis suite ``tests/props/test_property_fleet.py``.
+
+On top of the engine, :class:`FleetStudy` runs seeded Monte Carlo
+sweeps: per-trial perturbations of battery capacity, payload mass,
+sensor rate, and workload scale, shared across tiers (paired draws, so
+tier comparisons see the same weather), summarized per tier as success
+rates and p50/p90/p99 mission-time / energy statistics.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hw.batch import (
+    PlatformSoA,
+    ProfileSoA,
+    batch_estimate,
+    is_soa_priceable,
+)
+from repro.hw.platform import Platform
+from repro.system.mission import (
+    Course,
+    MissionConfig,
+    MissionResult,
+    plan_course,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import get_tracer
+
+__all__ = [
+    "FleetPerturbation",
+    "FleetResult",
+    "FleetRollout",
+    "FleetStudy",
+    "FleetStudyResult",
+    "TierStatistics",
+    "course_key",
+    "ensure_course",
+    "run_fleet",
+    "tier_rollouts",
+]
+
+#: ``(tier name, platform, mass_kg, power_w)`` — the ladder row shape
+#: shared with :func:`~repro.system.mission.sweep_compute_tiers`.
+Tier = Tuple[str, Platform, float, float]
+
+
+# -- course sharing ----------------------------------------------------
+
+def course_key(config: MissionConfig) -> Tuple:
+    """Cache key for the planning inputs of a mission config.
+
+    Perturbing battery/payload/sensor/workload leaves the planned course
+    untouched; only the world, endpoints, inflation radius, and lap
+    count matter.  The world participates by identity (worlds are
+    arrays; hashing contents would cost more than planning saves).
+    """
+    return (
+        id(config.world),
+        tuple(np.asarray(config.start, dtype=float).tolist()),
+        tuple(np.asarray(config.goal, dtype=float).tolist()),
+        float(config.robot_radius_m),
+        int(config.laps),
+    )
+
+
+def ensure_course(config: MissionConfig,
+                  cache: Optional[Dict[Tuple, Tuple[object, Course]]] = None,
+                  ) -> Course:
+    """Plan the config's course, reusing ``cache`` across calls.
+
+    The cache maps :func:`course_key` to ``(world, course)``; keeping
+    the world object in the entry pins its ``id`` so a recycled id from
+    a garbage-collected world can never alias a stale course.
+    """
+    if cache is None:
+        return plan_course(config)
+    key = course_key(config)
+    entry = cache.get(key)
+    if entry is not None and entry[0] is config.world:
+        return entry[1]
+    course = plan_course(config)
+    cache[key] = (config.world, course)
+    return course
+
+
+# -- the rollout population -------------------------------------------
+
+@dataclass(frozen=True)
+class FleetRollout:
+    """One (scenario, compute tier) pair in a fleet population.
+
+    Attributes:
+        name: Label carried through to statistics grouping (typically
+            the tier name).
+        config: Mission scenario (possibly a perturbed variant).
+        platform: Compute platform model for the tier.
+        compute_mass_kg: Installed module mass.
+        compute_power_w: Installed module power draw.
+    """
+
+    name: str
+    config: MissionConfig
+    platform: Platform
+    compute_mass_kg: float
+    compute_power_w: float
+
+
+def tier_rollouts(config: MissionConfig,
+                  tiers: Sequence[Tier]) -> List[FleetRollout]:
+    """One rollout per ladder tier — the fleet-engine equivalent of
+    :func:`~repro.system.mission.sweep_compute_tiers`."""
+    if not tiers:
+        raise ConfigurationError("need at least one tier")
+    return [FleetRollout(name=name, config=config, platform=platform,
+                         compute_mass_kg=mass, compute_power_w=power)
+            for name, platform, mass, power in tiers]
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """A priced fleet population.
+
+    Attributes:
+        rollouts: The population, exactly as submitted.
+        results: Per-rollout :class:`MissionResult`, in input order,
+            each exactly equal to ``run_mission`` on that rollout.
+        batch_priced: Rollouts whose pipeline latency came from the one
+            SoA :func:`~repro.hw.batch.batch_estimate` pass.
+        scalar_fallback: Rollouts priced through scalar ``estimate``
+            (non-SoA-priceable platforms).
+    """
+
+    rollouts: Tuple[FleetRollout, ...]
+    results: Tuple[MissionResult, ...]
+    batch_priced: int
+    scalar_fallback: int
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+# -- closed-form step counts ------------------------------------------
+
+def _first_count(unit: np.ndarray, target: np.ndarray,
+                 strict: bool) -> np.ndarray:
+    """Smallest integer count ``n >= 0`` with ``n * unit >= target``
+    (``>`` when ``strict``), elementwise, under float64 arithmetic.
+
+    Counts are float64 (exact for every reachable step index) with
+    ``inf`` where no finite count satisfies the bound.  The seed guess
+    comes from a rounded division, then bounded fixup sweeps walk it
+    onto the exact threshold of the *product* expression — the
+    comparison the scalar loop actually evaluates — so the count is
+    right even when ``target / unit`` rounds across an integer.
+    """
+    unit = np.asarray(unit, dtype=float)
+    target = np.asarray(target, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = target / unit
+    if strict:
+        n = np.floor(ratio) + 1.0
+    else:
+        n = np.ceil(ratio)
+    n = np.maximum(n, 0.0)
+    adjustable = (np.isfinite(target) & np.isfinite(unit) & (unit > 0)
+                  & np.isfinite(n))
+    n = np.where(adjustable, n, np.inf)
+
+    def satisfied(count: np.ndarray) -> np.ndarray:
+        with np.errstate(invalid="ignore"):
+            product = count * unit
+        return product > target if strict else product >= target
+
+    # The seed is within a couple of steps of the true threshold; the
+    # sweeps are bounded (never `while`) because inf entries would
+    # otherwise walk forever (inf - 1 == inf).
+    for _ in range(3):
+        down = n - 1.0
+        n = np.where(adjustable & (down >= 0.0) & satisfied(down),
+                     down, n)
+    for _ in range(3):
+        n = np.where(adjustable & ~satisfied(n), n + 1.0, n)
+    return n
+
+
+# -- the engine --------------------------------------------------------
+
+def run_fleet(rollouts: Sequence[FleetRollout], *,
+              metrics: Optional[MetricsRegistry] = None,
+              course_cache: Optional[Dict] = None) -> FleetResult:
+    """Evaluate a whole rollout population in fused numpy.
+
+    Args:
+        rollouts: The population; rollouts may freely share worlds,
+            platforms, and frame profiles (sharing is what makes the
+            batch block small — platforms and profiles are deduplicated
+            by identity before pricing).
+        metrics: Optional registry receiving ``fleet.rollouts``,
+            ``fleet.batch_hits``, and ``fleet.batch_fallbacks``.
+        course_cache: Optional :func:`ensure_course` cache, shared
+            across calls; a fresh private one is used by default (so
+            rollouts sharing a world still plan only once per call).
+
+    Returns:
+        A :class:`FleetResult` whose per-rollout results are exactly
+        equal to :func:`~repro.system.mission.run_mission`.
+    """
+    rollouts = tuple(rollouts)
+    tracer = get_tracer()
+    with tracer.wall_span("fleet.run", track="fleet") as span:
+        result = _run_fleet(rollouts, course_cache)
+    if tracer.enabled and span.args is None:
+        span.args = {"rollouts": len(rollouts),
+                     "batch_priced": result.batch_priced,
+                     "scalar_fallback": result.scalar_fallback}
+    if metrics is not None:
+        metrics.counter("fleet.rollouts").inc(len(rollouts))
+        if result.batch_priced:
+            metrics.counter("fleet.batch_hits").inc(result.batch_priced)
+        if result.scalar_fallback:
+            metrics.counter("fleet.batch_fallbacks").inc(
+                result.scalar_fallback)
+    return result
+
+
+def _run_fleet(rollouts: Tuple[FleetRollout, ...],
+               course_cache: Optional[Dict]) -> FleetResult:
+    n = len(rollouts)
+    if n == 0:
+        return FleetResult(rollouts=(), results=(), batch_priced=0,
+                           scalar_fallback=0)
+    if course_cache is None:
+        course_cache = {}
+    courses = [ensure_course(r.config, course_cache) for r in rollouts]
+
+    # Per-rollout scalar inputs.  hover_power stays a scalar Python call
+    # on purpose: numpy's SIMD `x ** 1.5` rounds differently from
+    # CPython's pow on a few per mille of inputs, which would break the
+    # bit-equality contract; everything downstream vectorizes exactly.
+    period = np.empty(n)
+    actuation = np.empty(n)
+    sensing_range = np.empty(n)
+    accel = np.empty(n)
+    max_speed = np.empty(n)
+    dt = np.empty(n)
+    max_duration = np.empty(n)
+    budget = np.empty(n)
+    length = np.empty(n)
+    total_mass = np.empty(n)
+    hover_power = np.empty(n)
+    compute_power = np.empty(n)
+    for i, (rollout, course) in enumerate(zip(rollouts, courses)):
+        config = rollout.config
+        period[i] = 1.0 / config.sensor_rate_hz
+        actuation[i] = config.actuation_latency_s
+        sensing_range[i] = config.sensing_range_m
+        accel[i] = config.uav.max_accel_m_s2
+        max_speed[i] = config.uav.max_speed_m_s
+        dt[i] = config.time_step_s
+        max_duration[i] = config.max_duration_s
+        budget[i] = config.battery.usable_energy_j
+        length[i] = course.total_length_m
+        mass = (config.uav.frame_mass_kg + config.battery.mass_kg
+                + rollout.compute_mass_kg)
+        total_mass[i] = mass
+        hover_power[i] = config.uav.hover_power_w(mass)
+        compute_power[i] = rollout.compute_power_w
+
+    # Frame-pipeline compute latency: one SoA pass over the population's
+    # deduplicated (platform, profile) block; scalar estimates only for
+    # platforms the kernel cannot reproduce.
+    compute_latency = np.empty(n)
+    priceable = [i for i in range(n)
+                 if is_soa_priceable(rollouts[i].platform)]
+    fallback = [i for i in range(n) if not is_soa_priceable(
+        rollouts[i].platform)]
+    if priceable:
+        platform_index: Dict[int, int] = {}
+        profile_index: Dict[int, int] = {}
+        platforms: List[Platform] = []
+        profiles: List = []
+        rows: List[int] = []
+        cols: List[int] = []
+        for i in priceable:
+            platform = rollouts[i].platform
+            row = platform_index.get(id(platform))
+            if row is None:
+                row = platform_index[id(platform)] = len(platforms)
+                platforms.append(platform)
+            profile = rollouts[i].config.frame_profile
+            col = profile_index.get(id(profile))
+            if col is None:
+                col = profile_index[id(profile)] = len(profiles)
+                profiles.append(profile)
+            rows.append(row)
+            cols.append(col)
+        cost = batch_estimate(PlatformSoA.from_platforms(platforms),
+                              ProfileSoA.from_profiles(profiles))
+        compute_latency[priceable] = cost.latency_s[rows, cols]
+    for i in fallback:
+        compute_latency[i] = rollouts[i].platform.estimate(
+            rollouts[i].config.frame_profile).latency_s
+
+    # Pipeline latency and safe speed — broadcast forms of
+    # pipeline_latency_s and UavPhysics.safe_speed_m_s, same
+    # association order (see the module docstring's contract).
+    staleness = np.maximum(compute_latency - period, 0.0)
+    latency = 0.5 * period + compute_latency + staleness + actuation
+    raw_speed = accel * (np.sqrt(latency * latency
+                                 + 2.0 * sensing_range / accel)
+                         - latency)
+    safe_speed = np.minimum(raw_speed, max_speed)
+
+    total_power = hover_power + compute_power
+    endurance = budget / total_power
+    step_travel = safe_speed * dt
+    step_energy = total_power * dt
+
+    # Closed-form step counts.  The scalar loop, per iteration at step
+    # index `s`: exit on timeout when s*dt >= max_duration; succeed when
+    # the course is consumed, i.e. when s*step_travel >= length (and at
+    # least one step has run — consumption happens inside iterations);
+    # break on battery when (s+1)*step_energy > budget.  Check order
+    # fixes the tie precedence: timeout, then success, then battery.
+    n_timeout = _first_count(dt, max_duration, strict=False)
+    n_complete = np.maximum(
+        _first_count(step_travel, length, strict=False), 1.0)
+    n_battery = _first_count(step_energy, budget, strict=True) - 1.0
+
+    steps = np.minimum(np.minimum(n_timeout, n_complete), n_battery)
+    timed_out = n_timeout <= np.minimum(n_complete, n_battery)
+    succeeded = ~timed_out & (n_complete <= n_battery)
+
+    elapsed = steps * dt
+    energy = steps * step_energy
+    distance = np.minimum(steps * step_travel, length)
+    mean_speed = np.zeros(n)
+    np.divide(distance, elapsed, out=mean_speed, where=elapsed > 0)
+
+    # Bulk-convert columns to Python scalars (tolist is one C pass;
+    # 12 per-element float() calls per rollout are not).
+    columns = zip(
+        succeeded.tolist(), timed_out.tolist(), elapsed.tolist(),
+        distance.tolist(), energy.tolist(), mean_speed.tolist(),
+        safe_speed.tolist(), latency.tolist(), compute_power.tolist(),
+        hover_power.tolist(), total_mass.tolist(), endurance.tolist(),
+    )
+    results = []
+    for (ok, late, elapsed_i, distance_i, energy_i, mean_speed_i,
+         safe_speed_i, latency_i, compute_power_i, hover_power_i,
+         total_mass_i, endurance_i) in columns:
+        results.append(MissionResult(
+            success=ok,
+            failure_reason="" if ok else
+            ("timeout" if late else "battery"),
+            mission_time_s=elapsed_i,
+            distance_m=distance_i,
+            energy_j=energy_i,
+            mean_speed_m_s=mean_speed_i,
+            safe_speed_m_s=safe_speed_i,
+            pipeline_latency_s=latency_i,
+            compute_power_w=compute_power_i,
+            hover_power_w=hover_power_i,
+            total_mass_kg=total_mass_i,
+            endurance_s=endurance_i,
+        ))
+    return FleetResult(rollouts=rollouts, results=tuple(results),
+                       batch_priced=len(priceable),
+                       scalar_fallback=len(fallback))
+
+
+def _run_fleet_chunk(rollouts: Sequence[FleetRollout]
+                     ) -> Tuple[Tuple[MissionResult, ...], int, int]:
+    """Pool-worker entry point (module-level for picklability)."""
+    result = run_fleet(rollouts)
+    return result.results, result.batch_priced, result.scalar_fallback
+
+
+# -- Monte Carlo layer -------------------------------------------------
+
+@dataclass(frozen=True)
+class FleetPerturbation:
+    """Relative half-widths of the per-trial uniform perturbations.
+
+    Each trial draws one factor per axis from
+    ``uniform(1 - width, 1 + width)``; a width of 0 pins that axis.
+
+    Attributes:
+        battery_capacity: Pack capacity spread (cell aging, cold packs).
+        payload_mass: Compute-module mass spread (cabling, mounts).
+        sensor_rate: Camera rate spread (exposure-driven frame drops).
+        workload_scale: Per-frame compute spread (scene complexity).
+    """
+
+    battery_capacity: float = 0.10
+    payload_mass: float = 0.10
+    sensor_rate: float = 0.10
+    workload_scale: float = 0.25
+
+    def __post_init__(self) -> None:
+        for name, value in (
+                ("battery_capacity", self.battery_capacity),
+                ("payload_mass", self.payload_mass),
+                ("sensor_rate", self.sensor_rate),
+                ("workload_scale", self.workload_scale)):
+            if not 0.0 <= value < 1.0:
+                raise ConfigurationError(
+                    f"{name} width must be in [0, 1), got {value}")
+
+    def widths(self) -> Tuple[float, float, float, float]:
+        return (self.battery_capacity, self.payload_mass,
+                self.sensor_rate, self.workload_scale)
+
+
+@dataclass(frozen=True)
+class TierStatistics:
+    """Per-tier Monte Carlo summary (times/energies over ALL trials,
+    failures included — a dead battery at t=400s is still 400s of
+    airtime worth counting).
+
+    Attributes:
+        tier: Ladder tier name.
+        trials: Trials aggregated.
+        success_rate: Fraction of trials that completed the course.
+        mission_time_p50_s, mission_time_p90_s, mission_time_p99_s:
+            Mission-time percentiles.
+        energy_p50_j, energy_p99_j: Energy-draw percentiles.
+        failure_counts: ``reason -> count`` over failed trials.
+    """
+
+    tier: str
+    trials: int
+    success_rate: float
+    mission_time_p50_s: float
+    mission_time_p90_s: float
+    mission_time_p99_s: float
+    energy_p50_j: float
+    energy_p99_j: float
+    failure_counts: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class FleetStudyResult:
+    """Outcome of a :class:`FleetStudy` run."""
+
+    statistics: Tuple[TierStatistics, ...]
+    fleet: FleetResult
+    trials: int
+    seed: int
+
+    @property
+    def batch_priced(self) -> int:
+        return self.fleet.batch_priced
+
+    @property
+    def scalar_fallback(self) -> int:
+        return self.fleet.scalar_fallback
+
+    def best_tier(self) -> TierStatistics:
+        """Highest success rate, ties broken by lower median time."""
+        return min(self.statistics,
+                   key=lambda s: (-s.success_rate, s.mission_time_p50_s))
+
+    def to_rows(self) -> List[Dict]:
+        """JSON-friendly per-tier rows (CLI/report format)."""
+        return [{
+            "tier": s.tier,
+            "trials": s.trials,
+            "success_rate": round(s.success_rate, 4),
+            "mission_time_p50_s": round(s.mission_time_p50_s, 2),
+            "mission_time_p90_s": round(s.mission_time_p90_s, 2),
+            "mission_time_p99_s": round(s.mission_time_p99_s, 2),
+            "energy_p50_j": round(s.energy_p50_j, 1),
+            "energy_p99_j": round(s.energy_p99_j, 1),
+            "failures": dict(s.failure_counts),
+        } for s in self.statistics]
+
+
+@dataclass
+class FleetStudy:
+    """A seeded Monte Carlo mission sweep over a compute ladder.
+
+    Every trial draws one perturbation vector (battery capacity,
+    payload mass, sensor rate, workload scale) and applies it to EVERY
+    tier — paired draws, so tier-vs-tier comparisons are made under
+    identical conditions and the between-tier variance is purely the
+    compute sizing, not the weather.
+
+    Args:
+        config: Baseline mission scenario (the planned course is shared
+            by all trials: perturbations never touch the world).
+        tiers: Compute ladder, ``(name, platform, mass_kg, power_w)``.
+        trials: Monte Carlo trials per tier.
+        seed: Perturbation RNG seed (same seed, same study).
+        perturbation: Per-axis relative spreads.
+    """
+
+    config: MissionConfig
+    tiers: Sequence[Tier]
+    trials: int = 64
+    seed: int = 0
+    perturbation: FleetPerturbation = field(
+        default_factory=FleetPerturbation)
+
+    def __post_init__(self) -> None:
+        if not self.tiers:
+            raise ConfigurationError("need at least one tier")
+        if self.trials < 1:
+            raise ConfigurationError(
+                f"trials must be >= 1, got {self.trials}")
+
+    def factors(self) -> np.ndarray:
+        """The ``(trials, 4)`` perturbation factor matrix (pure
+        function of ``seed``/``trials``/``perturbation``)."""
+        widths = np.array(self.perturbation.widths())
+        rng = np.random.default_rng(self.seed)
+        return rng.uniform(1.0 - widths, 1.0 + widths,
+                           size=(self.trials, 4))
+
+    def rollouts(self) -> List[FleetRollout]:
+        """The full population, trial-major: every tier flies every
+        perturbed scenario."""
+        base = self.config
+        factors = self.factors()
+        population: List[FleetRollout] = []
+        for trial in range(self.trials):
+            cap, mass, rate, scale = factors[trial]
+            perturbed = replace(
+                base,
+                battery=replace(base.battery,
+                                capacity_wh=base.battery.capacity_wh
+                                * cap),
+                sensor_rate_hz=base.sensor_rate_hz * rate,
+                frame_profile=base.frame_profile.scaled(scale),
+            )
+            for name, platform, module_mass, power in self.tiers:
+                population.append(FleetRollout(
+                    name=name,
+                    config=perturbed,
+                    platform=platform,
+                    compute_mass_kg=module_mass * mass,
+                    compute_power_w=power,
+                ))
+        return population
+
+    def run(self, *, jobs: int = 1,
+            metrics: Optional[MetricsRegistry] = None
+            ) -> FleetStudyResult:
+        """Evaluate the study population and summarize per tier.
+
+        Args:
+            jobs: Process-pool width.  ``jobs > 1`` shards the
+                population; shards are independent, so results are
+                identical to the serial run (each shard re-plans the
+                shared course once — planning, not simulation, is the
+                only duplicated work).
+            metrics: Optional registry for the ``fleet.*`` counters.
+        """
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        population = self.rollouts()
+        if jobs == 1 or len(population) <= jobs:
+            fleet = run_fleet(population, metrics=metrics)
+        else:
+            # Pool workers run run_fleet in their own processes, where
+            # no tracer is installed — span the fan-out from the parent
+            # so --trace-out still sees the run.
+            tracer = get_tracer()
+            shards = [population[i::jobs] for i in range(jobs)]
+            with tracer.wall_span("fleet.run", track="fleet") as span:
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    outcomes = list(pool.map(_run_fleet_chunk, shards))
+            results: List[Optional[MissionResult]] = [None] * len(
+                population)
+            batch_priced = 0
+            scalar_fallback = 0
+            for shard_index, (shard_results, hits, misses) in enumerate(
+                    outcomes):
+                for offset, value in enumerate(shard_results):
+                    results[shard_index + offset * jobs] = value
+                batch_priced += hits
+                scalar_fallback += misses
+            if tracer.enabled and span.args is None:
+                span.args = {"rollouts": len(population), "jobs": jobs,
+                             "batch_priced": batch_priced,
+                             "scalar_fallback": scalar_fallback}
+            fleet = FleetResult(
+                rollouts=tuple(population),
+                results=tuple(results),  # type: ignore[arg-type]
+                batch_priced=batch_priced,
+                scalar_fallback=scalar_fallback)
+            if metrics is not None:
+                metrics.counter("fleet.rollouts").inc(len(population))
+                if batch_priced:
+                    metrics.counter("fleet.batch_hits").inc(batch_priced)
+                if scalar_fallback:
+                    metrics.counter("fleet.batch_fallbacks").inc(
+                        scalar_fallback)
+        return FleetStudyResult(
+            statistics=tuple(self._summarize(fleet)),
+            fleet=fleet,
+            trials=self.trials,
+            seed=self.seed,
+        )
+
+    def _summarize(self, fleet: FleetResult) -> List[TierStatistics]:
+        by_tier: Dict[str, List[MissionResult]] = {}
+        for rollout, result in zip(fleet.rollouts, fleet.results):
+            by_tier.setdefault(rollout.name, []).append(result)
+        statistics = []
+        for name, _platform, _mass, _power in self.tiers:
+            results = by_tier.get(name, [])
+            if not results:
+                continue
+            times = np.array([r.mission_time_s for r in results])
+            energies = np.array([r.energy_j for r in results])
+            successes = sum(1 for r in results if r.success)
+            failures: Dict[str, int] = {}
+            for r in results:
+                if not r.success:
+                    failures[r.failure_reason] = failures.get(
+                        r.failure_reason, 0) + 1
+            statistics.append(TierStatistics(
+                tier=name,
+                trials=len(results),
+                success_rate=successes / len(results),
+                mission_time_p50_s=float(np.percentile(times, 50)),
+                mission_time_p90_s=float(np.percentile(times, 90)),
+                mission_time_p99_s=float(np.percentile(times, 99)),
+                energy_p50_j=float(np.percentile(energies, 50)),
+                energy_p99_j=float(np.percentile(energies, 99)),
+                failure_counts=failures,
+            ))
+        return statistics

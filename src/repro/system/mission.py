@@ -15,8 +15,9 @@ step, and the battery integrates hover + compute power.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -143,12 +144,23 @@ class MissionResult:
     endurance_s: float
 
     def missions_per_charge(self) -> float:
-        """How many such missions one charge supports (>1 is healthy)."""
+        """How many such missions one charge supports (>1 is healthy).
+
+        Failed missions score 0.  Degenerate inputs are guarded rather
+        than propagated: a free mission (``energy_j <= 0``) supports
+        infinitely many repeats, and a zero-power tier (``endurance_s =
+        inf`` with zero total power, whose usable energy would otherwise
+        evaluate to ``inf * 0 = NaN``) is likewise unlimited.
+        """
+        if not self.success:
+            return 0.0
         if self.energy_j <= 0:
             return float("inf")
         usable = self.endurance_s * (self.hover_power_w
                                      + self.compute_power_w)
-        return usable / self.energy_j if self.success else 0.0
+        if not math.isfinite(usable):
+            return float("inf")
+        return usable / self.energy_j
 
 
 def pipeline_latency_s(platform: Platform,
@@ -167,24 +179,50 @@ def pipeline_latency_s(platform: Platform,
     return 0.5 * period + compute + staleness + actuation_latency_s
 
 
-def run_mission(config: MissionConfig, platform: Platform,
-                compute_mass_kg: float,
-                compute_power_w: float) -> MissionResult:
-    """Fly the mission with the given compute tier installed.
+@dataclass(frozen=True)
+class Course:
+    """A planned, lap-expanded mission course with its arc-length table.
 
-    Args:
-        config: Scenario.
-        platform: Analytical platform model for the tier.
-        compute_mass_kg: Module mass added to the airframe.
-        compute_power_w: Module power draw while flying.
+    The occupancy-grid rasterization and A* plan that produce a course
+    are *tier-independent*: every compute tier (and every battery /
+    payload / sensor perturbation of the same scenario) flies the same
+    polyline.  Planning once and reusing the :class:`Course` is what
+    makes tier sweeps and fleet rollouts cheap; the precomputed
+    cumulative lengths are also the single source of truth both the
+    scalar chase loop and the vectorized fleet engine consume, so their
+    per-step semantics cannot drift apart.
 
-    Returns:
-        A :class:`MissionResult`; never raises on mission failure (that
-        is an outcome, not an error).
+    Attributes:
+        waypoints: ``(k, 2)`` world-frame polyline, laps included.
+        start: The mission start position the arc lengths are measured
+            from (the vehicle's first leg runs start -> waypoint 0).
+        cumulative_m: ``(k,)`` arc length from ``start`` through each
+            waypoint, i.e. ``cumulative_m[j]`` is the total distance a
+            vehicle has flown once it reaches waypoint ``j``.
+    """
+
+    waypoints: np.ndarray
+    start: np.ndarray
+    cumulative_m: np.ndarray
+
+    @property
+    def total_length_m(self) -> float:
+        """Full course length, start through the last waypoint."""
+        return float(self.cumulative_m[-1])
+
+    def __len__(self) -> int:
+        return len(self.waypoints)
+
+
+def plan_course(config: MissionConfig) -> Course:
+    """Rasterize, plan, and lap-expand the mission course once.
+
+    Raises:
+        ConfigurationError: For non-2-D worlds.
+        SimulationError: When no path exists through the world.
     """
     if config.world.dim != 2:
         raise ConfigurationError("missions require a 2-D world")
-
     grid = OccupancyGrid.from_world(config.world, resolution=0.2)
     planner = GridPlanner(grid, robot_radius=config.robot_radius_m)
     plan = planner.plan(config.start, config.goal)
@@ -201,6 +239,43 @@ def run_mission(config: MissionConfig, platform: Platform,
             leg = backward if lap % 2 == 1 else forward
             course.append(leg[1:])
         waypoints = np.concatenate(course, axis=0)
+    start = np.asarray(config.start, dtype=float).copy()
+    legs = np.diff(waypoints, axis=0, prepend=start[None, :])
+    gaps = np.sqrt((legs * legs).sum(axis=1))
+    return Course(waypoints=waypoints, start=start,
+                  cumulative_m=np.cumsum(gaps))
+
+
+def run_mission(config: MissionConfig, platform: Platform,
+                compute_mass_kg: float,
+                compute_power_w: float,
+                course: Optional[Course] = None) -> MissionResult:
+    """Fly the mission with the given compute tier installed.
+
+    The closed-loop traversal is dt-quantized: each step the vehicle
+    spends ``total_power * dt`` of battery and advances ``safe_speed *
+    dt`` of travel budget along the course's precomputed arc-length
+    table.  Waypoint ``j`` counts as reached once the cumulative travel
+    budget covers ``course.cumulative_m[j]``.  Every per-step quantity
+    is a pure function of the step index (multiplication, not a running
+    sum), which is what lets :mod:`repro.system.fleet` evaluate whole
+    rollout populations in closed form with field-identical results.
+
+    Args:
+        config: Scenario.
+        platform: Analytical platform model for the tier.
+        compute_mass_kg: Module mass added to the airframe.
+        compute_power_w: Module power draw while flying.
+        course: Optional precomputed :func:`plan_course` output for this
+            exact config (world, endpoints, radius, laps); sweeps pass
+            it to plan once instead of once per tier.
+
+    Returns:
+        A :class:`MissionResult`; never raises on mission failure (that
+        is an outcome, not an error).
+    """
+    if course is None:
+        course = plan_course(config)
 
     latency = pipeline_latency_s(platform, config.frame_profile,
                                  config.sensor_rate_hz,
@@ -214,42 +289,36 @@ def run_mission(config: MissionConfig, platform: Platform,
     total_power = hover_power + compute_power_w
     endurance = config.battery.usable_energy_j / total_power
 
-    # Closed-loop traversal: chase waypoints at the safe speed.
-    position = np.asarray(config.start, dtype=float).copy()
-    target_index = 0
-    energy = 0.0
-    distance = 0.0
-    elapsed = 0.0
     dt = config.time_step_s
     budget = config.battery.usable_energy_j
+    step_travel = safe_speed * dt
+    step_energy = total_power * dt
+    cumulative = course.cumulative_m.tolist()
+    n_waypoints = len(cumulative)
+
+    # Closed-loop traversal: chase waypoints at the safe speed, reading
+    # reach-events off the precomputed arc-length table.
+    target_index = 0
+    steps = 0
     success = False
     reason = "timeout"
-
-    while elapsed < config.max_duration_s:
-        if target_index >= len(waypoints):
+    while steps * dt < config.max_duration_s:
+        if target_index >= n_waypoints:
             success = True
             reason = ""
             break
-        if energy + total_power * dt > budget:
+        if (steps + 1) * step_energy > budget:
             reason = "battery"
             break
-        # Advance along the waypoint chain, consuming this step's travel
-        # budget across as many waypoints as it spans.
-        remaining = safe_speed * dt
-        while remaining > 1e-9 and target_index < len(waypoints):
-            to_target = waypoints[target_index] - position
-            gap = float(np.linalg.norm(to_target))
-            if gap <= remaining:
-                position = waypoints[target_index].copy()
-                target_index += 1
-                remaining -= gap
-                distance += gap
-            else:
-                position = position + to_target / gap * remaining
-                distance += remaining
-                remaining = 0.0
-        energy += total_power * dt
-        elapsed += dt
+        traveled = (steps + 1) * step_travel
+        while (target_index < n_waypoints
+               and cumulative[target_index] <= traveled):
+            target_index += 1
+        steps += 1
+
+    elapsed = steps * dt
+    energy = steps * step_energy
+    distance = min(steps * step_travel, course.total_length_m)
 
     return MissionResult(
         success=success,
@@ -270,16 +339,22 @@ def run_mission(config: MissionConfig, platform: Platform,
 def sweep_compute_tiers(
     config: MissionConfig,
     tiers: Sequence[Tuple[str, Platform, float, float]],
+    course: Optional[Course] = None,
 ) -> List[Tuple[str, MissionResult]]:
     """Run the mission across a compute ladder (see
     :func:`repro.hw.catalog.uav_compute_tiers`).
+
+    The occupancy-grid rasterization and A* plan are tier-independent,
+    so the sweep plans the course once and reuses it for every tier.
 
     Returns:
         ``(tier name, result)`` pairs in the given order.
     """
     if not tiers:
         raise ConfigurationError("need at least one tier")
+    if course is None:
+        course = plan_course(config)
     return [
-        (name, run_mission(config, platform, mass, power))
+        (name, run_mission(config, platform, mass, power, course=course))
         for name, platform, mass, power in tiers
     ]

@@ -1,0 +1,97 @@
+"""Mission-objective wiring: co-design candidates scored by flying the
+fixed closed-loop scenario, batch path identical to scalar, search
+routed through the engine's batch fast path, and cache keys stable
+across the two paths (a scalar-primed cache replays under batch)."""
+
+import pickle
+
+from repro.dse.objectives import (
+    codesign_payload,
+    codesign_space,
+    mission_objective,
+)
+from repro.dse.search import random_search
+from repro.engine import Evaluator
+from repro.engine.cache import ResultCache
+from repro.spec.registry import OBJECTIVES
+
+
+def _sample_configs(step=23):
+    space = codesign_space()
+    return [space.config_at(i) for i in range(0, space.size, step)]
+
+
+def _scalar_mission_objective(config):
+    """Plain-function twin: no evaluate_batch, so an Evaluator built on
+    it can only take the scalar path."""
+    return mission_objective(config)
+
+
+class TestMissionObjective:
+    def test_batch_equals_scalar_bitwise(self):
+        configs = _sample_configs()
+        scalar = [mission_objective(config) for config in configs]
+        batch = mission_objective.evaluate_batch(configs)
+        assert batch == scalar
+        assert all(type(value) is float for value in batch)
+
+    def test_empty_batch(self):
+        assert mission_objective.evaluate_batch([]) == []
+
+    def test_registered(self):
+        assert OBJECTIVES.get("mission_objective") is \
+            mission_objective
+
+    def test_pickles_to_the_singleton(self):
+        clone = pickle.loads(pickle.dumps(mission_objective))
+        assert clone is mission_objective
+
+    def test_payload_scales_with_compute(self):
+        space = codesign_space()
+        small = codesign_payload(space.config_at(0))
+        large = codesign_payload(space.config_at(space.size - 1))
+        assert small[0] < large[0]  # mass
+        assert small[1] < large[1]  # power
+
+    def test_failure_penalty_dominates(self):
+        # Any feasible score is < 10; any infeasible score is >= 10,
+        # so success always orders above failure.
+        values = mission_objective.evaluate_batch(_sample_configs(11))
+        feasible = [v for v in values if v < 10.0]
+        infeasible = [v for v in values if v >= 10.0]
+        assert feasible, "no candidate flies the mission"
+        assert max(feasible) < min(infeasible, default=float("inf"))
+
+
+class TestSearchIntegration:
+    def test_search_prices_through_batch_path(self):
+        space = codesign_space()
+        batch_eval = Evaluator(mission_objective, seed=3)
+        batch = random_search(space, budget=40, seed=3,
+                              evaluator=batch_eval)
+        scalar_eval = Evaluator(_scalar_mission_objective, seed=3)
+        scalar = random_search(space, budget=40, seed=3,
+                               evaluator=scalar_eval)
+        assert batch_eval.stats()["batch_hits"] > 0
+        assert scalar_eval.stats()["batch_hits"] == 0
+        assert batch.best_config == scalar.best_config
+        assert batch.best_value == scalar.best_value
+
+    def test_scalar_primed_cache_replays_under_batch(self):
+        """Cache keys must not depend on which path priced the
+        candidate: prime a cache through the scalar twin, then the
+        batch-capable objective must answer entirely from it."""
+        configs = _sample_configs(31)
+        cache = ResultCache()
+        context = {"objective": "mission"}
+        scalar_eval = Evaluator(_scalar_mission_objective, cache=cache,
+                                context=context)
+        scalar_values = [r.value
+                         for r in scalar_eval.map_batch(configs)]
+        batch_eval = Evaluator(mission_objective, cache=cache,
+                               context=context)
+        results = batch_eval.map_batch(configs)
+        assert [r.value for r in results] == scalar_values
+        assert all(r.cached for r in results)
+        assert batch_eval.stats()["oracle_calls"] == 0
+        assert batch_eval.stats()["batch_hits"] == 0

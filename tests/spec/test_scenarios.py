@@ -12,6 +12,7 @@ from repro.spec import (
     SPEC_VERSION,
     TIERS,
     DseScenario,
+    FleetScenario,
     MissionScenario,
     Scenario,
     SuiteScenario,
@@ -23,6 +24,8 @@ from repro.spec import (
     save_spec,
     to_spec,
 )
+
+from repro.system.fleet import FleetPerturbation
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "scenarios"
 
@@ -93,6 +96,30 @@ class TestScenarioCodec:
         clone = from_spec(json.loads(json.dumps(to_spec(scenario))))
         assert fingerprint(clone) == fingerprint(scenario)
 
+    def test_fleet_round_trip(self):
+        scenario = from_spec(_fleet_spec())
+        run = scenario.run
+        assert isinstance(run, FleetScenario)
+        assert (run.trials, run.seed, run.jobs) == (12, 7, 2)
+        assert run.perturbation == FleetPerturbation(
+            battery_capacity=0.05, payload_mass=0.1,
+            sensor_rate=0.1, workload_scale=0.3)
+        assert len(run.tiers) == len(TIERS.build("uav-ladder"))
+        clone = from_spec(json.loads(json.dumps(to_spec(scenario))))
+        assert fingerprint(clone) == fingerprint(scenario)
+
+    def test_fleet_defaults(self):
+        run = from_spec(_fleet_spec(trials=None, seed=None, jobs=None,
+                                    perturbation=None)).run
+        assert (run.trials, run.seed, run.jobs) == (64, 0, 1)
+        assert run.perturbation == FleetPerturbation()
+
+    def test_fleet_encode_emits_every_perturbation_axis(self):
+        payload = to_spec(from_spec(_fleet_spec()))
+        assert set(payload["fleet"]["perturbation"]) == {
+            "battery_capacity", "payload_mass", "sensor_rate",
+            "workload_scale"}
+
     def test_explicit_tier_list(self):
         run = from_spec({
             "kind": "scenario", "name": "m",
@@ -114,10 +141,33 @@ class TestScenarioCodec:
         assert run.seed is None
 
 
+def _fleet_spec(**overrides):
+    payload = {
+        "config": {
+            "kind": "mission",
+            "world": {"kind": "circle-world",
+                      "random": {"n_obstacles": 4, "extent": 30.0,
+                                 "seed": 1}},
+            "start": [1.0, 1.0], "goal": [28.0, 28.0],
+        },
+        "tiers": {"ref": "uav-ladder"},
+        "trials": 12, "seed": 7, "jobs": 2,
+        "perturbation": {"battery_capacity": 0.05,
+                         "payload_mass": 0.1,
+                         "sensor_rate": 0.1,
+                         "workload_scale": 0.3},
+    }
+    payload.update(overrides)
+    payload = {key: value for key, value in payload.items()
+               if value is not None}
+    return {"kind": "scenario", "name": "f", "fleet": payload}
+
+
 class TestScenarioValidation:
     def test_exactly_one_section(self):
         with pytest.raises(SpecError, match="exactly one of 'suite',"
-                                            " 'mission', 'dse'"):
+                                            " 'mission', 'fleet',"
+                                            " 'dse'"):
             from_spec({"kind": "scenario", "name": "s"})
 
     def test_bad_strategy(self):
@@ -138,6 +188,24 @@ class TestScenarioValidation:
         with pytest.raises(SpecError,
                            match=r"\$\.dse\.jobs: must be >= 1"):
             from_spec(_dse_spec(jobs=0))
+
+    def test_fleet_trials_must_be_positive(self):
+        with pytest.raises(SpecError,
+                           match=r"\$\.fleet\.trials: must be >= 1"):
+            from_spec(_fleet_spec(trials=0))
+
+    def test_fleet_perturbation_width_bounds(self):
+        with pytest.raises(SpecError,
+                           match=r"\$\.fleet\.perturbation: "
+                                 r"battery_capacity width"):
+            from_spec(_fleet_spec(
+                perturbation={"battery_capacity": 1.5}))
+
+    def test_fleet_perturbation_rejects_unknown_axis(self):
+        with pytest.raises(SpecError,
+                           match=r"\$\.fleet\.perturbation: unknown"
+                                 r" field\(s\) 'wind'"):
+            from_spec(_fleet_spec(perturbation={"wind": 0.1}))
 
     def test_reference_must_be_a_target(self):
         with pytest.raises(SpecError,
@@ -209,7 +277,7 @@ class TestLoader:
 class TestExampleScenarios:
     @pytest.mark.parametrize("filename", [
         "uav_codesign.json", "suite_catalog.json",
-        "patrol_mission.json",
+        "patrol_mission.json", "fleet_montecarlo.json",
     ])
     def test_example_loads(self, filename):
         scenario = load_scenario(str(EXAMPLES / filename))
@@ -217,8 +285,8 @@ class TestExampleScenarios:
 
     def test_examples_dir_is_exhaustive(self):
         assert sorted(p.name for p in EXAMPLES.glob("*.json")) == [
-            "patrol_mission.json", "suite_catalog.json",
-            "uav_codesign.json",
+            "fleet_montecarlo.json", "patrol_mission.json",
+            "suite_catalog.json", "uav_codesign.json",
         ]
 
     def test_uav_codesign_mirrors_programmatic_dse(self):

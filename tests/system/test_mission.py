@@ -8,8 +8,10 @@ from repro.hw import uav_compute_tiers
 from repro.kernels.planning import CircleWorld
 from repro.system.mission import (
     MissionConfig,
+    MissionResult,
     default_frame_profile,
     pipeline_latency_s,
+    plan_course,
     run_mission,
     sweep_compute_tiers,
 )
@@ -145,3 +147,73 @@ class TestMissionMechanics:
         _, platform, mass, power = tiers[1]
         result = run_mission(config, platform, mass, power)
         assert result.missions_per_charge() > 1.0
+
+
+def _result(**overrides):
+    """A healthy successful mission, overridable per degenerate case."""
+    base = dict(
+        success=True, failure_reason="", mission_time_s=100.0,
+        distance_m=500.0, energy_j=5_000.0, mean_speed_m_s=5.0,
+        safe_speed_m_s=5.0, pipeline_latency_s=0.1,
+        compute_power_w=10.0, hover_power_w=90.0, total_mass_kg=2.0,
+        endurance_s=600.0,
+    )
+    base.update(overrides)
+    return MissionResult(**base)
+
+
+class TestMissionsPerChargeGuards:
+    """Degenerate inputs must produce 0 / inf, never NaN."""
+
+    def test_healthy_value(self):
+        # usable = 600 s * 100 W = 60 kJ; 5 kJ per mission.
+        assert _result().missions_per_charge() == pytest.approx(12.0)
+
+    def test_failed_mission_scores_zero(self):
+        failed = _result(success=False, failure_reason="battery")
+        assert failed.missions_per_charge() == 0.0
+
+    def test_free_mission_is_unlimited(self):
+        assert _result(energy_j=0.0).missions_per_charge() == \
+            float("inf")
+
+    def test_zero_power_tier_is_unlimited_not_nan(self):
+        # inf endurance * 0 W would be NaN without the guard.
+        ghost = _result(endurance_s=float("inf"), hover_power_w=0.0,
+                        compute_power_w=0.0)
+        value = ghost.missions_per_charge()
+        assert value == float("inf")
+        assert value == value  # not NaN
+
+
+class TestCourseReuse:
+    """plan_course is hoisted: precomputed courses must change nothing
+    but the planning cost."""
+
+    def test_precomputed_course_identical_result(self, config, tiers):
+        course = plan_course(config)
+        for _, platform, mass, power in tiers:
+            fresh = run_mission(config, platform, mass, power)
+            reused = run_mission(config, platform, mass, power,
+                                 course=course)
+            assert reused == fresh
+
+    def test_sweep_accepts_precomputed_course(self, config, tiers,
+                                              sweep):
+        course = plan_course(config)
+        assert sweep_compute_tiers(config, tiers, course=course) == \
+            sweep
+
+    def test_course_geometry(self, config):
+        course = plan_course(config)
+        assert len(course) > 0
+        gaps = np.diff(course.cumulative_m, prepend=0.0)
+        assert np.all(gaps >= 0.0)
+        assert course.total_length_m == pytest.approx(
+            course.cumulative_m[-1])
+        # 20 laps over a ~167 m loop.
+        assert course.total_length_m > 2000.0
+
+    def test_empty_tiers_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            sweep_compute_tiers(config, [])

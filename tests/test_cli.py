@@ -14,7 +14,7 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for command in ("suite", "mission", "fig1", "dse"):
+        for command in ("suite", "mission", "fleet", "fig1", "dse"):
             args = parser.parse_args([command])
             assert args.command == command
 
@@ -214,6 +214,45 @@ class TestMissionCommand:
         assert document["provenance"]["seed"] == 11
         for row in document["rows"]:
             assert "energy_j" in row and "safe_speed_m_s" in row
+
+
+class TestFleetCommand:
+    def test_monte_carlo_runs(self, capsys):
+        assert main(["fleet", "--laps", "2", "--trials", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet Monte Carlo" in out
+        assert "best tier:" in out
+        assert "batch-priced:" in out
+
+    def test_json_and_trace_output(self, tmp_path, capsys):
+        json_path = tmp_path / "fleet.json"
+        trace_path = tmp_path / "fleet_trace.json"
+        assert main(["fleet", "--laps", "2", "--trials", "4",
+                     "--jobs", "2",
+                     "--json", str(json_path),
+                     "--trace-out", str(trace_path)]) == 0
+        capsys.readouterr()
+        document = json.loads(json_path.read_text())
+        tiers = [row["tier"] for row in document["tiers"]]
+        assert tiers == sorted(tiers)  # ladder order preserved
+        assert document["rollouts"] == 4 * len(tiers)
+        # The whole catalog ladder is SoA-priceable: no fallbacks.
+        assert document["batch_priced"] == document["rollouts"]
+        assert document["scalar_fallback"] == 0
+        assert document["metrics"]["fleet.rollouts"]["value"] == \
+            document["rollouts"]
+        assert document["best_tier"] in tiers
+        trace = json.loads(trace_path.read_text())
+        assert any(event.get("name") == "fleet.run"
+                   for event in trace["traceEvents"])
+
+    def test_bad_trials_exits_nonzero(self, capsys):
+        assert main(["fleet", "--trials", "0"]) == 2
+        assert "--trials" in capsys.readouterr().err
+
+    def test_bad_jobs_exits_nonzero(self, capsys):
+        assert main(["fleet", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
 
 
 class TestTraceCommand:

@@ -97,6 +97,22 @@ class TestMissionEquivalence:
         assert _canon(_load(programmatic)) == _canon(_load(replayed))
 
 
+class TestFleetEquivalence:
+    def test_scenario_matches_programmatic_run(self, tmp_path, capsys):
+        programmatic = tmp_path / "programmatic.json"
+        replayed = tmp_path / "replayed.json"
+
+        assert main(["fleet", "--laps", "20", "--trials", "64",
+                     "--seed", "0", "--world-seed", "11",
+                     "--json", str(programmatic)]) == 0
+        assert main(["run", str(EXAMPLES / "fleet_montecarlo.json"),
+                     "--json", str(replayed)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario 'fleet-montecarlo'" in out
+
+        assert _canon(_load(programmatic)) == _canon(_load(replayed))
+
+
 class TestRunCommand:
     def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
         assert main(["run", str(tmp_path / "nope.json")]) == 2
@@ -119,10 +135,10 @@ class TestRunCommand:
 class TestSpecCommand:
     def test_validate_all_examples(self, capsys):
         files = sorted(str(p) for p in EXAMPLES.glob("*.json"))
-        assert len(files) == 3
+        assert len(files) == 4
         assert main(["spec", "validate"] + files) == 0
         out = capsys.readouterr().out
-        assert out.count("OK      ") == 3
+        assert out.count("OK      ") == 4
         assert "(scenario)" in out
 
     def test_validate_reports_invalid_files(self, tmp_path, capsys):
@@ -150,6 +166,7 @@ class TestSpecCommand:
 
 @pytest.mark.parametrize("filename", [
     "uav_codesign.json", "suite_catalog.json", "patrol_mission.json",
+    "fleet_montecarlo.json",
 ])
 def test_show_round_trips_examples(filename, capsys):
     """``spec show`` output is itself a valid, equivalent spec file."""
