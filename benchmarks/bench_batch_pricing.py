@@ -6,21 +6,28 @@ per-candidate scalar loop by an order of magnitude at population sizes
 a search actually uses (>= 10x at 1k candidates), while returning
 **bit-identical** values.
 
+The measurement itself lives in the benchmark registry
+(:func:`repro.bench.builtin.run_batch_pricing` — the same runner
+``repro bench --filter batch_pricing`` executes), so this script, the
+CLI, and the perf ledger can never measure different things.
+
 Two entry points:
 
 - ``pytest benchmarks/bench_batch_pricing.py`` — small-scale smoke:
   batch must not lose to scalar, and values must match exactly (run in
   CI, where absolute throughput is noisy but the ordering is not);
 - ``python benchmarks/bench_batch_pricing.py`` — the full sweep at
-  10/100/1k/10k candidates, printed as a table and written to
-  ``BENCH_batch_pricing.json`` (the numbers quoted in EXPERIMENTS.md).
+  10/100/1k/10k candidates, printed as a table, written to
+  ``BENCH_batch_pricing.json`` (the numbers quoted in EXPERIMENTS.md),
+  and appended to ``BENCH_LEDGER.jsonl`` as provenance-stamped
+  records.
 """
 
 import json
 import sys
 import time
 
-from repro.dse.objectives import codesign_space, suite_objective
+from repro.bench import append_records, get_benchmark, ledger_record
 
 SIZES = (10, 100, 1_000, 10_000)
 SMOKE_SIZE = 64
@@ -28,63 +35,30 @@ ATTEMPTS = 3        # re-measure on a noisy machine before failing
 TARGET_SPEEDUP = 10.0   # the EXPERIMENTS.md claim, at >= 1k candidates
 
 
-def _population(n):
-    """n co-design candidates cycling the 256-point space (repetition
-    is fine: throughput here is per-candidate work, not cache play)."""
-    space = codesign_space()
-    return [space.config_at(i % space.size) for i in range(n)]
-
-
-def _scalar_rate(configs):
-    started = time.perf_counter()
-    values = [suite_objective(config) for config in configs]
-    return len(configs) / (time.perf_counter() - started), values
-
-
-def _batch_rate(configs):
-    started = time.perf_counter()
-    values = suite_objective.evaluate_batch(configs)
-    return len(configs) / (time.perf_counter() - started), values
-
-
-def _warmup():
-    """Build the process-global suite/SoA state and trigger numpy's
-    lazy imports so the first measured row is not a cold start."""
-    configs = _population(4)
-    assert suite_objective.evaluate_batch(configs) \
-        == [suite_objective(config) for config in configs]
-
-
 def sweep(sizes=SIZES):
-    """Measure both paths at each population size."""
-    _warmup()
-    rows = []
+    """Measure each population size through the registered entry;
+    returns one ledger record per size (the runner asserts batch ==
+    scalar values before any rate is reported)."""
+    entry = get_benchmark("batch_pricing")
+    records = []
     for n in sizes:
-        configs = _population(n)
-        scalar_per_s, scalar_values = _scalar_rate(configs)
-        batch_per_s, batch_values = _batch_rate(configs)
-        assert batch_values == scalar_values, (
-            f"batch values diverged from scalar at n={n}")
-        rows.append({
-            "candidates": n,
-            "scalar_per_s": round(scalar_per_s, 1),
-            "batch_per_s": round(batch_per_s, 1),
-            "speedup": round(batch_per_s / scalar_per_s, 2),
-        })
-    return rows
+        started = time.perf_counter()
+        metrics = entry.run(n)
+        records.append(ledger_record(
+            entry.name, n, metrics,
+            time.perf_counter() - started,
+            config={"script": "bench_batch_pricing.py"}))
+    return records
 
 
 def test_batch_at_least_matches_scalar_throughput(report=None):
     """CI smoke: at a small population the batch path must price at
-    least as fast as the scalar loop — and identically."""
-    _warmup()
-    configs = _population(SMOKE_SIZE)
+    least as fast as the scalar loop — and identically (the registered
+    runner asserts value equality internally)."""
+    entry = get_benchmark("batch_pricing")
     best = 0.0
     for _ in range(ATTEMPTS):
-        scalar_per_s, scalar_values = _scalar_rate(configs)
-        batch_per_s, batch_values = _batch_rate(configs)
-        assert batch_values == scalar_values
-        best = max(best, batch_per_s / scalar_per_s)
+        best = max(best, entry.run(SMOKE_SIZE)["speedup"])
         if best >= 1.0:
             break
     assert best >= 1.0, (
@@ -92,8 +66,11 @@ def test_batch_at_least_matches_scalar_throughput(report=None):
         f" {best:.2f}x")
 
 
-def main(out_path="BENCH_batch_pricing.json"):
-    rows = sweep()
+def main(out_path="BENCH_batch_pricing.json",
+         ledger_path="BENCH_LEDGER.jsonl"):
+    records = sweep()
+    rows = [{"candidates": record["size"], **record["metrics"]}
+            for record in records]
     header = f"{'candidates':>10} {'scalar/s':>10} {'batch/s':>12} " \
              f"{'speedup':>8}"
     print(header)
@@ -107,6 +84,8 @@ def main(out_path="BENCH_batch_pricing.json"):
                    "suite_stages": 26, "rows": rows}, handle, indent=2)
         handle.write("\n")
     print(f"wrote {out_path}")
+    append_records(ledger_path, records)
+    print(f"appended {len(records)} record(s) to {ledger_path}")
     at_1k = next(r for r in rows if r["candidates"] == 1_000)
     if at_1k["speedup"] < TARGET_SPEEDUP:
         print(f"WARNING: speedup at 1k candidates"

@@ -11,121 +11,60 @@ Both paths get precomputed courses (planning is hoisted and shared —
 see ``plan_course``), so the speedup measured here is pure simulation:
 the dt-stepped Python chase loop versus three fused-numpy step counts.
 
+The measurement itself lives in the benchmark registry
+(:func:`repro.bench.builtin.run_fleet_missions` — the same runner
+``repro bench --filter fleet_missions`` executes); each record also
+carries the engine's exact ``alloc_bytes_per_rollout``, the
+allocation-tax instrument from EXPERIMENTS.md S5.
+
 Two entry points:
 
 - ``pytest benchmarks/bench_fleet_missions.py`` — small-scale smoke:
   batch must not lose to scalar, and results must match exactly (run
   in CI, where absolute throughput is noisy but the ordering is not);
 - ``python benchmarks/bench_fleet_missions.py`` — the full sweep at
-  10/100/1k/10k rollouts, printed as a table and written to
-  ``BENCH_fleet_missions.json`` (the numbers quoted in EXPERIMENTS.md).
+  10/100/1k/10k rollouts, printed as a table, written to
+  ``BENCH_fleet_missions.json`` (the numbers quoted in
+  EXPERIMENTS.md), and appended to ``BENCH_LEDGER.jsonl`` as
+  provenance-stamped records.
 """
 
 import json
 import sys
 import time
 
-import numpy as np
-
-from repro.hw.catalog import uav_compute_tiers
-from repro.kernels.planning.occupancy import CircleWorld
-from repro.system.fleet import FleetStudy, ensure_course, run_fleet
-from repro.system.mission import MissionConfig, run_mission
+from repro.bench import append_records, get_benchmark, ledger_record
 
 SIZES = (10, 100, 1_000, 10_000)
 SMOKE_SIZE = 64
 ATTEMPTS = 3        # re-measure on a noisy machine before failing
 TARGET_SPEEDUP = 20.0   # the EXPERIMENTS.md claim, at >= 1k rollouts
 
-_CONFIG = None
-
-
-def _config():
-    """A compact two-lap patrol (built once: the world and its plan are
-    shared by every population size)."""
-    global _CONFIG
-    if _CONFIG is None:
-        world = CircleWorld.random(
-            dim=2, n_obstacles=24, extent=60.0,
-            radius_range=(1.0, 2.5), seed=5, keep_corners_free=3.0)
-        _CONFIG = MissionConfig(
-            world=world,
-            start=np.array([1.0, 1.0]),
-            goal=np.array([58.0, 58.0]),
-            laps=2,
-        )
-    return _CONFIG
-
-
-def _population(n):
-    """n fleet rollouts: the compute ladder flown through seeded Monte
-    Carlo perturbations, truncated to exactly n."""
-    tiers = uav_compute_tiers()
-    trials = (n + len(tiers) - 1) // len(tiers)
-    study = FleetStudy(config=_config(), tiers=tiers, trials=trials,
-                       seed=0)
-    return study.rollouts()[:n]
-
-
-def _scalar_rate(rollouts, cache):
-    started = time.perf_counter()
-    results = [
-        run_mission(r.config, r.platform, r.compute_mass_kg,
-                    r.compute_power_w,
-                    course=ensure_course(r.config, cache))
-        for r in rollouts
-    ]
-    return len(rollouts) / (time.perf_counter() - started), results
-
-
-def _batch_rate(rollouts, cache):
-    started = time.perf_counter()
-    fleet = run_fleet(rollouts, course_cache=cache)
-    rate = len(rollouts) / (time.perf_counter() - started)
-    return rate, list(fleet.results)
-
-
-def _warmup():
-    """Plan the shared course, build the SoA state, and trigger numpy's
-    lazy imports so the first measured row is not a cold start."""
-    cache = {}
-    rollouts = _population(4)
-    _, batch = _batch_rate(rollouts, cache)
-    _, scalar = _scalar_rate(rollouts, cache)
-    assert batch == scalar
-    return cache
-
 
 def sweep(sizes=SIZES):
-    """Measure both paths at each population size."""
-    cache = _warmup()
-    rows = []
+    """Measure each population size through the registered entry;
+    returns one ledger record per size (the runner asserts exact
+    result equality before any rate is reported)."""
+    entry = get_benchmark("fleet_missions")
+    records = []
     for n in sizes:
-        rollouts = _population(n)
-        scalar_per_s, scalar_results = _scalar_rate(rollouts, cache)
-        batch_per_s, batch_results = _batch_rate(rollouts, cache)
-        assert batch_results == scalar_results, (
-            f"batch results diverged from scalar at n={n}")
-        rows.append({
-            "rollouts": n,
-            "scalar_per_s": round(scalar_per_s, 1),
-            "batch_per_s": round(batch_per_s, 1),
-            "speedup": round(batch_per_s / scalar_per_s, 2),
-        })
-    return rows
+        started = time.perf_counter()
+        metrics = entry.run(n)
+        records.append(ledger_record(
+            entry.name, n, metrics,
+            time.perf_counter() - started,
+            config={"script": "bench_fleet_missions.py"}))
+    return records
 
 
 def test_batch_equals_scalar_and_at_least_matches_throughput():
     """CI smoke: at a small population the fleet engine must simulate
-    at least as fast as per-rollout run_mission — and identically."""
-    cache = _warmup()
-    rollouts = _population(SMOKE_SIZE)
+    at least as fast as per-rollout run_mission — and identically (the
+    registered runner asserts result equality internally)."""
+    entry = get_benchmark("fleet_missions")
     best = 0.0
     for _ in range(ATTEMPTS):
-        scalar_per_s, scalar_results = _scalar_rate(rollouts, cache)
-        batch_per_s, batch_results = _batch_rate(rollouts, cache)
-        assert batch_results == scalar_results
-        best = max(best, batch_per_s / scalar_per_s)
+        best = max(best, entry.run(SMOKE_SIZE)["speedup"])
         if best >= 1.0:
             break
     assert best >= 1.0, (
@@ -133,21 +72,27 @@ def test_batch_equals_scalar_and_at_least_matches_throughput():
         f" {best:.2f}x")
 
 
-def main(out_path="BENCH_fleet_missions.json"):
-    rows = sweep()
+def main(out_path="BENCH_fleet_missions.json",
+         ledger_path="BENCH_LEDGER.jsonl"):
+    records = sweep()
+    rows = [{"rollouts": record["size"], **record["metrics"]}
+            for record in records]
     header = f"{'rollouts':>10} {'scalar/s':>10} {'batch/s':>12} " \
-             f"{'speedup':>8}"
+             f"{'speedup':>8} {'B/rollout':>10}"
     print(header)
     print("-" * len(header))
     for row in rows:
         print(f"{row['rollouts']:>10} {row['scalar_per_s']:>10.1f} "
-              f"{row['batch_per_s']:>12.1f} {row['speedup']:>7.2f}x")
+              f"{row['batch_per_s']:>12.1f} {row['speedup']:>7.2f}x "
+              f"{row['alloc_bytes_per_rollout']:>10.0f}")
     with open(out_path, "w") as handle:
         json.dump({"benchmark": "fleet_missions",
                    "mission": "60m patrol, 2 laps, 5-tier ladder",
                    "rows": rows}, handle, indent=2)
         handle.write("\n")
     print(f"wrote {out_path}")
+    append_records(ledger_path, records)
+    print(f"appended {len(records)} record(s) to {ledger_path}")
     at_1k = next(r for r in rows if r["rollouts"] == 1_000)
     if at_1k["speedup"] < TARGET_SPEEDUP:
         print(f"WARNING: speedup at 1k rollouts"

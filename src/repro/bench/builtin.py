@@ -1,0 +1,311 @@
+"""Built-in benchmark registry entries.
+
+Each entry wraps the measurement core of one ``benchmarks/`` script as
+a registered, size-parameterized runner.  The scripts keep their pytest
+smoke tests (CI contract checks) and their ``__main__`` sweeps, but the
+measurement itself lives here so ``repro bench``, the scripts, and the
+ledger all run the *same* code.
+
+Runners embed the correctness assertions of their source scripts
+(batch == scalar identity, exact fleet-result equality), so every
+benchmark run doubles as a contract check — a speedup measured over
+wrong results never reaches the ledger.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.bench.registry import Benchmark, Metric, register_benchmark
+
+# -- batch pricing -----------------------------------------------------
+
+
+def _pricing_population(n: int) -> List[dict]:
+    from repro.dse.objectives import codesign_space
+
+    space = codesign_space()
+    return [space.config_at(i % space.size) for i in range(n)]
+
+
+def run_batch_pricing(size: int) -> Dict[str, float]:
+    """Scalar-vs-SoA population pricing (see S3 / PR 4)."""
+    from repro.dse.objectives import suite_objective
+
+    warm = _pricing_population(4)
+    assert suite_objective.evaluate_batch(warm) == \
+        [suite_objective(config) for config in warm]
+    configs = _pricing_population(size)
+    started = time.perf_counter()
+    scalar_values = [suite_objective(config) for config in configs]
+    scalar_per_s = size / (time.perf_counter() - started)
+    started = time.perf_counter()
+    batch_values = suite_objective.evaluate_batch(configs)
+    batch_per_s = size / (time.perf_counter() - started)
+    assert batch_values == scalar_values, (
+        f"batch values diverged from scalar at n={size}")
+    return {
+        "scalar_per_s": round(scalar_per_s, 1),
+        "batch_per_s": round(batch_per_s, 1),
+        "speedup": round(batch_per_s / scalar_per_s, 2),
+    }
+
+
+# -- fleet missions ----------------------------------------------------
+
+_FLEET_CONFIG = None
+_FLEET_COURSES: Dict = {}
+
+
+def _fleet_config():
+    """The bench scenario: compact two-lap patrol, shared world + plan
+    (module-cached so every size reuses one course)."""
+    global _FLEET_CONFIG
+    if _FLEET_CONFIG is None:
+        import numpy as np
+
+        from repro.kernels.planning.occupancy import CircleWorld
+        from repro.system.mission import MissionConfig
+
+        world = CircleWorld.random(
+            dim=2, n_obstacles=24, extent=60.0,
+            radius_range=(1.0, 2.5), seed=5, keep_corners_free=3.0)
+        _FLEET_CONFIG = MissionConfig(
+            world=world,
+            start=np.array([1.0, 1.0]),
+            goal=np.array([58.0, 58.0]),
+            laps=2,
+        )
+    return _FLEET_CONFIG
+
+
+def _fleet_population(n: int):
+    from repro.hw.catalog import uav_compute_tiers
+    from repro.system.fleet import FleetStudy
+
+    tiers = uav_compute_tiers()
+    trials = (n + len(tiers) - 1) // len(tiers)
+    study = FleetStudy(config=_fleet_config(), tiers=tiers,
+                       trials=trials, seed=0)
+    return study.rollouts()[:n]
+
+
+def run_fleet_missions(size: int) -> Dict[str, float]:
+    """Scalar-vs-vectorized mission rollouts (see S4 / PR 5), plus the
+    engine's exact bytes-allocated-per-rollout — the allocation-tax
+    instrument (ROADMAP / EXPERIMENTS S5)."""
+    from repro.system.fleet import ensure_course, run_fleet
+    from repro.system.mission import run_mission
+
+    cache = _FLEET_COURSES
+    warm = _fleet_population(4)
+    warm_fleet = run_fleet(warm, course_cache=cache)
+    assert list(warm_fleet.results) == [
+        run_mission(r.config, r.platform, r.compute_mass_kg,
+                    r.compute_power_w,
+                    course=ensure_course(r.config, cache))
+        for r in warm]
+    rollouts = _fleet_population(size)
+    started = time.perf_counter()
+    scalar_results = [
+        run_mission(r.config, r.platform, r.compute_mass_kg,
+                    r.compute_power_w,
+                    course=ensure_course(r.config, cache))
+        for r in rollouts
+    ]
+    scalar_per_s = size / (time.perf_counter() - started)
+    started = time.perf_counter()
+    fleet = run_fleet(rollouts, course_cache=cache)
+    batch_per_s = size / (time.perf_counter() - started)
+    assert list(fleet.results) == scalar_results, (
+        f"batch results diverged from scalar at n={size}")
+    return {
+        "scalar_per_s": round(scalar_per_s, 1),
+        "batch_per_s": round(batch_per_s, 1),
+        "speedup": round(batch_per_s / scalar_per_s, 2),
+        "alloc_bytes_per_rollout": round(
+            fleet.alloc_bytes_per_rollout, 1),
+    }
+
+
+# -- engine parallel ---------------------------------------------------
+
+_ENGINE_REPS = 120   # oracle weight: ~30 ms per candidate
+_ENGINE_JOBS = 4
+
+
+def _engine_heavy_objective(candidate):
+    """An artificially expensive oracle (module-level: picklable)."""
+    from repro.dse.objectives import suite_objective
+
+    value = 0.0
+    for _ in range(_ENGINE_REPS):
+        value = suite_objective(candidate)
+    return value
+
+
+def run_engine_parallel(size: int) -> Dict[str, float]:
+    """Serial-vs-process-pool evaluation of ``size`` heavy candidates
+    (see S2 / PR 2); values must be identical."""
+    from repro.dse.objectives import codesign_space
+    from repro.engine import Evaluator
+
+    space = codesign_space()
+    step = max(1, space.size // size)
+    candidates = [space.config_at(i * step) for i in range(size)]
+
+    started = time.perf_counter()
+    serial = Evaluator(_engine_heavy_objective).map_batch(candidates)
+    serial_s = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel = Evaluator(_engine_heavy_objective,
+                         jobs=_ENGINE_JOBS).map_batch(candidates)
+    parallel_s = time.perf_counter() - started
+    assert [r.value for r in serial] == [r.value for r in parallel]
+    return {
+        "serial_per_s": round(size / serial_s, 2),
+        "parallel_per_s": round(size / parallel_s, 2),
+        "speedup": round(serial_s / parallel_s, 2),
+    }
+
+
+# -- observability overhead --------------------------------------------
+
+_OBS_REPS = 3
+
+
+def _obs_graph():
+    from repro.core.profile import WorkloadProfile
+    from repro.core.workload import Stage, TaskGraph
+
+    def profile(name):
+        return WorkloadProfile(name=name, flops=1e6, bytes_read=1e4,
+                               bytes_written=1e4,
+                               working_set_bytes=1e4)
+
+    return TaskGraph("obs-bench", [
+        Stage("sense", profile("sense"), rate_hz=200.0,
+              output_bytes=1e3),
+        Stage("track", profile("track"), deps=("sense",),
+              output_bytes=1e3),
+        Stage("plan", profile("plan"), deps=("track",),
+              output_bytes=1e3),
+        Stage("act", profile("act"), deps=("plan",)),
+    ])
+
+
+def _obs_run_once(duration_s: float, tracer, profiled: bool = False):
+    from repro.system.pipeline import PipelineSimulation
+
+    graph = _obs_graph()
+    service = {"sense": 1e-3, "track": 2e-3, "plan": 3e-3, "act": 1e-3}
+    simulation = PipelineSimulation(graph, service, tracer=tracer)
+    started = time.perf_counter()
+    if profiled:
+        with tracer.profile_span("pipeline.run", track="bench"):
+            result = simulation.run(duration_s)
+    else:
+        result = simulation.run(duration_s)
+    return time.perf_counter() - started, result
+
+
+def run_obs_overhead(size: int) -> Dict[str, float]:
+    """Pipeline-sim throughput: tracing off vs. on vs. on-with-profiling
+    (``size`` = simulated seconds).  Certifies the telemetry budgets:
+    the disabled path must be ~free, and the profiled path's cost must
+    stay bounded (see bench_obs_overhead.py for the documented budgets).
+    """
+    from repro.telemetry.profiling import SpanProfiler
+    from repro.telemetry.tracer import Tracer
+
+    duration = float(size)
+    _obs_run_once(duration, None)  # warmup
+    off, on, profiled = [], [], []
+    completed = 0
+    for _ in range(_OBS_REPS):
+        elapsed, result = _obs_run_once(duration, None)
+        off.append(elapsed)
+        completed = result.samples_completed
+        elapsed, on_result = _obs_run_once(duration, Tracer())
+        on.append(elapsed)
+        assert on_result.samples_completed == completed
+        tracer = Tracer()
+        tracer.profiler = SpanProfiler(cpu=True, top_n=5)
+        elapsed, prof_result = _obs_run_once(duration, tracer,
+                                             profiled=True)
+        profiled.append(elapsed)
+        assert prof_result.samples_completed == completed
+    off_s, on_s, profiled_s = min(off), min(on), min(profiled)
+    return {
+        "samples_per_s": round(completed / off_s, 1),
+        "on_off_ratio": round(on_s / off_s, 3),
+        "profiled_off_ratio": round(profiled_s / off_s, 3),
+    }
+
+
+# -- registration ------------------------------------------------------
+
+register_benchmark(Benchmark(
+    name="batch_pricing",
+    description="SoA batch pricing vs. the scalar roofline loop"
+                " (bit-identical values; S3)",
+    sizes=(10, 100, 1_000, 10_000),
+    smoke_sizes=(64,),
+    metrics=(
+        Metric("scalar_per_s", unit="1/s"),
+        Metric("batch_per_s", unit="1/s"),
+        Metric("speedup", unit="x", higher_is_better=True, gate=True),
+    ),
+    runner=run_batch_pricing,
+    tags=("smoke", "dse", "hw"),
+))
+
+register_benchmark(Benchmark(
+    name="fleet_missions",
+    description="Vectorized fleet rollouts vs. per-rollout run_mission"
+                " (exactly equal results; S4), with bytes/rollout",
+    sizes=(10, 100, 1_000, 10_000),
+    smoke_sizes=(64,),
+    metrics=(
+        Metric("scalar_per_s", unit="1/s"),
+        Metric("batch_per_s", unit="1/s"),
+        Metric("speedup", unit="x", higher_is_better=True, gate=True),
+        Metric("alloc_bytes_per_rollout", unit="B",
+               higher_is_better=False),
+    ),
+    runner=run_fleet_missions,
+    tags=("smoke", "mission", "system"),
+))
+
+register_benchmark(Benchmark(
+    name="engine_parallel",
+    description="Process-pool candidate evaluation vs. serial"
+                " (identical values; S2)",
+    sizes=(24,),
+    smoke_sizes=(8,),
+    metrics=(
+        Metric("serial_per_s", unit="1/s"),
+        Metric("parallel_per_s", unit="1/s"),
+        Metric("speedup", unit="x", higher_is_better=True, gate=True),
+    ),
+    runner=run_engine_parallel,
+    tags=("engine",),
+))
+
+register_benchmark(Benchmark(
+    name="obs_overhead",
+    description="Telemetry overhead: tracing off vs. on vs."
+                " on-with-profiling (size = simulated seconds)",
+    sizes=(60,),
+    smoke_sizes=(5,),
+    metrics=(
+        Metric("samples_per_s", unit="1/s"),
+        Metric("on_off_ratio", unit="ratio", higher_is_better=False,
+               gate=True),
+        Metric("profiled_off_ratio", unit="ratio",
+               higher_is_better=False, gate=True),
+    ),
+    runner=run_obs_overhead,
+    tags=("smoke", "telemetry"),
+))

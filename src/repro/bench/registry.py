@@ -1,0 +1,183 @@
+"""The benchmark registry: named, discoverable, schema-checked entries.
+
+The paper's O2 ("chips & salsa") argues that accelerator claims are
+only comparable when benchmarks are *standardized*: named workloads,
+declared sizes, declared metrics.  The scripts under ``benchmarks/``
+each certify one claim, but until this registry they were only
+discoverable by reading the directory.  A registered
+:class:`Benchmark` declares:
+
+- a **name** (`repro bench --filter` matches it and its tags),
+- **workload sizes** (the full sweep) and **smoke sizes** (tiny
+  configurations safe for CI runners),
+- a **metric schema** — every metric the runner must return, with its
+  unit, direction, and whether it participates in regression gating
+  (``gate=True`` metrics are compared against the committed baseline by
+  ``repro bench --check``; absolute-throughput metrics are recorded but
+  not gated, because they are machine-relative).
+
+:meth:`Benchmark.run` validates the runner's output against the schema,
+so a registered benchmark cannot silently drop a metric the ledger
+(and its baselines) depend on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.errors import BenchmarkError
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkRegistry",
+    "Metric",
+    "REGISTRY",
+    "get_benchmark",
+    "load_builtins",
+    "register_benchmark",
+]
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One declared output of a benchmark runner.
+
+    Attributes:
+        name: Key in the runner's returned mapping.
+        unit: Human-readable unit (``"1/s"``, ``"x"``, ``"ratio"``).
+        higher_is_better: Direction for regression comparison.
+        gate: Whether ``repro bench --check`` gates on this metric.
+            Gate only dimensionless, machine-relative quantities
+            (speedups, overhead ratios); absolute rates vary with the
+            host and are informational.
+    """
+
+    name: str
+    unit: str = ""
+    higher_is_better: bool = True
+    gate: bool = False
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A registered, runnable benchmark entry.
+
+    Attributes:
+        name: Registry key.
+        description: One-line summary shown by ``repro bench --list``.
+        sizes: Full-sweep workload sizes.
+        smoke_sizes: Tiny sizes safe for CI smoke runs (the default for
+            ``repro bench``).
+        metrics: The declared metric schema.
+        runner: ``size -> {metric name -> value}``.  Runners embed their
+            own correctness assertions (e.g. batch == scalar identity),
+            so a benchmark run is also a contract check.
+        tags: Extra ``--filter`` match terms (e.g. ``"smoke"``).
+    """
+
+    name: str
+    description: str
+    sizes: Tuple[int, ...]
+    smoke_sizes: Tuple[int, ...]
+    metrics: Tuple[Metric, ...]
+    runner: Callable[[int], Mapping[str, float]]
+    tags: Tuple[str, ...] = ()
+
+    def metric(self, name: str) -> Metric:
+        for metric in self.metrics:
+            if metric.name == name:
+                return metric
+        raise BenchmarkError(
+            f"benchmark {self.name!r} declares no metric {name!r}")
+
+    def gated_metrics(self) -> Tuple[Metric, ...]:
+        return tuple(m for m in self.metrics if m.gate)
+
+    def run(self, size: int) -> Dict[str, float]:
+        """Run at ``size`` and validate the result against the schema."""
+        if size < 1:
+            raise BenchmarkError(
+                f"benchmark {self.name!r}: size must be >= 1,"
+                f" got {size}")
+        measured = dict(self.runner(size))
+        for metric in self.metrics:
+            if metric.name not in measured:
+                raise BenchmarkError(
+                    f"benchmark {self.name!r} returned no"
+                    f" {metric.name!r} (schema requires it)")
+            value = measured[metric.name]
+            if not isinstance(value, (int, float)) or \
+                    isinstance(value, bool) or not math.isfinite(value):
+                raise BenchmarkError(
+                    f"benchmark {self.name!r}: metric {metric.name!r}"
+                    f" must be a finite number, got {value!r}")
+        unknown = set(measured) - {m.name for m in self.metrics}
+        if unknown:
+            raise BenchmarkError(
+                f"benchmark {self.name!r} returned undeclared"
+                f" metric(s) {sorted(unknown)}")
+        return measured
+
+    def matches(self, pattern: str) -> bool:
+        """Substring match against the name or any tag."""
+        pattern = pattern.lower()
+        return pattern in self.name.lower() or any(
+            pattern in tag.lower() for tag in self.tags)
+
+
+class BenchmarkRegistry:
+    """Name → :class:`Benchmark`, with filtered selection."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Benchmark] = {}
+
+    def register(self, benchmark: Benchmark) -> Benchmark:
+        if benchmark.name in self._entries:
+            raise BenchmarkError(
+                f"benchmark {benchmark.name!r} already registered")
+        self._entries[benchmark.name] = benchmark
+        return benchmark
+
+    def get(self, name: str) -> Benchmark:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise BenchmarkError(
+                f"unknown benchmark {name!r}; registered:"
+                f" {self.names()}") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def entries(self) -> List[Benchmark]:
+        return [self._entries[name] for name in self.names()]
+
+    def select(self, pattern: str = "") -> List[Benchmark]:
+        """Entries matching ``pattern`` (all of them when empty)."""
+        if not pattern:
+            return self.entries()
+        return [entry for entry in self.entries()
+                if entry.matches(pattern)]
+
+
+#: The process-global registry ``repro bench`` consults.  Built-in
+#: entries register on import of :mod:`repro.bench.builtin`.
+REGISTRY = BenchmarkRegistry()
+
+
+def register_benchmark(benchmark: Benchmark) -> Benchmark:
+    """Register on the global registry (returns the entry)."""
+    return REGISTRY.register(benchmark)
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up a registered benchmark, loading built-ins first."""
+    load_builtins()
+    return REGISTRY.get(name)
+
+
+def load_builtins() -> None:
+    """Import the built-in entries (idempotent; registers on import)."""
+    import repro.bench.builtin  # noqa: F401

@@ -19,6 +19,11 @@ code:
   against a catalog platform;
 - ``trace``    — run an instrumented simulation and export a Chrome
   trace (open in Perfetto / ``chrome://tracing``), or summarize one;
+- ``bench``    — run registered benchmarks (``--list`` to discover
+  them); every run appends provenance-stamped records to the perf
+  ledger (``BENCH_LEDGER.jsonl``), and ``--check`` gates the gated
+  metrics against the committed baselines
+  (``BENCH_BASELINES.json``), exiting nonzero on regression;
 - ``run``      — execute a declarative scenario file (suite, mission,
   fleet, or dse) through the same code paths as the subcommands above,
   cache keys included;
@@ -32,7 +37,9 @@ the run) so every workflow can feed automated optimization loops instead
 of only printing tables.  ``suite`` and ``dse`` additionally accept
 ``--jobs N`` (process-pool evaluation; results are identical to serial)
 and ``--cache DIR`` (on-disk result cache; warm re-runs cost zero
-oracle calls).
+oracle calls).  ``fleet --profile-out <path>`` writes a span-scoped
+profile: per-phase hotspot tables plus the engine's exact
+bytes-allocated counters.
 """
 
 from __future__ import annotations
@@ -243,12 +250,17 @@ def _cmd_mission(args: argparse.Namespace) -> int:
 
 def _run_fleet(config, tiers, trials=64, seed=0, jobs=1,
                perturbation=None, json_path=None, trace_out=None,
-               command_config=None) -> int:
+               profile_out=None, command_config=None) -> int:
     """Shared fleet execution path (see :func:`_run_suite`)."""
+    import contextlib
+
     from repro.system.fleet import FleetStudy
     from repro.telemetry import (
         MetricsRegistry,
+        SpanProfiler,
         Tracer,
+        format_hotspots,
+        measure_allocations,
         run_provenance,
         use_tracer,
         write_chrome_trace,
@@ -266,11 +278,25 @@ def _run_fleet(config, tiers, trials=64, seed=0, jobs=1,
     study = FleetStudy(config=config, tiers=list(tiers), trials=trials,
                        seed=seed, **kwargs)
     metrics = MetricsRegistry()
-    tracer = Tracer() if trace_out else None
-    if tracer is not None:
-        with use_tracer(tracer):
-            result = study.run(jobs=jobs, metrics=metrics)
-    else:
+    tracer = Tracer() if (trace_out or profile_out) else None
+    profiler = None
+    meter = None
+    if profile_out and tracer is not None:
+        # Span-scoped profiling: the engine's phase spans
+        # (fleet.plan/gather/price/solve/emit) each capture their own
+        # cProfile run, and the allocation meter records the exact SoA
+        # working set the kernels allocate.
+        profiler = SpanProfiler(cpu=True, memory=True)
+        tracer.profiler = profiler
+        if jobs > 1:
+            print("note: --profile-out captures in-process phases;"
+                  " worker shards (--jobs > 1) report allocation"
+                  " totals only", file=sys.stderr)
+    with contextlib.ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(use_tracer(tracer))
+        if profiler is not None:
+            meter = stack.enter_context(measure_allocations())
         result = study.run(jobs=jobs, metrics=metrics)
     print(format_table(
         ["tier", "success", "time p50 (s)", "time p99 (s)",
@@ -311,7 +337,47 @@ def _run_fleet(config, tiers, trials=64, seed=0, jobs=1,
         count = write_chrome_trace(tracer, trace_out,
                                    provenance=provenance)
         print(f"wrote {count} trace events to {trace_out}")
+    if profile_out and profiler is not None and meter is not None:
+        print()
+        print(format_table(
+            ["phase", "wall (ms)", "numpy alloc (MB)",
+             "top hotspot (self ms)"],
+            [[record.name, record.wall_s * 1e3,
+              (record.numpy_alloc_b or 0) / 1e6,
+              (f"{_short_fn(record.hotspots[0].function)}"
+               f" ({record.hotspots[0].total_s * 1e3:.1f})")
+              if record.hotspots else "-"]
+             for record in profiler.records],
+            title="Per-phase profile",
+        ))
+        print(format_hotspots(profiler.hotspots(top_n=8),
+                              title="Merged hotspots (by self time)"))
+        sites = meter.snapshot()
+        fleet = result.fleet
+        print(f"alloc meter: {fleet.alloc_bytes:,} B engine working"
+              f" set ({fleet.alloc_bytes_per_rollout:,.0f}"
+              f" B/rollout, {len(sites)} site(s))")
+        document = {
+            "schema": "repro-profile/1",
+            "provenance": provenance,
+            "profile": profiler.report(),
+            "alloc_sites": sites,
+            "alloc_bytes": fleet.alloc_bytes,
+            "alloc_bytes_per_rollout": fleet.alloc_bytes_per_rollout,
+        }
+        with open(profile_out, "w") as handle:
+            json.dump(document, handle, indent=2, default=str)
+            handle.write("\n")
+        print(f"wrote profile JSON to {profile_out}")
     return 0
+
+
+def _short_fn(function: str) -> str:
+    """Trim a pstats ``path:line(name)`` label to its basename."""
+    import os
+
+    head, sep, tail = function.partition("(")
+    return os.path.basename(head) + sep + tail
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
@@ -329,6 +395,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return _run_fleet(config, uav_compute_tiers(), trials=args.trials,
                       seed=args.seed, jobs=args.jobs,
                       json_path=args.json, trace_out=args.trace_out,
+                      profile_out=args.profile_out,
                       command_config={"command": "fleet",
                                       "world_seed": args.world_seed})
 
@@ -672,6 +739,187 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.bench import (
+        REGISTRY,
+        append_records,
+        baselines_from_records,
+        check_records,
+        ledger_record,
+        load_baselines,
+        load_builtins,
+        merge_baselines,
+        migrate_legacy_bench,
+        write_baselines,
+    )
+    from repro.errors import BenchmarkError
+
+    load_builtins()
+
+    if args.migrate:
+        records = []
+        try:
+            for path in args.migrate:
+                converted = migrate_legacy_bench(path)
+                print(f"migrated {len(converted)} record(s)"
+                      f" from {path}")
+                records.extend(converted)
+        except (OSError, BenchmarkError) as error:
+            print(error, file=sys.stderr)
+            return 2
+        if not args.no_ledger:
+            count = append_records(args.ledger, records)
+            print(f"appended {count} record(s) to {args.ledger}")
+        if args.update_baselines:
+            document = merge_baselines(
+                args.baselines,
+                baselines_from_records(records, source="migrated"))
+            write_baselines(args.baselines, document)
+            print(f"wrote {len(document['entries'])} baseline(s)"
+                  f" to {args.baselines}")
+        return 0
+
+    selected = REGISTRY.select(args.filter)
+    if not selected:
+        print(f"no benchmark matches {args.filter!r}; registered:"
+              f" {', '.join(REGISTRY.names())}", file=sys.stderr)
+        return 2
+
+    if args.list:
+        print(format_table(
+            ["name", "sizes", "smoke", "gated metrics", "tags"],
+            [[entry.name,
+              ",".join(str(s) for s in entry.sizes),
+              ",".join(str(s) for s in entry.smoke_sizes),
+              ",".join(m.name for m in entry.gated_metrics()) or "-",
+              ",".join(entry.tags) or "-"]
+             for entry in selected],
+            title="Registered benchmarks",
+        ))
+        for entry in selected:
+            print(f"  {entry.name}: {entry.description}")
+        return 0
+
+    sizes_override = None
+    if args.sizes:
+        try:
+            sizes_override = tuple(
+                int(token) for token in args.sizes.split(",")
+                if token.strip())
+        except ValueError:
+            sizes_override = ()
+        if not sizes_override:
+            print(f"--sizes must be comma-separated integers"
+                  f" (got {args.sizes!r})", file=sys.stderr)
+            return 2
+
+    profiler = None
+    if args.profile:
+        from repro.telemetry import SpanProfiler
+
+        profiler = SpanProfiler(cpu=True, memory=True)
+
+    records = []
+    try:
+        for benchmark in selected:
+            sizes = sizes_override or (
+                benchmark.sizes if args.full
+                else benchmark.smoke_sizes)
+            rows = []
+            for size in sizes:
+                started = time.perf_counter()
+                if profiler is not None:
+                    with profiler.capture(
+                            f"{benchmark.name}@{size}",
+                            track="bench"):
+                        measured = benchmark.run(size)
+                else:
+                    measured = benchmark.run(size)
+                wall_s = time.perf_counter() - started
+                records.append(ledger_record(
+                    benchmark.name, size, measured, wall_s,
+                    seed=args.seed,
+                    config={"command": "bench",
+                            "filter": args.filter,
+                            "full": bool(args.full)}))
+                rows.append(
+                    [size]
+                    + [measured[m.name] for m in benchmark.metrics]
+                    + [round(wall_s, 3)])
+            print(format_table(
+                ["size"]
+                + [m.name + (f" ({m.unit})" if m.unit else "")
+                   for m in benchmark.metrics]
+                + ["wall (s)"],
+                rows,
+                title=f"{benchmark.name} — {benchmark.description}"))
+            print()
+    except BenchmarkError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    if profiler is not None:
+        from repro.telemetry import format_hotspots
+
+        print(format_hotspots(
+            profiler.hotspots(),
+            title="Hotspots (merged, by self time)"))
+        print()
+
+    if not args.no_ledger:
+        count = append_records(args.ledger, records)
+        print(f"appended {count} record(s) to {args.ledger}")
+
+    checks = []
+    regressions = []
+    if args.check:
+        baselines = load_baselines(args.baselines)
+        if not baselines:
+            print(f"no baselines at {args.baselines};"
+                  f" nothing to check", file=sys.stderr)
+        benchmarks = {entry.name: entry for entry in selected}
+        checks = check_records(records, baselines, benchmarks,
+                               args.threshold)
+        for check in checks:
+            marker = "REGRESSION" if check.regressed else "ok"
+            print(f"  [{marker}] {check.benchmark}@{check.size}"
+                  f" {check.metric}: {check.measured:g} vs baseline"
+                  f" {check.baseline:g} ({check.change:+.1%},"
+                  f" threshold -{check.threshold:.0%})")
+        regressions = [check for check in checks if check.regressed]
+        if regressions:
+            print(f"{len(regressions)} regression(s) beyond"
+                  f" {args.threshold:.0%}"
+                  + (" (warn-only)" if args.warn_only else ""),
+                  file=sys.stderr)
+
+    if args.update_baselines:
+        document = merge_baselines(args.baselines,
+                                   baselines_from_records(records))
+        write_baselines(args.baselines, document)
+        print(f"wrote {len(document['entries'])} baseline(s)"
+              f" to {args.baselines}")
+
+    if args.json:
+        document = {
+            "schema": "repro-bench-run/1",
+            "records": records,
+            "checks": [dataclasses.asdict(check)
+                       for check in checks],
+            "regressions": len(regressions),
+        }
+        if profiler is not None:
+            document["profile"] = profiler.report()
+        with open(args.json, "w") as handle:
+            json.dump(document, handle, indent=2, default=str)
+            handle.write("\n")
+        print(f"wrote bench JSON to {args.json}")
+
+    return 1 if regressions and not args.warn_only else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -768,6 +1016,56 @@ def build_parser() -> argparse.ArgumentParser:
                                       " + metrics as JSON")
     fleet.add_argument("--trace-out", help="write a Chrome trace of"
                                            " the run")
+    fleet.add_argument("--profile-out",
+                       help="write a span-scoped profile JSON:"
+                            " per-phase hotspots + exact"
+                            " bytes-allocated counters")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run registered benchmarks; append provenance-stamped"
+             " records to the perf ledger, optionally gating against"
+             " the committed baselines")
+    bench.add_argument("--list", action="store_true",
+                       help="list matching benchmarks and exit")
+    bench.add_argument("--filter", default="",
+                       help="substring match on benchmark name or"
+                            " tags (e.g. 'smoke')")
+    bench.add_argument("--sizes",
+                       help="comma-separated workload sizes"
+                            " (overrides the smoke/full selection)")
+    bench.add_argument("--full", action="store_true",
+                       help="run the full sweep sizes instead of the"
+                            " smoke sizes")
+    bench.add_argument("--profile", action="store_true",
+                       help="span-profile each run and print merged"
+                            " hotspots")
+    bench.add_argument("--json",
+                       help="also write records + checks (+ profile)"
+                            " as JSON")
+    bench.add_argument("--ledger", default="BENCH_LEDGER.jsonl",
+                       help="perf ledger path (JSONL, appended)")
+    bench.add_argument("--no-ledger", action="store_true",
+                       help="do not append this run to the ledger")
+    bench.add_argument("--check", action="store_true",
+                       help="compare gated metrics against the"
+                            " baselines; exit 1 on regression")
+    bench.add_argument("--baselines", default="BENCH_BASELINES.json",
+                       help="committed baselines path")
+    bench.add_argument("--threshold", type=float, default=0.15,
+                       help="relative regression threshold for"
+                            " --check (0.15 = 15%%)")
+    bench.add_argument("--warn-only", action="store_true",
+                       help="report regressions but exit 0 (for"
+                            " noisy CI runners)")
+    bench.add_argument("--update-baselines", action="store_true",
+                       help="merge this run's results into the"
+                            " baselines file")
+    bench.add_argument("--migrate", nargs="+", metavar="FILE",
+                       help="convert legacy BENCH_*.json snapshots"
+                            " into ledger records and exit")
+    bench.add_argument("--seed", type=int, default=None,
+                       help="seed recorded in run provenance")
 
     fig1 = sub.add_parser("fig1", help="regenerate the Fig. 1 trend")
     fig1.add_argument("--seed", type=int, default=0)
@@ -820,6 +1118,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "dse": _cmd_dse,
         "mission": _cmd_mission,
         "fleet": _cmd_fleet,
+        "bench": _cmd_bench,
         "fig1": _cmd_fig1,
         "verify": _cmd_verify,
         "trace": _cmd_trace,

@@ -46,6 +46,7 @@ from repro.core.profile import (
 )
 from repro.errors import ConfigurationError
 from repro.hw.platform import AnalyticalPlatform, Platform, PlatformConfig
+from repro.telemetry.profiling import get_alloc_meter
 
 __all__ = [
     "BOUND_NAMES",
@@ -289,6 +290,17 @@ def batch_estimate(platforms: PlatformSoA,
     power = np.broadcast_to(platforms.static_power_w[:, None],
                             latency.shape).copy()
     np.divide(energy, latency, out=power, where=latency > 0)
+
+    meter = get_alloc_meter()
+    if meter.enabled:
+        # The full working set of this pass: intermediates + outputs.
+        # (Exact accounting; one guarded call per population, not per
+        # candidate, so the disabled cost is a single branch.)
+        meter.add("hw.batch.batch_estimate",
+                  derate, serial_ops, parallel_flops, parallel_int,
+                  t_serial, t_parallel, t_compute, onchip, bandwidth,
+                  t_memory, busy, latency, traffic_energy, energy,
+                  bound, power)
 
     return BatchCost(
         platform_names=platforms.names,

@@ -68,6 +68,7 @@ from repro.system.mission import (
     plan_course,
 )
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profiling import get_alloc_meter
 from repro.telemetry.tracer import get_tracer
 
 __all__ = [
@@ -178,9 +179,22 @@ class FleetResult:
     results: Tuple[MissionResult, ...]
     batch_priced: int
     scalar_fallback: int
+    #: Exact bytes of numpy working set the engine allocated for this
+    #: population (the rollout SoA columns + closed-form intermediates;
+    #: see ``alloc_bytes_per_rollout``).  The instrument behind the
+    #: ROADMAP's allocation-tax item: if bytes/rollout grows with
+    #: population size, allocation effects are eating the speedup.
+    alloc_bytes: int = 0
 
     def __len__(self) -> int:
         return len(self.results)
+
+    @property
+    def alloc_bytes_per_rollout(self) -> float:
+        """Engine working-set bytes per rollout (0 on empty fleets)."""
+        if not self.results:
+            return 0.0
+        return self.alloc_bytes / len(self.results)
 
 
 # -- closed-form step counts ------------------------------------------
@@ -256,7 +270,8 @@ def run_fleet(rollouts: Sequence[FleetRollout], *,
     if tracer.enabled and span.args is None:
         span.args = {"rollouts": len(rollouts),
                      "batch_priced": result.batch_priced,
-                     "scalar_fallback": result.scalar_fallback}
+                     "scalar_fallback": result.scalar_fallback,
+                     "alloc_bytes": result.alloc_bytes}
     if metrics is not None:
         metrics.counter("fleet.rollouts").inc(len(rollouts))
         if result.batch_priced:
@@ -264,6 +279,8 @@ def run_fleet(rollouts: Sequence[FleetRollout], *,
         if result.scalar_fallback:
             metrics.counter("fleet.batch_fallbacks").inc(
                 result.scalar_fallback)
+        if result.alloc_bytes:
+            metrics.counter("fleet.alloc_bytes").inc(result.alloc_bytes)
     return result
 
 
@@ -273,151 +290,180 @@ def _run_fleet(rollouts: Tuple[FleetRollout, ...],
     if n == 0:
         return FleetResult(rollouts=(), results=(), batch_priced=0,
                            scalar_fallback=0)
+    tracer = get_tracer()
     if course_cache is None:
         course_cache = {}
-    courses = [ensure_course(r.config, course_cache) for r in rollouts]
+    with tracer.profile_span("fleet.plan", track="fleet"):
+        courses = [ensure_course(r.config, course_cache)
+                   for r in rollouts]
 
     # Per-rollout scalar inputs.  hover_power stays a scalar Python call
     # on purpose: numpy's SIMD `x ** 1.5` rounds differently from
     # CPython's pow on a few per mille of inputs, which would break the
     # bit-equality contract; everything downstream vectorizes exactly.
-    period = np.empty(n)
-    actuation = np.empty(n)
-    sensing_range = np.empty(n)
-    accel = np.empty(n)
-    max_speed = np.empty(n)
-    dt = np.empty(n)
-    max_duration = np.empty(n)
-    budget = np.empty(n)
-    length = np.empty(n)
-    total_mass = np.empty(n)
-    hover_power = np.empty(n)
-    compute_power = np.empty(n)
-    for i, (rollout, course) in enumerate(zip(rollouts, courses)):
-        config = rollout.config
-        period[i] = 1.0 / config.sensor_rate_hz
-        actuation[i] = config.actuation_latency_s
-        sensing_range[i] = config.sensing_range_m
-        accel[i] = config.uav.max_accel_m_s2
-        max_speed[i] = config.uav.max_speed_m_s
-        dt[i] = config.time_step_s
-        max_duration[i] = config.max_duration_s
-        budget[i] = config.battery.usable_energy_j
-        length[i] = course.total_length_m
-        mass = (config.uav.frame_mass_kg + config.battery.mass_kg
-                + rollout.compute_mass_kg)
-        total_mass[i] = mass
-        hover_power[i] = config.uav.hover_power_w(mass)
-        compute_power[i] = rollout.compute_power_w
+    with tracer.profile_span("fleet.gather", track="fleet"):
+        period = np.empty(n)
+        actuation = np.empty(n)
+        sensing_range = np.empty(n)
+        accel = np.empty(n)
+        max_speed = np.empty(n)
+        dt = np.empty(n)
+        max_duration = np.empty(n)
+        budget = np.empty(n)
+        length = np.empty(n)
+        total_mass = np.empty(n)
+        hover_power = np.empty(n)
+        compute_power = np.empty(n)
+        for i, (rollout, course) in enumerate(zip(rollouts, courses)):
+            config = rollout.config
+            period[i] = 1.0 / config.sensor_rate_hz
+            actuation[i] = config.actuation_latency_s
+            sensing_range[i] = config.sensing_range_m
+            accel[i] = config.uav.max_accel_m_s2
+            max_speed[i] = config.uav.max_speed_m_s
+            dt[i] = config.time_step_s
+            max_duration[i] = config.max_duration_s
+            budget[i] = config.battery.usable_energy_j
+            length[i] = course.total_length_m
+            mass = (config.uav.frame_mass_kg + config.battery.mass_kg
+                    + rollout.compute_mass_kg)
+            total_mass[i] = mass
+            hover_power[i] = config.uav.hover_power_w(mass)
+            compute_power[i] = rollout.compute_power_w
 
     # Frame-pipeline compute latency: one SoA pass over the population's
     # deduplicated (platform, profile) block; scalar estimates only for
     # platforms the kernel cannot reproduce.
-    compute_latency = np.empty(n)
-    priceable = [i for i in range(n)
-                 if is_soa_priceable(rollouts[i].platform)]
-    fallback = [i for i in range(n) if not is_soa_priceable(
-        rollouts[i].platform)]
-    if priceable:
-        platform_index: Dict[int, int] = {}
-        profile_index: Dict[int, int] = {}
-        platforms: List[Platform] = []
-        profiles: List = []
-        rows: List[int] = []
-        cols: List[int] = []
-        for i in priceable:
-            platform = rollouts[i].platform
-            row = platform_index.get(id(platform))
-            if row is None:
-                row = platform_index[id(platform)] = len(platforms)
-                platforms.append(platform)
-            profile = rollouts[i].config.frame_profile
-            col = profile_index.get(id(profile))
-            if col is None:
-                col = profile_index[id(profile)] = len(profiles)
-                profiles.append(profile)
-            rows.append(row)
-            cols.append(col)
-        cost = batch_estimate(PlatformSoA.from_platforms(platforms),
-                              ProfileSoA.from_profiles(profiles))
-        compute_latency[priceable] = cost.latency_s[rows, cols]
-    for i in fallback:
-        compute_latency[i] = rollouts[i].platform.estimate(
-            rollouts[i].config.frame_profile).latency_s
+    with tracer.profile_span("fleet.price", track="fleet"):
+        compute_latency = np.empty(n)
+        priceable = [i for i in range(n)
+                     if is_soa_priceable(rollouts[i].platform)]
+        fallback = [i for i in range(n) if not is_soa_priceable(
+            rollouts[i].platform)]
+        if priceable:
+            platform_index: Dict[int, int] = {}
+            profile_index: Dict[int, int] = {}
+            platforms: List[Platform] = []
+            profiles: List = []
+            rows: List[int] = []
+            cols: List[int] = []
+            for i in priceable:
+                platform = rollouts[i].platform
+                row = platform_index.get(id(platform))
+                if row is None:
+                    row = platform_index[id(platform)] = len(platforms)
+                    platforms.append(platform)
+                profile = rollouts[i].config.frame_profile
+                col = profile_index.get(id(profile))
+                if col is None:
+                    col = profile_index[id(profile)] = len(profiles)
+                    profiles.append(profile)
+                rows.append(row)
+                cols.append(col)
+            cost = batch_estimate(
+                PlatformSoA.from_platforms(platforms),
+                ProfileSoA.from_profiles(profiles))
+            compute_latency[priceable] = cost.latency_s[rows, cols]
+        for i in fallback:
+            compute_latency[i] = rollouts[i].platform.estimate(
+                rollouts[i].config.frame_profile).latency_s
 
     # Pipeline latency and safe speed — broadcast forms of
     # pipeline_latency_s and UavPhysics.safe_speed_m_s, same
     # association order (see the module docstring's contract).
-    staleness = np.maximum(compute_latency - period, 0.0)
-    latency = 0.5 * period + compute_latency + staleness + actuation
-    raw_speed = accel * (np.sqrt(latency * latency
-                                 + 2.0 * sensing_range / accel)
-                         - latency)
-    safe_speed = np.minimum(raw_speed, max_speed)
+    with tracer.profile_span("fleet.solve", track="fleet"):
+        staleness = np.maximum(compute_latency - period, 0.0)
+        latency = 0.5 * period + compute_latency + staleness + actuation
+        raw_speed = accel * (np.sqrt(latency * latency
+                                     + 2.0 * sensing_range / accel)
+                             - latency)
+        safe_speed = np.minimum(raw_speed, max_speed)
 
-    total_power = hover_power + compute_power
-    endurance = budget / total_power
-    step_travel = safe_speed * dt
-    step_energy = total_power * dt
+        total_power = hover_power + compute_power
+        endurance = budget / total_power
+        step_travel = safe_speed * dt
+        step_energy = total_power * dt
 
-    # Closed-form step counts.  The scalar loop, per iteration at step
-    # index `s`: exit on timeout when s*dt >= max_duration; succeed when
-    # the course is consumed, i.e. when s*step_travel >= length (and at
-    # least one step has run — consumption happens inside iterations);
-    # break on battery when (s+1)*step_energy > budget.  Check order
-    # fixes the tie precedence: timeout, then success, then battery.
-    n_timeout = _first_count(dt, max_duration, strict=False)
-    n_complete = np.maximum(
-        _first_count(step_travel, length, strict=False), 1.0)
-    n_battery = _first_count(step_energy, budget, strict=True) - 1.0
+        # Closed-form step counts.  The scalar loop, per iteration at
+        # step index `s`: exit on timeout when s*dt >= max_duration;
+        # succeed when the course is consumed, i.e. when
+        # s*step_travel >= length (and at least one step has run —
+        # consumption happens inside iterations); break on battery when
+        # (s+1)*step_energy > budget.  Check order fixes the tie
+        # precedence: timeout, then success, then battery.
+        n_timeout = _first_count(dt, max_duration, strict=False)
+        n_complete = np.maximum(
+            _first_count(step_travel, length, strict=False), 1.0)
+        n_battery = _first_count(step_energy, budget, strict=True) - 1.0
 
-    steps = np.minimum(np.minimum(n_timeout, n_complete), n_battery)
-    timed_out = n_timeout <= np.minimum(n_complete, n_battery)
-    succeeded = ~timed_out & (n_complete <= n_battery)
+        steps = np.minimum(np.minimum(n_timeout, n_complete), n_battery)
+        timed_out = n_timeout <= np.minimum(n_complete, n_battery)
+        succeeded = ~timed_out & (n_complete <= n_battery)
 
-    elapsed = steps * dt
-    energy = steps * step_energy
-    distance = np.minimum(steps * step_travel, length)
-    mean_speed = np.zeros(n)
-    np.divide(distance, elapsed, out=mean_speed, where=elapsed > 0)
+        elapsed = steps * dt
+        energy = steps * step_energy
+        distance = np.minimum(steps * step_travel, length)
+        mean_speed = np.zeros(n)
+        np.divide(distance, elapsed, out=mean_speed, where=elapsed > 0)
+
+    # Exact working-set accounting: every array this engine allocated
+    # for the population.  One nbytes sum per call (amortized over all
+    # rollouts), published as FleetResult.alloc_bytes and, when a
+    # measure_allocations() scope is active, on the global meter.
+    soa_arrays = (
+        period, actuation, sensing_range, accel, max_speed, dt,
+        max_duration, budget, length, total_mass, hover_power,
+        compute_power, compute_latency, staleness, latency, raw_speed,
+        safe_speed, total_power, endurance, step_travel, step_energy,
+        n_timeout, n_complete, n_battery, steps, timed_out, succeeded,
+        elapsed, energy, distance, mean_speed,
+    )
+    alloc_bytes = sum(array.nbytes for array in soa_arrays)
+    meter = get_alloc_meter()
+    if meter.enabled:
+        meter.add("system.fleet.run_fleet", *soa_arrays)
 
     # Bulk-convert columns to Python scalars (tolist is one C pass;
     # 12 per-element float() calls per rollout are not).
-    columns = zip(
-        succeeded.tolist(), timed_out.tolist(), elapsed.tolist(),
-        distance.tolist(), energy.tolist(), mean_speed.tolist(),
-        safe_speed.tolist(), latency.tolist(), compute_power.tolist(),
-        hover_power.tolist(), total_mass.tolist(), endurance.tolist(),
-    )
-    results = []
-    for (ok, late, elapsed_i, distance_i, energy_i, mean_speed_i,
-         safe_speed_i, latency_i, compute_power_i, hover_power_i,
-         total_mass_i, endurance_i) in columns:
-        results.append(MissionResult(
-            success=ok,
-            failure_reason="" if ok else
-            ("timeout" if late else "battery"),
-            mission_time_s=elapsed_i,
-            distance_m=distance_i,
-            energy_j=energy_i,
-            mean_speed_m_s=mean_speed_i,
-            safe_speed_m_s=safe_speed_i,
-            pipeline_latency_s=latency_i,
-            compute_power_w=compute_power_i,
-            hover_power_w=hover_power_i,
-            total_mass_kg=total_mass_i,
-            endurance_s=endurance_i,
-        ))
+    with tracer.profile_span("fleet.emit", track="fleet"):
+        columns = zip(
+            succeeded.tolist(), timed_out.tolist(), elapsed.tolist(),
+            distance.tolist(), energy.tolist(), mean_speed.tolist(),
+            safe_speed.tolist(), latency.tolist(),
+            compute_power.tolist(), hover_power.tolist(),
+            total_mass.tolist(), endurance.tolist(),
+        )
+        results = []
+        for (ok, late, elapsed_i, distance_i, energy_i, mean_speed_i,
+             safe_speed_i, latency_i, compute_power_i, hover_power_i,
+             total_mass_i, endurance_i) in columns:
+            results.append(MissionResult(
+                success=ok,
+                failure_reason="" if ok else
+                ("timeout" if late else "battery"),
+                mission_time_s=elapsed_i,
+                distance_m=distance_i,
+                energy_j=energy_i,
+                mean_speed_m_s=mean_speed_i,
+                safe_speed_m_s=safe_speed_i,
+                pipeline_latency_s=latency_i,
+                compute_power_w=compute_power_i,
+                hover_power_w=hover_power_i,
+                total_mass_kg=total_mass_i,
+                endurance_s=endurance_i,
+            ))
     return FleetResult(rollouts=rollouts, results=tuple(results),
                        batch_priced=len(priceable),
-                       scalar_fallback=len(fallback))
+                       scalar_fallback=len(fallback),
+                       alloc_bytes=alloc_bytes)
 
 
 def _run_fleet_chunk(rollouts: Sequence[FleetRollout]
-                     ) -> Tuple[Tuple[MissionResult, ...], int, int]:
+                     ) -> Tuple[Tuple[MissionResult, ...], int, int, int]:
     """Pool-worker entry point (module-level for picklability)."""
     result = run_fleet(rollouts)
-    return result.results, result.batch_priced, result.scalar_fallback
+    return (result.results, result.batch_priced,
+            result.scalar_fallback, result.alloc_bytes)
 
 
 # -- Monte Carlo layer -------------------------------------------------
@@ -618,21 +664,25 @@ class FleetStudy:
                 population)
             batch_priced = 0
             scalar_fallback = 0
-            for shard_index, (shard_results, hits, misses) in enumerate(
-                    outcomes):
+            alloc_bytes = 0
+            for shard_index, (shard_results, hits, misses,
+                              shard_alloc) in enumerate(outcomes):
                 for offset, value in enumerate(shard_results):
                     results[shard_index + offset * jobs] = value
                 batch_priced += hits
                 scalar_fallback += misses
+                alloc_bytes += shard_alloc
             if tracer.enabled and span.args is None:
                 span.args = {"rollouts": len(population), "jobs": jobs,
                              "batch_priced": batch_priced,
-                             "scalar_fallback": scalar_fallback}
+                             "scalar_fallback": scalar_fallback,
+                             "alloc_bytes": alloc_bytes}
             fleet = FleetResult(
                 rollouts=tuple(population),
                 results=tuple(results),  # type: ignore[arg-type]
                 batch_priced=batch_priced,
-                scalar_fallback=scalar_fallback)
+                scalar_fallback=scalar_fallback,
+                alloc_bytes=alloc_bytes)
             if metrics is not None:
                 metrics.counter("fleet.rollouts").inc(len(population))
                 if batch_priced:
@@ -640,6 +690,8 @@ class FleetStudy:
                 if scalar_fallback:
                     metrics.counter("fleet.batch_fallbacks").inc(
                         scalar_fallback)
+                if alloc_bytes:
+                    metrics.counter("fleet.alloc_bytes").inc(alloc_bytes)
         return FleetStudyResult(
             statistics=tuple(self._summarize(fleet)),
             fleet=fleet,

@@ -12,7 +12,12 @@ interactions to be **observable**.  This package is the substrate:
   histograms (p50/p90/p99/p999 without retaining samples);
 - :mod:`~repro.telemetry.export`  — Chrome trace-event JSON (open in
   Perfetto / ``chrome://tracing``) and flat metrics JSON with run
-  provenance (seed, git SHA, config echo).
+  provenance (seed, git SHA, python/numpy versions, machine
+  fingerprint, config echo);
+- :mod:`~repro.telemetry.profiling` — span-scoped cProfile hotspot
+  capture, tracemalloc/peak-RSS snapshots, and the explicit
+  :class:`~repro.telemetry.profiling.AllocationMeter` the SoA kernels
+  report bytes-allocated-per-call through.
 
 Producers: :mod:`repro.system.pipeline` (per-stage service spans, queue
 depths, drops), :mod:`repro.system.scheduler` (Gantt-reconstructable job
@@ -22,10 +27,22 @@ traces), :mod:`repro.benchmarksuite.runner` (per-row wall spans), and the
 
 from repro.telemetry.export import (
     chrome_trace_events,
+    machine_fingerprint,
     run_provenance,
     trace_summary,
     write_chrome_trace,
     write_metrics_json,
+)
+from repro.telemetry.profiling import (
+    AllocationMeter,
+    Hotspot,
+    ProfileRecord,
+    SpanProfiler,
+    format_hotspots,
+    get_alloc_meter,
+    hotspot_rows,
+    measure_allocations,
+    peak_rss_kb,
 )
 from repro.telemetry.metrics import (
     Counter,
@@ -44,16 +61,26 @@ from repro.telemetry.tracer import (
 )
 
 __all__ = [
+    "AllocationMeter",
     "Counter",
     "Gauge",
+    "Hotspot",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "ProfileRecord",
     "Span",
+    "SpanProfiler",
     "StreamingHistogram",
     "Tracer",
     "chrome_trace_events",
+    "format_hotspots",
+    "get_alloc_meter",
     "get_tracer",
+    "hotspot_rows",
+    "machine_fingerprint",
+    "measure_allocations",
+    "peak_rss_kb",
     "run_provenance",
     "set_tracer",
     "trace_summary",

@@ -13,7 +13,9 @@ Timestamps: the tracer records seconds; Chrome expects microseconds.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import platform as _platform
 import subprocess
 import sys
@@ -26,6 +28,7 @@ from repro.telemetry.tracer import Tracer
 
 __all__ = [
     "chrome_trace_events",
+    "machine_fingerprint",
     "run_provenance",
     "trace_summary",
     "write_chrome_trace",
@@ -122,17 +125,44 @@ def _git_sha() -> Optional[str]:
     return out.stdout.strip() or None
 
 
+def _numpy_version() -> Optional[str]:
+    try:
+        import numpy
+        return numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        return None
+
+
+def machine_fingerprint() -> Dict[str, Any]:
+    """A stable, privacy-light identity for the measuring machine.
+
+    The hostname enters only as a truncated hash — enough to tell two
+    ledger machines apart, not enough to leak the host name into
+    committed artifacts.
+    """
+    return {
+        "hostname_sha": hashlib.sha256(
+            _platform.node().encode()).hexdigest()[:12],
+        "system": _platform.system(),
+        "machine": _platform.machine(),
+        "cpus": os.cpu_count(),
+    }
+
+
 def run_provenance(seed: Optional[int] = None,
                    config: Optional[Mapping[str, Any]] = None
                    ) -> Dict[str, Any]:
     """Everything needed to re-run this run: seed, config echo, git SHA
-    (best-effort ``None`` outside a checkout), interpreter, host, time."""
+    (best-effort ``None`` outside a checkout), interpreter + numpy
+    versions, machine fingerprint, host, time."""
     return {
         "seed": seed,
         "config": dict(config) if config is not None else {},
         "git_sha": _git_sha(),
         "python": sys.version.split()[0],
+        "numpy": _numpy_version(),
         "platform": _platform.platform(),
+        "machine": machine_fingerprint(),
         "unix_time": time.time(),
         "argv": list(sys.argv),
     }
@@ -158,7 +188,12 @@ def write_metrics_json(path: str,
                        provenance: Optional[Mapping[str, Any]] = None,
                        extra: Optional[Mapping[str, Any]] = None) -> None:
     """Write a flat metrics document: provenance + registry snapshot +
-    caller-supplied sections (rows, scores, ...)."""
+    caller-supplied sections (rows, scores, ...).
+
+    Keys are sorted on the way out, so two exports of the same data are
+    byte-identical regardless of dict insertion order — diffable
+    artifacts, cacheable hashes.
+    """
     document: Dict[str, Any] = {
         "provenance": dict(provenance) if provenance is not None
         else run_provenance(),
@@ -167,7 +202,8 @@ def write_metrics_json(path: str,
     if extra:
         document.update(extra)
     with open(path, "w") as handle:
-        json.dump(document, handle, indent=2, default=str)
+        json.dump(document, handle, indent=2, default=str,
+                  sort_keys=True)
 
 
 def trace_summary(document: Mapping[str, Any]) -> Dict[str, Any]:

@@ -87,6 +87,15 @@ class Tracer:
 
         with tracer.wall_span("suite.row", track="suite"):
             evaluate(...)
+
+    A span that unwinds on an exception still closes, and records an
+    ``error`` arg naming the exception type — a trace of a crashed run
+    shows *where* it died instead of dangling open spans.
+
+    Attaching a :class:`~repro.telemetry.profiling.SpanProfiler` to
+    ``tracer.profiler`` upgrades :meth:`profile_span` sites from plain
+    wall spans to scoped cProfile/memory captures; with no profiler
+    installed (the default) they cost exactly a ``wall_span``.
     """
 
     enabled = True
@@ -96,6 +105,8 @@ class Tracer:
         self.instants: List[Span] = []
         # (name, track, ts_s, value) samples for Chrome "C" events.
         self.counters: List[tuple] = []
+        # Optional SpanProfiler consulted by profile_span.
+        self.profiler = None
         self._wall_origin = time.perf_counter()
 
     # -- simulated-time API -------------------------------------------
@@ -132,13 +143,40 @@ class Tracer:
     @contextlib.contextmanager
     def wall_span(self, name: str, track: str = "wall",
                   args: Optional[Args] = None) -> Iterator[Span]:
-        """Context manager measuring a wall-clock interval."""
+        """Context manager measuring a wall-clock interval.
+
+        Closes the span even when the body raises, tagging it with
+        ``args["error"] = <exception type name>`` before re-raising.
+        """
         span = Span(name, track, self.wall_now(), args, wall=True)
         self.spans.append(span)
         try:
             yield span
+        except BaseException as error:
+            span.args = {**(span.args or {}),
+                         "error": type(error).__name__}
+            raise
         finally:
             span.end_s = self.wall_now()
+
+    @contextlib.contextmanager
+    def profile_span(self, name: str, track: str = "wall",
+                     args: Optional[Args] = None) -> Iterator[Span]:
+        """A wall span that is also a profiler capture point.
+
+        With ``self.profiler`` set (a
+        :class:`~repro.telemetry.profiling.SpanProfiler`), the span body
+        runs under a scoped capture — CPU hotspots and, if configured,
+        a tracemalloc window — recorded on the profiler.  Otherwise it
+        is exactly :meth:`wall_span`.
+        """
+        if self.profiler is None:
+            with self.wall_span(name, track, args) as span:
+                yield span
+            return
+        with self.wall_span(name, track, args) as span:
+            with self.profiler.capture(name, track):
+                yield span
 
     # -- introspection ------------------------------------------------
 
@@ -180,6 +218,11 @@ class NullTracer(Tracer):
     @contextlib.contextmanager
     def wall_span(self, name: str, track: str = "wall",
                   args: Optional[Args] = None) -> Iterator[Span]:
+        yield self._NULL_SPAN
+
+    @contextlib.contextmanager
+    def profile_span(self, name: str, track: str = "wall",
+                     args: Optional[Args] = None) -> Iterator[Span]:
         yield self._NULL_SPAN
 
 

@@ -1,0 +1,1 @@
+"""Tests for the benchmark registry and perf ledger."""

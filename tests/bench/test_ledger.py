@@ -1,0 +1,213 @@
+"""Unit tests for the perf ledger: records, baselines, the gate, and
+legacy migration."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BASELINES_SCHEMA,
+    LEDGER_SCHEMA,
+    Benchmark,
+    Metric,
+    append_records,
+    baselines_from_records,
+    check_records,
+    ledger_record,
+    load_baselines,
+    merge_baselines,
+    migrate_legacy_bench,
+    read_ledger,
+    write_baselines,
+)
+from repro.errors import BenchmarkError
+
+
+def _benchmark(higher_is_better=True):
+    return Benchmark(
+        name="toy",
+        description="toy",
+        sizes=(10,),
+        smoke_sizes=(4,),
+        metrics=(
+            Metric("rate", unit="1/s"),
+            Metric("speedup", unit="x", gate=True,
+                   higher_is_better=higher_is_better),
+        ),
+        runner=lambda size: {"rate": 1.0, "speedup": 1.0},
+    )
+
+
+def _record(speedup, size=10, benchmark="toy"):
+    return ledger_record(benchmark, size,
+                         {"rate": 100.0, "speedup": speedup},
+                         wall_time_s=0.5, seed=7)
+
+
+class TestLedgerRecords:
+    def test_record_is_provenance_stamped(self):
+        record = _record(2.0)
+        assert record["schema"] == LEDGER_SCHEMA
+        assert record["benchmark"] == "toy"
+        assert record["size"] == 10
+        assert record["metrics"]["speedup"] == 2.0
+        assert record["wall_time_s"] == 0.5
+        assert record["peak_rss_kb"] is None or \
+            record["peak_rss_kb"] > 0
+        provenance = record["provenance"]
+        assert provenance["seed"] == 7
+        assert provenance["python"] and provenance["numpy"]
+        assert "hostname_sha" in provenance["machine"]
+
+    def test_append_and_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        assert read_ledger(path) == []  # absent file reads empty
+        assert append_records(path, [_record(2.0)]) == 1
+        assert append_records(path, [_record(3.0), _record(4.0)]) == 2
+        assert append_records(path, []) == 0
+        records = read_ledger(path)
+        assert [r["metrics"]["speedup"] for r in records] == \
+            [2.0, 3.0, 4.0]
+
+    def test_read_rejects_corrupt_line_with_location(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(BenchmarkError, match="2"):
+            read_ledger(str(path))
+
+
+class TestBaselines:
+    def test_from_records_last_wins_and_round_trips(self, tmp_path):
+        document = baselines_from_records(
+            [_record(2.0), _record(5.0)], source="measured")
+        assert document["schema"] == BASELINES_SCHEMA
+        assert len(document["entries"]) == 1
+        entry = document["entries"][0]
+        assert entry["metrics"]["speedup"] == 5.0
+        assert entry["source"] == "measured"
+        assert "machine" in entry
+
+        path = str(tmp_path / "base.json")
+        write_baselines(path, document)
+        loaded = load_baselines(path)
+        assert loaded[("toy", 10)]["metrics"]["speedup"] == 5.0
+
+    def test_load_missing_is_empty_and_bad_schema_raises(
+            self, tmp_path):
+        assert load_baselines(str(tmp_path / "nope.json")) == {}
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "something-else"}))
+        with pytest.raises(BenchmarkError, match="schema"):
+            load_baselines(str(bad))
+
+    def test_merge_keeps_old_keys_and_overrides_matching(
+            self, tmp_path):
+        path = str(tmp_path / "base.json")
+        write_baselines(path, baselines_from_records(
+            [_record(2.0), _record(9.0, size=20)]))
+        merged = merge_baselines(
+            path, baselines_from_records([_record(5.0)]))
+        by_key = {(e["benchmark"], e["size"]): e
+                  for e in merged["entries"]}
+        assert by_key[("toy", 10)]["metrics"]["speedup"] == 5.0
+        assert by_key[("toy", 20)]["metrics"]["speedup"] == 9.0
+
+
+class TestRegressionGate:
+    def _check(self, measured, baseline, threshold=0.15,
+               higher_is_better=True):
+        checks = check_records(
+            [_record(measured)],
+            {("toy", 10): {"metrics": {"speedup": baseline}}},
+            {"toy": _benchmark(higher_is_better)},
+            threshold=threshold)
+        assert len(checks) == 1
+        return checks[0]
+
+    def test_within_threshold_passes(self):
+        check = self._check(measured=9.0, baseline=10.0)
+        assert check.change == pytest.approx(-0.10)
+        assert not check.regressed
+
+    def test_beyond_threshold_regresses(self):
+        check = self._check(measured=8.0, baseline=10.0)
+        assert check.change == pytest.approx(-0.20)
+        assert check.regressed
+
+    def test_improvement_never_regresses(self):
+        assert not self._check(measured=20.0, baseline=10.0).regressed
+
+    def test_lower_is_better_flips_direction(self):
+        # ratio 1.0 -> 1.5 is a regression when lower is better
+        check = self._check(measured=1.5, baseline=1.0,
+                            higher_is_better=False)
+        assert check.change == pytest.approx(-0.5)
+        assert check.regressed
+        assert not self._check(measured=0.5, baseline=1.0,
+                               higher_is_better=False).regressed
+
+    def test_gate_skips_unknown_and_ungated(self):
+        # no baseline for the size -> no comparison
+        checks = check_records(
+            [_record(1.0, size=99)],
+            {("toy", 10): {"metrics": {"speedup": 10.0}}},
+            {"toy": _benchmark()}, threshold=0.1)
+        assert checks == []
+        # ungated metrics (rate) are never compared
+        checks = check_records(
+            [_record(10.0)],
+            {("toy", 10): {"metrics": {"speedup": 10.0,
+                                       "rate": 1e9}}},
+            {"toy": _benchmark()}, threshold=0.1)
+        assert [c.metric for c in checks] == ["speedup"]
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(BenchmarkError, match="threshold"):
+            check_records([], {}, {}, threshold=-0.1)
+
+
+class TestLegacyMigration:
+    def test_migrates_legacy_rows(self, tmp_path):
+        legacy = tmp_path / "BENCH_toy.json"
+        legacy.write_text(json.dumps({
+            "benchmark": "toy",
+            "rows": [
+                {"candidates": 10, "speedup": 2.0, "rate": 5.0},
+                {"candidates": 100, "speedup": 4.0, "rate": 6.0},
+            ],
+        }))
+        records = migrate_legacy_bench(str(legacy))
+        assert len(records) == 2
+        first = records[0]
+        assert first["schema"] == LEDGER_SCHEMA
+        assert first["benchmark"] == "toy"
+        assert first["size"] == 10
+        assert first["metrics"] == {"speedup": 2.0, "rate": 5.0}
+        assert first["wall_time_s"] is None  # not recorded at seed
+        assert first["migrated_from"] == "BENCH_toy.json"
+        assert first["provenance"]["git_sha"]
+
+    def test_migrated_records_feed_the_gate(self, tmp_path):
+        legacy = tmp_path / "BENCH_toy.json"
+        legacy.write_text(json.dumps({
+            "benchmark": "toy",
+            "rows": [{"rollouts": 10, "speedup": 10.0}],
+        }))
+        baselines = baselines_from_records(
+            migrate_legacy_bench(str(legacy)), source="migrated")
+        lookup = {(e["benchmark"], e["size"]): e
+                  for e in baselines["entries"]}
+        checks = check_records([_record(8.0)], lookup,
+                               {"toy": _benchmark()}, threshold=0.15)
+        assert checks[0].regressed  # 10 -> 8 is a 20% regression
+
+    def test_rejects_malformed_documents(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"rows": []}))
+        with pytest.raises(BenchmarkError, match="legacy"):
+            migrate_legacy_bench(str(bad))
+        no_size = tmp_path / "nosize.json"
+        no_size.write_text(json.dumps({
+            "benchmark": "b", "rows": [{"speedup": 1.0}]}))
+        with pytest.raises(BenchmarkError, match="size"):
+            migrate_legacy_bench(str(no_size))

@@ -1,0 +1,123 @@
+"""Unit tests for the benchmark registry and its metric schema."""
+
+import pytest
+
+from repro.bench import (
+    REGISTRY,
+    Benchmark,
+    BenchmarkRegistry,
+    Metric,
+    get_benchmark,
+    load_builtins,
+)
+from repro.errors import BenchmarkError
+
+
+def _entry(name="toy", runner=None, metrics=None, tags=()):
+    return Benchmark(
+        name=name,
+        description="toy entry",
+        sizes=(10, 100),
+        smoke_sizes=(4,),
+        metrics=metrics if metrics is not None else (
+            Metric("rate", unit="1/s"),
+            Metric("speedup", unit="x", gate=True),
+        ),
+        runner=runner if runner is not None
+        else (lambda size: {"rate": float(size), "speedup": 2.0}),
+        tags=tuple(tags),
+    )
+
+
+class TestBenchmark:
+    def test_run_validates_schema(self):
+        measured = _entry().run(4)
+        assert measured == {"rate": 4.0, "speedup": 2.0}
+
+    def test_run_rejects_bad_size(self):
+        with pytest.raises(BenchmarkError, match="size"):
+            _entry().run(0)
+
+    def test_run_rejects_missing_metric(self):
+        entry = _entry(runner=lambda size: {"rate": 1.0})
+        with pytest.raises(BenchmarkError, match="speedup"):
+            entry.run(4)
+
+    def test_run_rejects_undeclared_metric(self):
+        entry = _entry(runner=lambda size: {
+            "rate": 1.0, "speedup": 2.0, "extra": 3.0})
+        with pytest.raises(BenchmarkError, match="extra"):
+            entry.run(4)
+
+    def test_run_rejects_non_finite_and_non_numeric(self):
+        for bad in (float("nan"), float("inf"), "fast", True, None):
+            entry = _entry(runner=lambda size, bad=bad: {
+                "rate": bad, "speedup": 2.0})
+            with pytest.raises(BenchmarkError, match="finite"):
+                entry.run(4)
+
+    def test_metric_lookup_and_gates(self):
+        entry = _entry()
+        assert entry.metric("speedup").gate
+        assert [m.name for m in entry.gated_metrics()] == ["speedup"]
+        with pytest.raises(BenchmarkError, match="nope"):
+            entry.metric("nope")
+
+    def test_matches_name_and_tags(self):
+        entry = _entry(name="batch_toy", tags=("smoke", "dse"))
+        assert entry.matches("batch")
+        assert entry.matches("SMOKE")
+        assert not entry.matches("fleet")
+
+
+class TestRegistry:
+    def test_register_get_and_select(self):
+        registry = BenchmarkRegistry()
+        a = registry.register(_entry(name="aaa", tags=("smoke",)))
+        registry.register(_entry(name="bbb"))
+        assert registry.get("aaa") is a
+        assert registry.names() == ["aaa", "bbb"]
+        assert [e.name for e in registry.select("smoke")] == ["aaa"]
+        assert [e.name for e in registry.select("")] == ["aaa", "bbb"]
+
+    def test_duplicate_registration_raises(self):
+        registry = BenchmarkRegistry()
+        registry.register(_entry(name="x"))
+        with pytest.raises(BenchmarkError, match="already"):
+            registry.register(_entry(name="x"))
+
+    def test_unknown_name_lists_registered(self):
+        registry = BenchmarkRegistry()
+        registry.register(_entry(name="only"))
+        with pytest.raises(BenchmarkError, match="only"):
+            registry.get("missing")
+
+
+class TestBuiltins:
+    def test_builtin_entries_are_registered(self):
+        load_builtins()
+        names = REGISTRY.names()
+        for expected in ("batch_pricing", "fleet_missions",
+                         "engine_parallel", "obs_overhead"):
+            assert expected in names
+
+    def test_builtin_schemas_gate_only_ratios(self):
+        """Gated metrics must be dimensionless (speedups / ratios):
+        absolute rates are machine-relative and must stay ungated."""
+        load_builtins()
+        for name in REGISTRY.names():
+            entry = REGISTRY.get(name)
+            assert entry.smoke_sizes, name
+            assert entry.gated_metrics(), name
+            for metric in entry.gated_metrics():
+                assert metric.unit in ("x", "ratio"), (
+                    f"{name}.{metric.name} gates on unit"
+                    f" {metric.unit!r}")
+            for metric in entry.metrics:
+                if metric.unit == "1/s":
+                    assert not metric.gate, (
+                        f"{name}.{metric.name}: absolute rates must"
+                        f" not gate")
+
+    def test_get_benchmark_loads_builtins(self):
+        assert get_benchmark("batch_pricing").name == "batch_pricing"

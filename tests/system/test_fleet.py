@@ -32,6 +32,10 @@ from repro.system.mission import (
     run_mission,
 )
 from repro.telemetry import MetricsRegistry
+from repro.telemetry.profiling import (
+    get_alloc_meter,
+    measure_allocations,
+)
 
 
 @pytest.fixture(scope="module")
@@ -194,6 +198,47 @@ class TestTelemetry:
         assert snapshot["fleet.rollouts"]["value"] == len(rollouts)
         assert snapshot["fleet.batch_hits"]["value"] == len(tiers)
         assert snapshot["fleet.batch_fallbacks"]["value"] == 1
+
+
+class TestAllocationAccounting:
+    def test_result_reports_exact_bytes(self, config, tiers):
+        fleet = run_fleet(tier_rollouts(config, tiers))
+        assert fleet.alloc_bytes > 0
+        assert fleet.alloc_bytes_per_rollout == \
+            fleet.alloc_bytes / len(fleet)
+
+    def test_meter_attributes_bytes_to_kernel_sites(self, config,
+                                                    tiers):
+        with measure_allocations() as meter:
+            fleet = run_fleet(tier_rollouts(config, tiers))
+        sites = meter.snapshot()
+        assert sites["system.fleet.run_fleet"]["bytes"] == \
+            fleet.alloc_bytes
+        assert sites["system.fleet.run_fleet"]["arrays"] > 0
+        assert sites["hw.batch.batch_estimate"]["bytes"] > 0
+        assert meter.total_bytes() >= fleet.alloc_bytes
+
+    def test_meter_disabled_by_default(self, config, tiers):
+        meter = get_alloc_meter()
+        before = dict(meter.snapshot())
+        run_fleet(tier_rollouts(config, tiers))
+        assert meter.snapshot() == before
+
+    def test_alloc_bytes_counter_published(self, config, tiers):
+        metrics = MetricsRegistry()
+        fleet = run_fleet(tier_rollouts(config, tiers),
+                          metrics=metrics)
+        snapshot = metrics.snapshot()
+        assert snapshot["fleet.alloc_bytes"]["value"] == \
+            fleet.alloc_bytes
+
+    def test_parallel_shards_report_same_bytes(self, config, tiers):
+        study = FleetStudy(config=config, tiers=tiers, trials=6,
+                           seed=2)
+        serial = study.run(jobs=1)
+        parallel = study.run(jobs=2)
+        assert serial.fleet.alloc_bytes > 0
+        assert parallel.fleet.alloc_bytes == serial.fleet.alloc_bytes
 
 
 class TestFirstCount:

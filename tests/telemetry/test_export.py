@@ -223,3 +223,49 @@ class TestMetricsJson:
         assert document["provenance"]["seed"] == 42
         assert document["metrics"]["n"]["value"] == 2
         assert document["rows"] == [{"a": 1}]
+
+    def test_export_is_deterministic_across_insertion_order(
+            self, tmp_path):
+        """The same data must serialize byte-identically no matter the
+        order metrics were registered or extra keys inserted."""
+        fixed = {"seed": 7, "git_sha": "abc", "unix_time": 0.0}
+
+        first = MetricsRegistry()
+        first.counter("b").inc(1)
+        first.gauge("a").set(2)
+        second = MetricsRegistry()
+        second.gauge("a").set(2)
+        second.counter("b").inc(1)
+
+        path_one = tmp_path / "one.json"
+        path_two = tmp_path / "two.json"
+        write_metrics_json(str(path_one), registry=first,
+                           provenance=fixed,
+                           extra={"x": 1, "y": 2})
+        write_metrics_json(str(path_two), registry=second,
+                           provenance=fixed,
+                           extra={"y": 2, "x": 1})
+        assert path_one.read_bytes() == path_two.read_bytes()
+
+
+class TestProvenance:
+    def test_provenance_carries_versions_and_machine(self):
+        provenance = run_provenance(seed=3, config={"k": "v"})
+        assert provenance["seed"] == 3
+        assert provenance["config"] == {"k": "v"}
+        assert provenance["python"]
+        assert provenance["numpy"]
+        machine = provenance["machine"]
+        assert set(machine) == {"hostname_sha", "system", "machine",
+                                "cpus"}
+        # hostname enters only as a truncated hash
+        assert len(machine["hostname_sha"]) == 12
+        import platform
+        node = platform.node()
+        if len(node) > 12:  # a short/empty name matches trivially
+            assert node not in str(machine)
+
+    def test_machine_fingerprint_is_stable(self):
+        from repro.telemetry import machine_fingerprint
+
+        assert machine_fingerprint() == machine_fingerprint()

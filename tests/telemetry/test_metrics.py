@@ -72,6 +72,30 @@ class TestStreamingHistogram:
         assert histogram.max == 3.0
         assert histogram.mean() == pytest.approx(2.0)
 
+    def test_empty_histogram_quantiles_are_zero(self):
+        """Zero samples: every quantile reads 0.0 and the summary is
+        well-formed (no division by the empty count)."""
+        histogram = StreamingHistogram("h")
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == 0.0
+        assert histogram.count == 0
+        assert histogram.mean() == 0.0
+        summary = histogram.summary()
+        assert summary["count"] == 0
+        assert summary["p50"] == 0.0 and summary["p999"] == 0.0
+
+    def test_single_sample_quantiles_collapse_to_it(self):
+        """One sample: every quantile lands in that sample's bucket
+        (within the sketch's relative-error bound)."""
+        histogram = StreamingHistogram("h")
+        histogram.record(0.25)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == \
+                pytest.approx(0.25, rel=0.02), q
+        assert histogram.min == histogram.max == 0.25
+        assert histogram.mean() == pytest.approx(0.25)
+        assert histogram.summary()["count"] == 1
+
     def test_underflow_and_empty(self):
         histogram = StreamingHistogram("h", min_value=1e-3)
         assert histogram.quantile(0.5) == 0.0

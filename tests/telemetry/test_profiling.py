@@ -1,0 +1,170 @@
+"""Unit tests for span-scoped profiling and allocation accounting."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    AllocationMeter,
+    SpanProfiler,
+    Tracer,
+    format_hotspots,
+    get_alloc_meter,
+    measure_allocations,
+    peak_rss_kb,
+    use_tracer,
+)
+from repro.telemetry.tracer import NullTracer
+
+
+def _burn(n=200):
+    """A named function cProfile can attribute samples to."""
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+class TestSpanProfiler:
+    def test_cpu_capture_yields_hotspots(self):
+        profiler = SpanProfiler(cpu=True, top_n=5)
+        with profiler.capture("work", track="t"):
+            for _ in range(50):
+                _burn()
+        assert len(profiler.records) == 1
+        record = profiler.records[0]
+        assert record.cpu_captured
+        assert record.wall_s > 0
+        assert record.hotspots
+        assert len(record.hotspots) <= 5
+        assert any("_burn" in spot.function
+                   for spot in record.hotspots)
+
+    def test_nested_capture_records_wall_only(self):
+        """cProfile cannot nest: the inner capture must still record
+        wall time but own no profile of its own."""
+        profiler = SpanProfiler(cpu=True)
+        with profiler.capture("outer", track="t"):
+            with profiler.capture("inner", track="t"):
+                _burn()
+        by_name = {record.name: record for record in profiler.records}
+        assert by_name["outer"].cpu_captured
+        assert not by_name["inner"].cpu_captured
+        assert by_name["inner"].hotspots == []
+        assert by_name["inner"].wall_s > 0
+
+    def test_memory_capture_attributes_numpy_bytes(self):
+        profiler = SpanProfiler(cpu=False, memory=True)
+        with profiler.capture("alloc", track="t"):
+            kept = np.ones(250_000, dtype=np.float64)
+        record = profiler.records[0]
+        assert record.tracemalloc_current_b is not None
+        assert record.tracemalloc_peak_b >= 2_000_000
+        # numpy registers array data in its own tracemalloc domain.
+        assert record.numpy_alloc_b >= kept.nbytes
+
+    def test_capture_closes_on_exception(self):
+        profiler = SpanProfiler(cpu=True)
+        with pytest.raises(ValueError):
+            with profiler.capture("boom", track="t"):
+                raise ValueError("boom")
+        assert len(profiler.records) == 1
+        assert profiler.records[0].cpu_captured
+        # the cProfile slot is free again for the next capture
+        with profiler.capture("after", track="t"):
+            _burn()
+        assert profiler.records[1].cpu_captured
+
+    def test_merged_hotspots_and_report(self):
+        profiler = SpanProfiler(cpu=True, top_n=4)
+        for name in ("a", "b"):
+            with profiler.capture(name, track="t"):
+                _burn(500)
+        merged = profiler.hotspots()
+        assert merged and len(merged) <= 4
+        only_a = profiler.hotspots(name="a")
+        assert only_a
+        document = profiler.report()
+        assert {r["name"] for r in document["records"]} == {"a", "b"}
+        assert document["hotspots"]
+        text = format_hotspots(merged, title="T")
+        assert text.startswith("T")
+        assert "function" in text
+        profiler.clear()
+        assert profiler.records == []
+
+
+class TestProfileSpan:
+    def test_tracer_without_profiler_degrades_to_wall_span(self):
+        tracer = Tracer()
+        with tracer.profile_span("plain", track="t") as span:
+            pass
+        assert span.wall
+        assert span.end_s is not None
+        assert tracer.profiler is None
+
+    def test_tracer_with_profiler_captures(self):
+        tracer = Tracer()
+        tracer.profiler = SpanProfiler(cpu=True)
+        with tracer.profile_span("profiled", track="t"):
+            _burn()
+        assert len(tracer.profiler.records) == 1
+        assert tracer.profiler.records[0].name == "profiled"
+        assert [s.name for s in tracer.spans] == ["profiled"]
+
+    def test_null_tracer_profile_span_is_noop(self):
+        tracer = NullTracer()
+        with tracer.profile_span("x", track="t") as span:
+            pass
+        assert span is NullTracer._NULL_SPAN
+        assert tracer.event_count() == 0
+
+
+class TestAllocationMeter:
+    def test_add_counts_nbytes(self):
+        meter = AllocationMeter()
+        added = meter.add("site", np.zeros(10, dtype=np.float64),
+                          np.zeros(5, dtype=np.int32), object())
+        assert added == 100  # 80 + 20; the plain object is skipped
+        snap = meter.snapshot()
+        assert snap == {"site": {"bytes": 100, "arrays": 2,
+                                 "calls": 1}}
+        assert meter.total_bytes() == 100
+        meter.clear()
+        assert meter.snapshot() == {}
+
+    def test_global_meter_disabled_by_default(self):
+        assert get_alloc_meter().enabled is False
+
+    def test_measure_allocations_scopes_the_global(self):
+        outside = get_alloc_meter()
+        with measure_allocations() as meter:
+            assert meter is outside  # toggled in place, not swapped
+            assert meter.enabled
+            meter.add("k", np.zeros(4))
+        assert not outside.enabled
+        # tallies survive the scope for post-hoc reads
+        assert outside.snapshot()["k"]["bytes"] == 32
+
+    def test_measure_allocations_clears_by_default(self):
+        with measure_allocations() as meter:
+            meter.add("first", np.zeros(2))
+        with measure_allocations() as meter:
+            assert meter.snapshot() == {}
+        with measure_allocations() as meter:
+            meter.add("second", np.zeros(2))
+        with measure_allocations(clear=False) as meter:
+            assert "second" in meter.snapshot()
+
+    def test_profiler_attributes_meter_sites_to_spans(self):
+        tracer = Tracer()
+        tracer.profiler = SpanProfiler(cpu=False)
+        with use_tracer(tracer), measure_allocations():
+            with tracer.profile_span("k", track="t"):
+                get_alloc_meter().add("kernel", np.zeros(8))
+        record = tracer.profiler.records[0]
+        assert record.alloc_sites["kernel"]["bytes"] == 64
+
+
+def test_peak_rss_is_positive_on_posix():
+    peak = peak_rss_kb()
+    assert peak is None or peak > 0

@@ -48,6 +48,30 @@ class TestTracer:
         tracer.clear()
         assert tracer.event_count() == 0
 
+    def test_wall_span_closes_and_tags_on_exception(self):
+        """A span interrupted by an exception must still close (no
+        dangling end_s) and record what killed it."""
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.wall_span("doomed", track="t",
+                                  args={"seq": 1}) as span:
+                raise RuntimeError("boom")
+        assert span.end_s is not None
+        assert span.end_s >= span.start_s
+        assert span.args == {"seq": 1, "error": "RuntimeError"}
+
+    def test_nested_spans_all_close_under_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.wall_span("outer") as outer:
+                with tracer.wall_span("inner") as inner:
+                    raise ValueError("inner blew up")
+        for span in (inner, outer):
+            assert span.end_s is not None
+            assert span.args["error"] == "ValueError"
+        # both spans were recorded, innermost first to finish
+        assert [s.name for s in tracer.spans] == ["outer", "inner"]
+
 
 class TestNullTracer:
     """The disabled path must record nothing and allocate nothing new."""
