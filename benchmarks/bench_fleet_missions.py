@@ -23,10 +23,13 @@ Two entry points:
   batch must not lose to scalar, and results must match exactly (run
   in CI, where absolute throughput is noisy but the ordering is not);
 - ``python benchmarks/bench_fleet_missions.py`` — the full sweep at
-  10/100/1k/10k rollouts, printed as a table, written to
+  10/100/1k/10k/100k rollouts, printed as a table, written to
   ``BENCH_fleet_missions.json`` (the numbers quoted in
   EXPERIMENTS.md), and appended to ``BENCH_LEDGER.jsonl`` as
-  provenance-stamped records.
+  provenance-stamped records.  The sweep also asserts the S6
+  monotonicity claim: the arena-backed batch speedup must not collapse
+  as the population grows (each size's speedup >= 0.9x the previous
+  size's — the allocation-tax signature this PR's arena removes).
 """
 
 import json
@@ -35,10 +38,11 @@ import time
 
 from repro.bench import append_records, get_benchmark, ledger_record
 
-SIZES = (10, 100, 1_000, 10_000)
+SIZES = (10, 100, 1_000, 10_000, 100_000)
 SMOKE_SIZE = 64
 ATTEMPTS = 3        # re-measure on a noisy machine before failing
 TARGET_SPEEDUP = 20.0   # the EXPERIMENTS.md claim, at >= 1k rollouts
+MONOTONE_FLOOR = 0.9    # speedup(N+1) >= 0.9 * speedup(N) (S6)
 
 
 def sweep(sizes=SIZES):
@@ -94,12 +98,33 @@ def main(out_path="BENCH_fleet_missions.json",
     append_records(ledger_path, records)
     print(f"appended {len(records)} record(s) to {ledger_path}")
     at_1k = next(r for r in rows if r["rollouts"] == 1_000)
+    status = 0
     if at_1k["speedup"] < TARGET_SPEEDUP:
         print(f"WARNING: speedup at 1k rollouts"
               f" ({at_1k['speedup']:.1f}x) below the"
               f" {TARGET_SPEEDUP:.0f}x target", file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    # S6: the batch advantage must be monotone (within tolerance)
+    # across the sweep — a collapse at large N means the memory layer
+    # regressed.  Same-run comparison, so it holds on any machine;
+    # ``repro bench --check --filter fleet`` applies the same floor.
+    # A violating pair is re-measured (best-of) before failing — the
+    # same noisy-machine idiom as the smoke test's ATTEMPTS loop.
+    entry = get_benchmark("fleet_missions")
+    for prev, row in zip(rows, rows[1:]):
+        for _ in range(ATTEMPTS):
+            if row["speedup"] >= MONOTONE_FLOOR * prev["speedup"]:
+                break
+            prev["speedup"] = max(
+                prev["speedup"],
+                entry.run(prev["rollouts"])["speedup"])
+            row["speedup"] = max(
+                row["speedup"], entry.run(row["rollouts"])["speedup"])
+        assert row["speedup"] >= MONOTONE_FLOOR * prev["speedup"], (
+            f"speedup collapsed: {row['speedup']:.2f}x at"
+            f" {row['rollouts']} rollouts < {MONOTONE_FLOOR:g}x the"
+            f" {prev['speedup']:.2f}x at {prev['rollouts']}")
+    return status
 
 
 if __name__ == "__main__":

@@ -14,8 +14,10 @@ from repro.bench.ledger import (
     DEFAULT_LEDGER_PATH,
     LEDGER_SCHEMA,
     BaselineCheck,
+    MonotoneCheck,
     append_records,
     baselines_from_records,
+    check_monotone,
     check_records,
     ledger_record,
     load_baselines,
@@ -44,8 +46,10 @@ __all__ = [
     "Benchmark",
     "BenchmarkRegistry",
     "Metric",
+    "MonotoneCheck",
     "append_records",
     "baselines_from_records",
+    "check_monotone",
     "check_records",
     "get_benchmark",
     "ledger_record",

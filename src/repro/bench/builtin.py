@@ -14,6 +14,7 @@ wrong results never reaches the ledger.
 
 from __future__ import annotations
 
+import gc
 import time
 from typing import Dict, List
 
@@ -56,6 +57,19 @@ def run_batch_pricing(size: int) -> Dict[str, float]:
 
 _FLEET_CONFIG = None
 _FLEET_COURSES: Dict = {}
+_FLEET_ARENA = None
+
+
+def _fleet_arena():
+    """The bench arena (module-cached): sweep sizes share buffers, so
+    large populations measure the steady-state reuse path, not cold
+    allocation."""
+    global _FLEET_ARENA
+    if _FLEET_ARENA is None:
+        from repro.engine.arena import BatchArena
+
+        _FLEET_ARENA = BatchArena()
+    return _FLEET_ARENA
 
 
 def _fleet_config():
@@ -91,34 +105,90 @@ def _fleet_population(n: int):
     return study.rollouts()[:n]
 
 
+#: Scalar rollouts in the baseline measurement sample.  The scalar
+#: loop's rate is size-independent by construction (one Python loop
+#: per rollout, no shared state), so it is measured ONCE per process —
+#: warmed, best-of-``_BATCH_REPS``, GC paused — and shared by every
+#: sweep size.  Re-measuring per size would (a) price small sizes on a
+#: cold interpreter, overstating their speedup, and (b) inject an
+#: uncorrelated noise term into a ratio whose *shape across sizes* is
+#: the monotonicity instrument.  Result equality against the scalar
+#: path is still asserted per size over this sample.
+_SCALAR_SAMPLE = 2_000
+_BATCH_REPS = 5
+_SCALAR_RATE: "float | None" = None
+
+
+def _scalar_results(sample):
+    from repro.system.fleet import ensure_course
+    from repro.system.mission import run_mission
+
+    return [run_mission(r.config, r.platform, r.compute_mass_kg,
+                        r.compute_power_w,
+                        course=ensure_course(r.config, _FLEET_COURSES))
+            for r in sample]
+
+
+def _scalar_rate() -> float:
+    """Best-of-reps scalar rollouts/s over a warmed fixed-size sample
+    (module-cached: one baseline per process, shared by all sizes)."""
+    global _SCALAR_RATE
+    if _SCALAR_RATE is None:
+        sample = _fleet_population(_SCALAR_SAMPLE)
+        _scalar_results(sample)                      # warm interpreter
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            best = 0.0
+            for _ in range(_BATCH_REPS):
+                started = time.perf_counter()
+                _scalar_results(sample)
+                best = max(best, len(sample)
+                           / (time.perf_counter() - started))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        _SCALAR_RATE = best
+    return _SCALAR_RATE
+
+
 def run_fleet_missions(size: int) -> Dict[str, float]:
     """Scalar-vs-vectorized mission rollouts (see S4 / PR 5), plus the
     engine's exact bytes-allocated-per-rollout — the allocation-tax
-    instrument (ROADMAP / EXPERIMENTS S5)."""
-    from repro.system.fleet import ensure_course, run_fleet
-    from repro.system.mission import run_mission
+    instrument (ROADMAP / EXPERIMENTS S5).
+
+    The batch path runs through a warmed :class:`BatchArena` (S6): the
+    measured rate is the steady-state, zero-allocation reuse path a
+    Monte Carlo sweep or ask/tell loop actually sits on, which is what
+    keeps the speedup monotone instead of collapsing past ~10k
+    rollouts.  Timed regions run with the cyclic GC paused
+    (``timeit``-style hygiene; collector scheduling scales with live
+    object count, which would bill the 100k point for heap size, not
+    work), and the scalar denominator comes from :func:`_scalar_rate`
+    so every size divides by the same baseline."""
+    from repro.system.fleet import run_fleet
 
     cache = _FLEET_COURSES
-    warm = _fleet_population(4)
-    warm_fleet = run_fleet(warm, course_cache=cache)
-    assert list(warm_fleet.results) == [
-        run_mission(r.config, r.platform, r.compute_mass_kg,
-                    r.compute_power_w,
-                    course=ensure_course(r.config, cache))
-        for r in warm]
+    scalar_per_s = _scalar_rate()
     rollouts = _fleet_population(size)
-    started = time.perf_counter()
-    scalar_results = [
-        run_mission(r.config, r.platform, r.compute_mass_kg,
-                    r.compute_power_w,
-                    course=ensure_course(r.config, cache))
-        for r in rollouts
-    ]
-    scalar_per_s = size / (time.perf_counter() - started)
-    started = time.perf_counter()
-    fleet = run_fleet(rollouts, course_cache=cache)
-    batch_per_s = size / (time.perf_counter() - started)
-    assert list(fleet.results) == scalar_results, (
+    sample = rollouts[:min(size, _SCALAR_SAMPLE)]
+    arena = _fleet_arena()
+    run_fleet(rollouts, course_cache=cache, arena=arena)  # warm arena
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        batch_per_s = 0.0
+        for _ in range(_BATCH_REPS):
+            started = time.perf_counter()
+            fleet = run_fleet(rollouts, course_cache=cache,
+                              arena=arena)
+            batch_per_s = max(
+                batch_per_s, size / (time.perf_counter() - started))
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    assert list(fleet.results[:len(sample)]) == \
+        _scalar_results(sample), (
         f"batch results diverged from scalar at n={size}")
     return {
         "scalar_per_s": round(scalar_per_s, 1),
@@ -126,6 +196,50 @@ def run_fleet_missions(size: int) -> Dict[str, float]:
         "speedup": round(batch_per_s / scalar_per_s, 2),
         "alloc_bytes_per_rollout": round(
             fleet.alloc_bytes_per_rollout, 1),
+    }
+
+
+# -- arena reuse -------------------------------------------------------
+
+_ARENA_GENERATIONS = 5
+
+
+def run_arena_reuse(size: int) -> Dict[str, float]:
+    """Steady-state arena behaviour over consecutive generations.
+
+    Runs ``_ARENA_GENERATIONS`` fleet generations of ``size`` rollouts
+    through one :class:`BatchArena` and certifies the S6 acceptance
+    shape: after the first (warm-up) generation the arena performs zero
+    buffer growth (``steady_grow_bytes``), the reuse fraction
+    approaches 1, and ``alloc_bytes_per_rollout`` stays exactly flat
+    across generations (``alloc_flat_ratio`` = max/min; the ±10%
+    criterion is gated at the declared threshold)."""
+    from repro.engine.arena import BatchArena
+    from repro.system.fleet import run_fleet
+
+    cache = _FLEET_COURSES
+    rollouts = _fleet_population(size)
+    arena = BatchArena()
+    per_rollout = []
+    grow_after_warmup = 0
+    for generation in range(_ARENA_GENERATIONS):
+        grows_before = arena.grow_bytes
+        fleet = run_fleet(rollouts, course_cache=cache, arena=arena)
+        if generation > 0:
+            grow_after_warmup += arena.grow_bytes - grows_before
+        per_rollout.append(fleet.alloc_bytes_per_rollout)
+    flat_ratio = max(per_rollout) / min(per_rollout)
+    assert flat_ratio <= 1.1, (
+        f"alloc_bytes_per_rollout drifted {flat_ratio:.3f}x across"
+        f" {_ARENA_GENERATIONS} reused-arena generations at n={size}")
+    stats = arena.stats()
+    reuse_frac = stats["reuses"] / (stats["reuses"] + stats["grows"])
+    return {
+        "alloc_bytes_per_rollout": round(per_rollout[-1], 1),
+        "alloc_flat_ratio": round(flat_ratio, 4),
+        "steady_grow_bytes": float(grow_after_warmup),
+        "reuse_frac": round(reuse_frac, 4),
+        "arena_occupancy": round(stats["occupancy"], 4),
     }
 
 
@@ -264,18 +378,40 @@ register_benchmark(Benchmark(
 register_benchmark(Benchmark(
     name="fleet_missions",
     description="Vectorized fleet rollouts vs. per-rollout run_mission"
-                " (exactly equal results; S4), with bytes/rollout",
-    sizes=(10, 100, 1_000, 10_000),
+                " (exactly equal results; S4), arena-backed batch path"
+                " with bytes/rollout (S6)",
+    sizes=(10, 100, 1_000, 10_000, 100_000),
     smoke_sizes=(64,),
     metrics=(
         Metric("scalar_per_s", unit="1/s"),
         Metric("batch_per_s", unit="1/s"),
-        Metric("speedup", unit="x", higher_is_better=True, gate=True),
+        Metric("speedup", unit="x", higher_is_better=True, gate=True,
+               monotone=True),
         Metric("alloc_bytes_per_rollout", unit="B",
                higher_is_better=False),
     ),
     runner=run_fleet_missions,
     tags=("smoke", "mission", "system"),
+))
+
+register_benchmark(Benchmark(
+    name="arena_reuse",
+    description="BatchArena steady state: zero growth and flat"
+                " bytes/rollout across 5 reused generations (S6)",
+    sizes=(1_000, 10_000),
+    smoke_sizes=(256,),
+    metrics=(
+        Metric("alloc_bytes_per_rollout", unit="B",
+               higher_is_better=False),
+        Metric("alloc_flat_ratio", unit="ratio",
+               higher_is_better=False, gate=True),
+        Metric("steady_grow_bytes", unit="B", higher_is_better=False),
+        Metric("reuse_frac", unit="ratio", higher_is_better=True,
+               gate=True),
+        Metric("arena_occupancy", unit="ratio"),
+    ),
+    runner=run_arena_reuse,
+    tags=("smoke", "mission", "system", "memory"),
 ))
 
 register_benchmark(Benchmark(

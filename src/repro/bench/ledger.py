@@ -42,8 +42,10 @@ __all__ = [
     "DEFAULT_LEDGER_PATH",
     "LEDGER_SCHEMA",
     "BaselineCheck",
+    "MonotoneCheck",
     "append_records",
     "baselines_from_records",
+    "check_monotone",
     "check_records",
     "ledger_record",
     "load_baselines",
@@ -224,6 +226,75 @@ def check_records(records: Sequence[Mapping[str, Any]],
                 change=change, threshold=threshold,
                 regressed=change < -threshold,
             ))
+    return checks
+
+
+# -- the monotonicity gate ---------------------------------------------
+
+@dataclass(frozen=True)
+class MonotoneCheck:
+    """One size-to-size step of a monotone-declared metric.
+
+    The metric at ``size`` must be at least ``tolerance`` times its
+    value at the previous (smaller) ``prev_size`` within the same run;
+    ``violated`` is True when it falls below that.  Being a same-run,
+    same-machine comparison, a violation is machine-independent
+    evidence the metric's scaling collapsed (e.g. a batch speedup
+    flattened by allocation churn at large populations).
+    """
+
+    benchmark: str
+    metric: str
+    prev_size: int
+    size: int
+    prev_value: float
+    value: float
+    tolerance: float
+    violated: bool
+
+
+def check_monotone(records: Sequence[Mapping[str, Any]],
+                   benchmarks: Mapping[str, Benchmark],
+                   tolerance: float = 0.9) -> List[MonotoneCheck]:
+    """Check monotone-declared metrics across a run's size sweep.
+
+    For each benchmark with :class:`~repro.bench.registry.Metric`
+    entries declaring ``monotone=True``, the run's records are ordered
+    by size (last record per size wins) and every adjacent pair is
+    compared: ``value(size_{i+1}) >= tolerance * value(size_i)``.
+    Returns every comparison made (callers filter on ``violated``);
+    benchmarks measured at fewer than two sizes contribute none.
+    """
+    if not 0.0 < tolerance:
+        raise BenchmarkError(
+            f"tolerance must be > 0, got {tolerance}")
+    by_bench: Dict[str, Dict[int, Mapping[str, Any]]] = {}
+    for record in records:
+        name = record["benchmark"]
+        by_bench.setdefault(name, {})[int(record["size"])] = \
+            record.get("metrics", {})
+    checks: List[MonotoneCheck] = []
+    for name, by_size in by_bench.items():
+        benchmark = benchmarks.get(name)
+        if benchmark is None or len(by_size) < 2:
+            continue
+        monotone = [m for m in benchmark.metrics if m.monotone]
+        sizes = sorted(by_size)
+        for metric in monotone:
+            for prev_size, size in zip(sizes, sizes[1:]):
+                prev_value = by_size[prev_size].get(metric.name)
+                value = by_size[size].get(metric.name)
+                if prev_value is None or value is None:
+                    continue
+                prev_value = float(prev_value)
+                value = float(value)
+                checks.append(MonotoneCheck(
+                    benchmark=name, metric=metric.name,
+                    prev_size=prev_size, size=size,
+                    prev_value=prev_value, value=value,
+                    tolerance=tolerance,
+                    violated=value < tolerance * prev_value,
+                ))
     return checks
 
 

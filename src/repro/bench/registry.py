@@ -52,12 +52,21 @@ class Metric:
             Gate only dimensionless, machine-relative quantities
             (speedups, overhead ratios); absolute rates vary with the
             host and are informational.
+        monotone: Whether the metric must be (approximately)
+            non-decreasing across a run's size sweep.  Unlike baseline
+            gating this compares a run against *itself*, so it is fully
+            machine-independent: a vectorized path whose advantage
+            collapses at large sizes (the allocation-tax signature) is
+            a structural regression wherever it is measured.  Checked
+            by :func:`repro.bench.ledger.check_monotone` whenever a
+            ``repro bench --check`` run covers two or more sizes.
     """
 
     name: str
     unit: str = ""
     higher_is_better: bool = True
     gate: bool = False
+    monotone: bool = False
 
 
 @dataclass(frozen=True)

@@ -249,7 +249,8 @@ def _cmd_mission(args: argparse.Namespace) -> int:
 
 
 def _run_fleet(config, tiers, trials=64, seed=0, jobs=1,
-               perturbation=None, json_path=None, trace_out=None,
+               perturbation=None, chunk_size=None, transport="auto",
+               json_path=None, trace_out=None,
                profile_out=None, command_config=None) -> int:
     """Shared fleet execution path (see :func:`_run_suite`)."""
     import contextlib
@@ -272,6 +273,10 @@ def _run_fleet(config, tiers, trials=64, seed=0, jobs=1,
         return 2
     if jobs < 1:
         print(f"--jobs must be >= 1 (got {jobs})", file=sys.stderr)
+        return 2
+    if chunk_size is not None and chunk_size < 1:
+        print(f"--chunk-size must be >= 1 (got {chunk_size})",
+              file=sys.stderr)
         return 2
     kwargs = {} if perturbation is None else {
         "perturbation": perturbation}
@@ -297,7 +302,8 @@ def _run_fleet(config, tiers, trials=64, seed=0, jobs=1,
             stack.enter_context(use_tracer(tracer))
         if profiler is not None:
             meter = stack.enter_context(measure_allocations())
-        result = study.run(jobs=jobs, metrics=metrics)
+        result = study.run(jobs=jobs, metrics=metrics,
+                           chunk_size=chunk_size, transport=transport)
     print(format_table(
         ["tier", "success", "time p50 (s)", "time p99 (s)",
          "energy p50 (kJ)", "failures"],
@@ -319,7 +325,8 @@ def _run_fleet(config, tiers, trials=64, seed=0, jobs=1,
     provenance = run_provenance(
         seed=seed,
         config={**(command_config or {}), "trials": trials,
-                "jobs": jobs, "laps": config.laps},
+                "jobs": jobs, "chunk_size": chunk_size,
+                "transport": transport, "laps": config.laps},
     )
     if json_path:
         write_metrics_json(
@@ -394,6 +401,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                            laps=args.laps)
     return _run_fleet(config, uav_compute_tiers(), trials=args.trials,
                       seed=args.seed, jobs=args.jobs,
+                      chunk_size=args.chunk_size,
+                      transport=args.transport,
                       json_path=args.json, trace_out=args.trace_out,
                       profile_out=args.profile_out,
                       command_config={"command": "fleet",
@@ -402,7 +411,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
 def _run_dse(space, objective_name="suite_objective",
              strategy="surrogate", budget=24, seed=0, jobs=1,
-             cache_dir=None, json_path=None,
+             cache_dir=None, chunk_size=None, json_path=None,
              command_config=None) -> int:
     """Shared DSE execution path (see :func:`_run_suite`).  The
     objective is resolved from the registry by name, and that name goes
@@ -422,10 +431,15 @@ def _run_dse(space, objective_name="suite_objective",
         print(f"--budget must be >= 1 (got {budget})",
               file=sys.stderr)
         return 2
+    if chunk_size is not None and chunk_size < 1:
+        print(f"--chunk-size must be >= 1 (got {chunk_size})",
+              file=sys.stderr)
+        return 2
     objective = OBJECTIVES.get(objective_name)
     cache = ResultCache(cache_dir) if cache_dir else None
     evaluator = Evaluator(
         objective, jobs=jobs, cache=cache, seed=seed,
+        chunk_size=chunk_size,
         context={"task": "dse-codesign",
                  "objective": objective_name},
     )
@@ -456,6 +470,9 @@ def _run_dse(space, objective_name="suite_objective",
           f" (cache hits: {stats['hits']}, jobs: {jobs})")
     print(f"batch-priced: {stats['batch_hits']}"
           f" (scalar fallbacks: {stats['batch_fallbacks']})")
+    if chunk_size:
+        print(f"chunks: {stats['chunks']}"
+              f" (chunk size {chunk_size})")
     if json_path:
         provenance = run_provenance(
             seed=seed,
@@ -483,6 +500,7 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     return _run_dse(codesign_space(), strategy=args.strategy,
                     budget=args.budget, seed=args.seed,
                     jobs=args.jobs, cache_dir=args.cache,
+                    chunk_size=args.chunk_size,
                     json_path=args.json,
                     command_config={"command": "dse"})
 
@@ -552,7 +570,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return _run_fleet(
             run.config, run.tiers, trials=run.trials, seed=run.seed,
             jobs=args.jobs if args.jobs is not None else run.jobs,
-            perturbation=run.perturbation, json_path=args.json,
+            perturbation=run.perturbation,
+            chunk_size=run.chunk_size, json_path=args.json,
             trace_out=args.trace_out, command_config=command_config)
     if args.trace_out:
         print("note: --trace-out is ignored for dse scenarios",
@@ -561,7 +580,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         run.space, objective_name=run.objective,
         strategy=run.strategy, budget=run.budget, seed=run.seed,
         jobs=args.jobs if args.jobs is not None else run.jobs,
-        cache_dir=args.cache, json_path=args.json,
+        cache_dir=args.cache, chunk_size=run.chunk_size,
+        json_path=args.json,
         command_config=command_config)
 
 
@@ -746,6 +766,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         REGISTRY,
         append_records,
         baselines_from_records,
+        check_monotone,
         check_records,
         ledger_record,
         load_baselines,
@@ -874,6 +895,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     checks = []
     regressions = []
+    monotone_checks = []
+    monotone_violations = []
     if args.check:
         baselines = load_baselines(args.baselines)
         if not baselines:
@@ -894,6 +917,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                   f" {args.threshold:.0%}"
                   + (" (warn-only)" if args.warn_only else ""),
                   file=sys.stderr)
+        monotone_checks = check_monotone(records, benchmarks,
+                                         args.monotone_tolerance)
+        for check in monotone_checks:
+            marker = "NON-MONOTONE" if check.violated else "ok"
+            print(f"  [{marker}] {check.benchmark} {check.metric}:"
+                  f" {check.value:g} @{check.size} vs"
+                  f" {check.prev_value:g} @{check.prev_size}"
+                  f" (floor {check.tolerance:g}x)")
+        monotone_violations = [check for check in monotone_checks
+                               if check.violated]
+        if monotone_violations:
+            # Machine-independent (same-run) criterion: hard-fails
+            # even under --warn-only, which exists for noisy
+            # cross-machine baseline comparisons.
+            print(f"{len(monotone_violations)} monotonicity"
+                  f" violation(s) below"
+                  f" {args.monotone_tolerance:g}x", file=sys.stderr)
 
     if args.update_baselines:
         document = merge_baselines(args.baselines,
@@ -909,6 +949,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "checks": [dataclasses.asdict(check)
                        for check in checks],
             "regressions": len(regressions),
+            "monotone_checks": [dataclasses.asdict(check)
+                                for check in monotone_checks],
+            "monotone_violations": len(monotone_violations),
         }
         if profiler is not None:
             document["profile"] = profiler.report()
@@ -917,6 +960,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             handle.write("\n")
         print(f"wrote bench JSON to {args.json}")
 
+    if monotone_violations:
+        return 1
     return 1 if regressions and not args.warn_only else 0
 
 
@@ -955,6 +1000,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="process-pool width for candidate pricing")
     dse.add_argument("--cache",
                      help="directory for the on-disk result cache")
+    dse.add_argument("--chunk-size", type=int, default=None,
+                     help="evaluate at most this many pending"
+                          " candidates per oracle pass (bounds the"
+                          " peak working set; results are identical)")
     dse.add_argument("--json", help="also write the best design +"
                                     " engine stats as JSON")
 
@@ -1012,6 +1061,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shard the rollout population over a"
                             " process pool of this width (results are"
                             " identical to serial)")
+    fleet.add_argument("--chunk-size", type=int, default=None,
+                       help="evaluate rollouts through a fixed-size"
+                            " arena window of this many at a time"
+                            " (bounds the peak working set; results"
+                            " are identical)")
+    fleet.add_argument("--transport", default="auto",
+                       choices=["auto", "shm", "pickle"],
+                       help="shard transport for --jobs > 1: 'shm'"
+                            " ships columns through shared memory"
+                            " (zero-copy), 'pickle' serializes rollout"
+                            " objects, 'auto' probes for shm support")
     fleet.add_argument("--json", help="also write per-tier statistics"
                                       " + metrics as JSON")
     fleet.add_argument("--trace-out", help="write a Chrome trace of"
@@ -1056,8 +1116,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="relative regression threshold for"
                             " --check (0.15 = 15%%)")
     bench.add_argument("--warn-only", action="store_true",
-                       help="report regressions but exit 0 (for"
-                            " noisy CI runners)")
+                       help="report baseline regressions but exit 0"
+                            " (for noisy CI runners); same-run"
+                            " monotonicity violations still fail")
+    bench.add_argument("--monotone-tolerance", type=float, default=0.9,
+                       help="--check floor for monotone-declared"
+                            " metrics across a size sweep: each size's"
+                            " value must be >= this fraction of the"
+                            " previous size's (same-run, so it holds"
+                            " on any machine)")
     bench.add_argument("--update-baselines", action="store_true",
                        help="merge this run's results into the"
                             " baselines file")

@@ -147,10 +147,11 @@ class SurrogateSearch:
 
     def run(self, objective: Optional[Objective] = None,
             budget: int = 8, *, evaluator: Optional[Evaluator] = None,
-            jobs: int = 1, cache: Optional[ResultCache] = None
-            ) -> SearchResult:
+            jobs: int = 1, cache: Optional[ResultCache] = None,
+            chunk_size: Optional[int] = None) -> SearchResult:
         """Minimize ``objective`` within ``budget`` oracle calls."""
         return run_search(
             self.strategy(budget),
-            _make_evaluator(objective, evaluator, jobs, cache),
+            _make_evaluator(objective, evaluator, jobs, cache,
+                            chunk_size=chunk_size),
         )

@@ -211,8 +211,8 @@ class EvolutionarySearch:
 
     def run(self, objective: Optional[Objective] = None,
             budget: int = 2, *, evaluator: Optional[Evaluator] = None,
-            jobs: int = 1, cache: Optional[ResultCache] = None
-            ) -> SearchResult:
+            jobs: int = 1, cache: Optional[ResultCache] = None,
+            chunk_size: Optional[int] = None) -> SearchResult:
         """Minimize ``objective`` within ``budget`` oracle calls.
 
         Memoizes repeated configurations so the budget counts *unique*
@@ -220,5 +220,6 @@ class EvolutionarySearch:
         """
         return run_search(
             self.strategy(budget),
-            _make_evaluator(objective, evaluator, jobs, cache),
+            _make_evaluator(objective, evaluator, jobs, cache,
+                            chunk_size=chunk_size),
         )

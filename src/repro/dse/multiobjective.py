@@ -185,6 +185,7 @@ def multi_objective_search(
     evaluator: "Evaluator | None" = None,
     jobs: int = 1,
     cache: "ResultCache | None" = None,
+    chunk_size: "int | None" = None,
 ) -> MultiObjectiveResult:
     """Assemble a Pareto front via scalarized searches.
 
@@ -208,6 +209,9 @@ def multi_objective_search(
         cache: Result cache for the vector evaluator (pass one with a
             directory — and a distinguishing evaluator ``context`` — to
             share across runs).
+        chunk_size: Evaluate at most this many pending candidates per
+            oracle pass (bounds the peak working set; values and order
+            are unchanged).
     """
     if len(objectives) < 2:
         raise SearchError("need >= 2 objectives")
@@ -216,7 +220,8 @@ def multi_objective_search(
     names = tuple(objectives)
     if evaluator is None:
         evaluator = Evaluator(VectorObjective(objectives), jobs=jobs,
-                              cache=cache, seed=seed)
+                              cache=cache, seed=seed,
+                              chunk_size=chunk_size)
     store: Dict[int, Dict[str, float]] = {}
 
     for sweep, weights in enumerate(

@@ -29,12 +29,27 @@ import numpy as np
 
 from repro.core.workload import Workload
 from repro.dse.space import Config, DesignSpace, Parameter
+from repro.engine.arena import BatchArena
 from repro.errors import SearchError
 from repro.hw.batch import PlatformSoA, ProfileSoA, batch_estimate
 from repro.hw.platform import AnalyticalPlatform, PlatformConfig
 from repro.spec.registry import OBJECTIVES, SPACES
 
 _SUITE: "List[Workload] | None" = None
+
+#: Per-process scratch arena shared by the batch objectives: every
+#: ``evaluate_batch`` call (every chunk of a chunked evaluation, every
+#: DSE generation) reuses the same buffers, so steady-state pricing
+#: allocates nothing on the hot path.  Results are bit-identical to the
+#: allocating path — the arena only changes where outputs live.
+_ARENA: "BatchArena | None" = None
+
+
+def _arena() -> BatchArena:
+    global _ARENA
+    if _ARENA is None:
+        _ARENA = BatchArena()
+    return _ARENA
 
 
 def _suite() -> List[Workload]:
@@ -205,7 +220,7 @@ class SuiteObjective:
             return []
         soa = encode_codesign(configs)
         profiles, plan = _batch_suite()
-        cost = batch_estimate(soa, profiles)
+        cost = batch_estimate(soa, profiles, arena=_arena())
         totals = np.zeros(len(configs))
         for workload, stage_names, columns in plan:
             block_latency = cost.latency_s[:, columns]
@@ -348,7 +363,7 @@ class MissionObjective:
                 compute_mass_kg=mass_kg,
                 compute_power_w=power_w,
             ))
-        fleet = run_fleet(rollouts, course_cache=cache)
+        fleet = run_fleet(rollouts, course_cache=cache, arena=_arena())
         budget_j = mission.battery.usable_energy_j
         return [_mission_score(result, budget_j)
                 for result in fleet.results]

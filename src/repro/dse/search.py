@@ -201,34 +201,38 @@ class RandomStrategy(ConfigStrategy):
 
 def _make_evaluator(objective: Optional[Objective],
                     evaluator: Optional[Evaluator], jobs: int,
-                    cache: Optional[ResultCache], seed: int = 0
-                    ) -> Evaluator:
+                    cache: Optional[ResultCache], seed: int = 0,
+                    chunk_size: Optional[int] = None) -> Evaluator:
     """Resolve the wrapper-call convention: an explicit evaluator wins;
     otherwise one is built around the given objective."""
     if evaluator is not None:
         return evaluator
     if objective is None:
         raise SearchError("pass an objective or an evaluator")
-    return Evaluator(objective, jobs=jobs, cache=cache, seed=seed)
+    return Evaluator(objective, jobs=jobs, cache=cache, seed=seed,
+                     chunk_size=chunk_size)
 
 
 def grid_search(space: DesignSpace, objective: Optional[Objective] = None,
                 budget: Optional[int] = None, *,
                 evaluator: Optional[Evaluator] = None, jobs: int = 1,
-                cache: Optional[ResultCache] = None) -> SearchResult:
+                cache: Optional[ResultCache] = None,
+                chunk_size: Optional[int] = None) -> SearchResult:
     """Enumerate the space in index order (optionally budget-capped)."""
     strategy = GridStrategy(space, budget=budget)
     return run_search(strategy,
-                      _make_evaluator(objective, evaluator, jobs, cache))
+                      _make_evaluator(objective, evaluator, jobs, cache,
+                                      chunk_size=chunk_size))
 
 
 def random_search(space: DesignSpace,
                   objective: Optional[Objective] = None,
                   budget: int = 1, seed: int = 0, *,
                   evaluator: Optional[Evaluator] = None, jobs: int = 1,
-                  cache: Optional[ResultCache] = None) -> SearchResult:
+                  cache: Optional[ResultCache] = None,
+                  chunk_size: Optional[int] = None) -> SearchResult:
     """Uniform random sampling without replacement (when feasible)."""
     strategy = RandomStrategy(space, budget=budget, seed=seed)
     return run_search(strategy,
                       _make_evaluator(objective, evaluator, jobs, cache,
-                                      seed=seed))
+                                      seed=seed, chunk_size=chunk_size))

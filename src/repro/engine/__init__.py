@@ -6,6 +6,9 @@ service boundary: candidate evaluation must be **content-addressed**
 process pool can price a generation at once), and **observable** (so
 optimization loops can be audited).  This package is that boundary:
 
+- :mod:`~repro.engine.arena`       — preallocated, capacity-doubling
+  :class:`BatchArena` buffers so batch kernels stop reallocating their
+  SoA columns every generation;
 - :mod:`~repro.engine.fingerprint` — canonical JSON + SHA-256 content
   addresses for configs, workloads, platforms, and SoCs;
 - :mod:`~repro.engine.cache`       — in-memory + on-disk result cache;
@@ -13,12 +16,15 @@ optimization loops can be audited).  This package is that boundary:
   pricing with deterministic per-candidate seeding, serial or via a
   process pool, bit-identical either way;
 - :mod:`~repro.engine.protocol`    — the ask/tell
-  :class:`SearchStrategy` protocol and the :func:`run_search` driver.
+  :class:`SearchStrategy` protocol and the :func:`run_search` driver;
+- :mod:`~repro.engine.shm`         — zero-copy shared-memory column
+  transport for multi-process shards.
 
 Consumers: every :mod:`repro.dse` strategy and
 :class:`repro.benchmarksuite.runner.SuiteRunner`.
 """
 
+from repro.engine.arena import BatchArena, Workspace
 from repro.engine.cache import ResultCache
 from repro.engine.evaluator import EvalResult, Evaluator
 from repro.engine.fingerprint import canonical_json, fingerprint
@@ -30,11 +36,13 @@ from repro.engine.protocol import (
 )
 
 __all__ = [
+    "BatchArena",
     "BatchObjective",
     "EvalResult",
     "Evaluator",
     "ResultCache",
     "SearchStrategy",
+    "Workspace",
     "canonical_json",
     "fingerprint",
     "run_search",

@@ -1,0 +1,168 @@
+"""Preallocated, reusable SoA batch arenas.
+
+The batch kernels (:func:`repro.hw.batch.batch_estimate`,
+:func:`repro.system.fleet.run_fleet`) price a population in
+structure-of-arrays form: a few dozen column arrays whose length is the
+population size.  Allocating those columns fresh on every call is what
+flattens the batch speedup at production sweep sizes — the framework
+echo of the paper's memory/communication-bottleneck challenge: past
+~10k rollouts the working set stops fitting the allocator's fast paths
+and the kernels spend their time in page faults, not arithmetic.
+
+:class:`BatchArena` fixes the churn without touching the arithmetic:
+
+- **Named buffers** — each column a kernel needs is requested by name
+  (``arena.array("fleet.latency", (n,))``); the arena owns one backing
+  buffer per ``(name, dtype)`` and hands out a length-``n`` view of it.
+- **Capacity doubling** — a buffer grows geometrically (to at least
+  twice its previous capacity) and never shrinks, so a steady-state
+  ask/tell loop or Monte Carlo sweep performs **zero** allocations per
+  generation after warm-up, for any non-decreasing or oscillating
+  population size.
+- **Bit-identical results** — the arena only changes *where* outputs
+  land, never what is computed: kernels write into views with explicit
+  ``out=`` ufunc calls in the same association order as the allocating
+  path.  The scalar-equivalence contracts extend unchanged (enforced by
+  ``tests/props/test_property_arena.py``).
+
+Ownership / lifetime contract (see DESIGN.md for the long form):
+
+- The **caller** owns the arena and its lifetime; kernels only borrow
+  it for the duration of one call.
+- Views returned by :meth:`BatchArena.array` — including arrays inside
+  a :class:`~repro.hw.batch.BatchCost` or ``FleetResult`` priced
+  through an arena — are **borrowed**: they are valid until the next
+  kernel call on the same arena, which may hand the same memory to the
+  next generation.  Consume (or copy) them before re-entering a kernel.
+- A buffer's contents between calls are *undefined*: kernels must fully
+  overwrite every view they request (fill + masked-write patterns for
+  selects), never read-modify-write.
+- Arenas are **not** shared across threads or processes; each worker in
+  a process pool builds its own.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.telemetry.profiling import get_alloc_meter
+
+__all__ = ["BatchArena", "Workspace"]
+
+
+class BatchArena:
+    """A pool of named, capacity-doubling numpy buffers.
+
+    ``array(name, shape, dtype)`` returns a contiguous view of the
+    backing buffer registered under ``(name, dtype)``, growing it
+    geometrically when the request exceeds capacity.  The view's
+    contents are undefined (the buffer is never zeroed); callers must
+    fully overwrite it.
+
+    Telemetry counters (:meth:`stats`) make reuse observable: after
+    warm-up a steady-state loop shows ``grows`` flat and ``reuses``
+    climbing, with ``grow_bytes`` bounding the peak working set.
+    """
+
+    __slots__ = ("_buffers", "_live", "grows", "reuses",
+                 "grow_bytes", "reused_bytes")
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[str, np.dtype], np.ndarray] = {}
+        #: requested bytes of the most recent view per buffer (for
+        #: occupancy: how much of the capacity the last call used).
+        self._live: Dict[Tuple[str, np.dtype], int] = {}
+        self.grows = 0
+        self.reuses = 0
+        self.grow_bytes = 0
+        self.reused_bytes = 0
+
+    def array(self, name: str, shape: Tuple[int, ...],
+              dtype=np.float64) -> np.ndarray:
+        """A writable ``shape`` view of the buffer named ``name``.
+
+        Contents are undefined; the caller must fully overwrite the
+        view.  The view is invalidated by the next ``array`` call with
+        the same ``(name, dtype)``.
+        """
+        dt = np.dtype(dtype)
+        key = (name, dt)
+        n = 1
+        for dim in shape:
+            n *= int(dim)
+        buffer = self._buffers.get(key)
+        if buffer is None or buffer.size < n:
+            capacity = n if buffer is None else max(n, 2 * buffer.size)
+            buffer = np.empty(capacity, dtype=dt)
+            self._buffers[key] = buffer
+            self.grows += 1
+            self.grow_bytes += buffer.nbytes
+            meter = get_alloc_meter()
+            if meter.enabled:
+                meter.add_bytes("engine.arena.grow", buffer.nbytes)
+        else:
+            self.reuses += 1
+            self.reused_bytes += n * dt.itemsize
+        self._live[key] = n * dt.itemsize
+        return buffer[:n].reshape(shape)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total bytes currently held by all backing buffers."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def occupancy(self) -> float:
+        """Fraction of capacity used by the most recent generation.
+
+        1.0 when every buffer's last view filled it exactly; lower when
+        the population shrank below a high-water mark.  0.0 before any
+        request.
+        """
+        capacity = self.capacity_bytes
+        if capacity == 0:
+            return 0.0
+        return sum(self._live.values()) / capacity
+
+    def clear(self) -> None:
+        """Release every backing buffer (counters are kept)."""
+        self._buffers.clear()
+        self._live.clear()
+
+    def stats(self) -> Dict[str, float]:
+        """Reuse telemetry: grows/reuses, bytes, capacity, occupancy."""
+        return {
+            "buffers": float(len(self._buffers)),
+            "grows": float(self.grows),
+            "reuses": float(self.reuses),
+            "grow_bytes": float(self.grow_bytes),
+            "reused_bytes": float(self.reused_bytes),
+            "capacity_bytes": float(self.capacity_bytes),
+            "occupancy": self.occupancy(),
+        }
+
+
+class Workspace:
+    """Per-call output buffers for one kernel invocation.
+
+    A thin adapter kernels use so one code path serves both memory
+    modes: ``out(name, shape)`` returns an arena view when an arena was
+    supplied, a fresh allocation otherwise.  Either way the kernel
+    writes results with explicit ``out=`` ufunc calls, so both modes
+    execute the identical operation sequence — the arena changes where
+    bytes land, never their values.
+    """
+
+    __slots__ = ("_arena", "_prefix")
+
+    def __init__(self, arena: Optional[BatchArena], prefix: str) -> None:
+        self._arena = arena
+        self._prefix = prefix
+
+    def out(self, name: str, shape: Tuple[int, ...],
+            dtype=np.float64) -> np.ndarray:
+        """An uninitialized output array (arena view or fresh)."""
+        if self._arena is None:
+            return np.empty(shape, dtype=dtype)
+        return self._arena.array(self._prefix + name, shape, dtype)

@@ -26,10 +26,18 @@ Every search loop and suite run in the repo used to own a private
   An objective can decline a batch by raising
   :class:`~repro.errors.BatchFallback`, which falls back to the scalar
   path transparently.
+- **Chunked streaming** — with ``chunk_size`` set, :meth:`map_batch`
+  pushes the pending set through the oracle in fixed-size windows, so
+  an arbitrarily large population evaluates under a bounded working
+  set (an arena-backed batch objective reuses the same buffers every
+  chunk).  Chunking changes neither values nor order: candidates are
+  independent, seeds are fingerprint-derived, and batch objectives are
+  elementwise, so any chunking of the pending set computes the same
+  results.
 
 Telemetry: oracle calls, cache hits/misses, batch-path hits/fallbacks,
-and per-candidate wall times are published through
-:mod:`repro.telemetry` when a registry or tracer is supplied.
+chunk counts/occupancy, and per-candidate wall times are published
+through :mod:`repro.telemetry` when a registry or tracer is supplied.
 """
 
 from __future__ import annotations
@@ -104,6 +112,10 @@ class Evaluator:
             evaluators sharing a cache directory MUST use distinct
             contexts unless their objectives agree.
         seeded: Whether the objective takes a per-candidate seed.
+        chunk_size: Evaluate at most this many pending candidates per
+            oracle pass (None = the whole pending set at once).  Bounds
+            the peak working set without changing values, order, seeds,
+            or cache keys.
         metrics: Registry receiving ``engine.*`` counters/histograms.
         tracer: Tracer receiving per-batch wall spans (defaults to the
             process-global tracer).
@@ -112,15 +124,20 @@ class Evaluator:
     def __init__(self, objective: Objective, *, jobs: int = 1,
                  cache: Optional[ResultCache] = None, seed: int = 0,
                  context: Any = None, seeded: bool = False,
+                 chunk_size: Optional[int] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None):
         if jobs < 1:
             raise EngineError(f"jobs must be >= 1 (got {jobs})")
+        if chunk_size is not None and chunk_size < 1:
+            raise EngineError(
+                f"chunk_size must be >= 1 (got {chunk_size})")
         self.objective = objective
         self.jobs = int(jobs)
         self.cache = cache if cache is not None else ResultCache()
         self.seed = int(seed)
         self.seeded = bool(seeded)
+        self.chunk_size = int(chunk_size) if chunk_size else None
         self.metrics = metrics
         self._tracer = tracer
         self._context_fp = fingerprint(context) if context is not None \
@@ -129,6 +146,7 @@ class Evaluator:
         self.batches = 0
         self.batch_hits = 0
         self.batch_fallbacks = 0
+        self.chunks = 0
 
     # -- content addressing -------------------------------------------
 
@@ -140,8 +158,14 @@ class Evaluator:
     def seed_for(self, key: str) -> int:
         """Per-candidate seed: a pure function of (base seed, key).
 
-        Independent of batch composition and evaluation order, which is
-        what makes parallel runs reproduce serial ones exactly.
+        The key is the candidate's content fingerprint, so the seed is
+        independent of batch composition, evaluation order, chunking,
+        process-pool sharding, and transport — the same candidate gets
+        the same seed whether it is priced serially, in a pickled pool
+        shard, or through the shared-memory column transport.  That
+        invariance is what makes parallel and chunked runs reproduce
+        serial ones exactly (enforced by
+        ``tests/engine/test_evaluator.py``).
         """
         return (self.seed ^ int(key[:16], 16)) & _SEED_MASK
 
@@ -183,16 +207,29 @@ class Evaluator:
         wall: Dict[str, float] = {}
         if pending:
             order = list(pending)
-            outcomes = self._run_pending(
-                [pending[k] for k in order],
-                [self.seed_for(k) for k in order],
-            )
-            for key, (value, wall_s) in zip(order, outcomes):
-                self.cache.put(key, value)
-                values[key] = value
-                wall[key] = wall_s
-                fresh_keys.add(key)
+            step = self.chunk_size or len(order)
+            chunks = 0
+            for lo in range(0, len(order), step):
+                window = order[lo:lo + step]
+                outcomes = self._run_pending(
+                    [pending[k] for k in window],
+                    [self.seed_for(k) for k in window],
+                )
+                for key, (value, wall_s) in zip(window, outcomes):
+                    self.cache.put(key, value)
+                    values[key] = value
+                    wall[key] = wall_s
+                    fresh_keys.add(key)
+                chunks += 1
             self.oracle_calls += len(order)
+            self.chunks += chunks
+            if self.metrics is not None and self.chunk_size is not None:
+                self.metrics.counter("engine.chunks").inc(chunks)
+                occupancy = self.metrics.histogram(
+                    "engine.chunk_occupancy")
+                for lo in range(0, len(order), step):
+                    occupancy.record(
+                        min(step, len(order) - lo) / step)
         self.batches += 1
         self._publish(len(candidates), len(pending), wall)
 
@@ -279,4 +316,5 @@ class Evaluator:
                 "batches": self.batches,
                 "batch_hits": self.batch_hits,
                 "batch_fallbacks": self.batch_fallbacks,
+                "chunks": self.chunks,
                 **self.cache.stats()}

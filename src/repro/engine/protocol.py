@@ -50,6 +50,15 @@ class BatchObjective(Protocol):
     Caching, fingerprints, per-candidate seeds, and dedup all happen in
     the Evaluator *before* this is called, so a batch objective only
     ever sees distinct cache-miss candidates.
+
+    **Chunk invariance**: the Evaluator may split the cache-miss set
+    into fixed-size windows (``chunk_size``) and call
+    ``evaluate_batch`` once per window.  A conforming batch objective
+    is elementwise over candidates — candidate *i*'s value depends only
+    on candidate *i* — so any chunking of a batch computes the same
+    values as one call over the whole batch.  Objectives whose batch
+    path couples candidates (e.g. population-level normalization) must
+    decline with :class:`~repro.errors.BatchFallback` instead.
     """
 
     def __call__(self, candidate: Any) -> Any: ...

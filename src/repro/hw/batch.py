@@ -35,7 +35,7 @@ reconfiguration, contention wrappers) must stay on the scalar path;
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,6 +44,7 @@ from repro.core.profile import (
     CostEstimate,
     WorkloadProfile,
 )
+from repro.engine.arena import BatchArena, Workspace
 from repro.errors import ConfigurationError
 from repro.hw.platform import AnalyticalPlatform, Platform, PlatformConfig
 from repro.telemetry.profiling import get_alloc_meter
@@ -73,6 +74,12 @@ _PRICING_HOOKS: Tuple[Tuple[type, str], ...] = (
 )
 
 
+#: Per-class verdict cache: the hook check is a pure function of the
+#: class, and the fleet engine asks once per *rollout*, so population
+#: sweeps would otherwise re-walk the hook list 100k+ times.
+_PRICEABLE_CACHE: Dict[type, bool] = {}
+
+
 def is_soa_priceable(platform: Platform) -> bool:
     """Whether :func:`batch_estimate` reproduces ``platform.estimate``.
 
@@ -82,11 +89,14 @@ def is_soa_priceable(platform: Platform) -> bool:
     platforms); False for accelerators with mapping tables or custom
     roofline terms, which must be priced scalar.
     """
-    if not isinstance(platform, AnalyticalPlatform):
-        return False
     cls = type(platform)
-    return all(getattr(cls, name) is getattr(owner, name)
-               for owner, name in _PRICING_HOOKS)
+    verdict = _PRICEABLE_CACHE.get(cls)
+    if verdict is None:
+        verdict = _PRICEABLE_CACHE[cls] = (
+            issubclass(cls, AnalyticalPlatform)
+            and all(getattr(cls, name) is getattr(owner, name)
+                    for owner, name in _PRICING_HOOKS))
+    return verdict
 
 
 def _column(items: Sequence, get: Callable) -> np.ndarray:
@@ -238,58 +248,110 @@ class BatchCost:
 
 
 def batch_estimate(platforms: PlatformSoA,
-                   profiles: ProfileSoA) -> BatchCost:
+                   profiles: ProfileSoA,
+                   arena: Optional[BatchArena] = None) -> BatchCost:
     """Price every (platform, profile) pair in one fused pass.
 
-    Each expression below is the broadcast form of the matching line in
+    Each ufunc call below is the broadcast form of the matching line in
     :meth:`AnalyticalPlatform.estimate`, in the same association order,
     so every entry is bit-identical to the scalar result.  Platform
     columns broadcast down rows (``[:, None]``), profile columns across
     them (``[None, :]``).
+
+    With ``arena`` set, every intermediate and output lands in reusable
+    :class:`~repro.engine.arena.BatchArena` buffers instead of fresh
+    allocations — same operations, same operand order, so still
+    bit-identical (the views are *borrowed*: valid until the next
+    kernel call on the same arena).  Selects are written as fill +
+    masked :func:`numpy.copyto` (pure element selection, no
+    arithmetic), which is value-identical to :func:`numpy.where` and
+    never reads the undefined buffer contents.
     """
+    ws = Workspace(arena, "hw.batch.")
+    shape = (len(platforms), len(profiles))
+    m = len(profiles)
     lockstep = platforms.lockstep[:, None]
-    derate = np.where(lockstep, profiles.derating[None, :], 1.0)
 
-    serial_ops = profiles.total_ops * (1.0 - profiles.parallel_fraction)
-    parallel_flops = profiles.flops * profiles.parallel_fraction
-    parallel_int = profiles.int_ops * profiles.parallel_fraction
+    # derate = where(lockstep, derating, 1.0)
+    derate = ws.out("derate", shape)
+    derate.fill(1.0)
+    np.copyto(derate, profiles.derating[None, :], where=lockstep)
 
-    t_serial = serial_ops[None, :] / platforms.scalar_flops[:, None]
-    t_parallel = (parallel_flops[None, :]
-                  / (platforms.peak_flops[:, None] * derate)
-                  + parallel_int[None, :]
-                  / (platforms.int_throughput[:, None] * derate))
-    t_compute = t_serial + t_parallel
+    # serial_ops = (flops + int_ops) * (1 - parallel_fraction)
+    total_ops = ws.out("total_ops", (m,))
+    np.add(profiles.flops, profiles.int_ops, out=total_ops)
+    serial_frac = ws.out("serial_frac", (m,))
+    np.subtract(1.0, profiles.parallel_fraction, out=serial_frac)
+    serial_ops = ws.out("serial_ops", (m,))
+    np.multiply(total_ops, serial_frac, out=serial_ops)
+    parallel_flops = ws.out("parallel_flops", (m,))
+    np.multiply(profiles.flops, profiles.parallel_fraction,
+                out=parallel_flops)
+    parallel_int = ws.out("parallel_int", (m,))
+    np.multiply(profiles.int_ops, profiles.parallel_fraction,
+                out=parallel_int)
 
-    onchip = (profiles.working_set_bytes[None, :]
-              <= platforms.onchip_bytes[:, None])
-    bandwidth = np.where(onchip, platforms.onchip_bw[:, None],
-                         platforms.offchip_bw[:, None])
-    t_memory = profiles.total_bytes[None, :] / bandwidth
+    t_serial = ws.out("t_serial", shape)
+    np.divide(serial_ops[None, :], platforms.scalar_flops[:, None],
+              out=t_serial)
+    # t_parallel = pf/(peak*derate) + pi/(int_throughput*derate)
+    denom = ws.out("denom", shape)
+    term = ws.out("term", shape)
+    np.multiply(platforms.peak_flops[:, None], derate, out=denom)
+    t_parallel = ws.out("t_parallel", shape)
+    np.divide(parallel_flops[None, :], denom, out=t_parallel)
+    np.multiply(platforms.int_throughput[:, None], derate, out=denom)
+    np.divide(parallel_int[None, :], denom, out=term)
+    np.add(t_parallel, term, out=t_parallel)
+    t_compute = ws.out("t_compute", shape)
+    np.add(t_serial, t_parallel, out=t_compute)
 
-    busy = np.maximum(t_compute, t_memory)
-    latency = platforms.launch_overhead_s[:, None] + busy
+    onchip = ws.out("onchip", shape, np.bool_)
+    np.less_equal(profiles.working_set_bytes[None, :],
+                  platforms.onchip_bytes[:, None], out=onchip)
+    # bandwidth = where(onchip, onchip_bw, offchip_bw)
+    bandwidth = ws.out("bandwidth", shape)
+    np.copyto(bandwidth, platforms.offchip_bw[:, None])
+    np.copyto(bandwidth, platforms.onchip_bw[:, None], where=onchip)
+    t_memory = ws.out("t_memory", shape)
+    np.divide(profiles.total_bytes[None, :], bandwidth, out=t_memory)
 
-    traffic_energy = np.where(
-        onchip, platforms.energy_per_byte_onchip[:, None],
-        platforms.energy_per_byte_offchip[:, None])
-    energy = (profiles.flops[None, :]
-              * platforms.energy_per_flop[:, None]
-              + profiles.int_ops[None, :] * platforms.int_energy[:, None]
-              + profiles.total_bytes[None, :] * traffic_energy
-              + platforms.static_power_w[:, None] * latency)
+    busy = ws.out("busy", shape)
+    np.maximum(t_compute, t_memory, out=busy)
+    latency = ws.out("latency", shape)
+    np.add(platforms.launch_overhead_s[:, None], busy, out=latency)
 
-    bound = np.where(
-        t_memory >= t_compute, _BOUND_MEMORY,
-        np.where(t_serial > t_parallel, _BOUND_SERIAL, _BOUND_COMPUTE),
-    ).astype(np.int8)
+    traffic_energy = ws.out("traffic_energy", shape)
+    np.copyto(traffic_energy, platforms.energy_per_byte_offchip[:, None])
+    np.copyto(traffic_energy, platforms.energy_per_byte_onchip[:, None],
+              where=onchip)
+    # energy = ((flops*e_flop + int_ops*e_int) + bytes*traffic) + static*lat
+    energy = ws.out("energy", shape)
+    np.multiply(profiles.flops[None, :],
+                platforms.energy_per_flop[:, None], out=energy)
+    np.multiply(profiles.int_ops[None, :],
+                platforms.int_energy[:, None], out=term)
+    np.add(energy, term, out=energy)
+    np.multiply(profiles.total_bytes[None, :], traffic_energy, out=term)
+    np.add(energy, term, out=energy)
+    np.multiply(platforms.static_power_w[:, None], latency, out=term)
+    np.add(energy, term, out=energy)
+
+    # bound = where(t_memory >= t_compute, MEMORY,
+    #               where(t_serial > t_parallel, SERIAL, COMPUTE))
+    mask = ws.out("mask", shape, np.bool_)
+    bound = ws.out("bound", shape, np.int8)
+    bound.fill(_BOUND_COMPUTE)
+    np.greater(t_serial, t_parallel, out=mask)
+    np.copyto(bound, np.int8(_BOUND_SERIAL), where=mask)
+    np.greater_equal(t_memory, t_compute, out=mask)
+    np.copyto(bound, np.int8(_BOUND_MEMORY), where=mask)
 
     # power = energy / latency where latency > 0, else static power.
-    # (.copy(): broadcast_to yields a read-only view, and when it is
-    # already contiguous ascontiguousarray would NOT copy it.)
-    power = np.broadcast_to(platforms.static_power_w[:, None],
-                            latency.shape).copy()
-    np.divide(energy, latency, out=power, where=latency > 0)
+    power = ws.out("power", shape)
+    np.copyto(power, platforms.static_power_w[:, None])
+    np.greater(latency, 0.0, out=mask)
+    np.divide(energy, latency, out=power, where=mask)
 
     meter = get_alloc_meter()
     if meter.enabled:

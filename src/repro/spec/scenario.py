@@ -89,6 +89,9 @@ class FleetScenario:
         trials: Monte Carlo trials per tier.
         seed: Perturbation RNG seed.
         jobs: Process-pool width (1 = serial; results identical).
+        chunk_size: Stream rollouts through the engine in windows of
+            this many (``None`` = whole population at once; results
+            identical either way).
         perturbation: Per-axis relative perturbation spreads.
     """
 
@@ -97,6 +100,7 @@ class FleetScenario:
     trials: int = 64
     seed: int = 0
     jobs: int = 1
+    chunk_size: Optional[int] = None
     perturbation: FleetPerturbation = field(
         default_factory=FleetPerturbation)
 
@@ -113,6 +117,8 @@ class DseScenario:
         budget: Unique-candidate evaluation budget.
         seed: Search seed.
         jobs: Process-pool width for candidate pricing.
+        chunk_size: Evaluate at most this many pending candidates per
+            oracle pass (``None`` = all at once; results identical).
     """
 
     space: DesignSpace
@@ -121,6 +127,7 @@ class DseScenario:
     budget: int = 24
     seed: int = 0
     jobs: int = 1
+    chunk_size: Optional[int] = None
 
 
 @dataclass
@@ -148,6 +155,17 @@ def _positive_jobs(payload: Mapping[str, Any], path: str) -> int:
             f"{schema.child(path, 'jobs')}: must be >= 1, got {jobs}"
         )
     return jobs
+
+
+def _optional_chunk_size(payload: Mapping[str, Any],
+                         path: str) -> Optional[int]:
+    chunk_size = schema.optional_int(payload, "chunk_size", path, None)
+    if chunk_size is not None and chunk_size < 1:
+        raise SpecError(
+            f"{schema.child(path, 'chunk_size')}: must be >= 1,"
+            f" got {chunk_size}"
+        )
+    return chunk_size
 
 
 def _encode_suite(run: SuiteScenario) -> Dict[str, Any]:
@@ -273,7 +291,7 @@ def _decode_mission_config(payload: Mapping[str, Any],
 
 
 def _encode_fleet(run: FleetScenario) -> Dict[str, Any]:
-    return {
+    payload: Dict[str, Any] = {
         "config": to_spec(run.config),
         "tiers": [
             {"name": name, "platform": to_spec(platform),
@@ -288,6 +306,9 @@ def _encode_fleet(run: FleetScenario) -> Dict[str, Any]:
             for key in _PERTURBATION_KEYS
         },
     }
+    if run.chunk_size is not None:
+        payload["chunk_size"] = run.chunk_size
+    return payload
 
 
 def _decode_perturbation(value: Any, path: str) -> FleetPerturbation:
@@ -308,7 +329,8 @@ def _decode_fleet(payload: Mapping[str, Any],
                   path: str) -> FleetScenario:
     schema.check_keys(
         payload,
-        ("config", "tiers", "trials", "seed", "jobs", "perturbation"),
+        ("config", "tiers", "trials", "seed", "jobs", "chunk_size",
+         "perturbation"),
         path)
     config = _decode_mission_config(payload, path)
     tiers = _decode_tiers(payload, path)
@@ -326,11 +348,12 @@ def _decode_fleet(payload: Mapping[str, Any],
         config=config, tiers=tiers, trials=trials,
         seed=schema.optional_int(payload, "seed", path, 0),
         jobs=_positive_jobs(payload, path),
+        chunk_size=_optional_chunk_size(payload, path),
         perturbation=perturbation)
 
 
 def _encode_dse(run: DseScenario) -> Dict[str, Any]:
-    return {
+    payload: Dict[str, Any] = {
         "space": to_spec(run.space),
         "objective": {"ref": run.objective},
         "strategy": run.strategy,
@@ -338,12 +361,16 @@ def _encode_dse(run: DseScenario) -> Dict[str, Any]:
         "seed": run.seed,
         "jobs": run.jobs,
     }
+    if run.chunk_size is not None:
+        payload["chunk_size"] = run.chunk_size
+    return payload
 
 
 def _decode_dse(payload: Mapping[str, Any], path: str) -> DseScenario:
     schema.check_keys(
         payload,
-        ("space", "objective", "strategy", "budget", "seed", "jobs"),
+        ("space", "objective", "strategy", "budget", "seed", "jobs",
+         "chunk_size"),
         path)
     space = decode_design_space(
         schema.get_field(payload, "space", path),
@@ -380,7 +407,8 @@ def _decode_dse(payload: Mapping[str, Any], path: str) -> DseScenario:
         space=space, objective=objective, strategy=strategy,
         budget=budget,
         seed=schema.optional_int(payload, "seed", path, 0),
-        jobs=_positive_jobs(payload, path))
+        jobs=_positive_jobs(payload, path),
+        chunk_size=_optional_chunk_size(payload, path))
 
 
 _SECTIONS = {

@@ -43,6 +43,16 @@ sweeps: per-trial perturbations of battery capacity, payload mass,
 sensor rate, and workload scale, shared across tiers (paired draws, so
 tier comparisons see the same weather), summarized per tier as success
 rates and p50/p90/p99 mission-time / energy statistics.
+
+**Memory architecture** (PR 7): the solve phase writes every column
+through explicit ``out=`` ufunc calls into a
+:class:`~repro.engine.arena.BatchArena` when one is supplied — same
+operations, same association order, so the equivalence contract is
+untouched while steady-state sweeps stop allocating.  ``chunk_size``
+streams arbitrarily large populations through a fixed-size arena
+window, and ``jobs > 1`` ships candidate/result columns through
+:mod:`repro.engine.shm` shared-memory views instead of pickling row
+objects (``transport="pickle"`` forces the legacy path).
 """
 
 from __future__ import annotations
@@ -53,6 +63,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine.arena import BatchArena, Workspace
+from repro.engine.shm import ColumnBlock, shm_available
 from repro.errors import ConfigurationError
 from repro.hw.batch import (
     PlatformSoA,
@@ -200,7 +212,8 @@ class FleetResult:
 # -- closed-form step counts ------------------------------------------
 
 def _first_count(unit: np.ndarray, target: np.ndarray,
-                 strict: bool) -> np.ndarray:
+                 strict: bool, ws: Optional[Workspace] = None,
+                 name: str = "count") -> np.ndarray:
     """Smallest integer count ``n >= 0`` with ``n * unit >= target``
     (``>`` when ``strict``), elementwise, under float64 arithmetic.
 
@@ -210,42 +223,98 @@ def _first_count(unit: np.ndarray, target: np.ndarray,
     onto the exact threshold of the *product* expression — the
     comparison the scalar loop actually evaluates — so the count is
     right even when ``target / unit`` rounds across an integer.
-    """
-    unit = np.asarray(unit, dtype=float)
-    target = np.asarray(target, dtype=float)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        ratio = target / unit
-    if strict:
-        n = np.floor(ratio) + 1.0
-    else:
-        n = np.ceil(ratio)
-    n = np.maximum(n, 0.0)
-    adjustable = (np.isfinite(target) & np.isfinite(unit) & (unit > 0)
-                  & np.isfinite(n))
-    n = np.where(adjustable, n, np.inf)
 
-    def satisfied(count: np.ndarray) -> np.ndarray:
-        with np.errstate(invalid="ignore"):
-            product = count * unit
-        return product > target if strict else product >= target
+    Every step is an explicit ``out=`` ufunc (selects are masked
+    :func:`numpy.copyto`, value-identical to ``np.where``) so the
+    scratch buffers come from ``ws`` — an arena workspace on the hot
+    path, fresh allocations otherwise — without changing a single
+    operation or its association order.
+    """
+    unit = np.broadcast_to(np.asarray(unit, dtype=float),
+                           np.broadcast(unit, target).shape)
+    target = np.broadcast_to(np.asarray(target, dtype=float), unit.shape)
+    if ws is None:
+        ws = Workspace(None, "")
+    shape = unit.shape
+
+    ratio = ws.out(name + ".ratio", shape)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        np.divide(target, unit, out=ratio)
+    n = ws.out(name, shape)
+    if strict:
+        np.floor(ratio, out=n)
+        np.add(n, 1.0, out=n)
+    else:
+        np.ceil(ratio, out=n)
+    np.maximum(n, 0.0, out=n)
+    # adjustable = isfinite(target) & isfinite(unit) & (unit > 0)
+    #              & isfinite(n)  — evaluated before n's inf fill.
+    adjustable = ws.out(name + ".adjustable", shape, np.bool_)
+    mask = ws.out(name + ".mask", shape, np.bool_)
+    np.isfinite(target, out=adjustable)
+    np.isfinite(unit, out=mask)
+    np.logical_and(adjustable, mask, out=adjustable)
+    np.greater(unit, 0, out=mask)
+    np.logical_and(adjustable, mask, out=adjustable)
+    np.isfinite(n, out=mask)
+    np.logical_and(adjustable, mask, out=adjustable)
+    np.logical_not(adjustable, out=mask)
+    np.copyto(n, np.inf, where=mask)
+
+    step = ws.out(name + ".step", shape)
+    product = ws.out(name + ".product", shape)
+    satisfied = ws.out(name + ".satisfied", shape, np.bool_)
+    compare = np.greater if strict else np.greater_equal
 
     # The seed is within a couple of steps of the true threshold; the
     # sweeps are bounded (never `while`) because inf entries would
     # otherwise walk forever (inf - 1 == inf).
     for _ in range(3):
-        down = n - 1.0
-        n = np.where(adjustable & (down >= 0.0) & satisfied(down),
-                     down, n)
+        np.subtract(n, 1.0, out=step)  # down = n - 1
+        with np.errstate(invalid="ignore"):
+            np.multiply(step, unit, out=product)
+        compare(product, target, out=satisfied)
+        # n = where(adjustable & (down >= 0) & satisfied(down), down, n)
+        np.greater_equal(step, 0.0, out=mask)
+        np.logical_and(mask, satisfied, out=mask)
+        np.logical_and(adjustable, mask, out=mask)
+        np.copyto(n, step, where=mask)
     for _ in range(3):
-        n = np.where(adjustable & ~satisfied(n), n + 1.0, n)
+        with np.errstate(invalid="ignore"):
+            np.multiply(n, unit, out=product)
+        compare(product, target, out=satisfied)
+        # n = where(adjustable & ~satisfied(n), n + 1, n)
+        np.logical_not(satisfied, out=satisfied)
+        np.logical_and(adjustable, satisfied, out=mask)
+        np.add(n, 1.0, out=step)
+        np.copyto(n, step, where=mask)
     return n
 
 
 # -- the engine --------------------------------------------------------
 
+#: Result-column order shared by the emit step and the shared-memory
+#: transport (both sides of a :class:`~repro.engine.shm.ColumnBlock`
+#: must agree on the layout).
+_RESULT_COLUMNS: Tuple[str, ...] = (
+    "succeeded", "timed_out", "elapsed", "distance", "energy",
+    "mean_speed", "safe_speed", "latency", "compute_power",
+    "hover_power", "total_mass", "endurance",
+)
+_BOOL_COLUMNS = ("succeeded", "timed_out")
+
+
+def _result_specs(n: int) -> List[Tuple[str, object, Tuple[int, ...]]]:
+    """Shared-memory column layout for ``n`` rollout results."""
+    return [(name, np.bool_ if name in _BOOL_COLUMNS else np.float64,
+             (n,)) for name in _RESULT_COLUMNS]
+
+
 def run_fleet(rollouts: Sequence[FleetRollout], *,
               metrics: Optional[MetricsRegistry] = None,
-              course_cache: Optional[Dict] = None) -> FleetResult:
+              course_cache: Optional[Dict] = None,
+              arena: Optional[BatchArena] = None,
+              chunk_size: Optional[int] = None) -> FleetResult:
     """Evaluate a whole rollout population in fused numpy.
 
     Args:
@@ -254,24 +323,64 @@ def run_fleet(rollouts: Sequence[FleetRollout], *,
             batch block small — platforms and profiles are deduplicated
             by identity before pricing).
         metrics: Optional registry receiving ``fleet.rollouts``,
-            ``fleet.batch_hits``, and ``fleet.batch_fallbacks``.
+            ``fleet.batch_hits``, ``fleet.batch_fallbacks``, and (when
+            chunked) ``fleet.chunks`` / ``fleet.arena_occupancy_pct``.
         course_cache: Optional :func:`ensure_course` cache, shared
             across calls; a fresh private one is used by default (so
             rollouts sharing a world still plan only once per call).
+        arena: Optional :class:`~repro.engine.arena.BatchArena` the
+            solve phase writes its columns into — bit-identical to the
+            allocating path; pass the same arena across calls to stop
+            reallocating.  Result arrays inside the return value are
+            plain Python objects either way; only the engine's interior
+            columns live in the arena.
+        chunk_size: Evaluate the population through a fixed-size arena
+            window of at most this many rollouts per pass, bounding the
+            peak working set to ``O(chunk_size)`` instead of ``O(n)``.
+            Results are identical (rollouts are independent; chunking
+            changes only where columns land).  A private arena and
+            course cache are created if none were passed.
 
     Returns:
         A :class:`FleetResult` whose per-rollout results are exactly
         equal to :func:`~repro.system.mission.run_mission`.
     """
     rollouts = tuple(rollouts)
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigurationError(
+            f"chunk_size must be >= 1, got {chunk_size}")
     tracer = get_tracer()
+    chunks = 0
     with tracer.wall_span("fleet.run", track="fleet") as span:
-        result = _run_fleet(rollouts, course_cache)
+        if chunk_size is None or chunk_size >= len(rollouts):
+            result = _run_fleet(rollouts, course_cache, arena)
+        else:
+            if arena is None:
+                arena = BatchArena()
+            if course_cache is None:
+                course_cache = {}
+            results: List[MissionResult] = []
+            batch_priced = scalar_fallback = alloc_bytes = 0
+            for lo in range(0, len(rollouts), chunk_size):
+                part = _run_fleet(rollouts[lo:lo + chunk_size],
+                                  course_cache, arena)
+                results.extend(part.results)
+                batch_priced += part.batch_priced
+                scalar_fallback += part.scalar_fallback
+                alloc_bytes += part.alloc_bytes
+                chunks += 1
+            result = FleetResult(
+                rollouts=rollouts, results=tuple(results),
+                batch_priced=batch_priced,
+                scalar_fallback=scalar_fallback,
+                alloc_bytes=alloc_bytes)
     if tracer.enabled and span.args is None:
         span.args = {"rollouts": len(rollouts),
                      "batch_priced": result.batch_priced,
                      "scalar_fallback": result.scalar_fallback,
                      "alloc_bytes": result.alloc_bytes}
+        if chunks:
+            span.args["chunks"] = chunks
     if metrics is not None:
         metrics.counter("fleet.rollouts").inc(len(rollouts))
         if result.batch_priced:
@@ -281,15 +390,48 @@ def run_fleet(rollouts: Sequence[FleetRollout], *,
                 result.scalar_fallback)
         if result.alloc_bytes:
             metrics.counter("fleet.alloc_bytes").inc(result.alloc_bytes)
+        if chunks:
+            metrics.counter("fleet.chunks").inc(chunks)
+            metrics.counter("fleet.arena_occupancy_pct").inc(
+                int(100 * arena.occupancy()))
     return result
 
 
 def _run_fleet(rollouts: Tuple[FleetRollout, ...],
-               course_cache: Optional[Dict]) -> FleetResult:
-    n = len(rollouts)
-    if n == 0:
+               course_cache: Optional[Dict],
+               arena: Optional[BatchArena] = None) -> FleetResult:
+    if not rollouts:
         return FleetResult(rollouts=(), results=(), batch_priced=0,
                            scalar_fallback=0)
+    columns, batch_priced, scalar_fallback, alloc_bytes = _solve_fleet(
+        rollouts, course_cache, arena)
+    tracer = get_tracer()
+    with tracer.profile_span("fleet.emit", track="fleet"):
+        results = _emit_results(columns)
+    return FleetResult(rollouts=rollouts, results=results,
+                       batch_priced=batch_priced,
+                       scalar_fallback=scalar_fallback,
+                       alloc_bytes=alloc_bytes)
+
+
+def _solve_fleet(rollouts: Tuple[FleetRollout, ...],
+                 course_cache: Optional[Dict],
+                 arena: Optional[BatchArena],
+                 ) -> Tuple[Dict[str, np.ndarray], int, int, int]:
+    """Plan, gather, price, and solve one population into columns.
+
+    Returns ``(columns, batch_priced, scalar_fallback, alloc_bytes)``
+    where ``columns`` maps each :data:`_RESULT_COLUMNS` name to its
+    ``(n,)`` array.  With an arena the columns are **borrowed** views —
+    valid until the next kernel call on the same arena — so callers
+    must emit (or copy into shared memory) before re-entering.
+
+    Every solve-phase ufunc writes through ``out=`` in the scalar
+    association order; the arena changes where the bytes land, never
+    their values (the module docstring's equivalence contract).
+    """
+    n = len(rollouts)
+    ws = Workspace(arena, "fleet.")
     tracer = get_tracer()
     if course_cache is None:
         course_cache = {}
@@ -302,18 +444,18 @@ def _run_fleet(rollouts: Tuple[FleetRollout, ...],
     # CPython's pow on a few per mille of inputs, which would break the
     # bit-equality contract; everything downstream vectorizes exactly.
     with tracer.profile_span("fleet.gather", track="fleet"):
-        period = np.empty(n)
-        actuation = np.empty(n)
-        sensing_range = np.empty(n)
-        accel = np.empty(n)
-        max_speed = np.empty(n)
-        dt = np.empty(n)
-        max_duration = np.empty(n)
-        budget = np.empty(n)
-        length = np.empty(n)
-        total_mass = np.empty(n)
-        hover_power = np.empty(n)
-        compute_power = np.empty(n)
+        period = ws.out("period", (n,))
+        actuation = ws.out("actuation", (n,))
+        sensing_range = ws.out("sensing_range", (n,))
+        accel = ws.out("accel", (n,))
+        max_speed = ws.out("max_speed", (n,))
+        dt = ws.out("dt", (n,))
+        max_duration = ws.out("max_duration", (n,))
+        budget = ws.out("budget", (n,))
+        length = ws.out("length", (n,))
+        total_mass = ws.out("total_mass", (n,))
+        hover_power = ws.out("hover_power", (n,))
+        compute_power = ws.out("compute_power", (n,))
         for i, (rollout, course) in enumerate(zip(rollouts, courses)):
             config = rollout.config
             period[i] = 1.0 / config.sensor_rate_hz
@@ -335,11 +477,11 @@ def _run_fleet(rollouts: Tuple[FleetRollout, ...],
     # deduplicated (platform, profile) block; scalar estimates only for
     # platforms the kernel cannot reproduce.
     with tracer.profile_span("fleet.price", track="fleet"):
-        compute_latency = np.empty(n)
-        priceable = [i for i in range(n)
-                     if is_soa_priceable(rollouts[i].platform)]
-        fallback = [i for i in range(n) if not is_soa_priceable(
-            rollouts[i].platform)]
+        compute_latency = ws.out("compute_latency", (n,))
+        verdicts = [is_soa_priceable(rollout.platform)
+                    for rollout in rollouts]
+        priceable = [i for i in range(n) if verdicts[i]]
+        fallback = [i for i in range(n) if not verdicts[i]]
         if priceable:
             platform_index: Dict[int, int] = {}
             profile_index: Dict[int, int] = {}
@@ -362,7 +504,8 @@ def _run_fleet(rollouts: Tuple[FleetRollout, ...],
                 cols.append(col)
             cost = batch_estimate(
                 PlatformSoA.from_platforms(platforms),
-                ProfileSoA.from_profiles(profiles))
+                ProfileSoA.from_profiles(profiles),
+                arena=arena)
             compute_latency[priceable] = cost.latency_s[rows, cols]
         for i in fallback:
             compute_latency[i] = rollouts[i].platform.estimate(
@@ -372,17 +515,37 @@ def _run_fleet(rollouts: Tuple[FleetRollout, ...],
     # pipeline_latency_s and UavPhysics.safe_speed_m_s, same
     # association order (see the module docstring's contract).
     with tracer.profile_span("fleet.solve", track="fleet"):
-        staleness = np.maximum(compute_latency - period, 0.0)
-        latency = 0.5 * period + compute_latency + staleness + actuation
-        raw_speed = accel * (np.sqrt(latency * latency
-                                     + 2.0 * sensing_range / accel)
-                             - latency)
-        safe_speed = np.minimum(raw_speed, max_speed)
+        # staleness = max(compute_latency - period, 0)
+        staleness = ws.out("staleness", (n,))
+        np.subtract(compute_latency, period, out=staleness)
+        np.maximum(staleness, 0.0, out=staleness)
+        # latency = 0.5*period + compute_latency + staleness + actuation
+        latency = ws.out("latency", (n,))
+        np.multiply(0.5, period, out=latency)
+        np.add(latency, compute_latency, out=latency)
+        np.add(latency, staleness, out=latency)
+        np.add(latency, actuation, out=latency)
+        # raw = accel * (sqrt(latency^2 + 2*sensing/accel) - latency)
+        raw_speed = ws.out("raw_speed", (n,))
+        scratch = ws.out("scratch", (n,))
+        np.multiply(latency, latency, out=raw_speed)
+        np.multiply(2.0, sensing_range, out=scratch)
+        np.divide(scratch, accel, out=scratch)
+        np.add(raw_speed, scratch, out=raw_speed)
+        np.sqrt(raw_speed, out=raw_speed)
+        np.subtract(raw_speed, latency, out=raw_speed)
+        np.multiply(accel, raw_speed, out=raw_speed)
+        safe_speed = ws.out("safe_speed", (n,))
+        np.minimum(raw_speed, max_speed, out=safe_speed)
 
-        total_power = hover_power + compute_power
-        endurance = budget / total_power
-        step_travel = safe_speed * dt
-        step_energy = total_power * dt
+        total_power = ws.out("total_power", (n,))
+        np.add(hover_power, compute_power, out=total_power)
+        endurance = ws.out("endurance", (n,))
+        np.divide(budget, total_power, out=endurance)
+        step_travel = ws.out("step_travel", (n,))
+        np.multiply(safe_speed, dt, out=step_travel)
+        step_energy = ws.out("step_energy", (n,))
+        np.multiply(total_power, dt, out=step_energy)
 
         # Closed-form step counts.  The scalar loop, per iteration at
         # step index `s`: exit on timeout when s*dt >= max_duration;
@@ -391,25 +554,50 @@ def _run_fleet(rollouts: Tuple[FleetRollout, ...],
         # consumption happens inside iterations); break on battery when
         # (s+1)*step_energy > budget.  Check order fixes the tie
         # precedence: timeout, then success, then battery.
-        n_timeout = _first_count(dt, max_duration, strict=False)
-        n_complete = np.maximum(
-            _first_count(step_travel, length, strict=False), 1.0)
-        n_battery = _first_count(step_energy, budget, strict=True) - 1.0
+        n_timeout = _first_count(dt, max_duration, strict=False,
+                                 ws=ws, name="n_timeout")
+        n_complete = _first_count(step_travel, length, strict=False,
+                                  ws=ws, name="n_complete")
+        np.maximum(n_complete, 1.0, out=n_complete)
+        n_battery = _first_count(step_energy, budget, strict=True,
+                                 ws=ws, name="n_battery")
+        np.subtract(n_battery, 1.0, out=n_battery)
 
-        steps = np.minimum(np.minimum(n_timeout, n_complete), n_battery)
-        timed_out = n_timeout <= np.minimum(n_complete, n_battery)
-        succeeded = ~timed_out & (n_complete <= n_battery)
+        # steps = min(min(n_timeout, n_complete), n_battery)
+        steps = ws.out("steps", (n,))
+        np.minimum(n_timeout, n_complete, out=steps)
+        np.minimum(steps, n_battery, out=steps)
+        # timed_out = n_timeout <= min(n_complete, n_battery)
+        np.minimum(n_complete, n_battery, out=scratch)
+        timed_out = ws.out("timed_out", (n,), np.bool_)
+        np.less_equal(n_timeout, scratch, out=timed_out)
+        # succeeded = ~timed_out & (n_complete <= n_battery)
+        mask = ws.out("mask", (n,), np.bool_)
+        succeeded = ws.out("succeeded", (n,), np.bool_)
+        np.less_equal(n_complete, n_battery, out=mask)
+        np.logical_not(timed_out, out=succeeded)
+        np.logical_and(succeeded, mask, out=succeeded)
 
-        elapsed = steps * dt
-        energy = steps * step_energy
-        distance = np.minimum(steps * step_travel, length)
-        mean_speed = np.zeros(n)
-        np.divide(distance, elapsed, out=mean_speed, where=elapsed > 0)
+        elapsed = ws.out("elapsed", (n,))
+        np.multiply(steps, dt, out=elapsed)
+        energy = ws.out("energy", (n,))
+        np.multiply(steps, step_energy, out=energy)
+        distance = ws.out("distance", (n,))
+        np.multiply(steps, step_travel, out=distance)
+        np.minimum(distance, length, out=distance)
+        mean_speed = ws.out("mean_speed", (n,))
+        mean_speed.fill(0.0)
+        np.greater(elapsed, 0.0, out=mask)
+        np.divide(distance, elapsed, out=mean_speed, where=mask)
 
-    # Exact working-set accounting: every array this engine allocated
-    # for the population.  One nbytes sum per call (amortized over all
-    # rollouts), published as FleetResult.alloc_bytes and, when a
-    # measure_allocations() scope is active, on the global meter.
+    # Exact working-set accounting: the engine's named SoA columns for
+    # this population (scratch/mask buffers and _first_count interiors
+    # are excluded, exactly as the anonymous numpy temporaries they
+    # replaced were).  One nbytes sum per call, published as
+    # FleetResult.alloc_bytes and, when a measure_allocations() scope
+    # is active, on the global meter.  View nbytes ignores arena
+    # capacity, so the value is identical with or without an arena —
+    # and between serial and sharded runs.
     soa_arrays = (
         period, actuation, sensing_range, accel, max_speed, dt,
         max_duration, budget, length, total_mass, hover_power,
@@ -423,50 +611,140 @@ def _run_fleet(rollouts: Tuple[FleetRollout, ...],
     if meter.enabled:
         meter.add("system.fleet.run_fleet", *soa_arrays)
 
-    # Bulk-convert columns to Python scalars (tolist is one C pass;
-    # 12 per-element float() calls per rollout are not).
-    with tracer.profile_span("fleet.emit", track="fleet"):
-        columns = zip(
-            succeeded.tolist(), timed_out.tolist(), elapsed.tolist(),
-            distance.tolist(), energy.tolist(), mean_speed.tolist(),
-            safe_speed.tolist(), latency.tolist(),
-            compute_power.tolist(), hover_power.tolist(),
-            total_mass.tolist(), endurance.tolist(),
-        )
-        results = []
-        for (ok, late, elapsed_i, distance_i, energy_i, mean_speed_i,
-             safe_speed_i, latency_i, compute_power_i, hover_power_i,
-             total_mass_i, endurance_i) in columns:
-            results.append(MissionResult(
-                success=ok,
-                failure_reason="" if ok else
-                ("timeout" if late else "battery"),
-                mission_time_s=elapsed_i,
-                distance_m=distance_i,
-                energy_j=energy_i,
-                mean_speed_m_s=mean_speed_i,
-                safe_speed_m_s=safe_speed_i,
-                pipeline_latency_s=latency_i,
-                compute_power_w=compute_power_i,
-                hover_power_w=hover_power_i,
-                total_mass_kg=total_mass_i,
-                endurance_s=endurance_i,
-            ))
-    return FleetResult(rollouts=rollouts, results=tuple(results),
-                       batch_priced=len(priceable),
-                       scalar_fallback=len(fallback),
-                       alloc_bytes=alloc_bytes)
+    columns = {
+        "succeeded": succeeded, "timed_out": timed_out,
+        "elapsed": elapsed, "distance": distance, "energy": energy,
+        "mean_speed": mean_speed, "safe_speed": safe_speed,
+        "latency": latency, "compute_power": compute_power,
+        "hover_power": hover_power, "total_mass": total_mass,
+        "endurance": endurance,
+    }
+    return columns, len(priceable), len(fallback), alloc_bytes
 
 
-def _run_fleet_chunk(rollouts: Sequence[FleetRollout]
+def _emit_results(columns: Dict[str, np.ndarray]
+                  ) -> Tuple[MissionResult, ...]:
+    """Materialize result columns as :class:`MissionResult` rows.
+
+    Bulk-converts columns to Python scalars first (tolist is one C
+    pass; 12 per-element float() calls per rollout are not).  Bool
+    columns may arrive as float 0/1 from a shared-memory round trip;
+    ``bool()`` restores the exact Python values either way.
+    """
+    rows = zip(*(columns[name].tolist() for name in _RESULT_COLUMNS))
+    results = []
+    for (ok, late, elapsed_i, distance_i, energy_i, mean_speed_i,
+         safe_speed_i, latency_i, compute_power_i, hover_power_i,
+         total_mass_i, endurance_i) in rows:
+        results.append(MissionResult(
+            success=ok,
+            failure_reason="" if ok else
+            ("timeout" if late else "battery"),
+            mission_time_s=elapsed_i,
+            distance_m=distance_i,
+            energy_j=energy_i,
+            mean_speed_m_s=mean_speed_i,
+            safe_speed_m_s=safe_speed_i,
+            pipeline_latency_s=latency_i,
+            compute_power_w=compute_power_i,
+            hover_power_w=hover_power_i,
+            total_mass_kg=total_mass_i,
+            endurance_s=endurance_i,
+        ))
+    return tuple(results)
+
+
+def _run_fleet_chunk(task: Tuple[Sequence[FleetRollout], Optional[int]]
                      ) -> Tuple[Tuple[MissionResult, ...], int, int, int]:
-    """Pool-worker entry point (module-level for picklability)."""
-    result = run_fleet(rollouts)
+    """Pickle-transport pool-worker entry point (module-level for
+    picklability).  ``task`` is ``(rollouts, chunk_size)``."""
+    rollouts, chunk_size = task
+    result = run_fleet(rollouts, chunk_size=chunk_size)
     return (result.results, result.batch_priced,
             result.scalar_fallback, result.alloc_bytes)
 
 
+def _run_fleet_shard_shm(
+    task: Tuple[MissionConfig, Tuple[Tier, ...], int, int, str, str,
+                int, int, Optional[int]],
+) -> Tuple[int, int, int]:
+    """Shared-memory pool-worker entry point.
+
+    Receives only the *spec* of its shard — base config, tiers, a trial
+    range, and two segment names — rebuilds its rollouts from the
+    factor columns (bit-identical: the factor bytes are mapped, not
+    re-encoded), solves with a private arena, and writes result columns
+    straight into the parent's result segment at the shard's global row
+    offsets.  No row objects cross the process boundary in either
+    direction.
+    """
+    (config, tiers, trial_lo, trial_hi, factors_name, results_name,
+     trials, n_tiers, chunk_size) = task
+    factors_block = ColumnBlock.attach(
+        factors_name, [("factors", np.float64, (trials, 4))])
+    results_block = ColumnBlock.attach(
+        results_name, _result_specs(trials * n_tiers))
+    try:
+        factors = factors_block.column("factors")
+        shard = _perturbed_population(config, tiers, factors,
+                                      trial_lo, trial_hi)
+        del factors  # release the segment view before the finally close
+        arena = BatchArena()
+        course_cache: Dict = {}
+        step = chunk_size if chunk_size else max(len(shard), 1)
+        offset = trial_lo * n_tiers
+        batch_priced = scalar_fallback = alloc_bytes = 0
+        for lo in range(0, len(shard), step):
+            chunk = tuple(shard[lo:lo + step])
+            columns, priced, fell_back, chunk_bytes = _solve_fleet(
+                chunk, course_cache, arena)
+            hi = offset + len(chunk)
+            for name in _RESULT_COLUMNS:
+                results_block.column(name)[offset:hi] = columns[name]
+            offset = hi
+            batch_priced += priced
+            scalar_fallback += fell_back
+            alloc_bytes += chunk_bytes
+        return batch_priced, scalar_fallback, alloc_bytes
+    finally:
+        factors_block.close()
+        results_block.close()
+
+
 # -- Monte Carlo layer -------------------------------------------------
+
+def _perturbed_population(config: MissionConfig,
+                          tiers: Sequence[Tier],
+                          factors: np.ndarray,
+                          trial_lo: int, trial_hi: int
+                          ) -> List[FleetRollout]:
+    """Rollouts for trials ``[trial_lo, trial_hi)``, trial-major.
+
+    The single construction path for study populations — the parent's
+    :meth:`FleetStudy.rollouts` and the shared-memory shard workers
+    both call it, so a shard rebuilt from mapped factor bytes is
+    bit-identical to the parent's slice of the full population.
+    """
+    population: List[FleetRollout] = []
+    for trial in range(trial_lo, trial_hi):
+        cap, mass, rate, scale = factors[trial]
+        perturbed = replace(
+            config,
+            battery=replace(config.battery,
+                            capacity_wh=config.battery.capacity_wh
+                            * cap),
+            sensor_rate_hz=config.sensor_rate_hz * rate,
+            frame_profile=config.frame_profile.scaled(scale),
+        )
+        for name, platform, module_mass, power in tiers:
+            population.append(FleetRollout(
+                name=name,
+                config=perturbed,
+                platform=platform,
+                compute_mass_kg=module_mass * mass,
+                compute_power_w=power,
+            ))
+    return population
 
 @dataclass(frozen=True)
 class FleetPerturbation:
@@ -610,32 +888,13 @@ class FleetStudy:
     def rollouts(self) -> List[FleetRollout]:
         """The full population, trial-major: every tier flies every
         perturbed scenario."""
-        base = self.config
-        factors = self.factors()
-        population: List[FleetRollout] = []
-        for trial in range(self.trials):
-            cap, mass, rate, scale = factors[trial]
-            perturbed = replace(
-                base,
-                battery=replace(base.battery,
-                                capacity_wh=base.battery.capacity_wh
-                                * cap),
-                sensor_rate_hz=base.sensor_rate_hz * rate,
-                frame_profile=base.frame_profile.scaled(scale),
-            )
-            for name, platform, module_mass, power in self.tiers:
-                population.append(FleetRollout(
-                    name=name,
-                    config=perturbed,
-                    platform=platform,
-                    compute_mass_kg=module_mass * mass,
-                    compute_power_w=power,
-                ))
-        return population
+        return _perturbed_population(self.config, self.tiers,
+                                     self.factors(), 0, self.trials)
 
     def run(self, *, jobs: int = 1,
-            metrics: Optional[MetricsRegistry] = None
-            ) -> FleetStudyResult:
+            metrics: Optional[MetricsRegistry] = None,
+            chunk_size: Optional[int] = None,
+            transport: str = "auto") -> FleetStudyResult:
         """Evaluate the study population and summarize per tier.
 
         Args:
@@ -645,59 +904,160 @@ class FleetStudy:
                 shared course once — planning, not simulation, is the
                 only duplicated work).
             metrics: Optional registry for the ``fleet.*`` counters.
+            chunk_size: Stream the population (or each shard) through a
+                fixed-size arena window of at most this many rollouts,
+                bounding the peak working set; results are identical.
+            transport: How ``jobs > 1`` ships data: ``"shm"`` maps
+                candidate/result columns through shared memory
+                (zero-copy, no row pickling), ``"pickle"`` ships row
+                objects through the pool, ``"auto"`` (default) uses
+                shared memory when the platform supports it.  Results
+                are byte-identical across transports.
         """
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}")
+        if transport not in ("auto", "shm", "pickle"):
+            raise ConfigurationError(
+                f"transport must be auto|shm|pickle, got {transport!r}")
         population = self.rollouts()
         if jobs == 1 or len(population) <= jobs:
-            fleet = run_fleet(population, metrics=metrics)
+            fleet = run_fleet(population, metrics=metrics,
+                              chunk_size=chunk_size)
         else:
-            # Pool workers run run_fleet in their own processes, where
-            # no tracer is installed — span the fan-out from the parent
-            # so --trace-out still sees the run.
-            tracer = get_tracer()
-            shards = [population[i::jobs] for i in range(jobs)]
-            with tracer.wall_span("fleet.run", track="fleet") as span:
-                with ProcessPoolExecutor(max_workers=jobs) as pool:
-                    outcomes = list(pool.map(_run_fleet_chunk, shards))
-            results: List[Optional[MissionResult]] = [None] * len(
-                population)
-            batch_priced = 0
-            scalar_fallback = 0
-            alloc_bytes = 0
-            for shard_index, (shard_results, hits, misses,
-                              shard_alloc) in enumerate(outcomes):
-                for offset, value in enumerate(shard_results):
-                    results[shard_index + offset * jobs] = value
-                batch_priced += hits
-                scalar_fallback += misses
-                alloc_bytes += shard_alloc
-            if tracer.enabled and span.args is None:
-                span.args = {"rollouts": len(population), "jobs": jobs,
-                             "batch_priced": batch_priced,
-                             "scalar_fallback": scalar_fallback,
-                             "alloc_bytes": alloc_bytes}
-            fleet = FleetResult(
-                rollouts=tuple(population),
-                results=tuple(results),  # type: ignore[arg-type]
-                batch_priced=batch_priced,
-                scalar_fallback=scalar_fallback,
-                alloc_bytes=alloc_bytes)
+            use_shm = (transport == "shm"
+                       or (transport == "auto" and shm_available()))
+            if use_shm:
+                fleet = self._run_parallel_shm(population, jobs,
+                                               chunk_size)
+            else:
+                fleet = self._run_parallel_pickle(population, jobs,
+                                                  chunk_size)
             if metrics is not None:
                 metrics.counter("fleet.rollouts").inc(len(population))
-                if batch_priced:
-                    metrics.counter("fleet.batch_hits").inc(batch_priced)
-                if scalar_fallback:
+                if fleet.batch_priced:
+                    metrics.counter("fleet.batch_hits").inc(
+                        fleet.batch_priced)
+                if fleet.scalar_fallback:
                     metrics.counter("fleet.batch_fallbacks").inc(
-                        scalar_fallback)
-                if alloc_bytes:
-                    metrics.counter("fleet.alloc_bytes").inc(alloc_bytes)
+                        fleet.scalar_fallback)
+                if fleet.alloc_bytes:
+                    metrics.counter("fleet.alloc_bytes").inc(
+                        fleet.alloc_bytes)
         return FleetStudyResult(
             statistics=tuple(self._summarize(fleet)),
             fleet=fleet,
             trials=self.trials,
             seed=self.seed,
         )
+
+    def _run_parallel_pickle(self, population: List[FleetRollout],
+                             jobs: int, chunk_size: Optional[int]
+                             ) -> FleetResult:
+        """Row-object transport: interleaved shards through the pool.
+
+        The legacy path (and the fallback where shared memory is
+        unavailable): every rollout is pickled out, every MissionResult
+        pickled back.  Bit-identical to serial and to the shm path.
+        """
+        # Pool workers run run_fleet in their own processes, where
+        # no tracer is installed — span the fan-out from the parent
+        # so --trace-out still sees the run.
+        tracer = get_tracer()
+        shards = [(population[i::jobs], chunk_size)
+                  for i in range(jobs)]
+        with tracer.wall_span("fleet.run", track="fleet") as span:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                outcomes = list(pool.map(_run_fleet_chunk, shards))
+        results: List[Optional[MissionResult]] = [None] * len(
+            population)
+        batch_priced = 0
+        scalar_fallback = 0
+        alloc_bytes = 0
+        for shard_index, (shard_results, hits, misses,
+                          shard_alloc) in enumerate(outcomes):
+            for offset, value in enumerate(shard_results):
+                results[shard_index + offset * jobs] = value
+            batch_priced += hits
+            scalar_fallback += misses
+            alloc_bytes += shard_alloc
+        if tracer.enabled and span.args is None:
+            span.args = {"rollouts": len(population), "jobs": jobs,
+                         "transport": "pickle",
+                         "batch_priced": batch_priced,
+                         "scalar_fallback": scalar_fallback,
+                         "alloc_bytes": alloc_bytes}
+        return FleetResult(
+            rollouts=tuple(population),
+            results=tuple(results),  # type: ignore[arg-type]
+            batch_priced=batch_priced,
+            scalar_fallback=scalar_fallback,
+            alloc_bytes=alloc_bytes)
+
+    def _run_parallel_shm(self, population: List[FleetRollout],
+                          jobs: int, chunk_size: Optional[int]
+                          ) -> FleetResult:
+        """Zero-copy transport: candidate and result columns through
+        :class:`~repro.engine.shm.ColumnBlock` segments.
+
+        Workers receive only their shard *spec* (config, tiers, trial
+        range, segment names) and rebuild rollouts from the mapped
+        factor columns — no row objects are pickled in either
+        direction.  Shards are contiguous trial ranges; workers write
+        result columns at absolute row offsets, so assembly is just
+        mapping the segment back.  Bit-identical to serial (same factor
+        bytes, same solve, same emit).
+        """
+        tracer = get_tracer()
+        n = len(population)
+        n_tiers = len(self.tiers)
+        factors = self.factors()
+        workers = min(jobs, self.trials)
+        base, extra = divmod(self.trials, workers)
+        bounds: List[Tuple[int, int]] = []
+        lo = 0
+        for w in range(workers):
+            hi = lo + base + (1 if w < extra else 0)
+            bounds.append((lo, hi))
+            lo = hi
+        factors_block = ColumnBlock.create(
+            [("factors", np.float64, (self.trials, 4))])
+        results_block = ColumnBlock.create(_result_specs(n))
+        try:
+            np.copyto(factors_block.column("factors"), factors)
+            tiers = tuple(self.tiers)
+            tasks = [(self.config, tiers, t_lo, t_hi,
+                      factors_block.name, results_block.name,
+                      self.trials, n_tiers, chunk_size)
+                     for t_lo, t_hi in bounds if t_hi > t_lo]
+            with tracer.wall_span("fleet.run", track="fleet") as span:
+                with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+                    outcomes = list(pool.map(_run_fleet_shard_shm,
+                                             tasks))
+            batch_priced = sum(o[0] for o in outcomes)
+            scalar_fallback = sum(o[1] for o in outcomes)
+            alloc_bytes = sum(o[2] for o in outcomes)
+            columns = {name: results_block.column(name)
+                       for name in _RESULT_COLUMNS}
+            results = _emit_results(columns)
+            del columns  # release segment views before destroy()
+            if tracer.enabled and span.args is None:
+                span.args = {"rollouts": n, "jobs": jobs,
+                             "transport": "shm",
+                             "batch_priced": batch_priced,
+                             "scalar_fallback": scalar_fallback,
+                             "alloc_bytes": alloc_bytes}
+            return FleetResult(
+                rollouts=tuple(population),
+                results=results,
+                batch_priced=batch_priced,
+                scalar_fallback=scalar_fallback,
+                alloc_bytes=alloc_bytes)
+        finally:
+            factors_block.destroy()
+            results_block.destroy()
 
     def _summarize(self, fleet: FleetResult) -> List[TierStatistics]:
         by_tier: Dict[str, List[MissionResult]] = {}

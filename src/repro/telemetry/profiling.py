@@ -352,6 +352,16 @@ class AllocationMeter:
         entry[2] += 1
         return total
 
+    def add_bytes(self, site: str, nbytes: int, arrays: int = 1) -> int:
+        """Record a raw byte count against ``site`` (for producers that
+        size buffers without holding array objects, e.g. arena growth);
+        returns the bytes added."""
+        entry = self._sites.setdefault(site, [0, 0, 0])
+        entry[0] += int(nbytes)
+        entry[1] += int(arrays)
+        entry[2] += 1
+        return int(nbytes)
+
     def snapshot(self) -> Dict[str, Dict[str, int]]:
         """``site -> {"bytes", "arrays", "calls"}`` (copies)."""
         return {site: {"bytes": entry[0], "arrays": entry[1],

@@ -12,6 +12,7 @@ from repro.bench import (
     Metric,
     append_records,
     baselines_from_records,
+    check_monotone,
     check_records,
     ledger_record,
     load_baselines,
@@ -164,6 +165,76 @@ class TestRegressionGate:
     def test_negative_threshold_rejected(self):
         with pytest.raises(BenchmarkError, match="threshold"):
             check_records([], {}, {}, threshold=-0.1)
+
+
+def _monotone_benchmark():
+    return Benchmark(
+        name="sweep",
+        description="toy size sweep",
+        sizes=(10, 100, 1000),
+        smoke_sizes=(10,),
+        metrics=(
+            Metric("rate", unit="1/s"),
+            Metric("speedup", unit="x", monotone=True),
+        ),
+        runner=lambda size: {"rate": 1.0, "speedup": 1.0},
+    )
+
+
+def _sweep_records(speedups):
+    return [ledger_record("sweep", size,
+                          {"rate": 50.0, "speedup": speedup},
+                          wall_time_s=0.1, seed=0)
+            for size, speedup in speedups]
+
+
+class TestMonotoneGate:
+    BENCHMARKS = {"sweep": _monotone_benchmark()}
+
+    def test_non_decreasing_sweep_passes(self):
+        checks = check_monotone(
+            _sweep_records([(10, 5.0), (100, 5.5), (1000, 6.0)]),
+            self.BENCHMARKS)
+        assert len(checks) == 2
+        assert not any(c.violated for c in checks)
+
+    def test_tolerance_allows_small_dips(self):
+        # 5.0 -> 4.6 is a 8% dip: inside the 0.9 floor.
+        checks = check_monotone(
+            _sweep_records([(10, 5.0), (100, 4.6)]), self.BENCHMARKS)
+        assert [c.violated for c in checks] == [False]
+
+    def test_collapse_is_flagged_with_context(self):
+        checks = check_monotone(
+            _sweep_records([(10, 25.0), (100, 26.0), (1000, 19.0)]),
+            self.BENCHMARKS)
+        assert [c.violated for c in checks] == [False, True]
+        bad = checks[-1]
+        assert (bad.prev_size, bad.size) == (100, 1000)
+        assert (bad.prev_value, bad.value) == (26.0, 19.0)
+        assert bad.metric == "speedup"
+
+    def test_records_arrive_unordered_last_per_size_wins(self):
+        records = _sweep_records(
+            [(1000, 1.0), (10, 5.0), (1000, 6.0)])  # rerun at 1000
+        checks = check_monotone(records, self.BENCHMARKS)
+        assert [c.violated for c in checks] == [False]
+        assert checks[0].value == 6.0
+
+    def test_single_size_and_unmarked_metrics_contribute_nothing(self):
+        assert check_monotone(_sweep_records([(10, 5.0)]),
+                              self.BENCHMARKS) == []
+        # "toy" has no monotone metrics at all.
+        records = [_record(5.0, size=10), _record(1.0, size=100)]
+        assert check_monotone(records, {"toy": _benchmark()}) == []
+
+    def test_unknown_benchmark_is_skipped(self):
+        assert check_monotone(
+            _sweep_records([(10, 5.0), (100, 1.0)]), {}) == []
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(BenchmarkError, match="tolerance"):
+            check_monotone([], self.BENCHMARKS, tolerance=0.0)
 
 
 class TestLegacyMigration:

@@ -1,0 +1,130 @@
+"""BatchArena / Workspace: ownership, growth, reuse, telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.engine.arena import BatchArena, Workspace
+from repro.telemetry.profiling import measure_allocations
+
+
+class TestBatchArena:
+    def test_view_has_requested_shape_and_dtype(self):
+        arena = BatchArena()
+        view = arena.array("a", (3, 4))
+        assert view.shape == (3, 4)
+        assert view.dtype == np.float64
+        view = arena.array("b", (5,), dtype=np.int8)
+        assert view.dtype == np.int8
+
+    def test_views_are_writable_and_contiguous(self):
+        arena = BatchArena()
+        view = arena.array("a", (8,))
+        view[:] = np.arange(8.0)
+        assert view.flags["C_CONTIGUOUS"]
+        assert list(view) == list(np.arange(8.0))
+
+    def test_same_name_reuses_backing_buffer(self):
+        arena = BatchArena()
+        first = arena.array("a", (16,))
+        first[:] = 7.0
+        second = arena.array("a", (8,))
+        # Same memory: the shrunk view aliases the old buffer.
+        assert second.base is first.base
+        assert arena.grows == 1
+        assert arena.reuses == 1
+
+    def test_growth_at_least_doubles_capacity(self):
+        arena = BatchArena()
+        arena.array("a", (10,))
+        assert arena.capacity_bytes == 10 * 8
+        arena.array("a", (11,))  # 11 < 2*10 -> doubles
+        assert arena.capacity_bytes == 20 * 8
+        arena.array("a", (100,))  # 100 > 2*20 -> exact
+        assert arena.capacity_bytes == 100 * 8
+        assert arena.grows == 3
+
+    def test_shrink_then_grow_within_capacity_never_reallocates(self):
+        arena = BatchArena()
+        arena.array("a", (64,))
+        for n in (64, 3, 64, 1, 40):
+            arena.array("a", (n,))
+        assert arena.grows == 1
+        assert arena.reuses == 5
+
+    def test_distinct_names_and_dtypes_get_distinct_buffers(self):
+        arena = BatchArena()
+        a = arena.array("x", (4,))
+        b = arena.array("y", (4,))
+        c = arena.array("x", (4,), dtype=np.int8)
+        assert a.base is not b.base
+        assert a.base is not c.base
+        assert len(arena._buffers) == 3
+
+    def test_occupancy_tracks_last_generation(self):
+        arena = BatchArena()
+        assert arena.occupancy() == 0.0
+        arena.array("a", (10,))
+        assert arena.occupancy() == 1.0
+        arena.array("a", (5,))
+        assert arena.occupancy() == 0.5
+
+    def test_clear_releases_buffers_but_keeps_counters(self):
+        arena = BatchArena()
+        arena.array("a", (10,))
+        arena.clear()
+        assert arena.capacity_bytes == 0
+        assert arena.grows == 1
+        arena.array("a", (10,))
+        assert arena.grows == 2
+
+    def test_stats_shape(self):
+        arena = BatchArena()
+        arena.array("a", (10,))
+        arena.array("a", (4,))
+        stats = arena.stats()
+        assert stats["buffers"] == 1.0
+        assert stats["grows"] == 1.0
+        assert stats["reuses"] == 1.0
+        assert stats["grow_bytes"] == 80.0
+        assert stats["reused_bytes"] == 32.0
+        assert stats["capacity_bytes"] == 80.0
+        assert stats["occupancy"] == pytest.approx(0.4)
+
+    def test_growth_metered_at_arena_site(self):
+        arena = BatchArena()
+        with measure_allocations() as meter:
+            arena.array("a", (10,))   # grow: 80 B
+            arena.array("a", (10,))   # reuse: not metered
+            arena.array("a", (20,))   # grow: 2x -> 160 B
+        sites = meter.snapshot()
+        assert sites["engine.arena.grow"]["bytes"] == 80 + 160
+        assert sites["engine.arena.grow"]["calls"] == 2
+
+    def test_growth_not_metered_when_disabled(self):
+        from repro.telemetry.profiling import get_alloc_meter
+
+        before = dict(get_alloc_meter().snapshot())
+        BatchArena().array("a", (10,))
+        assert get_alloc_meter().snapshot() == before
+
+
+class TestWorkspace:
+    def test_without_arena_allocates_fresh(self):
+        ws = Workspace(None, "k.")
+        a = ws.out("a", (4,))
+        b = ws.out("a", (4,))
+        assert a.base is None and b.base is None
+        assert a is not b
+
+    def test_with_arena_routes_to_prefixed_names(self):
+        arena = BatchArena()
+        ws = Workspace(arena, "k.")
+        ws.out("a", (4,))
+        assert [name for name, _ in arena._buffers] == ["k.a"]
+
+    def test_two_prefixes_share_one_arena_without_collision(self):
+        arena = BatchArena()
+        a = Workspace(arena, "one.").out("col", (4,))
+        b = Workspace(arena, "two.").out("col", (4,))
+        assert a.base is not b.base
+        assert len(arena._buffers) == 2

@@ -1,0 +1,103 @@
+"""ColumnBlock shared-memory transport: layout, round-trip, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.engine.shm import ColumnBlock, _layout, shm_available
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable")
+
+SPECS = [
+    ("flags", np.bool_, (5,)),
+    ("values", np.float64, (5, 3)),
+    ("counts", np.int64, (5,)),
+]
+
+
+class TestLayout:
+    def test_offsets_are_aligned_and_disjoint(self):
+        offsets, size = _layout(SPECS)
+        spans = []
+        for name, dtype, shape in SPECS:
+            offset, dt, shp = offsets[name]
+            assert offset % 8 == 0
+            assert dt == np.dtype(dtype)
+            assert shp == shape
+            count = int(np.prod(shape))
+            spans.append((offset, offset + count * dt.itemsize))
+        spans.sort()
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert start >= end
+        assert size >= max(end for _, end in spans)
+
+    def test_empty_specs_still_allocate_a_segment(self):
+        _, size = _layout([])
+        assert size == 1
+
+
+class TestColumnBlock:
+    def test_round_trip_through_attach(self):
+        parent = ColumnBlock.create(SPECS)
+        try:
+            parent.column("values")[:] = np.arange(15.0).reshape(5, 3)
+            parent.column("flags")[:] = [True, False, True, False, True]
+            parent.column("counts")[:] = np.arange(5)
+
+            child = ColumnBlock.attach(parent.name, SPECS)
+            got = child.column("values").copy()
+            flags = child.column("flags").copy()
+            child.close()
+            assert got.tolist() == \
+                np.arange(15.0).reshape(5, 3).tolist()
+            assert flags.tolist() == [True, False, True, False, True]
+        finally:
+            parent.destroy()
+
+    def test_writes_from_attachment_visible_to_owner(self):
+        parent = ColumnBlock.create(SPECS)
+        try:
+            parent.column("counts")[:] = 0
+            child = ColumnBlock.attach(parent.name, SPECS)
+            child.column("counts")[2:4] = [7, 9]
+            child.close()
+            assert parent.column("counts").tolist() == [0, 0, 7, 9, 0]
+        finally:
+            parent.destroy()
+
+    def test_float_bytes_preserved_exactly(self):
+        specs = [("x", np.float64, (4,))]
+        values = np.array([0.1, -0.0, np.pi, 1e-308])
+        parent = ColumnBlock.create(specs)
+        try:
+            parent.column("x")[:] = values
+            child = ColumnBlock.attach(parent.name, specs)
+            got = child.column("x").copy()
+            child.close()
+            assert got.tobytes() == values.tobytes()
+        finally:
+            parent.destroy()
+
+    def test_columns_lists_names(self):
+        with ColumnBlock.create(SPECS) as block:
+            assert block.columns() == ["flags", "values", "counts"]
+
+    def test_destroy_is_idempotent(self):
+        block = ColumnBlock.create(SPECS)
+        block.destroy()
+        block.destroy()  # second unlink swallowed (FileNotFoundError)
+
+    def test_close_tolerates_live_views(self):
+        block = ColumnBlock.create(SPECS)
+        view = block.column("counts")
+        block.close()  # BufferError swallowed; mapping freed later
+        del view
+        block.destroy()
+
+    def test_context_manager_owner_destroys(self):
+        from multiprocessing import shared_memory
+
+        with ColumnBlock.create(SPECS) as block:
+            name = block.name
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)

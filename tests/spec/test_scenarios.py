@@ -114,6 +114,25 @@ class TestScenarioCodec:
         assert (run.trials, run.seed, run.jobs) == (64, 0, 1)
         assert run.perturbation == FleetPerturbation()
 
+    def test_chunk_size_round_trips(self):
+        run = from_spec(_fleet_spec(chunk_size=256)).run
+        assert run.chunk_size == 256
+        payload = to_spec(from_spec(_fleet_spec(chunk_size=256)))
+        assert payload["fleet"]["chunk_size"] == 256
+        dse = from_spec(_dse_spec(chunk_size=32)).run
+        assert dse.chunk_size == 32
+        assert to_spec(
+            from_spec(_dse_spec(chunk_size=32)))["dse"]["chunk_size"] \
+            == 32
+
+    def test_chunk_size_defaults_to_none_and_is_omitted(self):
+        assert from_spec(_fleet_spec()).run.chunk_size is None
+        assert from_spec(_dse_spec()).run.chunk_size is None
+        # Legacy documents stay legacy: no chunk_size key when unset.
+        assert "chunk_size" not in to_spec(from_spec(_fleet_spec()))[
+            "fleet"]
+        assert "chunk_size" not in to_spec(from_spec(_dse_spec()))["dse"]
+
     def test_fleet_encode_emits_every_perturbation_axis(self):
         payload = to_spec(from_spec(_fleet_spec()))
         assert set(payload["fleet"]["perturbation"]) == {
@@ -188,6 +207,15 @@ class TestScenarioValidation:
         with pytest.raises(SpecError,
                            match=r"\$\.dse\.jobs: must be >= 1"):
             from_spec(_dse_spec(jobs=0))
+
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(SpecError,
+                           match=r"\$\.fleet\.chunk_size: must be"
+                                 r" >= 1"):
+            from_spec(_fleet_spec(chunk_size=0))
+        with pytest.raises(SpecError,
+                           match=r"\$\.dse\.chunk_size: must be >= 1"):
+            from_spec(_dse_spec(chunk_size=-4))
 
     def test_fleet_trials_must_be_positive(self):
         with pytest.raises(SpecError,

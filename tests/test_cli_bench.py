@@ -9,6 +9,8 @@ counters.
 
 import json
 
+import pytest
+
 from repro.bench import baselines_from_records, write_baselines
 from repro.cli import build_parser, main
 
@@ -140,6 +142,63 @@ class TestBenchCheck:
         code, _ = _run_bench(tmp_path, "--check", "--threshold", "5.0",
                              "--baselines", str(baselines))
         assert code == 0
+
+
+class TestBenchMonotoneGate:
+    """The same-run monotonicity gate: machine-independent, so it must
+    hard-fail even under ``--warn-only`` (unlike baseline deltas)."""
+
+    def _register(self, speedups):
+        from repro.bench import REGISTRY, Benchmark, Metric
+
+        REGISTRY.register(Benchmark(
+            name="toy_sweep",
+            description="toy monotone sweep",
+            sizes=tuple(sorted(speedups)),
+            smoke_sizes=(min(speedups),),
+            metrics=(Metric("speedup", unit="x", monotone=True),),
+            runner=lambda size: {"speedup": speedups[size]},
+        ))
+
+    @pytest.fixture(autouse=True)
+    def _cleanup(self):
+        from repro.bench import REGISTRY
+
+        yield
+        REGISTRY._entries.pop("toy_sweep", None)
+
+    def _run(self, tmp_path, speedups, *extra):
+        self._register(speedups)
+        return main(["bench", "--check", "--filter", "toy_sweep",
+                     "--full", "--ledger",
+                     str(tmp_path / "ledger.jsonl"), *extra])
+
+    def test_monotone_sweep_passes(self, tmp_path, capsys):
+        code = self._run(tmp_path, {8: 5.0, 64: 6.0})
+        assert code == 0
+        assert "[NON-MONOTONE]" not in capsys.readouterr().out
+
+    def test_collapse_fails_even_with_warn_only(self, tmp_path,
+                                                capsys):
+        code = self._run(tmp_path, {8: 25.0, 64: 19.0}, "--warn-only")
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "[NON-MONOTONE]" in captured.out
+        assert "monotonicity violation" in captured.err
+
+    def test_tolerance_flag_loosens_the_floor(self, tmp_path):
+        assert self._run(tmp_path, {8: 25.0, 64: 19.0},
+                         "--monotone-tolerance", "0.5") == 0
+
+    def test_violations_land_in_json_report(self, tmp_path):
+        report = tmp_path / "report.json"
+        self._run(tmp_path, {8: 25.0, 64: 19.0},
+                  "--json", str(report))
+        document = json.loads(report.read_text())
+        assert document["monotone_violations"] == 1
+        checks = document["monotone_checks"]
+        assert checks[0]["violated"] is True
+        assert (checks[0]["prev_size"], checks[0]["size"]) == (8, 64)
 
 
 class TestBenchMigrate:
