@@ -1,0 +1,194 @@
+"""Multi-fidelity funnel DSE: speedup sweep + S7 rank-fidelity report.
+
+The tentpole claim for :mod:`repro.dse.funnel`: screening a search
+stream through the objective's fidelity ladder — batch pricing first,
+full closed-loop DES only for gate survivors — beats paying full
+fidelity for every candidate by an order of magnitude (>= 10x on the
+high-resolution patrol setting), while landing on the *same* optimum
+(screen regret 0, certified per run by the registered runner).
+
+The measurement lives in the benchmark registry
+(:func:`repro.bench.builtin.run_funnel_dse` — the same runner
+``repro bench --filter funnel_dse`` executes), so this script, the
+CLI, and the perf ledger can never measure different things.
+
+This script additionally computes the S7 *rank-fidelity* analysis the
+speedup rests on: the Spearman correlation between cheap-tier and
+full-fidelity scores, and where the true optimum lands in the screen's
+ordering (if the screen ranked it below the gate's keep-fraction, the
+funnel would kill the best design before ever pricing it honestly).
+
+Two entry points:
+
+- ``pytest benchmarks/bench_funnel_dse.py`` — small-scale smoke: the
+  funnel must not lose to single-fidelity search, the screen must be
+  rank-faithful, and the default gates must keep the true optimum;
+- ``python benchmarks/bench_funnel_dse.py`` — the full sweep plus the
+  S7 table, printed, written to ``BENCH_funnel_dse.json``, and
+  appended to ``BENCH_LEDGER.jsonl`` as provenance-stamped records.
+"""
+
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.bench import append_records, get_benchmark, ledger_record
+
+SIZES = (4_000, 20_000)
+SMOKE_SIZE = 256
+ATTEMPTS = 3        # re-measure on a noisy machine before failing
+TARGET_SPEEDUP = 10.0   # the EXPERIMENTS.md claim, at full sizes
+
+
+def spearman(a, b):
+    """Spearman rank correlation via double-argsort ranks + Pearson
+    (no scipy dependency; ties broken by position, which is exactly
+    the funnel's own deterministic tie rule)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    ranks_a = np.empty(len(a))
+    ranks_a[np.argsort(a, kind="stable")] = np.arange(len(a))
+    ranks_b = np.empty(len(b))
+    ranks_b[np.argsort(b, kind="stable")] = np.arange(len(b))
+    ranks_a = (ranks_a - ranks_a.mean()) / ranks_a.std()
+    ranks_b = (ranks_b - ranks_b.mean()) / ranks_b.std()
+    return float((ranks_a * ranks_b).mean())
+
+
+def rank_fidelity(screen_values, full_values):
+    """S7 row: how faithfully a cheap tier ranks what the top tier
+    scores — Spearman rho, the screen's rank of the true optimum, and
+    the smallest keep-fraction that still promotes it."""
+    screen = np.asarray(screen_values, dtype=np.float64)
+    full = np.asarray(full_values, dtype=np.float64)
+    true_best = int(np.argmin(full))
+    screen_order = np.argsort(screen, kind="stable")
+    screen_rank = int(np.nonzero(screen_order == true_best)[0][0])
+    return {
+        "n": len(screen),
+        "spearman": round(spearman(screen, full), 4),
+        "optimum_screen_rank": screen_rank,
+        "min_keep_fraction": round((screen_rank + 1) / len(screen), 4),
+    }
+
+
+def s7_report(mission_sample=512, seed=7):
+    """Rank fidelity for both declared ladders: the suite objective's
+    roofline screen over the *fully enumerated* codesign space, and
+    the mission objective's pricing screen over a seeded sample of the
+    million-point space (full DES on every sampled candidate)."""
+    from repro.dse.objectives import (codesign_space, codesign_space_xl,
+                                      mission_objective, suite_objective)
+
+    space = codesign_space()
+    configs = [space.config_at(i) for i in range(space.size)]
+    suite_row = rank_fidelity(
+        suite_objective.roofline_screen_batch(configs),
+        suite_objective.evaluate_batch(configs))
+
+    sample = codesign_space_xl().sample(
+        np.random.default_rng(seed), mission_sample)
+    mission_row = rank_fidelity(
+        mission_objective.pricing_screen_batch(sample),
+        [mission_objective(config) for config in sample])
+    return {"suite_roofline_vs_full": suite_row,
+            "mission_pricing_vs_des": mission_row}
+
+
+def sweep(sizes=SIZES):
+    """Measure each search budget through the registered entry (the
+    runner certifies tier-equivalence replay and screen regret >= 0
+    before any rate is reported)."""
+    entry = get_benchmark("funnel_dse")
+    records = []
+    for n in sizes:
+        started = time.perf_counter()
+        metrics = entry.run(n)
+        records.append(ledger_record(
+            entry.name, n, metrics,
+            time.perf_counter() - started,
+            config={"script": "bench_funnel_dse.py"}))
+    return records
+
+
+def test_funnel_not_slower_than_full_fidelity(report=None):
+    """CI smoke: even at a small budget the funnel must not lose to
+    pricing every candidate at full fidelity, and its best config must
+    be the one the full-fidelity stream would have found."""
+    entry = get_benchmark("funnel_dse")
+    best = None
+    for _ in range(ATTEMPTS):
+        metrics = entry.run(SMOKE_SIZE)
+        assert metrics["screen_regret"] == 0.0, (
+            f"funnel missed the stream optimum by"
+            f" {metrics['screen_regret']}")
+        if best is None or metrics["speedup"] > best["speedup"]:
+            best = metrics
+        if best["speedup"] >= 1.0:
+            break
+    assert best["speedup"] >= 1.0, (
+        f"funnel slower than full fidelity at n={SMOKE_SIZE}:"
+        f" {best['speedup']:.2f}x")
+    assert best["top_tier_frac"] <= 0.05, (
+        f"gate leaked {best['top_tier_frac']:.1%} to the top tier")
+
+
+def test_screens_are_rank_faithful():
+    """CI smoke (S7): both cheap tiers must rank candidates nearly as
+    the top tier scores them, and the default gates' keep-fractions
+    must retain the true optimum."""
+    report = s7_report(mission_sample=192)
+    suite_row = report["suite_roofline_vs_full"]
+    mission_row = report["mission_pricing_vs_des"]
+    assert suite_row["spearman"] >= 0.95, suite_row
+    assert mission_row["spearman"] >= 0.95, mission_row
+    # Single-boundary suite ladder keeps 1%; mission ladder's first
+    # gate keeps 5% — the optimum must sit inside both.
+    assert suite_row["min_keep_fraction"] <= 0.01, suite_row
+    assert mission_row["min_keep_fraction"] <= 0.05, mission_row
+
+
+def main(out_path="BENCH_funnel_dse.json",
+         ledger_path="BENCH_LEDGER.jsonl"):
+    records = sweep()
+    rows = [{"budget": record["size"], **record["metrics"]}
+            for record in records]
+    header = (f"{'budget':>7} {'full/s':>9} {'funnel/s':>10} "
+              f"{'speedup':>8} {'top-tier':>9} {'regret':>7}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['budget']:>7} {row['full_fidelity_per_s']:>9.1f} "
+              f"{row['funnel_per_s']:>10.1f} {row['speedup']:>7.2f}x "
+              f"{row['top_tier_frac']:>8.2%} {row['screen_regret']:>7}")
+
+    report = s7_report()
+    print("\nS7 rank fidelity (cheap tier vs. full fidelity)")
+    for name, row in report.items():
+        print(f"  {name}: n={row['n']} spearman={row['spearman']}"
+              f" optimum screen rank={row['optimum_screen_rank']}"
+              f" (keep >= {row['min_keep_fraction']:.2%})")
+
+    with open(out_path, "w") as handle:
+        json.dump({"benchmark": "funnel_dse",
+                   "objective": "mission_objective"
+                                " (laps=4, time_step_s=0.01)",
+                   "space": "codesign_xl",
+                   "rows": rows, "rank_fidelity": report},
+                  handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+    append_records(ledger_path, records)
+    print(f"appended {len(records)} record(s) to {ledger_path}")
+    slowest = min(row["speedup"] for row in rows)
+    if slowest < TARGET_SPEEDUP:
+        print(f"WARNING: funnel speedup ({slowest:.1f}x) below the"
+              f" {TARGET_SPEEDUP:.0f}x target", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

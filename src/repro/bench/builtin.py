@@ -358,6 +358,91 @@ def run_obs_overhead(size: int) -> Dict[str, float]:
     }
 
 
+# -- multi-fidelity funnel DSE ----------------------------------------
+
+
+def run_funnel_dse(size: int) -> Dict[str, float]:
+    """Funnel search vs. single-fidelity full-DES search (S7).
+
+    Both sides consume the *same* seeded proposal stream over the
+    million-point ``codesign_xl`` space against a mission objective
+    flying a high-resolution patrol (four laps at a 10 ms integration
+    step — the fidelity regime the funnel is for; the screen proxy is
+    closed-form, so its cost does not grow with DES resolution).  The
+    baseline prices every candidate at the top tier (the scalar
+    closed-loop DES — what a single-fidelity search must pay); the
+    funnel screens at batch-pricing fidelity, promotes through the
+    fleet tier, and pays DES only for top-tier survivors.  The run
+    also certifies the tier-equivalence contract: a fresh evaluator
+    sharing the funnel's cache must answer the best config from cache
+    with zero oracle calls.
+    """
+    from repro.dse.funnel import funnel_search
+    from repro.dse.objectives import (MissionObjective,
+                                      codesign_space_xl,
+                                      mission_setting)
+    from repro.dse.search import RandomStrategy
+    from repro.engine.cache import ResultCache
+    from repro.engine.evaluator import Evaluator
+
+    seed = 7
+    space = codesign_space_xl()
+    objective = MissionObjective(
+        mission_setting(laps=4, time_step_s=0.01))
+    # Warm the mission setting (course planning, frame SoA) so neither
+    # timed side pays one-off setup.
+    probe = space.config_at(0)
+    objective(probe)
+    objective.pricing_screen(probe)
+
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        # Baseline: the identical proposal stream, every candidate at
+        # full fidelity (tier="mission" forces the scalar DES path).
+        strategy = RandomStrategy(space, budget=size, seed=seed)
+        base_eval = Evaluator(objective)
+        started = time.perf_counter()
+        while not strategy.finished():
+            batch = strategy.ask()
+            if not batch:
+                break
+            strategy.tell(base_eval.map_batch(batch, tier="mission"))
+        baseline = strategy.result()
+        baseline_s = time.perf_counter() - started
+
+        cache = ResultCache()
+        started = time.perf_counter()
+        result, funnel = funnel_search(
+            space, objective, budget=size, seed=seed,
+            cache=cache)
+        funnel_s = time.perf_counter() - started
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    # Tier-equivalence replay: top-tier funnel entries are legacy-keyed.
+    replay = Evaluator(objective, cache=cache)
+    (hit,) = replay.map_batch([result.best_config])
+    assert hit.cached and replay.oracle_calls == 0, \
+        "funnel-primed cache did not replay under direct evaluation"
+    assert hit.value == result.best_value
+
+    report = funnel.tier_report()
+    screened = report[0]["evaluated"]
+    reached = report[-1]["evaluated"]
+    # >= 0 by construction: the funnel's top-tier evaluations are a
+    # subset of the baseline's, priced identically.
+    regret = result.best_value - baseline.best_value
+    return {
+        "full_fidelity_per_s": round(size / baseline_s, 1),
+        "funnel_per_s": round(size / funnel_s, 1),
+        "speedup": round(baseline_s / funnel_s, 2),
+        "top_tier_frac": round(reached / screened, 4),
+        "screen_regret": round(regret, 4),
+    }
+
+
 # -- registration ------------------------------------------------------
 
 register_benchmark(Benchmark(
@@ -427,6 +512,23 @@ register_benchmark(Benchmark(
     ),
     runner=run_engine_parallel,
     tags=("engine",),
+))
+
+register_benchmark(Benchmark(
+    name="funnel_dse",
+    description="Multi-fidelity funnel vs. single-fidelity full-DES"
+                " search over codesign_xl (same proposal stream; S7)",
+    sizes=(4_000, 20_000),
+    smoke_sizes=(256,),
+    metrics=(
+        Metric("full_fidelity_per_s", unit="1/s"),
+        Metric("funnel_per_s", unit="1/s"),
+        Metric("speedup", unit="x", higher_is_better=True, gate=True),
+        Metric("top_tier_frac", unit="ratio", higher_is_better=False),
+        Metric("screen_regret", unit="score", higher_is_better=False),
+    ),
+    runner=run_funnel_dse,
+    tags=("smoke", "dse", "engine", "mission"),
 ))
 
 register_benchmark(Benchmark(

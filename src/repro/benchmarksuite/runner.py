@@ -31,8 +31,10 @@ from repro.benchmarksuite.scoring import score_report
 from repro.benchmarksuite.workloads import standard_suite
 from repro.core.report import format_table
 from repro.core.workload import Workload
+from repro.engine.arena import BatchArena
 from repro.engine.cache import ResultCache
 from repro.engine.evaluator import Evaluator
+from repro.engine.protocol import FidelityTier
 from repro.errors import BatchFallback, BenchmarkError, MappingError
 from repro.hw.batch import PlatformSoA, ProfileSoA, batch_estimate, \
     is_soa_priceable
@@ -42,6 +44,19 @@ from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracer import Tracer, get_tracer
 
 Target = Union[Platform, HeterogeneousSoC]
+
+#: Module-global arena: suite batches arrive repeatedly with the same
+#: shapes (one row per target, one column per stage), so the SoA cost
+#: block reaches steady state after the first batch and stops
+#: allocating.
+_ARENA: "BatchArena | None" = None
+
+
+def _arena() -> BatchArena:
+    global _ARENA
+    if _ARENA is None:
+        _ARENA = BatchArena()
+    return _ARENA
 
 
 @dataclass(frozen=True)
@@ -165,7 +180,8 @@ class PairPricer:
                 workload_cols[id(workload)] = slice(start, len(profiles))
                 workloads.append(workload)
         cost = batch_estimate(PlatformSoA.from_platforms(targets),
-                              ProfileSoA.from_profiles(profiles))
+                              ProfileSoA.from_profiles(profiles),
+                              arena=_arena())
 
         rows: List[BenchmarkRow] = []
         for pair, batchable in zip(pairs, vectorizable):
@@ -196,6 +212,105 @@ class PairPricer:
                 deadline_s=workload.deadline_s(),
             ))
         return rows
+
+    # -- Tier-0 roofline screen -------------------------------------
+    #
+    # Serial-chain pricing: stage latencies *summed* instead of run
+    # through the critical-path DP, energies as in the full tier.  The
+    # sum upper-bounds the DAG latency, so rows that fit their
+    # deadline under the screen also fit it at full fidelity — a safe
+    # (conservative) screen for deadline-style gates.  Each row
+    # depends only on its own pair, so the screen is chunk-invariant.
+
+    def roofline_screen(self, pair: Dict[str, Any]) -> BenchmarkRow:
+        """Price one pair at Tier 0 (serial-chain roofline)."""
+        return self.roofline_screen_batch([pair])[0]
+
+    def roofline_screen_batch(self, pairs: Sequence[Dict[str, Any]]
+                              ) -> List[BenchmarkRow]:
+        """Price a batch at Tier 0 through the SoA kernel."""
+        pairs = list(pairs)
+        vectorizable = [is_soa_priceable(pair["target"])
+                        for pair in pairs]
+
+        targets: List[Target] = []
+        target_row: Dict[int, int] = {}
+        workload_cols: Dict[int, slice] = {}
+        profiles: List[Any] = []
+        for pair, batchable in zip(pairs, vectorizable):
+            if not batchable:
+                continue
+            target, workload = pair["target"], pair["workload"]
+            if id(target) not in target_row:
+                target_row[id(target)] = len(targets)
+                targets.append(target)
+            if id(workload) not in workload_cols:
+                start = len(profiles)
+                profiles.extend(stage.profile
+                                for stage in workload.graph.stages)
+                workload_cols[id(workload)] = slice(start, len(profiles))
+        cost = None
+        if targets:
+            cost = batch_estimate(PlatformSoA.from_platforms(targets),
+                                  ProfileSoA.from_profiles(profiles),
+                                  arena=_arena())
+
+        rows: List[BenchmarkRow] = []
+        for pair, batchable in zip(pairs, vectorizable):
+            target, workload = pair["target"], pair["workload"]
+            stages = workload.graph.stages
+            latency = energy = 0.0
+            if batchable and all(target.supports(stage.profile)
+                                 for stage in stages):
+                row = target_row[id(target)]
+                columns = workload_cols[id(workload)]
+                for col in range(columns.start, columns.stop):
+                    latency += float(cost.latency_s[row, col])
+                    energy += float(cost.energy_j[row, col])
+            elif not batchable:
+                try:
+                    if isinstance(target, HeterogeneousSoC):
+                        mapping = target.map_graph(
+                            workload.graph, policy=MappingPolicy.FASTEST)
+                        for mapped in mapping.values():
+                            latency += mapped.estimate.latency_s
+                            energy += mapped.estimate.energy_j
+                    else:
+                        for stage in stages:
+                            if not target.supports(stage.profile):
+                                raise MappingError(
+                                    f"{target.name} cannot run"
+                                    f" {stage.name}")
+                            estimate = target.estimate(stage.profile)
+                            latency += estimate.latency_s
+                            energy += estimate.energy_j
+                except MappingError:
+                    latency, energy = float("inf"), float("inf")
+            else:
+                latency, energy = float("inf"), float("inf")
+            rows.append(BenchmarkRow(
+                workload=workload.name,
+                target=_target_name(target),
+                latency_s=latency,
+                energy_j=energy,
+                deadline_s=workload.deadline_s(),
+            ))
+        return rows
+
+    def fidelity_tiers(self) -> Tuple[FidelityTier, ...]:
+        """Two-tier ladder: serial-chain roofline screen below the
+        full critical-path suite pricing (the top tier is this
+        objective itself — tier-equivalence contract)."""
+        return (
+            FidelityTier(name="roofline",
+                         evaluate=self.roofline_screen,
+                         evaluate_batch=self.roofline_screen_batch,
+                         cost_hint=1.0),
+            FidelityTier(name="suite",
+                         evaluate=self,
+                         evaluate_batch=self.evaluate_batch,
+                         cost_hint=2.0),
+        )
 
 
 #: The default suite objective: batch-capable, falls back to scalar

@@ -411,8 +411,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
 def _run_dse(space, objective_name="suite_objective",
              strategy="surrogate", budget=24, seed=0, jobs=1,
-             cache_dir=None, chunk_size=None, json_path=None,
-             command_config=None) -> int:
+             cache_dir=None, chunk_size=None, funnel=None,
+             json_path=None, command_config=None) -> int:
     """Shared DSE execution path (see :func:`_run_suite`).  The
     objective is resolved from the registry by name, and that name goes
     into the evaluator context — so spec-driven and programmatic runs
@@ -423,6 +423,7 @@ def _run_dse(space, objective_name="suite_objective",
         grid_search,
         random_search,
     )
+    from repro.dse.funnel import FunnelConfig, funnel_search
     from repro.engine import Evaluator, ResultCache
     from repro.spec.registry import OBJECTIVES
     from repro.telemetry import run_provenance, write_metrics_json
@@ -443,6 +444,7 @@ def _run_dse(space, objective_name="suite_objective",
         context={"task": "dse-codesign",
                  "objective": objective_name},
     )
+    tier_report = None
     if strategy == "grid":
         result = grid_search(space, budget=budget,
                              evaluator=evaluator)
@@ -452,6 +454,12 @@ def _run_dse(space, objective_name="suite_objective",
     elif strategy == "evolutionary":
         search = EvolutionarySearch(space, seed=seed)
         result = search.run(budget=budget, evaluator=evaluator)
+    elif strategy == "funnel":
+        result, funnel_strategy = funnel_search(
+            space, budget=budget, seed=seed,
+            config=funnel if funnel is not None else FunnelConfig(),
+            evaluator=evaluator)
+        tier_report = funnel_strategy.tier_report()
     else:  # surrogate
         search = SurrogateSearch(
             space, n_initial=max(2, min(8, budget)),
@@ -473,6 +481,20 @@ def _run_dse(space, objective_name="suite_objective",
     if chunk_size:
         print(f"chunks: {stats['chunks']}"
               f" (chunk size {chunk_size})")
+    if tier_report is not None:
+        print(format_table(
+            ["tier", "evaluated", "survivors", "killed", "kill rate"],
+            [(row["tier"], row["evaluated"], row["survivors"],
+              row["killed"], f"{row['kill_rate']:.1%}"
+              + (" (forced)" if row["forced"] else ""))
+             for row in tier_report],
+            title="Funnel survivor report (cheapest tier first)",
+        ))
+        screened = tier_report[0]["evaluated"]
+        reached = tier_report[-1]["evaluated"]
+        if screened:
+            print(f"top-tier fraction: {reached}/{screened}"
+                  f" ({reached / screened:.2%})")
     if json_path:
         provenance = run_provenance(
             seed=seed,
@@ -480,24 +502,42 @@ def _run_dse(space, objective_name="suite_objective",
                     "budget": budget, "jobs": jobs,
                     "cache": cache_dir},
         )
+        extra = {
+            "best_config": result.best_config,
+            "best_value": result.best_value,
+            "evaluations": result.evaluations,
+            "trace": result.trace,
+            "engine": stats,
+        }
+        if tier_report is not None:
+            extra["funnel"] = tier_report
+            extra["engine_tiers"] = evaluator.tier_stats()
         write_metrics_json(
-            json_path, provenance=provenance,
-            extra={
-                "best_config": result.best_config,
-                "best_value": result.best_value,
-                "evaluations": result.evaluations,
-                "trace": result.trace,
-                "engine": stats,
-            },
-        )
+            json_path, provenance=provenance, extra=extra)
         print(f"wrote metrics JSON to {json_path}")
     return 0
 
 
-def _cmd_dse(args: argparse.Namespace) -> int:
-    from repro.dse import codesign_space
+def _space_help() -> str:
+    """``--space`` help text, derived from the registry the runtime
+    lookup uses so the two cannot drift."""
+    from repro.spec.registry import SPACES
 
-    return _run_dse(codesign_space(), strategy=args.strategy,
+    return "design space to search: " + ", ".join(SPACES.names())
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from repro.errors import SpecError
+    from repro.spec.registry import OBJECTIVES, SPACES
+
+    try:
+        space = SPACES.build(args.space, "--space")
+        OBJECTIVES.entry(args.objective, "--objective")
+    except SpecError as error:
+        print(error, file=sys.stderr)
+        return 2
+    return _run_dse(space, objective_name=args.objective,
+                    strategy=args.strategy,
                     budget=args.budget, seed=args.seed,
                     jobs=args.jobs, cache_dir=args.cache,
                     chunk_size=args.chunk_size,
@@ -581,7 +621,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         strategy=run.strategy, budget=run.budget, seed=run.seed,
         jobs=args.jobs if args.jobs is not None else run.jobs,
         cache_dir=args.cache, chunk_size=run.chunk_size,
-        json_path=args.json,
+        funnel=run.funnel, json_path=args.json,
         command_config=command_config)
 
 
@@ -992,9 +1032,16 @@ def build_parser() -> argparse.ArgumentParser:
                                      " (suite-priced platform knobs)")
     dse.add_argument("--strategy", default="surrogate",
                      choices=["grid", "random", "evolutionary",
-                              "surrogate"])
+                              "surrogate", "funnel"])
+    dse.add_argument("--space", default="codesign",
+                     help=_space_help())
+    dse.add_argument("--objective", default="suite_objective",
+                     help="registered objective to optimize (e.g."
+                          " suite_objective, mission_objective)")
     dse.add_argument("--budget", type=int, default=24,
-                     help="unique-candidate evaluation budget")
+                     help="unique-candidate evaluation budget"
+                          " (for --strategy funnel: the cheap-tier"
+                          " screen budget)")
     dse.add_argument("--seed", type=int, default=0)
     dse.add_argument("--jobs", type=int, default=1,
                      help="process-pool width for candidate pricing")

@@ -26,6 +26,13 @@ evaluation (``jobs=N``) apply uniformly; the classic entry points
 from repro.dse.bayesian import SurrogateSearch, SurrogateStrategy
 from repro.dse.constraints import Constraint, ConstraintSet
 from repro.dse.evolutionary import EvolutionarySearch, EvolutionaryStrategy
+from repro.dse.funnel import (
+    FunnelConfig,
+    FunnelStrategy,
+    PromotionGate,
+    default_gates,
+    funnel_search,
+)
 from repro.dse.multiobjective import (
     FrontPoint,
     MultiObjectiveResult,
@@ -36,6 +43,7 @@ from repro.dse.objectives import (
     SuiteObjective,
     build_platform,
     codesign_space,
+    codesign_space_xl,
     encode_codesign,
     suite_energy,
     suite_latency,
@@ -62,10 +70,13 @@ __all__ = [
     "EvolutionarySearch",
     "EvolutionaryStrategy",
     "FrontPoint",
+    "FunnelConfig",
+    "FunnelStrategy",
     "GaussianProcess",
     "GridStrategy",
     "MultiObjectiveResult",
     "Parameter",
+    "PromotionGate",
     "RandomStrategy",
     "SearchResult",
     "SuiteObjective",
@@ -74,7 +85,10 @@ __all__ = [
     "VectorObjective",
     "build_platform",
     "codesign_space",
+    "codesign_space_xl",
+    "default_gates",
     "encode_codesign",
+    "funnel_search",
     "grid_search",
     "hypervolume_2d",
     "multi_objective_search",

@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.workload import Workload
 from repro.dse.space import Config, DesignSpace, Parameter
 from repro.engine.arena import BatchArena
+from repro.engine.protocol import FidelityTier
 from repro.errors import SearchError
 from repro.hw.batch import PlatformSoA, ProfileSoA, batch_estimate
 from repro.hw.platform import AnalyticalPlatform, PlatformConfig
@@ -98,6 +99,34 @@ def codesign_space() -> DesignSpace:
     ])
 
 
+def _geometric_knob(lo: float, hi: float, points: int
+                    ) -> Tuple[float, ...]:
+    """A geometric grid of ``points`` values from ``lo`` to ``hi``,
+    rounded for stable platform names."""
+    ratio = (hi / lo) ** (1.0 / (points - 1))
+    return tuple(round(lo * ratio ** i, 3) for i in range(points))
+
+
+@SPACES.register("codesign_xl")
+def codesign_space_xl() -> DesignSpace:
+    """The million-point co-design space: the same four knobs as
+    ``codesign``, refined to geometric grids spanning the same ranges
+    (64 x 32 x 32 x 16 = 1,048,576 designs) — the scale the
+    multi-fidelity funnel exists for."""
+    return DesignSpace([
+        Parameter("peak_gflops", _geometric_knob(50.0, 3200.0, 64)),
+        Parameter("onchip_kb", _geometric_knob(128.0, 8192.0, 32)),
+        Parameter("offchip_gbs", _geometric_knob(10.0, 150.0, 32)),
+        Parameter("static_power_w", _geometric_knob(1.0, 20.0, 16)),
+    ])
+
+
+#: Shared by :func:`build_platform` and :func:`encode_codesign`, so
+#: scalar and SoA lowerings cannot disagree about platform names.
+_CODESIGN_NAME = ("codesign-{peak_gflops:g}g-{onchip_kb:g}kb"
+                  "-{offchip_gbs:g}gbs-{static_power_w:g}w")
+
+
 def build_platform(config: Config) -> AnalyticalPlatform:
     """Lower a co-design point to a roofline platform.
 
@@ -105,9 +134,7 @@ def build_platform(config: Config) -> AnalyticalPlatform:
     same config fingerprint identically across processes.
     """
     return AnalyticalPlatform(PlatformConfig(
-        name=("codesign-{peak_gflops:g}g-{onchip_kb:g}kb"
-              "-{offchip_gbs:g}gbs-{static_power_w:g}w"
-              ).format(**config),
+        name=_CODESIGN_NAME.format(**config),
         peak_flops=config["peak_gflops"] * 1e9,
         scalar_flops=2e9,
         onchip_bytes=config["onchip_kb"] * 1024.0,
@@ -122,12 +149,46 @@ def encode_codesign(configs: Sequence[Config]) -> PlatformSoA:
     """SoA-encode a co-design population: the :func:`build_platform`
     lowering, transposed into columns for :func:`batch_estimate`.
 
-    Going through ``build_platform`` (rather than re-deriving the knob
-    formulas) keeps the encoder incapable of drifting from the scalar
-    lowering — same validation, same derived fields.
+    Columns are built directly from the knob arrays with the same
+    elementwise arithmetic as ``build_platform`` (IEEE-identical per
+    element), so the encode is bit-equal to transposing per-candidate
+    platforms while skipping the per-candidate object construction
+    that used to dominate screening cost.  The non-knob columns come
+    from one template platform, which also runs the scalar lowering's
+    validation once; ``tests/dse/test_batch_objectives.py`` pins
+    equality against the object-by-object reference encode.
     """
-    return PlatformSoA.from_configs(
-        [build_platform(config).config for config in configs])
+    configs = list(configs)
+    if not configs:
+        return PlatformSoA.from_configs([])
+    template = build_platform(configs[0]).config
+    n = len(configs)
+    peak_gflops = np.array([c["peak_gflops"] for c in configs])
+    onchip_kb = np.array([c["onchip_kb"] for c in configs])
+    offchip_gbs = np.array([c["offchip_gbs"] for c in configs])
+    peak_flops = peak_gflops * 1e9
+    return PlatformSoA(
+        names=tuple(_CODESIGN_NAME.format(**c) for c in configs),
+        scalar_flops=np.full(n, template.scalar_flops),
+        peak_flops=peak_flops,
+        # peak_int_ops is left defaulted, so int throughput resolves
+        # to peak_flops — knob-dependent, not a template constant.
+        int_throughput=peak_gflops * 1e9,
+        onchip_bytes=onchip_kb * 1024.0,
+        onchip_bw=(10.0 * offchip_gbs) * 1e9,
+        offchip_bw=offchip_gbs * 1e9,
+        launch_overhead_s=np.full(n, template.launch_overhead_s),
+        energy_per_flop=np.full(n, template.energy_per_flop),
+        int_energy=np.full(n, template.int_energy),
+        energy_per_byte_onchip=np.full(
+            n, template.energy_per_byte_onchip),
+        energy_per_byte_offchip=np.full(
+            n, template.energy_per_byte_offchip),
+        static_power_w=np.array(
+            [c["static_power_w"] for c in configs]),
+        area_mm2=np.full(n, template.area_mm2),
+        lockstep=np.full(n, template.lockstep, dtype=bool),
+    )
 
 
 def _price(config: Config) -> Dict[str, float]:
@@ -241,6 +302,63 @@ class SuiteObjective:
                                    + energy / (10.0 * deadline))
         return [float(value) for value in totals]
 
+    # -- fidelity ladder ----------------------------------------------
+
+    def roofline_screen_batch(self, configs: Sequence[Config]
+                              ) -> List[float]:
+        """Tier-0 screen: the same roofline pricing, with the
+        per-workload critical-path DP replaced by a serial-chain sum.
+
+        Summing stage latencies upper-bounds (and strongly rank-
+        correlates with) the DAG critical path at a fraction of the
+        cost — the per-workload graph reductions and dict plumbing
+        vanish, leaving one fused SoA pass plus a fixed column loop.
+        Elementwise over candidates, fixed accumulation order: chunk-
+        invariant and bit-stable, like every batch path here, but its
+        *values* deliberately differ from full fidelity — it is a
+        screen, not a vectorization.
+        """
+        configs = list(configs)
+        if not configs:
+            return []
+        soa = encode_codesign(configs)
+        profiles, plan = _batch_suite()
+        cost = batch_estimate(soa, profiles, arena=_arena())
+        totals = np.zeros(len(configs))
+        for workload, stage_names, columns in plan:
+            deadline = workload.deadline_s()
+            for j in range(columns.start, columns.stop):
+                if self.kind == "slack":
+                    totals = totals + cost.latency_s[:, j] / deadline
+                elif self.kind == "energy":
+                    totals = totals + cost.energy_j[:, j]
+                else:
+                    totals = totals + (
+                        cost.latency_s[:, j] / deadline
+                        + cost.energy_j[:, j] / (10.0 * deadline))
+        return [float(value) for value in totals]
+
+    def roofline_screen(self, config: Config) -> float:
+        """Scalar tier-0 screen (a batch of one, so the scalar and
+        batch screens agree bit-for-bit)."""
+        return self.roofline_screen_batch([config])[0]
+
+    def fidelity_tiers(self) -> Tuple[FidelityTier, ...]:
+        """Two rungs: the roofline-only screen, then the full suite
+        objective (the top tier *is* ``self`` — the tier-equivalence
+        contract of :class:`~repro.engine.protocol.TieredObjective`).
+        """
+        return (
+            FidelityTier(name="roofline",
+                         evaluate=self.roofline_screen,
+                         evaluate_batch=self.roofline_screen_batch,
+                         cost_hint=1.0),
+            FidelityTier(name="suite",
+                         evaluate=self,
+                         evaluate_batch=self.evaluate_batch,
+                         cost_hint=2.0),
+        )
+
 
 def _suite_objective_singleton(kind: str) -> "SuiteObjective":
     """Pickle hook for :class:`SuiteObjective` (see ``__reduce__``)."""
@@ -258,8 +376,45 @@ def _suite_objective_singleton(kind: str) -> "SuiteObjective":
 _MISSION = None
 
 
+def mission_setting(*, extent: float = 60.0, n_obstacles: int = 24,
+                    laps: int = 2, time_step_s: float = 0.05,
+                    seed: int = 5):
+    """Build a patrol scenario for :class:`MissionObjective`.
+
+    Returns the ``(config, course, cache)`` triple a parametric
+    :class:`MissionObjective` flies: the mission config, its planned
+    course, and an :func:`repro.system.fleet.ensure_course` cache
+    pre-seeded with that course (planning happens here, exactly once).
+
+    The defaults reproduce the shared scenario of the module-level
+    :data:`mission_objective`.  Heavier settings — a larger world, more
+    laps, a finer integration step — raise the cost of one full-DES
+    evaluation without touching the tier-0 pricing proxy (which is
+    closed-form and timestep-free), widening the fidelity gap the
+    screening funnel exploits; the ``funnel_dse`` benchmark and the S7
+    experiment sweep exactly that axis.
+    """
+    from repro.kernels.planning.occupancy import CircleWorld
+    from repro.system.fleet import course_key
+    from repro.system.mission import MissionConfig, plan_course
+
+    world = CircleWorld.random(
+        dim=2, n_obstacles=n_obstacles, extent=extent,
+        radius_range=(1.0, 2.5), seed=seed, keep_corners_free=3.0)
+    config = MissionConfig(
+        world=world,
+        start=np.array([1.0, 1.0]),
+        goal=np.array([extent - 2.0, extent - 2.0]),
+        laps=laps,
+        time_step_s=time_step_s,
+    )
+    course = plan_course(config)
+    cache = {course_key(config): (world, course)}
+    return config, course, cache
+
+
 def _mission_setting():
-    """The fixed closed-loop scenario mission candidates fly.
+    """The fixed closed-loop scenario shared-mission candidates fly.
 
     A compact patrol world (60 m, two laps) keeps a single scalar
     evaluation cheap enough for search budgets while still exercising
@@ -268,22 +423,7 @@ def _mission_setting():
     """
     global _MISSION
     if _MISSION is None:
-        from repro.kernels.planning.occupancy import CircleWorld
-        from repro.system.fleet import course_key
-        from repro.system.mission import MissionConfig, plan_course
-
-        world = CircleWorld.random(
-            dim=2, n_obstacles=24, extent=60.0,
-            radius_range=(1.0, 2.5), seed=5, keep_corners_free=3.0)
-        config = MissionConfig(
-            world=world,
-            start=np.array([1.0, 1.0]),
-            goal=np.array([58.0, 58.0]),
-            laps=2,
-        )
-        course = plan_course(config)
-        cache = {course_key(config): (world, course)}
-        _MISSION = (config, course, cache)
+        _MISSION = mission_setting()
     return _MISSION
 
 
@@ -329,18 +469,52 @@ class MissionObjective:
     is a per-result Python reduction of those fields, so batch values
     are bit-identical to calling the objective per candidate — the
     same contract :class:`SuiteObjective` keeps.
+
+    Args:
+        setting: A ``(config, course, cache)`` triple from
+            :func:`mission_setting`, giving this instance its own
+            scenario.  ``None`` (the default, and the module-level
+            :data:`mission_objective` singleton) flies the shared
+            scenario.  Only the default instance pickles to the
+            singleton; parametric instances use standard pickling, so
+            keep them out of process pools whose workers rebuild
+            objectives by name.
     """
 
+    def __init__(self, setting=None):
+        self._setting_override = setting
+        self._frame_soa_cache = None
+
     def __repr__(self) -> str:
-        return "MissionObjective()"
+        if self._setting_override is None:
+            return "MissionObjective()"
+        mission = self._setting_override[0]
+        return (f"MissionObjective(extent={float(mission.world.upper[0])!r},"
+                f" laps={mission.laps!r},"
+                f" time_step_s={mission.time_step_s!r})")
 
     def __reduce__(self):
-        return (_mission_objective_singleton, ())
+        if self._setting_override is None:
+            return (_mission_objective_singleton, ())
+        return (MissionObjective, (self._setting_override,))
+
+    def _setting(self):
+        if self._setting_override is None:
+            return _mission_setting()
+        return self._setting_override
+
+    def _frame_soa(self) -> ProfileSoA:
+        if self._setting_override is None:
+            return _frame_profile_soa()
+        if self._frame_soa_cache is None:
+            self._frame_soa_cache = ProfileSoA.from_profiles(
+                [self._setting_override[0].frame_profile])
+        return self._frame_soa_cache
 
     def __call__(self, config: Config) -> float:
         from repro.system.mission import run_mission
 
-        mission, course, _ = _mission_setting()
+        mission, course, _ = self._setting()
         mass_kg, power_w = codesign_payload(config)
         result = run_mission(mission, build_platform(config), mass_kg,
                              power_w, course=course)
@@ -352,7 +526,7 @@ class MissionObjective:
         configs = list(configs)
         if not configs:
             return []
-        mission, _, cache = _mission_setting()
+        mission, _, cache = self._setting()
         rollouts = []
         for config in configs:
             mass_kg, power_w = codesign_payload(config)
@@ -367,6 +541,105 @@ class MissionObjective:
         budget_j = mission.battery.usable_energy_j
         return [_mission_score(result, budget_j)
                 for result in fleet.results]
+
+    # -- fidelity ladder ----------------------------------------------
+
+    def pricing_screen_batch(self, configs: Sequence[Config]
+                             ) -> List[float]:
+        """Tier-0 screen: continuous-time mission proxy from one
+        batch-priced frame profile.
+
+        Prices the per-frame pipeline for the whole population in one
+        SoA pass, derives the latency-limited safe speed and hover
+        power in closed form, and scores a *continuous* (no-timestep,
+        no-course-following) flight of the patrol course: the
+        latency → speed → battery couplings survive, the DES loop's
+        quantization and mid-course failure accounting do not.
+        Elementwise and deterministic (``t*sqrt(t)`` instead of
+        ``t**1.5`` keeps every element's rounding identical at any
+        batch size), so chunking cannot change a gate decision.
+        """
+        from repro.system.robot import AIR_DENSITY, GRAVITY
+
+        configs = list(configs)
+        if not configs:
+            return []
+        mission, course, _ = self._setting()
+        cost = batch_estimate(encode_codesign(configs),
+                              self._frame_soa(), arena=_arena())
+        compute = cost.latency_s[:, 0]
+        period = 1.0 / mission.sensor_rate_hz
+        staleness = np.maximum(compute - period, 0.0)
+        latency = (0.5 * period + compute + staleness
+                   + mission.actuation_latency_s)
+        accel = mission.uav.max_accel_m_s2
+        raw_speed = accel * (np.sqrt(
+            latency * latency
+            + 2.0 * mission.sensing_range_m / accel) - latency)
+        safe_speed = np.minimum(raw_speed, mission.uav.max_speed_m_s)
+        # codesign_payload, elementwise (same op order per element).
+        gflops = np.array([c["peak_gflops"] for c in configs])
+        payload_mass = 0.05 + 2.0e-4 * gflops
+        payload_power = np.array(
+            [c["static_power_w"] for c in configs]) + 0.015 * gflops
+        total_mass = (mission.uav.frame_mass_kg
+                      + mission.battery.mass_kg + payload_mass)
+        thrust = total_mass * GRAVITY
+        hover = thrust * np.sqrt(thrust) / np.sqrt(
+            2.0 * AIR_DENSITY * mission.uav.rotor_disk_area_m2
+        ) / mission.uav.figure_of_merit + mission.uav.avionics_power_w
+        power = hover + payload_power
+        flight_time = course.total_length_m / safe_speed
+        energy = flight_time * power
+        budget_j = mission.battery.usable_energy_j
+        endurance = budget_j / power
+        penalty = np.where(energy > budget_j, 10.0, 0.0)
+        score = penalty + flight_time / endurance + energy / budget_j
+        return [float(value) for value in score]
+
+    def pricing_screen(self, config: Config) -> float:
+        """Scalar tier-0 screen (a batch of one, so the scalar and
+        batch screens agree bit-for-bit)."""
+        return self.pricing_screen_batch([config])[0]
+
+    def fidelity_tiers(self) -> Tuple[FidelityTier, ...]:
+        """Three rungs: batch pricing proxy → closed-form fleet rollout
+        → full DES mission.
+
+        The "fleet" tier computes values bit-identical to the top tier
+        (the fleet engine's exact-equality contract) but caches under
+        its own namespace; only the "mission" top tier — ``self``, the
+        tier-equivalence contract — writes full-fidelity cache entries,
+        and it is deliberately scalar-only so funnel benchmarks compare
+        against the honest per-candidate DES cost.
+        """
+        return (
+            FidelityTier(name="pricing",
+                         evaluate=self.pricing_screen,
+                         evaluate_batch=self.pricing_screen_batch,
+                         cost_hint=1.0),
+            FidelityTier(name="fleet",
+                         evaluate=self,
+                         evaluate_batch=self.evaluate_batch,
+                         cost_hint=1.5),
+            FidelityTier(name="mission",
+                         evaluate=self,
+                         evaluate_batch=None,
+                         cost_hint=80.0),
+        )
+
+
+#: One-column ProfileSoA of the shared mission's frame profile (built
+#: once per process; feeds the tier-0 pricing screen).
+_FRAME_SOA = None
+
+
+def _frame_profile_soa() -> ProfileSoA:
+    global _FRAME_SOA
+    if _FRAME_SOA is None:
+        mission, _, _ = _mission_setting()
+        _FRAME_SOA = ProfileSoA.from_profiles([mission.frame_profile])
+    return _FRAME_SOA
 
 
 def _mission_objective_singleton() -> "MissionObjective":

@@ -119,8 +119,31 @@ class ConfigStrategy(SearchStrategy):
             self.best_config = config
 
     def tell(self, results: Sequence[EvalResult]) -> None:
+        tracer = get_tracer()
+        if tracer.enabled:
+            for result in results:
+                self.ingest(result.candidate, result.value)
+            return
+        # Tracer off: inline record()'s bookkeeping (identical history,
+        # trace, and best-so-far — the skipped branch is exactly the
+        # telemetry emit), so funnel screens ingesting tens of
+        # thousands of cheap results don't pay three calls per result.
+        history, trace = self.history, self.trace
+        running = trace[-1] if trace else None
+        best_value, best_config = self.best_value, self.best_config
         for result in results:
-            self.ingest(result.candidate, result.value)
+            value = result.value
+            history.append((result.candidate, value))
+            # min(running, value), with record()'s first-entry rule
+            # (the first value seeds the trace unconditionally).
+            if running is None or value < running:
+                running = value
+            trace.append(running)
+            if value < best_value:
+                best_value = value
+                best_config = result.candidate
+        self.best_value = best_value
+        self.best_config = best_config
 
     def result(self) -> SearchResult:
         if self.best_config is None:

@@ -30,9 +30,13 @@ from repro.engine.evaluator import EvalResult, Evaluator
 from repro.engine.fingerprint import canonical_json, fingerprint
 from repro.engine.protocol import (
     BatchObjective,
+    FidelityTier,
     SearchStrategy,
+    TieredObjective,
+    fidelity_tiers,
     run_search,
     supports_batch,
+    supports_tiers,
 )
 
 __all__ = [
@@ -40,11 +44,15 @@ __all__ = [
     "BatchObjective",
     "EvalResult",
     "Evaluator",
+    "FidelityTier",
     "ResultCache",
     "SearchStrategy",
+    "TieredObjective",
     "Workspace",
     "canonical_json",
+    "fidelity_tiers",
     "fingerprint",
     "run_search",
     "supports_batch",
+    "supports_tiers",
 ]

@@ -44,11 +44,12 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
+from hashlib import sha256
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.cache import ResultCache
-from repro.engine.fingerprint import fingerprint
+from repro.engine.fingerprint import fingerprint, try_fast_json
 from repro.errors import BatchFallback, EngineError
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracer import Tracer, get_tracer
@@ -142,18 +143,50 @@ class Evaluator:
         self._tracer = tracer
         self._context_fp = fingerprint(context) if context is not None \
             else ""
+        self._key_suffixes: Dict[Optional[str], str] = {}
         self.oracle_calls = 0
         self.batches = 0
         self.batch_hits = 0
         self.batch_fallbacks = 0
         self.chunks = 0
+        self._tier_counters: Dict[str, Dict[str, int]] = {}
+        self._tiers_cache: Optional[Tuple[Any, ...]] = None
 
     # -- content addressing -------------------------------------------
 
-    def key_for(self, candidate: Any) -> str:
-        """The content address of ``candidate`` under this context."""
-        return fingerprint({"context": self._context_fp,
-                            "candidate": candidate})
+    def key_for(self, candidate: Any,
+                tier: Optional[str] = None) -> str:
+        """The content address of ``candidate`` under this context.
+
+        ``tier`` names the fidelity namespace: ``None`` (the default,
+        and the top tier) keys exactly as always, so full-fidelity
+        results are shared between direct and funnel-driven runs;
+        lower tiers mix their name into the fingerprint so a cheap
+        screen can never masquerade as a full-price result.
+        """
+        # Fast path: the wrapper's canonical JSON is assembled from a
+        # precomputed context/tier suffix and the fast-encoded candidate
+        # ("candidate" < "context" < "tier" under the sorted-keys
+        # encoding, and JSON composes), so only the candidate is encoded
+        # per call.  Candidates needing the full canonical reduction
+        # fall back to fingerprinting the whole wrapper — which takes
+        # the identical slow path, so keys agree either way.
+        body = try_fast_json(candidate)
+        if body is None:
+            if tier is None:
+                return fingerprint({"context": self._context_fp,
+                                    "candidate": candidate})
+            return fingerprint({"context": self._context_fp,
+                                "tier": tier, "candidate": candidate})
+        suffix = self._key_suffixes.get(tier)
+        if suffix is None:
+            suffix = ',"context":' + try_fast_json(self._context_fp)
+            if tier is not None:
+                suffix += ',"tier":' + try_fast_json(tier)
+            suffix += "}"
+            self._key_suffixes[tier] = suffix
+        return sha256(('{"candidate":' + body + suffix)
+                      .encode("utf-8")).hexdigest()
 
     def seed_for(self, key: str) -> int:
         """Per-candidate seed: a pure function of (base seed, key).
@@ -171,28 +204,73 @@ class Evaluator:
 
     # -- evaluation ---------------------------------------------------
 
+    def _fidelity_tiers(self) -> Tuple[Any, ...]:
+        if self._tiers_cache is None:
+            from repro.engine.protocol import fidelity_tiers
+            self._tiers_cache = fidelity_tiers(self.objective)
+        return self._tiers_cache
+
+    def _resolve_tier(self, tier: Any) -> Any:
+        """Map a tier name (or FidelityTier) to the objective's
+        declared tier; None passes through (legacy full fidelity)."""
+        if tier is None:
+            return None
+        name = getattr(tier, "name", tier)
+        for declared in self._fidelity_tiers():
+            if declared.name == name:
+                return declared
+        raise EngineError(
+            f"objective does not declare fidelity tier {name!r};"
+            f" declared: {[t.name for t in self._fidelity_tiers()]}")
+
     def evaluate(self, candidate: Any) -> Any:
         """Price a single candidate (cache-transparent)."""
         return self.map_batch([candidate])[0].value
 
-    def map_batch(self, candidates: Sequence[Any]) -> List[EvalResult]:
+    def map_batch(self, candidates: Sequence[Any], *,
+                  tier: Any = None) -> List[EvalResult]:
         """Price a batch; results are returned in input order.
 
         Duplicate candidates within the batch are priced once; repeat
         occurrences (and anything already cached) are marked
         ``cached=True``.
+
+        ``tier`` selects a fidelity rung by name (or
+        :class:`~repro.engine.protocol.FidelityTier`) from the
+        objective's declared ladder.  ``None`` — and, by the
+        tier-equivalence contract, the *top* tier — prices at full
+        fidelity under the unchanged legacy cache keys; lower tiers
+        evaluate through their own ``evaluate``/``evaluate_batch`` and
+        cache under a per-tier namespace.  Chunking, dedup, seeds, and
+        parallelism behave identically at every tier.
         """
+        resolved = self._resolve_tier(tier)
         tracer = self._tracer if self._tracer is not None else get_tracer()
         with tracer.wall_span("engine.map_batch", track="engine") as span:
-            results = self._map_batch(list(candidates))
+            results = self._map_batch(list(candidates), resolved)
         if tracer.enabled and span.args is None:
             fresh = sum(1 for r in results if not r.cached)
             span.args = {"batch": len(results), "oracle_calls": fresh,
                          "jobs": self.jobs}
+            if resolved is not None:
+                span.args["tier"] = resolved.name
         return results
 
-    def _map_batch(self, candidates: List[Any]) -> List[EvalResult]:
-        keys = [self.key_for(candidate) for candidate in candidates]
+    def _map_batch(self, candidates: List[Any],
+                   tier: Any = None) -> List[EvalResult]:
+        if tier is None:
+            namespace = None
+            scalar_fn = self.objective
+            batch_fn = getattr(self.objective, "evaluate_batch", None)
+            tier_name = None
+        else:
+            is_top = tier is self._fidelity_tiers()[-1]
+            namespace = None if is_top else tier.name
+            scalar_fn = tier.evaluate
+            batch_fn = tier.evaluate_batch
+            tier_name = tier.name
+        keys = [self.key_for(candidate, namespace)
+                for candidate in candidates]
         values: Dict[str, Any] = {}
         fresh_keys: set = set()
         pending: Dict[str, Any] = {}
@@ -214,6 +292,7 @@ class Evaluator:
                 outcomes = self._run_pending(
                     [pending[k] for k in window],
                     [self.seed_for(k) for k in window],
+                    scalar_fn, batch_fn, tier_name,
                 )
                 for key, (value, wall_s) in zip(window, outcomes):
                     self.cache.put(key, value)
@@ -231,7 +310,12 @@ class Evaluator:
                     occupancy.record(
                         min(step, len(order) - lo) / step)
         self.batches += 1
-        self._publish(len(candidates), len(pending), wall)
+        if tier_name is not None:
+            counters = self._tier_counter(tier_name)
+            counters["candidates"] += len(candidates)
+            counters["oracle_calls"] += len(pending)
+            counters["cache_hits"] += len(candidates) - len(pending)
+        self._publish(len(candidates), len(pending), wall, tier_name)
 
         results: List[EvalResult] = []
         seen: set = set()
@@ -248,20 +332,29 @@ class Evaluator:
             ))
         return results
 
-    def _run_pending(self, candidates: List[Any], seeds: List[int]
+    def _run_pending(self, candidates: List[Any], seeds: List[int],
+                     scalar_fn: Objective,
+                     batch_fn: Optional[Callable[..., Any]],
+                     tier_name: Optional[str]
                      ) -> List[Tuple[Any, float]]:
-        evaluate_batch = getattr(self.objective, "evaluate_batch", None)
-        if evaluate_batch is not None:
+        if batch_fn is not None:
             started = time.perf_counter()
             try:
                 values = list(
-                    evaluate_batch(candidates, seeds) if self.seeded
-                    else evaluate_batch(candidates))
+                    batch_fn(candidates, seeds) if self.seeded
+                    else batch_fn(candidates))
             except BatchFallback:
                 self.batch_fallbacks += len(candidates)
+                if tier_name is not None:
+                    self._tier_counter(tier_name)["batch_fallbacks"] \
+                        += len(candidates)
                 if self.metrics is not None:
                     self.metrics.counter("engine.batch_fallbacks").inc(
                         len(candidates))
+                    if tier_name is not None:
+                        self.metrics.counter(
+                            f"engine.tier.{tier_name}.batch_fallbacks"
+                        ).inc(len(candidates))
             else:
                 if len(values) != len(candidates):
                     raise EngineError(
@@ -269,20 +362,27 @@ class Evaluator:
                         f" for {len(candidates)} candidates")
                 elapsed = time.perf_counter() - started
                 self.batch_hits += len(values)
+                if tier_name is not None:
+                    self._tier_counter(tier_name)["batch_hits"] \
+                        += len(values)
                 if self.metrics is not None:
                     self.metrics.counter("engine.batch_hits").inc(
                         len(values))
+                    if tier_name is not None:
+                        self.metrics.counter(
+                            f"engine.tier.{tier_name}.batch_hits"
+                        ).inc(len(values))
                 share = elapsed / len(values) if values else 0.0
                 return [(value, share) for value in values]
         if self.jobs == 1 or len(candidates) == 1:
-            return [_timed_call(self.objective, candidate, seed,
+            return [_timed_call(scalar_fn, candidate, seed,
                                 self.seeded)
                     for candidate, seed in zip(candidates, seeds)]
         try:
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
                 return list(pool.map(
                     _timed_call,
-                    [self.objective] * len(candidates),
+                    [scalar_fn] * len(candidates),
                     candidates,
                     seeds,
                     [self.seeded] * len(candidates),
@@ -294,8 +394,8 @@ class Evaluator:
                 f" picklable objective and candidates: {error}"
             ) from error
 
-    def _publish(self, batch: int, fresh: int,
-                 wall: Dict[str, float]) -> None:
+    def _publish(self, batch: int, fresh: int, wall: Dict[str, float],
+                 tier_name: Optional[str] = None) -> None:
         if self.metrics is None:
             return
         self.metrics.counter("engine.batches").inc()
@@ -307,8 +407,35 @@ class Evaluator:
         histogram = self.metrics.histogram("engine.eval_wall_s")
         for wall_s in wall.values():
             histogram.record(wall_s)
+        if tier_name is not None:
+            prefix = f"engine.tier.{tier_name}"
+            self.metrics.counter(f"{prefix}.candidates").inc(batch)
+            if fresh:
+                self.metrics.counter(f"{prefix}.oracle_calls").inc(fresh)
+            if batch > fresh:
+                self.metrics.counter(f"{prefix}.cache_hits").inc(
+                    batch - fresh)
+            tier_hist = self.metrics.histogram(f"{prefix}.eval_wall_s")
+            for wall_s in wall.values():
+                tier_hist.record(wall_s)
 
     # -- introspection ------------------------------------------------
+
+    def _tier_counter(self, tier_name: str) -> Dict[str, int]:
+        return self._tier_counters.setdefault(tier_name, {
+            "candidates": 0, "oracle_calls": 0, "cache_hits": 0,
+            "batch_hits": 0, "batch_fallbacks": 0})
+
+    def tier_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-tier counters, keyed by tier name.
+
+        Only batches priced through an explicit ``tier=`` are counted
+        here (legacy ``map_batch`` calls land in :meth:`stats` alone);
+        the same numbers are published as ``engine.tier.<name>.*``
+        metrics when a registry is attached.
+        """
+        return {name: dict(counters)
+                for name, counters in self._tier_counters.items()}
 
     def stats(self) -> Dict[str, int]:
         """Oracle/batch counters merged with the cache's own stats."""

@@ -28,11 +28,11 @@ import enum
 import hashlib
 import json
 import math
-from typing import Any
+from typing import Any, Optional
 
 from repro.errors import EngineError
 
-__all__ = ["canonical_json", "fingerprint"]
+__all__ = ["canonical_json", "fingerprint", "try_fast_json"]
 
 try:  # numpy is a hard dependency of the repo, but keep the import soft
     import numpy as _np
@@ -94,9 +94,47 @@ def _canonical(obj: Any) -> Any:
     )
 
 
+#: Reused encoder for the fast path below (json.dumps with keyword
+#: arguments constructs a fresh JSONEncoder per call — at ~6 us that
+#: would be most of the fast path's budget).
+_FAST_ENCODE = json.JSONEncoder(
+    sort_keys=True, separators=(",", ":"), allow_nan=False).encode
+
+
+def try_fast_json(obj: Any) -> Optional[str]:
+    """The fast-path canonical encoding of ``obj``, or ``None`` when it
+    needs the full :func:`_canonical` reduction.
+
+    For plain JSON data (nested dicts/lists/tuples of strings, bools,
+    ints, and finite floats — the shape of every DSE candidate and
+    cache-key wrapper, fingerprinted once per candidate on the engine's
+    hottest path) a direct sorted-keys dump *is* the canonical form:
+    ``_canonical`` maps such values to themselves, and the encoder
+    coerces non-string scalar keys exactly as the slow path does.
+    Everything ``_canonical`` treats specially is rejected and returns
+    ``None``: NaN/Infinity raise ValueError (``allow_nan=False``);
+    numpy scalars/arrays, enums, sets, dataclasses, and
+    ``fingerprint_spec`` objects raise TypeError as non-serializable.
+    (Plain-Enum instances are rejected because none of the repo's
+    enums mix in int/str; keep it that way or encodings drift.)
+
+    JSON encoding is compositional, so callers holding precomputed
+    fragments may splice a fast-encoded value into a larger canonical
+    document (see ``Evaluator.key_for``) — the result is identical to
+    fast-encoding the whole document at once.
+    """
+    try:
+        return _FAST_ENCODE(obj)
+    except (TypeError, ValueError, OverflowError):
+        return None
+
+
 def canonical_json(obj: Any) -> str:
     """The canonical JSON encoding of ``obj`` (stable across processes,
     dict orderings, and tuple-vs-list construction)."""
+    fast = try_fast_json(obj)
+    if fast is not None:
+        return fast
     return json.dumps(_canonical(obj), sort_keys=True,
                       separators=(",", ":"), allow_nan=True)
 

@@ -20,12 +20,16 @@ what makes serial, parallel, and cache-warm runs bit-identical.
 from __future__ import annotations
 
 import abc
-from typing import Any, List, Protocol, Sequence, runtime_checkable
+from dataclasses import dataclass
+from typing import (Any, Callable, List, Optional, Protocol, Sequence,
+                    Tuple, runtime_checkable)
 
 from repro.engine.evaluator import EvalResult, Evaluator
+from repro.errors import EngineError
 
-__all__ = ["BatchObjective", "SearchStrategy", "run_search",
-           "supports_batch"]
+__all__ = ["BatchObjective", "FidelityTier", "SearchStrategy",
+           "TieredObjective", "fidelity_tiers", "run_search",
+           "supports_batch", "supports_tiers"]
 
 
 @runtime_checkable
@@ -73,6 +77,123 @@ def supports_batch(objective: Any) -> bool:
     return callable(getattr(objective, "evaluate_batch", None))
 
 
+@dataclass(frozen=True)
+class FidelityTier:
+    """One rung of a multi-fidelity objective ladder.
+
+    A tier is a cheaper (or full-price) stand-in for the objective: the
+    same candidates go in, a comparable-but-not-identical score comes
+    out, at a fraction of the cost.  Tiers obey the same discipline as
+    :class:`BatchObjective` *within* themselves — ``evaluate_batch``
+    (when present) must be an elementwise, chunk-invariant
+    vectorization of ``evaluate`` — but different tiers may (and
+    usually do) disagree with each other: that disagreement is exactly
+    the fidelity gap a funnel's promotion gates manage.
+
+    Attributes:
+        name: Stable identifier; lower tiers namespace their cache
+            entries under it, so renaming a tier orphans its results.
+        evaluate: Scalar ``candidate -> value`` at this fidelity.
+        evaluate_batch: Optional vectorized
+            ``candidates -> values`` fast path (the
+            :class:`BatchObjective` contract, scoped to this tier).
+        cost_hint: Relative per-candidate cost (arbitrary units,
+            consistent within one ladder); used for budget accounting
+            and reporting, never for correctness.
+    """
+
+    name: str
+    evaluate: Callable[[Any], Any]
+    evaluate_batch: Optional[Callable[[Sequence[Any]], Sequence[Any]]] \
+        = None
+    cost_hint: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise EngineError("FidelityTier.name must be a non-empty"
+                              f" string (got {self.name!r})")
+        if not callable(self.evaluate):
+            raise EngineError(
+                f"tier {self.name!r}: evaluate must be callable")
+        if self.evaluate_batch is not None \
+                and not callable(self.evaluate_batch):
+            raise EngineError(
+                f"tier {self.name!r}: evaluate_batch must be callable"
+                " or None")
+        if not self.cost_hint > 0:
+            raise EngineError(
+                f"tier {self.name!r}: cost_hint must be > 0"
+                f" (got {self.cost_hint!r})")
+
+    @property
+    def batch_capable(self) -> bool:
+        """Whether this tier has a vectorized fast path."""
+        return self.evaluate_batch is not None
+
+
+@runtime_checkable
+class TieredObjective(Protocol):
+    """An objective exposing an ordered ladder of fidelity tiers.
+
+    ``fidelity_tiers()`` returns the ladder cheapest-first.  The
+    **tier-equivalence contract** (test-enforced): the *top* tier is
+    the objective itself — ``tiers[-1].evaluate is objective`` — so
+    top-tier values, fingerprints, cache keys, and derived seeds are
+    identical to direct full-fidelity evaluation.  A funnel-primed
+    cache therefore replays a direct run with zero oracle calls, and
+    vice versa.  Lower tiers are namespaced by tier name in the cache
+    and carry no such guarantee against each other.
+    """
+
+    def __call__(self, candidate: Any) -> Any: ...
+
+    def fidelity_tiers(self) -> Sequence[FidelityTier]: ...
+
+
+def supports_tiers(objective: Any) -> bool:
+    """Whether the objective declares its own fidelity ladder."""
+    return callable(getattr(objective, "fidelity_tiers", None))
+
+
+def fidelity_tiers(objective: Any) -> Tuple[FidelityTier, ...]:
+    """The objective's fidelity ladder, cheapest tier first.
+
+    Objectives without a declared ladder get a single implicit
+    full-fidelity tier named ``"full"`` wrapping the objective itself,
+    so every objective is funnel-able (a one-tier funnel degenerates to
+    its inner strategy).  Declared ladders are validated: non-empty,
+    unique names, non-decreasing ``cost_hint``, and the top tier must
+    *be* the objective (the tier-equivalence contract).
+    """
+    if not supports_tiers(objective):
+        return (FidelityTier(
+            name="full", evaluate=objective,
+            evaluate_batch=getattr(objective, "evaluate_batch", None),
+        ),)
+    tiers = tuple(objective.fidelity_tiers())
+    if not tiers:
+        raise EngineError(
+            f"{type(objective).__name__}.fidelity_tiers() returned an"
+            " empty ladder")
+    names = [tier.name for tier in tiers]
+    if len(set(names)) != len(names):
+        raise EngineError(
+            f"duplicate tier names in fidelity ladder: {names}")
+    for cheap, costly in zip(tiers, tiers[1:]):
+        if cheap.cost_hint > costly.cost_hint:
+            raise EngineError(
+                "fidelity ladder must be ordered cheapest-first:"
+                f" {cheap.name!r} (cost {cheap.cost_hint}) precedes"
+                f" {costly.name!r} (cost {costly.cost_hint})")
+    top = tiers[-1]
+    if top.evaluate is not objective \
+            and getattr(top.evaluate, "__self__", None) is not objective:
+        raise EngineError(
+            f"tier-equivalence violation: top tier {top.name!r} must"
+            " evaluate through the objective itself")
+    return tiers
+
+
 class SearchStrategy(abc.ABC):
     """A candidate proposer/ingester driven by :func:`run_search`."""
 
@@ -97,10 +218,21 @@ class SearchStrategy(abc.ABC):
 
 
 def run_search(strategy: SearchStrategy, evaluator: Evaluator) -> Any:
-    """Drive a strategy against an evaluator until it finishes."""
+    """Drive a strategy against an evaluator until it finishes.
+
+    Strategies may additionally expose ``ask_tier() -> str`` naming the
+    fidelity tier the batch they just proposed should be priced at
+    (:class:`~repro.dse.funnel.FunnelStrategy` does); plain strategies
+    are priced at full fidelity, exactly as before.
+    """
+    ask_tier = getattr(strategy, "ask_tier", None)
     while not strategy.finished():
         batch = strategy.ask()
         if not batch:
             break
-        strategy.tell(evaluator.map_batch(batch))
+        if ask_tier is not None:
+            results = evaluator.map_batch(batch, tier=ask_tier())
+        else:
+            results = evaluator.map_batch(batch)
+        strategy.tell(results)
     return strategy.result()

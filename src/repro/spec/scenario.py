@@ -20,8 +20,10 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.core.workload import Workload
+from repro.dse.funnel import INNER_STRATEGIES, FunnelConfig, \
+    PromotionGate
 from repro.dse.space import DesignSpace
-from repro.errors import ConfigurationError, SpecError
+from repro.errors import ConfigurationError, SearchError, SpecError
 from repro.hw.platform import Platform
 from repro.spec import schema
 from repro.spec.codec import Codec, from_spec, register_codec, to_spec
@@ -39,7 +41,8 @@ __all__ = ["Scenario", "SuiteScenario", "MissionScenario",
            "FleetScenario", "DseScenario", "DSE_STRATEGIES"]
 
 #: Search strategies ``dse`` scenarios (and the CLI) accept.
-DSE_STRATEGIES = ("grid", "random", "evolutionary", "surrogate")
+DSE_STRATEGIES = ("grid", "random", "evolutionary", "surrogate",
+                  "funnel")
 
 #: One mission compute tier: (name, platform, mass_kg, power_w).
 Tier = Tuple[str, Platform, float, float]
@@ -119,6 +122,10 @@ class DseScenario:
         jobs: Process-pool width for candidate pricing.
         chunk_size: Evaluate at most this many pending candidates per
             oracle pass (``None`` = all at once; results identical).
+        funnel: Multi-fidelity funnel knobs (inner strategy, promotion
+            gates); only meaningful — and only accepted — with
+            ``strategy="funnel"``.  ``None`` means the defaults
+            (:func:`repro.dse.funnel.default_gates`).
     """
 
     space: DesignSpace
@@ -128,6 +135,7 @@ class DseScenario:
     seed: int = 0
     jobs: int = 1
     chunk_size: Optional[int] = None
+    funnel: Optional[FunnelConfig] = None
 
 
 @dataclass
@@ -352,6 +360,61 @@ def _decode_fleet(payload: Mapping[str, Any],
         perturbation=perturbation)
 
 
+def _encode_gate(gate: PromotionGate) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {}
+    if gate.top_fraction is not None:
+        payload["top_fraction"] = gate.top_fraction
+    if gate.threshold is not None:
+        payload["threshold"] = gate.threshold
+    if gate.budget is not None:
+        payload["budget"] = gate.budget
+    return payload
+
+
+def _decode_gate(item: Any, path: str) -> PromotionGate:
+    payload = schema.require_mapping(item, path)
+    schema.check_keys(
+        payload, ("top_fraction", "threshold", "budget"), path)
+    kwargs: Dict[str, Any] = {}
+    if "top_fraction" in payload:
+        kwargs["top_fraction"] = schema.as_float(
+            payload["top_fraction"],
+            schema.child(path, "top_fraction"))
+    if "threshold" in payload:
+        kwargs["threshold"] = schema.as_float(
+            payload["threshold"], schema.child(path, "threshold"))
+    budget = schema.optional_int(payload, "budget", path, None)
+    if budget is not None:
+        kwargs["budget"] = budget
+    try:
+        return PromotionGate(**kwargs)
+    except SearchError as error:
+        raise SpecError(f"{path}: {error}") from error
+
+
+def _decode_funnel(value: Any, path: str) -> FunnelConfig:
+    payload = schema.require_mapping(value, path)
+    schema.check_keys(payload, ("inner", "gates"), path)
+    inner = "random"
+    if "inner" in payload:
+        at = schema.child(path, "inner")
+        inner = schema.as_str(payload["inner"], at)
+        if inner not in INNER_STRATEGIES:
+            raise SpecError(
+                f"{at}: expected one of {sorted(INNER_STRATEGIES)},"
+                f" got {inner!r}")
+    gates = None
+    if "gates" in payload:
+        at = schema.child(path, "gates")
+        items = schema.as_sequence(payload["gates"], at, min_items=1)
+        gates = tuple(_decode_gate(item, schema.item(at, index))
+                      for index, item in enumerate(items))
+    try:
+        return FunnelConfig(inner=inner, gates=gates)
+    except SearchError as error:
+        raise SpecError(f"{path}: {error}") from error
+
+
 def _encode_dse(run: DseScenario) -> Dict[str, Any]:
     payload: Dict[str, Any] = {
         "space": to_spec(run.space),
@@ -363,6 +426,12 @@ def _encode_dse(run: DseScenario) -> Dict[str, Any]:
     }
     if run.chunk_size is not None:
         payload["chunk_size"] = run.chunk_size
+    if run.funnel is not None:
+        section: Dict[str, Any] = {"inner": run.funnel.inner}
+        if run.funnel.gates is not None:
+            section["gates"] = [_encode_gate(gate)
+                                for gate in run.funnel.gates]
+        payload["funnel"] = section
     return payload
 
 
@@ -370,7 +439,7 @@ def _decode_dse(payload: Mapping[str, Any], path: str) -> DseScenario:
     schema.check_keys(
         payload,
         ("space", "objective", "strategy", "budget", "seed", "jobs",
-         "chunk_size"),
+         "chunk_size", "funnel"),
         path)
     space = decode_design_space(
         schema.get_field(payload, "space", path),
@@ -403,12 +472,22 @@ def _decode_dse(payload: Mapping[str, Any], path: str) -> DseScenario:
             f"{schema.child(path, 'budget')}: must be >= 1,"
             f" got {budget}"
         )
+    funnel = None
+    if "funnel" in payload:
+        at = schema.child(path, "funnel")
+        if strategy != "funnel":
+            raise SpecError(
+                f"{at}: only valid with strategy 'funnel'"
+                f" (got strategy {strategy!r})"
+            )
+        funnel = _decode_funnel(payload["funnel"], at)
     return DseScenario(
         space=space, objective=objective, strategy=strategy,
         budget=budget,
         seed=schema.optional_int(payload, "seed", path, 0),
         jobs=_positive_jobs(payload, path),
-        chunk_size=_optional_chunk_size(payload, path))
+        chunk_size=_optional_chunk_size(payload, path),
+        funnel=funnel)
 
 
 _SECTIONS = {

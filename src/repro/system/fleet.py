@@ -487,9 +487,16 @@ def _solve_fleet(rollouts: Tuple[FleetRollout, ...],
             profile_index: Dict[int, int] = {}
             platforms: List[Platform] = []
             profiles: List = []
-            rows: List[int] = []
-            cols: List[int] = []
-            for i in priceable:
+            # Arena-backed gather indices: (row, col) into the priced
+            # block plus the destination rollout index, so the scatter
+            # below runs through reused buffers instead of allocating
+            # fresh fancy-index arrays every chunk (the last PR 7
+            # per-chunk allocation on this path).
+            k = len(priceable)
+            price_rows = ws.out("price_rows", (k,), np.intp)
+            price_cols = ws.out("price_cols", (k,), np.intp)
+            price_dest = ws.out("price_dest", (k,), np.intp)
+            for j, i in enumerate(priceable):
                 platform = rollouts[i].platform
                 row = platform_index.get(id(platform))
                 if row is None:
@@ -500,13 +507,22 @@ def _solve_fleet(rollouts: Tuple[FleetRollout, ...],
                 if col is None:
                     col = profile_index[id(profile)] = len(profiles)
                     profiles.append(profile)
-                rows.append(row)
-                cols.append(col)
+                price_rows[j] = row
+                price_cols[j] = col
+                price_dest[j] = i
             cost = batch_estimate(
                 PlatformSoA.from_platforms(platforms),
                 ProfileSoA.from_profiles(profiles),
                 arena=arena)
-            compute_latency[priceable] = cost.latency_s[rows, cols]
+            # Flat gather from the contiguous (rows, cols) block:
+            # flat = row * n_profiles + col, taken through out= into a
+            # reused buffer, then scattered to the rollout order.
+            np.multiply(price_rows, len(profiles), out=price_rows)
+            np.add(price_rows, price_cols, out=price_rows)
+            price_latency = ws.out("price_latency", (k,))
+            np.take(cost.latency_s.ravel(), price_rows,
+                    out=price_latency)
+            compute_latency[price_dest] = price_latency
         for i in fallback:
             compute_latency[i] = rollouts[i].platform.estimate(
                 rollouts[i].config.frame_profile).latency_s

@@ -67,6 +67,32 @@ class TestSuiteObjectives:
             assert soa.peak_flops[i] == config["peak_gflops"] * 1e9
             assert soa.onchip_bytes[i] == config["onchip_kb"] * 1024.0
 
+    def test_encoder_bit_equal_to_reference_transpose(self):
+        """The direct column encode must match transposing
+        per-candidate build_platform configs, field for field."""
+        import dataclasses
+
+        import numpy as np
+
+        from repro.dse.objectives import build_platform
+        from repro.hw.batch import PlatformSoA
+
+        configs = _sample_configs()
+        fast = encode_codesign(configs)
+        reference = PlatformSoA.from_configs(
+            [build_platform(config).config for config in configs])
+        assert fast.names == reference.names
+        for field in dataclasses.fields(PlatformSoA):
+            if field.name == "names":
+                continue
+            lhs = getattr(fast, field.name)
+            rhs = getattr(reference, field.name)
+            assert lhs.dtype == rhs.dtype, field.name
+            assert np.array_equal(lhs, rhs), field.name
+
+    def test_encoder_empty_population(self):
+        assert len(encode_codesign([])) == 0
+
     def test_search_prices_through_batch_path(self):
         space = codesign_space()
         batch_eval = Evaluator(suite_objective, seed=3)

@@ -6,9 +6,11 @@ across the two paths (a scalar-primed cache replays under batch)."""
 import pickle
 
 from repro.dse.objectives import (
+    MissionObjective,
     codesign_payload,
     codesign_space,
     mission_objective,
+    mission_setting,
 )
 from repro.dse.search import random_search
 from repro.engine import Evaluator
@@ -61,6 +63,50 @@ class TestMissionObjective:
         infeasible = [v for v in values if v >= 10.0]
         assert feasible, "no candidate flies the mission"
         assert max(feasible) < min(infeasible, default=float("inf"))
+
+
+class TestParametricSetting:
+    def test_default_setting_matches_singleton(self):
+        """mission_setting()'s defaults rebuild the shared scenario, so
+        a parametric objective built on them scores identically."""
+        configs = _sample_configs(101)
+        twin = MissionObjective(mission_setting())
+        assert [twin(c) for c in configs] == \
+            [mission_objective(c) for c in configs]
+        assert twin.evaluate_batch(configs) == \
+            mission_objective.evaluate_batch(configs)
+        assert twin.pricing_screen_batch(configs) == \
+            mission_objective.pricing_screen_batch(configs)
+
+    def test_heavier_setting_changes_full_but_not_screen_shape(self):
+        """More laps lengthen the flight (higher time/energy terms)
+        while the tier ladder keeps working end to end."""
+        config = codesign_space().config_at(0)
+        heavy = MissionObjective(mission_setting(laps=4))
+        base_value = mission_objective(config)
+        heavy_value = heavy(config)
+        assert heavy_value != base_value
+        names = [tier.name for tier in heavy.fidelity_tiers()]
+        assert names == ["pricing", "fleet", "mission"]
+        # Batch path flies the parametric scenario too.
+        assert heavy.evaluate_batch([config]) == [heavy_value]
+
+    def test_finer_timestep_preserves_feasibility(self):
+        """A finer integration step re-resolves the same flight: the
+        success/failure verdict of the shared scenario must hold."""
+        configs = _sample_configs(151)
+        fine = MissionObjective(mission_setting(time_step_s=0.01))
+        for config in configs:
+            assert (fine(config) >= 10.0) == \
+                (mission_objective(config) >= 10.0)
+
+    def test_parametric_repr_and_pickle(self):
+        heavy = MissionObjective(mission_setting(laps=4))
+        assert "laps=4" in repr(heavy)
+        clone = pickle.loads(pickle.dumps(heavy))
+        assert clone is not mission_objective
+        config = codesign_space().config_at(7)
+        assert clone(config) == heavy(config)
 
 
 class TestSearchIntegration:

@@ -1,0 +1,106 @@
+"""Versioned ``funnel`` section of DSE scenarios: round-trips, dotted
+error paths, and strategy coupling."""
+
+import json
+
+import pytest
+
+from repro.dse.funnel import FunnelConfig, PromotionGate
+from repro.engine.fingerprint import fingerprint
+from repro.errors import SpecError
+from repro.spec import from_spec, to_spec
+
+
+def _funnel_spec(**overrides):
+    payload = {
+        "space": {"ref": "codesign"},
+        "strategy": "funnel",
+        "budget": 64,
+        "seed": 3,
+        "funnel": {
+            "inner": "random",
+            "gates": [{"top_fraction": 0.05},
+                      {"threshold": 2.5, "budget": 4}],
+        },
+    }
+    payload.update(overrides)
+    return {"kind": "scenario", "name": "f", "dse": payload}
+
+
+class TestFunnelRoundTrip:
+    def test_round_trip_preserves_fingerprint(self):
+        scenario = from_spec(_funnel_spec())
+        run = scenario.run
+        assert run.strategy == "funnel"
+        assert isinstance(run.funnel, FunnelConfig)
+        assert run.funnel.inner == "random"
+        assert run.funnel.gates == (
+            PromotionGate(top_fraction=0.05),
+            PromotionGate(threshold=2.5, budget=4),
+        )
+        clone = from_spec(json.loads(json.dumps(to_spec(scenario))))
+        assert fingerprint(clone) == fingerprint(scenario)
+
+    def test_encoded_gates_only_carry_set_fields(self):
+        payload = to_spec(from_spec(_funnel_spec()))["dse"]["funnel"]
+        assert payload["gates"][0] == {"top_fraction": 0.05}
+        assert payload["gates"][1] == {"threshold": 2.5, "budget": 4}
+
+    def test_inner_defaults_to_random(self):
+        run = from_spec(_funnel_spec(
+            funnel={"gates": [{"top_fraction": 0.5}]})).run
+        assert run.funnel.inner == "random"
+
+    def test_funnel_strategy_without_section_is_valid(self):
+        """Strategy "funnel" alone is fine — default gates apply."""
+        spec = _funnel_spec()
+        del spec["dse"]["funnel"]
+        run = from_spec(spec).run
+        assert run.strategy == "funnel"
+        assert run.funnel is None
+
+    def test_no_funnel_key_when_absent(self):
+        spec = _funnel_spec()
+        del spec["dse"]["funnel"]
+        assert "funnel" not in to_spec(from_spec(spec))["dse"]
+
+
+class TestFunnelSpecErrors:
+    def test_funnel_requires_funnel_strategy(self):
+        with pytest.raises(
+                SpecError,
+                match=r"\$\.dse\.funnel: only valid with strategy"
+                      r" 'funnel'"):
+            from_spec(_funnel_spec(strategy="random"))
+
+    def test_unknown_inner(self):
+        with pytest.raises(SpecError,
+                           match=r"\$\.dse\.funnel\.inner"):
+            from_spec(_funnel_spec(
+                funnel={"inner": "annealing",
+                        "gates": [{"top_fraction": 0.5}]}))
+
+    def test_unknown_gate_key(self):
+        with pytest.raises(SpecError,
+                           match=r"\$\.dse\.funnel\.gates\[0\]"):
+            from_spec(_funnel_spec(
+                funnel={"gates": [{"fraction": 0.5}]}))
+
+    def test_gate_needs_exactly_one_rule(self):
+        with pytest.raises(SpecError,
+                           match=r"\$\.dse\.funnel\.gates\[1\]"):
+            from_spec(_funnel_spec(
+                funnel={"gates": [{"top_fraction": 0.5},
+                                  {"top_fraction": 0.5,
+                                   "threshold": 1.0}]}))
+
+    def test_gates_must_be_non_empty(self):
+        with pytest.raises(SpecError,
+                           match=r"\$\.dse\.funnel\.gates"):
+            from_spec(_funnel_spec(funnel={"gates": []}))
+
+    def test_bad_fraction_range(self):
+        with pytest.raises(SpecError,
+                           match=r"\$\.dse\.funnel\.gates\[0\]"):
+            from_spec(_funnel_spec(
+                funnel={"gates": [{"top_fraction": 1.5}]}))

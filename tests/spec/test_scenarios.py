@@ -306,6 +306,7 @@ class TestExampleScenarios:
     @pytest.mark.parametrize("filename", [
         "uav_codesign.json", "suite_catalog.json",
         "patrol_mission.json", "fleet_montecarlo.json",
+        "funnel_dse.json",
     ])
     def test_example_loads(self, filename):
         scenario = load_scenario(str(EXAMPLES / filename))
@@ -313,9 +314,26 @@ class TestExampleScenarios:
 
     def test_examples_dir_is_exhaustive(self):
         assert sorted(p.name for p in EXAMPLES.glob("*.json")) == [
-            "fleet_montecarlo.json", "patrol_mission.json",
-            "suite_catalog.json", "uav_codesign.json",
+            "fleet_montecarlo.json", "funnel_dse.json",
+            "patrol_mission.json", "suite_catalog.json",
+            "uav_codesign.json",
         ]
+
+    def test_funnel_dse_mirrors_programmatic_funnel(self):
+        from repro.dse.funnel import PromotionGate
+        from repro.dse.objectives import codesign_space_xl
+
+        run = load_scenario(str(EXAMPLES / "funnel_dse.json")).run
+        assert isinstance(run, DseScenario)
+        assert run.space == codesign_space_xl()
+        assert (run.objective, run.strategy, run.budget, run.seed) == \
+            ("mission_objective", "funnel", 4000, 7)
+        assert run.funnel is not None
+        assert run.funnel.inner == "random"
+        assert run.funnel.gates == (
+            PromotionGate(top_fraction=0.05),
+            PromotionGate(top_fraction=0.2, budget=64),
+        )
 
     def test_uav_codesign_mirrors_programmatic_dse(self):
         from repro.dse.objectives import codesign_space

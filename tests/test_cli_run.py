@@ -135,10 +135,10 @@ class TestRunCommand:
 class TestSpecCommand:
     def test_validate_all_examples(self, capsys):
         files = sorted(str(p) for p in EXAMPLES.glob("*.json"))
-        assert len(files) == 4
+        assert len(files) == 5
         assert main(["spec", "validate"] + files) == 0
         out = capsys.readouterr().out
-        assert out.count("OK      ") == 4
+        assert out.count("OK      ") == 5
         assert "(scenario)" in out
 
     def test_validate_reports_invalid_files(self, tmp_path, capsys):
