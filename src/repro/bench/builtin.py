@@ -443,6 +443,149 @@ def run_funnel_dse(size: int) -> Dict[str, float]:
     }
 
 
+# -- serve coalescing --------------------------------------------------
+
+_SERVE_CLIENTS = 8
+_SERVE_REPS = 3
+
+
+def _serve_population(n: int) -> List[dict]:
+    from repro.dse.objectives import codesign_space_xl
+
+    space = codesign_space_xl()
+    return [space.config_at(i * 997 % space.size) for i in range(n)]
+
+
+def _serve_daemon(config):
+    """An EvalServer on its own event-loop thread (the bench drives it
+    with blocking clients, exactly like production traffic)."""
+    import asyncio
+    import threading
+
+    from repro.serve import EvalServer
+
+    server = EvalServer(config)
+    ready = threading.Event()
+    box = {}
+
+    def main() -> None:
+        async def body() -> None:
+            await server.start()
+            box["loop"] = asyncio.get_running_loop()
+            ready.set()
+            await server.run()
+
+        asyncio.run(body())
+
+    thread = threading.Thread(target=main, daemon=True)
+    thread.start()
+    assert ready.wait(30), "bench daemon failed to start"
+
+    def stop() -> None:
+        box["loop"].call_soon_threadsafe(server.request_stop)
+        thread.join(60)
+
+    return server, stop
+
+
+def _serve_traffic(candidates, clients: int, no_coalesce: bool,
+                   max_batch: int):
+    """One traffic wave: ``clients`` threads each pipeline their share
+    as single-candidate requests (the sub-critical shape coalescing
+    exists for).  Returns (aggregate rate, values, serve stats)."""
+    import threading
+    import time as _time
+
+    from repro.serve import ServeClient, ServeConfig
+
+    server, stop = _serve_daemon(ServeConfig(
+        max_batch=max_batch, max_wait_ms=2000.0,
+        max_queue=len(candidates) + 1,
+        max_inflight=len(candidates) + 1))
+    per_client = len(candidates) // clients
+    barrier = threading.Barrier(clients + 1)
+    values: Dict[int, List[float]] = {}
+
+    def worker(rank: int) -> None:
+        share = candidates[rank * per_client:(rank + 1) * per_client]
+        with ServeClient(port=server.port, timeout=600.0) as client:
+            messages = [client.submit_message(
+                [candidate], tenant=f"bench{rank}",
+                no_coalesce=no_coalesce) for candidate in share]
+            barrier.wait()
+            envelopes = client.pipeline(messages)
+        assert all(envelope["ok"] for envelope in envelopes)
+        values[rank] = [envelope["results"][0]["value"]
+                        for envelope in envelopes]
+
+    threads = [threading.Thread(target=worker, args=(rank,))
+               for rank in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = _time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = _time.perf_counter() - started
+    stats = server.stats()["serve"]
+    stop()
+    flat = [value for rank in sorted(values)
+            for value in values[rank]]
+    return len(candidates) / wall, flat, stats
+
+
+def run_serve_coalesce(size: int) -> Dict[str, float]:
+    """Cross-client batch coalescing vs. per-request pricing.
+
+    ``size`` candidates split over 8 concurrent clients (4 below 1k),
+    every candidate its own pipelined request — the sub-critical
+    traffic the daemon exists for.  Baseline: the same requests with
+    coalescing disabled, so batch size is forced to per-request (1).
+    Coalesced: ``max_batch = size`` merges all tenants' misses into
+    one full-population flush, triggered by the last candidate parking
+    (occupancy, not deadline — the 2 s deadline is a safety net, so a
+    scheduling-starved client can never split the batch).  Values must
+    be identical in both modes and identical to pricing the population
+    directly — the coalescer changes when and with whom candidates are
+    priced, never what.
+    """
+    from repro.dse.objectives import suite_objective
+
+    clients = _SERVE_CLIENTS if size >= 1024 else 4
+    candidates = _serve_population(size)
+    direct = suite_objective.evaluate_batch(candidates)  # also warms
+
+    baseline_per_s, coalesced_per_s = 0.0, 0.0
+    occupancy, coalesced_batches = 0.0, 0.0
+    for _ in range(_SERVE_REPS):
+        rate, values, _ = _serve_traffic(
+            candidates, clients, no_coalesce=True, max_batch=1)
+        assert values == direct, (
+            f"per-request served values diverged at n={size}")
+        baseline_per_s = max(baseline_per_s, rate)
+        rate, values, stats = _serve_traffic(
+            candidates, clients, no_coalesce=False,
+            max_batch=size)
+        assert values == direct, (
+            f"coalesced served values diverged at n={size}")
+        if rate > coalesced_per_s:
+            coalesced_per_s = rate
+            occupancy = stats["batch_occupancy"]["mean"]
+            coalesced_batches = stats["coalesced_batches"]
+    assert coalesced_batches >= 1, "no cross-client batch was merged"
+    return {
+        "baseline_per_s": round(baseline_per_s, 1),
+        "coalesced_per_s": round(coalesced_per_s, 1),
+        "speedup": round(coalesced_per_s / baseline_per_s, 2),
+        "mean_flush_occupancy": round(occupancy, 1),
+        # Gated form of occupancy: fraction of the population merged
+        # per flush (machine-independent; 1.0 = one full-population
+        # flush, the acceptance target 512/1024 = 0.5).
+        "occupancy_frac": round(occupancy / size, 3),
+        "coalesced_batches": float(coalesced_batches),
+    }
+
+
 # -- registration ------------------------------------------------------
 
 register_benchmark(Benchmark(
@@ -529,6 +672,27 @@ register_benchmark(Benchmark(
     ),
     runner=run_funnel_dse,
     tags=("smoke", "dse", "engine", "mission"),
+))
+
+register_benchmark(Benchmark(
+    name="serve_coalesce",
+    description="Evaluation daemon: cross-client coalesced batches vs."
+                " per-request pricing (identical values; 8 pipelining"
+                " clients)",
+    sizes=(1_024,),
+    smoke_sizes=(128,),
+    metrics=(
+        Metric("baseline_per_s", unit="1/s"),
+        Metric("coalesced_per_s", unit="1/s"),
+        Metric("speedup", unit="x", higher_is_better=True, gate=True),
+        Metric("mean_flush_occupancy", unit="cand",
+               higher_is_better=True),
+        Metric("occupancy_frac", unit="ratio", higher_is_better=True,
+               gate=True),
+        Metric("coalesced_batches", unit="n", higher_is_better=True),
+    ),
+    runner=run_serve_coalesce,
+    tags=("serve", "engine"),
 ))
 
 register_benchmark(Benchmark(

@@ -28,7 +28,17 @@ code:
   fleet, or dse) through the same code paths as the subcommands above,
   cache keys included;
 - ``spec``     — validate (``spec validate``) or normalize and
-  pretty-print (``spec show``) spec files.
+  pretty-print (``spec show``) spec files;
+- ``serve``    — run the evaluation daemon: concurrent clients submit
+  candidates over a JSON-lines socket and the server coalesces every
+  tenant's cache misses into shared oracle batches (results and cache
+  keys are identical to the one-shot paths above);
+- ``submit``   — client side of ``serve``: price candidates against a
+  running daemon (inline configs or space indices), query its
+  dashboard, or ask it to shut down.
+
+Generated artifacts (traces, profiles) default into the gitignored
+``artifacts/`` directory; pass an explicit path to write elsewhere.
 
 ``suite``, ``mission``, and ``fleet`` accept ``--json <path>``
 (machine-readable
@@ -53,6 +63,16 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.report import ascii_bar_chart, format_table
+
+
+def _artifact_path(name: str) -> str:
+    """Default location for a generated artifact: the gitignored
+    ``artifacts/`` directory (created on demand), so default-named
+    traces and profiles stop landing at the repo root."""
+    import os
+
+    os.makedirs("artifacts", exist_ok=True)
+    return os.path.join("artifacts", name)
 
 
 def _run_suite(targets, reference="embedded-cpu", workloads=None,
@@ -788,14 +808,184 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             "duration_s": args.duration, "overload": args.overload,
         })
 
-    count = write_chrome_trace(tracer, args.out,
+    out = args.out if args.out else _artifact_path("trace.json")
+    count = write_chrome_trace(tracer, out,
                                provenance=provenance)
-    print(f"wrote {count} trace events to {args.out}"
+    print(f"wrote {count} trace events to {out}"
           f" (open in chrome://tracing or ui.perfetto.dev)")
     if args.metrics_out:
         write_metrics_json(args.metrics_out, registry=metrics,
                            provenance=provenance)
         print(f"wrote metrics JSON to {args.metrics_out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.errors import ServeError
+    from repro.serve import EvalServer, ServeConfig
+    from repro.telemetry import run_provenance, write_metrics_json
+
+    try:
+        config = ServeConfig(
+            host=args.host, port=args.port,
+            max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue, max_inflight=args.max_inflight,
+            cache_dir=args.cache,
+            cache_max_entries=args.cache_max_entries,
+            jobs=args.jobs, chunk_size=args.chunk_size)
+    except ServeError as error:
+        print(error, file=sys.stderr)
+        return 2
+    server = EvalServer(config)
+
+    async def _run() -> None:
+        await server.start()
+        print(f"serving on {config.host}:{server.port}", flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_stop)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or unsupported platform
+        await server.run()
+
+    asyncio.run(_run())
+    stats = server.stats()
+    serve_stats = stats["serve"]
+    cache_stats = stats["cache"]
+    lookups = cache_stats["hits"] + cache_stats["misses"]
+    hit_rate = cache_stats["hits"] / lookups if lookups else 0.0
+    latency = serve_stats["request_latency_s"]
+    print(f"served {int(serve_stats['requests'])} request(s),"
+          f" {int(serve_stats['candidates'])} candidate(s);"
+          f" {int(serve_stats['flushes'])} flush(es),"
+          f" {int(serve_stats['coalesced_batches'])} coalesced")
+    print(f"cache hit rate: {hit_rate:.1%};"
+          f" batch occupancy mean:"
+          f" {serve_stats['batch_occupancy']['mean']:.1f};"
+          f" latency p50 {latency['p50'] * 1e3:.1f} ms /"
+          f" p99 {latency['p99'] * 1e3:.1f} ms")
+    if args.metrics_json:
+        provenance = run_provenance(config={
+            "command": "serve", "host": config.host,
+            "port": server.port, "max_batch": config.max_batch,
+            "max_wait_ms": config.max_wait_ms, "jobs": config.jobs,
+            "cache": config.cache_dir,
+        })
+        write_metrics_json(args.metrics_json,
+                           registry=server.metrics,
+                           provenance=provenance, extra=stats)
+        print(f"wrote metrics JSON to {args.metrics_json}")
+    return 0
+
+
+def _parse_indices(spec: str) -> Optional[list]:
+    """``"0,3,8-11"`` -> ``[0, 3, 8, 9, 10, 11]`` (None on a parse
+    error, so the caller can print a usage message)."""
+    indices = []
+    for part in spec.split(","):
+        part = part.strip()
+        try:
+            if "-" in part[1:]:  # allow a leading minus to fail below
+                lo_text, hi_text = part.split("-", 1)
+                lo, hi = int(lo_text), int(hi_text)
+                if hi < lo:
+                    return None
+                indices.extend(range(lo, hi + 1))
+            else:
+                indices.append(int(part))
+        except ValueError:
+            return None
+    return indices
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.errors import ServeError
+    from repro.serve import ServeClient
+
+    candidates = None
+    indices = None
+    if args.candidates:
+        with open(args.candidates) as handle:
+            candidates = json.load(handle)
+        if not isinstance(candidates, list):
+            print(f"{args.candidates}: expected a JSON list of"
+                  f" candidate configs", file=sys.stderr)
+            return 2
+    if args.indices:
+        indices = _parse_indices(args.indices)
+        if indices is None:
+            print(f"--indices: cannot parse {args.indices!r}"
+                  f" (expected e.g. '0,3,8-11')", file=sys.stderr)
+            return 2
+    wants_submit = candidates is not None or indices is not None
+    if not (wants_submit or args.stats or args.shutdown):
+        print("nothing to do: pass --candidates FILE or --space/"
+              "--indices (or --stats / --shutdown)", file=sys.stderr)
+        return 2
+    try:
+        client = ServeClient(args.host, args.port,
+                             timeout=args.timeout)
+    except ServeError as error:
+        print(error, file=sys.stderr)
+        return 2
+    with client:
+        if wants_submit:
+            try:
+                envelope = client.submit(
+                    candidates, objective=args.objective,
+                    space=args.space if indices is not None else None,
+                    indices=indices, tenant=args.tenant,
+                    no_coalesce=args.no_coalesce)
+            except ServeError as error:
+                print(error, file=sys.stderr)
+                return 2
+            if not envelope.get("ok"):
+                print(f"submit rejected:"
+                      f" {envelope.get('error', 'unknown')}"
+                      f" ({envelope.get('detail', 'no detail')})",
+                      file=sys.stderr)
+                return 1
+            results = envelope["results"]
+            hits = sum(1 for result in results if result["cached"])
+            print(format_table(
+                ["#", "value", "cached"],
+                [[i, f"{result['value']:.6g}",
+                  "yes" if result["cached"] else "no"]
+                 for i, result in enumerate(results)],
+                title=f"{len(results)} candidate(s) priced under"
+                      f" {args.objective}",
+            ))
+            print(f"cache hits: {hits}/{len(results)}")
+            if args.json:
+                with open(args.json, "w") as handle:
+                    json.dump(envelope, handle, indent=2)
+                print(f"wrote response JSON to {args.json}")
+        if args.stats:
+            stats = client.stats()
+            serve_stats = stats["serve"]
+            print(format_table(
+                ["metric", "value"],
+                [["requests", int(serve_stats["requests"])],
+                 ["candidates", int(serve_stats["candidates"])],
+                 ["flushes", int(serve_stats["flushes"])],
+                 ["coalesced batches",
+                  int(serve_stats["coalesced_batches"])],
+                 ["queue depth", int(serve_stats["queue_depth"])],
+                 ["batch occupancy (mean)",
+                  f"{serve_stats['batch_occupancy']['mean']:.1f}"],
+                 ["latency p50 (ms)",
+                  f"{serve_stats['request_latency_s']['p50'] * 1e3:.2f}"],
+                 ["latency p99 (ms)",
+                  f"{serve_stats['request_latency_s']['p99'] * 1e3:.2f}"]],
+                title="Daemon dashboard",
+            ))
+        if args.shutdown:
+            client.shutdown()
+            print("daemon acknowledged shutdown")
     return 0
 
 
@@ -1181,6 +1371,74 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=None,
                        help="seed recorded in run provenance")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the evaluation daemon: coalesce concurrent clients'"
+             " cache misses into shared oracle batches")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7343,
+                       help="bind port (0 = ephemeral; the bound port"
+                            " is printed on startup)")
+    serve.add_argument("--max-batch", type=int, default=1024,
+                       help="flush the pending set at this occupancy")
+    serve.add_argument("--max-wait-ms", type=float, default=50.0,
+                       help="flush a non-empty pending set after this"
+                            " long (the latency a candidate pays for"
+                            " the chance to coalesce)")
+    serve.add_argument("--max-queue", type=int, default=8192,
+                       help="admission bound on pending candidates;"
+                            " beyond it submissions get 'overloaded'")
+    serve.add_argument("--max-inflight", type=int, default=4096,
+                       help="per-tenant bound on unanswered"
+                            " candidates")
+    serve.add_argument("--cache",
+                       help="directory for the on-disk result cache;"
+                            " shared with the dse/run subcommands, so"
+                            " a server-primed cache replays 'repro"
+                            " run' with zero oracle calls")
+    serve.add_argument("--cache-max-entries", type=int, default=None,
+                       help="bound the in-memory cache (LRU eviction)"
+                            " for long-lived daemons")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="process-pool width for oracle flushes")
+    serve.add_argument("--chunk-size", type=int, default=None,
+                       help="evaluate at most this many candidates"
+                            " per oracle pass")
+    serve.add_argument("--metrics-json",
+                       help="write the dashboard metrics as JSON on"
+                            " shutdown")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit candidates to a running evaluation daemon")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=7343)
+    submit.add_argument("--objective", default="suite_objective",
+                        help="registered objective to price under")
+    submit.add_argument("--candidates",
+                        help="JSON file holding a list of candidate"
+                             " configs")
+    submit.add_argument("--space", default="codesign",
+                        help=_space_help())
+    submit.add_argument("--indices",
+                        help="design indices into --space, e.g."
+                             " '0,3,8-11'")
+    submit.add_argument("--tenant", default="cli",
+                        help="tenant label for the daemon's per-tenant"
+                             " accounting")
+    submit.add_argument("--no-coalesce", action="store_true",
+                        help="price this request's misses as their own"
+                             " batch instead of joining the shared"
+                             " pending set")
+    submit.add_argument("--timeout", type=float, default=60.0,
+                        help="per-request socket timeout in seconds")
+    submit.add_argument("--stats", action="store_true",
+                        help="print the daemon's dashboard")
+    submit.add_argument("--shutdown", action="store_true",
+                        help="ask the daemon to drain and exit")
+    submit.add_argument("--json", help="also write the raw response"
+                                       " envelope as JSON")
+
     fig1 = sub.add_parser("fig1", help="regenerate the Fig. 1 trend")
     fig1.add_argument("--seed", type=int, default=0)
 
@@ -1204,7 +1462,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 help=_platform_help())
     trace_pipeline.add_argument("--duration", type=float, default=1.0)
     trace_pipeline.add_argument("--queue-capacity", type=int, default=4)
-    trace_pipeline.add_argument("--out", default="trace.json")
+    trace_pipeline.add_argument(
+        "--out", default=None,
+        help="trace output path (default: artifacts/trace.json)")
     trace_pipeline.add_argument("--metrics-out",
                                 help="also write a metrics JSON")
 
@@ -1214,7 +1474,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace_scheduler.add_argument("--policy", default="edf")
     trace_scheduler.add_argument("--duration", type=float, default=1.0)
     trace_scheduler.add_argument("--overload", action="store_true")
-    trace_scheduler.add_argument("--out", default="trace.json")
+    trace_scheduler.add_argument(
+        "--out", default=None,
+        help="trace output path (default: artifacts/trace.json)")
     trace_scheduler.add_argument("--metrics-out",
                                  help="also write a metrics JSON")
 
@@ -1238,6 +1500,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "run": _cmd_run,
         "spec": _cmd_spec,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }
     return handlers[args.command](args)
 

@@ -9,6 +9,16 @@ Values must round-trip through JSON.  For richer values (e.g.
 :class:`~repro.benchmarksuite.runner.BenchmarkRow`) pass ``encode`` /
 ``decode`` callables; floats survive exactly (Python's ``json`` emits
 shortest round-trip representations, and ``inf`` is legal).
+
+Long-running processes (the ``repro serve`` daemon) can bound the
+resident memory level with ``max_entries``: the least recently used
+entry is evicted on overflow.  Eviction touches only the memory level —
+entries persisted to a cache directory stay on disk and are promoted
+back on the next lookup, so a bounded cache trades re-read cost for
+memory, never correctness.  With a ``metrics`` registry attached, the
+cache publishes ``engine.cache.hits`` / ``.misses`` / ``.disk_hits`` /
+``.evictions`` counters as they happen (the serve layer additionally
+namespaces the same counters by tenant label).
 """
 
 from __future__ import annotations
@@ -36,23 +46,39 @@ class ResultCache:
             on first write.
         encode: Value -> JSON-able structure (default: identity).
         decode: JSON-able structure -> value (default: identity).
+        max_entries: Bound on the in-memory level (``None`` =
+            unbounded).  On overflow the least recently used entry is
+            evicted (``evictions`` counts them); the disk level, when
+            enabled, is never evicted.
+        metrics: Optional :class:`~repro.telemetry.metrics.MetricsRegistry`
+            receiving ``engine.cache.*`` counters at event time.
 
     Attributes:
         hits: Lookups answered from memory or disk.
         misses: Lookups answered by neither.
         disk_hits: The subset of ``hits`` that had to touch disk.
+        evictions: Memory-level entries dropped by the
+            ``max_entries`` bound.
     """
 
     def __init__(self, directory: Optional[str] = None, *,
                  encode: Optional[Callable[[Any], Any]] = None,
-                 decode: Optional[Callable[[Any], Any]] = None):
+                 decode: Optional[Callable[[Any], Any]] = None,
+                 max_entries: Optional[int] = None,
+                 metrics: Optional[Any] = None):
+        if max_entries is not None and max_entries < 1:
+            raise EngineError(
+                f"max_entries must be >= 1 (got {max_entries})")
         self._memory: Dict[str, Any] = {}
         self.directory = Path(directory) if directory else None
         self._encode = encode if encode is not None else (lambda v: v)
         self._decode = decode if decode is not None else (lambda v: v)
+        self.max_entries = max_entries
+        self.metrics = metrics
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -61,11 +87,24 @@ class ResultCache:
         assert self.directory is not None
         return self.directory / f"{key}.json"
 
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(f"engine.cache.{name}").inc()
+
+    def _touch(self, key: str, value: Any) -> None:
+        """Move ``key`` to the most-recently-used end (dicts preserve
+        insertion order, so re-insertion is the LRU bookkeeping)."""
+        if self.max_entries is not None:
+            self._memory.pop(key, None)
+        self._memory[key] = value
+
     def get(self, key: str) -> Tuple[bool, Any]:
         """``(hit, value)`` for ``key`` (``(False, None)`` on a miss)."""
         value = self._memory.get(key, _MISS)
         if value is not _MISS:
+            self._touch(key, value)
             self.hits += 1
+            self._count("hits")
             return True, value
         if self.directory is not None:
             path = self._path(key)
@@ -78,12 +117,26 @@ class ResultCache:
                     raise EngineError(
                         f"corrupt cache entry {path}: {error}"
                     ) from error
-                self._memory[key] = value
+                self._insert(key, value)
                 self.hits += 1
                 self.disk_hits += 1
+                self._count("hits")
+                self._count("disk_hits")
                 return True, value
         self.misses += 1
+        self._count("misses")
         return False, None
+
+    def _insert(self, key: str, value: Any) -> None:
+        """Memory-level insert with LRU eviction at ``max_entries``."""
+        self._touch(key, value)
+        if self.max_entries is None:
+            return
+        while len(self._memory) > self.max_entries:
+            oldest = next(iter(self._memory))
+            del self._memory[oldest]
+            self.evictions += 1
+            self._count("evictions")
 
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` under ``key`` (memory, and disk when enabled).
@@ -91,7 +144,7 @@ class ResultCache:
         Disk writes are atomic (temp file + rename) so a cache directory
         shared by parallel workers never exposes torn entries.
         """
-        self._memory[key] = value
+        self._insert(key, value)
         if self.directory is None:
             return
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -120,4 +173,5 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
         }

@@ -26,6 +26,13 @@ Every search loop and suite run in the repo used to own a private
   An objective can decline a batch by raising
   :class:`~repro.errors.BatchFallback`, which falls back to the scalar
   path transparently.
+- **Sharded batch pricing** — with ``jobs > 1``, a large enough
+  ``evaluate_batch`` window is split into contiguous shards priced on
+  the process pool and concatenated back in order.  The elementwise
+  contract that makes chunking value-neutral makes sharding
+  value-neutral for the same reason; small windows stay in-process
+  (pool spin-up would dominate), and a window whose objective cannot
+  pickle falls back to the in-process batch call transparently.
 - **Chunked streaming** — with ``chunk_size`` set, :meth:`map_batch`
   pushes the pending set through the oracle in fixed-size windows, so
   an arbitrarily large population evaluates under a bounded working
@@ -42,6 +49,7 @@ through :mod:`repro.telemetry` when a registry or tracer is supplied.
 
 from __future__ import annotations
 
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from hashlib import sha256
@@ -60,6 +68,10 @@ Objective = Callable[..., Any]
 
 #: Mask keeping derived seeds inside numpy's legal seed range.
 _SEED_MASK = (1 << 63) - 1
+
+#: Smallest evaluate_batch window worth sharding across a process
+#: pool; below this, pool spin-up and pickling dominate the kernel.
+_SHARD_FLOOR = 64
 
 
 @dataclass(frozen=True)
@@ -93,6 +105,14 @@ def _timed_call(objective: Objective, candidate: Any, seed: int,
     started = time.perf_counter()
     value = objective(candidate, seed) if seeded else objective(candidate)
     return value, time.perf_counter() - started
+
+
+def _batch_call(batch_fn: Callable[..., Any], candidates: List[Any],
+                seeds: List[int], seeded: bool) -> List[Any]:
+    """One evaluate_batch shard (runs in pool workers, hence
+    module-level for picklability)."""
+    return list(batch_fn(candidates, seeds) if seeded
+                else batch_fn(candidates))
 
 
 class Evaluator:
@@ -148,6 +168,7 @@ class Evaluator:
         self.batches = 0
         self.batch_hits = 0
         self.batch_fallbacks = 0
+        self.batch_shards = 0
         self.chunks = 0
         self._tier_counters: Dict[str, Dict[str, int]] = {}
         self._tiers_cache: Optional[Tuple[Any, ...]] = None
@@ -340,9 +361,7 @@ class Evaluator:
         if batch_fn is not None:
             started = time.perf_counter()
             try:
-                values = list(
-                    batch_fn(candidates, seeds) if self.seeded
-                    else batch_fn(candidates))
+                values = self._call_batch(batch_fn, candidates, seeds)
             except BatchFallback:
                 self.batch_fallbacks += len(candidates)
                 if tier_name is not None:
@@ -394,6 +413,55 @@ class Evaluator:
                 f" picklable objective and candidates: {error}"
             ) from error
 
+    def _call_batch(self, batch_fn: Callable[..., Any],
+                    candidates: List[Any],
+                    seeds: List[int]) -> List[Any]:
+        """One oracle window through ``evaluate_batch``.
+
+        With ``jobs > 1`` and a window large enough to amortize pool
+        spin-up, the window is split into ``jobs`` contiguous shards
+        priced concurrently and concatenated back in submission order —
+        value-identical to the single call because batch objectives are
+        elementwise and seeds are fingerprint-derived (the same
+        contract that makes chunking neutral).  A shard raising
+        :class:`BatchFallback` falls the whole window back to the
+        scalar path; an objective that cannot pickle falls back to the
+        in-process batch call.
+        """
+        total = len(candidates)
+        if self.jobs > 1 and total >= max(2 * self.jobs, _SHARD_FLOOR):
+            step = -(-total // self.jobs)  # ceil division
+            bounds = [(lo, min(lo + step, total))
+                      for lo in range(0, total, step)]
+            try:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    parts = list(pool.map(
+                        _batch_call,
+                        [batch_fn] * len(bounds),
+                        [candidates[lo:hi] for lo, hi in bounds],
+                        [seeds[lo:hi] for lo, hi in bounds],
+                        [self.seeded] * len(bounds),
+                    ))
+            except BatchFallback:
+                raise
+            except (pickle.PicklingError, AttributeError,
+                    TypeError):
+                parts = None  # unpicklable objective: price in-process
+            if parts is not None:
+                for (lo, hi), part in zip(bounds, parts):
+                    if len(part) != hi - lo:
+                        raise EngineError(
+                            f"evaluate_batch shard returned"
+                            f" {len(part)} values for {hi - lo}"
+                            f" candidates")
+                self.batch_shards += len(bounds)
+                if self.metrics is not None:
+                    self.metrics.counter("engine.batch_shards").inc(
+                        len(bounds))
+                return [value for part in parts for value in part]
+        return list(batch_fn(candidates, seeds) if self.seeded
+                    else batch_fn(candidates))
+
     def _publish(self, batch: int, fresh: int, wall: Dict[str, float],
                  tier_name: Optional[str] = None) -> None:
         if self.metrics is None:
@@ -443,5 +511,6 @@ class Evaluator:
                 "batches": self.batches,
                 "batch_hits": self.batch_hits,
                 "batch_fallbacks": self.batch_fallbacks,
+                "batch_shards": self.batch_shards,
                 "chunks": self.chunks,
                 **self.cache.stats()}

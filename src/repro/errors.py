@@ -60,6 +60,12 @@ class BatchFallback(EngineError):
     ``engine.batch_fallbacks`` telemetry)."""
 
 
+class ServeError(ReproError):
+    """The evaluation daemon or its client was misused (malformed wire
+    message, unknown operation, response/request mismatch) or the
+    transport failed mid-exchange."""
+
+
 class SpecError(ReproError):
     """A declarative spec is malformed (unknown kind or key, wrong type,
     unresolvable ``ref``, unsupported ``spec_version``).  The message

@@ -1,0 +1,17 @@
+"""DSE-as-a-service: a coalescing evaluation daemon and its client.
+
+``repro serve`` turns the evaluation engine into a long-running
+service: concurrent clients submit candidates over a JSON-lines
+socket, the daemon answers cache hits immediately and merges every
+tenant's misses into shared SoA oracle batches (see
+:mod:`repro.serve.server` for the coalescer and its equivalence
+contract).  ``repro submit`` and :class:`ServeClient` are the client
+sides.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.protocol import Submission, evaluator_context
+from repro.serve.server import EvalServer, ServeConfig
+
+__all__ = ["EvalServer", "ServeClient", "ServeConfig", "Submission",
+           "evaluator_context"]

@@ -17,7 +17,8 @@ class TestMemoryLevel:
         hit, value = cache.get("k")
         assert hit and value == 42.0
         assert cache.stats() == {"entries": 1, "hits": 1,
-                                 "misses": 1, "disk_hits": 0}
+                                 "misses": 1, "disk_hits": 0,
+                                 "evictions": 0}
 
     def test_clear(self):
         cache = ResultCache()
@@ -25,6 +26,57 @@ class TestMemoryLevel:
         cache.clear()
         assert len(cache) == 0
         assert not cache.get("k")[0]
+
+
+class TestBoundedMemory:
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "a" is now most recently used
+        cache.put("c", 3)  # evicts "b"
+        assert cache.get("a")[0]
+        assert not cache.get("b")[0]
+        assert cache.get("c")[0]
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_put_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # re-put refreshes "a", not a growth
+        cache.put("c", 3)  # evicts "b"
+        assert cache.get("a") == (True, 10)
+        assert not cache.get("b")[0]
+
+    def test_eviction_never_loses_disk_entries(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_entries=1)
+        cache.put("a", 1)
+        cache.put("b", 2)  # "a" evicted from memory, not from disk
+        assert cache.evictions == 1
+        hit, value = cache.get("a")
+        assert hit and value == 1
+        assert cache.disk_hits == 1
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(EngineError):
+            ResultCache(max_entries=0)
+
+
+class TestMetricsPublishing:
+    def test_counters_emitted(self):
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache = ResultCache(max_entries=1, metrics=registry)
+        cache.get("a")  # miss
+        cache.put("a", 1)
+        cache.get("a")  # hit
+        cache.put("b", 2)  # evicts "a"
+        assert registry.counter("engine.cache.misses").value == 1
+        assert registry.counter("engine.cache.hits").value == 1
+        assert registry.counter("engine.cache.evictions").value == 1
 
 
 class TestDiskLevel:

@@ -1,0 +1,63 @@
+"""Shared daemon fixture: an in-process EvalServer on its own event
+loop thread, driven by blocking ServeClients from the test thread —
+the same traffic shape as production, without subprocess startup
+cost."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve import EvalServer, ServeClient, ServeConfig
+
+
+class Daemon:
+    """One running EvalServer plus the loop thread that owns it."""
+
+    def __init__(self, config: ServeConfig):
+        self.server = EvalServer(config)
+        self._loop = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("daemon failed to start")
+
+    def _run(self) -> None:
+        async def main() -> None:
+            await self.server.start()
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            await self.server.run()
+
+        asyncio.run(main())
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None
+        return self.server.port
+
+    def client(self, **kwargs) -> ServeClient:
+        kwargs.setdefault("timeout", 60.0)
+        return ServeClient(port=self.port, **kwargs)
+
+    def stop(self) -> None:
+        if self._thread.is_alive() and self._loop is not None:
+            self._loop.call_soon_threadsafe(self.server.request_stop)
+        self._thread.join(timeout=30)
+
+
+@pytest.fixture
+def daemon():
+    """Factory fixture: ``daemon(max_wait_ms=..., ...)`` returns a
+    running :class:`Daemon`; every daemon is drained at teardown."""
+    started = []
+
+    def factory(**kwargs) -> Daemon:
+        handle = Daemon(ServeConfig(**kwargs))
+        started.append(handle)
+        return handle
+
+    yield factory
+    for handle in started:
+        handle.stop()
